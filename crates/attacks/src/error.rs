@@ -1,0 +1,70 @@
+use advcomp_nn::NnError;
+use advcomp_tensor::TensorError;
+use std::fmt;
+
+/// Errors from adversarial-sample generation.
+#[derive(Debug)]
+pub enum AttackError {
+    /// The attacked network failed (shape bug, non-finite logits...).
+    Nn(NnError),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Bad attack hyper-parameters.
+    InvalidConfig(String),
+    /// Labels don't match the input batch.
+    BatchMismatch {
+        /// Batch size of the inputs.
+        inputs: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Nn(e) => write!(f, "network error: {e}"),
+            AttackError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AttackError::InvalidConfig(msg) => write!(f, "invalid attack configuration: {msg}"),
+            AttackError::BatchMismatch { inputs, labels } => {
+                write!(f, "{inputs} inputs but {labels} labels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Nn(e) => Some(e),
+            AttackError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for AttackError {
+    fn from(e: NnError) -> Self {
+        AttackError::Nn(e)
+    }
+}
+
+impl From<TensorError> for AttackError {
+    fn from(e: TensorError) -> Self {
+        AttackError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e: AttackError = NnError::InvalidConfig("x".into()).into();
+        assert!(e.to_string().contains("network error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = AttackError::BatchMismatch { inputs: 3, labels: 2 };
+        assert!(e.to_string().contains('3'));
+    }
+}

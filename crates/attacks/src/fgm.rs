@@ -1,0 +1,164 @@
+//! Single-step fast gradient attacks (Goodfellow et al. 2015).
+
+use crate::grad::loss_input_grad;
+use crate::{Attack, AttackError, Result};
+use advcomp_nn::Sequential;
+use advcomp_tensor::Tensor;
+
+fn check_epsilon(epsilon: f32) -> Result<()> {
+    if !(epsilon > 0.0 && epsilon.is_finite()) {
+        return Err(AttackError::InvalidConfig(format!(
+            "epsilon {epsilon} must be positive and finite"
+        )));
+    }
+    Ok(())
+}
+
+/// Fast gradient method: `X' = clip(X + ε · ∇X J(θ, X, y))` (Equation 4).
+///
+/// The perturbation scales with the raw gradient amplitude, which is why
+/// high-accuracy, low-loss networks (the paper's LeNet5) need very large
+/// `ε` for FGM-family attacks to bite (§4.1).
+#[derive(Debug, Clone, Copy)]
+pub struct Fgm {
+    epsilon: f32,
+}
+
+impl Fgm {
+    /// Creates the attack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidConfig`] for non-positive `epsilon`.
+    pub fn new(epsilon: f32) -> Result<Self> {
+        check_epsilon(epsilon)?;
+        Ok(Fgm { epsilon })
+    }
+
+    /// The step size ε.
+    pub fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+}
+
+impl Attack for Fgm {
+    fn name(&self) -> &'static str {
+        "fgm"
+    }
+
+    fn generate(&self, model: &mut Sequential, x: &Tensor, labels: &[usize]) -> Result<Tensor> {
+        let g = loss_input_grad(model, x, labels)?;
+        let mut adv = x.clone();
+        adv.add_scaled(&g, self.epsilon)?;
+        Ok(adv.clamp(0.0, 1.0))
+    }
+}
+
+/// Fast gradient sign method: `X' = clip(X + ε · sign(∇X J))` (Equation 5).
+#[derive(Debug, Clone, Copy)]
+pub struct Fgsm {
+    epsilon: f32,
+}
+
+impl Fgsm {
+    /// Creates the attack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidConfig`] for non-positive `epsilon`.
+    pub fn new(epsilon: f32) -> Result<Self> {
+        check_epsilon(epsilon)?;
+        Ok(Fgsm { epsilon })
+    }
+
+    /// The step size ε (also the L∞ bound of the perturbation).
+    pub fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+}
+
+impl Attack for Fgsm {
+    fn name(&self) -> &'static str {
+        "fgsm"
+    }
+
+    fn generate(&self, model: &mut Sequential, x: &Tensor, labels: &[usize]) -> Result<Tensor> {
+        let g = loss_input_grad(model, x, labels)?;
+        let mut adv = x.clone();
+        adv.add_scaled(&g.sign(), self.epsilon)?;
+        Ok(adv.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advcomp_nn::Dense;
+    use rand::SeedableRng;
+
+    fn net() -> Sequential {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        Sequential::new(vec![Box::new(Dense::new(4, 2, &mut rng))])
+    }
+
+    #[test]
+    fn construction_validates_epsilon() {
+        assert!(Fgm::new(0.0).is_err());
+        assert!(Fgm::new(-1.0).is_err());
+        assert!(Fgm::new(f32::NAN).is_err());
+        assert!(Fgsm::new(0.0).is_err());
+        assert!(Fgsm::new(0.1).is_ok());
+    }
+
+    #[test]
+    fn fgsm_perturbation_within_linf_ball() {
+        let mut model = net();
+        let x = Tensor::full(&[3, 4], 0.5);
+        let attack = Fgsm::new(0.1).unwrap();
+        let adv = attack.generate(&mut model, &x, &[0, 1, 0]).unwrap();
+        let delta = adv.sub(&x).unwrap();
+        assert!(delta.linf_norm() <= 0.1 + 1e-6);
+        assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn fgsm_increases_loss() {
+        use advcomp_nn::{softmax_cross_entropy, Mode};
+        let mut model = net();
+        let x = Tensor::full(&[4, 4], 0.5);
+        let labels = vec![0, 1, 0, 1];
+        let before = {
+            let l = model.forward(&x, Mode::Eval).unwrap();
+            softmax_cross_entropy(&l, &labels).unwrap().loss
+        };
+        let adv = Fgsm::new(0.2).unwrap().generate(&mut model, &x, &labels).unwrap();
+        let after = {
+            let l = model.forward(&adv, Mode::Eval).unwrap();
+            softmax_cross_entropy(&l, &labels).unwrap().loss
+        };
+        assert!(after > before, "loss {before} -> {after}");
+    }
+
+    #[test]
+    fn fgm_scales_with_gradient() {
+        let mut model = net();
+        let x = Tensor::full(&[1, 4], 0.5);
+        let small = Fgm::new(0.01).unwrap().generate(&mut model, &x, &[0]).unwrap();
+        let large = Fgm::new(10.0).unwrap().generate(&mut model, &x, &[0]).unwrap();
+        let d_small = small.sub(&x).unwrap().l2_norm();
+        let d_large = large.sub(&x).unwrap().l2_norm();
+        assert!(d_large > d_small);
+    }
+
+    #[test]
+    fn attacks_leave_params_untouched() {
+        let mut model = net();
+        let before = model.export_params();
+        let x = Tensor::full(&[2, 4], 0.5);
+        Fgsm::new(0.1).unwrap().generate(&mut model, &x, &[0, 1]).unwrap();
+        Fgm::new(0.1).unwrap().generate(&mut model, &x, &[0, 1]).unwrap();
+        for ((_, a), (_, b)) in before.iter().zip(model.export_params().iter()) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The paper's Table 1 attack hyper-parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Which network a parameter set targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetKind {
+    /// LeNet5 on the MNIST-like task.
+    LeNet5,
+    /// CifarNet on the CIFAR-like task.
+    CifarNet,
+}
+
+impl NetKind {
+    /// Short lowercase identifier used in CSV output.
+    pub fn id(&self) -> &'static str {
+        match self {
+            NetKind::LeNet5 => "lenet5",
+            NetKind::CifarNet => "cifarnet",
+        }
+    }
+}
+
+/// Which attack a parameter set configures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Iterative fast gradient sign method.
+    Ifgsm,
+    /// Iterative fast gradient method.
+    Ifgm,
+    /// DeepFool (L2).
+    DeepFool,
+}
+
+impl AttackKind {
+    /// All three attacks, in the paper's presentation order.
+    pub const ALL: [AttackKind; 3] = [AttackKind::Ifgsm, AttackKind::Ifgm, AttackKind::DeepFool];
+
+    /// Short lowercase identifier used in CSV output.
+    pub fn id(&self) -> &'static str {
+        match self {
+            AttackKind::Ifgsm => "ifgsm",
+            AttackKind::Ifgm => "ifgm",
+            AttackKind::DeepFool => "deepfool",
+        }
+    }
+}
+
+/// An (ε, iterations) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackParams {
+    /// Step size / overshoot ε.
+    pub epsilon: f32,
+    /// Iteration count.
+    pub iterations: usize,
+}
+
+/// Table 1 of the paper, verbatim.
+///
+/// | Network  | IFGSM        | IFGM        | DeepFool    |
+/// |----------|--------------|-------------|-------------|
+/// | LeNet5   | ε=0.02, i=12 | ε=10.0, i=5 | ε=0.01, i=5 |
+/// | CifarNet | ε=0.02, i=12 | ε=0.02, i=12| ε=0.01, i=3 |
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PaperParams;
+
+impl PaperParams {
+    /// Looks up the Table 1 parameters for a (network, attack) pair.
+    pub fn lookup(net: NetKind, attack: AttackKind) -> AttackParams {
+        match (net, attack) {
+            (NetKind::LeNet5, AttackKind::Ifgsm) => AttackParams { epsilon: 0.02, iterations: 12 },
+            (NetKind::LeNet5, AttackKind::Ifgm) => AttackParams { epsilon: 10.0, iterations: 5 },
+            (NetKind::LeNet5, AttackKind::DeepFool) => AttackParams { epsilon: 0.01, iterations: 5 },
+            (NetKind::CifarNet, AttackKind::Ifgsm) => AttackParams { epsilon: 0.02, iterations: 12 },
+            (NetKind::CifarNet, AttackKind::Ifgm) => AttackParams { epsilon: 0.02, iterations: 12 },
+            (NetKind::CifarNet, AttackKind::DeepFool) => AttackParams { epsilon: 0.01, iterations: 3 },
+        }
+    }
+
+    /// Table 1 parameters adapted to this reproduction's CPU-scale
+    /// substitute models: identical for IFGSM/IFGM, but DeepFool runs 4×
+    /// the iterations.
+    ///
+    /// The paper tuned Table 1 against full-width models trained for
+    /// 300–350 GPU epochs; on the narrower CPU-scale substitutes DeepFool's
+    /// minimal boundary steps need a few more rounds to converge (measured:
+    /// LeNet5 83%→17% adversarial accuracy going from 5 to 20 iterations,
+    /// CifarNet 71%→13% from 3 to 12). The attack itself is unchanged; see
+    /// EXPERIMENTS.md for the calibration data.
+    pub fn adapted(net: NetKind, attack: AttackKind) -> AttackParams {
+        let mut p = Self::lookup(net, attack);
+        if attack == AttackKind::DeepFool {
+            p.iterations *= 4;
+        }
+        p
+    }
+
+    /// Builds the boxed attack for a (network, attack) pair at its Table 1
+    /// parameters.
+    pub fn build(net: NetKind, attack: AttackKind) -> Box<dyn crate::Attack> {
+        Self::build_params(Self::lookup(net, attack), attack)
+    }
+
+    /// Builds the boxed attack at the [`PaperParams::adapted`] parameters.
+    pub fn build_adapted(net: NetKind, attack: AttackKind) -> Box<dyn crate::Attack> {
+        Self::build_params(Self::adapted(net, attack), attack)
+    }
+
+    fn build_params(p: AttackParams, attack: AttackKind) -> Box<dyn crate::Attack> {
+        match attack {
+            AttackKind::Ifgsm => {
+                Box::new(crate::Ifgsm::new(p.epsilon, p.iterations).expect("table values valid"))
+            }
+            AttackKind::Ifgm => {
+                Box::new(crate::Ifgm::new(p.epsilon, p.iterations).expect("table values valid"))
+            }
+            AttackKind::DeepFool => {
+                Box::new(crate::DeepFool::new(p.epsilon, p.iterations).expect("table values valid"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let p = PaperParams::lookup(NetKind::LeNet5, AttackKind::Ifgm);
+        assert_eq!(p.epsilon, 10.0);
+        assert_eq!(p.iterations, 5);
+        let p = PaperParams::lookup(NetKind::CifarNet, AttackKind::DeepFool);
+        assert_eq!(p.epsilon, 0.01);
+        assert_eq!(p.iterations, 3);
+        let p = PaperParams::lookup(NetKind::CifarNet, AttackKind::Ifgsm);
+        assert_eq!(p.epsilon, 0.02);
+        assert_eq!(p.iterations, 12);
+    }
+
+    #[test]
+    fn builders_produce_named_attacks() {
+        for net in [NetKind::LeNet5, NetKind::CifarNet] {
+            for kind in AttackKind::ALL {
+                let attack = PaperParams::build(net, kind);
+                assert_eq!(attack.name(), kind.id());
+            }
+        }
+    }
+
+    #[test]
+    fn adapted_scales_only_deepfool() {
+        let t = PaperParams::lookup(NetKind::LeNet5, AttackKind::DeepFool);
+        let a = PaperParams::adapted(NetKind::LeNet5, AttackKind::DeepFool);
+        assert_eq!(a.iterations, 4 * t.iterations);
+        assert_eq!(a.epsilon, t.epsilon);
+        let t = PaperParams::lookup(NetKind::CifarNet, AttackKind::Ifgsm);
+        let a = PaperParams::adapted(NetKind::CifarNet, AttackKind::Ifgsm);
+        assert_eq!(a, t);
+        assert_eq!(
+            PaperParams::build_adapted(NetKind::LeNet5, AttackKind::DeepFool).name(),
+            "deepfool"
+        );
+    }
+
+    #[test]
+    fn ids_are_stable() {
+        assert_eq!(NetKind::LeNet5.id(), "lenet5");
+        assert_eq!(AttackKind::DeepFool.id(), "deepfool");
+    }
+}

@@ -1,0 +1,227 @@
+//! Projected gradient descent (extension).
+//!
+//! PGD (Madry et al. 2018) generalises the paper's Algorithm 1: start from
+//! a random point inside the ε-ball, take sign-gradient steps of size `α`,
+//! and after every step project back onto the L∞ ball of radius ε around
+//! the original input (and the valid pixel range). With zero random starts
+//! and `α = ε`, it degenerates to the paper's IFGSM.
+//!
+//! Included as the "future work" attack: the paper picks weakly
+//! transferable attacks deliberately; PGD is the stronger first-order
+//! adversary a follow-up study would reach for.
+
+use crate::grad::loss_input_grad;
+use crate::{Attack, AttackError, Result};
+use advcomp_nn::Sequential;
+use advcomp_tensor::Tensor;
+use rand::{Rng, SeedableRng};
+
+/// The PGD attack with L∞ budget.
+#[derive(Debug, Clone, Copy)]
+pub struct Pgd {
+    epsilon: f32,
+    step: f32,
+    iterations: usize,
+    random_start: bool,
+    seed: u64,
+}
+
+impl Pgd {
+    /// Creates a PGD attack with total budget `epsilon`, per-iteration step
+    /// `step`, and a random start inside the ball.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InvalidConfig`] for non-positive budgets or
+    /// zero iterations.
+    pub fn new(epsilon: f32, step: f32, iterations: usize) -> Result<Self> {
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(AttackError::InvalidConfig(format!(
+                "epsilon {epsilon} must be positive and finite"
+            )));
+        }
+        if !(step > 0.0 && step.is_finite()) {
+            return Err(AttackError::InvalidConfig(format!(
+                "step {step} must be positive and finite"
+            )));
+        }
+        if iterations == 0 {
+            return Err(AttackError::InvalidConfig("iterations must be >= 1".into()));
+        }
+        Ok(Pgd {
+            epsilon,
+            step,
+            iterations,
+            random_start: true,
+            seed: 0,
+        })
+    }
+
+    /// Disables the random start (deterministic PGD from the clean input).
+    pub fn without_random_start(mut self) -> Self {
+        self.random_start = false;
+        self
+    }
+
+    /// Sets the random-start seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total L∞ budget.
+    pub fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+
+    /// Per-iteration step size.
+    pub fn step(&self) -> f32 {
+        self.step
+    }
+
+    /// Iteration count.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+impl Attack for Pgd {
+    fn name(&self) -> &'static str {
+        "pgd"
+    }
+
+    fn generate(&self, model: &mut Sequential, x: &Tensor, labels: &[usize]) -> Result<Tensor> {
+        let mut adv = if self.random_start {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+            let noise: Vec<f32> = (0..x.len())
+                .map(|_| rng.gen_range(-self.epsilon..=self.epsilon))
+                .collect();
+            x.add(&Tensor::new(x.shape(), noise)?)?.clamp(0.0, 1.0)
+        } else {
+            x.clone()
+        };
+        for _ in 0..self.iterations {
+            let g = loss_input_grad(model, &adv, labels)?;
+            adv.add_scaled(&g.sign(), self.step)?;
+            // Project onto the epsilon ball around the clean input, then
+            // the pixel box.
+            adv = adv
+                .zip_map(x, |a, orig| {
+                    a.clamp(orig - self.epsilon, orig + self.epsilon)
+                })?
+                .clamp(0.0, 1.0);
+        }
+        Ok(adv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advcomp_nn::{accuracy, Dense, Mode, Relu, Sgd};
+
+
+    fn trained() -> (Sequential, Tensor, Vec<usize>) {
+        use advcomp_nn::softmax_cross_entropy;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut model = Sequential::new(vec![
+            Box::new(Dense::new(4, 12, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(12, 2, &mut rng)),
+        ]);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..64 {
+            let a: f32 = rng.gen_range(0.0..1.0);
+            let b: f32 = rng.gen_range(0.0..1.0);
+            xs.extend([a, b, 0.5, 0.5]);
+            ys.push(usize::from(a <= b));
+        }
+        let x = Tensor::new(&[64, 4], xs).unwrap();
+        let mut opt = Sgd::new(0.2, 0.9, 0.0).unwrap();
+        for _ in 0..150 {
+            let logits = model.forward(&x, Mode::Train).unwrap();
+            let loss = softmax_cross_entropy(&logits, &ys).unwrap();
+            model.zero_grad();
+            model.backward(&loss.grad).unwrap();
+            opt.step(model.params_mut()).unwrap();
+        }
+        (model, x, ys)
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Pgd::new(0.0, 0.01, 5).is_err());
+        assert!(Pgd::new(0.1, 0.0, 5).is_err());
+        assert!(Pgd::new(0.1, 0.01, 0).is_err());
+        assert!(Pgd::new(0.1, 0.01, 5).is_ok());
+    }
+
+    #[test]
+    fn stays_in_epsilon_ball_despite_many_iterations() {
+        let (mut model, x, y) = trained();
+        let attack = Pgd::new(0.05, 0.02, 20).unwrap();
+        let adv = attack.generate(&mut model, &x, &y).unwrap();
+        let delta = adv.sub(&x).unwrap();
+        assert!(delta.linf_norm() <= 0.05 + 1e-6);
+        assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn beats_clean_accuracy() {
+        let (mut model, x, y) = trained();
+        let clean = {
+            let logits = model.forward(&x, Mode::Eval).unwrap();
+            accuracy(&logits, &y).unwrap()
+        };
+        assert!(clean > 0.9);
+        let attack = Pgd::new(0.1, 0.03, 15).unwrap();
+        let adv = attack.generate(&mut model, &x, &y).unwrap();
+        let logits = model.forward(&adv, Mode::Eval).unwrap();
+        let adv_acc = accuracy(&logits, &y).unwrap();
+        assert!(adv_acc < clean - 0.3, "{clean} -> {adv_acc}");
+    }
+
+    #[test]
+    fn pgd_at_least_as_strong_as_ifgsm_at_equal_budget() {
+        use crate::Ifgsm;
+        let (mut model, x, y) = trained();
+        let eps = 0.08;
+        let ifgsm_adv = Ifgsm::new(eps / 8.0, 8).unwrap().generate(&mut model, &x, &y).unwrap();
+        let pgd_adv = Pgd::new(eps, eps / 4.0, 16)
+            .unwrap()
+            .generate(&mut model, &x, &y)
+            .unwrap();
+        let acc_of = |m: &mut Sequential, inp: &Tensor| {
+            let logits = m.forward(inp, Mode::Eval).unwrap();
+            accuracy(&logits, &y).unwrap()
+        };
+        let ifgsm_acc = acc_of(&mut model, &ifgsm_adv);
+        let pgd_acc = acc_of(&mut model, &pgd_adv);
+        assert!(
+            pgd_acc <= ifgsm_acc + 0.1,
+            "PGD ({pgd_acc}) much weaker than IFGSM ({ifgsm_acc})"
+        );
+    }
+
+    #[test]
+    fn random_start_is_seeded() {
+        let (mut model, x, y) = trained();
+        let a = Pgd::new(0.05, 0.02, 3).unwrap().with_seed(9).generate(&mut model, &x, &y).unwrap();
+        let b = Pgd::new(0.05, 0.02, 3).unwrap().with_seed(9).generate(&mut model, &x, &y).unwrap();
+        let c = Pgd::new(0.05, 0.02, 3).unwrap().with_seed(10).generate(&mut model, &x, &y).unwrap();
+        assert_eq!(a.data(), b.data());
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn no_random_start_from_clean_input() {
+        let (mut model, x, y) = trained();
+        let det = Pgd::new(0.05, 0.05, 1).unwrap().without_random_start();
+        let adv = det.generate(&mut model, &x, &y).unwrap();
+        // One step of size epsilon without random start == FGSM-like move.
+        let delta = adv.sub(&x).unwrap();
+        assert!(delta.linf_norm() <= 0.05 + 1e-6);
+        assert!(delta.linf_norm() > 0.0);
+    }
+}

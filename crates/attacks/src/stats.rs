@@ -1,0 +1,82 @@
+//! Perturbation-size reporting.
+
+use crate::{AttackError, Result};
+use advcomp_tensor::Tensor;
+
+/// Norms of an adversarial perturbation `δ = x_adv − x`, averaged per
+/// sample. §3.3 of the paper uses these to sanity-check that chosen
+/// hyper-parameters "generated perturbations of a sensible l2 and l0".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerturbationStats {
+    /// Mean fraction of changed pixels per sample.
+    pub l0_fraction: f64,
+    /// Mean L2 norm per sample.
+    pub l2: f64,
+    /// Maximum L∞ norm over the batch.
+    pub linf: f64,
+}
+
+impl PerturbationStats {
+    /// Computes statistics between a clean batch and its adversarial
+    /// counterpart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Tensor`] when shapes differ, and
+    /// [`AttackError::InvalidConfig`] for an empty batch.
+    pub fn between(clean: &Tensor, adversarial: &Tensor) -> Result<Self> {
+        let delta = adversarial.sub(clean)?;
+        let n = *delta.shape().first().unwrap_or(&0);
+        if n == 0 {
+            return Err(AttackError::InvalidConfig("empty batch".into()));
+        }
+        let per = delta.len() / n;
+        let mut l0 = 0usize;
+        let mut l2 = 0.0f64;
+        let mut linf = 0.0f64;
+        for i in 0..n {
+            let row = &delta.data()[i * per..(i + 1) * per];
+            l0 += row.iter().filter(|&&v| v != 0.0).count();
+            l2 += row.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+            let m = row.iter().fold(0.0f64, |acc, &v| acc.max(v.abs() as f64));
+            linf = linf.max(m);
+        }
+        Ok(PerturbationStats {
+            l0_fraction: l0 as f64 / delta.len() as f64,
+            l2: l2 / n as f64,
+            linf,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_batches_have_zero_stats() {
+        let x = Tensor::ones(&[2, 4]);
+        let s = PerturbationStats::between(&x, &x).unwrap();
+        assert_eq!(s.l0_fraction, 0.0);
+        assert_eq!(s.l2, 0.0);
+        assert_eq!(s.linf, 0.0);
+    }
+
+    #[test]
+    fn known_perturbation() {
+        let x = Tensor::zeros(&[1, 4]);
+        let adv = Tensor::new(&[1, 4], vec![0.0, 0.3, -0.4, 0.0]).unwrap();
+        let s = PerturbationStats::between(&x, &adv).unwrap();
+        assert!((s.l0_fraction - 0.5).abs() < 1e-9);
+        assert!((s.l2 - 0.5).abs() < 1e-6);
+        assert!((s.linf - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shape_mismatch_and_empty() {
+        let x = Tensor::zeros(&[1, 4]);
+        assert!(PerturbationStats::between(&x, &Tensor::zeros(&[2, 4])).is_err());
+        let e = Tensor::zeros(&[0, 4]);
+        assert!(PerturbationStats::between(&e, &e).is_err());
+    }
+}

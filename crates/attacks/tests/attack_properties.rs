@@ -1,0 +1,106 @@
+//! Property-based tests for attack invariants, on randomly-initialised
+//! networks and random inputs — the guarantees the transfer harness relies
+//! on regardless of training state.
+
+use advcomp_attacks::{Attack, DeepFool, Fgm, Fgsm, Ifgm, Ifgsm, PerturbationStats, Pgd};
+use advcomp_nn::{Dense, Relu, Sequential};
+use advcomp_tensor::Tensor;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn net(seed: u64, inputs: usize, classes: usize) -> Sequential {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Sequential::new(vec![
+        Box::new(Dense::new(inputs, 10, &mut rng)),
+        Box::new(Relu::new()),
+        Box::new(Dense::new(10, classes, &mut rng)),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every attack keeps outputs in the valid pixel box and never returns
+    /// NaN, for arbitrary inputs and random model weights.
+    #[test]
+    fn all_attacks_respect_pixel_box(
+        seed in 0u64..500,
+        pixels in proptest::collection::vec(0.0f32..1.0, 3 * 6),
+    ) {
+        let mut model = net(seed, 6, 4);
+        let x = Tensor::new(&[3, 6], pixels).unwrap();
+        let labels = vec![0usize, 1, 3];
+        let attacks: Vec<Box<dyn Attack>> = vec![
+            Box::new(Fgm::new(1.0).unwrap()),
+            Box::new(Fgsm::new(0.1).unwrap()),
+            Box::new(Ifgsm::new(0.05, 4).unwrap()),
+            Box::new(Ifgm::new(2.0, 4).unwrap()),
+            Box::new(DeepFool::new(0.02, 4).unwrap()),
+            Box::new(Pgd::new(0.1, 0.03, 4).unwrap()),
+        ];
+        for attack in attacks {
+            let adv = attack.generate(&mut model, &x, &labels).unwrap();
+            prop_assert_eq!(adv.shape(), x.shape(), "{} changed shape", attack.name());
+            prop_assert!(
+                adv.data().iter().all(|v| v.is_finite() && (0.0..=1.0).contains(v)),
+                "{} escaped the pixel box", attack.name()
+            );
+        }
+    }
+
+    /// Attacks never mutate model parameters.
+    #[test]
+    fn attacks_read_only(seed in 0u64..500) {
+        let mut model = net(seed, 5, 3);
+        let before: Vec<Vec<f32>> = model.params().iter().map(|p| p.value.data().to_vec()).collect();
+        let x = Tensor::full(&[2, 5], 0.5);
+        let labels = vec![0usize, 2];
+        for attack in [
+            Box::new(Ifgsm::new(0.05, 3).unwrap()) as Box<dyn Attack>,
+            Box::new(DeepFool::new(0.02, 3).unwrap()),
+            Box::new(Pgd::new(0.1, 0.05, 3).unwrap()),
+        ] {
+            attack.generate(&mut model, &x, &labels).unwrap();
+        }
+        let after: Vec<Vec<f32>> = model.params().iter().map(|p| p.value.data().to_vec()).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// PerturbationStats are consistent with attack budgets.
+    #[test]
+    fn stats_track_budget(
+        seed in 0u64..200,
+        eps in 0.01f32..0.2,
+        iters in 1usize..5,
+    ) {
+        let mut model = net(seed, 8, 3);
+        let x = Tensor::full(&[2, 8], 0.5);
+        let labels = vec![1usize, 2];
+        let attack = Ifgsm::new(eps, iters).unwrap();
+        let adv = attack.generate(&mut model, &x, &labels).unwrap();
+        let stats = PerturbationStats::between(&x, &adv).unwrap();
+        prop_assert!(stats.linf <= (eps * iters as f32) as f64 + 1e-5);
+        prop_assert!(stats.l0_fraction <= 1.0);
+        // L2 of a single sample is bounded by sqrt(dim) * linf.
+        prop_assert!(stats.l2 <= (8f64).sqrt() * stats.linf + 1e-6);
+    }
+
+    /// Attack determinism: the same (model, input, labels) produce the same
+    /// samples — required for the paired scenario comparisons.
+    #[test]
+    fn attacks_are_deterministic(seed in 0u64..200) {
+        let mut model = net(seed, 5, 3);
+        let x = Tensor::full(&[2, 5], 0.4);
+        let labels = vec![0usize, 1];
+        for attack in [
+            Box::new(Ifgsm::new(0.03, 3).unwrap()) as Box<dyn Attack>,
+            Box::new(Ifgm::new(1.0, 3).unwrap()),
+            Box::new(DeepFool::new(0.02, 3).unwrap()),
+            Box::new(Pgd::new(0.05, 0.02, 3).unwrap()), // seeded random start
+        ] {
+            let a = attack.generate(&mut model, &x, &labels).unwrap();
+            let b = attack.generate(&mut model, &x, &labels).unwrap();
+            prop_assert_eq!(a.data(), b.data(), "{} is nondeterministic", attack.name());
+        }
+    }
+}

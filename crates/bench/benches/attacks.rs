@@ -1,0 +1,56 @@
+//! Attack-generation throughput on the LeNet5 reference model: the cost of
+//! crafting adversarial samples with each of the paper's attacks at their
+//! Table 1 parameters.
+
+use advcomp_attacks::{Attack, DeepFool, Fgsm, Ifgm, Ifgsm};
+use advcomp_data::{DatasetConfig, SynthDigits};
+use advcomp_models::lenet5;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn setup() -> (advcomp_nn::Sequential, advcomp_tensor::Tensor, Vec<usize>) {
+    let model = lenet5(0.5, 0);
+    let (train, _) = SynthDigits::generate(&DatasetConfig {
+        train: 16,
+        test: 1,
+        seed: 0,
+        noise: 0.05,
+    });
+    let (x, y) = train.slice(0, 16).unwrap();
+    (model, x, y)
+}
+
+fn bench_attacks(c: &mut Criterion) {
+    let (mut model, x, y) = setup();
+    c.bench_function("attack/fgsm_16x28x28", |b| {
+        let attack = Fgsm::new(0.02).unwrap();
+        b.iter(|| black_box(attack.generate(&mut model, &x, &y).unwrap()))
+    });
+    c.bench_function("attack/ifgsm_t1_16x28x28", |b| {
+        let attack = Ifgsm::new(0.02, 12).unwrap();
+        b.iter(|| black_box(attack.generate(&mut model, &x, &y).unwrap()))
+    });
+    c.bench_function("attack/ifgm_t1_16x28x28", |b| {
+        let attack = Ifgm::new(10.0, 5).unwrap();
+        b.iter(|| black_box(attack.generate(&mut model, &x, &y).unwrap()))
+    });
+    let (x4, y4) = (x.narrow(0, 4).unwrap(), y[..4].to_vec());
+    c.bench_function("attack/deepfool_t1_4x28x28", |b| {
+        let attack = DeepFool::new(0.01, 5).unwrap();
+        b.iter(|| black_box(attack.generate(&mut model, &x4, &y4).unwrap()))
+    });
+}
+
+fn bench_input_grad(c: &mut Criterion) {
+    let (mut model, x, y) = setup();
+    c.bench_function("attack/loss_input_grad_16x28x28", |b| {
+        b.iter(|| black_box(advcomp_attacks::loss_input_grad(&mut model, &x, &y).unwrap()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_attacks, bench_input_grad
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Compression-kernel costs: mask construction/application, DNS mask
+//! updates, weight quantisation, and raw Q-format throughput.
+
+use advcomp_compress::{magnitude_threshold, PruneMask, Quantizer};
+use advcomp_models::lenet5;
+use advcomp_qformat::QFormat;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::Rng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_prune(c: &mut Criterion) {
+    let model = lenet5(1.0, 0);
+    c.bench_function("prune/mask_from_magnitude_lenet5", |b| {
+        b.iter(|| black_box(PruneMask::from_magnitude(&model, 0.3).unwrap()))
+    });
+    let mask = PruneMask::from_magnitude(&model, 0.3).unwrap();
+    c.bench_function("prune/mask_apply_lenet5", |b| {
+        b.iter_batched(
+            || lenet5(1.0, 0),
+            |mut m| {
+                mask.apply(&mut m).unwrap();
+                black_box(m)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let values: Vec<f32> = (0..61_000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    c.bench_function("prune/threshold_61k", |b| {
+        b.iter(|| black_box(magnitude_threshold(&values, 0.3)))
+    });
+}
+
+fn bench_quant(c: &mut Criterion) {
+    c.bench_function("quant/weights_lenet5_q4", |b| {
+        let q = Quantizer::for_bitwidth(4).unwrap();
+        b.iter_batched(
+            || lenet5(1.0, 0),
+            |mut m| {
+                q.quantize_weights(&mut m);
+                black_box(m)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    let fmt = QFormat::for_bitwidth(8).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let values: Vec<f32> = (0..65_536).map(|_| rng.gen_range(-4.0..4.0)).collect();
+    c.bench_function("quant/qformat_quantize_64k", |b| {
+        b.iter(|| {
+            let mut v = values.clone();
+            fmt.quantize_slice(&mut v);
+            black_box(v)
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_prune, bench_quant
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Ablation benchmark: im2col-GEMM convolution versus a direct
+//! nested-loop convolution, plus forward/backward costs of the reference
+//! models' first layers.
+
+use advcomp_nn::{Conv2d, Layer, Mode};
+use advcomp_tensor::{im2col, Conv2dGeometry, Init, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+/// Textbook direct convolution (no lowering), the ablation reference.
+fn direct_conv(
+    input: &Tensor,
+    weight: &Tensor,
+    stride: usize,
+    padding: usize,
+) -> Tensor {
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (oc, _ic, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    let oh = (h + 2 * padding - kh) / stride + 1;
+    let ow = (w + 2 * padding - kw) / stride + 1;
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    let od = out.data_mut();
+    for b in 0..n {
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ch in 0..c {
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky) as isize - padding as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx) as isize - padding as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += input.data()
+                                    [((b * c + ch) * h + iy as usize) * w + ix as usize]
+                                    * weight.data()[((o * c + ch) * kh + ky) * kw + kx];
+                            }
+                        }
+                    }
+                    od[((b * oc + o) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn bench_conv_strategies(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let init = Init::Uniform { lo: -0.5, hi: 0.5 };
+    let mut group = c.benchmark_group("conv_3x3_16ch_16x16");
+    for &batch in &[1usize, 8] {
+        let x = init.tensor(&[batch, 16, 16, 16], &mut rng);
+        let w = init.tensor(&[16, 16, 3, 3], &mut rng);
+        group.bench_with_input(BenchmarkId::new("direct", batch), &batch, |bch, _| {
+            bch.iter(|| black_box(direct_conv(&x, &w, 1, 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("im2col_gemm", batch), &batch, |bch, _| {
+            bch.iter(|| {
+                let mut conv = Conv2d::new(16, 16, 3, 1, 1, &mut rand::rngs::StdRng::seed_from_u64(0));
+                conv.params_mut()[0].value = w.clone();
+                black_box(conv.forward(&x, Mode::Eval).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let x = Init::Uniform { lo: 0.0, hi: 1.0 }.tensor(&[8, 3, 32, 32], &mut rng);
+    let geom = Conv2dGeometry::square(3, 32, 3, 1, 1);
+    c.bench_function("im2col/8x3x32x32_k3", |b| {
+        b.iter(|| black_box(im2col(&x, &geom).unwrap()))
+    });
+}
+
+fn bench_layer_fwd_bwd(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut conv = Conv2d::new(3, 32, 3, 1, 1, &mut rng);
+    let x = Init::Uniform { lo: 0.0, hi: 1.0 }.tensor(&[8, 3, 32, 32], &mut rng);
+    c.bench_function("conv2d/forward_8x3x32x32", |b| {
+        b.iter(|| black_box(conv.forward(&x, Mode::Train).unwrap()))
+    });
+    let y = conv.forward(&x, Mode::Train).unwrap();
+    let g = Tensor::ones(y.shape());
+    c.bench_function("conv2d/backward_8x3x32x32", |b| {
+        b.iter(|| black_box(conv.backward(&g).unwrap()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_conv_strategies, bench_im2col, bench_layer_fwd_bwd
+);
+criterion_main!(benches);

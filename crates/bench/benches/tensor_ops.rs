@@ -1,0 +1,74 @@
+//! Ablation benchmark: matmul kernels (naive vs blocked vs threaded) —
+//! the design choice called out in DESIGN.md.
+
+use advcomp_tensor::{Init, Tensor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn mats(m: usize, k: usize, n: usize) -> (Tensor, Tensor) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let init = Init::Uniform { lo: -1.0, hi: 1.0 };
+    (init.tensor(&[m, k], &mut rng), init.tensor(&[k, n], &mut rng))
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &size in &[32usize, 128, 256] {
+        let (a, b) = mats(size, size, size);
+        group.bench_with_input(BenchmarkId::new("naive", size), &size, |bch, _| {
+            bch.iter(|| black_box(a.matmul_naive(&b).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_serial", size), &size, |bch, _| {
+            bch.iter(|| black_box(a.matmul_blocked_serial(&b).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("auto", size), &size, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_matmul(c: &mut Criterion) {
+    // The blocked kernel skips zero multipliers; measure the effect of
+    // pruned (sparse) weight matrices.
+    let mut group = c.benchmark_group("matmul_sparse");
+    let (mut a, b) = mats(128, 128, 128);
+    for &density in &[1.0f32, 0.5, 0.1] {
+        let mut sparse = a.clone();
+        let n = sparse.len();
+        for i in 0..n {
+            if (i as f32 / n as f32) >= density {
+                sparse.data_mut()[i] = 0.0;
+            }
+        }
+        group.bench_with_input(
+            BenchmarkId::new("blocked", format!("d{density}")),
+            &density,
+            |bch, _| bch.iter(|| black_box(sparse.matmul_blocked_serial(&b).unwrap())),
+        );
+    }
+    let _ = &mut a;
+    group.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let x = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[256 * 256], &mut rng);
+    let y = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[256 * 256], &mut rng);
+    c.bench_function("elementwise/add_64k", |b| {
+        b.iter(|| black_box(x.add(&y).unwrap()))
+    });
+    c.bench_function("elementwise/sign_64k", |b| b.iter(|| black_box(x.sign())));
+    c.bench_function("elementwise/clamp_64k", |b| {
+        b.iter(|| black_box(x.clamp(0.0, 1.0)))
+    });
+    c.bench_function("reduce/l2_norm_64k", |b| b.iter(|| black_box(x.l2_norm())));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_sparse_matmul, bench_elementwise
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Extension exhibit: activation-saturation instrumentation for the §4.2
+//! clipping hypothesis.
+//!
+//! The paper *hypothesises* that low-bitwidth defence comes from activation
+//! clipping: "clipping the activation values forces the attacker to find
+//! more subtle ways of achieving differential activation". This binary
+//! measures it directly: for each bitwidth, the fraction of activations
+//! sitting exactly at the format's saturation ceiling, on clean inputs and
+//! on IFGSM adversarial inputs. If the hypothesis holds, adversarial inputs
+//! should push markedly more activations into saturation — the attack is
+//! "overdriving" activations and the format caps them.
+
+use advcomp_attacks::{AttackKind, NetKind, PaperParams};
+use advcomp_bench::{banner, ExhibitOptions};
+use advcomp_core::cdf::activation_values;
+use advcomp_core::report::{pct, Table};
+use advcomp_core::{Compression, TaskSetup, TrainedModel};
+use advcomp_qformat::QFormat;
+
+fn saturation_fraction(values: &[f32], fmt: QFormat) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let ceiling = fmt.max_value();
+    values.iter().filter(|&&v| v >= ceiling).count() as f64 / values.len() as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExhibitOptions::from_args();
+    banner(
+        "Clipping",
+        "activation saturation under attack (tests the §4.2 hypothesis)",
+        &opts,
+    );
+
+    let setup = TaskSetup::new(NetKind::CifarNet, &opts.scale);
+    let baseline = TrainedModel::train(&setup, &opts.scale, 7)?;
+    let finetune_cfg = setup.finetune_config(&opts.scale);
+    let n = opts.scale.deepfool_eval.min(setup.test.len());
+    let (x, y) = setup.test.slice(0, n)?;
+    println!("cifarnet baseline accuracy: {}%\n", pct(baseline.test_accuracy));
+
+    let mut table = Table::new(
+        "Fraction of activations at the format's saturation ceiling",
+        &[
+            "bitwidth", "ceiling", "clean saturated%", "adversarial saturated%",
+            "clean acc%", "adv acc%",
+        ],
+    );
+    for bitwidth in [4u32, 6, 8, 12] {
+        let fmt = QFormat::for_bitwidth(bitwidth)?;
+        let mut model = baseline.instantiate()?;
+        Compression::Quant { bitwidth, weights_only: false }
+            .apply(&mut model, &setup.train, &finetune_cfg)?;
+
+        let attack = PaperParams::build_adapted(NetKind::CifarNet, AttackKind::Ifgsm);
+        let adv = attack.generate(&mut model, &x, &y)?;
+
+        let clean_acts = activation_values(&mut model, &x)?;
+        let clean_logits_acc = {
+            let logits = model.forward(&x, advcomp_nn::Mode::Eval)?;
+            advcomp_nn::accuracy(&logits, &y)?
+        };
+        let adv_acts = activation_values(&mut model, &adv)?;
+        let adv_acc = {
+            let logits = model.forward(&adv, advcomp_nn::Mode::Eval)?;
+            advcomp_nn::accuracy(&logits, &y)?
+        };
+
+        table.push_row(vec![
+            bitwidth.to_string(),
+            format!("{:.3}", fmt.max_value()),
+            pct(saturation_fraction(&clean_acts, fmt)),
+            pct(saturation_fraction(&adv_acts, fmt)),
+            pct(clean_logits_acc),
+            pct(adv_acc),
+        ]);
+    }
+
+    print!("{}", table.to_markdown());
+    table.write_csv(&opts.csv_path("clipping"))?;
+    println!("\nwrote {}", opts.csv_path("clipping").display());
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Regenerates **Figure 2**: transferability properties for pruning.
+//!
+//! For LeNet5 and CifarNet, sweeps DNS-pruned weight density and reports —
+//! per attack (IFGSM, IFGM, DeepFool at Table 1 parameters) — the clean
+//! accuracy of the pruned model plus adversarial accuracy under all three
+//! attack scenarios. Pass `--one-shot` to run the one-shot-pruning
+//! ablation instead of DNS.
+
+use advcomp_attacks::{AttackKind, NetKind};
+use advcomp_bench::{banner, density_grid, ExhibitOptions};
+use advcomp_core::plot::{ascii_chart, Series};
+use advcomp_core::report::{pct, Table};
+use advcomp_core::sweep::TransferMatrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExhibitOptions::from_args();
+    let one_shot = opts.has_flag("--one-shot");
+    let method = if one_shot { "one-shot" } else { "DNS" };
+    banner("Figure 2", &format!("Transferability under {method} pruning"), &opts);
+
+    let densities = density_grid();
+    let mut csv = Table::new(
+        format!("Figure 2 ({method} pruning)"),
+        &[
+            "net", "attack", "density", "compression", "base_acc",
+            "comp_to_comp", "full_to_comp", "comp_to_full",
+        ],
+    );
+
+    let nets: Vec<NetKind> = if opts.has_flag("--lenet5-only") {
+        vec![NetKind::LeNet5]
+    } else if opts.has_flag("--cifarnet-only") {
+        vec![NetKind::CifarNet]
+    } else {
+        vec![NetKind::LeNet5, NetKind::CifarNet]
+    };
+    for net in nets {
+        let matrix = if one_shot {
+            TransferMatrix::pruning_one_shot(net, AttackKind::ALL.to_vec(), &densities)
+        } else {
+            TransferMatrix::pruning(net, AttackKind::ALL.to_vec(), &densities)
+        };
+        let started = std::time::Instant::now();
+        let results = matrix.run(&opts.scale)?;
+        println!(
+            "{}: baseline accuracy {}% (final training loss {:.4}) [{:.0}s]\n",
+            net.id(),
+            pct(results[0].baseline_accuracy),
+            results[0].baseline_loss,
+            started.elapsed().as_secs_f64(),
+        );
+        for result in &results {
+            let mut table = Table::new(
+                format!("{} / {} — accuracy vs density", net.id(), result.attack),
+                &["density", "base_acc%", "comp→comp%", "full→comp%", "comp→full%"],
+            );
+            for p in &result.points {
+                table.push_row(vec![
+                    format!("{:.2}", p.x),
+                    pct(p.base_accuracy),
+                    pct(p.comp_to_comp),
+                    pct(p.full_to_comp),
+                    pct(p.comp_to_full),
+                ]);
+                csv.push_row(vec![
+                    result.net.clone(),
+                    result.attack.clone(),
+                    format!("{}", p.x),
+                    p.compression.clone(),
+                    format!("{}", p.base_accuracy),
+                    format!("{}", p.comp_to_comp),
+                    format!("{}", p.full_to_comp),
+                    format!("{}", p.comp_to_full),
+                ]);
+            }
+            print!("{}", table.to_markdown());
+            println!();
+            // Render the same panel as the paper draws it: accuracy vs
+            // sweep coordinate, one glyph per line.
+            let series = vec![
+                Series::new("base acc", result.points.iter().map(|p| (p.x, p.base_accuracy)).collect()),
+                Series::new("comp->comp (S1)", result.points.iter().map(|p| (p.x, p.comp_to_comp)).collect()),
+                Series::new("full->comp (S2)", result.points.iter().map(|p| (p.x, p.full_to_comp)).collect()),
+                Series::new("comp->full (S3)", result.points.iter().map(|p| (p.x, p.comp_to_full)).collect()),
+            ];
+            println!(
+                "{}",
+                ascii_chart(
+                    &format!("{} / {} (y: accuracy, x: density)", net.id(), result.attack),
+                    &series,
+                    60,
+                    14,
+                )
+            );
+        }
+    }
+
+    let name = if one_shot { "fig2_oneshot" } else { "fig2" };
+    csv.write_csv(&opts.csv_path(name))?;
+    println!("wrote {}", opts.csv_path(name).display());
+    Ok(())
+}

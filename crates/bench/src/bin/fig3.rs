@@ -1,0 +1,70 @@
+//! Regenerates **Figure 3**: LeNet5 accuracy under IFGSM- and
+//! IFGM-generated adversarial samples across ε values and iteration counts
+//! (white-box, uncompressed model).
+
+use advcomp_attacks::{AttackKind, NetKind};
+use advcomp_bench::{banner, ExhibitOptions};
+use advcomp_core::report::{pct, Table};
+use advcomp_core::sweep::epsilon_grid;
+use advcomp_core::{TaskSetup, TrainedModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExhibitOptions::from_args();
+    banner("Figure 3", "LeNet5 accuracy vs attack ε and iterations", &opts);
+
+    let setup = TaskSetup::new(NetKind::LeNet5, &opts.scale);
+    let trained = TrainedModel::train(&setup, &opts.scale, 7)?;
+    println!(
+        "lenet5 baseline accuracy: {}%\n",
+        pct(trained.test_accuracy)
+    );
+
+    let iterations = vec![1usize, 2, 4, 8, 12, 16];
+    // IFGSM perturbs by ε·sign(g): the interesting range is small ε.
+    // IFGM scales the raw (tiny) gradient, so it needs much larger ε —
+    // exactly why Table 1 uses ε=10 for LeNet5 IFGM.
+    let grids = [
+        (AttackKind::Ifgsm, vec![0.005f32, 0.01, 0.02, 0.05, 0.1, 0.2]),
+        (AttackKind::Ifgm, vec![0.5f32, 1.0, 2.0, 5.0, 10.0, 20.0]),
+    ];
+
+    let mut csv = Table::new(
+        "Figure 3 (LeNet5 epsilon/iteration grid)",
+        &["attack", "epsilon", "iterations", "adversarial_accuracy"],
+    );
+    for (attack, epsilons) in grids {
+        let points = epsilon_grid(&trained, &setup, attack, &epsilons, &iterations, &opts.scale)?;
+        let mut table = Table::new(
+            format!("{} — adversarial accuracy % (rows: ε, cols: iterations)", attack.id()),
+            &std::iter::once("eps \\ iters".to_string())
+                .chain(iterations.iter().map(|i| i.to_string()))
+                .collect::<Vec<_>>()
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>(),
+        );
+        for &eps in &epsilons {
+            let mut row = vec![format!("{eps}")];
+            for &it in &iterations {
+                let p = points
+                    .iter()
+                    .find(|p| p.epsilon == eps && p.iterations == it)
+                    .expect("grid point computed");
+                row.push(pct(p.adversarial_accuracy));
+                csv.push_row(vec![
+                    attack.id().into(),
+                    format!("{eps}"),
+                    it.to_string(),
+                    format!("{}", p.adversarial_accuracy),
+                ]);
+            }
+            table.push_row(row);
+        }
+        print!("{}", table.to_markdown());
+        println!();
+    }
+
+    csv.write_csv(&opts.csv_path("fig3"))?;
+    println!("wrote {}", opts.csv_path("fig3").display());
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Regenerates **Figure 4**: CifarNet base accuracy versus adversarial
+//! accuracy per pruning density (IFGSM and DeepFool), the view in which the
+//! paper reads off the "preferred density" protective knee.
+
+use advcomp_attacks::{AttackKind, NetKind};
+use advcomp_bench::{banner, density_grid, ExhibitOptions};
+use advcomp_core::report::{pct, Table};
+use advcomp_core::sweep::TransferMatrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExhibitOptions::from_args();
+    banner(
+        "Figure 4",
+        "CifarNet base vs adversarial accuracy (IFGSM, DeepFool)",
+        &opts,
+    );
+
+    let matrix = TransferMatrix::pruning(
+        NetKind::CifarNet,
+        vec![AttackKind::Ifgsm, AttackKind::DeepFool],
+        &density_grid(),
+    );
+    let results = matrix.run(&opts.scale)?;
+
+    let mut csv = Table::new(
+        "Figure 4 (CifarNet base accuracy vs adversarial accuracy)",
+        &[
+            "attack", "density", "base_acc",
+            "comp_to_comp", "full_to_comp", "comp_to_full",
+        ],
+    );
+    for result in &results {
+        let mut table = Table::new(
+            format!(
+                "{} — (base accuracy, adversarial accuracy) per density",
+                result.attack
+            ),
+            &["density", "base_acc%", "comp→comp%", "full→comp%", "comp→full%"],
+        );
+        // Figure 4 plots base accuracy on the horizontal axis; keep the
+        // rows sorted by base accuracy for readability.
+        let mut points = result.points.clone();
+        points.sort_by(|a, b| a.base_accuracy.total_cmp(&b.base_accuracy));
+        for p in &points {
+            table.push_row(vec![
+                format!("{:.2}", p.x),
+                pct(p.base_accuracy),
+                pct(p.comp_to_comp),
+                pct(p.full_to_comp),
+                pct(p.comp_to_full),
+            ]);
+            csv.push_row(vec![
+                result.attack.clone(),
+                format!("{}", p.x),
+                format!("{}", p.base_accuracy),
+                format!("{}", p.comp_to_comp),
+                format!("{}", p.full_to_comp),
+                format!("{}", p.comp_to_full),
+            ]);
+        }
+        print!("{}", table.to_markdown());
+        println!();
+    }
+
+    csv.write_csv(&opts.csv_path("fig4"))?;
+    println!("wrote {}", opts.csv_path("fig4").display());
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! Regenerates **Figure 5**: transferability properties when quantising
+//! both weights and activations.
+//!
+//! Sweeps fixed-point bitwidth (paper §3.2 integer-bit schedule; 32 denotes
+//! the float32 baseline) for both networks and all three attacks. Pass
+//! `--weights-only` for the ablation that leaves activations in float32 —
+//! isolating the activation-clipping defence the paper credits in §4.2.
+
+use advcomp_attacks::{AttackKind, NetKind};
+use advcomp_bench::{banner, bitwidth_grid, ExhibitOptions};
+use advcomp_core::plot::{ascii_chart, Series};
+use advcomp_core::report::{pct, Table};
+use advcomp_core::sweep::TransferMatrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExhibitOptions::from_args();
+    let weights_only = opts.has_flag("--weights-only");
+    let what = if weights_only {
+        "weights-only quantisation (ablation)"
+    } else {
+        "quantising both weights and activations"
+    };
+    banner("Figure 5", what, &opts);
+
+    let bitwidths = bitwidth_grid();
+    let mut csv = Table::new(
+        format!("Figure 5 ({what})"),
+        &[
+            "net", "attack", "bitwidth", "compression", "base_acc",
+            "comp_to_comp", "full_to_comp", "comp_to_full",
+        ],
+    );
+
+    let nets: Vec<NetKind> = if opts.has_flag("--lenet5-only") {
+        vec![NetKind::LeNet5]
+    } else if opts.has_flag("--cifarnet-only") {
+        vec![NetKind::CifarNet]
+    } else {
+        vec![NetKind::LeNet5, NetKind::CifarNet]
+    };
+    for net in nets {
+        let matrix = if weights_only {
+            TransferMatrix::quantisation_weights_only(net, AttackKind::ALL.to_vec(), &bitwidths)
+        } else {
+            TransferMatrix::quantisation(net, AttackKind::ALL.to_vec(), &bitwidths)
+        };
+        let started = std::time::Instant::now();
+        let results = matrix.run(&opts.scale)?;
+        println!(
+            "{}: baseline accuracy {}% (final training loss {:.4}) [{:.0}s]\n",
+            net.id(),
+            pct(results[0].baseline_accuracy),
+            results[0].baseline_loss,
+            started.elapsed().as_secs_f64(),
+        );
+        for result in &results {
+            let mut table = Table::new(
+                format!("{} / {} — accuracy vs bitwidth", net.id(), result.attack),
+                &["bitwidth", "base_acc%", "comp→comp%", "full→comp%", "comp→full%"],
+            );
+            for p in &result.points {
+                table.push_row(vec![
+                    format!("{:.0}", p.x),
+                    pct(p.base_accuracy),
+                    pct(p.comp_to_comp),
+                    pct(p.full_to_comp),
+                    pct(p.comp_to_full),
+                ]);
+                csv.push_row(vec![
+                    result.net.clone(),
+                    result.attack.clone(),
+                    format!("{}", p.x),
+                    p.compression.clone(),
+                    format!("{}", p.base_accuracy),
+                    format!("{}", p.comp_to_comp),
+                    format!("{}", p.full_to_comp),
+                    format!("{}", p.comp_to_full),
+                ]);
+            }
+            print!("{}", table.to_markdown());
+            println!();
+            // Render the same panel as the paper draws it: accuracy vs
+            // sweep coordinate, one glyph per line.
+            let series = vec![
+                Series::new("base acc", result.points.iter().map(|p| (p.x, p.base_accuracy)).collect()),
+                Series::new("comp->comp (S1)", result.points.iter().map(|p| (p.x, p.comp_to_comp)).collect()),
+                Series::new("full->comp (S2)", result.points.iter().map(|p| (p.x, p.full_to_comp)).collect()),
+                Series::new("comp->full (S3)", result.points.iter().map(|p| (p.x, p.comp_to_full)).collect()),
+            ];
+            println!(
+                "{}",
+                ascii_chart(
+                    &format!("{} / {} (y: accuracy, x: bitwidth)", net.id(), result.attack),
+                    &series,
+                    60,
+                    14,
+                )
+            );
+        }
+    }
+
+    let name = if weights_only { "fig5_weights_only" } else { "fig5" };
+    csv.write_csv(&opts.csv_path(name))?;
+    println!("wrote {}", opts.csv_path(name).display());
+    Ok(())
+}

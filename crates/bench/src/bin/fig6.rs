@@ -1,0 +1,76 @@
+//! Regenerates **Figure 6**: cumulative distribution functions of the
+//! weights (a) and activations (b) of quantised CifarNet.
+//!
+//! Trains a CifarNet baseline, quantises it (QAT) at bitwidths 4, 8 and 16,
+//! and emits CDF points for weights and for activations sampled over ten
+//! validation images, plus the float32 baseline.
+
+use advcomp_attacks::NetKind;
+use advcomp_bench::{banner, ExhibitOptions};
+use advcomp_core::cdf::{activation_values, cdf_points, weight_values, zero_fraction};
+use advcomp_core::report::Table;
+use advcomp_core::{Compression, TaskSetup, TrainedModel};
+
+const CDF_RESOLUTION: usize = 128;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExhibitOptions::from_args();
+    banner("Figure 6", "CDFs of quantised CifarNet weights & activations", &opts);
+
+    let setup = TaskSetup::new(NetKind::CifarNet, &opts.scale);
+    let trained = TrainedModel::train(&setup, &opts.scale, 7)?;
+    let finetune_cfg = setup.finetune_config(&opts.scale);
+    // "Ten randomly chosen input images from the validation dataset were
+    // used [to] generate CDF of activation values."
+    let (images, _) = setup.test.slice(0, 10.min(setup.test.len()))?;
+
+    let mut csv = Table::new(
+        "Figure 6 (CDFs of weights and activations)",
+        &["kind", "bitwidth", "value", "cumulative_fraction"],
+    );
+    let mut summary = Table::new(
+        "Zero mass and value ranges per bitwidth",
+        &["bitwidth", "weights_zero_frac", "weights_max_abs", "acts_zero_frac", "acts_max"],
+    );
+
+    for bitwidth in [4u32, 8, 16, 32] {
+        let mut model = trained.instantiate()?;
+        if bitwidth < 32 {
+            Compression::Quant { bitwidth, weights_only: false }
+                .apply(&mut model, &setup.train, &finetune_cfg)?;
+        }
+        let weights = weight_values(&model);
+        let acts = activation_values(&mut model, &images)?;
+        for (value, cum) in cdf_points(&weights, CDF_RESOLUTION) {
+            csv.push_row(vec![
+                "weights".into(),
+                bitwidth.to_string(),
+                format!("{value}"),
+                format!("{cum}"),
+            ]);
+        }
+        for (value, cum) in cdf_points(&acts, CDF_RESOLUTION) {
+            csv.push_row(vec![
+                "activations".into(),
+                bitwidth.to_string(),
+                format!("{value}"),
+                format!("{cum}"),
+            ]);
+        }
+        let wmax = weights.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let amax = acts.iter().fold(0.0f32, |a, v| a.max(*v));
+        summary.push_row(vec![
+            bitwidth.to_string(),
+            format!("{:.3}", zero_fraction(&weights)),
+            format!("{wmax:.4}"),
+            format!("{:.3}", zero_fraction(&acts)),
+            format!("{amax:.4}"),
+        ]);
+    }
+
+    print!("{}", summary.to_markdown());
+    println!();
+    csv.write_csv(&opts.csv_path("fig6"))?;
+    println!("wrote {} (full CDF series)", opts.csv_path("fig6").display());
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Table 1** of the paper: the attack hyper-parameters used
+//! by every experiment.
+
+use advcomp_attacks::{AttackKind, NetKind, PaperParams};
+use advcomp_bench::{banner, ExhibitOptions};
+use advcomp_core::report::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = ExhibitOptions::from_args();
+    banner("Table 1", "Attack hyper-parameters", &opts);
+
+    let mut table = Table::new(
+        "Attack hyper-parameters (paper Table 1)",
+        &["network", "attack", "epsilon", "iterations"],
+    );
+    for net in [NetKind::LeNet5, NetKind::CifarNet] {
+        for kind in AttackKind::ALL {
+            let p = PaperParams::lookup(net, kind);
+            table.push_row(vec![
+                net.id().into(),
+                kind.id().into(),
+                format!("{}", p.epsilon),
+                p.iterations.to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.to_markdown());
+    table.write_csv(&opts.csv_path("table1"))?;
+    println!("\nwrote {}", opts.csv_path("table1").display());
+    Ok(())
+}

@@ -1,0 +1,134 @@
+//! Shared plumbing for the exhibit binaries.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! regenerates it: `table1`, `fig2`, `fig3`, `fig4`, `fig5`, `fig6` and
+//! `crossseed`. Each prints the paper's rows/series as a Markdown table and
+//! writes a CSV under `results/`. Criterion micro-benchmarks for the
+//! underlying kernels live in `benches/`.
+//!
+//! Run e.g.:
+//!
+//! ```text
+//! cargo run --release -p advcomp-bench --bin fig2 -- --scale quick
+//! ADVCOMP_SCALE=paper cargo run --release -p advcomp-bench --bin fig5
+//! ```
+
+use advcomp_core::ExperimentScale;
+use std::path::PathBuf;
+
+/// Parsed command-line options shared by all exhibit binaries.
+#[derive(Debug, Clone)]
+pub struct ExhibitOptions {
+    /// Scaling profile.
+    pub scale: ExperimentScale,
+    /// Name of the selected profile (for logging).
+    pub scale_name: String,
+    /// Output directory for CSV files.
+    pub results_dir: PathBuf,
+    /// Extra flags (exhibit-specific, e.g. `--weights-only`).
+    pub flags: Vec<String>,
+}
+
+impl ExhibitOptions {
+    /// Parses `--scale tiny|quick|paper` (default: env `ADVCOMP_SCALE`,
+    /// then `quick`), `--results <dir>` and collects remaining flags.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut scale_name = std::env::var("ADVCOMP_SCALE").unwrap_or_else(|_| "quick".into());
+        let mut results_dir = PathBuf::from("results");
+        let mut flags = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    if let Some(v) = it.next() {
+                        scale_name = v;
+                    }
+                }
+                "--results" => {
+                    if let Some(v) = it.next() {
+                        results_dir = PathBuf::from(v);
+                    }
+                }
+                other => flags.push(other.to_string()),
+            }
+        }
+        let scale = match scale_name.as_str() {
+            "paper" => ExperimentScale::paper(),
+            "tiny" => ExperimentScale::tiny(),
+            _ => {
+                scale_name = "quick".into();
+                ExperimentScale::quick()
+            }
+        };
+        ExhibitOptions {
+            scale,
+            scale_name,
+            results_dir,
+            flags,
+        }
+    }
+
+    /// `true` when `flag` was passed on the command line.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    /// Path for an exhibit's CSV output.
+    pub fn csv_path(&self, name: &str) -> PathBuf {
+        self.results_dir.join(format!("{name}.csv"))
+    }
+}
+
+/// Prints a standard exhibit banner.
+pub fn banner(exhibit: &str, what: &str, opts: &ExhibitOptions) {
+    println!("=== {exhibit}: {what} ===");
+    println!(
+        "scale profile: {} (train={}, test={}, eval={}, epochs={}/{})",
+        opts.scale_name,
+        opts.scale.train_size,
+        opts.scale.test_size,
+        opts.scale.attack_eval,
+        opts.scale.baseline_epochs,
+        opts.scale.finetune_epochs
+    );
+    println!();
+}
+
+/// The density grid used by Figures 2 and 4 (paper sweeps densities from
+/// 1.0 down to the low single-percent range).
+pub fn density_grid() -> Vec<f64> {
+    vec![1.0, 0.7, 0.5, 0.3, 0.2, 0.1, 0.05, 0.02]
+}
+
+/// The bitwidth grid used by Figure 5 (32 = float32 baseline).
+pub fn bitwidth_grid() -> Vec<u32> {
+    vec![4, 6, 8, 12, 16, 32]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grids_cover_paper_ranges() {
+        let d = density_grid();
+        assert_eq!(d[0], 1.0);
+        assert!(*d.last().unwrap() <= 0.02);
+        let b = bitwidth_grid();
+        assert!(b.contains(&4) && b.contains(&8) && b.contains(&32));
+    }
+
+    #[test]
+    fn csv_path_joins() {
+        let opts = ExhibitOptions {
+            scale: ExperimentScale::tiny(),
+            scale_name: "tiny".into(),
+            results_dir: PathBuf::from("/tmp/r"),
+            flags: vec!["--weights-only".into()],
+        };
+        assert_eq!(opts.csv_path("fig2"), PathBuf::from("/tmp/r/fig2.csv"));
+        assert!(opts.has_flag("--weights-only"));
+        assert!(!opts.has_flag("--nope"));
+    }
+}

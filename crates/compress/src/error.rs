@@ -1,0 +1,82 @@
+use advcomp_nn::NnError;
+use advcomp_qformat::QFormatError;
+use advcomp_tensor::TensorError;
+use std::fmt;
+
+/// Errors from compression passes and their fine-tuning loops.
+#[derive(Debug)]
+pub enum CompressError {
+    /// An underlying network operation failed.
+    Nn(NnError),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A fixed-point format was invalid.
+    QFormat(QFormatError),
+    /// A dataset problem (empty dataset, bad batch size...).
+    Data(String),
+    /// Invalid compression configuration (density out of range, ...).
+    InvalidConfig(String),
+    /// A mask refers to a parameter the model doesn't have, or shapes
+    /// disagree.
+    MaskMismatch(String),
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::Nn(e) => write!(f, "network error: {e}"),
+            CompressError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CompressError::QFormat(e) => write!(f, "fixed-point format error: {e}"),
+            CompressError::Data(msg) => write!(f, "data error: {msg}"),
+            CompressError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CompressError::MaskMismatch(msg) => write!(f, "mask mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompressError::Nn(e) => Some(e),
+            CompressError::Tensor(e) => Some(e),
+            CompressError::QFormat(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for CompressError {
+    fn from(e: NnError) -> Self {
+        CompressError::Nn(e)
+    }
+}
+
+impl From<TensorError> for CompressError {
+    fn from(e: TensorError) -> Self {
+        CompressError::Tensor(e)
+    }
+}
+
+impl From<QFormatError> for CompressError {
+    fn from(e: QFormatError) -> Self {
+        CompressError::QFormat(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CompressError = NnError::InvalidConfig("x".into()).into();
+        assert!(e.to_string().contains("network error"));
+        let e: CompressError = TensorError::Empty("max").into();
+        assert!(e.to_string().contains("tensor error"));
+        let e: CompressError = QFormatError::NoIntegerBits.into();
+        assert!(e.to_string().contains("fixed-point"));
+        assert!(CompressError::InvalidConfig("density".into())
+            .to_string()
+            .contains("density"));
+    }
+}

@@ -1,0 +1,203 @@
+//! Shared training configuration and the baseline training loop.
+
+use crate::{CompressError, Result};
+use advcomp_data::{Batches, Dataset};
+use advcomp_nn::{accuracy, softmax_cross_entropy, LrSchedule, Mode, Sequential, Sgd, StepDecay};
+
+/// Hyper-parameters for a training or fine-tuning run.
+///
+/// Defaults mirror the paper's setup shape: SGD momentum 0.9, learning rate
+/// 0.01 with three scheduled 10× decays (§3.2), small weight decay.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning-rate schedule.
+    pub schedule: StepDecay,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay (weights only, not biases).
+    pub weight_decay: f32,
+    /// Seed for batch shuffling.
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// The paper-shaped config for a given epoch budget.
+    pub fn paper(epochs: usize) -> Self {
+        TrainConfig {
+            epochs,
+            batch_size: 32,
+            schedule: StepDecay::paper(epochs),
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            seed: 0,
+        }
+    }
+
+    fn validate(&self, data: &Dataset) -> Result<()> {
+        if data.is_empty() {
+            return Err(CompressError::Data("empty training set".into()));
+        }
+        if self.batch_size == 0 {
+            return Err(CompressError::InvalidConfig("batch_size must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Summary of a completed training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainStats {
+    /// Mean loss over the final epoch.
+    pub final_loss: f32,
+    /// Training accuracy measured over the final epoch's batches.
+    pub final_train_accuracy: f64,
+    /// Epochs actually run.
+    pub epochs: usize,
+}
+
+/// Trains `model` from its current parameters on `data` — the baseline
+/// (uncompressed, dense, float32) training the paper's taxonomy is anchored
+/// on.
+///
+/// # Errors
+///
+/// Returns [`CompressError::Data`] for an empty dataset and propagates
+/// network errors (shape mismatches, non-finite losses).
+pub fn train_baseline(
+    model: &mut Sequential,
+    data: &Dataset,
+    cfg: &TrainConfig,
+) -> Result<TrainStats> {
+    cfg.validate(data)?;
+    let mut opt = Sgd::new(cfg.schedule.lr_at(0), cfg.momentum, cfg.weight_decay)?;
+    let mut final_loss = 0.0f32;
+    let mut final_acc = 0.0f64;
+    for epoch in 0..cfg.epochs {
+        opt.set_lr(cfg.schedule.lr_at(epoch));
+        let plan = Batches::shuffled(data.len(), cfg.batch_size, cfg.seed.wrapping_add(epoch as u64));
+        let mut epoch_loss = 0.0f32;
+        let mut epoch_correct = 0.0f64;
+        let mut batches = 0usize;
+        let mut samples = 0usize;
+        for (x, y) in plan.iter(data) {
+            let logits = model.forward(&x, Mode::Train)?;
+            let loss = softmax_cross_entropy(&logits, &y)?;
+            epoch_loss += loss.loss;
+            epoch_correct += accuracy(&logits, &y)? * y.len() as f64;
+            samples += y.len();
+            batches += 1;
+            model.zero_grad();
+            model.backward(&loss.grad)?;
+            opt.step(model.params_mut())?;
+        }
+        final_loss = epoch_loss / batches.max(1) as f32;
+        final_acc = epoch_correct / samples.max(1) as f64;
+    }
+    Ok(TrainStats {
+        final_loss,
+        final_train_accuracy: final_acc,
+        epochs: cfg.epochs,
+    })
+}
+
+/// Evaluates classification accuracy of `model` over `data` in mini-batches.
+///
+/// # Errors
+///
+/// Propagates network errors.
+pub fn evaluate(model: &mut Sequential, data: &Dataset, batch_size: usize) -> Result<f64> {
+    if data.is_empty() {
+        return Ok(0.0);
+    }
+    let plan = Batches::sequential(data.len(), batch_size.max(1));
+    let mut correct = 0.0f64;
+    for (x, y) in plan.iter(data) {
+        let logits = model.forward(&x, Mode::Eval)?;
+        correct += accuracy(&logits, &y)? * y.len() as f64;
+    }
+    Ok(correct / data.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advcomp_data::{DatasetConfig, SynthDigits};
+    use advcomp_nn::{Dense, Flatten, Relu};
+    use rand::SeedableRng;
+
+    fn small_mlp() -> Sequential {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        Sequential::new(vec![
+            Box::new(Flatten::new()),
+            Box::new(Dense::with_name("fc1", 28 * 28, 32, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::with_name("fc2", 32, 10, &mut rng)),
+        ])
+    }
+
+    fn digits() -> (Dataset, Dataset) {
+        SynthDigits::generate(&DatasetConfig {
+            train: 200,
+            test: 100,
+            seed: 7,
+            noise: 0.05,
+        })
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns() {
+        let (train, test) = digits();
+        let mut model = small_mlp();
+        let before = evaluate(&mut model, &test, 64).unwrap();
+        let cfg = TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            schedule: StepDecay::new(0.05, 0.1, vec![6]),
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            seed: 0,
+        };
+        let stats = train_baseline(&mut model, &train, &cfg).unwrap();
+        let after = evaluate(&mut model, &test, 64).unwrap();
+        assert!(stats.final_loss < 1.0, "final loss {}", stats.final_loss);
+        assert!(after > before + 0.3, "accuracy {before} -> {after}");
+        assert!(after > 0.7, "test accuracy only {after}");
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let (train, _) = digits();
+        let empty = train.take(0).unwrap();
+        let mut model = small_mlp();
+        assert!(matches!(
+            train_baseline(&mut model, &empty, &TrainConfig::paper(1)),
+            Err(CompressError::Data(_))
+        ));
+    }
+
+    #[test]
+    fn zero_batch_size_rejected() {
+        let (train, _) = digits();
+        let mut cfg = TrainConfig::paper(1);
+        cfg.batch_size = 0;
+        let mut model = small_mlp();
+        assert!(train_baseline(&mut model, &train, &cfg).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let (train, _) = digits();
+        let cfg = TrainConfig::paper(2);
+        let mut a = small_mlp();
+        let mut b = small_mlp();
+        train_baseline(&mut a, &train, &cfg).unwrap();
+        train_baseline(&mut b, &train, &cfg).unwrap();
+        let wa = &a.param("fc1.weight").unwrap().value;
+        let wb = &b.param("fc1.weight").unwrap().value;
+        assert_eq!(wa.data(), wb.data());
+    }
+}

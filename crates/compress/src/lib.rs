@@ -1,0 +1,32 @@
+//! Neural-network compression: pruning and fixed-point quantisation.
+//!
+//! This crate implements the two compression families the paper studies
+//! (§2.1–2.2, §3.2), plus the fine-tuning loops they require:
+//!
+//! * **Fine-grained pruning** of weights:
+//!   * [`OneShotPruner`] — Han et al. 2016: threshold once, mask fixed,
+//!     masked weights never recover.
+//!   * [`DnsPruner`] — Guo et al. 2016 *Dynamic Network Surgery*, the method
+//!     the paper actually uses: masks are recomputed during fine-tuning with
+//!     hysteresis thresholds (Equation 3) and gradients keep flowing to
+//!     masked weights so they can recover.
+//! * **Fixed-point quantisation** of *both weights and activations*
+//!   ([`Quantizer`]): weights are rounded to a [`advcomp_qformat::QFormat`]
+//!   with full-precision master copies and a straight-through estimator;
+//!   activations are quantised by the model's `FakeQuant` layers.
+//!
+//! [`train_baseline`] provides the plain training loop used for baseline
+//! models (and reused by the experiment harness in `advcomp-core`).
+
+mod error;
+mod finetune;
+mod prune;
+mod quant;
+
+pub use error::CompressError;
+pub use finetune::{evaluate, train_baseline, TrainConfig, TrainStats};
+pub use prune::{magnitude_threshold, DnsPruner, OneShotPruner, PruneMask};
+pub use quant::{QuantConfig, Quantizer};
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CompressError>;

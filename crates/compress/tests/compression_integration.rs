@@ -1,0 +1,195 @@
+//! Integration tests across pruning, quantisation and fine-tuning — the
+//! ablation-style comparisons DESIGN.md calls out, asserted as invariants.
+
+use advcomp_compress::{
+    evaluate, train_baseline, DnsPruner, OneShotPruner, PruneMask, QuantConfig, Quantizer,
+    TrainConfig,
+};
+use advcomp_data::{Dataset, DatasetConfig, SynthDigits};
+use advcomp_nn::{Dense, FakeQuant, Flatten, Relu, Sequential, StepDecay};
+use advcomp_qformat::QFormat;
+use rand::SeedableRng;
+
+fn mlp(seed: u64) -> Sequential {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Sequential::new(vec![
+        Box::new(Flatten::new()),
+        Box::new(FakeQuant::new()),
+        Box::new(Dense::with_name("fc1", 28 * 28, 32, &mut rng)),
+        Box::new(Relu::new()),
+        Box::new(FakeQuant::new()),
+        Box::new(Dense::with_name("fc2", 32, 10, &mut rng)),
+    ])
+}
+
+fn digits() -> (Dataset, Dataset) {
+    SynthDigits::generate(&DatasetConfig {
+        train: 300,
+        test: 150,
+        seed: 17,
+        noise: 0.05,
+    })
+}
+
+fn cfg(epochs: usize, lr: f32) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 32,
+        schedule: StepDecay::new(lr, 0.1, vec![epochs.max(2) - 1]),
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        seed: 0,
+    }
+}
+
+fn trained_mlp() -> (Sequential, Dataset, Dataset) {
+    let (train, test) = digits();
+    let mut model = mlp(1);
+    train_baseline(&mut model, &train, &cfg(8, 0.05)).unwrap();
+    (model, train, test)
+}
+
+#[test]
+fn dns_not_worse_than_one_shot_at_aggressive_density() {
+    // The DNS paper's selling point: recoverable masks tolerate aggressive
+    // pruning better than frozen masks under an equal fine-tune budget.
+    // At 5% density the gap should be visible (allowing a small tolerance
+    // for run-to-run noise at this scale).
+    let (model, train, test) = trained_mlp();
+    let density = 0.05;
+
+    let mut dns_model = mlp(1);
+    dns_model.import_params(&model.export_params()).unwrap();
+    DnsPruner::new(density)
+        .prune_and_finetune(&mut dns_model, &train, &cfg(4, 0.01))
+        .unwrap();
+    let dns_acc = evaluate(&mut dns_model, &test, 64).unwrap();
+
+    let mut os_model = mlp(1);
+    os_model.import_params(&model.export_params()).unwrap();
+    OneShotPruner::new(density)
+        .prune_and_finetune(&mut os_model, &train, &cfg(4, 0.01))
+        .unwrap();
+    let os_acc = evaluate(&mut os_model, &test, 64).unwrap();
+
+    assert!(
+        dns_acc >= os_acc - 0.08,
+        "DNS ({dns_acc}) should not trail one-shot ({os_acc}) at density {density}"
+    );
+}
+
+#[test]
+fn both_pruners_hit_target_density_exactly_enough() {
+    let (model, train, _) = trained_mlp();
+    for density in [0.5, 0.2, 0.05] {
+        let mut m = mlp(1);
+        m.import_params(&model.export_params()).unwrap();
+        let mask = DnsPruner::new(density)
+            .prune_and_finetune(&mut m, &train, &cfg(2, 0.01))
+            .unwrap();
+        assert!(
+            (mask.overall_density() - density).abs() < 0.04,
+            "DNS density {} vs target {density}",
+            mask.overall_density()
+        );
+        let w = &m.param("fc1.weight").unwrap().value;
+        assert!((w.density() - density).abs() < 0.05);
+    }
+}
+
+#[test]
+fn quantised_model_weights_live_on_grid_for_all_bitwidths() {
+    let (model, train, test) = trained_mlp();
+    let base = {
+        let mut m = mlp(1);
+        m.import_params(&model.export_params()).unwrap();
+        evaluate(&mut m, &test, 64).unwrap()
+    };
+    for bitwidth in [4u32, 6, 8, 12, 16] {
+        let mut m = mlp(1);
+        m.import_params(&model.export_params()).unwrap();
+        Quantizer::for_bitwidth(bitwidth)
+            .unwrap()
+            .quantize_and_finetune(&mut m, &train, &cfg(2, 0.005))
+            .unwrap();
+        let fmt = QFormat::for_bitwidth(bitwidth).unwrap();
+        for p in m.params() {
+            if p.kind == advcomp_nn::ParamKind::Weight {
+                assert!(
+                    p.value.data().iter().all(|&v| fmt.is_representable(v)),
+                    "{} off-grid at {bitwidth} bits",
+                    p.name
+                );
+            }
+        }
+        let acc = evaluate(&mut m, &test, 64).unwrap();
+        // Even 4-bit QAT should retain most of the accuracy on this task.
+        assert!(
+            acc > base - 0.3,
+            "{bitwidth}-bit QAT collapsed: {base} -> {acc}"
+        );
+    }
+}
+
+#[test]
+fn weights_only_quant_leaves_activations_float() {
+    let (model, train, _) = trained_mlp();
+    let mut m = mlp(1);
+    m.import_params(&model.export_params()).unwrap();
+    let q = Quantizer::new(QuantConfig::weights_only(4).unwrap());
+    q.quantize_and_finetune(&mut m, &train, &cfg(1, 0.005)).unwrap();
+    for layer in m.layers() {
+        assert!(layer.activation_format().is_none());
+    }
+}
+
+#[test]
+fn full_quant_installs_activation_format_everywhere() {
+    let (model, train, _) = trained_mlp();
+    let mut m = mlp(1);
+    m.import_params(&model.export_params()).unwrap();
+    Quantizer::for_bitwidth(8)
+        .unwrap()
+        .quantize_and_finetune(&mut m, &train, &cfg(1, 0.005))
+        .unwrap();
+    let fmt = QFormat::for_bitwidth(8).unwrap();
+    let installed: Vec<_> = m
+        .layers()
+        .iter()
+        .filter_map(|l| l.activation_format())
+        .collect();
+    assert_eq!(installed, vec![fmt, fmt]);
+}
+
+#[test]
+fn pruned_then_quantised_composes() {
+    // The paper treats pruning and quantisation separately, but a real
+    // deployment pipeline may stack them; the library must compose.
+    let (model, train, test) = trained_mlp();
+    let mut m = mlp(1);
+    m.import_params(&model.export_params()).unwrap();
+    DnsPruner::new(0.3)
+        .prune_and_finetune(&mut m, &train, &cfg(2, 0.01))
+        .unwrap();
+    Quantizer::for_bitwidth(8)
+        .unwrap()
+        .quantize_and_finetune(&mut m, &train, &cfg(2, 0.005))
+        .unwrap();
+    let acc = evaluate(&mut m, &test, 64).unwrap();
+    assert!(acc > 0.5, "stacked compression collapsed accuracy: {acc}");
+    // Note: QAT fine-tuning regrows some pruned weights (no mask is
+    // enforced during quantisation), so we assert usability, not density.
+}
+
+#[test]
+fn mask_reuse_on_reimported_model() {
+    // A mask captured from one model instance applies cleanly to a
+    // checkpoint-restored twin (same names and shapes).
+    let (model, _, _) = trained_mlp();
+    let mask = PruneMask::from_magnitude(&model, 0.4).unwrap();
+    let mut twin = mlp(99);
+    twin.import_params(&model.export_params()).unwrap();
+    mask.apply(&mut twin).unwrap();
+    let w = &twin.param("fc1.weight").unwrap().value;
+    assert!((w.density() - 0.4).abs() < 0.03);
+}

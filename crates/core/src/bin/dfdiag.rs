@@ -1,0 +1,41 @@
+//! Diagnostic: white-box attack-strength calibration on the quick-scale
+//! baselines — the measurements behind `PaperParams::adapted` and the
+//! EXPERIMENTS.md calibration table.
+//!
+//! ```text
+//! cargo run --release -p advcomp-core --bin dfdiag
+//! ```
+use advcomp_attacks::{Attack, DeepFool, Ifgm, NetKind};
+use advcomp_core::{ExperimentScale, TaskSetup, TrainedModel};
+use advcomp_nn::Mode;
+
+fn adv_acc(model: &mut advcomp_nn::Sequential, attack: &dyn Attack,
+           x: &advcomp_tensor::Tensor, y: &[usize]) -> f64 {
+    let adv = attack.generate(model, x, y).unwrap();
+    let logits = model.forward(&adv, Mode::Eval).unwrap();
+    advcomp_nn::accuracy(&logits, y).unwrap()
+}
+
+fn main() {
+    let scale = ExperimentScale::quick();
+    for net in [NetKind::LeNet5, NetKind::CifarNet] {
+        let setup = TaskSetup::new(net, &scale);
+        let trained = TrainedModel::train(&setup, &scale, 7).unwrap();
+        let mut model = trained.instantiate().unwrap();
+        let (x, y) = setup.test.slice(0, 48).unwrap();
+        println!(
+            "{net:?}: baseline acc {:.3}, final loss {:.4}",
+            trained.test_accuracy, trained.final_loss
+        );
+        // DeepFool: Table 1 iterations vs the adapted 4x.
+        let t1_iters = if net == NetKind::LeNet5 { 5 } else { 3 };
+        for iters in [t1_iters, 4 * t1_iters] {
+            let df = DeepFool::new(0.01, iters).unwrap();
+            println!("  deepfool i={iters}: adv_acc={:.3}", adv_acc(&mut model, &df, &x, &y));
+        }
+        // IFGM at Table 1 values (used verbatim).
+        let (eps, iters) = if net == NetKind::LeNet5 { (10.0, 5) } else { (0.02, 12) };
+        let ifgm = Ifgm::new(eps, iters).unwrap();
+        println!("  ifgm eps={eps} i={iters}: adv_acc={:.3}", adv_acc(&mut model, &ifgm, &x, &y));
+    }
+}

@@ -1,0 +1,107 @@
+use advcomp_attacks::AttackError;
+use advcomp_compress::CompressError;
+use advcomp_data::DatasetError;
+use advcomp_nn::NnError;
+use advcomp_tensor::TensorError;
+use std::fmt;
+
+/// Errors from experiment setup and execution.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A network operation failed.
+    Nn(NnError),
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A compression pass failed.
+    Compress(CompressError),
+    /// An attack failed.
+    Attack(AttackError),
+    /// A dataset failed to build or load.
+    Data(DatasetError),
+    /// Checkpoint (de)serialisation failed.
+    Checkpoint(String),
+    /// Invalid experiment configuration.
+    InvalidConfig(String),
+    /// Writing results to disk failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Nn(e) => write!(f, "network error: {e}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Compress(e) => write!(f, "compression error: {e}"),
+            CoreError::Attack(e) => write!(f, "attack error: {e}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Nn(e) => Some(e),
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Compress(e) => Some(e),
+            CoreError::Attack(e) => Some(e),
+            CoreError::Data(e) => Some(e),
+            CoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+impl From<CompressError> for CoreError {
+    fn from(e: CompressError) -> Self {
+        CoreError::Compress(e)
+    }
+}
+impl From<AttackError> for CoreError {
+    fn from(e: AttackError) -> Self {
+        CoreError::Attack(e)
+    }
+}
+impl From<DatasetError> for CoreError {
+    fn from(e: DatasetError) -> Self {
+        CoreError::Data(e)
+    }
+}
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
+    }
+}
+impl From<advcomp_models::CheckpointError> for CoreError {
+    fn from(e: advcomp_models::CheckpointError) -> Self {
+        CoreError::Checkpoint(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_display() {
+        let e: CoreError = NnError::InvalidConfig("x".into()).into();
+        assert!(e.to_string().contains("network"));
+        let e: CoreError = TensorError::Empty("max").into();
+        assert!(e.to_string().contains("tensor"));
+        let e = CoreError::InvalidConfig("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

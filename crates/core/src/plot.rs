@@ -1,0 +1,148 @@
+//! Terminal line charts for sweep results.
+//!
+//! The paper's exhibits are line plots; these helpers render the same
+//! series as Unicode charts so `fig2`/`fig5` output is readable as a
+//! *figure*, not just a table. Pure string manipulation — no terminal
+//! control codes — so output is pipe- and log-safe.
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in plotting order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Renders series into a fixed-size character grid with axes and a legend.
+///
+/// `y` is assumed to be an accuracy-like quantity; the axis is fixed to
+/// `[0, 1]` when all values fit, otherwise it expands to the data range.
+/// Each series is drawn with its own glyph; later series overwrite earlier
+/// ones on collisions.
+pub fn ascii_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    const GLYPHS: [char; 6] = ['o', 'x', '+', '*', '#', '@'];
+    let width = width.max(16);
+    let height = height.max(4);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (0.0f64, 1.0f64);
+    for &(x, y) in &all {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if (xmax - xmin).abs() < f64::EPSILON {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < f64::EPSILON {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+            let cy = ((y - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let y_here = ymax - (ymax - ymin) * i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_here:6.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>7}{}\n",
+        "+",
+        "-".repeat(width)
+    ));
+    out.push_str(&format!(
+        "{:>8.2}{:>width$.2}\n",
+        xmin,
+        xmax,
+        width = width - 1
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("   {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<Series> {
+        vec![
+            Series::new("base", vec![(0.0, 1.0), (0.5, 0.9), (1.0, 0.2)]),
+            Series::new("attack", vec![(0.0, 0.1), (0.5, 0.2), (1.0, 0.15)]),
+        ]
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let chart = ascii_chart("Demo", &series(), 40, 10);
+        assert!(chart.starts_with("Demo\n"));
+        assert!(chart.contains("o base"));
+        assert!(chart.contains("x attack"));
+        assert!(chart.contains('|'));
+        assert!(chart.contains('+'));
+        // 10 grid rows plus title, axis and legend lines.
+        assert!(chart.lines().count() >= 13);
+    }
+
+    #[test]
+    fn points_land_in_grid() {
+        let chart = ascii_chart("t", &series(), 40, 10);
+        assert!(chart.contains('o'));
+        assert!(chart.contains('x'));
+    }
+
+    #[test]
+    fn empty_series_handled() {
+        let chart = ascii_chart("empty", &[], 30, 8);
+        assert!(chart.contains("(no data)"));
+        let chart = ascii_chart("empty", &[Series::new("s", vec![])], 30, 8);
+        assert!(chart.contains("(no data)"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let s = vec![Series::new("flat", vec![(2.0, 0.5), (2.0, 0.5)])];
+        let chart = ascii_chart("flat", &s, 20, 6);
+        assert!(chart.contains("flat"));
+    }
+
+    #[test]
+    fn high_values_at_top() {
+        // A single series with y rising in x: the glyph for the max-y point
+        // must appear on an earlier (higher) line than the min-y point.
+        let s = vec![Series::new("rise", vec![(0.0, 0.0), (1.0, 1.0)])];
+        let chart = ascii_chart("t", &s, 21, 7);
+        let lines: Vec<&str> = chart.lines().collect();
+        let top_line = lines.iter().position(|l| l.ends_with('o') || l.contains("o")).unwrap();
+        let bottom_line = lines.iter().rposition(|l| l.contains('o') && !l.contains("rise")).unwrap();
+        assert!(top_line < bottom_line);
+    }
+}

@@ -1,0 +1,198 @@
+//! Result tables: console (Markdown) and CSV output, plus JSON records.
+
+use crate::Result;
+use serde::Serialize;
+use std::path::Path;
+
+/// A rectangular result table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    /// Title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows; each must match `headers.len()`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width — a programmer
+    /// error in the exhibit binary.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders a Markdown table (what the exhibit binaries print).
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("## {}\n\n", self.title));
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(&widths) {
+                line.push_str(&format!(" {cell:<w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}-|", "-".repeat(w + 1)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes only where needed).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors.
+    pub fn write_csv(&self, path: &Path) -> Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())?;
+        Ok(())
+    }
+}
+
+/// Writes any serialisable experiment record as pretty JSON, creating
+/// parent directories.
+///
+/// # Errors
+///
+/// Returns I/O errors (serialisation of these plain records cannot fail).
+pub fn write_json<T: Serialize>(value: &T, path: &Path) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| crate::CoreError::InvalidConfig(format!("serialisation failed: {e}")))?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Formats an accuracy in percent with two decimals, e.g. `"85.93"`.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "hello".into()]);
+        t.push_row(vec!["2".into(), "wor,ld".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_render() {
+        let md = table().to_markdown();
+        assert!(md.contains("## Demo"));
+        // Column b is padded to the widest cell ("wor,ld", 6 chars).
+        assert!(md.contains("| a | b      |"));
+        assert!(md.contains("| 1 | hello  |"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let csv = table().to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"wor,ld\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_file_roundtrip() {
+        let dir = std::env::temp_dir().join("advcomp_report_test");
+        let path = dir.join("t.csv");
+        table().write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, table().to_csv());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn json_write() {
+        let dir = std::env::temp_dir().join("advcomp_report_test");
+        let path = dir.join("r.json");
+        write_json(&vec![1, 2, 3], &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains('1'));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.8593), "85.93");
+        assert_eq!(pct(1.0), "100.00");
+    }
+}

@@ -1,0 +1,153 @@
+//! Experiment scaling profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Knobs scaling every experiment between a CPU-quick profile and the full
+/// paper-shaped profile.
+///
+/// The paper trained LeNet5 for 350 epochs and CifarNet for 300 on GPUs;
+/// on a pure-CPU substrate we keep the *shape* of every run (same schedule
+/// family, same relative model widths, same attack parameters) and shrink
+/// the sizes. `ADVCOMP_SCALE=paper` selects the larger profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Width multiplier for LeNet5.
+    pub lenet5_width: f32,
+    /// Width multiplier for CifarNet.
+    pub cifarnet_width: f32,
+    /// Training-set size.
+    pub train_size: usize,
+    /// Test-set size.
+    pub test_size: usize,
+    /// Samples attacked per transfer evaluation (gradient attacks).
+    pub attack_eval: usize,
+    /// Samples attacked per DeepFool evaluation (it is per-sample iterative
+    /// and far more expensive).
+    pub deepfool_eval: usize,
+    /// Epochs for baseline training.
+    pub baseline_epochs: usize,
+    /// Epochs for post-compression fine-tuning.
+    pub finetune_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Pixel-noise level of the digit task.
+    pub digits_noise: f32,
+    /// Pixel-noise level of the object task.
+    pub objects_noise: f32,
+    /// Maximum parallel sweep points (0 = auto).
+    pub max_workers: usize,
+}
+
+impl ExperimentScale {
+    /// Minutes-scale profile: narrow models, small synthetic sets. The
+    /// default for tests and examples.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            lenet5_width: 0.5,
+            cifarnet_width: 0.5,
+            train_size: 1200,
+            test_size: 400,
+            attack_eval: 96,
+            deepfool_eval: 32,
+            baseline_epochs: 10,
+            finetune_epochs: 4,
+            batch_size: 32,
+            digits_noise: 0.05,
+            objects_noise: 0.10,
+            max_workers: 0,
+        }
+    }
+
+    /// Hours-scale profile: full-width models, larger sets, longer
+    /// schedules. Shapes match the paper's setup (width 1.0, three-decay
+    /// schedule); sizes remain CPU-feasible.
+    pub fn paper() -> Self {
+        ExperimentScale {
+            lenet5_width: 1.0,
+            cifarnet_width: 1.0,
+            train_size: 4096,
+            test_size: 1024,
+            attack_eval: 256,
+            deepfool_eval: 64,
+            baseline_epochs: 20,
+            finetune_epochs: 8,
+            batch_size: 32,
+            digits_noise: 0.05,
+            objects_noise: 0.10,
+            max_workers: 0,
+        }
+    }
+
+    /// Seconds-scale profile for unit/integration tests.
+    pub fn tiny() -> Self {
+        ExperimentScale {
+            lenet5_width: 0.5,
+            cifarnet_width: 0.35,
+            train_size: 400,
+            test_size: 160,
+            attack_eval: 48,
+            deepfool_eval: 12,
+            baseline_epochs: 6,
+            finetune_epochs: 2,
+            batch_size: 32,
+            digits_noise: 0.05,
+            objects_noise: 0.10,
+            max_workers: 0,
+        }
+    }
+
+    /// Reads `ADVCOMP_SCALE` (`tiny`, `quick`, `paper`); defaults to
+    /// [`ExperimentScale::quick`] when unset or unrecognised.
+    pub fn from_env() -> Self {
+        match std::env::var("ADVCOMP_SCALE").as_deref() {
+            Ok("paper") => Self::paper(),
+            Ok("tiny") => Self::tiny(),
+            _ => Self::quick(),
+        }
+    }
+
+    /// Resolved worker count for parallel sweeps.
+    pub fn workers(&self) -> usize {
+        if self.max_workers > 0 {
+            return self.max_workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, 8)
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_ordered_by_cost() {
+        let t = ExperimentScale::tiny();
+        let q = ExperimentScale::quick();
+        let p = ExperimentScale::paper();
+        assert!(t.train_size < q.train_size && q.train_size < p.train_size);
+        assert!(t.baseline_epochs <= q.baseline_epochs && q.baseline_epochs < p.baseline_epochs);
+        assert!(p.lenet5_width >= q.lenet5_width);
+    }
+
+    #[test]
+    fn workers_positive() {
+        assert!(ExperimentScale::quick().workers() >= 1);
+        let mut s = ExperimentScale::tiny();
+        s.max_workers = 3;
+        assert_eq!(s.workers(), 3);
+    }
+
+    #[test]
+    fn default_is_quick() {
+        assert_eq!(ExperimentScale::default(), ExperimentScale::quick());
+    }
+}

@@ -1,0 +1,545 @@
+//! Density and bitwidth sweeps — the machinery behind Figures 2–5.
+
+use crate::compression::Compression;
+use crate::runner::run_parallel;
+use crate::scale::ExperimentScale;
+use crate::trainer::{evaluate_model, TaskSetup, TrainedModel};
+use crate::{CoreError, Result};
+use advcomp_attacks::{AttackKind, NetKind, PaperParams};
+use advcomp_nn::Mode;
+use advcomp_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// One point on a Figure 2/5-style curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The sweep coordinate: weight density (pruning) or bitwidth
+    /// (quantisation).
+    pub x: f64,
+    /// Compression recipe identifier.
+    pub compression: String,
+    /// Clean test accuracy of the compressed model (the paper's blue
+    /// "BASE ACC" line).
+    pub base_accuracy: f64,
+    /// Scenario 1: accuracy of the compressed model on samples generated
+    /// from itself (green line).
+    pub comp_to_comp: f64,
+    /// Scenario 2: accuracy of the compressed model on samples generated
+    /// from the baseline (cyan line).
+    pub full_to_comp: f64,
+    /// Scenario 3: accuracy of the *baseline* on samples generated from the
+    /// compressed model (red line).
+    pub comp_to_full: f64,
+}
+
+/// A complete Figure 2/5 curve for one (network, attack) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Network identifier.
+    pub net: String,
+    /// Attack identifier.
+    pub attack: String,
+    /// Clean test accuracy of the uncompressed baseline.
+    pub baseline_accuracy: f64,
+    /// Final training loss of the baseline (LeNet5's is much smaller than
+    /// CifarNet's — the paper's §4.1 explanation for attack difficulty).
+    pub baseline_loss: f32,
+    /// Points in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Recipe list builders shared by [`TransferSweep`] and [`TransferMatrix`].
+fn pruning_recipes(densities: &[f64], one_shot: bool) -> Vec<(f64, Compression)> {
+    densities
+        .iter()
+        .map(|&d| {
+            if d >= 1.0 {
+                (d, Compression::None)
+            } else if one_shot {
+                (d, Compression::OneShotPrune { density: d })
+            } else {
+                (d, Compression::DnsPrune { density: d })
+            }
+        })
+        .collect()
+}
+
+fn quant_recipes(bitwidths: &[u32], weights_only: bool) -> Vec<(f64, Compression)> {
+    bitwidths
+        .iter()
+        .map(|&b| {
+            if b >= 32 {
+                (b as f64, Compression::None)
+            } else {
+                (b as f64, Compression::Quant { bitwidth: b, weights_only })
+            }
+        })
+        .collect()
+}
+
+/// A full exhibit run: one trained baseline, a family of compressed
+/// variants, and **several attacks** evaluated on each variant. Compressing
+/// once per recipe and reusing it across attacks is what makes Figures 2
+/// and 5 affordable on CPU.
+#[derive(Debug, Clone)]
+pub struct TransferMatrix {
+    /// Which network to train and compress.
+    pub net: NetKind,
+    /// Attacks to evaluate (at their Table 1 parameters).
+    pub attacks: Vec<AttackKind>,
+    /// `(x coordinate, recipe)` pairs, e.g. densities or bitwidths.
+    pub recipes: Vec<(f64, Compression)>,
+}
+
+impl TransferMatrix {
+    /// Figure 2: DNS-pruning sweep over `densities` for all `attacks`.
+    pub fn pruning(net: NetKind, attacks: Vec<AttackKind>, densities: &[f64]) -> Self {
+        TransferMatrix {
+            net,
+            attacks,
+            recipes: pruning_recipes(densities, false),
+        }
+    }
+
+    /// Ablation: one-shot pruning instead of DNS.
+    pub fn pruning_one_shot(net: NetKind, attacks: Vec<AttackKind>, densities: &[f64]) -> Self {
+        TransferMatrix {
+            net,
+            attacks,
+            recipes: pruning_recipes(densities, true),
+        }
+    }
+
+    /// Figure 5: weight+activation quantisation sweep over `bitwidths`
+    /// (32 = float32 baseline).
+    pub fn quantisation(net: NetKind, attacks: Vec<AttackKind>, bitwidths: &[u32]) -> Self {
+        TransferMatrix {
+            net,
+            attacks,
+            recipes: quant_recipes(bitwidths, false),
+        }
+    }
+
+    /// Ablation: weights-only quantisation (isolates the activation
+    /// clipping effect of §4.2).
+    pub fn quantisation_weights_only(
+        net: NetKind,
+        attacks: Vec<AttackKind>,
+        bitwidths: &[u32],
+    ) -> Self {
+        TransferMatrix {
+            net,
+            attacks,
+            recipes: quant_recipes(bitwidths, true),
+        }
+    }
+
+    /// Runs the matrix: trains the baseline once (seed 7), compresses each
+    /// recipe once, evaluates all attacks on it, and returns one
+    /// [`SweepResult`] per attack (in `self.attacks` order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training, compression and attack errors; rejects empty
+    /// attack or recipe lists.
+    pub fn run(&self, scale: &ExperimentScale) -> Result<Vec<SweepResult>> {
+        self.run_with_baseline_seed(scale, 7)
+    }
+
+    /// [`TransferMatrix::run`] with an explicit baseline-training seed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TransferMatrix::run`].
+    pub fn run_with_baseline_seed(
+        &self,
+        scale: &ExperimentScale,
+        seed: u64,
+    ) -> Result<Vec<SweepResult>> {
+        if self.recipes.is_empty() {
+            return Err(CoreError::InvalidConfig("sweep has no recipes".into()));
+        }
+        if self.attacks.is_empty() {
+            return Err(CoreError::InvalidConfig("sweep has no attacks".into()));
+        }
+        let setup = TaskSetup::new(self.net, scale);
+        let baseline = TrainedModel::train(&setup, scale, seed)?;
+        let finetune_cfg = setup.finetune_config(scale);
+
+        // Per-attack evaluation sets and baseline-generated adversarial
+        // samples (Scenario 2 inputs) — these do not depend on the recipe,
+        // so compute them once.
+        let mut eval_sets: Vec<(Tensor, Vec<usize>)> = Vec::new();
+        let mut adv_from_full: Vec<Tensor> = Vec::new();
+        {
+            let mut full = baseline.instantiate()?;
+            for &kind in &self.attacks {
+                let n = eval_count(kind, scale, setup.test.len());
+                let (x, y) = setup.test.slice(0, n)?;
+                let attack = PaperParams::build_adapted(self.net, kind);
+                let adv = attack.generate(&mut full, &x, &y)?;
+                eval_sets.push((x, y));
+                adv_from_full.push(adv);
+            }
+        }
+
+        struct RecipeOutcome {
+            base_accuracy: f64,
+            // One (s1, s2, s3) triple per attack.
+            scenarios: Vec<(f64, f64, f64)>,
+        }
+
+        let jobs: Vec<_> = self
+            .recipes
+            .iter()
+            .map(|(_, recipe)| {
+                let recipe = *recipe;
+                let setup = &setup;
+                let baseline = &baseline;
+                let finetune_cfg = finetune_cfg.clone();
+                let eval_sets = &eval_sets;
+                let adv_from_full = &adv_from_full;
+                let net = self.net;
+                let attacks = &self.attacks;
+                move || -> Result<RecipeOutcome> {
+                    let mut comp = baseline.instantiate()?;
+                    recipe.apply(&mut comp, &setup.train, &finetune_cfg)?;
+                    let mut full = baseline.instantiate()?;
+                    let base_accuracy = evaluate_model(&mut comp, &setup.test, 64)?;
+                    let mut scenarios = Vec::with_capacity(attacks.len());
+                    for (i, &kind) in attacks.iter().enumerate() {
+                        let (x, y) = &eval_sets[i];
+                        let attack = PaperParams::build_adapted(net, kind);
+                        // One generation on the compressed model serves both
+                        // Scenario 1 (evaluate on itself) and Scenario 3
+                        // (evaluate on the hidden baseline).
+                        let adv_comp = attack.generate(&mut comp, x, y)?;
+                        let s1 = accuracy_on(&mut comp, &adv_comp, y)?;
+                        let s3 = accuracy_on(&mut full, &adv_comp, y)?;
+                        let s2 = accuracy_on(&mut comp, &adv_from_full[i], y)?;
+                        scenarios.push((s1, s2, s3));
+                    }
+                    Ok(RecipeOutcome {
+                        base_accuracy,
+                        scenarios,
+                    })
+                }
+            })
+            .collect();
+
+        let outcomes = run_parallel(jobs, scale.workers());
+        let mut per_recipe = Vec::with_capacity(outcomes.len());
+        for o in outcomes {
+            per_recipe.push(o?);
+        }
+
+        let results = self
+            .attacks
+            .iter()
+            .enumerate()
+            .map(|(ai, &kind)| SweepResult {
+                net: self.net.id().into(),
+                attack: kind.id().into(),
+                baseline_accuracy: baseline.test_accuracy,
+                baseline_loss: baseline.final_loss,
+                points: self
+                    .recipes
+                    .iter()
+                    .zip(&per_recipe)
+                    .map(|((coord, recipe), out)| {
+                        let (s1, s2, s3) = out.scenarios[ai];
+                        SweepPoint {
+                            x: *coord,
+                            compression: recipe.id(),
+                            base_accuracy: out.base_accuracy,
+                            comp_to_comp: s1,
+                            full_to_comp: s2,
+                            comp_to_full: s3,
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        Ok(results)
+    }
+}
+
+/// A single-attack sweep — the one-curve convenience wrapper over
+/// [`TransferMatrix`].
+#[derive(Debug, Clone)]
+pub struct TransferSweep {
+    /// Which network to train and compress.
+    pub net: NetKind,
+    /// Which attack (at its Table 1 parameters) to evaluate.
+    pub attack: AttackKind,
+    /// `(x coordinate, recipe)` pairs.
+    pub recipes: Vec<(f64, Compression)>,
+}
+
+impl TransferSweep {
+    /// The Figure 2 pruning sweep (DNS, as in the paper).
+    pub fn pruning(net: NetKind, attack: AttackKind, densities: &[f64]) -> Self {
+        TransferSweep {
+            net,
+            attack,
+            recipes: pruning_recipes(densities, false),
+        }
+    }
+
+    /// One-shot pruning ablation.
+    pub fn pruning_one_shot(net: NetKind, attack: AttackKind, densities: &[f64]) -> Self {
+        TransferSweep {
+            net,
+            attack,
+            recipes: pruning_recipes(densities, true),
+        }
+    }
+
+    /// The Figure 5 quantisation sweep (32 = float32 baseline).
+    pub fn quantisation(net: NetKind, attack: AttackKind, bitwidths: &[u32]) -> Self {
+        TransferSweep {
+            net,
+            attack,
+            recipes: quant_recipes(bitwidths, false),
+        }
+    }
+
+    /// Weights-only quantisation ablation.
+    pub fn quantisation_weights_only(net: NetKind, attack: AttackKind, bitwidths: &[u32]) -> Self {
+        TransferSweep {
+            net,
+            attack,
+            recipes: quant_recipes(bitwidths, true),
+        }
+    }
+
+    /// Runs the sweep (see [`TransferMatrix::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training, compression and attack errors.
+    pub fn run(&self, scale: &ExperimentScale) -> Result<SweepResult> {
+        let matrix = TransferMatrix {
+            net: self.net,
+            attacks: vec![self.attack],
+            recipes: self.recipes.clone(),
+        };
+        let mut results = matrix.run(scale)?;
+        Ok(results.remove(0))
+    }
+}
+
+fn eval_count(attack: AttackKind, scale: &ExperimentScale, test_len: usize) -> usize {
+    let want = match attack {
+        AttackKind::DeepFool => scale.deepfool_eval,
+        _ => scale.attack_eval,
+    };
+    want.min(test_len).max(1)
+}
+
+fn accuracy_on(
+    model: &mut advcomp_nn::Sequential,
+    x: &Tensor,
+    labels: &[usize],
+) -> Result<f64> {
+    let logits = model.forward(x, Mode::Eval)?;
+    Ok(advcomp_nn::accuracy(&logits, labels)?)
+}
+
+/// One point of the Figure 3 grid: white-box attack strength versus (ε,
+/// iterations) on the uncompressed model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpsilonPoint {
+    /// Attack step size.
+    pub epsilon: f32,
+    /// Attack iteration count.
+    pub iterations: usize,
+    /// Accuracy of the attacked model on the adversarial samples.
+    pub adversarial_accuracy: f64,
+}
+
+/// Runs the Figure 3 grid: the white-box attack on `trained` for every
+/// (ε, iterations) combination.
+///
+/// # Errors
+///
+/// Propagates attack errors; rejects empty grids and non-FGM attacks.
+pub fn epsilon_grid(
+    trained: &TrainedModel,
+    setup: &TaskSetup,
+    attack: AttackKind,
+    epsilons: &[f32],
+    iterations: &[usize],
+    scale: &ExperimentScale,
+) -> Result<Vec<EpsilonPoint>> {
+    if epsilons.is_empty() || iterations.is_empty() {
+        return Err(CoreError::InvalidConfig("empty epsilon/iteration grid".into()));
+    }
+    if attack == AttackKind::DeepFool {
+        return Err(CoreError::InvalidConfig(
+            "Figure 3 sweeps IFGSM/IFGM, not DeepFool".into(),
+        ));
+    }
+    let eval_n = scale.attack_eval.min(setup.test.len()).max(1);
+    let (x, y) = setup.test.slice(0, eval_n)?;
+    let jobs: Vec<_> = epsilons
+        .iter()
+        .flat_map(|&eps| iterations.iter().map(move |&it| (eps, it)))
+        .map(|(eps, it)| {
+            let x = x.clone();
+            let y = y.clone();
+            move || -> Result<EpsilonPoint> {
+                let attack_obj: Box<dyn advcomp_attacks::Attack> = match attack {
+                    AttackKind::Ifgsm => Box::new(
+                        advcomp_attacks::Ifgsm::new(eps, it).map_err(CoreError::Attack)?,
+                    ),
+                    AttackKind::Ifgm => Box::new(
+                        advcomp_attacks::Ifgm::new(eps, it).map_err(CoreError::Attack)?,
+                    ),
+                    AttackKind::DeepFool => unreachable!("rejected above"),
+                };
+                let mut model = trained.instantiate()?;
+                let adv = attack_obj.generate(&mut model, &x, &y)?;
+                let acc = accuracy_on(&mut model, &adv, &y)?;
+                Ok(EpsilonPoint {
+                    epsilon: eps,
+                    iterations: it,
+                    adversarial_accuracy: acc,
+                })
+            }
+        })
+        .collect();
+    let outcomes = run_parallel(jobs, scale.workers());
+    let mut points = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        points.push(o?);
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn densities() -> Vec<f64> {
+        vec![1.0, 0.5, 0.1]
+    }
+
+    #[test]
+    fn pruning_sweep_shapes() {
+        let sweep = TransferSweep::pruning(NetKind::LeNet5, AttackKind::Ifgsm, &densities());
+        assert_eq!(sweep.recipes.len(), 3);
+        assert_eq!(sweep.recipes[0].1, Compression::None);
+        assert!(matches!(sweep.recipes[1].1, Compression::DnsPrune { .. }));
+        let os = TransferSweep::pruning_one_shot(NetKind::LeNet5, AttackKind::Ifgsm, &[0.5]);
+        assert!(matches!(os.recipes[0].1, Compression::OneShotPrune { .. }));
+    }
+
+    #[test]
+    fn quant_sweep_baseline_at_32() {
+        let sweep = TransferSweep::quantisation(NetKind::CifarNet, AttackKind::Ifgm, &[4, 8, 32]);
+        assert_eq!(sweep.recipes[2].1, Compression::None);
+        assert!(matches!(
+            sweep.recipes[0].1,
+            Compression::Quant { bitwidth: 4, weights_only: false }
+        ));
+        let wo =
+            TransferSweep::quantisation_weights_only(NetKind::CifarNet, AttackKind::Ifgm, &[8]);
+        assert!(matches!(
+            wo.recipes[0].1,
+            Compression::Quant { bitwidth: 8, weights_only: true }
+        ));
+    }
+
+    #[test]
+    fn empty_sweep_rejected() {
+        let sweep = TransferSweep {
+            net: NetKind::LeNet5,
+            attack: AttackKind::Ifgsm,
+            recipes: vec![],
+        };
+        assert!(sweep.run(&ExperimentScale::tiny()).is_err());
+        let matrix = TransferMatrix {
+            net: NetKind::LeNet5,
+            attacks: vec![],
+            recipes: pruning_recipes(&[1.0], false),
+        };
+        assert!(matrix.run(&ExperimentScale::tiny()).is_err());
+    }
+
+    #[test]
+    fn tiny_pruning_sweep_end_to_end() {
+        let scale = ExperimentScale::tiny();
+        let sweep = TransferSweep::pruning(NetKind::LeNet5, AttackKind::Ifgsm, &[1.0, 0.3]);
+        let result = sweep.run(&scale).unwrap();
+        assert_eq!(result.points.len(), 2);
+        assert!(result.baseline_accuracy > 0.8);
+        let p0 = &result.points[0]; // density 1.0 = identity compression
+        // At identity compression, Scenario 1 (generate on comp, apply to
+        // comp) and Scenario 3 (apply to baseline) see identical weights so
+        // must agree exactly; Scenario 2's samples come from the same model.
+        assert!((p0.comp_to_comp - p0.comp_to_full).abs() < 1e-9);
+        assert!((p0.comp_to_comp - p0.full_to_comp).abs() < 1e-9);
+        assert!((p0.base_accuracy - result.baseline_accuracy).abs() < 1e-9);
+        // White-box attack hurts.
+        assert!(p0.comp_to_comp < p0.base_accuracy - 0.15);
+        for p in &result.points {
+            for v in [p.base_accuracy, p.comp_to_comp, p.full_to_comp, p.comp_to_full] {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_shares_baseline_across_attacks() {
+        let scale = ExperimentScale::tiny();
+        let matrix = TransferMatrix::pruning(
+            NetKind::LeNet5,
+            vec![AttackKind::Ifgsm, AttackKind::Ifgm],
+            &[1.0, 0.3],
+        );
+        let results = matrix.run(&scale).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].attack, "ifgsm");
+        assert_eq!(results[1].attack, "ifgm");
+        // Same baseline, same compressed models → identical base accuracy
+        // columns.
+        assert_eq!(results[0].baseline_accuracy, results[1].baseline_accuracy);
+        for (a, b) in results[0].points.iter().zip(&results[1].points) {
+            assert_eq!(a.base_accuracy, b.base_accuracy);
+            assert_eq!(a.compression, b.compression);
+        }
+    }
+
+    #[test]
+    fn epsilon_grid_monotone_in_epsilon() {
+        let scale = ExperimentScale::tiny();
+        let setup = TaskSetup::new(NetKind::LeNet5, &scale);
+        let trained = TrainedModel::train(&setup, &scale, 3).unwrap();
+        let pts = epsilon_grid(
+            &trained,
+            &setup,
+            AttackKind::Ifgsm,
+            &[0.005, 0.1],
+            &[4],
+            &scale,
+        )
+        .unwrap();
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[1].adversarial_accuracy <= pts[0].adversarial_accuracy + 0.05,
+            "bigger epsilon should hurt at least as much: {pts:?}"
+        );
+    }
+
+    #[test]
+    fn epsilon_grid_validation() {
+        let scale = ExperimentScale::tiny();
+        let setup = TaskSetup::new(NetKind::LeNet5, &scale);
+        let trained = TrainedModel::train(&setup, &scale, 3).unwrap();
+        assert!(epsilon_grid(&trained, &setup, AttackKind::Ifgsm, &[], &[1], &scale).is_err());
+        assert!(
+            epsilon_grid(&trained, &setup, AttackKind::DeepFool, &[0.1], &[1], &scale).is_err()
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Mini-batch iteration.
+
+use crate::dataset::Dataset;
+use advcomp_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Batching plan over a [`Dataset`]: optionally shuffled, fixed batch size,
+/// final partial batch included.
+#[derive(Debug)]
+pub struct Batches {
+    order: Vec<usize>,
+    batch_size: usize,
+}
+
+impl Batches {
+    /// Sequential (unshuffled) batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size` is zero.
+    pub fn sequential(len: usize, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch_size must be >= 1");
+        Batches {
+            order: (0..len).collect(),
+            batch_size,
+        }
+    }
+
+    /// Seeded shuffled batches (fresh seed per epoch gives SGD its
+    /// stochasticity while keeping runs reproducible).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `batch_size` is zero.
+    pub fn shuffled(len: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch_size must be >= 1");
+        let mut order: Vec<usize> = (0..len).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        order.shuffle(&mut rng);
+        Batches { order, batch_size }
+    }
+
+    /// Number of batches this plan will yield.
+    pub fn num_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+
+    /// Iterates `(images, labels)` mini-batches over `dataset`.
+    pub fn iter<'a>(&'a self, dataset: &'a Dataset) -> BatchIter<'a> {
+        BatchIter {
+            plan: self,
+            dataset,
+            cursor: 0,
+        }
+    }
+
+    /// Iterates the raw index batches of the plan — for callers batching
+    /// over data that is not a [`Dataset`] (e.g. an unlabeled probe tensor).
+    pub fn index_batches(&self) -> impl Iterator<Item = &[usize]> {
+        self.order.chunks(self.batch_size)
+    }
+}
+
+/// Iterator over `(images, labels)` mini-batches produced by [`Batches`].
+#[derive(Debug)]
+pub struct BatchIter<'a> {
+    plan: &'a Batches,
+    dataset: &'a Dataset,
+    cursor: usize,
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.plan.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.plan.batch_size).min(self.plan.order.len());
+        let idx = &self.plan.order[self.cursor..end];
+        self.cursor = end;
+        // Indices come from 0..len, so gather cannot fail.
+        let (images, labels) = self
+            .dataset
+            .gather(idx)
+            .expect("batch indices are in range by construction");
+        Some((images, labels))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> Dataset {
+        let images = Tensor::new(
+            &[n, 1, 1, 1],
+            (0..n).map(|v| v as f32).collect(),
+        )
+        .unwrap();
+        Dataset::new(images, (0..n).map(|v| v % 3).collect(), 3).unwrap()
+    }
+
+    #[test]
+    fn sequential_covers_everything_in_order() {
+        let d = dataset(5);
+        let plan = Batches::sequential(5, 2);
+        assert_eq!(plan.num_batches(), 3);
+        let batches: Vec<_> = plan.iter(&d).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].0.data(), &[0.0, 1.0]);
+        assert_eq!(batches[2].0.data(), &[4.0]); // partial final batch
+        assert_eq!(batches[2].1, vec![1]);
+    }
+
+    #[test]
+    fn shuffled_is_permutation() {
+        let d = dataset(10);
+        let plan = Batches::shuffled(10, 3, 42);
+        let mut seen: Vec<f32> = plan.iter(&d).flat_map(|(imgs, _)| imgs.into_data()).collect();
+        seen.sort_by(f32::total_cmp);
+        assert_eq!(seen, (0..10).map(|v| v as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffled_deterministic_per_seed() {
+        let d = dataset(8);
+        let a: Vec<f32> = Batches::shuffled(8, 8, 7).iter(&d).next().unwrap().0.into_data();
+        let b: Vec<f32> = Batches::shuffled(8, 8, 7).iter(&d).next().unwrap().0.into_data();
+        let c: Vec<f32> = Batches::shuffled(8, 8, 8).iter(&d).next().unwrap().0.into_data();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn zero_batch_size_panics() {
+        Batches::sequential(4, 0);
+    }
+
+    #[test]
+    fn index_batches_cover_all() {
+        let plan = Batches::shuffled(10, 3, 42);
+        let mut seen: Vec<usize> = plan.index_batches().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(plan.index_batches().count(), 4);
+        assert!(plan.index_batches().all(|b| b.len() <= 3));
+    }
+
+    #[test]
+    fn labels_track_images() {
+        let d = dataset(6);
+        for (imgs, labels) in Batches::shuffled(6, 2, 3).iter(&d) {
+            for (k, &label) in labels.iter().enumerate() {
+                let v = imgs.data()[k] as usize;
+                assert_eq!(label, v % 3);
+            }
+        }
+    }
+}

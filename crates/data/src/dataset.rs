@@ -1,0 +1,357 @@
+//! Labelled image dataset container.
+
+use advcomp_tensor::{Tensor, TensorError};
+use std::fmt;
+
+/// Errors from dataset construction or access.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Image tensor / label list mismatch or malformed image tensor.
+    Malformed(String),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// A real-data file could not be read or parsed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Malformed(msg) => write!(f, "malformed dataset: {msg}"),
+            DatasetError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DatasetError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Tensor(e) => Some(e),
+            DatasetError::Io(e) => Some(e),
+            DatasetError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<TensorError> for DatasetError {
+    fn from(e: TensorError) -> Self {
+        DatasetError::Tensor(e)
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+/// Size and randomness knobs shared by the synthetic generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetConfig {
+    /// Number of training samples.
+    pub train: usize,
+    /// Number of test samples.
+    pub test: usize,
+    /// RNG seed — the paper's paired comparisons require each model variant
+    /// to see identical data.
+    pub seed: u64,
+    /// Additive pixel-noise standard deviation.
+    pub noise: f32,
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        DatasetConfig {
+            train: 2048,
+            test: 512,
+            seed: 0,
+            noise: 0.05,
+        }
+    }
+}
+
+/// A labelled image dataset: an NCHW image tensor with pixel values in
+/// `[0, 1]` plus one class label per image.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that images are 4-D NCHW, counts match
+    /// and labels are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Malformed`] on any inconsistency.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self, DatasetError> {
+        if images.ndim() != 4 {
+            return Err(DatasetError::Malformed(format!(
+                "images must be NCHW, got rank {}",
+                images.ndim()
+            )));
+        }
+        if images.shape()[0] != labels.len() {
+            return Err(DatasetError::Malformed(format!(
+                "{} images but {} labels",
+                images.shape()[0],
+                labels.len()
+            )));
+        }
+        if num_classes == 0 {
+            return Err(DatasetError::Malformed("num_classes must be >= 1".into()));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DatasetError::Malformed(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        Ok(Dataset {
+            images,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The full NCHW image tensor.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// All labels, aligned with the image batch axis.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Shape of a single sample (`[c, h, w]`).
+    pub fn sample_shape(&self) -> &[usize] {
+        &self.images.shape()[1..]
+    }
+
+    /// Copies out sample `i` as `([1, c, h, w] tensor, label)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor index error when `i` is out of bounds.
+    pub fn sample(&self, i: usize) -> Result<(Tensor, usize), DatasetError> {
+        let img = self.images.narrow(i, 1)?;
+        Ok((img, self.labels[i]))
+    }
+
+    /// Copies a contiguous range of samples as a mini-batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor index error when the range is out of bounds.
+    pub fn slice(&self, start: usize, len: usize) -> Result<(Tensor, Vec<usize>), DatasetError> {
+        let imgs = self.images.narrow(start, len)?;
+        Ok((imgs, self.labels[start..start + len].to_vec()))
+    }
+
+    /// Copies the samples at `indices` (used by shuffled batching).
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor index error for any out-of-range index.
+    pub fn gather(&self, indices: &[usize]) -> Result<(Tensor, Vec<usize>), DatasetError> {
+        let mut imgs = Vec::with_capacity(indices.len());
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            imgs.push(self.images.index_axis0(i)?);
+            labels.push(self.labels[i]);
+        }
+        Ok((Tensor::stack(&imgs)?, labels))
+    }
+
+    /// Takes the first `n` samples as a new dataset (subsampling for quick
+    /// experiment scales).
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor index error when `n` exceeds the dataset.
+    pub fn take(&self, n: usize) -> Result<Dataset, DatasetError> {
+        let (images, labels) = self.slice(0, n)?;
+        Dataset::new(images, labels, self.num_classes)
+    }
+
+    /// Splits into `(first n, rest)` — e.g. carving a validation set out of
+    /// a training split.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor index error when `n` exceeds the dataset.
+    pub fn split_at(&self, n: usize) -> Result<(Dataset, Dataset), DatasetError> {
+        let (a_img, a_lab) = self.slice(0, n)?;
+        let (b_img, b_lab) = self.slice(n, self.len() - n)?;
+        Ok((
+            Dataset::new(a_img, a_lab, self.num_classes)?,
+            Dataset::new(b_img, b_lab, self.num_classes)?,
+        ))
+    }
+
+    /// Concatenates two datasets over the same label space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::Malformed`] when class counts or sample
+    /// shapes differ.
+    pub fn merge(&self, other: &Dataset) -> Result<Dataset, DatasetError> {
+        if self.num_classes != other.num_classes {
+            return Err(DatasetError::Malformed(format!(
+                "class count mismatch: {} vs {}",
+                self.num_classes, other.num_classes
+            )));
+        }
+        let images = Tensor::concat0(&[self.images.clone(), other.images.clone()])
+            .map_err(|e| DatasetError::Malformed(format!("incompatible sample shapes: {e}")))?;
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Dataset::new(images, labels, self.num_classes)
+    }
+
+    /// Keeps only samples whose label satisfies `keep` (e.g. a binary
+    /// sub-task or a class-conditional probe set).
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error only on internal index bugs (infallible for a
+    /// well-formed dataset).
+    pub fn filter_by_class<F: Fn(usize) -> bool>(&self, keep: F) -> Result<Dataset, DatasetError> {
+        let indices: Vec<usize> = self
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| keep(l))
+            .map(|(i, _)| i)
+            .collect();
+        if indices.is_empty() {
+            // An empty NCHW tensor keeps the sample shape.
+            let mut shape = vec![0usize];
+            shape.extend_from_slice(self.sample_shape());
+            return Dataset::new(Tensor::zeros(&shape), Vec::new(), self.num_classes);
+        }
+        let (images, labels) = self.gather(&indices)?;
+        Dataset::new(images, labels, self.num_classes)
+    }
+
+    /// Per-class sample counts (index = class).
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::new(&[4, 1, 2, 2], (0..16).map(|v| v as f32 / 16.0).collect()).unwrap();
+        Dataset::new(images, vec![0, 1, 2, 1], 3).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        let images = Tensor::zeros(&[2, 1, 2, 2]);
+        assert!(Dataset::new(images.clone(), vec![0], 2).is_err());
+        assert!(Dataset::new(images.clone(), vec![0, 5], 2).is_err());
+        assert!(Dataset::new(images.clone(), vec![0, 1], 0).is_err());
+        assert!(Dataset::new(Tensor::zeros(&[2, 4]), vec![0, 1], 2).is_err());
+        assert!(Dataset::new(images, vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.sample_shape(), &[1, 2, 2]);
+    }
+
+    #[test]
+    fn sample_and_slice() {
+        let d = tiny();
+        let (img, label) = d.sample(1).unwrap();
+        assert_eq!(img.shape(), &[1, 1, 2, 2]);
+        assert_eq!(label, 1);
+        let (batch, labels) = d.slice(1, 2).unwrap();
+        assert_eq!(batch.shape(), &[2, 1, 2, 2]);
+        assert_eq!(labels, vec![1, 2]);
+        assert!(d.slice(3, 2).is_err());
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let d = tiny();
+        let (batch, labels) = d.gather(&[3, 0]).unwrap();
+        assert_eq!(batch.shape(), &[2, 1, 2, 2]);
+        assert_eq!(labels, vec![1, 0]);
+        assert_eq!(batch.data()[0], d.images().data()[12]);
+    }
+
+    #[test]
+    fn take_subsamples() {
+        let d = tiny().take(2).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.labels(), &[0, 1]);
+    }
+
+    #[test]
+    fn split_and_merge_roundtrip() {
+        let d = tiny();
+        let (a, b) = d.split_at(1).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 3);
+        let merged = a.merge(&b).unwrap();
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged.labels(), d.labels());
+        assert_eq!(merged.images().data(), d.images().data());
+    }
+
+    #[test]
+    fn merge_rejects_mismatches() {
+        let d = tiny();
+        let other = Dataset::new(Tensor::zeros(&[1, 1, 2, 2]), vec![0], 5).unwrap();
+        assert!(d.merge(&other).is_err());
+        let bad_shape = Dataset::new(Tensor::zeros(&[1, 1, 3, 3]), vec![0], 3).unwrap();
+        assert!(d.merge(&bad_shape).is_err());
+    }
+
+    #[test]
+    fn filter_by_class_selects() {
+        let d = tiny(); // labels [0, 1, 2, 1]
+        let ones = d.filter_by_class(|l| l == 1).unwrap();
+        assert_eq!(ones.len(), 2);
+        assert!(ones.labels().iter().all(|&l| l == 1));
+        let none = d.filter_by_class(|_| false).unwrap();
+        assert_eq!(none.len(), 0);
+        assert_eq!(none.sample_shape(), d.sample_shape());
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        assert_eq!(tiny().class_histogram(), vec![1, 2, 1]);
+    }
+}

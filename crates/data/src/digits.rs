@@ -1,0 +1,184 @@
+//! `SynthDigits`: the MNIST stand-in.
+//!
+//! Each class renders a seven-segment-style digit skeleton as anti-aliased
+//! strokes, then applies a per-sample random affine (rotation, scale,
+//! translation), stroke-thickness jitter and additive Gaussian pixel noise.
+//! The task difficulty matches MNIST closely: LeNet5-class networks reach
+//! ≥99% test accuracy, which is what the paper's §4.1 "LeNet5 is less
+//! attackable because its loss is tiny" argument depends on.
+
+use crate::dataset::{Dataset, DatasetConfig};
+use crate::render::{render_strokes, Affine, Point};
+use advcomp_tensor::Tensor;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_distr::{Distribution, Normal};
+
+/// Generator for the synthetic digit dataset (28×28 greyscale, 10 classes).
+#[derive(Debug, Clone, Copy)]
+pub struct SynthDigits;
+
+/// Image side length, matching MNIST.
+pub const SIDE: usize = 28;
+
+// Seven-segment endpoint geometry in normalised coordinates.
+// Segments: A top, B top-right, C bottom-right, D bottom, E bottom-left,
+// F top-left, G middle.
+const X0: f32 = 0.32;
+const X1: f32 = 0.68;
+const Y0: f32 = 0.22;
+const Y1: f32 = 0.50;
+const Y2: f32 = 0.78;
+
+fn segment(idx: usize) -> Vec<Point> {
+    match idx {
+        0 => vec![(X0, Y0), (X1, Y0)], // A
+        1 => vec![(X1, Y0), (X1, Y1)], // B
+        2 => vec![(X1, Y1), (X1, Y2)], // C
+        3 => vec![(X0, Y2), (X1, Y2)], // D
+        4 => vec![(X0, Y1), (X0, Y2)], // E
+        5 => vec![(X0, Y0), (X0, Y1)], // F
+        _ => vec![(X0, Y1), (X1, Y1)], // G
+    }
+}
+
+/// Active segments per digit (standard seven-segment encoding).
+const DIGIT_SEGMENTS: [&[usize]; 10] = [
+    &[0, 1, 2, 3, 4, 5],    // 0
+    &[1, 2],                // 1
+    &[0, 1, 6, 4, 3],       // 2
+    &[0, 1, 6, 2, 3],       // 3
+    &[5, 6, 1, 2],          // 4
+    &[0, 5, 6, 2, 3],       // 5
+    &[0, 5, 4, 3, 2, 6],    // 6
+    &[0, 1, 2],             // 7
+    &[0, 1, 2, 3, 4, 5, 6], // 8
+    &[0, 1, 2, 3, 5, 6],    // 9
+];
+
+impl SynthDigits {
+    /// Generates `(train, test)` datasets from the config.
+    ///
+    /// Deterministic for a given `cfg`: train and test use independent
+    /// streams derived from `cfg.seed`, so resizing one never perturbs the
+    /// other.
+    pub fn generate(cfg: &DatasetConfig) -> (Dataset, Dataset) {
+        let train = Self::split(cfg.train, cfg.seed.wrapping_mul(2).wrapping_add(1), cfg.noise);
+        let test = Self::split(cfg.test, cfg.seed.wrapping_mul(2).wrapping_add(2), cfg.noise);
+        (train, test)
+    }
+
+    fn split(n: usize, seed: u64, noise: f32) -> Dataset {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let gauss = Normal::new(0.0f32, noise.max(0.0)).expect("noise >= 0");
+        let mut data = vec![0.0f32; n * SIDE * SIDE];
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            // Balanced classes in generation order; batching shuffles.
+            let label = i % 10;
+            labels.push(label);
+            let plane = &mut data[i * SIDE * SIDE..(i + 1) * SIDE * SIDE];
+            render_digit(plane, label, &mut rng);
+            if noise > 0.0 {
+                for v in plane.iter_mut() {
+                    *v = (*v + gauss.sample(&mut rng)).clamp(0.0, 1.0);
+                }
+            }
+        }
+        let images = Tensor::new(&[n, 1, SIDE, SIDE], data).expect("size computed from n");
+        Dataset::new(images, labels, 10).expect("labels constructed in range")
+    }
+}
+
+fn render_digit<R: Rng + ?Sized>(plane: &mut [f32], digit: usize, rng: &mut R) {
+    let strokes: Vec<Vec<Point>> = DIGIT_SEGMENTS[digit].iter().map(|&s| segment(s)).collect();
+    let angle = rng.gen_range(-0.22f32..0.22);
+    let scale = rng.gen_range(0.85f32..1.2);
+    let tx = rng.gen_range(-0.06f32..0.06);
+    let ty = rng.gen_range(-0.06f32..0.06);
+    let thickness = rng.gen_range(0.035f32..0.06);
+    let transform = Affine::new(angle, scale, tx, ty);
+    render_strokes(plane, SIDE, &strokes, &transform, thickness);
+    // Brightness jitter keeps the intensity distribution from collapsing to
+    // a binary mask.
+    let gain = rng.gen_range(0.75f32..1.0);
+    for v in plane.iter_mut() {
+        *v *= gain;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DatasetConfig {
+        DatasetConfig {
+            train: 40,
+            test: 20,
+            seed: 3,
+            noise: 0.05,
+        }
+    }
+
+    #[test]
+    fn shapes_and_ranges() {
+        let (train, test) = SynthDigits::generate(&cfg());
+        assert_eq!(train.images().shape(), &[40, 1, SIDE, SIDE]);
+        assert_eq!(test.images().shape(), &[20, 1, SIDE, SIDE]);
+        assert!(train.images().data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn classes_balanced() {
+        let (train, _) = SynthDigits::generate(&cfg());
+        for c in 0..10 {
+            assert_eq!(train.labels().iter().filter(|&&l| l == c).count(), 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, _) = SynthDigits::generate(&cfg());
+        let (b, _) = SynthDigits::generate(&cfg());
+        assert_eq!(a.images().data(), b.images().data());
+        let mut other = cfg();
+        other.seed = 4;
+        let (c, _) = SynthDigits::generate(&other);
+        assert_ne!(a.images().data(), c.images().data());
+    }
+
+    #[test]
+    fn train_test_disjoint_streams() {
+        let (train, test) = SynthDigits::generate(&cfg());
+        // Same label at index 0 (both are digit 0) but different pixels.
+        assert_ne!(
+            train.images().index_axis0(0).unwrap().data(),
+            test.images().index_axis0(0).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn digits_have_ink() {
+        let (train, _) = SynthDigits::generate(&cfg());
+        for i in 0..train.len() {
+            let (img, label) = train.sample(i).unwrap();
+            let ink = img.sum();
+            assert!(ink > 5.0, "digit {label} at {i} nearly blank: {ink}");
+        }
+    }
+
+    #[test]
+    fn distinct_digits_differ() {
+        // Without noise, a 1 (two segments) has far less ink than an 8.
+        let cfg = DatasetConfig {
+            train: 20,
+            test: 10,
+            seed: 9,
+            noise: 0.0,
+        };
+        let (train, _) = SynthDigits::generate(&cfg);
+        let one = train.images().index_axis0(1).unwrap().sum();
+        let eight = train.images().index_axis0(8).unwrap().sum();
+        assert!(eight > one * 1.5, "8 ink {eight} vs 1 ink {one}");
+    }
+}

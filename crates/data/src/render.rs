@@ -1,0 +1,229 @@
+//! Small software rasteriser shared by the synthetic generators.
+//!
+//! Everything here is deterministic given its inputs; randomness lives in
+//! the generators, which sample transform parameters and pass them down.
+
+/// A 2-D point in normalised `[0, 1]²` image coordinates.
+pub(crate) type Point = (f32, f32);
+
+/// Squared distance from point `p` to segment `a`–`b`.
+pub(crate) fn dist2_to_segment(p: Point, a: Point, b: Point) -> f32 {
+    let (px, py) = p;
+    let (ax, ay) = a;
+    let (bx, by) = b;
+    let (dx, dy) = (bx - ax, by - ay);
+    let len2 = dx * dx + dy * dy;
+    let t = if len2 <= f32::EPSILON {
+        0.0
+    } else {
+        (((px - ax) * dx + (py - ay) * dy) / len2).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (ax + t * dx, ay + t * dy);
+    (px - cx) * (px - cx) + (py - cy) * (py - cy)
+}
+
+/// Smooth 0→1 ramp between `edge0` and `edge1` (clamped Hermite).
+pub(crate) fn smoothstep(edge0: f32, edge1: f32, x: f32) -> f32 {
+    if edge0 >= edge1 {
+        return if x < edge0 { 0.0 } else { 1.0 };
+    }
+    let t = ((x - edge0) / (edge1 - edge0)).clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// An affine transform of normalised image coordinates about the centre:
+/// rotate by `angle`, scale by `scale`, then translate by `(tx, ty)`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Affine {
+    pub cos: f32,
+    pub sin: f32,
+    pub scale: f32,
+    pub tx: f32,
+    pub ty: f32,
+}
+
+impl Affine {
+    pub fn new(angle: f32, scale: f32, tx: f32, ty: f32) -> Self {
+        Affine {
+            cos: angle.cos(),
+            sin: angle.sin(),
+            scale,
+            tx,
+            ty,
+        }
+    }
+
+    /// Identity transform.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn identity() -> Self {
+        Affine::new(0.0, 1.0, 0.0, 0.0)
+    }
+
+    /// Applies the transform to a normalised point.
+    pub fn apply(&self, p: Point) -> Point {
+        let (x, y) = (p.0 - 0.5, p.1 - 0.5);
+        let (x, y) = (x * self.scale, y * self.scale);
+        let (x, y) = (x * self.cos - y * self.sin, x * self.sin + y * self.cos);
+        (x + 0.5 + self.tx, y + 0.5 + self.ty)
+    }
+}
+
+/// Renders a set of polyline strokes into a `side × side` intensity plane.
+///
+/// Each stroke is a list of normalised points; intensity at a pixel is the
+/// maximum over all stroke segments of a smooth falloff of distance, giving
+/// anti-aliased pen-like lines of half-width `thickness`.
+pub(crate) fn render_strokes(
+    plane: &mut [f32],
+    side: usize,
+    strokes: &[Vec<Point>],
+    transform: &Affine,
+    thickness: f32,
+) {
+    debug_assert_eq!(plane.len(), side * side);
+    // Pre-transform stroke points once.
+    let strokes: Vec<Vec<Point>> = strokes
+        .iter()
+        .map(|s| s.iter().map(|&p| transform.apply(p)).collect())
+        .collect();
+    let t2_in = thickness * thickness;
+    let t_out = thickness * 1.8;
+    for y in 0..side {
+        let py = (y as f32 + 0.5) / side as f32;
+        for x in 0..side {
+            let px = (x as f32 + 0.5) / side as f32;
+            let mut best = f32::INFINITY;
+            for stroke in &strokes {
+                for w in stroke.windows(2) {
+                    let d2 = dist2_to_segment((px, py), w[0], w[1]);
+                    if d2 < best {
+                        best = d2;
+                    }
+                }
+            }
+            let v = 1.0 - smoothstep(t2_in, t_out * t_out, best);
+            let idx = y * side + x;
+            if v > plane[idx] {
+                plane[idx] = v;
+            }
+        }
+    }
+}
+
+/// Signed-distance style fill for simple shapes used by `SynthObjects`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ShapeKind {
+    Circle,
+    Square,
+    Triangle,
+    Ring,
+    Cross,
+}
+
+/// Coverage in `[0, 1]` of `shape` (centred at `c`, radius `r`) at point `p`.
+pub(crate) fn shape_coverage(kind: ShapeKind, p: Point, c: Point, r: f32) -> f32 {
+    let (dx, dy) = (p.0 - c.0, p.1 - c.1);
+    let soft = 0.06 * r.max(0.05);
+    match kind {
+        ShapeKind::Circle => {
+            let d = (dx * dx + dy * dy).sqrt();
+            1.0 - smoothstep(r - soft, r + soft, d)
+        }
+        ShapeKind::Square => {
+            let d = dx.abs().max(dy.abs());
+            1.0 - smoothstep(r - soft, r + soft, d)
+        }
+        ShapeKind::Triangle => {
+            // Upwards-pointing triangle inscribed in radius r.
+            let d = dy.max(-2.0 * dy + dx.abs() * 3.0 - r);
+            1.0 - smoothstep(r * 0.5 - soft, r * 0.5 + soft, d.max(dx.abs() - r))
+        }
+        ShapeKind::Ring => {
+            let d = (dx * dx + dy * dy).sqrt();
+            let outer = 1.0 - smoothstep(r - soft, r + soft, d);
+            let inner = 1.0 - smoothstep(r * 0.55 - soft, r * 0.55 + soft, d);
+            (outer - inner).max(0.0)
+        }
+        ShapeKind::Cross => {
+            let arm = r * 0.35;
+            let in_v = dx.abs() < arm && dy.abs() < r;
+            let in_h = dy.abs() < arm && dx.abs() < r;
+            if in_v || in_h {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_distance_endpoints_and_interior() {
+        let a = (0.0, 0.0);
+        let b = (1.0, 0.0);
+        assert!(dist2_to_segment((0.5, 0.5), a, b) - 0.25 < 1e-6);
+        assert!((dist2_to_segment((2.0, 0.0), a, b) - 1.0).abs() < 1e-6);
+        assert!((dist2_to_segment((-1.0, 0.0), a, b) - 1.0).abs() < 1e-6);
+        // Degenerate segment behaves as point distance.
+        assert!((dist2_to_segment((1.0, 0.0), a, a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smoothstep_edges() {
+        assert_eq!(smoothstep(0.0, 1.0, -1.0), 0.0);
+        assert_eq!(smoothstep(0.0, 1.0, 2.0), 1.0);
+        assert!((smoothstep(0.0, 1.0, 0.5) - 0.5).abs() < 1e-6);
+        // Degenerate edge interval.
+        assert_eq!(smoothstep(1.0, 1.0, 0.5), 0.0);
+        assert_eq!(smoothstep(1.0, 1.0, 1.5), 1.0);
+    }
+
+    #[test]
+    fn affine_identity_fixes_points() {
+        let id = Affine::identity();
+        let p = (0.3, 0.8);
+        let q = id.apply(p);
+        assert!((q.0 - p.0).abs() < 1e-6 && (q.1 - p.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn affine_translation() {
+        let t = Affine::new(0.0, 1.0, 0.1, -0.2);
+        let q = t.apply((0.5, 0.5));
+        assert!((q.0 - 0.6).abs() < 1e-6);
+        assert!((q.1 - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn render_stroke_marks_line() {
+        let mut plane = vec![0.0; 16 * 16];
+        let strokes = vec![vec![(0.2, 0.5), (0.8, 0.5)]];
+        render_strokes(&mut plane, 16, &strokes, &Affine::identity(), 0.06);
+        // Middle row bright, corners dark.
+        assert!(plane[8 * 16 + 8] > 0.8);
+        assert!(plane[0] < 0.1);
+    }
+
+    #[test]
+    fn shape_coverage_inside_outside() {
+        for kind in [
+            ShapeKind::Circle,
+            ShapeKind::Square,
+            ShapeKind::Ring,
+            ShapeKind::Cross,
+            ShapeKind::Triangle,
+        ] {
+            let far = shape_coverage(kind, (0.95, 0.95), (0.5, 0.5), 0.2);
+            assert!(far < 0.05, "{kind:?} leaked to corner: {far}");
+        }
+        assert!(shape_coverage(ShapeKind::Circle, (0.5, 0.5), (0.5, 0.5), 0.2) > 0.9);
+        assert!(shape_coverage(ShapeKind::Square, (0.5, 0.5), (0.5, 0.5), 0.2) > 0.9);
+        assert!(shape_coverage(ShapeKind::Cross, (0.5, 0.5), (0.5, 0.5), 0.2) > 0.9);
+        // Ring is hollow at the centre.
+        assert!(shape_coverage(ShapeKind::Ring, (0.5, 0.5), (0.5, 0.5), 0.3) < 0.1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Versioned binary checkpoints for model parameters.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic   b"ADVC"
+//! version u32          (currently 1)
+//! count   u32          number of parameters
+//! repeat count times:
+//!   name_len u16, name utf-8 bytes
+//!   ndim     u8,  dims  u32 × ndim
+//!   data     f32 × prod(dims)
+//! ```
+
+use advcomp_nn::Sequential;
+use advcomp_tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"ADVC";
+const VERSION: u32 = 1;
+
+/// Errors raised by checkpoint encoding/decoding.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// File I/O failed.
+    Io(std::io::Error),
+    /// The byte stream is not a valid checkpoint.
+    Corrupt(String),
+    /// The checkpoint version is unsupported.
+    UnsupportedVersion(u32),
+    /// Loading into a model failed (unknown name / wrong shape).
+    Incompatible(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "io error: {e}"),
+            CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::Incompatible(msg) => write!(f, "incompatible checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// A serialisable snapshot of named parameter tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    params: Vec<(String, Tensor)>,
+}
+
+impl Checkpoint {
+    /// Snapshots a model's current parameter values.
+    pub fn capture(model: &Sequential) -> Self {
+        Checkpoint {
+            params: model.export_params(),
+        }
+    }
+
+    /// Builds a checkpoint from raw `(name, tensor)` pairs.
+    pub fn from_params(params: Vec<(String, Tensor)>) -> Self {
+        Checkpoint { params }
+    }
+
+    /// The stored parameters.
+    pub fn params(&self) -> &[(String, Tensor)] {
+        &self.params
+    }
+
+    /// Restores these values into `model` (names must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Incompatible`] on unknown names or shape
+    /// mismatches.
+    pub fn restore(&self, model: &mut Sequential) -> Result<(), CheckpointError> {
+        model
+            .import_params(&self.params)
+            .map_err(|e| CheckpointError::Incompatible(e.to_string()))
+    }
+
+    /// Encodes to the binary format.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.params.len() as u32);
+        for (name, tensor) in &self.params {
+            buf.put_u16_le(name.len() as u16);
+            buf.put_slice(name.as_bytes());
+            buf.put_u8(tensor.ndim() as u8);
+            for &d in tensor.shape() {
+                buf.put_u32_le(d as u32);
+            }
+            for &v in tensor.data() {
+                buf.put_f32_le(v);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes from the binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Corrupt`] on truncation or bad magic, and
+    /// [`CheckpointError::UnsupportedVersion`] for future versions.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, CheckpointError> {
+        fn need(buf: &[u8], n: usize, what: &str) -> Result<(), CheckpointError> {
+            if buf.remaining() < n {
+                return Err(CheckpointError::Corrupt(format!("truncated at {what}")));
+            }
+            Ok(())
+        }
+        need(bytes, 12, "header")?;
+        let mut magic = [0u8; 4];
+        bytes.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CheckpointError::Corrupt("bad magic".into()));
+        }
+        let version = bytes.get_u32_le();
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let count = bytes.get_u32_le() as usize;
+        let mut params = Vec::with_capacity(count);
+        for _ in 0..count {
+            need(bytes, 2, "name length")?;
+            let name_len = bytes.get_u16_le() as usize;
+            need(bytes, name_len, "name")?;
+            let name = String::from_utf8(bytes[..name_len].to_vec())
+                .map_err(|_| CheckpointError::Corrupt("non-utf8 name".into()))?;
+            bytes.advance(name_len);
+            need(bytes, 1, "ndim")?;
+            let ndim = bytes.get_u8() as usize;
+            need(bytes, 4 * ndim, "dims")?;
+            let mut dims = Vec::with_capacity(ndim);
+            for _ in 0..ndim {
+                dims.push(bytes.get_u32_le() as usize);
+            }
+            let numel: usize = dims.iter().product();
+            need(bytes, 4 * numel, "tensor data")?;
+            let mut data = Vec::with_capacity(numel);
+            for _ in 0..numel {
+                data.push(bytes.get_f32_le());
+            }
+            let tensor = Tensor::new(&dims, data)
+                .map_err(|e| CheckpointError::Corrupt(format!("bad tensor: {e}")))?;
+            params.push((name, tensor));
+        }
+        Ok(Checkpoint { params })
+    }
+
+    /// Writes the checkpoint to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors and decode errors.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::mlp;
+
+    #[test]
+    fn roundtrip_bytes() {
+        let model = mlp(8, 1);
+        let ckpt = Checkpoint::capture(&model);
+        let bytes = ckpt.to_bytes();
+        let decoded = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(ckpt, decoded);
+    }
+
+    #[test]
+    fn restore_into_fresh_model() {
+        let trained = mlp(8, 1);
+        let ckpt = Checkpoint::capture(&trained);
+        let mut fresh = mlp(8, 2);
+        assert_ne!(
+            fresh.param("fc1.weight").unwrap().value.data(),
+            trained.param("fc1.weight").unwrap().value.data()
+        );
+        ckpt.restore(&mut fresh).unwrap();
+        assert_eq!(
+            fresh.param("fc1.weight").unwrap().value.data(),
+            trained.param("fc1.weight").unwrap().value.data()
+        );
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        assert!(matches!(
+            Checkpoint::from_bytes(b"nope"),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let model = mlp(4, 0);
+        let mut bytes = Checkpoint::capture(&model).to_bytes().to_vec();
+        bytes[0] = b'X';
+        assert!(Checkpoint::from_bytes(&bytes).is_err());
+        let good = Checkpoint::capture(&model).to_bytes();
+        assert!(Checkpoint::from_bytes(&good[..good.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn version_check() {
+        let model = mlp(4, 0);
+        let mut bytes = Checkpoint::capture(&model).to_bytes().to_vec();
+        bytes[4] = 99;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("advcomp_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.advc");
+        let model = mlp(8, 7);
+        let ckpt = Checkpoint::capture(&model);
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(ckpt, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn incompatible_restore_errors() {
+        let ckpt = Checkpoint::from_params(vec![("ghost".into(), Tensor::zeros(&[2]))]);
+        let mut model = mlp(4, 0);
+        assert!(matches!(
+            ckpt.restore(&mut model),
+            Err(CheckpointError::Incompatible(_))
+        ));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(matches!(
+            Checkpoint::load(Path::new("/nonexistent/advcomp.ckpt")),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,98 @@
+use advcomp_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by network construction, forward or backward passes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// An underlying tensor operation failed (almost always a shape bug).
+    Tensor(TensorError),
+    /// `backward` was called before `forward` populated the layer cache.
+    BackwardBeforeForward {
+        /// Layer kind, e.g. `"dense"`.
+        layer: &'static str,
+    },
+    /// Labels passed to a loss don't match the batch dimension.
+    BatchMismatch {
+        /// Rows of the logit matrix.
+        logits: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// A label index exceeded the number of classes.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// The network produced NaN or infinite values.
+    NonFinite {
+        /// Where the non-finite value was observed.
+        context: &'static str,
+    },
+    /// Configuration error (bad hyper-parameter, empty network, ...).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward on {layer} layer")
+            }
+            NnError::BatchMismatch { logits, labels } => {
+                write!(f, "logit batch {logits} does not match label count {labels}")
+            }
+            NnError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            NnError::NonFinite { context } => {
+                write!(f, "non-finite values encountered in {context}")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error() {
+        let te = TensorError::Empty("max");
+        let ne: NnError = te.clone().into();
+        assert_eq!(ne, NnError::Tensor(te));
+        assert!(ne.to_string().contains("tensor error"));
+        assert!(std::error::Error::source(&ne).is_some());
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(NnError::BackwardBeforeForward { layer: "dense" }
+            .to_string()
+            .contains("dense"));
+        assert!(NnError::BatchMismatch { logits: 4, labels: 3 }
+            .to_string()
+            .contains('4'));
+        assert!(NnError::LabelOutOfRange { label: 12, classes: 10 }
+            .to_string()
+            .contains("12"));
+    }
+}

@@ -1,0 +1,84 @@
+//! The [`Layer`] trait and forward-pass [`Mode`].
+
+use crate::param::Param;
+use crate::Result;
+use advcomp_tensor::Tensor;
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Training mode enables stochastic behaviour (dropout); evaluation mode is
+/// deterministic. Attacks always run in [`Mode::Eval`] — the adversary
+/// differentiates the deployed, deterministic network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training: dropout active, caches retained for backward.
+    Train,
+    /// Inference: deterministic; caches still retained so input gradients
+    /// (for attacks) remain available.
+    Eval,
+}
+
+/// A differentiable network layer.
+///
+/// Contract:
+///
+/// * `forward` must cache whatever `backward` needs and may be called
+///   repeatedly; each call replaces the cache.
+/// * `backward` consumes a gradient with the shape of the **last forward
+///   output** and returns the gradient with the shape of that forward's
+///   input, *accumulating* (not overwriting) parameter gradients.
+/// * `backward` must not destroy the cache: callers such as DeepFool
+///   backpropagate several different seed gradients through one forward.
+pub trait Layer: Send {
+    /// Computes the layer output for `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`crate::NnError`] when the input shape is incompatible.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Backpropagates `grad_output`, returning the input gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::BackwardBeforeForward`] when no forward
+    /// cache exists, or shape errors when `grad_output` is malformed.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor>;
+
+    /// Immutable views of this layer's parameters (empty for stateless
+    /// layers).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Mutable views of this layer's parameters.
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Short static identifier, e.g. `"conv2d"`.
+    fn kind(&self) -> &'static str;
+
+    /// The activation tensor this layer produced in its last forward pass,
+    /// if it retains one. Used to sample activation distributions for the
+    /// paper's Figure 6 CDFs.
+    fn last_output(&self) -> Option<&Tensor> {
+        None
+    }
+
+    /// Installs (or clears) a fixed-point activation format on this layer.
+    ///
+    /// Returns `true` when the layer is an activation-quantisation point
+    /// (i.e. a `FakeQuant`); all other layers ignore the call and return
+    /// `false`. Compression passes use this to switch a whole network's
+    /// activation precision without downcasting.
+    fn set_activation_format(&mut self, _format: Option<advcomp_qformat::QFormat>) -> bool {
+        false
+    }
+
+    /// The fixed-point activation format currently installed, if this layer
+    /// is a quantisation point and one is set.
+    fn activation_format(&self) -> Option<advcomp_qformat::QFormat> {
+        None
+    }
+}

@@ -1,0 +1,163 @@
+//! Smooth activations: Tanh and Sigmoid.
+//!
+//! The historical LeNet-5 used tanh nonlinearities; Goodfellow et al.'s
+//! analysis of adversarial examples (which the paper builds on) contrasts
+//! saturating activations with ReLU-family ones. Both are provided so the
+//! substrate can express those ablations.
+
+use crate::layer::{Layer, Mode};
+use crate::{NnError, Result};
+use advcomp_tensor::Tensor;
+
+/// Elementwise hyperbolic tangent.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    last_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Tanh { last_output: None }
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let y = input.map(f32::tanh);
+        self.last_output = Some(y.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let y = self
+            .last_output
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "tanh" })?;
+        // d/dx tanh(x) = 1 - tanh(x)^2, computable from the cached output.
+        Ok(grad_output.zip_map(y, |g, t| g * (1.0 - t * t))?)
+    }
+
+    fn kind(&self) -> &'static str {
+        "tanh"
+    }
+
+    fn last_output(&self) -> Option<&Tensor> {
+        self.last_output.as_ref()
+    }
+}
+
+/// Elementwise logistic sigmoid.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    last_output: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Sigmoid { last_output: None }
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        // Numerically-stable logistic.
+        let y = input.map(|v| {
+            if v >= 0.0 {
+                1.0 / (1.0 + (-v).exp())
+            } else {
+                let e = v.exp();
+                e / (1.0 + e)
+            }
+        });
+        self.last_output = Some(y.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let y = self
+            .last_output
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "sigmoid" })?;
+        Ok(grad_output.zip_map(y, |g, s| g * s * (1.0 - s))?)
+    }
+
+    fn kind(&self) -> &'static str {
+        "sigmoid"
+    }
+
+    fn last_output(&self) -> Option<&Tensor> {
+        self.last_output.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tanh_values_and_range() {
+        let mut t = Tanh::new();
+        let y = t
+            .forward(&Tensor::from_vec(vec![-20.0, 0.0, 20.0]), Mode::Eval)
+            .unwrap();
+        assert!((y.data()[0] + 1.0).abs() < 1e-6);
+        assert_eq!(y.data()[1], 0.0);
+        assert!((y.data()[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_values_and_stability() {
+        let mut s = Sigmoid::new();
+        let y = s
+            .forward(&Tensor::from_vec(vec![-100.0, 0.0, 100.0]), Mode::Eval)
+            .unwrap();
+        assert!(!y.has_non_finite());
+        assert!(y.data()[0] < 1e-6);
+        assert!((y.data()[1] - 0.5).abs() < 1e-6);
+        assert!(y.data()[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        use crate::{finite_diff_input_grad, Dense, Sequential};
+        use rand::SeedableRng;
+        for smooth in [true, false] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let act: Box<dyn Layer> = if smooth {
+                Box::new(Tanh::new())
+            } else {
+                Box::new(Sigmoid::new())
+            };
+            let mut net = Sequential::new(vec![
+                Box::new(Dense::new(4, 6, &mut rng)),
+                act,
+                Box::new(Dense::new(6, 3, &mut rng)),
+            ]);
+            let x = advcomp_tensor::Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[3, 4], &mut rng);
+            let labels = vec![0usize, 1, 2];
+            let logits = net.forward(&x, Mode::Eval).unwrap();
+            let loss = crate::softmax_cross_entropy(&logits, &labels).unwrap();
+            net.zero_grad();
+            let analytic = net.backward(&loss.grad).unwrap();
+            let numeric = finite_diff_input_grad(&mut net, &x, &labels, 1e-3).unwrap();
+            assert!(analytic.allclose(&numeric, 1e-2), "smooth={smooth}");
+        }
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        assert!(Tanh::new().backward(&Tensor::zeros(&[1])).is_err());
+        assert!(Sigmoid::new().backward(&Tensor::zeros(&[1])).is_err());
+    }
+
+    #[test]
+    fn saturated_tanh_kills_gradient() {
+        // The saturation behaviour Goodfellow et al. contrast with ReLU.
+        let mut t = Tanh::new();
+        t.forward(&Tensor::from_vec(vec![50.0]), Mode::Eval).unwrap();
+        let g = t.backward(&Tensor::from_vec(vec![1.0])).unwrap();
+        assert!(g.data()[0].abs() < 1e-6);
+    }
+}

@@ -1,0 +1,187 @@
+//! Average pooling (the classic LeNet-5 sub-sampling layer).
+
+use crate::layer::{Layer, Mode};
+use crate::{NnError, Result};
+use advcomp_tensor::{Tensor, TensorError};
+
+/// 2-D average pooling over NCHW input with a square window.
+///
+/// LeCun's original LeNet-5 used average (sub-sampling) pooling; the modern
+/// variant in `advcomp-models` uses max pooling, but this layer keeps the
+/// substrate faithful to the historical architecture and provides a
+/// smoother pooling option for ablations.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    cached_input_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be >= 1");
+        AvgPool2d {
+            kernel,
+            stride,
+            cached_input_shape: None,
+        }
+    }
+
+    fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if h < self.kernel || w < self.kernel {
+            return Err(NnError::Tensor(TensorError::InvalidGeometry(format!(
+                "pool window {} larger than input {h}x{w}",
+                self.kernel
+            ))));
+        }
+        Ok((
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        ))
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.ndim() != 4 {
+            return Err(NnError::Tensor(TensorError::RankMismatch {
+                expected: 4,
+                actual: input.ndim(),
+                op: "avgpool2d",
+            }));
+        }
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (oh, ow) = self.output_hw(h, w)?;
+        let norm = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let src = input.data();
+        let dst = out.data_mut();
+        for b in 0..n {
+            for ch in 0..c {
+                let plane = (b * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ky in 0..self.kernel {
+                            let row = plane + (oy * self.stride + ky) * w + ox * self.stride;
+                            for kx in 0..self.kernel {
+                                acc += src[row + kx];
+                            }
+                        }
+                        dst[((b * c + ch) * oh + oy) * ow + ox] = acc * norm;
+                    }
+                }
+            }
+        }
+        self.cached_input_shape = Some(input.shape().to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .cached_input_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "avgpool2d" })?;
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let (oh, ow) = self.output_hw(h, w)?;
+        if grad_output.shape() != [n, c, oh, ow] {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                lhs: grad_output.shape().to_vec(),
+                rhs: vec![n, c, oh, ow],
+                op: "avgpool2d backward",
+            }));
+        }
+        let norm = 1.0 / (self.kernel * self.kernel) as f32;
+        let mut gx = Tensor::zeros(shape);
+        let dst = gx.data_mut();
+        let src = grad_output.data();
+        for b in 0..n {
+            for ch in 0..c {
+                let plane = (b * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = src[((b * c + ch) * oh + oy) * ow + ox] * norm;
+                        for ky in 0..self.kernel {
+                            let row = plane + (oy * self.stride + ky) * w + ox * self.stride;
+                            for kx in 0..self.kernel {
+                                dst[row + kx] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(gx)
+    }
+
+    fn kind(&self) -> &'static str {
+        "avgpool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_windows() {
+        let mut pool = AvgPool2d::new(2, 2);
+        let x = Tensor::new(&[1, 1, 2, 4], vec![1., 3., 5., 7., 2., 4., 6., 8.]).unwrap();
+        let y = pool.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 1, 2]);
+        assert_eq!(y.data(), &[2.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_distributes_evenly() {
+        let mut pool = AvgPool2d::new(2, 2);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        pool.forward(&x, Mode::Train).unwrap();
+        let gx = pool.backward(&Tensor::new(&[1, 1, 1, 1], vec![4.0]).unwrap()).unwrap();
+        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        use crate::{finite_diff_input_grad, Dense, Flatten, Sequential};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut net = Sequential::new(vec![
+            Box::new(AvgPool2d::new(2, 2)),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4, 3, &mut rng)),
+        ]);
+        let x = advcomp_tensor::Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[2, 1, 4, 4], &mut rng);
+        let labels = vec![0usize, 2];
+        let logits = net.forward(&x, Mode::Eval).unwrap();
+        let loss = crate::softmax_cross_entropy(&logits, &labels).unwrap();
+        net.zero_grad();
+        let analytic = net.backward(&loss.grad).unwrap();
+        let numeric = finite_diff_input_grad(&mut net, &x, &labels, 1e-3).unwrap();
+        assert!(analytic.allclose(&numeric, 1e-2));
+    }
+
+    #[test]
+    fn validation() {
+        let mut pool = AvgPool2d::new(3, 1);
+        assert!(pool.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval).is_err());
+        assert!(pool.forward(&Tensor::zeros(&[4]), Mode::Eval).is_err());
+        assert!(pool.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel and stride")]
+    fn zero_stride_panics() {
+        AvgPool2d::new(2, 0);
+    }
+}

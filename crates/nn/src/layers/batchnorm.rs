@@ -1,0 +1,339 @@
+//! Batch normalisation over NCHW feature maps.
+
+use crate::layer::{Layer, Mode};
+use crate::param::{Param, ParamKind};
+use crate::{NnError, Result};
+use advcomp_tensor::{Tensor, TensorError};
+
+/// 2-D batch normalisation (Ioffe & Szegedy 2015): per-channel
+/// standardisation with learned scale/shift and running statistics for
+/// evaluation mode.
+///
+/// Not used by the paper's reference models (which predate widespread BN in
+/// compact edge nets) but provided so modern architectures can be expressed
+/// and compression ablations run against them. The scale parameter is
+/// registered as a `Weight` so pruning/quantisation treat it consistently;
+/// the shift is a `Bias`.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    input_shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        Self::with_name("bn", channels)
+    }
+
+    /// Creates a named batch-norm layer.
+    pub fn with_name(name: &str, channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(
+                format!("{name}.gamma"),
+                Tensor::ones(&[channels]),
+                ParamKind::Weight,
+            ),
+            beta: Param::new(
+                format!("{name}.beta"),
+                Tensor::zeros(&[channels]),
+                ParamKind::Bias,
+            ),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.value.len()
+    }
+
+    /// Running mean per channel (evaluation statistics).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Running variance per channel.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if input.ndim() != 4 {
+            return Err(NnError::Tensor(TensorError::RankMismatch {
+                expected: 4,
+                actual: input.ndim(),
+                op: "batchnorm2d",
+            }));
+        }
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        if c != self.channels() {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                lhs: input.shape().to_vec(),
+                rhs: vec![n, self.channels(), h, w],
+                op: "batchnorm2d",
+            }));
+        }
+        let per_channel = n * h * w;
+        if per_channel == 0 {
+            return Err(NnError::Tensor(TensorError::Empty("batchnorm2d")));
+        }
+        // Channel statistics for this batch (training) or running (eval).
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        match mode {
+            Mode::Train => {
+                for ch in 0..c {
+                    let mut acc = 0.0f32;
+                    for b in 0..n {
+                        let base = (b * c + ch) * h * w;
+                        acc += input.data()[base..base + h * w].iter().sum::<f32>();
+                    }
+                    mean[ch] = acc / per_channel as f32;
+                }
+                for ch in 0..c {
+                    let mut acc = 0.0f32;
+                    for b in 0..n {
+                        let base = (b * c + ch) * h * w;
+                        for &v in &input.data()[base..base + h * w] {
+                            let d = v - mean[ch];
+                            acc += d * d;
+                        }
+                    }
+                    var[ch] = acc / per_channel as f32;
+                }
+                for ch in 0..c {
+                    self.running_mean[ch] =
+                        (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean[ch];
+                    self.running_var[ch] =
+                        (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var[ch];
+                }
+            }
+            Mode::Eval => {
+                mean.copy_from_slice(&self.running_mean);
+                var.copy_from_slice(&self.running_var);
+            }
+        }
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut x_hat = Tensor::zeros(input.shape());
+        let mut out = Tensor::zeros(input.shape());
+        {
+            let xh = x_hat.data_mut();
+            let od = out.data_mut();
+            for b in 0..n {
+                for ch in 0..c {
+                    let base = (b * c + ch) * h * w;
+                    let g = self.gamma.value.data()[ch];
+                    let be = self.beta.value.data()[ch];
+                    for i in base..base + h * w {
+                        let norm = (input.data()[i] - mean[ch]) * inv_std[ch];
+                        xh[i] = norm;
+                        od[i] = g * norm + be;
+                    }
+                }
+            }
+        }
+        self.cache = Some(BnCache {
+            x_hat,
+            inv_std,
+            input_shape: input.shape().to_vec(),
+        });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "batchnorm2d" })?;
+        if grad_output.shape() != cache.input_shape.as_slice() {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                lhs: grad_output.shape().to_vec(),
+                rhs: cache.input_shape.clone(),
+                op: "batchnorm2d backward",
+            }));
+        }
+        let (n, c, h, w) = (
+            cache.input_shape[0],
+            cache.input_shape[1],
+            cache.input_shape[2],
+            cache.input_shape[3],
+        );
+        let m = (n * h * w) as f32;
+        let mut gx = Tensor::zeros(&cache.input_shape);
+        // Standard BN backward (batch statistics treated as functions of x):
+        // dx = (gamma * inv_std / m) * (m*dy - sum(dy) - x_hat * sum(dy*x_hat))
+        for ch in 0..c {
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for b in 0..n {
+                let base = (b * c + ch) * h * w;
+                for i in base..base + h * w {
+                    let dy = grad_output.data()[i];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.x_hat.data()[i];
+                }
+            }
+            self.gamma.grad.data_mut()[ch] += sum_dy_xhat;
+            self.beta.grad.data_mut()[ch] += sum_dy;
+            let g = self.gamma.value.data()[ch];
+            let scale = g * cache.inv_std[ch] / m;
+            for b in 0..n {
+                let base = (b * c + ch) * h * w;
+                for i in base..base + h * w {
+                    let dy = grad_output.data()[i];
+                    gx.data_mut()[i] =
+                        scale * (m * dy - sum_dy - cache.x_hat.data()[i] * sum_dy_xhat);
+                }
+            }
+        }
+        Ok(gx)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn kind(&self) -> &'static str {
+        "batchnorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advcomp_tensor::Init;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalises_batch_statistics() {
+        let mut bn = BatchNorm2d::new(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let x = Init::Normal { mean: 3.0, std: 2.0 }.tensor(&[4, 2, 5, 5], &mut rng);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        // Per-channel output should be ~N(0,1) (gamma=1, beta=0).
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for b in 0..4 {
+                let base = (b * 2 + ch) * 25;
+                vals.extend_from_slice(&y.data()[base..base + 25]);
+            }
+            let t = Tensor::from_vec(vals);
+            assert!(t.mean().abs() < 1e-4, "channel {ch} mean {}", t.mean());
+            assert!((t.std() - 1.0).abs() < 1e-2, "channel {ch} std {}", t.std());
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_statistics() {
+        let mut bn = BatchNorm2d::new(1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let x = Init::Normal { mean: 5.0, std: 1.0 }.tensor(&[8, 1, 4, 4], &mut rng);
+        // Many training passes to converge the running stats.
+        for _ in 0..50 {
+            bn.forward(&x, Mode::Train).unwrap();
+        }
+        assert!((bn.running_mean()[0] - 5.0).abs() < 0.2);
+        let y = bn.forward(&x, Mode::Eval).unwrap();
+        // Eval output is standardised by running stats, so near N(0,1).
+        assert!(y.mean().abs() < 0.2);
+        // And eval mode must not move the running stats.
+        let before = bn.running_mean()[0];
+        bn.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(bn.running_mean()[0], before);
+    }
+
+    #[test]
+    fn gradcheck_through_bn() {
+        use crate::{finite_diff_input_grad, Dense, Flatten, Sequential};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut net = Sequential::new(vec![
+            Box::new(BatchNorm2d::with_name("bn1", 2)),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(2 * 3 * 3, 3, &mut rng)),
+        ]);
+        let x = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[3, 2, 3, 3], &mut rng);
+        let labels = vec![0usize, 1, 2];
+        // Gradcheck must run in Train mode consistently, since BN's eval
+        // path is a different function.
+        let logits = net.forward(&x, Mode::Train).unwrap();
+        let loss = crate::softmax_cross_entropy(&logits, &labels).unwrap();
+        net.zero_grad();
+        let analytic = net.backward(&loss.grad).unwrap();
+        // finite_diff uses Eval mode internally; emulate a train-mode
+        // numeric gradient manually.
+        let mut numeric = Tensor::zeros(x.shape());
+        let eps = 1e-2;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let lp = {
+                let l = net.forward(&xp, Mode::Train).unwrap();
+                crate::softmax_cross_entropy(&l, &labels).unwrap().loss
+            };
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lm = {
+                let l = net.forward(&xm, Mode::Train).unwrap();
+                crate::softmax_cross_entropy(&l, &labels).unwrap().loss
+            };
+            numeric.data_mut()[i] = (lp - lm) / (2.0 * eps);
+        }
+        let _ = finite_diff_input_grad; // (eval-mode helper unused here)
+        // Re-run the analytic pass after the probing forwards invalidated
+        // the cache.
+        let logits = net.forward(&x, Mode::Train).unwrap();
+        let loss = crate::softmax_cross_entropy(&logits, &labels).unwrap();
+        net.zero_grad();
+        let analytic2 = net.backward(&loss.grad).unwrap();
+        assert!(analytic.allclose(&analytic2, 1e-6));
+        assert!(
+            analytic.allclose(&numeric, 3e-2),
+            "BN input gradient mismatch"
+        );
+    }
+
+    #[test]
+    fn params_registered() {
+        let bn = BatchNorm2d::with_name("bn7", 3);
+        let names: Vec<_> = bn.params().iter().map(|p| p.name.clone()).collect();
+        assert_eq!(names, vec!["bn7.gamma", "bn7.beta"]);
+        assert_eq!(bn.params()[0].kind, ParamKind::Weight);
+        assert_eq!(bn.params()[1].kind, ParamKind::Bias);
+    }
+
+    #[test]
+    fn validation() {
+        let mut bn = BatchNorm2d::new(2);
+        assert!(bn.forward(&Tensor::zeros(&[2, 3, 4, 4]), Mode::Train).is_err());
+        assert!(bn.forward(&Tensor::zeros(&[4, 4]), Mode::Train).is_err());
+        assert!(bn.backward(&Tensor::zeros(&[1, 2, 4, 4])).is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! 2-D convolution layer (GEMM formulation via `im2col`).
+
+use crate::layer::{Layer, Mode};
+use crate::param::{Param, ParamKind};
+use crate::{NnError, Result};
+use advcomp_tensor::{col2im, im2col, Conv2dGeometry, Init, Tensor};
+use rand::Rng;
+
+/// A 2-D convolution over NCHW input.
+///
+/// Weights are stored as `[out_channels, in_channels, kh, kw]`; the forward
+/// pass lowers to `im2col` + matmul (see `advcomp_tensor::conv`), which is
+/// also the ablation subject of the `conv` benchmark.
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug)]
+struct ConvCache {
+    cols: Tensor,
+    geom: Conv2dGeometry,
+    batch: usize,
+    out_hw: (usize, usize),
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-initialised kernels and zero bias.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self::with_name(
+            "conv", in_channels, out_channels, kernel, stride, padding, rng,
+        )
+    }
+
+    /// Creates a named convolution (names scope parameters, e.g. `"conv1"`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_name<R: Rng + ?Sized>(
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        let w = Init::Kaiming {
+            mode: advcomp_tensor::FanMode::FanIn,
+        }
+        .tensor(&[out_channels, in_channels, kernel, kernel], rng);
+        Conv2d {
+            weight: Param::new(format!("{name}.weight"), w, ParamKind::Weight),
+            bias: Param::new(
+                format!("{name}.bias"),
+                Tensor::zeros(&[out_channels]),
+                ParamKind::Bias,
+            ),
+            kernel,
+            stride,
+            padding,
+            cache: None,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value.shape()[1]
+    }
+
+    fn weight_2d(&self) -> Result<Tensor> {
+        let s = self.weight.value.shape();
+        Ok(self.weight.value.reshape(&[s[0], s[1] * s[2] * s[3]])?)
+    }
+}
+
+/// Reorders a `[n·oh·ow, oc]` GEMM output into NCHW `[n, oc, oh, ow]`.
+fn rows_to_nchw(rows: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    let src = rows.data();
+    let dst = out.data_mut();
+    for b in 0..n {
+        for y in 0..oh {
+            for x in 0..ow {
+                let row = ((b * oh + y) * ow + x) * oc;
+                for o in 0..oc {
+                    dst[((b * oc + o) * oh + y) * ow + x] = src[row + o];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`rows_to_nchw`]: NCHW gradient back to GEMM row layout.
+fn nchw_to_rows(t: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[n * oh * ow, oc]);
+    let src = t.data();
+    let dst = out.data_mut();
+    for b in 0..n {
+        for o in 0..oc {
+            for y in 0..oh {
+                for x in 0..ow {
+                    dst[((b * oh + y) * ow + x) * oc + o] = src[((b * oc + o) * oh + y) * ow + x];
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.ndim() != 4 {
+            return Err(NnError::Tensor(advcomp_tensor::TensorError::RankMismatch {
+                expected: 4,
+                actual: input.ndim(),
+                op: "conv2d",
+            }));
+        }
+        let (n, _c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let geom = Conv2dGeometry {
+            in_channels: self.in_channels(),
+            in_h: h,
+            in_w: w,
+            kernel_h: self.kernel,
+            kernel_w: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        };
+        let (oh, ow) = geom.output_hw()?;
+        let cols = im2col(input, &geom)?;
+        let w2d = self.weight_2d()?; // [oc, patch]
+        let out2d = cols.matmul(&w2d.t()?)?; // [n*oh*ow, oc]
+        let out2d = out2d.add_row_broadcast(&self.bias.value)?;
+        let out = rows_to_nchw(&out2d, n, self.out_channels(), oh, ow);
+        self.cache = Some(ConvCache {
+            cols,
+            geom,
+            batch: n,
+            out_hw: (oh, ow),
+        });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "conv2d" })?;
+        let (oh, ow) = cache.out_hw;
+        let (n, oc) = (cache.batch, self.out_channels());
+        if grad_output.shape() != [n, oc, oh, ow] {
+            return Err(NnError::Tensor(
+                advcomp_tensor::TensorError::ShapeMismatch {
+                    lhs: grad_output.shape().to_vec(),
+                    rhs: vec![n, oc, oh, ow],
+                    op: "conv2d backward",
+                },
+            ));
+        }
+        let g2d = nchw_to_rows(grad_output, n, oc, oh, ow); // [n*oh*ow, oc]
+        // dL/dW = g2dᵀ · cols, reshaped back to 4-D.
+        let gw2d = g2d.t()?.matmul(&cache.cols)?;
+        let gw = gw2d.reshape(self.weight.value.shape())?;
+        self.weight.grad.add_assign(&gw)?;
+        let gb = g2d.sum_axis0()?;
+        self.bias.grad.add_assign(&gb)?;
+        // dL/dx = col2im(g2d · W2d).
+        let w2d = self.weight_2d()?;
+        let gcols = g2d.matmul(&w2d)?;
+        let gx = col2im(&gcols, &cache.geom, n)?;
+        Ok(gx)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn kind(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2)
+    }
+
+    #[test]
+    fn identity_kernel_passthrough() {
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng());
+        conv.params_mut()[0].value = Tensor::new(&[1, 1, 1, 1], vec![1.0]).unwrap();
+        let x = Tensor::new(&[1, 1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, &mut rng());
+        conv.params_mut()[0].value = Tensor::ones(&[1, 1, 3, 3]);
+        conv.params_mut()[1].value = Tensor::from_vec(vec![0.5]);
+        let x = Tensor::new(&[1, 1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data(), &[45.5]);
+    }
+
+    #[test]
+    fn multi_channel_output_layout() {
+        let mut conv = Conv2d::new(1, 2, 1, 1, 0, &mut rng());
+        conv.params_mut()[0].value = Tensor::new(&[2, 1, 1, 1], vec![1.0, 10.0]).unwrap();
+        let x = Tensor::new(&[1, 1, 1, 2], vec![3.0, 4.0]).unwrap();
+        let y = conv.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 1, 2]);
+        assert_eq!(y.data(), &[3.0, 4.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn rejects_non_4d_input() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, &mut rng());
+        assert!(conv.forward(&Tensor::zeros(&[4, 4]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng());
+        let x = Tensor::zeros(&[2, 2, 5, 5]);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[2, 3, 5, 5]);
+        let gx = conv.backward(&Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+        assert_eq!(conv.params()[0].grad.shape(), &[3, 2, 3, 3]);
+        assert_eq!(conv.params()[1].grad.shape(), &[3]);
+        // Bias grad of an all-ones upstream gradient = #positions per channel.
+        assert!(conv.params()[1]
+            .grad
+            .allclose(&Tensor::full(&[3], 50.0), 1e-5));
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, &mut rng());
+        assert!(matches!(
+            conv.backward(&Tensor::zeros(&[1, 1, 1, 1])),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        use crate::{finite_diff_input_grad, finite_diff_param_grad, Sequential};
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::new(1, 2, 3, 1, 1, &mut rng())),
+            Box::new(crate::Flatten::new()),
+            Box::new(crate::Dense::new(2 * 4 * 4, 3, &mut rng())),
+        ]);
+        let x = Init::Uniform { lo: 0.0, hi: 1.0 }.tensor(&[2, 1, 4, 4], &mut rng());
+        let labels = vec![0usize, 2usize];
+        let logits = net.forward(&x, Mode::Train).unwrap();
+        let loss = crate::softmax_cross_entropy(&logits, &labels).unwrap();
+        net.zero_grad();
+        let gx = net.backward(&loss.grad).unwrap();
+        let num_gx = finite_diff_input_grad(&mut net, &x, &labels, 1e-2).unwrap();
+        assert!(gx.allclose(&num_gx, 3e-2), "input gradient mismatch");
+        let num_gw = finite_diff_param_grad(&mut net, &x, &labels, "conv.weight", 1e-2).unwrap();
+        let analytic_gw = net
+            .params()
+            .into_iter()
+            .find(|p| p.name == "conv.weight")
+            .unwrap()
+            .grad
+            .clone();
+        assert!(analytic_gw.allclose(&num_gw, 3e-2), "weight gradient mismatch");
+    }
+
+    #[test]
+    fn rows_nchw_roundtrip() {
+        let rows = Tensor::new(&[4, 3], (0..12).map(|v| v as f32).collect()).unwrap();
+        let nchw = rows_to_nchw(&rows, 1, 3, 2, 2);
+        let back = nchw_to_rows(&nchw, 1, 3, 2, 2);
+        assert_eq!(back.data(), rows.data());
+    }
+}

@@ -1,0 +1,171 @@
+//! Fully-connected layer.
+
+use crate::layer::{Layer, Mode};
+use crate::param::{Param, ParamKind};
+use crate::{NnError, Result};
+use advcomp_tensor::{Init, Tensor};
+use rand::Rng;
+
+/// A fully-connected (affine) layer: `y = x Wᵀ + b`.
+///
+/// Weight shape is `[out, in]`, bias `[out]`; inputs are `[batch, in]`.
+#[derive(Debug)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Kaiming-initialised weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        Self::with_name("dense", in_features, out_features, rng)
+    }
+
+    /// Creates a named dense layer (names scope parameters, e.g. `"fc1"`).
+    pub fn with_name<R: Rng + ?Sized>(
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut R,
+    ) -> Self {
+        let w = Init::Kaiming {
+            mode: advcomp_tensor::FanMode::FanIn,
+        }
+        .tensor(&[out_features, in_features], rng);
+        Dense {
+            weight: Param::new(format!("{name}.weight"), w, ParamKind::Weight),
+            bias: Param::new(
+                format!("{name}.bias"),
+                Tensor::zeros(&[out_features]),
+                ParamKind::Bias,
+            ),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.shape()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let wt = self.weight.value.t()?;
+        let y = input.matmul(&wt)?;
+        let y = y.add_row_broadcast(&self.bias.value)?;
+        self.cached_input = Some(input.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "dense" })?;
+        // dL/dW = gᵀ x, dL/db = Σ_batch g, dL/dx = g W.
+        let gw = grad_output.t()?.matmul(input)?;
+        self.weight.grad.add_assign(&gw)?;
+        let gb = grad_output.sum_axis0()?;
+        self.bias.grad.add_assign(&gb)?;
+        Ok(grad_output.matmul(&self.weight.value)?)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn kind(&self) -> &'static str {
+        "dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut layer = Dense::new(3, 2, &mut rng());
+        // Overwrite params for a deterministic check.
+        layer.params_mut()[0].value = Tensor::new(&[2, 3], vec![1., 0., 0., 0., 1., 0.]).unwrap();
+        layer.params_mut()[1].value = Tensor::from_vec(vec![10.0, 20.0]);
+        let x = Tensor::new(&[1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let y = layer.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut layer = Dense::new(3, 2, &mut rng());
+        let g = Tensor::zeros(&[1, 2]);
+        assert!(matches!(
+            layer.backward(&g),
+            Err(NnError::BackwardBeforeForward { layer: "dense" })
+        ));
+    }
+
+    #[test]
+    fn backward_gradients_exact_small_case() {
+        let mut layer = Dense::new(2, 1, &mut rng());
+        layer.params_mut()[0].value = Tensor::new(&[1, 2], vec![3.0, 4.0]).unwrap();
+        layer.params_mut()[1].value = Tensor::from_vec(vec![0.0]);
+        let x = Tensor::new(&[1, 2], vec![5.0, 6.0]).unwrap();
+        layer.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::new(&[1, 1], vec![2.0]).unwrap();
+        let gx = layer.backward(&g).unwrap();
+        assert_eq!(gx.data(), &[6.0, 8.0]); // g * W
+        assert_eq!(layer.params()[0].grad.data(), &[10.0, 12.0]); // gᵀ x
+        assert_eq!(layer.params()[1].grad.data(), &[2.0]);
+    }
+
+    #[test]
+    fn backward_accumulates() {
+        let mut layer = Dense::new(2, 1, &mut rng());
+        let x = Tensor::new(&[1, 2], vec![1.0, 1.0]).unwrap();
+        layer.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::new(&[1, 1], vec![1.0]).unwrap();
+        layer.backward(&g).unwrap();
+        let first = layer.params()[1].grad.data()[0];
+        layer.backward(&g).unwrap();
+        assert_eq!(layer.params()[1].grad.data()[0], 2.0 * first);
+    }
+
+    #[test]
+    fn param_names_scoped() {
+        let layer = Dense::with_name("fc1", 4, 4, &mut rng());
+        let names: Vec<_> = layer.params().iter().map(|p| p.name.clone()).collect();
+        assert_eq!(names, vec!["fc1.weight", "fc1.bias"]);
+    }
+
+    #[test]
+    fn matches_finite_difference() {
+        use crate::{finite_diff_input_grad, Sequential};
+        let mut net = Sequential::new(vec![Box::new(Dense::new(3, 2, &mut rng()))]);
+        let x = Tensor::new(&[2, 3], vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6]).unwrap();
+        let labels = vec![0usize, 1usize];
+        let analytic = {
+            let logits = net.forward(&x, Mode::Train).unwrap();
+            let loss = crate::softmax_cross_entropy(&logits, &labels).unwrap();
+            net.backward(&loss.grad).unwrap()
+        };
+        let numeric = finite_diff_input_grad(&mut net, &x, &labels, 1e-3).unwrap();
+        assert!(analytic.allclose(&numeric, 1e-2));
+    }
+}

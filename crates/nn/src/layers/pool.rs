@@ -1,0 +1,191 @@
+//! Max pooling.
+
+use crate::layer::{Layer, Mode};
+use crate::{NnError, Result};
+use advcomp_tensor::{Tensor, TensorError};
+
+/// 2-D max pooling over NCHW input with a square window.
+///
+/// Caches the argmax position of every window so the backward pass routes
+/// each output gradient to the single input element that produced it.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    cache: Option<PoolCache>,
+}
+
+#[derive(Debug)]
+struct PoolCache {
+    input_shape: Vec<usize>,
+    /// Linear input index of the max of each output position.
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with the given window and stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be >= 1");
+        MaxPool2d {
+            kernel,
+            stride,
+            cache: None,
+        }
+    }
+
+    fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if h < self.kernel || w < self.kernel {
+            return Err(NnError::Tensor(TensorError::InvalidGeometry(format!(
+                "pool window {} larger than input {h}x{w}",
+                self.kernel
+            ))));
+        }
+        Ok((
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        ))
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if input.ndim() != 4 {
+            return Err(NnError::Tensor(TensorError::RankMismatch {
+                expected: 4,
+                actual: input.ndim(),
+                op: "maxpool2d",
+            }));
+        }
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let (oh, ow) = self.output_hw(h, w)?;
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        let src = input.data();
+        let dst = out.data_mut();
+        for b in 0..n {
+            for ch in 0..c {
+                let plane = (b * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best_idx = plane + oy * self.stride * w + ox * self.stride;
+                        let mut best = src[best_idx];
+                        for ky in 0..self.kernel {
+                            let row = plane + (oy * self.stride + ky) * w + ox * self.stride;
+                            for kx in 0..self.kernel {
+                                let idx = row + kx;
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let o = ((b * c + ch) * oh + oy) * ow + ox;
+                        dst[o] = best;
+                        argmax[o] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cache = Some(PoolCache {
+            input_shape: input.shape().to_vec(),
+            argmax,
+        });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "maxpool2d" })?;
+        if grad_output.len() != cache.argmax.len() {
+            return Err(NnError::Tensor(TensorError::LengthMismatch {
+                expected: cache.argmax.len(),
+                actual: grad_output.len(),
+            }));
+        }
+        let mut gx = Tensor::zeros(&cache.input_shape);
+        let dst = gx.data_mut();
+        for (o, &idx) in cache.argmax.iter().enumerate() {
+            dst[idx] += grad_output.data()[o];
+        }
+        Ok(gx)
+    }
+
+    fn kind(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_2x2() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::new(
+            &[1, 1, 4, 4],
+            vec![
+                1., 2., 3., 4., //
+                5., 6., 7., 8., //
+                9., 10., 11., 12., //
+                13., 14., 15., 16.,
+            ],
+        )
+        .unwrap();
+        let y = pool.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[6., 8., 14., 16.]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::new(&[1, 1, 2, 2], vec![1., 9., 3., 4.]).unwrap();
+        pool.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::new(&[1, 1, 1, 1], vec![5.0]).unwrap();
+        let gx = pool.backward(&g).unwrap();
+        assert_eq!(gx.data(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn overlapping_windows_accumulate() {
+        let mut pool = MaxPool2d::new(2, 1);
+        let x = Tensor::new(&[1, 1, 2, 3], vec![0., 9., 0., 0., 0., 0.]).unwrap();
+        let y = pool.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 1, 2]);
+        assert_eq!(y.data(), &[9., 9.]);
+        let g = Tensor::new(&[1, 1, 1, 2], vec![1.0, 1.0]).unwrap();
+        let gx = pool.backward(&g).unwrap();
+        assert_eq!(gx.data()[1], 2.0);
+    }
+
+    #[test]
+    fn rejects_small_input() {
+        let mut pool = MaxPool2d::new(3, 1);
+        assert!(pool.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval).is_err());
+        assert!(pool.forward(&Tensor::zeros(&[2, 2]), Mode::Eval).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel and stride")]
+    fn zero_kernel_panics() {
+        MaxPool2d::new(0, 1);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut pool = MaxPool2d::new(2, 2);
+        assert!(pool.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+    }
+}

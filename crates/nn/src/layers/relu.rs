@@ -1,0 +1,83 @@
+//! Rectified linear activation.
+
+use crate::layer::{Layer, Mode};
+use crate::{NnError, Result};
+use advcomp_tensor::Tensor;
+
+/// `y = max(0, x)` elementwise.
+///
+/// Retains its last output so activation distributions can be sampled for
+/// the paper's Figure 6 CDFs.
+#[derive(Debug, Default)]
+pub struct Relu {
+    last_output: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { last_output: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        let y = input.map(|v| v.max(0.0));
+        self.last_output = Some(y.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let y = self
+            .last_output
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "relu" })?;
+        Ok(grad_output.zip_map(y, |g, out| if out > 0.0 { g } else { 0.0 })?)
+    }
+
+    fn kind(&self) -> &'static str {
+        "relu"
+    }
+
+    fn last_output(&self) -> Option<&Tensor> {
+        self.last_output.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0]);
+        let y = relu.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0]);
+        relu.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::from_vec(vec![10.0, 10.0, 10.0]);
+        let gx = relu.backward(&g).unwrap();
+        // Subgradient at exactly 0 chosen as 0 (matches TF's relu_grad).
+        assert_eq!(gx.data(), &[0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn backward_requires_forward() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::zeros(&[1])).is_err());
+    }
+
+    #[test]
+    fn exposes_last_output() {
+        let mut relu = Relu::new();
+        assert!(relu.last_output().is_none());
+        relu.forward(&Tensor::from_vec(vec![1.0]), Mode::Eval).unwrap();
+        assert_eq!(relu.last_output().unwrap().data(), &[1.0]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Classification losses and metrics.
+
+use crate::{NnError, Result};
+use advcomp_tensor::{Tensor, TensorError};
+
+/// Loss value plus the gradient to seed backpropagation with.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// `dLoss/dLogits`, shaped like the logit matrix.
+    pub grad: Tensor,
+}
+
+/// Numerically-stable row-wise softmax of a `[batch, classes]` matrix.
+///
+/// # Errors
+///
+/// Returns a rank error unless `logits` is 2-D.
+pub fn softmax(logits: &Tensor) -> Result<Tensor> {
+    if logits.ndim() != 2 {
+        return Err(NnError::Tensor(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.ndim(),
+            op: "softmax",
+        }));
+    }
+    let (m, n) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = logits.clone();
+    for i in 0..m {
+        let row = &mut out.data_mut()[i * n..(i + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Ok(out)
+}
+
+/// Mean softmax cross-entropy `J(θ, X, y)` over a batch, with its gradient
+/// with respect to the logits (`(softmax - onehot) / batch`).
+///
+/// This is the cost function every gradient-based attack in the paper
+/// differentiates (Equations 4–5).
+///
+/// # Errors
+///
+/// Returns [`NnError::BatchMismatch`] when label count differs from the
+/// batch, [`NnError::LabelOutOfRange`] for a bad label, and
+/// [`NnError::NonFinite`] if the logits contain NaN/Inf.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOutput> {
+    if logits.ndim() != 2 {
+        return Err(NnError::Tensor(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.ndim(),
+            op: "softmax_cross_entropy",
+        }));
+    }
+    let (m, n) = (logits.shape()[0], logits.shape()[1]);
+    if labels.len() != m {
+        return Err(NnError::BatchMismatch {
+            logits: m,
+            labels: labels.len(),
+        });
+    }
+    if logits.has_non_finite() {
+        return Err(NnError::NonFinite { context: "logits" });
+    }
+    let probs = softmax(logits)?;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (i, &label) in labels.iter().enumerate() {
+        if label >= n {
+            return Err(NnError::LabelOutOfRange { label, classes: n });
+        }
+        let p = probs.data()[i * n + label].max(1e-12);
+        loss -= p.ln();
+        grad.data_mut()[i * n + label] -= 1.0;
+    }
+    let scale = 1.0 / m as f32;
+    Ok(LossOutput {
+        loss: loss * scale,
+        grad: grad.scale(scale),
+    })
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Errors
+///
+/// Returns [`NnError::BatchMismatch`] when label count differs from rows.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> Result<f64> {
+    let preds = logits.argmax_rows()?;
+    if preds.len() != labels.len() {
+        return Err(NnError::BatchMismatch {
+            logits: preds.len(),
+            labels: labels.len(),
+        });
+    }
+    if preds.is_empty() {
+        return Ok(0.0);
+    }
+    let correct = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    Ok(correct as f64 / labels.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let l = Tensor::new(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let p = softmax(&l).unwrap();
+        for i in 0..2 {
+            let s: f32 = p.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        assert!(p.data().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn softmax_stable_for_huge_logits() {
+        let l = Tensor::new(&[1, 2], vec![1000.0, 1001.0]).unwrap();
+        let p = softmax(&l).unwrap();
+        assert!(!p.has_non_finite());
+        assert!(p.data()[1] > p.data()[0]);
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_prediction_is_small() {
+        let l = Tensor::new(&[1, 3], vec![10.0, 0.0, 0.0]).unwrap();
+        let out = softmax_cross_entropy(&l, &[0]).unwrap();
+        assert!(out.loss < 1e-3);
+        // Gradient points away from increasing the true logit.
+        assert!(out.grad.data()[0] < 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_classes() {
+        let l = Tensor::zeros(&[1, 10]);
+        let out = softmax_cross_entropy(&l, &[4]).unwrap();
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let l = Tensor::new(&[2, 3], vec![0.5, -1.0, 2.0, 0.0, 0.0, 0.0]).unwrap();
+        let out = softmax_cross_entropy(&l, &[2, 0]).unwrap();
+        for i in 0..2 {
+            let s: f32 = out.grad.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let l = Tensor::new(&[1, 3], vec![0.3, -0.7, 1.1]).unwrap();
+        let labels = [1usize];
+        let out = softmax_cross_entropy(&l, &labels).unwrap();
+        let eps = 1e-3;
+        for j in 0..3 {
+            let mut lp = l.clone();
+            lp.data_mut()[j] += eps;
+            let mut lm = l.clone();
+            lm.data_mut()[j] -= eps;
+            let fp = softmax_cross_entropy(&lp, &labels).unwrap().loss;
+            let fm = softmax_cross_entropy(&lm, &labels).unwrap().loss;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - out.grad.data()[j]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let l = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            softmax_cross_entropy(&l, &[0]),
+            Err(NnError::BatchMismatch { .. })
+        ));
+        assert!(matches!(
+            softmax_cross_entropy(&l, &[0, 5]),
+            Err(NnError::LabelOutOfRange { label: 5, classes: 3 })
+        ));
+        let bad = Tensor::new(&[1, 2], vec![f32::NAN, 0.0]).unwrap();
+        assert!(matches!(
+            softmax_cross_entropy(&bad, &[0]),
+            Err(NnError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let l = Tensor::new(&[3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
+        assert!((accuracy(&l, &[0, 1, 1]).unwrap() - 2.0 / 3.0).abs() < 1e-9);
+        assert!(accuracy(&l, &[0]).is_err());
+    }
+}

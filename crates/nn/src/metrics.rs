@@ -1,0 +1,199 @@
+//! Classification metrics beyond plain accuracy.
+
+use crate::{NnError, Result};
+use advcomp_tensor::Tensor;
+
+/// A confusion matrix over `k` classes: `counts[true][predicted]`.
+///
+/// The transfer experiments report scalar accuracy; the confusion matrix is
+/// the drill-down view (which classes an attack pushes samples *into* —
+/// untargeted attacks typically concentrate on a few sink classes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over `classes` classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when `classes == 0`.
+    pub fn new(classes: usize) -> Result<Self> {
+        if classes == 0 {
+            return Err(NnError::InvalidConfig("classes must be >= 1".into()));
+        }
+        Ok(ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        })
+    }
+
+    /// Builds a matrix from logits and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns batch/label errors mirroring [`crate::accuracy`].
+    pub fn from_logits(logits: &Tensor, labels: &[usize], classes: usize) -> Result<Self> {
+        let mut cm = Self::new(classes)?;
+        let preds = logits.argmax_rows()?;
+        if preds.len() != labels.len() {
+            return Err(NnError::BatchMismatch {
+                logits: preds.len(),
+                labels: labels.len(),
+            });
+        }
+        for (&t, &p) in labels.iter().zip(&preds) {
+            cm.record(t, p)?;
+        }
+        Ok(cm)
+    }
+
+    /// Records one observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LabelOutOfRange`] for out-of-range classes.
+    pub fn record(&mut self, true_class: usize, predicted: usize) -> Result<()> {
+        if true_class >= self.classes {
+            return Err(NnError::LabelOutOfRange {
+                label: true_class,
+                classes: self.classes,
+            });
+        }
+        if predicted >= self.classes {
+            return Err(NnError::LabelOutOfRange {
+                label: predicted,
+                classes: self.classes,
+            });
+        }
+        self.counts[true_class * self.classes + predicted] += 1;
+        Ok(())
+    }
+
+    /// Count of samples with `true_class` predicted as `predicted`.
+    pub fn count(&self, true_class: usize, predicted: usize) -> u64 {
+        self.counts[true_class * self.classes + predicted]
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall (`None` when a class has no samples).
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / row as f64)
+        }
+    }
+
+    /// Per-class precision (`None` when nothing was predicted as `class`).
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let col: u64 = (0..self.classes).map(|t| self.count(t, class)).sum();
+        if col == 0 {
+            None
+        } else {
+            Some(self.count(class, class) as f64 / col as f64)
+        }
+    }
+
+    /// The class most often predicted for *misclassified* samples — the
+    /// "sink" an untargeted attack funnels inputs into (`None` if nothing
+    /// was misclassified).
+    pub fn dominant_error_sink(&self) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for p in 0..self.classes {
+            let wrong: u64 = (0..self.classes)
+                .filter(|&t| t != p)
+                .map(|t| self.count(t, p))
+                .sum();
+            if wrong > 0 && best.map_or(true, |(w, _)| wrong > w) {
+                best = Some((wrong, p));
+            }
+        }
+        best.map(|(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_accuracy() {
+        let mut cm = ConfusionMatrix::new(3).unwrap();
+        cm.record(0, 0).unwrap();
+        cm.record(0, 0).unwrap();
+        cm.record(1, 2).unwrap();
+        cm.record(2, 2).unwrap();
+        assert_eq!(cm.total(), 4);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        assert_eq!(cm.count(1, 2), 1);
+    }
+
+    #[test]
+    fn recall_and_precision() {
+        let mut cm = ConfusionMatrix::new(2).unwrap();
+        cm.record(0, 0).unwrap();
+        cm.record(0, 1).unwrap();
+        cm.record(1, 1).unwrap();
+        assert_eq!(cm.recall(0), Some(0.5));
+        assert_eq!(cm.precision(1), Some(0.5));
+        let empty = ConfusionMatrix::new(2).unwrap();
+        assert_eq!(empty.recall(0), None);
+        assert_eq!(empty.precision(0), None);
+        assert_eq!(empty.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn from_logits_matches_manual() {
+        let logits = Tensor::new(&[3, 2], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
+        let cm = ConfusionMatrix::from_logits(&logits, &[0, 1, 1], 2).unwrap();
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(1, 1), 1);
+        assert_eq!(cm.count(1, 0), 1);
+        assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_sink_detection() {
+        let mut cm = ConfusionMatrix::new(3).unwrap();
+        cm.record(0, 2).unwrap();
+        cm.record(1, 2).unwrap();
+        cm.record(2, 2).unwrap(); // correct, not an error
+        cm.record(0, 1).unwrap();
+        assert_eq!(cm.dominant_error_sink(), Some(2));
+        let clean = ConfusionMatrix::new(2).unwrap();
+        assert_eq!(clean.dominant_error_sink(), None);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ConfusionMatrix::new(0).is_err());
+        let mut cm = ConfusionMatrix::new(2).unwrap();
+        assert!(cm.record(2, 0).is_err());
+        assert!(cm.record(0, 5).is_err());
+        let logits = Tensor::zeros(&[2, 2]);
+        assert!(ConfusionMatrix::from_logits(&logits, &[0], 2).is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Optimisers and learning-rate schedules.
+
+use crate::param::Param;
+use crate::{NnError, Result};
+use advcomp_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Stochastic gradient descent with classical momentum and L2 weight decay.
+///
+/// Velocity buffers are keyed by parameter name, so the same optimiser
+/// instance can be reused across fine-tuning phases (the paper fine-tunes
+/// after every pruning/quantisation step).
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: HashMap<String, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimiser.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for non-positive learning rate or
+    /// out-of-range momentum/decay.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Result<Self> {
+        if !(lr > 0.0 && lr.is_finite()) {
+            return Err(NnError::InvalidConfig(format!("learning rate {lr} must be positive")));
+        }
+        if !(0.0..1.0).contains(&momentum) {
+            return Err(NnError::InvalidConfig(format!("momentum {momentum} must be in [0,1)")));
+        }
+        if weight_decay < 0.0 {
+            return Err(NnError::InvalidConfig(format!("weight decay {weight_decay} must be >= 0")));
+        }
+        Ok(Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: HashMap::new(),
+        })
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (called by schedules between epochs).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update to every parameter from its accumulated gradient.
+    ///
+    /// `v ← μv + (g + λw)`, `w ← w − ηv`. Weight decay is not applied to
+    /// biases, following the training setup the paper inherits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (which indicate parameter aliasing bugs).
+    pub fn step(&mut self, params: Vec<&mut Param>) -> Result<()> {
+        for p in params {
+            let decay = match p.kind {
+                crate::param::ParamKind::Weight => self.weight_decay,
+                crate::param::ParamKind::Bias => 0.0,
+            };
+            let v = self
+                .velocity
+                .entry(p.name.clone())
+                .or_insert_with(|| Tensor::zeros(p.value.shape()));
+            if v.shape() != p.value.shape() {
+                // Parameter was reshaped since last seen; reset state.
+                *v = Tensor::zeros(p.value.shape());
+            }
+            let vd = v.data_mut();
+            let wd = p.value.data_mut();
+            let gd = p.grad.data();
+            for i in 0..wd.len() {
+                let g = gd[i] + decay * wd[i];
+                vd[i] = self.momentum * vd[i] + g;
+                wd[i] -= self.lr * vd[i];
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears all momentum state.
+    pub fn reset_state(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// A learning-rate schedule: maps an epoch index to a learning rate.
+pub trait LrSchedule {
+    /// Learning rate to use for `epoch` (0-based).
+    fn lr_at(&self, epoch: usize) -> f32;
+}
+
+/// Step decay: start at `initial` and multiply by `factor` at each
+/// milestone. The paper trains "with three scheduled learning rate decays
+/// starting from 0.01", each decay dividing by 10 — i.e.
+/// `StepDecay::paper(epochs)`.
+#[derive(Debug, Clone)]
+pub struct StepDecay {
+    initial: f32,
+    factor: f32,
+    milestones: Vec<usize>,
+}
+
+impl StepDecay {
+    /// Creates a schedule decaying by `factor` at each milestone epoch.
+    pub fn new(initial: f32, factor: f32, milestones: Vec<usize>) -> Self {
+        StepDecay {
+            initial,
+            factor,
+            milestones,
+        }
+    }
+
+    /// The paper's schedule shape: initial 0.01, three 10× decays evenly
+    /// spaced over `total_epochs`.
+    pub fn paper(total_epochs: usize) -> Self {
+        let q = total_epochs.max(4) / 4;
+        StepDecay::new(0.01, 0.1, vec![q, 2 * q, 3 * q])
+    }
+}
+
+impl LrSchedule for StepDecay {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        let passed = self.milestones.iter().filter(|&&m| epoch >= m).count();
+        self.initial * self.factor.powi(passed as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::ParamKind;
+
+    fn param(name: &str, vals: Vec<f32>, grads: Vec<f32>, kind: ParamKind) -> Param {
+        let mut p = Param::new(name, Tensor::from_vec(vals), kind);
+        p.grad = Tensor::from_vec(grads);
+        p
+    }
+
+    #[test]
+    fn plain_sgd_step() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.0).unwrap();
+        let mut p = param("w", vec![1.0], vec![2.0], ParamKind::Weight);
+        opt.step(vec![&mut p]).unwrap();
+        assert!((p.value.data()[0] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = Sgd::new(0.1, 0.9, 0.0).unwrap();
+        let mut p = param("w", vec![0.0], vec![1.0], ParamKind::Weight);
+        opt.step(vec![&mut p]).unwrap(); // v=1, w=-0.1
+        opt.step(vec![&mut p]).unwrap(); // v=1.9, w=-0.29
+        assert!((p.value.data()[0] + 0.29).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_skips_biases() {
+        let mut opt = Sgd::new(0.1, 0.0, 1.0).unwrap();
+        let mut w = param("w", vec![1.0], vec![0.0], ParamKind::Weight);
+        let mut b = param("b", vec![1.0], vec![0.0], ParamKind::Bias);
+        opt.step(vec![&mut w, &mut b]).unwrap();
+        assert!((w.value.data()[0] - 0.9).abs() < 1e-6);
+        assert_eq!(b.value.data()[0], 1.0);
+    }
+
+    #[test]
+    fn invalid_hyperparams_rejected() {
+        assert!(Sgd::new(0.0, 0.0, 0.0).is_err());
+        assert!(Sgd::new(0.1, 1.0, 0.0).is_err());
+        assert!(Sgd::new(0.1, 0.5, -1.0).is_err());
+        assert!(Sgd::new(f32::NAN, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn reset_state_clears_momentum() {
+        let mut opt = Sgd::new(0.1, 0.9, 0.0).unwrap();
+        let mut p = param("w", vec![0.0], vec![1.0], ParamKind::Weight);
+        opt.step(vec![&mut p]).unwrap();
+        opt.reset_state();
+        let before = p.value.data()[0];
+        opt.step(vec![&mut p]).unwrap();
+        // With cleared momentum the step is the plain -lr*g again.
+        assert!((p.value.data()[0] - (before - 0.1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_decay_schedule() {
+        let s = StepDecay::new(0.01, 0.1, vec![10, 20, 30]);
+        assert!((s.lr_at(0) - 0.01).abs() < 1e-9);
+        assert!((s.lr_at(10) - 0.001).abs() < 1e-9);
+        assert!((s.lr_at(25) - 0.0001).abs() < 1e-9);
+        assert!((s.lr_at(35) - 0.00001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_schedule_has_three_decays() {
+        let s = StepDecay::paper(40);
+        assert!((s.lr_at(0) - 0.01).abs() < 1e-9);
+        assert!(s.lr_at(39) < 0.01 * 0.1f32.powi(2));
+    }
+}

@@ -1,0 +1,79 @@
+//! Trainable parameters.
+
+use advcomp_tensor::Tensor;
+
+/// Role a parameter plays inside its layer.
+///
+/// Compression treats the two differently: the paper prunes and quantises
+/// *weights* (and activations) but leaves biases in full precision, the
+/// standard practice its Mayo tool follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamKind {
+    /// A multiplicative kernel (dense or convolutional weight matrix).
+    Weight,
+    /// An additive bias vector.
+    Bias,
+}
+
+/// A named trainable tensor with its accumulated gradient.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Unique name within the network, e.g. `"conv1.weight"`.
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated since the last [`Param::zero_grad`].
+    pub grad: Tensor,
+    /// Whether this is a weight or a bias.
+    pub kind: ParamKind,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient of matching shape.
+    pub fn new(name: impl Into<String>, value: Tensor, kind: ParamKind) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param {
+            name: name.into(),
+            value,
+            grad,
+            kind,
+        }
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+
+    /// Number of scalar elements.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// `true` when the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new("w", Tensor::ones(&[2, 2]), ParamKind::Weight);
+        assert_eq!(p.grad.shape(), &[2, 2]);
+        assert_eq!(p.grad.l0_norm(), 0);
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new("b", Tensor::ones(&[3]), ParamKind::Bias);
+        p.grad.data_mut().fill(5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Errors produced when constructing or using fixed-point formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QFormatError {
+    /// A format's total bitwidth was outside the supported `2..=32` range.
+    InvalidBitwidth {
+        /// Requested total bits (`int + frac`).
+        bits: u32,
+    },
+    /// A format had zero integer bits — the sign bit must exist.
+    NoIntegerBits,
+    /// Two [`crate::Fixed`] operands carried different formats.
+    FormatMismatch {
+        /// Left operand format, as `(int_bits, frac_bits)`.
+        lhs: (u32, u32),
+        /// Right operand format.
+        rhs: (u32, u32),
+    },
+}
+
+impl fmt::Display for QFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QFormatError::InvalidBitwidth { bits } => {
+                write!(f, "total bitwidth {bits} is outside the supported range 2..=32")
+            }
+            QFormatError::NoIntegerBits => {
+                write!(f, "format requires at least one integer (sign) bit")
+            }
+            QFormatError::FormatMismatch { lhs, rhs } => write!(
+                f,
+                "fixed-point formats differ: Q{}.{} vs Q{}.{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QFormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(QFormatError::InvalidBitwidth { bits: 40 }
+            .to_string()
+            .contains("40"));
+        assert!(QFormatError::NoIntegerBits.to_string().contains("sign"));
+        let e = QFormatError::FormatMismatch {
+            lhs: (1, 3),
+            rhs: (2, 6),
+        };
+        assert!(e.to_string().contains("Q1.3"));
+        assert!(e.to_string().contains("Q2.6"));
+    }
+}

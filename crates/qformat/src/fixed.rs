@@ -1,0 +1,206 @@
+//! A fixed-point value type with saturating integer arithmetic.
+
+use crate::{QFormat, QFormatError, Result};
+use std::fmt;
+
+/// A fixed-point number: a raw two's-complement code paired with its
+/// [`QFormat`].
+///
+/// Arithmetic is performed entirely on integers (the efficiency argument
+/// that motivates quantisation in the paper) and saturates at the format's
+/// range, mirroring accelerator behaviour.
+///
+/// # Example
+///
+/// ```
+/// use advcomp_qformat::{Fixed, QFormat};
+///
+/// # fn main() -> Result<(), advcomp_qformat::QFormatError> {
+/// let q = QFormat::new(2, 6)?;
+/// let a = Fixed::from_f32(0.5, q);
+/// let b = Fixed::from_f32(0.25, q);
+/// assert_eq!(a.add(&b)?.to_f32(), 0.75);
+/// assert_eq!(a.mul(&b)?.to_f32(), 0.125);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fixed {
+    raw: i64,
+    format: QFormat,
+}
+
+impl Fixed {
+    /// Quantises a float into this format.
+    pub fn from_f32(value: f32, format: QFormat) -> Self {
+        Fixed {
+            raw: format.encode(value),
+            format,
+        }
+    }
+
+    /// Builds a value from a raw code, saturating it into range.
+    pub fn from_raw(raw: i64, format: QFormat) -> Self {
+        Fixed {
+            raw: raw.clamp(format.min_raw(), format.max_raw()),
+            format,
+        }
+    }
+
+    /// The raw two's-complement code.
+    pub fn raw(&self) -> i64 {
+        self.raw
+    }
+
+    /// The value's format.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Exact float value of this fixed-point number.
+    pub fn to_f32(&self) -> f32 {
+        self.format.decode(self.raw)
+    }
+
+    fn check_same_format(&self, other: &Fixed) -> Result<()> {
+        if self.format != other.format {
+            return Err(QFormatError::FormatMismatch {
+                lhs: (self.format.int_bits(), self.format.frac_bits()),
+                rhs: (other.format.int_bits(), other.format.frac_bits()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Saturating addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QFormatError::FormatMismatch`] when formats differ.
+    pub fn add(&self, other: &Fixed) -> Result<Fixed> {
+        self.check_same_format(other)?;
+        Ok(Fixed::from_raw(self.raw + other.raw, self.format))
+    }
+
+    /// Saturating subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QFormatError::FormatMismatch`] when formats differ.
+    pub fn sub(&self, other: &Fixed) -> Result<Fixed> {
+        self.check_same_format(other)?;
+        Ok(Fixed::from_raw(self.raw - other.raw, self.format))
+    }
+
+    /// Saturating multiplication with round-to-nearest rescaling.
+    ///
+    /// The full-precision product carries `2f` fractional bits; it is
+    /// rounded back to `f` bits before saturation, exactly as a fixed-point
+    /// MAC unit would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QFormatError::FormatMismatch`] when formats differ.
+    pub fn mul(&self, other: &Fixed) -> Result<Fixed> {
+        self.check_same_format(other)?;
+        let wide = self.raw as i128 * other.raw as i128;
+        let shift = self.format.frac_bits();
+        // Round to nearest: add half the divisor before shifting,
+        // symmetrically for negatives.
+        let half = 1i128 << (shift.max(1) - 1);
+        let rounded = if shift == 0 {
+            wide
+        } else if wide >= 0 {
+            (wide + half) >> shift
+        } else {
+            -((-wide + half) >> shift)
+        };
+        let clamped = rounded.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+        Ok(Fixed::from_raw(clamped, self.format))
+    }
+
+    /// Saturating negation.
+    pub fn neg(&self) -> Fixed {
+        Fixed::from_raw(-self.raw, self.format)
+    }
+}
+
+impl fmt::Display for Fixed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.to_f32(), self.format)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> QFormat {
+        QFormat::new(2, 6).unwrap() // Q2.6: range [-2, 1.984375]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let x = Fixed::from_f32(0.5, q());
+        assert_eq!(x.to_f32(), 0.5);
+        assert_eq!(x.raw(), 32);
+    }
+
+    #[test]
+    fn add_saturates() {
+        let a = Fixed::from_f32(1.5, q());
+        let b = Fixed::from_f32(1.5, q());
+        assert_eq!(a.add(&b).unwrap().to_f32(), q().max_value());
+        let c = Fixed::from_f32(-1.5, q());
+        assert_eq!(c.add(&c).unwrap().to_f32(), q().min_value());
+    }
+
+    #[test]
+    fn mul_rescales() {
+        let a = Fixed::from_f32(0.5, q());
+        let b = Fixed::from_f32(0.5, q());
+        assert_eq!(a.mul(&b).unwrap().to_f32(), 0.25);
+        let c = Fixed::from_f32(-0.5, q());
+        assert_eq!(a.mul(&c).unwrap().to_f32(), -0.25);
+    }
+
+    #[test]
+    fn mul_saturates() {
+        let a = Fixed::from_f32(1.9, q());
+        assert_eq!(a.mul(&a).unwrap().to_f32(), q().max_value());
+    }
+
+    #[test]
+    fn format_mismatch_rejected() {
+        let a = Fixed::from_f32(0.5, q());
+        let b = Fixed::from_f32(0.5, QFormat::new(1, 3).unwrap());
+        assert!(matches!(
+            a.add(&b),
+            Err(QFormatError::FormatMismatch { .. })
+        ));
+        assert!(a.mul(&b).is_err());
+        assert!(a.sub(&b).is_err());
+    }
+
+    #[test]
+    fn neg_saturates_min() {
+        // -(-2.0) would be 2.0, which is out of range; saturates to max.
+        let a = Fixed::from_f32(-2.0, q());
+        assert_eq!(a.neg().to_f32(), q().max_value());
+    }
+
+    #[test]
+    fn fixed_mul_matches_float_within_half_ulp() {
+        let fmt = QFormat::new(4, 12).unwrap();
+        for &(x, y) in &[(0.3f32, 0.7f32), (-1.2, 2.5), (3.9, -3.9), (0.001, 0.001)] {
+            let fx = Fixed::from_f32(x, fmt);
+            let fy = Fixed::from_f32(y, fmt);
+            let prod = fx.mul(&fy).unwrap().to_f32();
+            let reference = fmt.quantize(fx.to_f32() * fy.to_f32());
+            assert!(
+                (prod - reference).abs() <= fmt.resolution(),
+                "{x} * {y}: fixed {prod} vs float {reference}"
+            );
+        }
+    }
+}

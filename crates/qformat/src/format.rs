@@ -1,0 +1,280 @@
+//! The [`QFormat`] descriptor and its quantiser.
+
+use crate::{QFormatError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A signed fixed-point format `Qi.f`: `i` integer bits (the sign bit counts
+/// as an integer bit, matching the paper's §3.2 convention) and `f`
+/// fractional bits, for `i + f` total bits stored two's-complement.
+///
+/// Representable values are `k · 2^-f` for integer
+/// `k ∈ [-2^(i+f-1), 2^(i+f-1) - 1]`, i.e. the closed range
+/// `[-2^(i-1), 2^(i-1) - 2^-f]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QFormat {
+    int_bits: u32,
+    frac_bits: u32,
+}
+
+impl QFormat {
+    /// Creates a `Qi.f` format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QFormatError::NoIntegerBits`] when `int_bits == 0` and
+    /// [`QFormatError::InvalidBitwidth`] when `int_bits + frac_bits` is
+    /// outside `2..=32`.
+    pub fn new(int_bits: u32, frac_bits: u32) -> Result<Self> {
+        if int_bits == 0 {
+            return Err(QFormatError::NoIntegerBits);
+        }
+        let bits = int_bits + frac_bits;
+        if !(2..=32).contains(&bits) {
+            return Err(QFormatError::InvalidBitwidth { bits });
+        }
+        Ok(QFormat {
+            int_bits,
+            frac_bits,
+        })
+    }
+
+    /// The paper's integer-bit schedule (§3.2): bitwidth 4 → `Q1.3`,
+    /// bitwidth 8 → `Q2.6`, every other bitwidth → 4 integer bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QFormatError::InvalidBitwidth`] when `bitwidth` cannot hold
+    /// its scheduled integer bits plus at least zero fractional bits, or is
+    /// outside `2..=32`.
+    pub fn for_bitwidth(bitwidth: u32) -> Result<Self> {
+        let int_bits = match bitwidth {
+            4 => 1,
+            8 => 2,
+            _ => 4,
+        };
+        if bitwidth < int_bits {
+            return Err(QFormatError::InvalidBitwidth { bits: bitwidth });
+        }
+        QFormat::new(int_bits, bitwidth - int_bits)
+    }
+
+    /// Integer bits (including sign).
+    pub fn int_bits(&self) -> u32 {
+        self.int_bits
+    }
+
+    /// Fractional bits.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Total storage bits.
+    pub fn total_bits(&self) -> u32 {
+        self.int_bits + self.frac_bits
+    }
+
+    /// Quantisation step: `2^-f`.
+    pub fn resolution(&self) -> f32 {
+        (2.0f32).powi(-(self.frac_bits as i32))
+    }
+
+    /// Smallest representable value: `-2^(i-1)`.
+    pub fn min_value(&self) -> f32 {
+        -(2.0f32).powi(self.int_bits as i32 - 1)
+    }
+
+    /// Largest representable value: `2^(i-1) - 2^-f`.
+    pub fn max_value(&self) -> f32 {
+        (2.0f32).powi(self.int_bits as i32 - 1) - self.resolution()
+    }
+
+    /// Smallest raw two's-complement code.
+    pub fn min_raw(&self) -> i64 {
+        -(1i64 << (self.total_bits() - 1))
+    }
+
+    /// Largest raw two's-complement code.
+    pub fn max_raw(&self) -> i64 {
+        (1i64 << (self.total_bits() - 1)) - 1
+    }
+
+    /// Number of distinct representable levels: `2^(i+f)`.
+    pub fn levels(&self) -> u64 {
+        1u64 << self.total_bits()
+    }
+
+    /// Encodes a float to the nearest raw code, saturating at the range
+    /// edges. Ties round away from zero (`f32::round` semantics). NaN
+    /// encodes to zero — a quantised network must never propagate NaN.
+    pub fn encode(&self, value: f32) -> i64 {
+        if value.is_nan() {
+            return 0;
+        }
+        let scaled = (value as f64 * (1u64 << self.frac_bits) as f64).round();
+        if scaled <= self.min_raw() as f64 {
+            self.min_raw()
+        } else if scaled >= self.max_raw() as f64 {
+            self.max_raw()
+        } else {
+            scaled as i64
+        }
+    }
+
+    /// Decodes a raw code back to its exact float value.
+    ///
+    /// Raw codes outside the format's range are saturated first, so
+    /// `decode(encode(x))` always lands in `[min_value, max_value]`.
+    pub fn decode(&self, raw: i64) -> f32 {
+        let raw = raw.clamp(self.min_raw(), self.max_raw());
+        raw as f32 * self.resolution()
+    }
+
+    /// Quantises a float: round to the nearest representable level,
+    /// saturating at the format's range. This is the core operation applied
+    /// to every weight and activation in a quantised model.
+    pub fn quantize(&self, value: f32) -> f32 {
+        self.decode(self.encode(value))
+    }
+
+    /// Quantises a slice in place.
+    pub fn quantize_slice(&self, values: &mut [f32]) {
+        for v in values {
+            *v = self.quantize(*v);
+        }
+    }
+
+    /// `true` when `value` is exactly representable in this format.
+    pub fn is_representable(&self, value: f32) -> bool {
+        value.is_finite() && self.quantize(value) == value
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(QFormat::new(1, 3).is_ok());
+        assert!(matches!(
+            QFormat::new(0, 4),
+            Err(QFormatError::NoIntegerBits)
+        ));
+        assert!(matches!(
+            QFormat::new(1, 0),
+            Err(QFormatError::InvalidBitwidth { bits: 1 })
+        ));
+        assert!(QFormat::new(4, 28).is_ok());
+        assert!(QFormat::new(4, 29).is_err());
+    }
+
+    #[test]
+    fn paper_bitwidth_schedule() {
+        // §3.2: "a 1-bit integer when bitwidth is 4, a 2-bit integer when
+        // bitwidth is 8, and 4-bit integers for the rest".
+        assert_eq!(QFormat::for_bitwidth(4).unwrap().int_bits(), 1);
+        assert_eq!(QFormat::for_bitwidth(8).unwrap().int_bits(), 2);
+        assert_eq!(QFormat::for_bitwidth(6).unwrap().int_bits(), 4);
+        assert_eq!(QFormat::for_bitwidth(12).unwrap().int_bits(), 4);
+        assert_eq!(QFormat::for_bitwidth(16).unwrap().int_bits(), 4);
+        assert_eq!(QFormat::for_bitwidth(16).unwrap().frac_bits(), 12);
+    }
+
+    #[test]
+    fn q1_3_range_and_step() {
+        let q = QFormat::new(1, 3).unwrap();
+        assert_eq!(q.resolution(), 0.125);
+        assert_eq!(q.min_value(), -1.0);
+        assert_eq!(q.max_value(), 0.875);
+        assert_eq!(q.levels(), 16);
+    }
+
+    #[test]
+    fn quantize_rounds_to_nearest() {
+        let q = QFormat::new(1, 3).unwrap();
+        assert_eq!(q.quantize(0.3), 0.25);
+        assert_eq!(q.quantize(0.32), 0.375);
+        assert_eq!(q.quantize(-0.99), -1.0);
+        assert_eq!(q.quantize(0.0), 0.0);
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let q = QFormat::new(1, 3).unwrap();
+        assert_eq!(q.quantize(5.0), 0.875);
+        assert_eq!(q.quantize(-5.0), -1.0);
+        assert_eq!(q.quantize(f32::INFINITY), 0.875);
+        assert_eq!(q.quantize(f32::NEG_INFINITY), -1.0);
+    }
+
+    #[test]
+    fn quantize_nan_to_zero() {
+        let q = QFormat::new(2, 6).unwrap();
+        assert_eq!(q.quantize(f32::NAN), 0.0);
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        let q = QFormat::new(2, 6).unwrap();
+        for &v in &[0.3f32, -1.7, 2.0, 123.0, -0.015625] {
+            let once = q.quantize(v);
+            assert_eq!(q.quantize(once), once);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_codes() {
+        let q = QFormat::new(1, 3).unwrap();
+        for raw in q.min_raw()..=q.max_raw() {
+            let v = q.decode(raw);
+            assert_eq!(q.encode(v), raw);
+            assert!(q.is_representable(v));
+        }
+    }
+
+    #[test]
+    fn decode_saturates_out_of_range_raw() {
+        let q = QFormat::new(1, 3).unwrap();
+        assert_eq!(q.decode(1000), q.max_value());
+        assert_eq!(q.decode(-1000), q.min_value());
+    }
+
+    #[test]
+    fn wide_format_precision() {
+        let q = QFormat::for_bitwidth(16).unwrap(); // Q4.12
+        let v = 1.000244140625f32; // 1 + 2^-12
+        assert!(q.is_representable(v));
+        assert!((q.quantize(3.14159) - 3.14159).abs() <= q.resolution() / 2.0 + 1e-7);
+    }
+
+    #[test]
+    fn quantize_slice_in_place() {
+        let q = QFormat::new(1, 3).unwrap();
+        let mut xs = vec![0.3, -2.0, 0.875];
+        q.quantize_slice(&mut xs);
+        assert_eq!(xs, vec![0.25, -1.0, 0.875]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(QFormat::new(2, 6).unwrap().to_string(), "Q2.6");
+    }
+
+    #[test]
+    fn clipping_effect_shrinks_with_int_bits() {
+        // The clipping effect the paper attributes the defensive behaviour
+        // to: fewer integer bits → smaller saturation ceiling.
+        let q4 = QFormat::for_bitwidth(4).unwrap();
+        let q8 = QFormat::for_bitwidth(8).unwrap();
+        let q16 = QFormat::for_bitwidth(16).unwrap();
+        assert!(q4.max_value() < q8.max_value());
+        assert!(q8.max_value() < q16.max_value());
+    }
+}

@@ -1,0 +1,42 @@
+//! Signed fixed-point (Q-format) numerics.
+//!
+//! The paper quantises both weights and activations to fixed-point formats
+//! written `Qi.f`: `i` integer bits (including sign) plus `f` fractional
+//! bits, `i + f` bits total. §3.2 fixes the integer-bit schedule used for
+//! every experiment: **1 integer bit at bitwidth 4, 2 at bitwidth 8, and 4
+//! for every other bitwidth** — reproduced by [`QFormat::for_bitwidth`].
+//!
+//! Two layers of API:
+//!
+//! * [`QFormat`] — a format descriptor with a saturating round-to-nearest
+//!   quantiser over `f32`, plus bit-exact integer encode/decode.
+//! * [`Fixed`] — a value type carrying `(raw integer, format)` with
+//!   saturating arithmetic, demonstrating that inference really can run on
+//!   integer ops (the paper's efficiency motivation).
+//!
+//! # Example
+//!
+//! ```
+//! use advcomp_qformat::QFormat;
+//!
+//! # fn main() -> Result<(), advcomp_qformat::QFormatError> {
+//! // Paper's 4-bit format: Q1.3 — range [-1, 0.875], step 0.125.
+//! let q = QFormat::for_bitwidth(4)?;
+//! assert_eq!(q.int_bits(), 1);
+//! assert_eq!(q.frac_bits(), 3);
+//! assert_eq!(q.quantize(0.3), 0.25);
+//! assert_eq!(q.quantize(7.0), q.max_value()); // saturates
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod fixed;
+mod format;
+
+pub use error::QFormatError;
+pub use fixed::Fixed;
+pub use format::QFormat;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, QFormatError>;

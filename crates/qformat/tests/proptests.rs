@@ -1,0 +1,78 @@
+//! Property-based tests for fixed-point numerics.
+
+use advcomp_qformat::{Fixed, QFormat};
+use proptest::prelude::*;
+
+fn formats() -> impl Strategy<Value = QFormat> {
+    (1u32..8, 0u32..16).prop_filter_map("valid format", |(i, f)| QFormat::new(i, f).ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// encode/decode roundtrips every representable value bit-exactly.
+    #[test]
+    fn encode_decode_roundtrip(fmt in formats(), raw_frac in 0.0f64..1.0) {
+        let span = (fmt.max_raw() - fmt.min_raw()) as f64;
+        let raw = fmt.min_raw() + (raw_frac * span) as i64;
+        let value = fmt.decode(raw);
+        prop_assert_eq!(fmt.encode(value), raw);
+        prop_assert!(fmt.is_representable(value));
+    }
+
+    /// quantize is idempotent, bounded and within half a step of the clamp.
+    #[test]
+    fn quantize_contract(fmt in formats(), v in -1e4f32..1e4) {
+        let q = fmt.quantize(v);
+        prop_assert_eq!(fmt.quantize(q), q);
+        prop_assert!(q >= fmt.min_value() && q <= fmt.max_value());
+        let clamped = v.clamp(fmt.min_value(), fmt.max_value());
+        prop_assert!((q - clamped).abs() <= fmt.resolution() / 2.0 + 1e-6);
+    }
+
+    /// quantize is monotone non-decreasing.
+    #[test]
+    fn quantize_monotone(fmt in formats(), a in -100.0f32..100.0, b in -100.0f32..100.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(fmt.quantize(lo) <= fmt.quantize(hi));
+    }
+
+    /// Fixed addition saturates instead of wrapping, and matches clamped
+    /// real addition to within representation error.
+    #[test]
+    fn fixed_add_saturates(fmt in formats(), a in -10.0f32..10.0, b in -10.0f32..10.0) {
+        let fa = Fixed::from_f32(a, fmt);
+        let fb = Fixed::from_f32(b, fmt);
+        let sum = fa.add(&fb).unwrap();
+        let expected = (fa.to_f32() + fb.to_f32()).clamp(fmt.min_value(), fmt.max_value());
+        prop_assert!((sum.to_f32() - expected).abs() <= fmt.resolution() + 1e-6,
+            "{a} + {b}: {} vs {expected}", sum.to_f32());
+    }
+
+    /// Fixed multiplication matches float multiply-then-quantise within one
+    /// step (rounding of the product rescale).
+    #[test]
+    fn fixed_mul_accuracy(fmt in formats(), a in -3.0f32..3.0, b in -3.0f32..3.0) {
+        let fa = Fixed::from_f32(a, fmt);
+        let fb = Fixed::from_f32(b, fmt);
+        let prod = fa.mul(&fb).unwrap().to_f32();
+        let expected = fmt.quantize(fa.to_f32() * fb.to_f32());
+        prop_assert!((prod - expected).abs() <= fmt.resolution() + 1e-6,
+            "{a}*{b}: fixed {prod} vs {expected}");
+    }
+
+    /// The paper's bitwidth schedule always yields the scheduled integer
+    /// bits and total width.
+    #[test]
+    fn schedule_total_bits(bw in 2u32..33) {
+        if let Ok(fmt) = QFormat::for_bitwidth(bw) {
+            prop_assert_eq!(fmt.total_bits(), bw);
+            let expected_int = match bw { 4 => 1, 8 => 2, _ => 4 };
+            prop_assert_eq!(fmt.int_bits(), expected_int);
+        } else {
+            // Only bitwidths 2 and 3 are too small to hold their scheduled
+            // 4 integer bits.
+            prop_assert!(bw < 4, "for_bitwidth({bw}) should have succeeded");
+        }
+    }
+}

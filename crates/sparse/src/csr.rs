@@ -1,0 +1,242 @@
+//! Compressed sparse row matrices.
+
+use crate::{Result, SparseError};
+use advcomp_tensor::{Tensor, TensorError};
+
+/// A sparse matrix in compressed-sparse-row format.
+///
+/// This is the storage layout SCNN-style accelerators consume: per-row
+/// extents (`row_ptr`), column indices and the non-zero values themselves.
+/// Indices are `u32`, which bounds supported matrices to 2³² entries —
+/// far beyond any model in this workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from a dense 2-D tensor, dropping exact zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns a rank error unless `dense` is 2-D.
+    pub fn from_dense(dense: &Tensor) -> Result<Self> {
+        if dense.ndim() != 2 {
+            return Err(SparseError::Tensor(TensorError::RankMismatch {
+                expected: 2,
+                actual: dense.ndim(),
+                op: "csr from_dense",
+            }));
+        }
+        let (rows, cols) = (dense.shape()[0], dense.shape()[1]);
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0u32);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = dense.data()[r * cols + c];
+                if v != 0.0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len() as u32);
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Reconstructs the dense tensor.
+    pub fn to_dense(&self) -> Tensor {
+        let mut out = Tensor::zeros(&[self.rows, self.cols]);
+        for r in 0..self.rows {
+            for k in self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize {
+                out.data_mut()[r * self.cols + self.col_idx[k] as usize] = self.values[k];
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries stored.
+    pub fn density(&self) -> f64 {
+        if self.rows * self.cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Storage footprint in bytes: values (f32) + column indices (u32) +
+    /// row pointers (u32).
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() * 4 + self.col_idx.len() * 4 + self.row_ptr.len() * 4
+    }
+
+    /// Sparse matrix–vector product `y = W x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::DimensionMismatch`] when `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>> {
+        if x.len() != self.cols {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        let mut y = vec![0.0f32; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0f32;
+            for k in self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[r] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Batched product against row-major inputs: for `x` of shape
+    /// `[batch, cols]`, returns `[batch, rows]` — the dense-layer forward
+    /// `y = x Wᵀ` with `W` stored sparse.
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/dimension errors when `x` is not `[batch, cols]`.
+    pub fn matmul_batch(&self, x: &Tensor) -> Result<Tensor> {
+        if x.ndim() != 2 {
+            return Err(SparseError::Tensor(TensorError::RankMismatch {
+                expected: 2,
+                actual: x.ndim(),
+                op: "csr matmul_batch",
+            }));
+        }
+        if x.shape()[1] != self.cols {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.shape()[1],
+            });
+        }
+        let batch = x.shape()[0];
+        let mut out = Tensor::zeros(&[batch, self.rows]);
+        for b in 0..batch {
+            let row = &x.data()[b * self.cols..(b + 1) * self.cols];
+            let y = self.matvec(row)?;
+            out.data_mut()[b * self.rows..(b + 1) * self.rows].copy_from_slice(&y);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        Tensor::new(
+            &[3, 4],
+            vec![
+                1.0, 0.0, 0.0, 2.0, //
+                0.0, 0.0, 0.0, 0.0, //
+                0.0, 3.0, 4.0, 0.0,
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_to_dense_roundtrip() {
+        let d = sample();
+        let csr = CsrMatrix::from_dense(&d).unwrap();
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.rows(), 3);
+        assert_eq!(csr.cols(), 4);
+        assert!((csr.density() - 4.0 / 12.0).abs() < 1e-12);
+        assert_eq!(csr.to_dense().data(), d.data());
+    }
+
+    #[test]
+    fn empty_row_handled() {
+        let csr = CsrMatrix::from_dense(&sample()).unwrap();
+        let y = csr.matvec(&[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        use advcomp_tensor::Init;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut dense = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[8, 6], &mut rng);
+        // Sparsify half the entries.
+        for (i, v) in dense.data_mut().iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        let csr = CsrMatrix::from_dense(&dense).unwrap();
+        let x = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[6], &mut rng);
+        let sparse_y = csr.matvec(x.data()).unwrap();
+        let dense_y = dense.matvec(&x).unwrap();
+        for (s, d) in sparse_y.iter().zip(dense_y.data()) {
+            assert!((s - d).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batch_matches_per_row() {
+        let csr = CsrMatrix::from_dense(&sample()).unwrap();
+        let x = Tensor::new(&[2, 4], vec![1., 1., 1., 1., 0., 1., 0., 1.]).unwrap();
+        let out = csr.matmul_batch(&x).unwrap();
+        assert_eq!(out.shape(), &[2, 3]);
+        assert_eq!(&out.data()[0..3], &[3.0, 0.0, 7.0]);
+        assert_eq!(&out.data()[3..6], &[2.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let csr = CsrMatrix::from_dense(&sample()).unwrap();
+        assert!(csr.matvec(&[1.0, 2.0]).is_err());
+        assert!(csr.matmul_batch(&Tensor::zeros(&[2, 3])).is_err());
+        assert!(csr.matmul_batch(&Tensor::zeros(&[4])).is_err());
+        assert!(CsrMatrix::from_dense(&Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let csr = CsrMatrix::from_dense(&sample()).unwrap();
+        // 4 values*4 + 4 col idx*4 + 4 row_ptr*4 = 48
+        assert_eq!(csr.storage_bytes(), 4 * 4 + 4 * 4 + 4 * 4);
+    }
+
+    #[test]
+    fn all_zero_matrix() {
+        let csr = CsrMatrix::from_dense(&Tensor::zeros(&[2, 2])).unwrap();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.matvec(&[1.0, 1.0]).unwrap(), vec![0.0, 0.0]);
+        assert_eq!(csr.to_dense().data(), &[0.0; 4]);
+    }
+}

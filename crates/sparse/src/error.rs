@@ -1,0 +1,63 @@
+use advcomp_tensor::TensorError;
+use std::fmt;
+
+/// Errors from compressed-storage construction and kernels.
+#[derive(Debug)]
+pub enum SparseError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Operand dimensions disagree (e.g. matvec with a wrong-length vector).
+    DimensionMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was supplied.
+        actual: usize,
+    },
+    /// A bitstream could not be decoded.
+    Corrupt(String),
+    /// Invalid construction input (e.g. non-2-D matrix for CSR).
+    InvalidInput(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::Tensor(e) => write!(f, "tensor error: {e}"),
+            SparseError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            SparseError::Corrupt(msg) => write!(f, "corrupt stream: {msg}"),
+            SparseError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SparseError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for SparseError {
+    fn from(e: TensorError) -> Self {
+        SparseError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SparseError::DimensionMismatch { expected: 3, actual: 2 }
+            .to_string()
+            .contains('3'));
+        assert!(SparseError::Corrupt("x".into()).to_string().contains("corrupt"));
+        let e: SparseError = TensorError::Empty("max").into();
+        assert!(e.to_string().contains("tensor"));
+    }
+}

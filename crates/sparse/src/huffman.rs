@@ -1,0 +1,295 @@
+//! Canonical Huffman coding over quantised-code streams — the third stage
+//! of Deep Compression (Han et al. 2016), which the paper's introduction
+//! cites as the EIE deployment pipeline.
+
+use crate::{Result, SparseError};
+use std::collections::HashMap;
+
+/// A Huffman codebook mapping symbols (quantised codes) to bit strings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Codebook {
+    /// `symbol -> (bits, length)`; bits stored LSB-first.
+    codes: HashMap<i32, (u64, u8)>,
+}
+
+/// An encoded stream: packed bits plus the symbol count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Encoded {
+    /// Packed bitstream, LSB-first within each byte.
+    pub bytes: Vec<u8>,
+    /// Number of encoded symbols.
+    pub len: usize,
+    /// Total number of payload bits.
+    pub bits: usize,
+}
+
+/// Builds a length-limited-free canonical Huffman codebook from symbol
+/// frequencies in `symbols`.
+///
+/// # Errors
+///
+/// Returns [`SparseError::InvalidInput`] for an empty stream.
+pub fn build_codebook(symbols: &[i32]) -> Result<Codebook> {
+    if symbols.is_empty() {
+        return Err(SparseError::InvalidInput("empty symbol stream".into()));
+    }
+    let mut freq: HashMap<i32, u64> = HashMap::new();
+    for &s in symbols {
+        *freq.entry(s).or_insert(0) += 1;
+    }
+    // Single-symbol degenerate alphabet: one 1-bit code.
+    if freq.len() == 1 {
+        let mut codes = HashMap::new();
+        codes.insert(symbols[0], (0u64, 1u8));
+        return Ok(Codebook { codes });
+    }
+
+    // Build the Huffman tree with a simple two-queue method over sorted
+    // leaves (deterministic: ties break on symbol value).
+    #[derive(Debug)]
+    enum Node {
+        Leaf(i32),
+        Internal(Box<Node>, Box<Node>),
+    }
+    let mut heap: Vec<(u64, u64, Node)> = freq
+        .iter()
+        .map(|(&s, &f)| (f, s as i64 as u64 ^ 0x8000_0000_0000_0000, Node::Leaf(s)))
+        .collect();
+    // (freq, tiebreak, node); pop two smallest each round.
+    let mut counter = u64::MAX;
+    while heap.len() > 1 {
+        heap.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.cmp(&a.1)));
+        let (f1, _, n1) = heap.pop().expect("len > 1");
+        let (f2, _, n2) = heap.pop().expect("len > 1");
+        counter -= 1;
+        heap.push((f1 + f2, counter, Node::Internal(Box::new(n1), Box::new(n2))));
+    }
+
+    // Collect code lengths.
+    fn lengths(node: &Node, depth: u8, out: &mut Vec<(i32, u8)>) {
+        match node {
+            Node::Leaf(s) => out.push((*s, depth.max(1))),
+            Node::Internal(l, r) => {
+                lengths(l, depth + 1, out);
+                lengths(r, depth + 1, out);
+            }
+        }
+    }
+    let mut lens = Vec::new();
+    lengths(&heap[0].2, 0, &mut lens);
+
+    // Canonicalise: sort by (length, symbol) and assign sequential codes.
+    lens.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+    let mut codes = HashMap::new();
+    let mut code: u64 = 0;
+    let mut prev_len: u8 = lens[0].1;
+    for (sym, len) in lens {
+        code <<= len - prev_len;
+        prev_len = len;
+        // Store bits MSB-first semantics reversed into LSB-first for easy
+        // streaming: reverse the low `len` bits.
+        let mut rev = 0u64;
+        for b in 0..len {
+            if code & (1 << (len - 1 - b)) != 0 {
+                rev |= 1 << b;
+            }
+        }
+        codes.insert(sym, (rev, len));
+        code += 1;
+    }
+    Ok(Codebook { codes })
+}
+
+impl Codebook {
+    /// Number of distinct symbols.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` when the codebook is empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Code length (bits) for a symbol, if present.
+    pub fn code_len(&self, symbol: i32) -> Option<u8> {
+        self.codes.get(&symbol).map(|&(_, l)| l)
+    }
+
+    /// Mean code length weighted by the given stream.
+    pub fn mean_bits(&self, symbols: &[i32]) -> f64 {
+        if symbols.is_empty() {
+            return 0.0;
+        }
+        let total: usize = symbols
+            .iter()
+            .map(|s| self.code_len(*s).unwrap_or(0) as usize)
+            .sum();
+        total as f64 / symbols.len() as f64
+    }
+}
+
+/// Encodes a symbol stream with a codebook.
+///
+/// # Errors
+///
+/// Returns [`SparseError::InvalidInput`] if a symbol is missing from the
+/// codebook.
+pub fn encode(symbols: &[i32], book: &Codebook) -> Result<Encoded> {
+    let mut bytes = Vec::new();
+    let mut bitpos = 0usize;
+    for &s in symbols {
+        let &(code, len) = book
+            .codes
+            .get(&s)
+            .ok_or_else(|| SparseError::InvalidInput(format!("symbol {s} not in codebook")))?;
+        for b in 0..len {
+            if bitpos % 8 == 0 {
+                bytes.push(0u8);
+            }
+            if code & (1 << b) != 0 {
+                *bytes.last_mut().expect("pushed above") |= 1 << (bitpos % 8);
+            }
+            bitpos += 1;
+        }
+    }
+    Ok(Encoded {
+        bytes,
+        len: symbols.len(),
+        bits: bitpos,
+    })
+}
+
+/// Decodes an [`Encoded`] stream back to symbols.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Corrupt`] if the stream ends mid-code or contains
+/// an invalid prefix.
+pub fn decode(encoded: &Encoded, book: &Codebook) -> Result<Vec<i32>> {
+    // Invert the codebook into (code, len) -> symbol.
+    let inverse: HashMap<(u64, u8), i32> =
+        book.codes.iter().map(|(&s, &(c, l))| ((c, l), s)).collect();
+    let max_len = book.codes.values().map(|&(_, l)| l).max().unwrap_or(0);
+    let mut out = Vec::with_capacity(encoded.len);
+    let mut bitpos = 0usize;
+    for _ in 0..encoded.len {
+        let mut code = 0u64;
+        let mut len = 0u8;
+        loop {
+            if bitpos >= encoded.bits || len > max_len {
+                return Err(SparseError::Corrupt("stream ended mid-code".into()));
+            }
+            if encoded.bytes[bitpos / 8] & (1 << (bitpos % 8)) != 0 {
+                code |= 1 << len;
+            }
+            bitpos += 1;
+            len += 1;
+            if let Some(&sym) = inverse.get(&(code, len)) {
+                out.push(sym);
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Shannon entropy of the stream in bits per symbol — the lower bound any
+/// entropy coder approaches.
+pub fn entropy_bits(symbols: &[i32]) -> f64 {
+    if symbols.is_empty() {
+        return 0.0;
+    }
+    let mut freq: HashMap<i32, f64> = HashMap::new();
+    for &s in symbols {
+        *freq.entry(s).or_insert(0.0) += 1.0;
+    }
+    let n = symbols.len() as f64;
+    freq.values()
+        .map(|&f| {
+            let p = f / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_skewed_stream() {
+        // Heavily skewed: zeros dominate (like a quantised pruned model).
+        let mut symbols = vec![0i32; 100];
+        symbols.extend([1, 1, 1, -3, -3, 7]);
+        let book = build_codebook(&symbols).unwrap();
+        let enc = encode(&symbols, &book).unwrap();
+        let dec = decode(&enc, &book).unwrap();
+        assert_eq!(dec, symbols);
+        // Skew means < log2(4 symbols) = 2 bits per symbol on average.
+        assert!(book.mean_bits(&symbols) < 2.0);
+    }
+
+    #[test]
+    fn huffman_close_to_entropy() {
+        let symbols: Vec<i32> = (0..1000).map(|i| if i % 10 == 0 { 1 } else { 0 }).collect();
+        let book = build_codebook(&symbols).unwrap();
+        let h = entropy_bits(&symbols);
+        let mean = book.mean_bits(&symbols);
+        assert!(mean >= h - 1e-9, "mean {mean} below entropy {h}");
+        assert!(mean <= h + 1.0, "mean {mean} too far above entropy {h}");
+    }
+
+    #[test]
+    fn degenerate_single_symbol() {
+        let symbols = vec![5i32; 20];
+        let book = build_codebook(&symbols).unwrap();
+        assert_eq!(book.len(), 1);
+        let enc = encode(&symbols, &book).unwrap();
+        assert_eq!(enc.bits, 20);
+        assert_eq!(decode(&enc, &book).unwrap(), symbols);
+    }
+
+    #[test]
+    fn uniform_alphabet_roundtrip() {
+        let symbols: Vec<i32> = (-8..8).cycle().take(160).collect();
+        let book = build_codebook(&symbols).unwrap();
+        assert_eq!(book.len(), 16);
+        let enc = encode(&symbols, &book).unwrap();
+        assert_eq!(decode(&enc, &book).unwrap(), symbols);
+        // Uniform 16-symbol alphabet: exactly 4 bits each.
+        assert!((book.mean_bits(&symbols) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_unknown_symbol_errors() {
+        assert!(build_codebook(&[]).is_err());
+        let book = build_codebook(&[1, 2, 2]).unwrap();
+        assert!(encode(&[3], &book).is_err());
+    }
+
+    #[test]
+    fn corrupt_stream_detected() {
+        let symbols = vec![0, 1, 0, 1, 2, 2, 2];
+        let book = build_codebook(&symbols).unwrap();
+        let mut enc = encode(&symbols, &book).unwrap();
+        enc.bits = enc.bits.saturating_sub(3); // truncate
+        assert!(decode(&enc, &book).is_err());
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(entropy_bits(&[]), 0.0);
+        assert_eq!(entropy_bits(&[7, 7, 7]), 0.0);
+        let uniform: Vec<i32> = (0..256).collect();
+        assert!((entropy_bits(&uniform) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_codebook() {
+        let symbols = vec![0, 0, 1, 2, 2, 2, 3];
+        let a = build_codebook(&symbols).unwrap();
+        let b = build_codebook(&symbols).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,48 @@
+//! Compressed-model deployment substrate.
+//!
+//! The paper's motivation (§1–2) is that pruned and quantised networks ship
+//! on edge devices through accelerator-friendly compressed formats — EIE
+//! consumes pruned + quantised + entropy-coded weights, SCNN consumes
+//! compressed-sparse weights. This crate implements that deployment layer:
+//!
+//! * [`CsrMatrix`] — compressed sparse row storage for pruned weight
+//!   matrices, with a sparse `y = W x` kernel whose outputs are bit-exact
+//!   against the dense masked computation;
+//! * [`QuantizedTensor`] — fixed-point code storage (the narrow integer
+//!   words a Q-format model actually ships);
+//! * [`huffman`] — canonical Huffman coding over quantised code streams,
+//!   the third stage of Deep Compression (Han et al. 2016);
+//! * [`ModelSize`] — end-to-end storage accounting for a model under a
+//!   compression recipe: dense float32 vs sparse vs quantised vs
+//!   quantised+Huffman, reproducing the headline "9×–13×" compression
+//!   ratios the paper's introduction cites.
+//!
+//! # Example
+//!
+//! ```
+//! use advcomp_sparse::CsrMatrix;
+//! use advcomp_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), advcomp_sparse::SparseError> {
+//! let dense = Tensor::new(&[2, 3], vec![0.0, 2.0, 0.0, 1.0, 0.0, 3.0])?;
+//! let csr = CsrMatrix::from_dense(&dense)?;
+//! assert_eq!(csr.nnz(), 3);
+//! let y = csr.matvec(&[1.0, 1.0, 1.0])?;
+//! assert_eq!(y, vec![2.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod csr;
+mod error;
+pub mod huffman;
+mod quantized;
+mod size;
+
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+pub use quantized::QuantizedTensor;
+pub use size::{ModelSize, SizeReport};
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SparseError>;

@@ -1,0 +1,193 @@
+//! Fixed-point code storage: what a quantised model actually ships.
+
+use crate::{Result, SparseError};
+use advcomp_qformat::QFormat;
+use advcomp_tensor::Tensor;
+
+/// A tensor stored as raw fixed-point codes plus its format — the
+/// deployment representation of a quantised weight tensor, where each value
+/// occupies `format.total_bits()` bits instead of 32.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedTensor {
+    format: QFormat,
+    shape: Vec<usize>,
+    codes: Vec<i32>,
+}
+
+impl QuantizedTensor {
+    /// Quantises a float tensor into code storage.
+    pub fn from_tensor(tensor: &Tensor, format: QFormat) -> Self {
+        let codes = tensor
+            .data()
+            .iter()
+            .map(|&v| format.encode(v) as i32)
+            .collect();
+        QuantizedTensor {
+            format,
+            shape: tensor.shape().to_vec(),
+            codes,
+        }
+    }
+
+    /// Decodes back to floats (exact for values that were representable).
+    pub fn to_tensor(&self) -> Result<Tensor> {
+        let data = self
+            .codes
+            .iter()
+            .map(|&c| self.format.decode(c as i64))
+            .collect();
+        Ok(Tensor::new(&self.shape, data)?)
+    }
+
+    /// The fixed-point format.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// The logical tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The raw codes (two's-complement, sign-extended into `i32`).
+    pub fn codes(&self) -> &[i32] {
+        &self.codes
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Idealised storage in bits: `len × total_bits` (packed, no padding).
+    pub fn storage_bits(&self) -> usize {
+        self.codes.len() * self.format.total_bits() as usize
+    }
+
+    /// Idealised storage in bytes, rounded up.
+    pub fn storage_bytes(&self) -> usize {
+        self.storage_bits().div_ceil(8)
+    }
+
+    /// Packs the codes into a contiguous little-endian bitstream — the
+    /// actual wire format. Together with [`QuantizedTensor::unpack`] this
+    /// proves the `storage_bits` accounting is achievable, not aspirational.
+    pub fn pack(&self) -> Vec<u8> {
+        let bits = self.format.total_bits() as usize;
+        let mut out = vec![0u8; self.storage_bits().div_ceil(8)];
+        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        for (i, &code) in self.codes.iter().enumerate() {
+            let word = (code as u32) & mask;
+            let bit0 = i * bits;
+            for b in 0..bits {
+                if word & (1 << b) != 0 {
+                    out[(bit0 + b) / 8] |= 1 << ((bit0 + b) % 8);
+                }
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a quantised tensor from a packed bitstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::Corrupt`] when the stream is too short for
+    /// `shape` at `format`'s width.
+    pub fn unpack(bytes: &[u8], shape: &[usize], format: QFormat) -> Result<Self> {
+        let n: usize = shape.iter().product();
+        let bits = format.total_bits() as usize;
+        if bytes.len() * 8 < n * bits {
+            return Err(SparseError::Corrupt(format!(
+                "stream has {} bits, need {}",
+                bytes.len() * 8,
+                n * bits
+            )));
+        }
+        let mut codes = Vec::with_capacity(n);
+        for i in 0..n {
+            let bit0 = i * bits;
+            let mut word = 0u32;
+            for b in 0..bits {
+                if bytes[(bit0 + b) / 8] & (1 << ((bit0 + b) % 8)) != 0 {
+                    word |= 1 << b;
+                }
+            }
+            // Sign-extend from `bits` to 32.
+            let shift = 32 - bits;
+            codes.push(((word << shift) as i32) >> shift);
+        }
+        Ok(QuantizedTensor {
+            format,
+            shape: shape.to_vec(),
+            codes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q() -> QFormat {
+        QFormat::for_bitwidth(4).unwrap() // Q1.3
+    }
+
+    #[test]
+    fn roundtrip_through_codes() {
+        let t = Tensor::new(&[2, 2], vec![0.25, -1.0, 0.875, 0.0]).unwrap();
+        let qt = QuantizedTensor::from_tensor(&t, q());
+        assert_eq!(qt.to_tensor().unwrap().data(), t.data());
+        assert_eq!(qt.len(), 4);
+        assert_eq!(qt.shape(), &[2, 2]);
+    }
+
+    #[test]
+    fn storage_bits_accounting() {
+        let t = Tensor::zeros(&[10]);
+        let qt = QuantizedTensor::from_tensor(&t, q());
+        assert_eq!(qt.storage_bits(), 40);
+        assert_eq!(qt.storage_bytes(), 5);
+        let q8 = QuantizedTensor::from_tensor(&t, QFormat::for_bitwidth(8).unwrap());
+        assert_eq!(q8.storage_bytes(), 10);
+    }
+
+    #[test]
+    fn pack_unpack_bit_exact() {
+        let t = Tensor::new(&[7], vec![0.25, -1.0, 0.875, 0.0, -0.125, 0.5, -0.625]).unwrap();
+        let qt = QuantizedTensor::from_tensor(&t, q());
+        let packed = qt.pack();
+        assert_eq!(packed.len(), qt.storage_bytes());
+        let back = QuantizedTensor::unpack(&packed, &[7], q()).unwrap();
+        assert_eq!(back, qt);
+        assert_eq!(back.to_tensor().unwrap().data(), t.data());
+    }
+
+    #[test]
+    fn pack_unpack_wide_format() {
+        let fmt = QFormat::for_bitwidth(16).unwrap();
+        let t = Tensor::new(&[3], vec![3.14159, -7.5, 0.0001]).unwrap();
+        let qt = QuantizedTensor::from_tensor(&t, fmt);
+        let back = QuantizedTensor::unpack(&qt.pack(), &[3], fmt).unwrap();
+        assert_eq!(back.codes(), qt.codes());
+    }
+
+    #[test]
+    fn unpack_validates_length() {
+        assert!(QuantizedTensor::unpack(&[0u8], &[100], q()).is_err());
+    }
+
+    #[test]
+    fn negative_codes_sign_extend() {
+        let t = Tensor::new(&[1], vec![-1.0]).unwrap();
+        let qt = QuantizedTensor::from_tensor(&t, q());
+        assert_eq!(qt.codes()[0], -8); // Q1.3 min raw
+        let back = QuantizedTensor::unpack(&qt.pack(), &[1], q()).unwrap();
+        assert_eq!(back.codes()[0], -8);
+    }
+}

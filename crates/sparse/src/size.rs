@@ -1,0 +1,188 @@
+//! End-to-end model storage accounting.
+
+use crate::huffman::{build_codebook, entropy_bits};
+use crate::{CsrMatrix, QuantizedTensor, Result};
+use advcomp_nn::{ParamKind, Sequential};
+use advcomp_qformat::QFormat;
+
+/// Storage footprint of one model under the standard deployment encodings.
+///
+/// All figures cover **weight** tensors (biases are a negligible, always
+/// full-precision fraction, matching the deployment pipelines the paper
+/// cites).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeReport {
+    /// Total weight elements.
+    pub elements: usize,
+    /// Non-zero weight elements.
+    pub nonzero: usize,
+    /// Dense float32 bytes (`4 × elements`).
+    pub dense_f32_bytes: usize,
+    /// CSR bytes (f32 values + u32 indices + row pointers).
+    pub csr_bytes: usize,
+    /// Packed fixed-point bytes at the given format (dense layout).
+    pub quantized_bytes: Option<usize>,
+    /// Huffman-coded quantised stream bytes (payload, codebook excluded).
+    pub huffman_bytes: Option<usize>,
+    /// Shannon entropy of the quantised codes (bits/symbol).
+    pub code_entropy_bits: Option<f64>,
+}
+
+impl SizeReport {
+    /// Compression ratio of the best available encoding vs dense float32.
+    pub fn best_ratio(&self) -> f64 {
+        let best = [
+            Some(self.csr_bytes),
+            self.quantized_bytes,
+            self.huffman_bytes,
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+        .unwrap_or(self.dense_f32_bytes);
+        if best == 0 {
+            return f64::INFINITY;
+        }
+        self.dense_f32_bytes as f64 / best as f64
+    }
+}
+
+/// Computes deployment sizes for a model's weights.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelSize;
+
+impl ModelSize {
+    /// Measures `model`'s weight storage under every encoding.
+    ///
+    /// When `format` is given, the quantised and Huffman rows are computed
+    /// by encoding every weight in that format (the model is expected to
+    /// already hold quantised values, but encoding is lossy-safe either
+    /// way).
+    ///
+    /// # Errors
+    ///
+    /// Propagates CSR construction errors (non-2-D weights are flattened to
+    /// 2-D first, so this is effectively infallible for real models).
+    pub fn measure(model: &Sequential, format: Option<QFormat>) -> Result<SizeReport> {
+        let mut elements = 0usize;
+        let mut nonzero = 0usize;
+        let mut csr_bytes = 0usize;
+        let mut all_codes: Vec<i32> = Vec::new();
+        let mut quant_bits = 0usize;
+
+        for p in model.params() {
+            if p.kind != ParamKind::Weight {
+                continue;
+            }
+            elements += p.value.len();
+            nonzero += p.value.l0_norm();
+            // CSR over a 2-D view: [rows, cols] with rows = first axis.
+            let rows = p.value.shape().first().copied().unwrap_or(1).max(1);
+            let cols = p.value.len() / rows;
+            let two_d = p.value.reshape(&[rows, cols])?;
+            csr_bytes += CsrMatrix::from_dense(&two_d)?.storage_bytes();
+            if let Some(fmt) = format {
+                let qt = QuantizedTensor::from_tensor(&p.value, fmt);
+                quant_bits += qt.storage_bits();
+                all_codes.extend_from_slice(qt.codes());
+            }
+        }
+
+        let (quantized_bytes, huffman_bytes, code_entropy_bits) = if format.is_some() {
+            let entropy = entropy_bits(&all_codes);
+            let huffman = if all_codes.is_empty() {
+                0
+            } else {
+                let book = build_codebook(&all_codes)?;
+                let total_bits: f64 = book.mean_bits(&all_codes) * all_codes.len() as f64;
+                (total_bits / 8.0).ceil() as usize
+            };
+            (
+                Some(quant_bits.div_ceil(8)),
+                Some(huffman),
+                Some(entropy),
+            )
+        } else {
+            (None, None, None)
+        };
+
+        Ok(SizeReport {
+            elements,
+            nonzero,
+            dense_f32_bytes: elements * 4,
+            csr_bytes,
+            quantized_bytes,
+            huffman_bytes,
+            code_entropy_bits,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advcomp_nn::{Dense, Sequential};
+    use rand::SeedableRng;
+
+    fn model() -> Sequential {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        Sequential::new(vec![
+            Box::new(Dense::with_name("a", 16, 8, &mut rng)),
+            Box::new(Dense::with_name("b", 8, 4, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn dense_accounting() {
+        let m = model();
+        let report = ModelSize::measure(&m, None).unwrap();
+        assert_eq!(report.elements, 16 * 8 + 8 * 4);
+        assert_eq!(report.dense_f32_bytes, report.elements * 4);
+        assert_eq!(report.nonzero, report.elements); // freshly initialised
+        assert!(report.quantized_bytes.is_none());
+        // Dense CSR is *larger* than raw floats (indices overhead).
+        assert!(report.csr_bytes > report.dense_f32_bytes);
+    }
+
+    #[test]
+    fn sparse_model_shrinks_csr() {
+        let mut m = model();
+        for p in m.params_mut() {
+            if p.kind == ParamKind::Weight {
+                for (i, v) in p.value.data_mut().iter_mut().enumerate() {
+                    if i % 10 != 0 {
+                        *v = 0.0; // 10% density
+                    }
+                }
+            }
+        }
+        let report = ModelSize::measure(&m, None).unwrap();
+        assert!(report.nonzero * 10 <= report.elements + 20);
+        assert!(
+            report.csr_bytes < report.dense_f32_bytes,
+            "CSR {} vs dense {}",
+            report.csr_bytes,
+            report.dense_f32_bytes
+        );
+        assert!(report.best_ratio() > 1.0);
+    }
+
+    #[test]
+    fn quantised_model_shrinks_further() {
+        let mut m = model();
+        let fmt = QFormat::for_bitwidth(4).unwrap();
+        for p in m.params_mut() {
+            if p.kind == ParamKind::Weight {
+                fmt.quantize_slice(p.value.data_mut());
+            }
+        }
+        let report = ModelSize::measure(&m, Some(fmt)).unwrap();
+        let q = report.quantized_bytes.unwrap();
+        // 4-bit packing: exactly elements/2 bytes.
+        assert_eq!(q, report.elements / 2);
+        let h = report.huffman_bytes.unwrap();
+        assert!(h <= q + 8, "huffman {h} vs quantised {q}");
+        assert!(report.code_entropy_bits.unwrap() <= 4.0);
+        assert!(report.best_ratio() >= 8.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Deployment-pipeline integration: compress a trained model, ship it
+//! through the sparse/quantised/Huffman encodings, and verify the deployed
+//! artefact computes the same function.
+
+use advcomp_compress::{train_baseline, DnsPruner, Quantizer, TrainConfig};
+use advcomp_data::{DatasetConfig, SynthDigits};
+use advcomp_nn::{Dense, FakeQuant, Flatten, Mode, ParamKind, Relu, Sequential, StepDecay};
+use advcomp_qformat::QFormat;
+use advcomp_sparse::{huffman, CsrMatrix, ModelSize, QuantizedTensor};
+use rand::SeedableRng;
+
+fn mlp(seed: u64) -> Sequential {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Sequential::new(vec![
+        Box::new(Flatten::new()),
+        Box::new(FakeQuant::new()),
+        Box::new(Dense::with_name("fc1", 28 * 28, 24, &mut rng)),
+        Box::new(Relu::new()),
+        Box::new(FakeQuant::new()),
+        Box::new(Dense::with_name("fc2", 24, 10, &mut rng)),
+    ])
+}
+
+fn cfg(epochs: usize, lr: f32) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 32,
+        schedule: StepDecay::new(lr, 0.1, vec![epochs.max(2) - 1]),
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        seed: 0,
+    }
+}
+
+#[test]
+fn pruned_model_sparse_inference_is_equivalent() {
+    let (train, test) = SynthDigits::generate(&DatasetConfig {
+        train: 250,
+        test: 60,
+        seed: 3,
+        noise: 0.05,
+    });
+    let mut model = mlp(1);
+    train_baseline(&mut model, &train, &cfg(6, 0.05)).unwrap();
+    DnsPruner::new(0.2)
+        .prune_and_finetune(&mut model, &train, &cfg(2, 0.01))
+        .unwrap();
+
+    // Ship each dense layer as CSR and run the forward pass manually.
+    let w1 = CsrMatrix::from_dense(&model.param("fc1.weight").unwrap().value).unwrap();
+    let b1 = model.param("fc1.bias").unwrap().value.clone();
+    let w2 = CsrMatrix::from_dense(&model.param("fc2.weight").unwrap().value).unwrap();
+    let b2 = model.param("fc2.bias").unwrap().value.clone();
+    assert!(w1.density() < 0.3);
+
+    let (x, _) = test.slice(0, 16).unwrap();
+    let flat = x.reshape(&[16, 28 * 28]).unwrap();
+    let h = w1
+        .matmul_batch(&flat)
+        .unwrap()
+        .add_row_broadcast(&b1)
+        .unwrap()
+        .map(|v| v.max(0.0));
+    let sparse_logits = w2
+        .matmul_batch(&h)
+        .unwrap()
+        .add_row_broadcast(&b2)
+        .unwrap();
+
+    let dense_logits = model.forward(&x, Mode::Eval).unwrap();
+    assert!(
+        sparse_logits.allclose(&dense_logits, 1e-4),
+        "sparse deployment diverged from the dense reference"
+    );
+}
+
+#[test]
+fn quantised_model_ships_bit_exact() {
+    let (train, _) = SynthDigits::generate(&DatasetConfig {
+        train: 250,
+        test: 60,
+        seed: 4,
+        noise: 0.05,
+    });
+    let mut model = mlp(2);
+    train_baseline(&mut model, &train, &cfg(4, 0.05)).unwrap();
+    let fmt = QFormat::for_bitwidth(8).unwrap();
+    Quantizer::for_bitwidth(8)
+        .unwrap()
+        .quantize_and_finetune(&mut model, &train, &cfg(2, 0.005))
+        .unwrap();
+
+    for p in model.params() {
+        if p.kind != ParamKind::Weight {
+            continue;
+        }
+        // Pack to the wire format and back: bit-exact.
+        let qt = QuantizedTensor::from_tensor(&p.value, fmt);
+        let unpacked = QuantizedTensor::unpack(&qt.pack(), p.value.shape(), fmt).unwrap();
+        assert_eq!(unpacked.to_tensor().unwrap().data(), p.value.data());
+        // Huffman stage: lossless over the same codes.
+        let book = huffman::build_codebook(qt.codes()).unwrap();
+        let enc = huffman::encode(qt.codes(), &book).unwrap();
+        let dec = huffman::decode(&enc, &book).unwrap();
+        assert_eq!(dec, qt.codes());
+    }
+}
+
+#[test]
+fn compression_ratios_match_deep_compression_story() {
+    // Prune to 10% + quantise to 8 bits: the EIE-style pipeline should
+    // comfortably beat 4x vs dense float32 even before Huffman, and Huffman
+    // should compress further thanks to the zero-heavy code distribution.
+    let (train, test) = SynthDigits::generate(&DatasetConfig {
+        train: 250,
+        test: 60,
+        seed: 5,
+        noise: 0.05,
+    });
+    let mut model = mlp(3);
+    train_baseline(&mut model, &train, &cfg(6, 0.05)).unwrap();
+    DnsPruner::new(0.1)
+        .prune_and_finetune(&mut model, &train, &cfg(2, 0.01))
+        .unwrap();
+    // Post-training quantisation preserves the pruned zeros (0 is always
+    // representable), keeping the code stream zero-heavy for Huffman.
+    let fmt = QFormat::for_bitwidth(8).unwrap();
+    Quantizer::for_bitwidth(8).unwrap().quantize(&mut model);
+
+    let report = ModelSize::measure(&model, Some(fmt)).unwrap();
+    assert_eq!(report.dense_f32_bytes, report.elements * 4);
+    let q = report.quantized_bytes.unwrap();
+    assert_eq!(q, report.elements); // 8 bits/element
+    let h = report.huffman_bytes.unwrap();
+    assert!(
+        h < q,
+        "Huffman ({h}) should beat fixed-width ({q}) on a sparse model"
+    );
+    assert!(
+        report.best_ratio() > 4.0,
+        "deployment ratio only {:.2}x",
+        report.best_ratio()
+    );
+    // The deployed model still classifies far above chance (10% density +
+    // post-training quantisation on a small MLP is aggressive; the point of
+    // this test is the storage accounting, not peak accuracy).
+    let acc = advcomp_compress::evaluate(&mut model, &test, 64).unwrap();
+    assert!(acc > 0.3, "deployed model accuracy {acc}");
+}

@@ -1,0 +1,312 @@
+//! `im2col`/`col2im` lowering for 2-D convolution.
+//!
+//! Convolution layers in `advcomp-nn` lower to matrix multiplication:
+//! an NCHW input batch is unrolled into a `[n·oh·ow, c·kh·kw]` patch matrix
+//! ([`im2col`]), multiplied against the `[c·kh·kw, oc]` reshaped kernel, and
+//! the backward pass folds patch gradients back with [`col2im`]. This is the
+//! standard GEMM formulation used by most CPU deep-learning runtimes.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Static geometry of a 2-D convolution or pooling window over NCHW input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Vertical and horizontal stride.
+    pub stride: usize,
+    /// Symmetric zero padding applied to all four edges.
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Creates a square-kernel geometry.
+    pub fn square(in_channels: usize, in_hw: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+        Conv2dGeometry {
+            in_channels,
+            in_h: in_hw,
+            in_w: in_hw,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Validates the geometry and returns `(out_h, out_w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] when stride is zero, a kernel
+    /// dimension is zero, or the padded input is smaller than the kernel.
+    pub fn output_hw(&self) -> Result<(usize, usize)> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidGeometry("stride must be >= 1".into()));
+        }
+        if self.kernel_h == 0 || self.kernel_w == 0 || self.in_channels == 0 {
+            return Err(TensorError::InvalidGeometry(
+                "kernel dims and channels must be >= 1".into(),
+            ));
+        }
+        let padded_h = self.in_h + 2 * self.padding;
+        let padded_w = self.in_w + 2 * self.padding;
+        if padded_h < self.kernel_h || padded_w < self.kernel_w {
+            return Err(TensorError::InvalidGeometry(format!(
+                "kernel {}x{} larger than padded input {}x{}",
+                self.kernel_h, self.kernel_w, padded_h, padded_w
+            )));
+        }
+        Ok((
+            (padded_h - self.kernel_h) / self.stride + 1,
+            (padded_w - self.kernel_w) / self.stride + 1,
+        ))
+    }
+
+    /// Number of elements in one unrolled patch: `c · kh · kw`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel_h * self.kernel_w
+    }
+}
+
+/// Unrolls an NCHW batch into a patch matrix of shape `[n·oh·ow, c·kh·kw]`.
+///
+/// Row `(b, oy, ox)` contains the receptive field of output pixel `(oy, ox)`
+/// in sample `b`, channels-major then kernel-row-major. Out-of-bounds
+/// (padding) positions read as zero.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] unless `input` is 4-D, a
+/// [`TensorError::ShapeMismatch`] when channel/height/width disagree with
+/// `geom`, or geometry errors from [`Conv2dGeometry::output_hw`].
+pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    if input.ndim() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.ndim(),
+            op: "im2col",
+        });
+    }
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    if c != geom.in_channels || h != geom.in_h || w != geom.in_w {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape().to_vec(),
+            rhs: vec![n, geom.in_channels, geom.in_h, geom.in_w],
+            op: "im2col",
+        });
+    }
+    let (oh, ow) = geom.output_hw()?;
+    let patch = geom.patch_len();
+    let mut out = Tensor::zeros(&[n * oh * ow, patch]);
+    let data = input.data();
+    let od = out.data_mut();
+    let pad = geom.padding as isize;
+    for b in 0..n {
+        for oy in 0..oh {
+            let iy0 = (oy * geom.stride) as isize - pad;
+            for ox in 0..ow {
+                let ix0 = (ox * geom.stride) as isize - pad;
+                let row = ((b * oh + oy) * ow + ox) * patch;
+                for ch in 0..c {
+                    let ch_base = (b * c + ch) * h * w;
+                    for ky in 0..geom.kernel_h {
+                        let iy = iy0 + ky as isize;
+                        let dst = row + (ch * geom.kernel_h + ky) * geom.kernel_w;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // padding row: stays zero
+                        }
+                        let src_row = ch_base + iy as usize * w;
+                        for kx in 0..geom.kernel_w {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            od[dst + kx] = data[src_row + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Folds a patch-matrix gradient back into an NCHW input gradient —
+/// the adjoint of [`im2col`]. Overlapping patches accumulate.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` does not have shape
+/// `[n·oh·ow, c·kh·kw]` for the given geometry and batch size.
+pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry, batch: usize) -> Result<Tensor> {
+    let (oh, ow) = geom.output_hw()?;
+    let patch = geom.patch_len();
+    if cols.shape() != [batch * oh * ow, patch] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols.shape().to_vec(),
+            rhs: vec![batch * oh * ow, patch],
+            op: "col2im",
+        });
+    }
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    let mut out = Tensor::zeros(&[batch, c, h, w]);
+    let od = out.data_mut();
+    let data = cols.data();
+    let pad = geom.padding as isize;
+    for b in 0..batch {
+        for oy in 0..oh {
+            let iy0 = (oy * geom.stride) as isize - pad;
+            for ox in 0..ow {
+                let ix0 = (ox * geom.stride) as isize - pad;
+                let row = ((b * oh + oy) * ow + ox) * patch;
+                for ch in 0..c {
+                    let ch_base = (b * c + ch) * h * w;
+                    for ky in 0..geom.kernel_h {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let dst_row = ch_base + iy as usize * w;
+                        let src = row + (ch * geom.kernel_h + ky) * geom.kernel_w;
+                        for kx in 0..geom.kernel_w {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            od[dst_row + ix as usize] += data[src + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_hw_basic() {
+        let g = Conv2dGeometry::square(1, 5, 3, 1, 0);
+        assert_eq!(g.output_hw().unwrap(), (3, 3));
+        let g = Conv2dGeometry::square(1, 5, 3, 1, 1);
+        assert_eq!(g.output_hw().unwrap(), (5, 5));
+        let g = Conv2dGeometry::square(1, 6, 2, 2, 0);
+        assert_eq!(g.output_hw().unwrap(), (3, 3));
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        assert!(Conv2dGeometry::square(1, 5, 3, 0, 0).output_hw().is_err());
+        assert!(Conv2dGeometry::square(1, 2, 3, 1, 0).output_hw().is_err());
+        assert!(Conv2dGeometry::square(0, 5, 3, 1, 0).output_hw().is_err());
+        // Padding can rescue a small input.
+        assert!(Conv2dGeometry::square(1, 2, 3, 1, 1).output_hw().is_ok());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: im2col is just a reshape.
+        let x = Tensor::new(&[1, 1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let g = Conv2dGeometry::square(1, 2, 1, 1, 0);
+        let cols = im2col(&x, &g).unwrap();
+        assert_eq!(cols.shape(), &[4, 1]);
+        assert_eq!(cols.data(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn im2col_3x3_patch_layout() {
+        let x = Tensor::new(&[1, 1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let g = Conv2dGeometry::square(1, 3, 3, 1, 0);
+        let cols = im2col(&x, &g).unwrap();
+        assert_eq!(cols.shape(), &[1, 9]);
+        assert_eq!(cols.data(), &[1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+    }
+
+    #[test]
+    fn im2col_padding_zeros() {
+        let x = Tensor::new(&[1, 1, 1, 1], vec![5.0]).unwrap();
+        let g = Conv2dGeometry::square(1, 1, 3, 1, 1);
+        let cols = im2col(&x, &g).unwrap();
+        assert_eq!(cols.shape(), &[1, 9]);
+        // Only the centre of the 3x3 patch is inside the image.
+        let mut expected = vec![0.0; 9];
+        expected[4] = 5.0;
+        assert_eq!(cols.data(), expected.as_slice());
+    }
+
+    #[test]
+    fn im2col_multi_channel_order() {
+        // Two channels: patch must be channel-major.
+        let x = Tensor::new(&[1, 2, 1, 1], vec![1.0, 2.0]).unwrap();
+        let g = Conv2dGeometry::square(2, 1, 1, 1, 0);
+        let cols = im2col(&x, &g).unwrap();
+        assert_eq!(cols.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn im2col_shape_validation() {
+        let x = Tensor::zeros(&[1, 1, 4, 4]);
+        let g = Conv2dGeometry::square(2, 4, 3, 1, 0);
+        assert!(im2col(&x, &g).is_err());
+        assert!(im2col(&Tensor::zeros(&[4, 4]), &g).is_err());
+    }
+
+    #[test]
+    fn col2im_accumulates_overlaps() {
+        // 2x2 input, 1x1 kernel stride 1: col2im is the inverse reshape.
+        let g = Conv2dGeometry::square(1, 2, 1, 1, 0);
+        let cols = Tensor::new(&[4, 1], vec![1., 2., 3., 4.]).unwrap();
+        let x = col2im(&cols, &g, 1).unwrap();
+        assert_eq!(x.shape(), &[1, 1, 2, 2]);
+        assert_eq!(x.data(), &[1., 2., 3., 4.]);
+
+        // Overlapping 2x2 kernels on 3x3 input: centre pixel appears in all
+        // four patches and must accumulate.
+        let g = Conv2dGeometry::square(1, 3, 2, 1, 0);
+        let cols = Tensor::ones(&[4, 4]);
+        let x = col2im(&cols, &g, 1).unwrap();
+        assert_eq!(x.get(&[0, 0, 1, 1]).unwrap(), 4.0);
+        assert_eq!(x.get(&[0, 0, 0, 0]).unwrap(), 1.0);
+        assert_eq!(x.get(&[0, 0, 0, 1]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn col2im_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property,
+        // checked on random data.
+        use crate::Init;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let g = Conv2dGeometry::square(2, 5, 3, 2, 1);
+        let x = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[2, 2, 5, 5], &mut rng);
+        let (oh, ow) = g.output_hw().unwrap();
+        let y = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[2 * oh * ow, g.patch_len()], &mut rng);
+        let ax = im2col(&x, &g).unwrap();
+        let aty = col2im(&y, &g, 2).unwrap();
+        let lhs: f32 = ax.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(aty.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch {lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_validates_shape() {
+        let g = Conv2dGeometry::square(1, 2, 1, 1, 0);
+        assert!(col2im(&Tensor::zeros(&[3, 1]), &g, 1).is_err());
+    }
+}

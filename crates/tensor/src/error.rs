@@ -1,0 +1,106 @@
+use std::fmt;
+
+/// Error type for tensor operations.
+///
+/// Every fallible operation in this crate reports one of these variants;
+/// they are cheap to construct and carry enough context to diagnose shape
+/// bugs without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The element count implied by a shape does not match the data length.
+    LengthMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Left operand shape.
+        lhs: Vec<usize>,
+        /// Right operand shape.
+        rhs: Vec<usize>,
+        /// Operation that was attempted, e.g. `"matmul"`.
+        op: &'static str,
+    },
+    /// The operation requires a different dimensionality.
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the tensor supplied.
+        actual: usize,
+        /// Operation that was attempted.
+        op: &'static str,
+    },
+    /// An index or axis was out of bounds.
+    IndexOutOfBounds {
+        /// Offending index value.
+        index: usize,
+        /// Exclusive bound it must stay below.
+        bound: usize,
+    },
+    /// Parameters of a convolution/pooling geometry are inconsistent.
+    InvalidGeometry(String),
+    /// A zero-sized dimension or empty tensor where one is not allowed.
+    Empty(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "data length {actual} does not match shape element count {expected}"
+            ),
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(f, "{op} requires rank {expected}, got rank {actual}"),
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for dimension of size {bound}")
+            }
+            TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::Empty(op) => write!(f, "{op} requires a non-empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+            op: "matmul",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[4, 5]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn length_mismatch_message() {
+        let err = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
+        assert!(err.to_string().contains('6'));
+        assert!(err.to_string().contains('5'));
+    }
+}

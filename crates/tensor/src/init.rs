@@ -1,0 +1,162 @@
+//! Random tensor initialisers.
+//!
+//! Weight initialisation follows the conventions the paper's training setup
+//! (TensorFlow/Mayo) relied on: truncated-Gaussian/Kaiming-style fan-scaled
+//! draws for conv and dense kernels, zeros for biases.
+
+use crate::Tensor;
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// Which fan count scales a fan-aware initialiser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FanMode {
+    /// Scale by the number of inputs to each unit (forward-variance
+    /// preserving; the usual choice for ReLU networks).
+    FanIn,
+    /// Scale by the number of outputs of each unit.
+    FanOut,
+}
+
+/// A random initialisation scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// Independent uniform draws on `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f32,
+        /// Upper bound (exclusive).
+        hi: f32,
+    },
+    /// Independent Gaussian draws.
+    Normal {
+        /// Mean.
+        mean: f32,
+        /// Standard deviation.
+        std: f32,
+    },
+    /// Kaiming/He initialisation for ReLU stacks: `N(0, sqrt(2 / fan))`.
+    Kaiming {
+        /// Which fan to scale by.
+        mode: FanMode,
+    },
+    /// Xavier/Glorot uniform: `U(±sqrt(6 / (fan_in + fan_out)))`.
+    Xavier,
+    /// All zeros (biases).
+    Zeros,
+}
+
+impl Init {
+    /// Draws a tensor of the given shape.
+    ///
+    /// For fan-aware schemes the fans are inferred from the shape: a 2-D
+    /// `[out, in]` dense kernel uses those extents directly; a 4-D
+    /// `[oc, ic, kh, kw]` conv kernel uses `ic·kh·kw` / `oc·kh·kw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Uniform` range is empty (`lo >= hi`) or a `Normal`
+    /// standard deviation is negative.
+    pub fn tensor<R: Rng + ?Sized>(&self, shape: &[usize], rng: &mut R) -> Tensor {
+        let n = crate::shape::numel(shape);
+        let data: Vec<f32> = match *self {
+            Init::Uniform { lo, hi } => {
+                assert!(lo < hi, "uniform init requires lo < hi");
+                let d = Uniform::new(lo, hi);
+                (0..n).map(|_| d.sample(rng)).collect()
+            }
+            Init::Normal { mean, std } => {
+                let d = Normal::new(mean, std).expect("normal init requires std >= 0");
+                (0..n).map(|_| d.sample(rng)).collect()
+            }
+            Init::Kaiming { mode } => {
+                let (fan_in, fan_out) = fans(shape);
+                let fan = match mode {
+                    FanMode::FanIn => fan_in,
+                    FanMode::FanOut => fan_out,
+                };
+                let std = (2.0 / fan.max(1) as f32).sqrt();
+                let d = Normal::new(0.0, std).expect("std is non-negative");
+                (0..n).map(|_| d.sample(rng)).collect()
+            }
+            Init::Xavier => {
+                let (fan_in, fan_out) = fans(shape);
+                let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                let d = Uniform::new_inclusive(-bound, bound);
+                (0..n).map(|_| d.sample(rng)).collect()
+            }
+            Init::Zeros => vec![0.0; n],
+        };
+        Tensor::new(shape, data).expect("numel(shape) elements were generated")
+    }
+}
+
+/// Infers `(fan_in, fan_out)` from a kernel shape.
+fn fans(shape: &[usize]) -> (usize, usize) {
+    match shape.len() {
+        0 => (1, 1),
+        1 => (shape[0], shape[0]),
+        2 => (shape[1], shape[0]), // dense kernels are [out, in]
+        _ => {
+            let receptive: usize = shape[2..].iter().product();
+            (shape[1] * receptive, shape[0] * receptive)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let t = Init::Uniform { lo: -0.5, hi: 0.5 }.tensor(&[1000], &mut rng());
+        assert!(t.data().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let t = Init::Normal { mean: 1.0, std: 2.0 }.tensor(&[20000], &mut rng());
+        assert!((t.mean() - 1.0).abs() < 0.1);
+        assert!((t.std() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn kaiming_variance_scales_with_fan_in() {
+        let t = Init::Kaiming { mode: FanMode::FanIn }.tensor(&[64, 128], &mut rng());
+        let expected_std = (2.0f32 / 128.0).sqrt();
+        assert!((t.std() - expected_std).abs() < 0.02);
+    }
+
+    #[test]
+    fn conv_fans() {
+        assert_eq!(fans(&[32, 16, 3, 3]), (16 * 9, 32 * 9));
+        assert_eq!(fans(&[10, 20]), (20, 10));
+        assert_eq!(fans(&[7]), (7, 7));
+    }
+
+    #[test]
+    fn xavier_within_bound() {
+        let t = Init::Xavier.tensor(&[50, 50], &mut rng());
+        let bound = (6.0f32 / 100.0).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= bound + 1e-6));
+    }
+
+    #[test]
+    fn zeros_init() {
+        let t = Init::Zeros.tensor(&[4, 4], &mut rng());
+        assert_eq!(t.l0_norm(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Init::Normal { mean: 0.0, std: 1.0 }.tensor(&[16], &mut rng());
+        let b = Init::Normal { mean: 0.0, std: 1.0 }.tensor(&[16], &mut rng());
+        assert_eq!(a.data(), b.data());
+    }
+}

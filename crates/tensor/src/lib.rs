@@ -1,0 +1,44 @@
+//! Dense `f32` tensor library underpinning the `advcomp` workspace.
+//!
+//! The paper's pipeline (train → compress → attack → transfer) was built on
+//! TensorFlow; this crate is the from-scratch substitute. It provides a
+//! row-major, contiguous, owned tensor type with:
+//!
+//! * shape bookkeeping and reshape/transpose/slice operations,
+//! * elementwise arithmetic with scalar and same-shape operands,
+//! * reductions (sums, means, extrema, `argmax`, vector norms),
+//! * a cache-blocked, multi-threaded matrix multiply,
+//! * `im2col`/`col2im` lowering used by convolution layers, and
+//! * random initialisers (uniform, Gaussian, Kaiming/Xavier fan-scaled).
+//!
+//! # Example
+//!
+//! ```
+//! use advcomp_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), advcomp_tensor::TensorError> {
+//! let a = Tensor::new(&[2, 3], vec![1., 2., 3., 4., 5., 6.])?;
+//! let b = Tensor::new(&[3, 2], vec![1., 0., 0., 1., 1., 1.])?;
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.shape(), &[2, 2]);
+//! assert_eq!(c.data(), &[4., 5., 10., 11.]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod conv;
+mod error;
+mod init;
+mod ops;
+mod reduce;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use error::TensorError;
+pub use init::{FanMode, Init};
+pub use shape::{broadcast_shapes, numel, Shape};
+pub use tensor::Tensor;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

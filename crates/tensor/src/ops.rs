@@ -1,0 +1,264 @@
+//! Matrix multiplication kernels.
+//!
+//! Three implementations are exposed:
+//!
+//! * [`Tensor::matmul`] — the production entry point: cache-blocked and,
+//!   above a work threshold, parallelised over row blocks with `crossbeam`
+//!   scoped threads.
+//! * [`Tensor::matmul_naive`] — the obviously-correct triple loop, kept as a
+//!   reference for tests and ablation benchmarks.
+//! * [`Tensor::matmul_blocked_serial`] — the blocked kernel without
+//!   threading, for the ablation bench in `advcomp-bench`.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Edge length of the cache blocks used by the blocked kernel. 64 f32 rows ×
+/// 64 columns keeps each block pair within L1 on typical x86 cores.
+const BLOCK: usize = 64;
+
+/// Minimum `m * n * k` product before threads are spawned; below this the
+/// spawn overhead dominates.
+const PARALLEL_THRESHOLD: usize = 64 * 64 * 64;
+
+fn matmul_dims(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize)> {
+    if a.ndim() != 2 || b.ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: if a.ndim() != 2 { a.ndim() } else { b.ndim() },
+            op: "matmul",
+        });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+            op: "matmul",
+        });
+    }
+    Ok((m, k, n))
+}
+
+/// Multiplies rows `[row_start, row_end)` of `a` into `out`.
+///
+/// `out` must be zero-initialised for the rows covered. Blocked i-k-j order:
+/// the innermost loop runs contiguously over `b` and `out`, which lets the
+/// compiler vectorise it.
+fn matmul_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row_start: usize,
+    row_end: usize,
+    k: usize,
+    n: usize,
+) {
+    for i0 in (row_start..row_end).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(row_end);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(k);
+            for i in i0..i1 {
+                let out_row = &mut out[(i - row_start) * n..(i - row_start + 1) * n];
+                let a_row = &a[i * k..(i + 1) * k];
+                for kk in k0..k1 {
+                    let aik = a_row[kk];
+                    if aik == 0.0 {
+                        // Pruned models produce highly sparse weight
+                        // matrices; skipping zero multipliers is a cheap win.
+                        continue;
+                    }
+                    let b_row = &b[kk * n..(kk + 1) * n];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += aik * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Tensor {
+    /// Matrix product of two 2-D tensors, blocked and multi-threaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are 2-D,
+    /// and [`TensorError::ShapeMismatch`] when inner dimensions disagree.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use advcomp_tensor::Tensor;
+    /// # fn main() -> Result<(), advcomp_tensor::TensorError> {
+    /// let a = Tensor::eye(3);
+    /// let b = Tensor::new(&[3, 1], vec![1.0, 2.0, 3.0])?;
+    /// assert_eq!(a.matmul(&b)?.data(), &[1.0, 2.0, 3.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = matmul_dims(self, other)?;
+        let mut out = Tensor::zeros(&[m, n]);
+        let work = m * k * n;
+        let threads = available_threads();
+        if work < PARALLEL_THRESHOLD || threads < 2 || m < 2 {
+            matmul_rows(self.data(), other.data(), out.data_mut(), 0, m, k, n);
+            return Ok(out);
+        }
+
+        let chunk_rows = m.div_ceil(threads);
+        let a = self.data();
+        let b = other.data();
+        crossbeam::thread::scope(|scope| {
+            // Split the output into disjoint row bands, one per thread.
+            let mut bands: Vec<&mut [f32]> = out.data_mut().chunks_mut(chunk_rows * n).collect();
+            for (t, band) in bands.drain(..).enumerate() {
+                let row_start = t * chunk_rows;
+                let row_end = (row_start + band.len() / n).min(m);
+                scope.spawn(move |_| {
+                    matmul_rows(a, b, band, row_start, row_end, k, n);
+                });
+            }
+        })
+        .expect("matmul worker thread panicked");
+        Ok(out)
+    }
+
+    /// Blocked matmul on the calling thread only (ablation reference).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_blocked_serial(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = matmul_dims(self, other)?;
+        let mut out = Tensor::zeros(&[m, n]);
+        matmul_rows(self.data(), other.data(), out.data_mut(), 0, m, k, n);
+        Ok(out)
+    }
+
+    /// Textbook triple-loop matmul (correctness reference).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_naive(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = matmul_dims(self, other)?;
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += self.data()[i * k + kk] * other.data()[kk * n + j];
+                }
+                out.data_mut()[i * n + j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product: `[m, k] × [k] -> [m]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns rank/shape errors mirroring [`Tensor::matmul`].
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
+        if v.ndim() != 1 {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: v.ndim(),
+                op: "matvec",
+            });
+        }
+        let col = v.reshape(&[v.len(), 1])?;
+        let out = self.matmul(&col)?;
+        out.reshape(&[self.shape()[0]])
+    }
+}
+
+/// Number of worker threads to use for data-parallel kernels.
+///
+/// Respects `ADVCOMP_THREADS` when set (useful to pin benchmarks), otherwise
+/// uses the machine's available parallelism.
+pub(crate) fn available_threads() -> usize {
+    if let Ok(s) = std::env::var("ADVCOMP_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Init;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_matmul_exact() {
+        let a = Tensor::new(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::new(&[3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        let v = Tensor::zeros(&[3]);
+        assert!(matches!(a.matmul(&v), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn blocked_matches_naive_on_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (5, 7, 3), (33, 65, 17), (70, 70, 70)] {
+            let a = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[m, k], &mut rng);
+            let b = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[k, n], &mut rng);
+            let fast = a.matmul(&b).unwrap();
+            let slow = a.matmul_naive(&b).unwrap();
+            assert!(fast.allclose(&slow, 1e-4), "mismatch at {m}x{k}x{n}");
+            let serial = a.matmul_blocked_serial(&b).unwrap();
+            assert!(serial.allclose(&slow, 1e-4));
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_naive() {
+        // Big enough to cross PARALLEL_THRESHOLD.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[130, 80], &mut rng);
+        let b = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[80, 90], &mut rng);
+        let fast = a.matmul(&b).unwrap();
+        let slow = a.matmul_naive(&b).unwrap();
+        assert!(fast.allclose(&slow, 1e-3));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::new(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let v = Tensor::from_vec(vec![1., 0., -1.]);
+        let out = a.matvec(&v).unwrap();
+        assert_eq!(out.shape(), &[2]);
+        assert_eq!(out.data(), &[-2.0, -2.0]);
+        assert!(a.matvec(&Tensor::zeros(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[4, 4], &mut rng);
+        let i = Tensor::eye(4);
+        assert!(a.matmul(&i).unwrap().allclose(&a, 1e-6));
+        assert!(i.matmul(&a).unwrap().allclose(&a, 1e-6));
+    }
+}

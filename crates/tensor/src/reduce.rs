@@ -1,0 +1,235 @@
+//! Reductions, statistics and norms.
+
+use crate::{Result, Tensor, TensorError};
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data().iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] on an empty tensor.
+    pub fn max(&self) -> Result<f32> {
+        self.data()
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+            .ok_or(TensorError::Empty("max"))
+    }
+
+    /// Minimum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] on an empty tensor.
+    pub fn min(&self) -> Result<f32> {
+        self.data()
+            .iter()
+            .copied()
+            .fold(None, |acc: Option<f32>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
+            .ok_or(TensorError::Empty("min"))
+    }
+
+    /// Index of the first maximum element (linear, row-major).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] on an empty tensor.
+    pub fn argmax(&self) -> Result<usize> {
+        if self.is_empty() {
+            return Err(TensorError::Empty("argmax"));
+        }
+        let mut best = 0usize;
+        for (i, &v) in self.data().iter().enumerate() {
+            if v > self.data()[best] {
+                best = i;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Per-row argmax of a 2-D tensor — the predicted class per sample for a
+    /// `[batch, classes]` logit matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless 2-D, or
+    /// [`TensorError::Empty`] when the class axis is empty.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.ndim(),
+                op: "argmax_rows",
+            });
+        }
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        if n == 0 {
+            return Err(TensorError::Empty("argmax_rows"));
+        }
+        let mut out = Vec::with_capacity(m);
+        for i in 0..m {
+            let row = &self.data()[i * n..(i + 1) * n];
+            let mut best = 0usize;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    /// Column sums of a 2-D tensor: `[m, n] -> [n]`. This is exactly the
+    /// bias-gradient reduction in dense/conv layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless 2-D.
+    pub fn sum_axis0(&self) -> Result<Tensor> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.ndim(),
+                op: "sum_axis0",
+            });
+        }
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let mut out = Tensor::zeros(&[n]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data_mut()[j] += self.data()[i * n + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of non-zero elements — the "L0 norm" used for sparsity and
+    /// perturbation-size reporting.
+    pub fn l0_norm(&self) -> usize {
+        self.data().iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Sum of absolute values.
+    pub fn l1_norm(&self) -> f32 {
+        self.data().iter().map(|v| v.abs()).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn l2_norm(&self) -> f32 {
+        self.data().iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute value (0 for an empty tensor).
+    pub fn linf_norm(&self) -> f32 {
+        self.data().iter().fold(0.0f32, |acc, v| acc.max(v.abs()))
+    }
+
+    /// Fraction of non-zero elements in `[0, 1]` — the paper's "density"
+    /// axis in Figure 2. Returns 0 for an empty tensor.
+    pub fn density(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.l0_norm() as f64 / self.len() as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f32 {
+        if self.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / self.len() as f32;
+        var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tensor {
+        Tensor::new(&[2, 3], vec![1.0, -2.0, 3.0, 0.0, 5.0, -6.0]).unwrap()
+    }
+
+    #[test]
+    fn basic_reductions() {
+        let x = t();
+        assert_eq!(x.sum(), 1.0);
+        assert!((x.mean() - 1.0 / 6.0).abs() < 1e-6);
+        assert_eq!(x.max().unwrap(), 5.0);
+        assert_eq!(x.min().unwrap(), -6.0);
+    }
+
+    #[test]
+    fn empty_reductions_error() {
+        let e = Tensor::zeros(&[0]);
+        assert!(e.max().is_err());
+        assert!(e.min().is_err());
+        assert!(e.argmax().is_err());
+        assert_eq!(e.mean(), 0.0);
+    }
+
+    #[test]
+    fn argmax_linear_and_rows() {
+        let x = t();
+        assert_eq!(x.argmax().unwrap(), 4);
+        assert_eq!(x.argmax_rows().unwrap(), vec![2, 1]);
+        assert!(Tensor::zeros(&[3]).argmax_rows().is_err());
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 3.0]);
+        assert_eq!(x.argmax().unwrap(), 1);
+    }
+
+    #[test]
+    fn sum_axis0_columns() {
+        let x = t();
+        let s = x.sum_axis0().unwrap();
+        assert_eq!(s.data(), &[1.0, 3.0, -3.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let x = Tensor::from_vec(vec![3.0, -4.0, 0.0]);
+        assert_eq!(x.l0_norm(), 2);
+        assert_eq!(x.l1_norm(), 7.0);
+        assert_eq!(x.l2_norm(), 5.0);
+        assert_eq!(x.linf_norm(), 4.0);
+        assert!((x.density() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_of_constant_is_zero() {
+        assert_eq!(Tensor::full(&[10], 3.0).std(), 0.0);
+        let x = Tensor::from_vec(vec![1.0, -1.0]);
+        assert!((x.std() - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,185 @@
+//! Shape algebra shared by all tensor operations.
+
+use crate::{Result, TensorError};
+
+/// A tensor shape: the extent of each axis, outermost first (row-major).
+///
+/// `Shape` is a thin, validated wrapper around `Vec<usize>`; most public
+/// APIs accept `&[usize]` for ergonomics and convert internally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from axis extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Extents of each axis.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        numel(&self.0)
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    ///
+    /// The stride of the last axis is 1; each earlier axis strides over the
+    /// product of the later extents.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Flattens a multi-dimensional index to a linear offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `index` has the wrong rank and
+    /// [`TensorError::IndexOutOfBounds`] if any coordinate exceeds its axis.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.0.len() {
+            return Err(TensorError::RankMismatch {
+                expected: self.0.len(),
+                actual: index.len(),
+                op: "offset",
+            });
+        }
+        let mut off = 0usize;
+        let strides = self.strides();
+        for (axis, (&i, &bound)) in index.iter().zip(self.0.iter()).enumerate() {
+            if i >= bound {
+                return Err(TensorError::IndexOutOfBounds { index: i, bound });
+            }
+            off += i * strides[axis];
+        }
+        Ok(off)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+/// Total element count of a shape (product of extents; 1 for a scalar shape).
+pub fn numel(dims: &[usize]) -> usize {
+    dims.iter().product()
+}
+
+/// Computes the common shape two operands broadcast to, NumPy-style.
+///
+/// Axes are aligned from the trailing end; each pair must be equal or one of
+/// them must be 1.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shapes are incompatible.
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
+    let rank = lhs.len().max(rhs.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        let l = if i < rank - lhs.len() {
+            1
+        } else {
+            lhs[i - (rank - lhs.len())]
+        };
+        let r = if i < rank - rhs.len() {
+            1
+        } else {
+            rhs[i - (rank - rhs.len())]
+        };
+        out[i] = if l == r || r == 1 {
+            l
+        } else if l == 1 {
+            r
+        } else {
+            return Err(TensorError::ShapeMismatch {
+                lhs: lhs.to_vec(),
+                rhs: rhs.to_vec(),
+                op: "broadcast",
+            });
+        };
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn strides_scalar_and_vector() {
+        assert_eq!(Shape::new(&[]).strides(), Vec::<usize>::new());
+        assert_eq!(Shape::new(&[7]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[1, 0, 2]).unwrap(), 14);
+    }
+
+    #[test]
+    fn offset_checks_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert!(matches!(
+            s.offset(&[2, 0]),
+            Err(TensorError::IndexOutOfBounds { index: 2, bound: 2 })
+        ));
+        assert!(matches!(
+            s.offset(&[0]),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn numel_products() {
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[5, 0]), 0);
+    }
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_with_ones() {
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 3], &[1]).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_incompatible() {
+        assert!(broadcast_shapes(&[2, 3], &[2, 4]).is_err());
+    }
+}

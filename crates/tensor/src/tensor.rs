@@ -1,0 +1,664 @@
+//! The core owned, contiguous, row-major `f32` tensor type.
+
+use crate::shape::{numel, Shape};
+use crate::{Result, TensorError};
+
+/// A dense, owned, row-major tensor of `f32` values.
+///
+/// All data is contiguous; reshapes are metadata-only on the owned buffer and
+/// transposes copy. This trades a little memory traffic for a drastically
+/// simpler (and easily verified) implementation — the right call for a
+/// CPU-scale research substrate.
+///
+/// # Example
+///
+/// ```
+/// use advcomp_tensor::Tensor;
+///
+/// # fn main() -> Result<(), advcomp_tensor::TensorError> {
+/// let x = Tensor::new(&[2, 2], vec![1.0, -2.0, 3.0, -4.0])?;
+/// let relu = x.map(|v| v.max(0.0));
+/// assert_eq!(relu.data(), &[1.0, 0.0, 3.0, 0.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the element count implied by `shape`.
+    pub fn new(shape: &[usize], data: Vec<f32>) -> Result<Self> {
+        let expected = numel(shape);
+        if expected != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; numel(shape)],
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; numel(shape)],
+        }
+    }
+
+    /// Creates a 1-D tensor that owns `data`.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        Tensor {
+            shape: vec![data.len()],
+            data,
+        }
+    }
+
+    /// Creates a scalar (rank-0) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            shape: vec![],
+            data: vec![value],
+        }
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// The shape (axis extents, outermost first).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The shape as a [`Shape`] value.
+    pub fn shape_obj(&self) -> Shape {
+        Shape::new(&self.shape)
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index/rank errors from [`Shape::offset`].
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        let off = self.shape_obj().offset(index)?;
+        Ok(self.data[off])
+    }
+
+    /// Writes the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index/rank errors from [`Shape::offset`].
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.shape_obj().offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor> {
+        Tensor::new(shape, self.data.clone())
+    }
+
+    /// Reshapes in place (no data movement).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if element counts differ.
+    pub fn reshape_inplace(&mut self, shape: &[usize]) -> Result<()> {
+        if numel(shape) != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: numel(shape),
+                actual: self.data.len(),
+            });
+        }
+        self.shape = shape.to_vec();
+        Ok(())
+    }
+
+    /// Flattens to 1-D, preserving row-major order.
+    pub fn flatten(&self) -> Tensor {
+        Tensor {
+            shape: vec![self.data.len()],
+            data: self.data.clone(),
+        }
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Combines two same-shape tensors elementwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn zip_map<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+                op: "zip_map",
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Combines with another same-shape tensor elementwise, in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn zip_map_inplace<F: Fn(f32, f32) -> f32>(&mut self, other: &Tensor, f: F) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+                op: "zip_map_inplace",
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a = f(*a, b);
+        }
+        Ok(())
+    }
+
+    /// Elementwise sum. See [`Tensor::zip_map`] for shape requirements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Adds `other` into `self` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        self.zip_map_inplace(other, |a, b| a + b)
+    }
+
+    /// Adds `scale * other` into `self` in place (axpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) -> Result<()> {
+        self.zip_map_inplace(other, move |a, b| a + scale * b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|v| v + s)
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        assert!(lo <= hi, "clamp requires lo <= hi, got {lo} > {hi}");
+        self.map(|v| v.clamp(lo, hi))
+    }
+
+    /// Elementwise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Elementwise sign: -1, 0 or +1 (0 for NaN, matching the paper's FGSM
+    /// convention that an undefined gradient contributes no perturbation).
+    pub fn sign(&self) -> Tensor {
+        self.map(|v| {
+            if v > 0.0 {
+                1.0
+            } else if v < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Adds a 1-D bias of length `n` to each row of a 2-D `[m, n]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless `self` is 2-D and `bias`
+    /// is 1-D, or [`TensorError::ShapeMismatch`] when lengths disagree.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Result<Tensor> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.ndim(),
+                op: "add_row_broadcast",
+            });
+        }
+        if bias.ndim() != 1 || bias.len() != self.shape[1] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: bias.shape.clone(),
+                op: "add_row_broadcast",
+            });
+        }
+        let n = self.shape[1];
+        let mut out = self.clone();
+        for (i, v) in out.data.iter_mut().enumerate() {
+            *v += bias.data[i % n];
+        }
+        Ok(out)
+    }
+
+    /// Copies rows `[start, start + len)` of the outermost axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] when the range exceeds the
+    /// axis, or [`TensorError::RankMismatch`] on a scalar tensor.
+    pub fn narrow(&self, start: usize, len: usize) -> Result<Tensor> {
+        if self.shape.is_empty() {
+            return Err(TensorError::RankMismatch {
+                expected: 1,
+                actual: 0,
+                op: "narrow",
+            });
+        }
+        let outer = self.shape[0];
+        if start + len > outer {
+            return Err(TensorError::IndexOutOfBounds {
+                index: start + len,
+                bound: outer,
+            });
+        }
+        let inner: usize = self.shape[1..].iter().product();
+        let mut shape = self.shape.clone();
+        shape[0] = len;
+        Ok(Tensor {
+            shape,
+            data: self.data[start * inner..(start + len) * inner].to_vec(),
+        })
+    }
+
+    /// Copies a single slice of the outermost axis, dropping that axis.
+    ///
+    /// For a `[n, c, h, w]` batch, `index_axis0(i)` yields sample `i` with
+    /// shape `[c, h, w]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] or rank errors as
+    /// [`Tensor::narrow`] does.
+    pub fn index_axis0(&self, i: usize) -> Result<Tensor> {
+        let row = self.narrow(i, 1)?;
+        Ok(Tensor {
+            shape: self.shape[1..].to_vec(),
+            data: row.data,
+        })
+    }
+
+    /// Stacks tensors of identical shape along a new outermost axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty slice and
+    /// [`TensorError::ShapeMismatch`] when element shapes disagree.
+    pub fn stack(items: &[Tensor]) -> Result<Tensor> {
+        let first = items.first().ok_or(TensorError::Empty("stack"))?;
+        let mut data = Vec::with_capacity(first.len() * items.len());
+        for item in items {
+            if item.shape != first.shape {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.shape.clone(),
+                    rhs: item.shape.clone(),
+                    op: "stack",
+                });
+            }
+            data.extend_from_slice(&item.data);
+        }
+        let mut shape = vec![items.len()];
+        shape.extend_from_slice(&first.shape);
+        Ok(Tensor { shape, data })
+    }
+
+    /// Concatenates tensors along the outermost axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty slice and
+    /// [`TensorError::ShapeMismatch`] when trailing shapes disagree.
+    pub fn concat0(items: &[Tensor]) -> Result<Tensor> {
+        let first = items.first().ok_or(TensorError::Empty("concat0"))?;
+        let mut outer = 0usize;
+        let mut data = Vec::new();
+        for item in items {
+            if item.shape.len() != first.shape.len() || item.shape[1..] != first.shape[1..] {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.shape.clone(),
+                    rhs: item.shape.clone(),
+                    op: "concat0",
+                });
+            }
+            outer += item.shape[0];
+            data.extend_from_slice(&item.data);
+        }
+        let mut shape = first.shape.clone();
+        shape[0] = outer;
+        Ok(Tensor { shape, data })
+    }
+
+    /// 2-D transpose (copies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the tensor is 2-D.
+    pub fn t(&self) -> Result<Tensor> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.ndim(),
+                op: "transpose",
+            });
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(&[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// `true` when every pairwise difference is within `tol` (and shapes
+    /// match). Intended for tests and gradient checking.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+impl std::ops::Index<usize> for Tensor {
+    type Output = f32;
+
+    /// Linear (row-major) element access.
+    fn index(&self, i: usize) -> &f32 {
+        &self.data[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Tensor {
+    fn index_mut(&mut self, i: usize) -> &mut f32 {
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_length() {
+        assert!(Tensor::new(&[2, 3], vec![0.0; 6]).is_ok());
+        assert!(matches!(
+            Tensor::new(&[2, 3], vec![0.0; 5]),
+            Err(TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn constructors_fill() {
+        assert_eq!(Tensor::zeros(&[3]).data(), &[0.0, 0.0, 0.0]);
+        assert_eq!(Tensor::ones(&[2]).data(), &[1.0, 1.0]);
+        assert_eq!(Tensor::full(&[2], 7.0).data(), &[7.0, 7.0]);
+        assert_eq!(Tensor::scalar(3.0).ndim(), 0);
+        assert_eq!(Tensor::scalar(3.0).len(), 1);
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.get(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(i.get(&[0, 1]).unwrap(), 0.0);
+        assert_eq!(i.data().iter().sum::<f32>(), 3.0);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 5.0).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), 5.0);
+        assert_eq!(t.data()[5], 5.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::new(&[2, 3], (0..6).map(|v| v as f32).collect()).unwrap();
+        let r = t.reshape(&[3, 2]).unwrap();
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(&[4, 2]).is_err());
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Tensor::from_vec(vec![1.0, -2.0]);
+        let b = Tensor::from_vec(vec![3.0, 4.0]);
+        assert_eq!(a.map(|v| v * 2.0).data(), &[2.0, -4.0]);
+        assert_eq!(a.zip_map(&b, |x, y| x + y).unwrap().data(), &[4.0, 2.0]);
+        let c = Tensor::zeros(&[3]);
+        assert!(a.zip_map(&c, |x, _| x).is_err());
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let a = Tensor::from_vec(vec![1.0, 2.0]);
+        let b = Tensor::from_vec(vec![3.0, 5.0]);
+        assert_eq!(a.add(&b).unwrap().data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, 3.0]);
+        let mut c = a.clone();
+        c.add_scaled(&b, 2.0).unwrap();
+        assert_eq!(c.data(), &[7.0, 12.0]);
+    }
+
+    #[test]
+    fn sign_handles_zero_and_nan() {
+        let t = Tensor::from_vec(vec![-3.0, 0.0, 2.0, f32::NAN]);
+        assert_eq!(t.sign().data(), &[-1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let t = Tensor::from_vec(vec![-2.0, 0.5, 2.0]);
+        assert_eq!(t.clamp(0.0, 1.0).data(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn clamp_invalid_range_panics() {
+        Tensor::from_vec(vec![0.0]).clamp(1.0, 0.0);
+    }
+
+    #[test]
+    fn add_row_broadcast_bias() {
+        let x = Tensor::new(&[2, 3], vec![0.0; 6]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0]);
+        let y = x.add_row_broadcast(&b).unwrap();
+        assert_eq!(y.data(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+        assert!(x.add_row_broadcast(&Tensor::from_vec(vec![1.0])).is_err());
+    }
+
+    #[test]
+    fn narrow_and_index_axis0() {
+        let t = Tensor::new(&[3, 2], (0..6).map(|v| v as f32).collect()).unwrap();
+        let mid = t.narrow(1, 2).unwrap();
+        assert_eq!(mid.shape(), &[2, 2]);
+        assert_eq!(mid.data(), &[2.0, 3.0, 4.0, 5.0]);
+        let row = t.index_axis0(2).unwrap();
+        assert_eq!(row.shape(), &[2]);
+        assert_eq!(row.data(), &[4.0, 5.0]);
+        assert!(t.narrow(2, 2).is_err());
+    }
+
+    #[test]
+    fn stack_and_concat() {
+        let a = Tensor::from_vec(vec![1.0, 2.0]);
+        let b = Tensor::from_vec(vec![3.0, 4.0]);
+        let s = Tensor::stack(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        let c = Tensor::concat0(&[s.clone(), s.clone()]).unwrap();
+        assert_eq!(c.shape(), &[4, 2]);
+        assert!(Tensor::stack(&[]).is_err());
+        assert!(Tensor::stack(&[a, Tensor::from_vec(vec![1.0])]).is_err());
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let t = Tensor::new(&[2, 3], (0..6).map(|v| v as f32).collect()).unwrap();
+        let tt = t.t().unwrap();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.get(&[2, 1]).unwrap(), t.get(&[1, 2]).unwrap());
+        assert!(Tensor::from_vec(vec![1.0]).t().is_err());
+    }
+
+    #[test]
+    fn allclose_tolerance() {
+        let a = Tensor::from_vec(vec![1.0, 2.0]);
+        let b = Tensor::from_vec(vec![1.0 + 1e-6, 2.0 - 1e-6]);
+        assert!(a.allclose(&b, 1e-5));
+        assert!(!a.allclose(&b, 1e-8));
+        assert!(!a.allclose(&Tensor::zeros(&[3]), 1.0));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        assert!(!Tensor::zeros(&[4]).has_non_finite());
+        assert!(Tensor::from_vec(vec![0.0, f32::NAN]).has_non_finite());
+        assert!(Tensor::from_vec(vec![f32::INFINITY]).has_non_finite());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the tensor crate's core algebra.
+
+use advcomp_tensor::{broadcast_shapes, col2im, im2col, Conv2dGeometry, Shape, Tensor};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..5, 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// offset() is a bijection between multi-indices and 0..numel.
+    #[test]
+    fn offsets_are_bijective(dims in small_dims()) {
+        let shape = Shape::new(&dims);
+        let mut seen = vec![false; shape.numel()];
+        let mut index = vec![0usize; dims.len()];
+        loop {
+            let off = shape.offset(&index).unwrap();
+            prop_assert!(!seen[off], "offset {off} hit twice");
+            seen[off] = true;
+            // Odometer increment.
+            let mut axis = dims.len();
+            loop {
+                if axis == 0 {
+                    break;
+                }
+                axis -= 1;
+                index[axis] += 1;
+                if index[axis] < dims[axis] {
+                    break;
+                }
+                index[axis] = 0;
+                if axis == 0 {
+                    // wrapped completely
+                    prop_assert!(seen.iter().all(|&s| s));
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Reshape preserves data and is reversible.
+    #[test]
+    fn reshape_roundtrip(dims in small_dims()) {
+        let n: usize = dims.iter().product();
+        let t = Tensor::new(&dims, (0..n).map(|v| v as f32).collect()).unwrap();
+        let flat = t.reshape(&[n]).unwrap();
+        let back = flat.reshape(&dims).unwrap();
+        prop_assert_eq!(back.data(), t.data());
+        prop_assert_eq!(back.shape(), t.shape());
+    }
+
+    /// Double transpose is the identity.
+    #[test]
+    fn transpose_involution(m in 1usize..8, n in 1usize..8, seed in 0u64..100) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = advcomp_tensor::Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[m, n], &mut rng);
+        let tt = t.t().unwrap().t().unwrap();
+        prop_assert_eq!(tt.data(), t.data());
+    }
+
+    /// (AB)ᵀ == BᵀAᵀ for the fast kernel.
+    #[test]
+    fn matmul_transpose_identity(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..100) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let init = advcomp_tensor::Init::Uniform { lo: -1.0, hi: 1.0 };
+        let a = init.tensor(&[m, k], &mut rng);
+        let b = init.tensor(&[k, n], &mut rng);
+        let ab_t = a.matmul(&b).unwrap().t().unwrap();
+        let bt_at = b.t().unwrap().matmul(&a.t().unwrap()).unwrap();
+        prop_assert!(ab_t.allclose(&bt_at, 1e-4));
+    }
+
+    /// Fast matmul agrees with the naive reference on random shapes.
+    #[test]
+    fn matmul_matches_naive(m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..50) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let init = advcomp_tensor::Init::Uniform { lo: -2.0, hi: 2.0 };
+        let a = init.tensor(&[m, k], &mut rng);
+        let b = init.tensor(&[k, n], &mut rng);
+        prop_assert!(a.matmul(&b).unwrap().allclose(&a.matmul_naive(&b).unwrap(), 1e-3));
+    }
+
+    /// Broadcasting is commutative and agrees with equal shapes.
+    #[test]
+    fn broadcast_symmetry(a in small_dims(), b in small_dims()) {
+        let ab = broadcast_shapes(&a, &b);
+        let ba = broadcast_shapes(&b, &a);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "asymmetric broadcast: {x:?} vs {y:?}"),
+        }
+    }
+
+    /// im2col/col2im adjointness on random geometries:
+    /// <im2col(x), y> == <x, col2im(y)>.
+    #[test]
+    fn conv_lowering_adjoint(
+        c in 1usize..3,
+        hw in 3usize..8,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in 0u64..50,
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let geom = Conv2dGeometry::square(c, hw, k, stride, pad);
+        let (oh, ow) = geom.output_hw().unwrap();
+        let init = advcomp_tensor::Init::Uniform { lo: -1.0, hi: 1.0 };
+        let x = init.tensor(&[2, c, hw, hw], &mut rng);
+        let y = init.tensor(&[2 * oh * ow, geom.patch_len()], &mut rng);
+        let ax = im2col(&x, &geom).unwrap();
+        let aty = col2im(&y, &geom, 2).unwrap();
+        let lhs: f64 = ax.data().iter().zip(y.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let rhs: f64 = x.data().iter().zip(aty.data()).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    /// Norm identities: ||x||∞ ≤ ||x||₂ ≤ ||x||₁ and density in [0,1].
+    #[test]
+    fn norm_ordering(values in proptest::collection::vec(-10.0f32..10.0, 1..64)) {
+        let t = Tensor::from_vec(values);
+        prop_assert!(t.linf_norm() <= t.l2_norm() + 1e-4);
+        prop_assert!(t.l2_norm() <= t.l1_norm() + 1e-3);
+        prop_assert!((0.0..=1.0).contains(&t.density()));
+    }
+
+    /// stack then index_axis0 recovers the originals.
+    #[test]
+    fn stack_index_roundtrip(rows in proptest::collection::vec(proptest::collection::vec(-5.0f32..5.0, 4), 1..6)) {
+        let tensors: Vec<Tensor> = rows.iter().map(|r| Tensor::from_vec(r.clone())).collect();
+        let stacked = Tensor::stack(&tensors).unwrap();
+        for (i, r) in rows.iter().enumerate() {
+            let row = stacked.index_axis0(i).unwrap();
+            prop_assert_eq!(row.data(), r.as_slice());
+        }
+    }
+}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Regenerates every paper exhibit at the quick profile, logging to
+# results/logs/. Run from the repository root:
+#
+#   sh scripts/run_all_exhibits.sh [scale]
+#
+set -u
+SCALE="${1:-quick}"
+mkdir -p results/logs
+for exhibit in table1 fig2 fig3 fig4 fig5 fig6 crossseed; do
+    echo "=== $exhibit ($SCALE) ==="
+    cargo run --release -p advcomp-bench --bin "$exhibit" -- --scale "$SCALE" \
+        > "results/logs/$exhibit.log" 2>&1
+    echo "exit=$? (log: results/logs/$exhibit.log)"
+done
+# Ablations called out in DESIGN.md.
+cargo run --release -p advcomp-bench --bin fig2 -- --scale "$SCALE" --one-shot \
+    > results/logs/fig2_oneshot.log 2>&1
+echo "fig2 --one-shot exit=$?"
+cargo run --release -p advcomp-bench --bin fig5 -- --scale "$SCALE" --weights-only \
+    > results/logs/fig5_weights_only.log 2>&1
+echo "fig5 --weights-only exit=$?"

@@ -1,0 +1,70 @@
+//! Fuzz-style robustness: every binary decoder in the workspace must
+//! reject arbitrary byte soup with a typed error — never panic, never hang,
+//! never return garbage silently accepted as valid.
+
+use advcomp::data::idx::{parse_cifar_batch, parse_idx_images, parse_idx_labels};
+use advcomp::models::Checkpoint;
+use advcomp::qformat::QFormat;
+use advcomp::sparse::huffman;
+use advcomp::sparse::QuantizedTensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn checkpoint_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Checkpoint::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn idx_parsers_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse_idx_images(&bytes);
+        let _ = parse_idx_labels(&bytes);
+        let _ = parse_cifar_batch(&bytes);
+    }
+
+    #[test]
+    fn quantized_unpack_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        n in 0usize..64,
+        bw in 2u32..17,
+    ) {
+        if let Ok(fmt) = QFormat::for_bitwidth(bw) {
+            if let Ok(qt) = QuantizedTensor::unpack(&bytes, &[n], fmt) {
+                // Anything accepted must decode to in-range values.
+                let t = qt.to_tensor().unwrap();
+                let in_range = t
+                    .data()
+                    .iter()
+                    .all(|v| *v >= fmt.min_value() && *v <= fmt.max_value());
+                prop_assert!(in_range);
+            }
+        }
+    }
+
+    #[test]
+    fn huffman_decoder_never_panics(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        len in 0usize..64,
+        symbols in proptest::collection::vec(-8i32..8, 1..32),
+    ) {
+        // A legitimate codebook fed a corrupted stream must error, not
+        // panic or loop.
+        let book = huffman::build_codebook(&symbols).unwrap();
+        let bits = payload.len() * 8;
+        let enc = huffman::Encoded { bytes: payload, len, bits };
+        let _ = huffman::decode(&enc, &book);
+    }
+
+    /// Checkpoints with adversarial headers (huge claimed counts) must fail
+    /// fast on truncation rather than attempt enormous allocations.
+    #[test]
+    fn checkpoint_truncation_from_valid_prefix(cut in 0usize..100) {
+        let model = advcomp::models::mlp(4, 0);
+        let bytes = Checkpoint::capture(&model).to_bytes();
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        let truncated = &bytes[..bytes.len() - 1 - cut];
+        prop_assert!(Checkpoint::from_bytes(truncated).is_err());
+    }
+}

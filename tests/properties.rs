@@ -1,0 +1,124 @@
+//! Cross-crate property-based tests (proptest) on the invariants the
+//! experiments rely on.
+
+use advcomp::attacks::{Attack, Fgsm, Ifgsm};
+use advcomp::compress::{magnitude_threshold, PruneMask};
+use advcomp::models::{mlp, Checkpoint};
+use advcomp::nn::Mode;
+use advcomp::qformat::QFormat;
+use advcomp::tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// IFGSM output always stays inside [0,1] and within iters·ε of the
+    /// input in L∞ — for arbitrary inputs and parameters.
+    #[test]
+    fn ifgsm_respects_ball(
+        seed in 0u64..1000,
+        eps in 0.001f32..0.2,
+        iters in 1usize..6,
+        pixels in proptest::collection::vec(0.0f32..1.0, 28 * 28),
+    ) {
+        let mut model = mlp(8, seed);
+        let x = Tensor::new(&[1, 1, 28, 28], pixels).unwrap();
+        let attack = Ifgsm::new(eps, iters).unwrap();
+        let adv = attack.generate(&mut model, &x, &[3]).unwrap();
+        let delta = adv.sub(&x).unwrap();
+        prop_assert!(delta.linf_norm() <= eps * iters as f32 + 1e-5);
+        prop_assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// FGSM perturbs every coordinate by exactly 0, +ε or −ε before the
+    /// pixel-range clamp.
+    #[test]
+    fn fgsm_step_structure(
+        seed in 0u64..1000,
+        eps in 0.01f32..0.3,
+        pixels in proptest::collection::vec(0.3f32..0.7, 28 * 28),
+    ) {
+        // Pixels chosen away from the clamp boundary so steps are exact.
+        let mut model = mlp(8, seed);
+        let x = Tensor::new(&[1, 1, 28, 28], pixels).unwrap();
+        let attack = Fgsm::new(eps).unwrap();
+        let adv = attack.generate(&mut model, &x, &[1]).unwrap();
+        let delta = adv.sub(&x).unwrap();
+        for &d in delta.data() {
+            let ok = d.abs() < 1e-6 || (d.abs() - eps).abs() < 1e-5;
+            prop_assert!(ok, "unexpected step {d} for eps {eps}");
+        }
+    }
+
+    /// Quantisation is idempotent, monotone and range-bounded for every
+    /// valid (int_bits, frac_bits) format.
+    #[test]
+    fn quantiser_invariants(
+        int_bits in 1u32..6,
+        frac_bits in 1u32..12,
+        a in -100.0f32..100.0,
+        b in -100.0f32..100.0,
+    ) {
+        let q = QFormat::new(int_bits, frac_bits).unwrap();
+        let qa = q.quantize(a);
+        prop_assert_eq!(q.quantize(qa), qa);
+        prop_assert!(qa >= q.min_value() && qa <= q.max_value());
+        if a <= b {
+            prop_assert!(qa <= q.quantize(b));
+        }
+        prop_assert!((qa - a.clamp(q.min_value(), q.max_value())).abs() <= q.resolution());
+    }
+
+    /// The magnitude threshold always yields a kept-fraction within one
+    /// element of the target density.
+    #[test]
+    fn prune_threshold_density(
+        values in proptest::collection::vec(-10.0f32..10.0, 1..400),
+        density in 0.01f64..1.0,
+    ) {
+        let t = magnitude_threshold(&values, density);
+        let kept = values.iter().filter(|v| v.abs() >= t).count();
+        let target = (values.len() as f64 * density).round();
+        // Ties at the threshold can keep a few extra values.
+        prop_assert!(kept as f64 >= target - 1.0,
+            "kept {kept} of {} at density {density}", values.len());
+    }
+
+    /// Masks built from a model have the target density and applying them
+    /// never increases any weight's magnitude.
+    #[test]
+    fn prune_mask_behaviour(seed in 0u64..100, density in 0.05f64..1.0) {
+        let mut model = mlp(8, seed);
+        let before: Vec<f32> = model.param("fc1.weight").unwrap().value.data().to_vec();
+        let mask = PruneMask::from_magnitude(&model, density).unwrap();
+        prop_assert!((mask.overall_density() - density).abs() < 0.05);
+        mask.apply(&mut model).unwrap();
+        let after = model.param("fc1.weight").unwrap().value.data();
+        for (b, a) in before.iter().zip(after) {
+            prop_assert!(a.abs() <= b.abs() + 1e-12);
+            prop_assert!(*a == 0.0 || a == b);
+        }
+    }
+
+    /// Checkpoints roundtrip arbitrary parameter tensors bit-exactly.
+    #[test]
+    fn checkpoint_roundtrip(values in proptest::collection::vec(-1e6f32..1e6, 1..200)) {
+        let len = values.len();
+        let ckpt = Checkpoint::from_params(vec![
+            ("w".into(), Tensor::new(&[len], values.clone()).unwrap()),
+        ]);
+        let decoded = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        prop_assert_eq!(decoded.params()[0].1.data(), values.as_slice());
+    }
+
+    /// Forward passes are deterministic in eval mode: same input, same
+    /// logits, regardless of how often we run.
+    #[test]
+    fn eval_forward_deterministic(seed in 0u64..100, pixels in proptest::collection::vec(0.0f32..1.0, 28 * 28)) {
+        let mut model = mlp(8, seed);
+        let x = Tensor::new(&[1, 1, 28, 28], pixels).unwrap();
+        let a = model.forward(&x, Mode::Eval).unwrap();
+        let b = model.forward(&x, Mode::Eval).unwrap();
+        prop_assert_eq!(a.data(), b.data());
+    }
+}
