@@ -35,7 +35,9 @@ impl DeepFool {
             )));
         }
         if max_iterations == 0 {
-            return Err(AttackError::InvalidConfig("max_iterations must be >= 1".into()));
+            return Err(AttackError::InvalidConfig(
+                "max_iterations must be >= 1".into(),
+            ));
         }
         Ok(DeepFool {
             overshoot,
@@ -79,7 +81,7 @@ impl DeepFool {
                     continue;
                 }
                 let dist = (logits[k] - logits[k0]).abs() / wnorm;
-                if best.map_or(true, |(d, _)| dist < d) {
+                if best.is_none_or(|(d, _)| dist < d) {
                     best = Some((dist, k));
                 }
             }
@@ -211,8 +213,14 @@ mod tests {
         // perturbations than the original IFGSM").
         use crate::{Attack as _, Ifgsm};
         let (mut model, x, ys) = trained_toy();
-        let df_adv = DeepFool::new(0.02, 10).unwrap().generate(&mut model, &x, &ys).unwrap();
-        let fg_adv = Ifgsm::new(0.1, 8).unwrap().generate(&mut model, &x, &ys).unwrap();
+        let df_adv = DeepFool::new(0.02, 10)
+            .unwrap()
+            .generate(&mut model, &x, &ys)
+            .unwrap();
+        let fg_adv = Ifgsm::new(0.1, 8)
+            .unwrap()
+            .generate(&mut model, &x, &ys)
+            .unwrap();
         let df_l2 = df_adv.sub(&x).unwrap().l2_norm();
         let fg_l2 = fg_adv.sub(&x).unwrap().l2_norm();
         assert!(
@@ -224,7 +232,10 @@ mod tests {
     #[test]
     fn stays_in_pixel_range() {
         let (mut model, x, ys) = trained_toy();
-        let adv = DeepFool::new(0.5, 10).unwrap().generate(&mut model, &x, &ys).unwrap();
+        let adv = DeepFool::new(0.5, 10)
+            .unwrap()
+            .generate(&mut model, &x, &ys)
+            .unwrap();
         assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
 
@@ -245,7 +256,10 @@ mod tests {
         // valid.
         let (mut model, _, _) = trained_toy();
         let x = Tensor::full(&[1, 4], 0.5);
-        let adv = DeepFool::new(0.02, 1).unwrap().generate(&mut model, &x, &[0]).unwrap();
+        let adv = DeepFool::new(0.02, 1)
+            .unwrap()
+            .generate(&mut model, &x, &[0])
+            .unwrap();
         assert_eq!(adv.shape(), x.shape());
     }
 }

@@ -64,7 +64,10 @@ mod tests {
         let e: AttackError = NnError::InvalidConfig("x".into()).into();
         assert!(e.to_string().contains("network error"));
         assert!(std::error::Error::source(&e).is_some());
-        let e = AttackError::BatchMismatch { inputs: 3, labels: 2 };
+        let e = AttackError::BatchMismatch {
+            inputs: 3,
+            labels: 2,
+        };
         assert!(e.to_string().contains('3'));
     }
 }

@@ -131,7 +131,10 @@ mod tests {
             let l = model.forward(&x, Mode::Eval).unwrap();
             softmax_cross_entropy(&l, &labels).unwrap().loss
         };
-        let adv = Fgsm::new(0.2).unwrap().generate(&mut model, &x, &labels).unwrap();
+        let adv = Fgsm::new(0.2)
+            .unwrap()
+            .generate(&mut model, &x, &labels)
+            .unwrap();
         let after = {
             let l = model.forward(&adv, Mode::Eval).unwrap();
             softmax_cross_entropy(&l, &labels).unwrap().loss
@@ -143,8 +146,14 @@ mod tests {
     fn fgm_scales_with_gradient() {
         let mut model = net();
         let x = Tensor::full(&[1, 4], 0.5);
-        let small = Fgm::new(0.01).unwrap().generate(&mut model, &x, &[0]).unwrap();
-        let large = Fgm::new(10.0).unwrap().generate(&mut model, &x, &[0]).unwrap();
+        let small = Fgm::new(0.01)
+            .unwrap()
+            .generate(&mut model, &x, &[0])
+            .unwrap();
+        let large = Fgm::new(10.0)
+            .unwrap()
+            .generate(&mut model, &x, &[0])
+            .unwrap();
         let d_small = small.sub(&x).unwrap().l2_norm();
         let d_large = large.sub(&x).unwrap().l2_norm();
         assert!(d_large > d_small);
@@ -155,8 +164,14 @@ mod tests {
         let mut model = net();
         let before = model.export_params();
         let x = Tensor::full(&[2, 4], 0.5);
-        Fgsm::new(0.1).unwrap().generate(&mut model, &x, &[0, 1]).unwrap();
-        Fgm::new(0.1).unwrap().generate(&mut model, &x, &[0, 1]).unwrap();
+        Fgsm::new(0.1)
+            .unwrap()
+            .generate(&mut model, &x, &[0, 1])
+            .unwrap();
+        Fgm::new(0.1)
+            .unwrap()
+            .generate(&mut model, &x, &[0, 1])
+            .unwrap();
         for ((_, a), (_, b)) in before.iter().zip(model.export_params().iter()) {
             assert_eq!(a.data(), b.data());
         }

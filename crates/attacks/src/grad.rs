@@ -46,10 +46,7 @@ pub fn loss_input_grad(model: &mut Sequential, x: &Tensor, labels: &[usize]) -> 
 /// # Errors
 ///
 /// Returns [`AttackError::InvalidConfig`] unless the batch size is 1.
-pub fn logit_input_grads(
-    model: &mut Sequential,
-    x: &Tensor,
-) -> Result<(Vec<f32>, Vec<Tensor>)> {
+pub fn logit_input_grads(model: &mut Sequential, x: &Tensor) -> Result<(Vec<f32>, Vec<Tensor>)> {
     if x.shape().first() != Some(&1) {
         return Err(AttackError::InvalidConfig(format!(
             "logit_input_grads expects a single sample, got batch {:?}",
@@ -99,7 +96,10 @@ mod tests {
         let x = Tensor::ones(&[2, 4]);
         assert!(matches!(
             loss_input_grad(&mut model, &x, &[0]),
-            Err(AttackError::BatchMismatch { inputs: 2, labels: 1 })
+            Err(AttackError::BatchMismatch {
+                inputs: 2,
+                labels: 1
+            })
         ));
     }
 
@@ -124,7 +124,9 @@ mod tests {
         // Gradient of sum of logits == sum of per-logit gradients: check
         // against a single backward with an all-ones seed.
         let mut model = net();
-        let x = Tensor::from_vec(vec![0.1, -0.4, 0.7, 0.2]).reshape(&[1, 4]).unwrap();
+        let x = Tensor::from_vec(vec![0.1, -0.4, 0.7, 0.2])
+            .reshape(&[1, 4])
+            .unwrap();
         let (_, grads) = logit_input_grads(&mut model, &x).unwrap();
         model.forward(&x, Mode::Eval).unwrap();
         let total = model.backward(&Tensor::ones(&[1, 3])).unwrap();

@@ -44,7 +44,10 @@ impl Ifgsm {
     /// Returns [`AttackError::InvalidConfig`] for a bad ε or zero iterations.
     pub fn new(epsilon: f32, iterations: usize) -> Result<Self> {
         check(epsilon, iterations)?;
-        Ok(Ifgsm { epsilon, iterations })
+        Ok(Ifgsm {
+            epsilon,
+            iterations,
+        })
     }
 
     /// Per-iteration step size.
@@ -91,7 +94,10 @@ impl Ifgm {
     /// Returns [`AttackError::InvalidConfig`] for a bad ε or zero iterations.
     pub fn new(epsilon: f32, iterations: usize) -> Result<Self> {
         check(epsilon, iterations)?;
-        Ok(Ifgm { epsilon, iterations })
+        Ok(Ifgm {
+            epsilon,
+            iterations,
+        })
     }
 
     /// Gradient scale factor ε.
@@ -176,8 +182,14 @@ mod tests {
             let l = m.forward(inp, Mode::Eval).unwrap();
             softmax_cross_entropy(&l, &labels).unwrap().loss
         };
-        let one = Ifgsm::new(0.02, 1).unwrap().generate(&mut model, &x, &labels).unwrap();
-        let many = Ifgsm::new(0.02, 10).unwrap().generate(&mut model, &x, &labels).unwrap();
+        let one = Ifgsm::new(0.02, 1)
+            .unwrap()
+            .generate(&mut model, &x, &labels)
+            .unwrap();
+        let many = Ifgsm::new(0.02, 10)
+            .unwrap()
+            .generate(&mut model, &x, &labels)
+            .unwrap();
         assert!(loss_of(&mut model, &many) >= loss_of(&mut model, &one));
     }
 
@@ -210,7 +222,10 @@ mod tests {
         let clean_acc = accuracy(&clean_logits, &ys).unwrap();
         assert!(clean_acc > 0.9, "failed to train: {clean_acc}");
 
-        let adv = Ifgsm::new(0.05, 8).unwrap().generate(&mut model, &x, &ys).unwrap();
+        let adv = Ifgsm::new(0.05, 8)
+            .unwrap()
+            .generate(&mut model, &x, &ys)
+            .unwrap();
         let adv_logits = model.forward(&adv, Mode::Eval).unwrap();
         let adv_acc = accuracy(&adv_logits, &ys).unwrap();
         assert!(

@@ -68,12 +68,30 @@ impl PaperParams {
     /// Looks up the Table 1 parameters for a (network, attack) pair.
     pub fn lookup(net: NetKind, attack: AttackKind) -> AttackParams {
         match (net, attack) {
-            (NetKind::LeNet5, AttackKind::Ifgsm) => AttackParams { epsilon: 0.02, iterations: 12 },
-            (NetKind::LeNet5, AttackKind::Ifgm) => AttackParams { epsilon: 10.0, iterations: 5 },
-            (NetKind::LeNet5, AttackKind::DeepFool) => AttackParams { epsilon: 0.01, iterations: 5 },
-            (NetKind::CifarNet, AttackKind::Ifgsm) => AttackParams { epsilon: 0.02, iterations: 12 },
-            (NetKind::CifarNet, AttackKind::Ifgm) => AttackParams { epsilon: 0.02, iterations: 12 },
-            (NetKind::CifarNet, AttackKind::DeepFool) => AttackParams { epsilon: 0.01, iterations: 3 },
+            (NetKind::LeNet5, AttackKind::Ifgsm) => AttackParams {
+                epsilon: 0.02,
+                iterations: 12,
+            },
+            (NetKind::LeNet5, AttackKind::Ifgm) => AttackParams {
+                epsilon: 10.0,
+                iterations: 5,
+            },
+            (NetKind::LeNet5, AttackKind::DeepFool) => AttackParams {
+                epsilon: 0.01,
+                iterations: 5,
+            },
+            (NetKind::CifarNet, AttackKind::Ifgsm) => AttackParams {
+                epsilon: 0.02,
+                iterations: 12,
+            },
+            (NetKind::CifarNet, AttackKind::Ifgm) => AttackParams {
+                epsilon: 0.02,
+                iterations: 12,
+            },
+            (NetKind::CifarNet, AttackKind::DeepFool) => AttackParams {
+                epsilon: 0.01,
+                iterations: 3,
+            },
         }
     }
 

@@ -120,7 +120,6 @@ mod tests {
     use super::*;
     use advcomp_nn::{accuracy, Dense, Mode, Relu, Sgd};
 
-
     fn trained() -> (Sequential, Tensor, Vec<usize>) {
         use advcomp_nn::softmax_cross_entropy;
         let mut rng = rand::rngs::StdRng::seed_from_u64(77);
@@ -187,7 +186,10 @@ mod tests {
         use crate::Ifgsm;
         let (mut model, x, y) = trained();
         let eps = 0.08;
-        let ifgsm_adv = Ifgsm::new(eps / 8.0, 8).unwrap().generate(&mut model, &x, &y).unwrap();
+        let ifgsm_adv = Ifgsm::new(eps / 8.0, 8)
+            .unwrap()
+            .generate(&mut model, &x, &y)
+            .unwrap();
         let pgd_adv = Pgd::new(eps, eps / 4.0, 16)
             .unwrap()
             .generate(&mut model, &x, &y)
@@ -207,9 +209,21 @@ mod tests {
     #[test]
     fn random_start_is_seeded() {
         let (mut model, x, y) = trained();
-        let a = Pgd::new(0.05, 0.02, 3).unwrap().with_seed(9).generate(&mut model, &x, &y).unwrap();
-        let b = Pgd::new(0.05, 0.02, 3).unwrap().with_seed(9).generate(&mut model, &x, &y).unwrap();
-        let c = Pgd::new(0.05, 0.02, 3).unwrap().with_seed(10).generate(&mut model, &x, &y).unwrap();
+        let a = Pgd::new(0.05, 0.02, 3)
+            .unwrap()
+            .with_seed(9)
+            .generate(&mut model, &x, &y)
+            .unwrap();
+        let b = Pgd::new(0.05, 0.02, 3)
+            .unwrap()
+            .with_seed(9)
+            .generate(&mut model, &x, &y)
+            .unwrap();
+        let c = Pgd::new(0.05, 0.02, 3)
+            .unwrap()
+            .with_seed(10)
+            .generate(&mut model, &x, &y)
+            .unwrap();
         assert_eq!(a.data(), b.data());
         assert_ne!(a.data(), c.data());
     }

@@ -37,7 +37,11 @@ impl PerturbationStats {
         for i in 0..n {
             let row = &delta.data()[i * per..(i + 1) * per];
             l0 += row.iter().filter(|&&v| v != 0.0).count();
-            l2 += row.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+            l2 += row
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>()
+                .sqrt();
             let m = row.iter().fold(0.0f64, |acc, &v| acc.max(v.abs() as f64));
             linf = linf.max(m);
         }

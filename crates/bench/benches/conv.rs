@@ -9,12 +9,7 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 /// Textbook direct convolution (no lowering), the ablation reference.
-fn direct_conv(
-    input: &Tensor,
-    weight: &Tensor,
-    stride: usize,
-    padding: usize,
-) -> Tensor {
+fn direct_conv(input: &Tensor, weight: &Tensor, stride: usize, padding: usize) -> Tensor {
     let (n, c, h, w) = (
         input.shape()[0],
         input.shape()[1],
@@ -73,7 +68,8 @@ fn bench_conv_strategies(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("im2col_gemm", batch), &batch, |bch, _| {
             bch.iter(|| {
-                let mut conv = Conv2d::new(16, 16, 3, 1, 1, &mut rand::rngs::StdRng::seed_from_u64(0));
+                let mut conv =
+                    Conv2d::new(16, 16, 3, 1, 1, &mut rand::rngs::StdRng::seed_from_u64(0));
                 conv.params_mut()[0].value = w.clone();
                 black_box(conv.forward(&x, Mode::Eval).unwrap())
             })

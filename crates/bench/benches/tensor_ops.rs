@@ -1,7 +1,9 @@
-//! Ablation benchmark: matmul kernels (naive vs blocked vs threaded) —
-//! the design choice called out in DESIGN.md.
+//! Ablation benchmark: matmul kernels (naive vs blocked vs threaded,
+//! pooled vs spawn-per-call, dense vs sparse) — the design choices called
+//! out in DESIGN.md. `scripts/bench_kernels.sh` runs the machine-readable
+//! variant of the pooled-vs-spawned comparison (`kernel_bench`).
 
-use advcomp_tensor::{Init, Tensor};
+use advcomp_tensor::{Init, MatmulKernel, Tensor};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -9,7 +11,10 @@ use std::hint::black_box;
 fn mats(m: usize, k: usize, n: usize) -> (Tensor, Tensor) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let init = Init::Uniform { lo: -1.0, hi: 1.0 };
-    (init.tensor(&[m, k], &mut rng), init.tensor(&[k, n], &mut rng))
+    (
+        init.tensor(&[m, k], &mut rng),
+        init.tensor(&[k, n], &mut rng),
+    )
 }
 
 fn bench_matmul(c: &mut Criterion) {
@@ -29,26 +34,55 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_sparse_matmul(c: &mut Criterion) {
-    // The blocked kernel skips zero multipliers; measure the effect of
-    // pruned (sparse) weight matrices.
-    let mut group = c.benchmark_group("matmul_sparse");
-    let (mut a, b) = mats(128, 128, 128);
-    for &density in &[1.0f32, 0.5, 0.1] {
-        let mut sparse = a.clone();
-        let n = sparse.len();
-        for i in 0..n {
-            if (i as f32 / n as f32) >= density {
-                sparse.data_mut()[i] = 0.0;
-            }
+fn bench_pool_vs_spawn(c: &mut Criterion) {
+    // The tentpole ablation: identical dense compute kernel, identical row
+    // banding — only the thread provisioning differs. The pooled path feeds
+    // persistent workers; the spawn path creates fresh OS threads per call,
+    // which was the behaviour before the worker pool landed.
+    let mut group = c.benchmark_group("matmul_pool_vs_spawn");
+    let (a, b) = mats(128, 128, 128);
+    group.bench_function("pooled_128", |bch| {
+        bch.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+    group.bench_function("spawn_per_call_128", |bch| {
+        bch.iter(|| black_box(a.matmul_spawn_per_call(&b).unwrap()))
+    });
+    group.finish();
+}
+
+fn sparsify(a: &Tensor, density: f32) -> Tensor {
+    let mut sparse = a.clone();
+    let n = sparse.len();
+    for i in 0..n {
+        if (i as f32 / n as f32) >= density {
+            sparse.data_mut()[i] = 0.0;
         }
+    }
+    sparse
+}
+
+fn bench_sparse_matmul(c: &mut Criterion) {
+    // Dense packed kernel vs zero-skipping sparse kernel across the density
+    // range pruning produces; the probe in `matmul` picks between them.
+    let mut group = c.benchmark_group("matmul_sparse");
+    let (a, b) = mats(128, 128, 128);
+    for &density in &[1.0f32, 0.5, 0.1] {
+        let sparse = sparsify(&a, density);
         group.bench_with_input(
-            BenchmarkId::new("blocked", format!("d{density}")),
+            BenchmarkId::new("dense_kernel", format!("d{density}")),
             &density,
-            |bch, _| bch.iter(|| black_box(sparse.matmul_blocked_serial(&b).unwrap())),
+            |bch, _| {
+                bch.iter(|| black_box(sparse.matmul_with_kernel(&b, MatmulKernel::Dense).unwrap()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sparse_kernel", format!("d{density}")),
+            &density,
+            |bch, _| {
+                bch.iter(|| black_box(sparse.matmul_with_kernel(&b, MatmulKernel::Sparse).unwrap()))
+            },
         );
     }
-    let _ = &mut a;
     group.finish();
 }
 
@@ -69,6 +103,6 @@ fn bench_elementwise(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_sparse_matmul, bench_elementwise
+    targets = bench_matmul, bench_pool_vs_spawn, bench_sparse_matmul, bench_elementwise
 );
 criterion_main!(benches);

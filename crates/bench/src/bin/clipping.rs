@@ -38,20 +38,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let finetune_cfg = setup.finetune_config(&opts.scale);
     let n = opts.scale.deepfool_eval.min(setup.test.len());
     let (x, y) = setup.test.slice(0, n)?;
-    println!("cifarnet baseline accuracy: {}%\n", pct(baseline.test_accuracy));
+    println!(
+        "cifarnet baseline accuracy: {}%\n",
+        pct(baseline.test_accuracy)
+    );
 
     let mut table = Table::new(
         "Fraction of activations at the format's saturation ceiling",
         &[
-            "bitwidth", "ceiling", "clean saturated%", "adversarial saturated%",
-            "clean acc%", "adv acc%",
+            "bitwidth",
+            "ceiling",
+            "clean saturated%",
+            "adversarial saturated%",
+            "clean acc%",
+            "adv acc%",
         ],
     );
     for bitwidth in [4u32, 6, 8, 12] {
         let fmt = QFormat::for_bitwidth(bitwidth)?;
         let mut model = baseline.instantiate()?;
-        Compression::Quant { bitwidth, weights_only: false }
-            .apply(&mut model, &setup.train, &finetune_cfg)?;
+        Compression::Quant {
+            bitwidth,
+            weights_only: false,
+        }
+        .apply(&mut model, &setup.train, &finetune_cfg)?;
 
         let attack = PaperParams::build_adapted(NetKind::CifarNet, AttackKind::Ifgsm);
         let adv = attack.generate(&mut model, &x, &y)?;

@@ -18,7 +18,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(
         "Cross-seed DeepFool transfer (paper: LeNet5 ≈ 7%, CifarNet ≈ 60%)",
-        &["net", "acc_seed_a", "acc_seed_b", "fool_rate_on_source", "transfer_rate"],
+        &[
+            "net",
+            "acc_seed_a",
+            "acc_seed_b",
+            "fool_rate_on_source",
+            "transfer_rate",
+        ],
     );
     for net in [NetKind::LeNet5, NetKind::CifarNet] {
         let setup = TaskSetup::new(net, &opts.scale);

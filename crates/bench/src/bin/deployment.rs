@@ -17,36 +17,61 @@ use advcomp_sparse::ModelSize;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = ExhibitOptions::from_args();
-    banner("Deployment", "storage of compressed LeNet5 artefacts", &opts);
+    banner(
+        "Deployment",
+        "storage of compressed LeNet5 artefacts",
+        &opts,
+    );
 
     let setup = TaskSetup::new(NetKind::LeNet5, &opts.scale);
     let baseline = TrainedModel::train(&setup, &opts.scale, 7)?;
     let finetune_cfg = setup.finetune_config(&opts.scale);
-    println!("baseline accuracy: {:.2}%\n", 100.0 * baseline.test_accuracy);
+    println!(
+        "baseline accuracy: {:.2}%\n",
+        100.0 * baseline.test_accuracy
+    );
 
     let mut table = Table::new(
         "Shipping sizes per compression recipe (weights only)",
         &[
-            "recipe", "acc%", "density", "dense f32 B", "CSR B",
-            "packed Qbits B", "huffman B", "entropy b/sym", "best ratio",
+            "recipe",
+            "acc%",
+            "density",
+            "dense f32 B",
+            "CSR B",
+            "packed Qbits B",
+            "huffman B",
+            "entropy b/sym",
+            "best ratio",
         ],
     );
 
     let mut recipes: Vec<(String, Option<Compression>, Option<u32>)> =
         vec![("float32 dense".into(), None, None)];
     for d in [0.3f64, 0.1, 0.05] {
-        recipes.push((format!("DNS d={d}"), Some(Compression::DnsPrune { density: d }), None));
+        recipes.push((
+            format!("DNS d={d}"),
+            Some(Compression::DnsPrune { density: d }),
+            None,
+        ));
     }
     for bw in [8u32, 4] {
         recipes.push((
             format!("quant {bw}-bit"),
-            Some(Compression::Quant { bitwidth: bw, weights_only: false }),
+            Some(Compression::Quant {
+                bitwidth: bw,
+                weights_only: false,
+            }),
             Some(bw),
         ));
     }
     // The full Deep-Compression-style pipeline: prune, then post-training
     // quantise (preserving zeros), then entropy-code.
-    recipes.push(("DNS d=0.1 + 8-bit".into(), Some(Compression::DnsPrune { density: 0.1 }), Some(8)));
+    recipes.push((
+        "DNS d=0.1 + 8-bit".into(),
+        Some(Compression::DnsPrune { density: 0.1 }),
+        Some(8),
+    ));
 
     for (name, recipe, bitwidth) in recipes {
         let mut model = baseline.instantiate()?;
@@ -63,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         table.push_row(vec![
             name,
             format!("{:.2}", 100.0 * acc),
-            format!("{:.3}", report.nonzero as f64 / report.elements.max(1) as f64),
+            format!(
+                "{:.3}",
+                report.nonzero as f64 / report.elements.max(1) as f64
+            ),
             report.dense_f32_bytes.to_string(),
             report.csr_bytes.to_string(),
             report.quantized_bytes.map_or("-".into(), |v| v.to_string()),

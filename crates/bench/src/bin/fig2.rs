@@ -16,14 +16,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = ExhibitOptions::from_args();
     let one_shot = opts.has_flag("--one-shot");
     let method = if one_shot { "one-shot" } else { "DNS" };
-    banner("Figure 2", &format!("Transferability under {method} pruning"), &opts);
+    banner(
+        "Figure 2",
+        &format!("Transferability under {method} pruning"),
+        &opts,
+    );
 
     let densities = density_grid();
     let mut csv = Table::new(
         format!("Figure 2 ({method} pruning)"),
         &[
-            "net", "attack", "density", "compression", "base_acc",
-            "comp_to_comp", "full_to_comp", "comp_to_full",
+            "net",
+            "attack",
+            "density",
+            "compression",
+            "base_acc",
+            "comp_to_comp",
+            "full_to_comp",
+            "comp_to_full",
         ],
     );
 
@@ -52,7 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for result in &results {
             let mut table = Table::new(
                 format!("{} / {} — accuracy vs density", net.id(), result.attack),
-                &["density", "base_acc%", "comp→comp%", "full→comp%", "comp→full%"],
+                &[
+                    "density",
+                    "base_acc%",
+                    "comp→comp%",
+                    "full→comp%",
+                    "comp→full%",
+                ],
             );
             for p in &result.points {
                 table.push_row(vec![
@@ -78,10 +94,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Render the same panel as the paper draws it: accuracy vs
             // sweep coordinate, one glyph per line.
             let series = vec![
-                Series::new("base acc", result.points.iter().map(|p| (p.x, p.base_accuracy)).collect()),
-                Series::new("comp->comp (S1)", result.points.iter().map(|p| (p.x, p.comp_to_comp)).collect()),
-                Series::new("full->comp (S2)", result.points.iter().map(|p| (p.x, p.full_to_comp)).collect()),
-                Series::new("comp->full (S3)", result.points.iter().map(|p| (p.x, p.comp_to_full)).collect()),
+                Series::new(
+                    "base acc",
+                    result
+                        .points
+                        .iter()
+                        .map(|p| (p.x, p.base_accuracy))
+                        .collect(),
+                ),
+                Series::new(
+                    "comp->comp (S1)",
+                    result
+                        .points
+                        .iter()
+                        .map(|p| (p.x, p.comp_to_comp))
+                        .collect(),
+                ),
+                Series::new(
+                    "full->comp (S2)",
+                    result
+                        .points
+                        .iter()
+                        .map(|p| (p.x, p.full_to_comp))
+                        .collect(),
+                ),
+                Series::new(
+                    "comp->full (S3)",
+                    result
+                        .points
+                        .iter()
+                        .map(|p| (p.x, p.comp_to_full))
+                        .collect(),
+                ),
             ];
             println!(
                 "{}",

@@ -10,7 +10,11 @@ use advcomp_core::{TaskSetup, TrainedModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = ExhibitOptions::from_args();
-    banner("Figure 3", "LeNet5 accuracy vs attack ε and iterations", &opts);
+    banner(
+        "Figure 3",
+        "LeNet5 accuracy vs attack ε and iterations",
+        &opts,
+    );
 
     let setup = TaskSetup::new(NetKind::LeNet5, &opts.scale);
     let trained = TrainedModel::train(&setup, &opts.scale, 7)?;
@@ -24,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // IFGM scales the raw (tiny) gradient, so it needs much larger ε —
     // exactly why Table 1 uses ε=10 for LeNet5 IFGM.
     let grids = [
-        (AttackKind::Ifgsm, vec![0.005f32, 0.01, 0.02, 0.05, 0.1, 0.2]),
+        (
+            AttackKind::Ifgsm,
+            vec![0.005f32, 0.01, 0.02, 0.05, 0.1, 0.2],
+        ),
         (AttackKind::Ifgm, vec![0.5f32, 1.0, 2.0, 5.0, 10.0, 20.0]),
     ];
 
@@ -33,9 +40,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &["attack", "epsilon", "iterations", "adversarial_accuracy"],
     );
     for (attack, epsilons) in grids {
-        let points = epsilon_grid(&trained, &setup, attack, &epsilons, &iterations, &opts.scale)?;
+        let points = epsilon_grid(
+            &trained,
+            &setup,
+            attack,
+            &epsilons,
+            &iterations,
+            &opts.scale,
+        )?;
         let mut table = Table::new(
-            format!("{} — adversarial accuracy % (rows: ε, cols: iterations)", attack.id()),
+            format!(
+                "{} — adversarial accuracy % (rows: ε, cols: iterations)",
+                attack.id()
+            ),
             &std::iter::once("eps \\ iters".to_string())
                 .chain(iterations.iter().map(|i| i.to_string()))
                 .collect::<Vec<_>>()

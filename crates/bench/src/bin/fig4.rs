@@ -25,8 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut csv = Table::new(
         "Figure 4 (CifarNet base accuracy vs adversarial accuracy)",
         &[
-            "attack", "density", "base_acc",
-            "comp_to_comp", "full_to_comp", "comp_to_full",
+            "attack",
+            "density",
+            "base_acc",
+            "comp_to_comp",
+            "full_to_comp",
+            "comp_to_full",
         ],
     );
     for result in &results {
@@ -35,7 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "{} — (base accuracy, adversarial accuracy) per density",
                 result.attack
             ),
-            &["density", "base_acc%", "comp→comp%", "full→comp%", "comp→full%"],
+            &[
+                "density",
+                "base_acc%",
+                "comp→comp%",
+                "full→comp%",
+                "comp→full%",
+            ],
         );
         // Figure 4 plots base accuracy on the horizontal axis; keep the
         // rows sorted by base accuracy for readability.

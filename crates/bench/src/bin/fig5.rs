@@ -26,8 +26,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut csv = Table::new(
         format!("Figure 5 ({what})"),
         &[
-            "net", "attack", "bitwidth", "compression", "base_acc",
-            "comp_to_comp", "full_to_comp", "comp_to_full",
+            "net",
+            "attack",
+            "bitwidth",
+            "compression",
+            "base_acc",
+            "comp_to_comp",
+            "full_to_comp",
+            "comp_to_full",
         ],
     );
 
@@ -56,7 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for result in &results {
             let mut table = Table::new(
                 format!("{} / {} — accuracy vs bitwidth", net.id(), result.attack),
-                &["bitwidth", "base_acc%", "comp→comp%", "full→comp%", "comp→full%"],
+                &[
+                    "bitwidth",
+                    "base_acc%",
+                    "comp→comp%",
+                    "full→comp%",
+                    "comp→full%",
+                ],
             );
             for p in &result.points {
                 table.push_row(vec![
@@ -82,15 +94,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // Render the same panel as the paper draws it: accuracy vs
             // sweep coordinate, one glyph per line.
             let series = vec![
-                Series::new("base acc", result.points.iter().map(|p| (p.x, p.base_accuracy)).collect()),
-                Series::new("comp->comp (S1)", result.points.iter().map(|p| (p.x, p.comp_to_comp)).collect()),
-                Series::new("full->comp (S2)", result.points.iter().map(|p| (p.x, p.full_to_comp)).collect()),
-                Series::new("comp->full (S3)", result.points.iter().map(|p| (p.x, p.comp_to_full)).collect()),
+                Series::new(
+                    "base acc",
+                    result
+                        .points
+                        .iter()
+                        .map(|p| (p.x, p.base_accuracy))
+                        .collect(),
+                ),
+                Series::new(
+                    "comp->comp (S1)",
+                    result
+                        .points
+                        .iter()
+                        .map(|p| (p.x, p.comp_to_comp))
+                        .collect(),
+                ),
+                Series::new(
+                    "full->comp (S2)",
+                    result
+                        .points
+                        .iter()
+                        .map(|p| (p.x, p.full_to_comp))
+                        .collect(),
+                ),
+                Series::new(
+                    "comp->full (S3)",
+                    result
+                        .points
+                        .iter()
+                        .map(|p| (p.x, p.comp_to_full))
+                        .collect(),
+                ),
             ];
             println!(
                 "{}",
                 ascii_chart(
-                    &format!("{} / {} (y: accuracy, x: bitwidth)", net.id(), result.attack),
+                    &format!(
+                        "{} / {} (y: accuracy, x: bitwidth)",
+                        net.id(),
+                        result.attack
+                    ),
                     &series,
                     60,
                     14,
@@ -99,7 +143,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let name = if weights_only { "fig5_weights_only" } else { "fig5" };
+    let name = if weights_only {
+        "fig5_weights_only"
+    } else {
+        "fig5"
+    };
     csv.write_csv(&opts.csv_path(name))?;
     println!("wrote {}", opts.csv_path(name).display());
     Ok(())

@@ -15,7 +15,11 @@ const CDF_RESOLUTION: usize = 128;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = ExhibitOptions::from_args();
-    banner("Figure 6", "CDFs of quantised CifarNet weights & activations", &opts);
+    banner(
+        "Figure 6",
+        "CDFs of quantised CifarNet weights & activations",
+        &opts,
+    );
 
     let setup = TaskSetup::new(NetKind::CifarNet, &opts.scale);
     let trained = TrainedModel::train(&setup, &opts.scale, 7)?;
@@ -30,14 +34,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut summary = Table::new(
         "Zero mass and value ranges per bitwidth",
-        &["bitwidth", "weights_zero_frac", "weights_max_abs", "acts_zero_frac", "acts_max"],
+        &[
+            "bitwidth",
+            "weights_zero_frac",
+            "weights_max_abs",
+            "acts_zero_frac",
+            "acts_max",
+        ],
     );
 
     for bitwidth in [4u32, 8, 16, 32] {
         let mut model = trained.instantiate()?;
         if bitwidth < 32 {
-            Compression::Quant { bitwidth, weights_only: false }
-                .apply(&mut model, &setup.train, &finetune_cfg)?;
+            Compression::Quant {
+                bitwidth,
+                weights_only: false,
+            }
+            .apply(&mut model, &setup.train, &finetune_cfg)?;
         }
         let weights = weight_values(&model);
         let acts = activation_values(&mut model, &images)?;
@@ -71,6 +84,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", summary.to_markdown());
     println!();
     csv.write_csv(&opts.csv_path("fig6"))?;
-    println!("wrote {} (full CDF series)", opts.csv_path("fig6").display());
+    println!(
+        "wrote {} (full CDF series)",
+        opts.csv_path("fig6").display()
+    );
     Ok(())
 }

@@ -1,0 +1,186 @@
+//! Machine-readable kernel ablation.
+//!
+//! Times the tensor kernels on the hot-path shapes (repeated 128×128×128
+//! GEMMs, a CIFAR-sized conv lowering, attack-sized elementwise ops) and
+//! writes median nanoseconds per invocation to `BENCH_kernels.json`.
+//! The headline number is `pooled_speedup_vs_spawn`: the same dense compute
+//! kernel and row banding, run on the persistent worker pool versus
+//! spawning fresh OS threads per call (the pre-pool behaviour).
+//!
+//! Run via `scripts/bench_kernels.sh`, or directly:
+//!
+//! ```text
+//! cargo run --release -p advcomp-bench --bin kernel_bench -- [--out FILE] [--iters N]
+//! ```
+
+use advcomp_tensor::{im2col, pool, Conv2dGeometry, Init, MatmulKernel, Tensor};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct KernelTiming {
+    name: String,
+    median_ns: u64,
+    iters: usize,
+}
+
+#[derive(Serialize)]
+struct KernelReport {
+    gemm_size: usize,
+    threads: usize,
+    pooled_median_ns: u64,
+    spawn_median_ns: u64,
+    pooled_speedup_vs_spawn: f64,
+    kernels: Vec<KernelTiming>,
+}
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    // A few unmeasured runs warm caches and (for the pooled path) start the
+    // worker threads, so thread creation is not billed to the pool.
+    for _ in 0..iters.div_ceil(10).max(3) {
+        f();
+    }
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn sparsify(a: &Tensor, density: f32) -> Tensor {
+    let mut sparse = a.clone();
+    let n = sparse.len();
+    for i in 0..n {
+        if (i as f32 / n as f32) >= density {
+            sparse.data_mut()[i] = 0.0;
+        }
+    }
+    sparse
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut out_path = String::from("BENCH_kernels.json");
+    let mut iters = 200usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                if let Some(v) = args.next() {
+                    out_path = v;
+                }
+            }
+            "--iters" => {
+                if let Some(v) = args.next() {
+                    iters = v.parse()?;
+                }
+            }
+            other => return Err(format!("unknown flag '{other}'").into()),
+        }
+    }
+
+    const SIZE: usize = 128;
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let init = Init::Uniform { lo: -1.0, hi: 1.0 };
+    let a = init.tensor(&[SIZE, SIZE], &mut rng);
+    let b = init.tensor(&[SIZE, SIZE], &mut rng);
+    let pruned = sparsify(&a, 0.1);
+
+    let mut kernels = Vec::new();
+    let mut record = |name: &str, iters: usize, median: u64| {
+        println!("{name:>28}: {median:>12} ns/iter  ({iters} iters)");
+        kernels.push(KernelTiming {
+            name: name.to_string(),
+            median_ns: median,
+            iters,
+        });
+    };
+
+    let pooled = median_ns(iters, || {
+        black_box(a.matmul(&b).unwrap());
+    });
+    record("matmul_pooled_128", iters, pooled);
+
+    let spawned = median_ns(iters, || {
+        black_box(a.matmul_spawn_per_call(&b).unwrap());
+    });
+    record("matmul_spawn_per_call_128", iters, spawned);
+
+    record(
+        "matmul_blocked_serial_128",
+        iters,
+        median_ns(iters, || {
+            black_box(a.matmul_blocked_serial(&b).unwrap());
+        }),
+    );
+    record(
+        "matmul_naive_128",
+        iters.min(50),
+        median_ns(iters.min(50), || {
+            black_box(a.matmul_naive(&b).unwrap());
+        }),
+    );
+    record(
+        "matmul_sparse_kernel_d0.1",
+        iters,
+        median_ns(iters, || {
+            black_box(pruned.matmul_with_kernel(&b, MatmulKernel::Sparse).unwrap());
+        }),
+    );
+    record(
+        "matmul_dense_kernel_d0.1",
+        iters,
+        median_ns(iters, || {
+            black_box(pruned.matmul_with_kernel(&b, MatmulKernel::Dense).unwrap());
+        }),
+    );
+
+    // Conv lowering at CIFAR-net geometry (batch 8, 3→, 32×32, 3×3 kernel).
+    let geom = Conv2dGeometry::square(3, 32, 3, 1, 1);
+    let x = init.tensor(&[8, 3, 32, 32], &mut rng);
+    record(
+        "im2col_cifar_b8",
+        iters,
+        median_ns(iters, || {
+            black_box(im2col(&x, &geom).unwrap());
+        }),
+    );
+
+    // Attack-step elementwise ops on a batch of CIFAR images.
+    let g = init.tensor(&[64 * 3 * 32 * 32], &mut rng);
+    let h = init.tensor(&[64 * 3 * 32 * 32], &mut rng);
+    record(
+        "elementwise_sign_196k",
+        iters,
+        median_ns(iters, || {
+            black_box(g.sign());
+        }),
+    );
+    record(
+        "elementwise_add_196k",
+        iters,
+        median_ns(iters, || {
+            black_box(g.add(&h).unwrap());
+        }),
+    );
+
+    let report = KernelReport {
+        gemm_size: SIZE,
+        threads: pool::available_threads(),
+        pooled_median_ns: pooled,
+        spawn_median_ns: spawned,
+        pooled_speedup_vs_spawn: spawned as f64 / pooled as f64,
+        kernels,
+    };
+    std::fs::write(&out_path, serde_json::to_string_pretty(&report)?)?;
+    println!(
+        "\npooled speedup vs spawn-per-call: {:.2}x  (threads={})",
+        report.pooled_speedup_vs_spawn, report.threads
+    );
+    println!("wrote {out_path}");
+    Ok(())
+}

@@ -66,7 +66,11 @@ fn column_map(
 }
 
 fn verdict(ok: bool) -> String {
-    if ok { "✓".into() } else { "✗ (check data)".into() }
+    if ok {
+        "✓".into()
+    } else {
+        "✗ (check data)".into()
+    }
 }
 
 fn main() {
@@ -81,29 +85,35 @@ fn main() {
     // transferring to the baseline.
     if let Some((h, rows)) = read_csv(&dir.join("fig2.csv")) {
         let s3 = column_map(&h, &rows, &["net", "attack", "density"], "comp_to_full");
-        if let (Some(&dense), Some(&sparse)) = (
-            s3.get("lenet5/ifgsm/1"),
-            s3.get("lenet5/ifgsm/0.02"),
-        ) {
+        if let (Some(&dense), Some(&sparse)) =
+            (s3.get("lenet5/ifgsm/1"), s3.get("lenet5/ifgsm/0.02"))
+        {
             table.push_row(vec![
                 "fig2".into(),
                 "sparse models' samples stop working on baseline".into(),
-                format!("comp→full adv acc {:.0}% (d=1.0) vs {:.0}% (d=0.02)", 100.0 * dense, 100.0 * sparse),
+                format!(
+                    "comp→full adv acc {:.0}% (d=1.0) vs {:.0}% (d=0.02)",
+                    100.0 * dense,
+                    100.0 * sparse
+                ),
                 verdict(sparse > dense + 0.3),
             ]);
         }
     }
 
     // Figure 5: 4-bit clipping defence exists for weights+activations...
-    let wa4 = read_csv(&dir.join("fig5.csv")).map(|(h, rows)| {
-        column_map(&h, &rows, &["net", "attack", "bitwidth"], "comp_to_full")
-    });
+    let wa4 = read_csv(&dir.join("fig5.csv"))
+        .map(|(h, rows)| column_map(&h, &rows, &["net", "attack", "bitwidth"], "comp_to_full"));
     if let Some(wa) = &wa4 {
         if let (Some(&b4), Some(&b32)) = (wa.get("lenet5/ifgsm/4"), wa.get("lenet5/ifgsm/32")) {
             table.push_row(vec![
                 "fig5".into(),
                 "low integer precision marginally limits transfer".into(),
-                format!("comp→full adv acc {:.0}% (4-bit) vs {:.0}% (float32)", 100.0 * b4, 100.0 * b32),
+                format!(
+                    "comp→full adv acc {:.0}% (4-bit) vs {:.0}% (float32)",
+                    100.0 * b4,
+                    100.0 * b32
+                ),
                 verdict(b4 > b32 + 0.1),
             ]);
         }

@@ -56,7 +56,12 @@ impl ExhibitOptions {
         let scale = match scale_name.as_str() {
             "paper" => ExperimentScale::paper(),
             "tiny" => ExperimentScale::tiny(),
-            _ => {
+            "quick" => ExperimentScale::quick(),
+            other => {
+                eprintln!(
+                    "warning: unrecognised scale profile '{other}' \
+                     (expected tiny|quick|paper); falling back to 'quick'"
+                );
                 scale_name = "quick".into();
                 ExperimentScale::quick()
             }

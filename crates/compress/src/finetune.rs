@@ -42,7 +42,9 @@ impl TrainConfig {
             return Err(CompressError::Data("empty training set".into()));
         }
         if self.batch_size == 0 {
-            return Err(CompressError::InvalidConfig("batch_size must be >= 1".into()));
+            return Err(CompressError::InvalidConfig(
+                "batch_size must be >= 1".into(),
+            ));
         }
         Ok(())
     }
@@ -78,7 +80,11 @@ pub fn train_baseline(
     let mut final_acc = 0.0f64;
     for epoch in 0..cfg.epochs {
         opt.set_lr(cfg.schedule.lr_at(epoch));
-        let plan = Batches::shuffled(data.len(), cfg.batch_size, cfg.seed.wrapping_add(epoch as u64));
+        let plan = Batches::shuffled(
+            data.len(),
+            cfg.batch_size,
+            cfg.seed.wrapping_add(epoch as u64),
+        );
         let mut epoch_loss = 0.0f32;
         let mut epoch_correct = 0.0f64;
         let mut batches = 0usize;

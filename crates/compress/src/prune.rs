@@ -195,7 +195,9 @@ impl DnsPruner {
         cfg: &TrainConfig,
     ) -> Result<PruneMask> {
         if self.update_every == 0 {
-            return Err(CompressError::InvalidConfig("update_every must be >= 1".into()));
+            return Err(CompressError::InvalidConfig(
+                "update_every must be >= 1".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.freeze_after) {
             return Err(CompressError::InvalidConfig(
@@ -295,12 +297,18 @@ fn run_masked_finetune(
         return Err(CompressError::Data("empty fine-tuning set".into()));
     }
     if cfg.batch_size == 0 {
-        return Err(CompressError::InvalidConfig("batch_size must be >= 1".into()));
+        return Err(CompressError::InvalidConfig(
+            "batch_size must be >= 1".into(),
+        ));
     }
     let mut step = 0usize;
     for epoch in 0..cfg.epochs {
         let lr = cfg.schedule.lr_at(epoch);
-        let plan = Batches::shuffled(data.len(), cfg.batch_size, cfg.seed.wrapping_add(epoch as u64));
+        let plan = Batches::shuffled(
+            data.len(),
+            cfg.batch_size,
+            cfg.seed.wrapping_add(epoch as u64),
+        );
         for (x, y) in plan.iter(data) {
             state.install(model)?;
             let logits = model.forward(&x, Mode::Train)?;
@@ -338,7 +346,7 @@ fn run_masked_finetune(
                 freeze_at,
             } = policy
             {
-                if update_every > 0 && step % update_every == 0 && step <= freeze_at {
+                if update_every > 0 && step.is_multiple_of(update_every) && step <= freeze_at {
                     update_dns_masks(state, density, hysteresis);
                 }
             }
@@ -503,7 +511,11 @@ mod tests {
         let d = mask.overall_density();
         assert!((d - 0.3).abs() < 0.05, "density {d}");
         let w = &model.param("fc1.weight").unwrap().value;
-        assert!((w.density() - 0.3).abs() < 0.06, "weight density {}", w.density());
+        assert!(
+            (w.density() - 0.3).abs() < 0.06,
+            "weight density {}",
+            w.density()
+        );
     }
 
     #[test]
@@ -563,7 +575,10 @@ mod tests {
         let before = model.param("fc1.weight").unwrap().value.clone();
         let mask = PruneMask::from_magnitude(&model, 1.0).unwrap();
         mask.apply(&mut model).unwrap();
-        assert_eq!(model.param("fc1.weight").unwrap().value.data(), before.data());
+        assert_eq!(
+            model.param("fc1.weight").unwrap().value.data(),
+            before.data()
+        );
         assert_eq!(mask.overall_density(), 1.0);
     }
 }

@@ -121,7 +121,9 @@ impl Quantizer {
             return Err(CompressError::Data("empty fine-tuning set".into()));
         }
         if cfg.batch_size == 0 {
-            return Err(CompressError::InvalidConfig("batch_size must be >= 1".into()));
+            return Err(CompressError::InvalidConfig(
+                "batch_size must be >= 1".into(),
+            ));
         }
         self.enable_activations(model);
 
@@ -137,8 +139,11 @@ impl Quantizer {
         let (lo, hi) = (wf.min_value(), wf.max_value());
         for epoch in 0..cfg.epochs {
             let lr = cfg.schedule.lr_at(epoch);
-            let plan =
-                Batches::shuffled(data.len(), cfg.batch_size, cfg.seed.wrapping_add(epoch as u64));
+            let plan = Batches::shuffled(
+                data.len(),
+                cfg.batch_size,
+                cfg.seed.wrapping_add(epoch as u64),
+            );
             for (x, y) in plan.iter(data) {
                 // Install quantised weights from masters.
                 for p in model.params_mut() {
@@ -268,7 +273,8 @@ mod tests {
         let base = evaluate(&mut model, &test, 64).unwrap();
 
         let q = Quantizer::for_bitwidth(8).unwrap();
-        q.quantize_and_finetune(&mut model, &train, &quick_cfg(3)).unwrap();
+        q.quantize_and_finetune(&mut model, &train, &quick_cfg(3))
+            .unwrap();
         let quant = evaluate(&mut model, &test, 64).unwrap();
         assert!(
             quant > base - 0.1,
@@ -291,8 +297,12 @@ mod tests {
         m4.import_params(&model.export_params()).unwrap();
         let mut m16 = mlp_with_fq(4);
         m16.import_params(&model.export_params()).unwrap();
-        Quantizer::for_bitwidth(4).unwrap().quantize_weights(&mut m4);
-        Quantizer::for_bitwidth(16).unwrap().quantize_weights(&mut m16);
+        Quantizer::for_bitwidth(4)
+            .unwrap()
+            .quantize_weights(&mut m4);
+        Quantizer::for_bitwidth(16)
+            .unwrap()
+            .quantize_weights(&mut m16);
         let z4 = m4.param("fc1.weight").unwrap().value.len()
             - m4.param("fc1.weight").unwrap().value.l0_norm();
         let z16 = m16.param("fc1.weight").unwrap().value.len()
@@ -306,6 +316,8 @@ mod tests {
         let empty = train.take(0).unwrap();
         let mut model = mlp_with_fq(5);
         let q = Quantizer::for_bitwidth(8).unwrap();
-        assert!(q.quantize_and_finetune(&mut model, &empty, &quick_cfg(1)).is_err());
+        assert!(q
+            .quantize_and_finetune(&mut model, &empty, &quick_cfg(1))
+            .is_err());
     }
 }

@@ -137,7 +137,8 @@ fn weights_only_quant_leaves_activations_float() {
     let mut m = mlp(1);
     m.import_params(&model.export_params()).unwrap();
     let q = Quantizer::new(QuantConfig::weights_only(4).unwrap());
-    q.quantize_and_finetune(&mut m, &train, &cfg(1, 0.005)).unwrap();
+    q.quantize_and_finetune(&mut m, &train, &cfg(1, 0.005))
+        .unwrap();
     for layer in m.layers() {
         assert!(layer.activation_format().is_none());
     }

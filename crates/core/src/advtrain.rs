@@ -73,7 +73,11 @@ pub fn adversarial_finetune(
     let mut final_loss = 0.0f32;
     for epoch in 0..cfg.epochs {
         opt.set_lr(cfg.schedule.lr_at(epoch));
-        let plan = Batches::shuffled(data.len(), cfg.batch_size, cfg.seed.wrapping_add(epoch as u64));
+        let plan = Batches::shuffled(
+            data.len(),
+            cfg.batch_size,
+            cfg.seed.wrapping_add(epoch as u64),
+        );
         let mut epoch_loss = 0.0f32;
         let mut batches = 0usize;
         for (x, y) in plan.iter(data) {
@@ -135,7 +139,10 @@ mod tests {
         let logits = hardened.forward(&adv2, Mode::Eval).unwrap();
         let hardened_adv_acc = advcomp_nn::accuracy(&logits, &y).unwrap();
 
-        assert!(clean_acc > 0.6, "hardening destroyed clean accuracy: {clean_acc}");
+        assert!(
+            clean_acc > 0.6,
+            "hardening destroyed clean accuracy: {clean_acc}"
+        );
         assert!(
             hardened_adv_acc > plain_adv_acc + 0.1,
             "no robustness gained: plain {plain_adv_acc} vs hardened {hardened_adv_acc}"
@@ -149,10 +156,13 @@ mod tests {
         let mut model = setup.fresh_model(0);
         let attack = Ifgsm::new(0.05, 2).unwrap();
         let empty = setup.train.take(0).unwrap();
-        assert!(adversarial_finetune(&mut model, &empty, &attack, &AdvTrainConfig::default())
-            .is_err());
-        let mut cfg = AdvTrainConfig::default();
-        cfg.adversarial_fraction = 0.0;
+        assert!(
+            adversarial_finetune(&mut model, &empty, &attack, &AdvTrainConfig::default()).is_err()
+        );
+        let mut cfg = AdvTrainConfig {
+            adversarial_fraction: 0.0,
+            ..AdvTrainConfig::default()
+        };
         assert!(adversarial_finetune(&mut model, &setup.train, &attack, &cfg).is_err());
         cfg.adversarial_fraction = 1.5;
         assert!(adversarial_finetune(&mut model, &setup.train, &attack, &cfg).is_err());

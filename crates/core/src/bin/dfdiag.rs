@@ -9,8 +9,12 @@ use advcomp_attacks::{Attack, DeepFool, Ifgm, NetKind};
 use advcomp_core::{ExperimentScale, TaskSetup, TrainedModel};
 use advcomp_nn::Mode;
 
-fn adv_acc(model: &mut advcomp_nn::Sequential, attack: &dyn Attack,
-           x: &advcomp_tensor::Tensor, y: &[usize]) -> f64 {
+fn adv_acc(
+    model: &mut advcomp_nn::Sequential,
+    attack: &dyn Attack,
+    x: &advcomp_tensor::Tensor,
+    y: &[usize],
+) -> f64 {
     let adv = attack.generate(model, x, y).unwrap();
     let logits = model.forward(&adv, Mode::Eval).unwrap();
     advcomp_nn::accuracy(&logits, y).unwrap()
@@ -31,11 +35,21 @@ fn main() {
         let t1_iters = if net == NetKind::LeNet5 { 5 } else { 3 };
         for iters in [t1_iters, 4 * t1_iters] {
             let df = DeepFool::new(0.01, iters).unwrap();
-            println!("  deepfool i={iters}: adv_acc={:.3}", adv_acc(&mut model, &df, &x, &y));
+            println!(
+                "  deepfool i={iters}: adv_acc={:.3}",
+                adv_acc(&mut model, &df, &x, &y)
+            );
         }
         // IFGM at Table 1 values (used verbatim).
-        let (eps, iters) = if net == NetKind::LeNet5 { (10.0, 5) } else { (0.02, 12) };
+        let (eps, iters) = if net == NetKind::LeNet5 {
+            (10.0, 5)
+        } else {
+            (0.02, 12)
+        };
         let ifgm = Ifgm::new(eps, iters).unwrap();
-        println!("  ifgm eps={eps} i={iters}: adv_acc={:.3}", adv_acc(&mut model, &ifgm, &x, &y));
+        println!(
+            "  ifgm eps={eps} i={iters}: adv_acc={:.3}",
+            adv_acc(&mut model, &ifgm, &x, &y)
+        );
     }
 }

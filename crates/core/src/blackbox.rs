@@ -194,15 +194,8 @@ mod tests {
         let (x, y) = setup.test.slice(0, 32).unwrap();
         let attack = Ifgsm::new(0.08, 8).unwrap();
         let cfg = SurrogateConfig::default();
-        let (report, clean, adv) = black_box_attack(
-            &mut surrogate,
-            &mut target,
-            &probe,
-            (&x, &y),
-            &attack,
-            &cfg,
-        )
-        .unwrap();
+        let (report, clean, adv) =
+            black_box_attack(&mut surrogate, &mut target, &probe, (&x, &y), &attack, &cfg).unwrap();
         assert_eq!(report.queries, 200);
         assert!(report.agreement > 0.6, "agreement {}", report.agreement);
         assert!(

@@ -24,7 +24,11 @@ pub fn cdf_points(values: &[f32], resolution: usize) -> Vec<(f32, f64)> {
     let mut out = Vec::with_capacity(steps);
     for k in 0..steps {
         // Last rank hits the maximum with cumulative fraction 1.0.
-        let rank = if steps == 1 { n - 1 } else { k * (n - 1) / (steps - 1) };
+        let rank = if steps == 1 {
+            n - 1
+        } else {
+            k * (n - 1) / (steps - 1)
+        };
         out.push((sorted[rank], (rank + 1) as f64 / n as f64));
     }
     out

@@ -99,11 +99,19 @@ mod tests {
         assert_eq!(Compression::None.id(), "none");
         assert_eq!(Compression::DnsPrune { density: 0.5 }.id(), "dns-d0.500");
         assert_eq!(
-            Compression::Quant { bitwidth: 8, weights_only: false }.id(),
+            Compression::Quant {
+                bitwidth: 8,
+                weights_only: false
+            }
+            .id(),
             "quant-wa8"
         );
         assert_eq!(
-            Compression::Quant { bitwidth: 4, weights_only: true }.id(),
+            Compression::Quant {
+                bitwidth: 4,
+                weights_only: true
+            }
+            .id(),
             "quant-w4"
         );
     }
@@ -118,8 +126,14 @@ mod tests {
             Compression::None,
             Compression::DnsPrune { density: 0.5 },
             Compression::OneShotPrune { density: 0.5 },
-            Compression::Quant { bitwidth: 8, weights_only: false },
-            Compression::Quant { bitwidth: 8, weights_only: true },
+            Compression::Quant {
+                bitwidth: 8,
+                weights_only: false,
+            },
+            Compression::Quant {
+                bitwidth: 8,
+                weights_only: true,
+            },
         ] {
             let mut model = trained.instantiate().unwrap();
             recipe.apply(&mut model, &setup.train, &cfg).unwrap();
@@ -142,8 +156,11 @@ mod tests {
         assert!(Compression::DnsPrune { density: 2.0 }
             .apply(&mut model, &setup.train, &cfg)
             .is_err());
-        assert!(Compression::Quant { bitwidth: 1, weights_only: false }
-            .apply(&mut model, &setup.train, &cfg)
-            .is_err());
+        assert!(Compression::Quant {
+            bitwidth: 1,
+            weights_only: false
+        }
+        .apply(&mut model, &setup.train, &cfg)
+        .is_err());
     }
 }

@@ -28,8 +28,8 @@ mod error;
 pub mod plot;
 pub mod report;
 mod runner;
-pub mod scenario;
 mod scale;
+pub mod scenario;
 pub mod sweep;
 mod trainer;
 

@@ -37,7 +37,10 @@ pub fn ascii_chart(title: &str, series: &[Series], width: usize, height: usize) 
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         out.push_str("(no data)\n");
         return out;
@@ -72,11 +75,7 @@ pub fn ascii_chart(title: &str, series: &[Series], width: usize, height: usize) 
         out.extend(row.iter());
         out.push('\n');
     }
-    out.push_str(&format!(
-        "{:>7}{}\n",
-        "+",
-        "-".repeat(width)
-    ));
+    out.push_str(&format!("{:>7}{}\n", "+", "-".repeat(width)));
     out.push_str(&format!(
         "{:>8.2}{:>width$.2}\n",
         xmin,
@@ -141,8 +140,14 @@ mod tests {
         let s = vec![Series::new("rise", vec![(0.0, 0.0), (1.0, 1.0)])];
         let chart = ascii_chart("t", &s, 21, 7);
         let lines: Vec<&str> = chart.lines().collect();
-        let top_line = lines.iter().position(|l| l.ends_with('o') || l.contains("o")).unwrap();
-        let bottom_line = lines.iter().rposition(|l| l.contains('o') && !l.contains("rise")).unwrap();
+        let top_line = lines
+            .iter()
+            .position(|l| l.ends_with('o') || l.contains("o"))
+            .unwrap();
+        let bottom_line = lines
+            .iter()
+            .rposition(|l| l.contains('o') && !l.contains("rise"))
+            .unwrap();
         assert!(top_line < bottom_line);
     }
 }

@@ -1,6 +1,6 @@
 //! The three-scenario attack taxonomy (§3.1) and transfer evaluation.
 
-use crate::{Result};
+use crate::Result;
 use advcomp_attacks::Attack;
 use advcomp_nn::{accuracy, Mode, Sequential};
 use advcomp_tensor::Tensor;

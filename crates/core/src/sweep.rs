@@ -71,7 +71,13 @@ fn quant_recipes(bitwidths: &[u32], weights_only: bool) -> Vec<(f64, Compression
             if b >= 32 {
                 (b as f64, Compression::None)
             } else {
-                (b as f64, Compression::Quant { bitwidth: b, weights_only })
+                (
+                    b as f64,
+                    Compression::Quant {
+                        bitwidth: b,
+                        weights_only,
+                    },
+                )
             }
         })
         .collect()
@@ -337,11 +343,7 @@ fn eval_count(attack: AttackKind, scale: &ExperimentScale, test_len: usize) -> u
     want.min(test_len).max(1)
 }
 
-fn accuracy_on(
-    model: &mut advcomp_nn::Sequential,
-    x: &Tensor,
-    labels: &[usize],
-) -> Result<f64> {
+fn accuracy_on(model: &mut advcomp_nn::Sequential, x: &Tensor, labels: &[usize]) -> Result<f64> {
     let logits = model.forward(x, Mode::Eval)?;
     Ok(advcomp_nn::accuracy(&logits, labels)?)
 }
@@ -373,7 +375,9 @@ pub fn epsilon_grid(
     scale: &ExperimentScale,
 ) -> Result<Vec<EpsilonPoint>> {
     if epsilons.is_empty() || iterations.is_empty() {
-        return Err(CoreError::InvalidConfig("empty epsilon/iteration grid".into()));
+        return Err(CoreError::InvalidConfig(
+            "empty epsilon/iteration grid".into(),
+        ));
     }
     if attack == AttackKind::DeepFool {
         return Err(CoreError::InvalidConfig(
@@ -390,12 +394,12 @@ pub fn epsilon_grid(
             let y = y.clone();
             move || -> Result<EpsilonPoint> {
                 let attack_obj: Box<dyn advcomp_attacks::Attack> = match attack {
-                    AttackKind::Ifgsm => Box::new(
-                        advcomp_attacks::Ifgsm::new(eps, it).map_err(CoreError::Attack)?,
-                    ),
-                    AttackKind::Ifgm => Box::new(
-                        advcomp_attacks::Ifgm::new(eps, it).map_err(CoreError::Attack)?,
-                    ),
+                    AttackKind::Ifgsm => {
+                        Box::new(advcomp_attacks::Ifgsm::new(eps, it).map_err(CoreError::Attack)?)
+                    }
+                    AttackKind::Ifgm => {
+                        Box::new(advcomp_attacks::Ifgm::new(eps, it).map_err(CoreError::Attack)?)
+                    }
                     AttackKind::DeepFool => unreachable!("rejected above"),
                 };
                 let mut model = trained.instantiate()?;
@@ -441,13 +445,19 @@ mod tests {
         assert_eq!(sweep.recipes[2].1, Compression::None);
         assert!(matches!(
             sweep.recipes[0].1,
-            Compression::Quant { bitwidth: 4, weights_only: false }
+            Compression::Quant {
+                bitwidth: 4,
+                weights_only: false
+            }
         ));
         let wo =
             TransferSweep::quantisation_weights_only(NetKind::CifarNet, AttackKind::Ifgm, &[8]);
         assert!(matches!(
             wo.recipes[0].1,
-            Compression::Quant { bitwidth: 8, weights_only: true }
+            Compression::Quant {
+                bitwidth: 8,
+                weights_only: true
+            }
         ));
     }
 
@@ -475,16 +485,21 @@ mod tests {
         assert_eq!(result.points.len(), 2);
         assert!(result.baseline_accuracy > 0.8);
         let p0 = &result.points[0]; // density 1.0 = identity compression
-        // At identity compression, Scenario 1 (generate on comp, apply to
-        // comp) and Scenario 3 (apply to baseline) see identical weights so
-        // must agree exactly; Scenario 2's samples come from the same model.
+                                    // At identity compression, Scenario 1 (generate on comp, apply to
+                                    // comp) and Scenario 3 (apply to baseline) see identical weights so
+                                    // must agree exactly; Scenario 2's samples come from the same model.
         assert!((p0.comp_to_comp - p0.comp_to_full).abs() < 1e-9);
         assert!((p0.comp_to_comp - p0.full_to_comp).abs() < 1e-9);
         assert!((p0.base_accuracy - result.baseline_accuracy).abs() < 1e-9);
         // White-box attack hurts.
         assert!(p0.comp_to_comp < p0.base_accuracy - 0.15);
         for p in &result.points {
-            for v in [p.base_accuracy, p.comp_to_comp, p.full_to_comp, p.comp_to_full] {
+            for v in [
+                p.base_accuracy,
+                p.comp_to_comp,
+                p.full_to_comp,
+                p.comp_to_full,
+            ] {
                 assert!((0.0..=1.0).contains(&v));
             }
         }

@@ -112,10 +112,7 @@ impl TrainedModel {
                     NetKind::CifarNet => 0.02,
                 },
                 0.1,
-                vec![
-                    scale.baseline_epochs * 2 / 4,
-                    scale.baseline_epochs * 3 / 4,
-                ],
+                vec![scale.baseline_epochs * 2 / 4, scale.baseline_epochs * 3 / 4],
             ),
             momentum: 0.9,
             weight_decay: 1e-4,

@@ -49,7 +49,11 @@ impl Augment {
     /// # Errors
     ///
     /// Returns a rank error unless `batch` is 4-D.
-    pub fn apply<R: Rng + ?Sized>(&self, batch: &Tensor, rng: &mut R) -> Result<Tensor, TensorError> {
+    pub fn apply<R: Rng + ?Sized>(
+        &self,
+        batch: &Tensor,
+        rng: &mut R,
+    ) -> Result<Tensor, TensorError> {
         if batch.ndim() != 4 {
             return Err(TensorError::RankMismatch {
                 expected: 4,
@@ -68,8 +72,16 @@ impl Augment {
         let dst = out.data_mut();
         let shift_range = self.max_shift as isize;
         for b in 0..n {
-            let dy = if self.max_shift == 0 { 0 } else { rng.gen_range(-shift_range..=shift_range) };
-            let dx = if self.max_shift == 0 { 0 } else { rng.gen_range(-shift_range..=shift_range) };
+            let dy = if self.max_shift == 0 {
+                0
+            } else {
+                rng.gen_range(-shift_range..=shift_range)
+            };
+            let dx = if self.max_shift == 0 {
+                0
+            } else {
+                rng.gen_range(-shift_range..=shift_range)
+            };
             let flip = self.flip_prob > 0.0 && rng.gen::<f32>() < self.flip_prob;
             for ch in 0..c {
                 let plane = (b * c + ch) * h * w;
@@ -129,7 +141,7 @@ mod tests {
             assert!(y.sum() <= x.sum() + 1e-6);
             if y.data() != x.data() {
                 saw_shift = true;
-                assert!(y.data().iter().any(|&v| v == 0.0));
+                assert!(y.data().contains(&0.0));
             }
         }
         assert!(saw_shift);
@@ -154,7 +166,8 @@ mod tests {
         // Two identical images in one batch should (eventually) receive
         // different transforms.
         let one = batch();
-        let two = Tensor::stack(&[one.index_axis0(0).unwrap(), one.index_axis0(0).unwrap()]).unwrap();
+        let two =
+            Tensor::stack(&[one.index_axis0(0).unwrap(), one.index_axis0(0).unwrap()]).unwrap();
         let aug = Augment::cifar();
         let mut r = rng(4);
         let mut diverged = false;
@@ -172,7 +185,9 @@ mod tests {
 
     #[test]
     fn rejects_non_batches() {
-        assert!(Augment::cifar().apply(&Tensor::zeros(&[3, 3]), &mut rng(0)).is_err());
+        assert!(Augment::cifar()
+            .apply(&Tensor::zeros(&[3, 3]), &mut rng(0))
+            .is_err());
     }
 
     #[test]

@@ -94,11 +94,7 @@ mod tests {
     use super::*;
 
     fn dataset(n: usize) -> Dataset {
-        let images = Tensor::new(
-            &[n, 1, 1, 1],
-            (0..n).map(|v| v as f32).collect(),
-        )
-        .unwrap();
+        let images = Tensor::new(&[n, 1, 1, 1], (0..n).map(|v| v as f32).collect()).unwrap();
         Dataset::new(images, (0..n).map(|v| v % 3).collect(), 3).unwrap()
     }
 
@@ -118,7 +114,10 @@ mod tests {
     fn shuffled_is_permutation() {
         let d = dataset(10);
         let plan = Batches::shuffled(10, 3, 42);
-        let mut seen: Vec<f32> = plan.iter(&d).flat_map(|(imgs, _)| imgs.into_data()).collect();
+        let mut seen: Vec<f32> = plan
+            .iter(&d)
+            .flat_map(|(imgs, _)| imgs.into_data())
+            .collect();
         seen.sort_by(f32::total_cmp);
         assert_eq!(seen, (0..10).map(|v| v as f32).collect::<Vec<_>>());
     }
@@ -126,9 +125,24 @@ mod tests {
     #[test]
     fn shuffled_deterministic_per_seed() {
         let d = dataset(8);
-        let a: Vec<f32> = Batches::shuffled(8, 8, 7).iter(&d).next().unwrap().0.into_data();
-        let b: Vec<f32> = Batches::shuffled(8, 8, 7).iter(&d).next().unwrap().0.into_data();
-        let c: Vec<f32> = Batches::shuffled(8, 8, 8).iter(&d).next().unwrap().0.into_data();
+        let a: Vec<f32> = Batches::shuffled(8, 8, 7)
+            .iter(&d)
+            .next()
+            .unwrap()
+            .0
+            .into_data();
+        let b: Vec<f32> = Batches::shuffled(8, 8, 7)
+            .iter(&d)
+            .next()
+            .unwrap()
+            .0
+            .into_data();
+        let c: Vec<f32> = Batches::shuffled(8, 8, 8)
+            .iter(&d)
+            .next()
+            .unwrap()
+            .0
+            .into_data();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

@@ -87,7 +87,11 @@ impl Dataset {
     /// # Errors
     ///
     /// Returns [`DatasetError::Malformed`] on any inconsistency.
-    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self, DatasetError> {
+    pub fn new(
+        images: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, DatasetError> {
         if images.ndim() != 4 {
             return Err(DatasetError::Malformed(format!(
                 "images must be NCHW, got rank {}",
@@ -267,7 +271,8 @@ mod tests {
     use super::*;
 
     fn tiny() -> Dataset {
-        let images = Tensor::new(&[4, 1, 2, 2], (0..16).map(|v| v as f32 / 16.0).collect()).unwrap();
+        let images =
+            Tensor::new(&[4, 1, 2, 2], (0..16).map(|v| v as f32 / 16.0).collect()).unwrap();
         Dataset::new(images, vec![0, 1, 2, 1], 3).unwrap()
     }
 

@@ -63,8 +63,16 @@ impl SynthDigits {
     /// streams derived from `cfg.seed`, so resizing one never perturbs the
     /// other.
     pub fn generate(cfg: &DatasetConfig) -> (Dataset, Dataset) {
-        let train = Self::split(cfg.train, cfg.seed.wrapping_mul(2).wrapping_add(1), cfg.noise);
-        let test = Self::split(cfg.test, cfg.seed.wrapping_mul(2).wrapping_add(2), cfg.noise);
+        let train = Self::split(
+            cfg.train,
+            cfg.seed.wrapping_mul(2).wrapping_add(1),
+            cfg.noise,
+        );
+        let test = Self::split(
+            cfg.test,
+            cfg.seed.wrapping_mul(2).wrapping_add(2),
+            cfg.noise,
+        );
         (train, test)
     }
 
@@ -125,7 +133,11 @@ mod tests {
         let (train, test) = SynthDigits::generate(&cfg());
         assert_eq!(train.images().shape(), &[40, 1, SIDE, SIDE]);
         assert_eq!(test.images().shape(), &[20, 1, SIDE, SIDE]);
-        assert!(train.images().data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(train
+            .images()
+            .data()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]

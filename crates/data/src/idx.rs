@@ -90,7 +90,7 @@ pub fn load_mnist(dir: &Path) -> Result<(Dataset, Dataset), DatasetError> {
 /// record) into `(pixels, labels)`.
 pub fn parse_cifar_batch(bytes: &[u8]) -> Result<(Vec<f32>, Vec<usize>), DatasetError> {
     const RECORD: usize = 1 + 3 * 32 * 32;
-    if bytes.is_empty() || bytes.len() % RECORD != 0 {
+    if bytes.is_empty() || !bytes.len().is_multiple_of(RECORD) {
         return Err(DatasetError::Malformed(format!(
             "CIFAR batch length {} is not a multiple of {RECORD}",
             bytes.len()
@@ -146,7 +146,7 @@ mod tests {
         b.extend((n as u32).to_be_bytes());
         b.extend((rows as u32).to_be_bytes());
         b.extend((cols as u32).to_be_bytes());
-        b.extend(std::iter::repeat(128u8).take(n * rows * cols));
+        b.extend(std::iter::repeat_n(128u8, n * rows * cols));
         b
     }
 
@@ -183,7 +183,7 @@ mod tests {
     #[test]
     fn parses_cifar_batch() {
         let mut rec = vec![3u8];
-        rec.extend(std::iter::repeat(255u8).take(3072));
+        rec.extend(std::iter::repeat_n(255u8, 3072));
         let (px, labels) = parse_cifar_batch(&rec).unwrap();
         assert_eq!(labels, vec![3]);
         assert_eq!(px.len(), 3072);
@@ -195,7 +195,7 @@ mod tests {
         assert!(parse_cifar_batch(&[1, 2, 3]).is_err());
         assert!(parse_cifar_batch(&[]).is_err());
         let mut rec = vec![11u8]; // label out of range
-        rec.extend(std::iter::repeat(0u8).take(3072));
+        rec.extend(std::iter::repeat_n(0u8, 3072));
         assert!(parse_cifar_batch(&rec).is_err());
     }
 

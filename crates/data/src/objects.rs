@@ -37,8 +37,16 @@ const PALETTES: [[f32; 3]; 2] = [[0.85, 0.45, 0.25], [0.25, 0.5, 0.85]];
 impl SynthObjects {
     /// Generates `(train, test)` datasets from the config.
     pub fn generate(cfg: &DatasetConfig) -> (Dataset, Dataset) {
-        let train = Self::split(cfg.train, cfg.seed.wrapping_mul(2).wrapping_add(11), cfg.noise);
-        let test = Self::split(cfg.test, cfg.seed.wrapping_mul(2).wrapping_add(12), cfg.noise);
+        let train = Self::split(
+            cfg.train,
+            cfg.seed.wrapping_mul(2).wrapping_add(11),
+            cfg.noise,
+        );
+        let test = Self::split(
+            cfg.test,
+            cfg.seed.wrapping_mul(2).wrapping_add(12),
+            cfg.noise,
+        );
         (train, test)
     }
 
@@ -136,7 +144,11 @@ mod tests {
         let (train, test) = SynthObjects::generate(&cfg());
         assert_eq!(train.images().shape(), &[40, 3, SIDE, SIDE]);
         assert_eq!(test.images().shape(), &[20, 3, SIDE, SIDE]);
-        assert!(train.images().data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(train
+            .images()
+            .data()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]
@@ -166,7 +178,13 @@ mod tests {
         let mut counts = [0usize; 2];
         for i in 0..train.len() {
             let label = train.labels()[i];
-            let group = if label == 0 { 0 } else if label == 5 { 1 } else { continue };
+            let group = if label == 0 {
+                0
+            } else if label == 5 {
+                1
+            } else {
+                continue;
+            };
             let img = train.images().index_axis0(i).unwrap();
             red[group] += img.data()[..plane].iter().sum::<f32>();
             blue[group] += img.data()[2 * plane..].iter().sum::<f32>();

@@ -198,7 +198,9 @@ mod tests {
         let full = lenet5(1.0, 0);
         assert!(half.num_params() < full.num_params());
         let mut m = lenet5(0.5, 0);
-        let y = m.forward(&Tensor::zeros(&[1, 1, 28, 28]), Mode::Eval).unwrap();
+        let y = m
+            .forward(&Tensor::zeros(&[1, 1, 28, 28]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.shape(), &[1, 10]);
     }
 
@@ -230,7 +232,9 @@ mod tests {
     #[test]
     fn classic_lenet5_forward_and_size() {
         let mut m = lenet5_classic(1.0, 0);
-        let y = m.forward(&Tensor::zeros(&[2, 1, 28, 28]), Mode::Eval).unwrap();
+        let y = m
+            .forward(&Tensor::zeros(&[2, 1, 28, 28]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.shape(), &[2, 10]);
         // Identical parameter count to the modern variant: same topology.
         assert_eq!(m.num_params(), lenet5(1.0, 0).num_params());
@@ -239,7 +243,9 @@ mod tests {
     #[test]
     fn mlp_works() {
         let mut m = mlp(32, 0);
-        let y = m.forward(&Tensor::zeros(&[3, 1, 28, 28]), Mode::Eval).unwrap();
+        let y = m
+            .forward(&Tensor::zeros(&[3, 1, 28, 28]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.shape(), &[3, 10]);
     }
 

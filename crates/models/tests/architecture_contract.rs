@@ -90,7 +90,9 @@ fn quantisation_points_cover_input_and_every_activation() {
         } else {
             [1usize, 3, 32, 32]
         };
-        model.forward(&Tensor::full(&input_shape, 0.4), Mode::Eval).unwrap();
+        model
+            .forward(&Tensor::full(&input_shape, 0.4), Mode::Eval)
+            .unwrap();
         for layer in model.layers() {
             if layer.kind() == "fakequant" {
                 let out = layer.last_output().expect("fakequant ran");

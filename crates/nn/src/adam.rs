@@ -147,7 +147,11 @@ mod tests {
             p.grad.data_mut()[0] = 2.0 * (w - 3.0);
             opt.step(vec![&mut p]).unwrap();
         }
-        assert!((p.value.data()[0] - 3.0).abs() < 0.05, "{}", p.value.data()[0]);
+        assert!(
+            (p.value.data()[0] - 3.0).abs() < 0.05,
+            "{}",
+            p.value.data()[0]
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl fmt::Display for NnError {
                 write!(f, "backward called before forward on {layer} layer")
             }
             NnError::BatchMismatch { logits, labels } => {
-                write!(f, "logit batch {logits} does not match label count {labels}")
+                write!(
+                    f,
+                    "logit batch {logits} does not match label count {labels}"
+                )
             }
             NnError::LabelOutOfRange { label, classes } => {
                 write!(f, "label {label} out of range for {classes} classes")
@@ -88,11 +91,17 @@ mod tests {
         assert!(NnError::BackwardBeforeForward { layer: "dense" }
             .to_string()
             .contains("dense"));
-        assert!(NnError::BatchMismatch { logits: 4, labels: 3 }
-            .to_string()
-            .contains('4'));
-        assert!(NnError::LabelOutOfRange { label: 12, classes: 10 }
-            .to_string()
-            .contains("12"));
+        assert!(NnError::BatchMismatch {
+            logits: 4,
+            labels: 3
+        }
+        .to_string()
+        .contains('4'));
+        assert!(NnError::LabelOutOfRange {
+            label: 12,
+            classes: 10
+        }
+        .to_string()
+        .contains("12"));
     }
 }

@@ -52,15 +52,29 @@ pub fn finite_diff_param_grad(
             .ok_or_else(|| NnError::InvalidConfig(format!("unknown parameter {param_name}")))?;
         p.len()
     };
-    let shape = net.param(param_name).expect("checked above").value.shape().to_vec();
+    let shape = net
+        .param(param_name)
+        .expect("checked above")
+        .value
+        .shape()
+        .to_vec();
     let mut grad = Tensor::zeros(&shape);
     for i in 0..n {
         let original = net.param(param_name).expect("checked above").value.data()[i];
-        net.param_mut(param_name).expect("checked above").value.data_mut()[i] = original + eps;
+        net.param_mut(param_name)
+            .expect("checked above")
+            .value
+            .data_mut()[i] = original + eps;
         let lp = loss_of(net, x, labels)?;
-        net.param_mut(param_name).expect("checked above").value.data_mut()[i] = original - eps;
+        net.param_mut(param_name)
+            .expect("checked above")
+            .value
+            .data_mut()[i] = original - eps;
         let lm = loss_of(net, x, labels)?;
-        net.param_mut(param_name).expect("checked above").value.data_mut()[i] = original;
+        net.param_mut(param_name)
+            .expect("checked above")
+            .value
+            .data_mut()[i] = original;
         grad.data_mut()[i] = (lp - lm) / (2.0 * eps);
     }
     Ok(grad)

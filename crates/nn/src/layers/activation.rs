@@ -156,7 +156,8 @@ mod tests {
     fn saturated_tanh_kills_gradient() {
         // The saturation behaviour Goodfellow et al. contrast with ReLU.
         let mut t = Tanh::new();
-        t.forward(&Tensor::from_vec(vec![50.0]), Mode::Eval).unwrap();
+        t.forward(&Tensor::from_vec(vec![50.0]), Mode::Eval)
+            .unwrap();
         let g = t.backward(&Tensor::from_vec(vec![1.0])).unwrap();
         assert!(g.data()[0].abs() < 1e-6);
     }

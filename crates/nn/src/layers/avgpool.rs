@@ -147,7 +147,9 @@ mod tests {
         let mut pool = AvgPool2d::new(2, 2);
         let x = Tensor::ones(&[1, 1, 2, 2]);
         pool.forward(&x, Mode::Train).unwrap();
-        let gx = pool.backward(&Tensor::new(&[1, 1, 1, 1], vec![4.0]).unwrap()).unwrap();
+        let gx = pool
+            .backward(&Tensor::new(&[1, 1, 1, 1], vec![4.0]).unwrap())
+            .unwrap();
         assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0]);
     }
 
@@ -174,7 +176,9 @@ mod tests {
     #[test]
     fn validation() {
         let mut pool = AvgPool2d::new(3, 1);
-        assert!(pool.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval).is_err());
+        assert!(pool
+            .forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval)
+            .is_err());
         assert!(pool.forward(&Tensor::zeros(&[4]), Mode::Eval).is_err());
         assert!(pool.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
     }

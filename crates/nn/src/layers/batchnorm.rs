@@ -106,15 +106,15 @@ impl Layer for BatchNorm2d {
         let mut var = vec![0.0f32; c];
         match mode {
             Mode::Train => {
-                for ch in 0..c {
+                for (ch, m) in mean.iter_mut().enumerate() {
                     let mut acc = 0.0f32;
                     for b in 0..n {
                         let base = (b * c + ch) * h * w;
                         acc += input.data()[base..base + h * w].iter().sum::<f32>();
                     }
-                    mean[ch] = acc / per_channel as f32;
+                    *m = acc / per_channel as f32;
                 }
-                for ch in 0..c {
+                for (ch, v_out) in var.iter_mut().enumerate() {
                     let mut acc = 0.0f32;
                     for b in 0..n {
                         let base = (b * c + ch) * h * w;
@@ -123,7 +123,7 @@ impl Layer for BatchNorm2d {
                             acc += d * d;
                         }
                     }
-                    var[ch] = acc / per_channel as f32;
+                    *v_out = acc / per_channel as f32;
                 }
                 for ch in 0..c {
                     self.running_mean[ch] =
@@ -165,10 +165,9 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
-        let cache = self
-            .cache
-            .as_ref()
-            .ok_or(NnError::BackwardBeforeForward { layer: "batchnorm2d" })?;
+        let cache = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward {
+            layer: "batchnorm2d",
+        })?;
         if grad_output.shape() != cache.input_shape.as_slice() {
             return Err(NnError::Tensor(TensorError::ShapeMismatch {
                 lhs: grad_output.shape().to_vec(),
@@ -236,7 +235,11 @@ mod tests {
     fn normalises_batch_statistics() {
         let mut bn = BatchNorm2d::new(2);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let x = Init::Normal { mean: 3.0, std: 2.0 }.tensor(&[4, 2, 5, 5], &mut rng);
+        let x = Init::Normal {
+            mean: 3.0,
+            std: 2.0,
+        }
+        .tensor(&[4, 2, 5, 5], &mut rng);
         let y = bn.forward(&x, Mode::Train).unwrap();
         // Per-channel output should be ~N(0,1) (gamma=1, beta=0).
         for ch in 0..2 {
@@ -255,7 +258,11 @@ mod tests {
     fn eval_uses_running_statistics() {
         let mut bn = BatchNorm2d::new(1);
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let x = Init::Normal { mean: 5.0, std: 1.0 }.tensor(&[8, 1, 4, 4], &mut rng);
+        let x = Init::Normal {
+            mean: 5.0,
+            std: 1.0,
+        }
+        .tensor(&[8, 1, 4, 4], &mut rng);
         // Many training passes to converge the running stats.
         for _ in 0..50 {
             bn.forward(&x, Mode::Train).unwrap();
@@ -307,8 +314,8 @@ mod tests {
             numeric.data_mut()[i] = (lp - lm) / (2.0 * eps);
         }
         let _ = finite_diff_input_grad; // (eval-mode helper unused here)
-        // Re-run the analytic pass after the probing forwards invalidated
-        // the cache.
+                                        // Re-run the analytic pass after the probing forwards invalidated
+                                        // the cache.
         let logits = net.forward(&x, Mode::Train).unwrap();
         let loss = crate::softmax_cross_entropy(&logits, &labels).unwrap();
         net.zero_grad();
@@ -332,7 +339,9 @@ mod tests {
     #[test]
     fn validation() {
         let mut bn = BatchNorm2d::new(2);
-        assert!(bn.forward(&Tensor::zeros(&[2, 3, 4, 4]), Mode::Train).is_err());
+        assert!(bn
+            .forward(&Tensor::zeros(&[2, 3, 4, 4]), Mode::Train)
+            .is_err());
         assert!(bn.forward(&Tensor::zeros(&[4, 4]), Mode::Train).is_err());
         assert!(bn.backward(&Tensor::zeros(&[1, 2, 4, 4])).is_err());
     }

@@ -3,14 +3,20 @@
 use crate::layer::{Layer, Mode};
 use crate::param::{Param, ParamKind};
 use crate::{NnError, Result};
-use advcomp_tensor::{col2im, im2col, Conv2dGeometry, Init, Tensor};
+use advcomp_tensor::{
+    col2im, im2col_into, nchw_to_rows, rows_to_nchw, Conv2dGeometry, Init, Tensor,
+};
 use rand::Rng;
 
 /// A 2-D convolution over NCHW input.
 ///
 /// Weights are stored as `[out_channels, in_channels, kh, kw]`; the forward
 /// pass lowers to `im2col` + matmul (see `advcomp_tensor::conv`), which is
-/// also the ablation subject of the `conv` benchmark.
+/// also the ablation subject of the `conv` benchmark. The unrolled patch
+/// matrix — the largest intermediate in the network — lives in a persistent
+/// scratch tensor (`cols`) that is rewritten in place each forward pass
+/// instead of reallocated, which matters in the iterative-attack loop where
+/// every PGD step runs a fresh forward/backward pair.
 #[derive(Debug)]
 pub struct Conv2d {
     weight: Param,
@@ -19,11 +25,11 @@ pub struct Conv2d {
     stride: usize,
     padding: usize,
     cache: Option<ConvCache>,
+    cols: Tensor,
 }
 
 #[derive(Debug)]
 struct ConvCache {
-    cols: Tensor,
     geom: Conv2dGeometry,
     batch: usize,
     out_hw: (usize, usize),
@@ -40,7 +46,13 @@ impl Conv2d {
         rng: &mut R,
     ) -> Self {
         Self::with_name(
-            "conv", in_channels, out_channels, kernel, stride, padding, rng,
+            "conv",
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            rng,
         )
     }
 
@@ -70,6 +82,7 @@ impl Conv2d {
             stride,
             padding,
             cache: None,
+            cols: Tensor::default(),
         }
     }
 
@@ -87,41 +100,6 @@ impl Conv2d {
         let s = self.weight.value.shape();
         Ok(self.weight.value.reshape(&[s[0], s[1] * s[2] * s[3]])?)
     }
-}
-
-/// Reorders a `[n·oh·ow, oc]` GEMM output into NCHW `[n, oc, oh, ow]`.
-fn rows_to_nchw(rows: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
-    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
-    let src = rows.data();
-    let dst = out.data_mut();
-    for b in 0..n {
-        for y in 0..oh {
-            for x in 0..ow {
-                let row = ((b * oh + y) * ow + x) * oc;
-                for o in 0..oc {
-                    dst[((b * oc + o) * oh + y) * ow + x] = src[row + o];
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Inverse of [`rows_to_nchw`]: NCHW gradient back to GEMM row layout.
-fn nchw_to_rows(t: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
-    let mut out = Tensor::zeros(&[n * oh * ow, oc]);
-    let src = t.data();
-    let dst = out.data_mut();
-    for b in 0..n {
-        for o in 0..oc {
-            for y in 0..oh {
-                for x in 0..ow {
-                    dst[((b * oh + y) * ow + x) * oc + o] = src[((b * oc + o) * oh + y) * ow + x];
-                }
-            }
-        }
-    }
-    out
 }
 
 impl Layer for Conv2d {
@@ -149,13 +127,12 @@ impl Layer for Conv2d {
             padding: self.padding,
         };
         let (oh, ow) = geom.output_hw()?;
-        let cols = im2col(input, &geom)?;
+        im2col_into(input, &geom, &mut self.cols)?;
         let w2d = self.weight_2d()?; // [oc, patch]
-        let out2d = cols.matmul(&w2d.t()?)?; // [n*oh*ow, oc]
+        let out2d = self.cols.matmul(&w2d.t()?)?; // [n*oh*ow, oc]
         let out2d = out2d.add_row_broadcast(&self.bias.value)?;
-        let out = rows_to_nchw(&out2d, n, self.out_channels(), oh, ow);
+        let out = rows_to_nchw(&out2d, n, self.out_channels(), oh, ow)?;
         self.cache = Some(ConvCache {
-            cols,
             geom,
             batch: n,
             out_hw: (oh, ow),
@@ -179,9 +156,9 @@ impl Layer for Conv2d {
                 },
             ));
         }
-        let g2d = nchw_to_rows(grad_output, n, oc, oh, ow); // [n*oh*ow, oc]
-        // dL/dW = g2dᵀ · cols, reshaped back to 4-D.
-        let gw2d = g2d.t()?.matmul(&cache.cols)?;
+        let g2d = nchw_to_rows(grad_output, n, oc, oh, ow)?; // [n*oh*ow, oc]
+                                                             // dL/dW = g2dᵀ · cols (the scratch still holds this batch's patches).
+        let gw2d = g2d.t()?.matmul(&self.cols)?;
         let gw = gw2d.reshape(self.weight.value.shape())?;
         self.weight.grad.add_assign(&gw)?;
         let gb = g2d.sum_axis0()?;
@@ -301,14 +278,28 @@ mod tests {
             .unwrap()
             .grad
             .clone();
-        assert!(analytic_gw.allclose(&num_gw, 3e-2), "weight gradient mismatch");
+        assert!(
+            analytic_gw.allclose(&num_gw, 3e-2),
+            "weight gradient mismatch"
+        );
     }
 
     #[test]
-    fn rows_nchw_roundtrip() {
-        let rows = Tensor::new(&[4, 3], (0..12).map(|v| v as f32).collect()).unwrap();
-        let nchw = rows_to_nchw(&rows, 1, 3, 2, 2);
-        let back = nchw_to_rows(&nchw, 1, 3, 2, 2);
-        assert_eq!(back.data(), rows.data());
+    fn repeated_forward_backward_reuses_scratch() {
+        // Two full steps with different inputs: the persistent cols scratch
+        // must be rewritten, not blended, between steps.
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, &mut rng());
+        conv.params_mut()[0].value = Tensor::ones(&[1, 1, 3, 3]);
+        let x1 = Tensor::new(&[1, 1, 3, 3], (1..=9).map(|v| v as f32).collect()).unwrap();
+        let x2 = Tensor::new(&[1, 1, 3, 3], vec![1.0; 9]).unwrap();
+        let y1 = conv.forward(&x1, Mode::Train).unwrap();
+        assert_eq!(y1.data(), &[45.0]);
+        let y2 = conv.forward(&x2, Mode::Train).unwrap();
+        assert_eq!(y2.data(), &[9.0]);
+        // Weight grad for all-ones upstream = im2col(x2) = x2's patch.
+        conv.backward(&Tensor::ones(&[1, 1, 1, 1])).unwrap();
+        assert!(conv.params()[0]
+            .grad
+            .allclose(&Tensor::ones(&[1, 1, 3, 3]), 1e-6));
     }
 }

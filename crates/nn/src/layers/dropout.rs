@@ -24,7 +24,10 @@ impl Dropout {
     ///
     /// Panics unless `0.0 <= p < 1.0`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout p must be in [0, 1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout p must be in [0, 1), got {p}"
+        );
         Dropout {
             p,
             rng: rand::rngs::StdRng::seed_from_u64(seed),
@@ -49,7 +52,13 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask_data: Vec<f32> = (0..input.len())
-            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mask = Tensor::new(input.shape(), mask_data)?;
         let y = input.mul(&mask)?;

@@ -152,7 +152,8 @@ mod tests {
     fn exposes_quantised_activations() {
         let q = QFormat::new(1, 3).unwrap();
         let mut fq = FakeQuant::with_format(q);
-        fq.forward(&Tensor::from_vec(vec![0.3]), Mode::Eval).unwrap();
+        fq.forward(&Tensor::from_vec(vec![0.3]), Mode::Eval)
+            .unwrap();
         assert_eq!(fq.last_output().unwrap().data(), &[0.25]);
     }
 }

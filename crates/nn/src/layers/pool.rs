@@ -173,7 +173,9 @@ mod tests {
     #[test]
     fn rejects_small_input() {
         let mut pool = MaxPool2d::new(3, 1);
-        assert!(pool.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval).is_err());
+        assert!(pool
+            .forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval)
+            .is_err());
         assert!(pool.forward(&Tensor::zeros(&[2, 2]), Mode::Eval).is_err());
     }
 

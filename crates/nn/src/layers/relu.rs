@@ -77,7 +77,8 @@ mod tests {
     fn exposes_last_output() {
         let mut relu = Relu::new();
         assert!(relu.last_output().is_none());
-        relu.forward(&Tensor::from_vec(vec![1.0]), Mode::Eval).unwrap();
+        relu.forward(&Tensor::from_vec(vec![1.0]), Mode::Eval)
+            .unwrap();
         assert_eq!(relu.last_output().unwrap().data(), &[1.0]);
     }
 }

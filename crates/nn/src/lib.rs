@@ -54,7 +54,10 @@ pub use adam::Adam;
 pub use error::NnError;
 pub use gradcheck::{finite_diff_input_grad, finite_diff_param_grad};
 pub use layer::{Layer, Mode};
-pub use layers::{AvgPool2d, BatchNorm2d, Conv2d, Dense, Dropout, FakeQuant, Flatten, MaxPool2d, Relu, Sigmoid, Tanh};
+pub use layers::{
+    AvgPool2d, BatchNorm2d, Conv2d, Dense, Dropout, FakeQuant, Flatten, MaxPool2d, Relu, Sigmoid,
+    Tanh,
+};
 pub use loss::{accuracy, softmax, softmax_cross_entropy, LossOutput};
 pub use metrics::ConfusionMatrix;
 pub use optim::{LrSchedule, Sgd, StepDecay};

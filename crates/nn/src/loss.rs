@@ -189,7 +189,10 @@ mod tests {
         ));
         assert!(matches!(
             softmax_cross_entropy(&l, &[0, 5]),
-            Err(NnError::LabelOutOfRange { label: 5, classes: 3 })
+            Err(NnError::LabelOutOfRange {
+                label: 5,
+                classes: 3
+            })
         ));
         let bad = Tensor::new(&[1, 2], vec![f32::NAN, 0.0]).unwrap();
         assert!(matches!(

@@ -127,7 +127,7 @@ impl ConfusionMatrix {
                 .filter(|&t| t != p)
                 .map(|t| self.count(t, p))
                 .sum();
-            if wrong > 0 && best.map_or(true, |(w, _)| wrong > w) {
+            if wrong > 0 && best.is_none_or(|(w, _)| wrong > w) {
                 best = Some((wrong, p));
             }
         }

@@ -27,13 +27,19 @@ impl Sgd {
     /// out-of-range momentum/decay.
     pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Result<Self> {
         if !(lr > 0.0 && lr.is_finite()) {
-            return Err(NnError::InvalidConfig(format!("learning rate {lr} must be positive")));
+            return Err(NnError::InvalidConfig(format!(
+                "learning rate {lr} must be positive"
+            )));
         }
         if !(0.0..1.0).contains(&momentum) {
-            return Err(NnError::InvalidConfig(format!("momentum {momentum} must be in [0,1)")));
+            return Err(NnError::InvalidConfig(format!(
+                "momentum {momentum} must be in [0,1)"
+            )));
         }
         if weight_decay < 0.0 {
-            return Err(NnError::InvalidConfig(format!("weight decay {weight_decay} must be >= 0")));
+            return Err(NnError::InvalidConfig(format!(
+                "weight decay {weight_decay} must be >= 0"
+            )));
         }
         Ok(Sgd {
             lr,

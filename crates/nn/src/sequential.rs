@@ -86,7 +86,10 @@ impl Sequential {
 
     /// All parameters, mutably, in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Zeroes every accumulated parameter gradient.
@@ -267,8 +270,12 @@ mod tests {
         let mut n = net();
         let x = Tensor::ones(&[1, 4]);
         n.forward(&x, Mode::Eval).unwrap();
-        let g1 = n.backward(&Tensor::new(&[1, 3], vec![1.0, 0.0, 0.0]).unwrap()).unwrap();
-        let g2 = n.backward(&Tensor::new(&[1, 3], vec![1.0, 0.0, 0.0]).unwrap()).unwrap();
+        let g1 = n
+            .backward(&Tensor::new(&[1, 3], vec![1.0, 0.0, 0.0]).unwrap())
+            .unwrap();
+        let g2 = n
+            .backward(&Tensor::new(&[1, 3], vec![1.0, 0.0, 0.0]).unwrap())
+            .unwrap();
         assert!(g1.allclose(&g2, 1e-6));
     }
 

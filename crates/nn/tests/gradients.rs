@@ -35,7 +35,10 @@ fn check_param_grad(net: &mut Sequential, x: &Tensor, labels: &[usize], name: &s
     net.backward(&loss.grad).unwrap();
     let analytic = net.param(name).unwrap().grad.clone();
     let numeric = finite_diff_param_grad(net, x, labels, name, 1e-2).unwrap();
-    assert!(analytic.allclose(&numeric, tol), "param {name} gradient mismatch");
+    assert!(
+        analytic.allclose(&numeric, tol),
+        "param {name} gradient mismatch"
+    );
 }
 
 #[test]
@@ -82,7 +85,9 @@ fn fakequant_ste_passes_in_range_gradients() {
         let mut rr = rng(99);
         let mut layers: Vec<Box<dyn advcomp_nn::Layer>> = Vec::new();
         if with_fq {
-            layers.push(Box::new(FakeQuant::with_format(QFormat::new(4, 20).unwrap())));
+            layers.push(Box::new(FakeQuant::with_format(
+                QFormat::new(4, 20).unwrap(),
+            )));
         }
         let mut dense = Dense::with_name("d", 4, 3, &mut rr);
         dense.params_mut()[0].value = w.clone();

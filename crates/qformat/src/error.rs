@@ -23,7 +23,10 @@ impl fmt::Display for QFormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QFormatError::InvalidBitwidth { bits } => {
-                write!(f, "total bitwidth {bits} is outside the supported range 2..=32")
+                write!(
+                    f,
+                    "total bitwidth {bits} is outside the supported range 2..=32"
+                )
             }
             QFormatError::NoIntegerBits => {
                 write!(f, "format requires at least one integer (sign) bit")

@@ -249,9 +249,10 @@ mod tests {
     #[test]
     fn wide_format_precision() {
         let q = QFormat::for_bitwidth(16).unwrap(); // Q4.12
-        let v = 1.000244140625f32; // 1 + 2^-12
+        let v = 1.000_244_1_f32; // 1 + 2^-12
         assert!(q.is_representable(v));
-        assert!((q.quantize(3.14159) - 3.14159).abs() <= q.resolution() / 2.0 + 1e-7);
+        let pi = std::f32::consts::PI;
+        assert!((q.quantize(pi) - pi).abs() <= q.resolution() / 2.0 + 1e-7);
     }
 
     #[test]

@@ -109,12 +109,12 @@ impl CsrMatrix {
             });
         }
         let mut y = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
+        for (r, y_r) in y.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for k in self.row_ptr[r] as usize..self.row_ptr[r + 1] as usize {
                 acc += self.values[k] * x[self.col_idx[k] as usize];
             }
-            y[r] = acc;
+            *y_r = acc;
         }
         Ok(y)
     }

@@ -53,10 +53,15 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(SparseError::DimensionMismatch { expected: 3, actual: 2 }
+        assert!(SparseError::DimensionMismatch {
+            expected: 3,
+            actual: 2
+        }
+        .to_string()
+        .contains('3'));
+        assert!(SparseError::Corrupt("x".into())
             .to_string()
-            .contains('3'));
-        assert!(SparseError::Corrupt("x".into()).to_string().contains("corrupt"));
+            .contains("corrupt"));
         let e: SparseError = TensorError::Empty("max").into();
         assert!(e.to_string().contains("tensor"));
     }

@@ -144,7 +144,7 @@ pub fn encode(symbols: &[i32], book: &Codebook) -> Result<Encoded> {
             .get(&s)
             .ok_or_else(|| SparseError::InvalidInput(format!("symbol {s} not in codebook")))?;
         for b in 0..len {
-            if bitpos % 8 == 0 {
+            if bitpos.is_multiple_of(8) {
                 bytes.push(0u8);
             }
             if code & (1 << b) != 0 {

@@ -80,7 +80,11 @@ impl QuantizedTensor {
     pub fn pack(&self) -> Vec<u8> {
         let bits = self.format.total_bits() as usize;
         let mut out = vec![0u8; self.storage_bits().div_ceil(8)];
-        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let mask = if bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << bits) - 1
+        };
         for (i, &code) in self.codes.iter().enumerate() {
             let word = (code as u32) & mask;
             let bit0 = i * bits;
@@ -171,7 +175,7 @@ mod tests {
     #[test]
     fn pack_unpack_wide_format() {
         let fmt = QFormat::for_bitwidth(16).unwrap();
-        let t = Tensor::new(&[3], vec![3.14159, -7.5, 0.0001]).unwrap();
+        let t = Tensor::new(&[3], vec![std::f32::consts::PI, -7.5, 0.0001]).unwrap();
         let qt = QuantizedTensor::from_tensor(&t, fmt);
         let back = QuantizedTensor::unpack(&qt.pack(), &[3], fmt).unwrap();
         assert_eq!(back.codes(), qt.codes());

@@ -97,11 +97,7 @@ impl ModelSize {
                 let total_bits: f64 = book.mean_bits(&all_codes) * all_codes.len() as f64;
                 (total_bits / 8.0).ceil() as usize
             };
-            (
-                Some(quant_bits.div_ceil(8)),
-                Some(huffman),
-                Some(entropy),
-            )
+            (Some(quant_bits.div_ceil(8)), Some(huffman), Some(entropy))
         } else {
             (None, None, None)
         };

@@ -61,11 +61,7 @@ fn pruned_model_sparse_inference_is_equivalent() {
         .add_row_broadcast(&b1)
         .unwrap()
         .map(|v| v.max(0.0));
-    let sparse_logits = w2
-        .matmul_batch(&h)
-        .unwrap()
-        .add_row_broadcast(&b2)
-        .unwrap();
+    let sparse_logits = w2.matmul_batch(&h).unwrap().add_row_broadcast(&b2).unwrap();
 
     let dense_logits = model.forward(&x, Mode::Eval).unwrap();
     assert!(

@@ -5,8 +5,15 @@
 //! ([`im2col`]), multiplied against the `[c·kh·kw, oc]` reshaped kernel, and
 //! the backward pass folds patch gradients back with [`col2im`]. This is the
 //! standard GEMM formulation used by most CPU deep-learning runtimes.
+//!
+//! Every transform here touches each batch sample independently, and each
+//! sample occupies a contiguous region of the output buffer, so all of them
+//! parallelise over the batch on the persistent worker pool
+//! ([`crate::pool`]). The layer-facing [`im2col_into`] variant additionally
+//! reuses a caller-owned scratch tensor, so the (large) patch matrix is
+//! allocated once per layer rather than once per training/attack step.
 
-use crate::{Result, Tensor, TensorError};
+use crate::{pool, Result, Tensor, TensorError};
 
 /// Static geometry of a 2-D convolution or pooling window over NCHW input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +36,13 @@ pub struct Conv2dGeometry {
 
 impl Conv2dGeometry {
     /// Creates a square-kernel geometry.
-    pub fn square(in_channels: usize, in_hw: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+    pub fn square(
+        in_channels: usize,
+        in_hw: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
         Conv2dGeometry {
             in_channels,
             in_h: in_hw,
@@ -76,11 +89,52 @@ impl Conv2dGeometry {
     }
 }
 
+/// Fills the patch rows of one batch sample. `chunk` is that sample's
+/// contiguous `oh·ow·patch` slice of the column matrix, already zeroed.
+fn im2col_sample(
+    input: &[f32],
+    chunk: &mut [f32],
+    b: usize,
+    geom: &Conv2dGeometry,
+    oh: usize,
+    ow: usize,
+) {
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    let patch = geom.patch_len();
+    let pad = geom.padding as isize;
+    for oy in 0..oh {
+        let iy0 = (oy * geom.stride) as isize - pad;
+        for ox in 0..ow {
+            let ix0 = (ox * geom.stride) as isize - pad;
+            let row = (oy * ow + ox) * patch;
+            for ch in 0..c {
+                let ch_base = (b * c + ch) * h * w;
+                for ky in 0..geom.kernel_h {
+                    let iy = iy0 + ky as isize;
+                    let dst = row + (ch * geom.kernel_h + ky) * geom.kernel_w;
+                    if iy < 0 || iy >= h as isize {
+                        continue; // padding row: stays zero
+                    }
+                    let src_row = ch_base + iy as usize * w;
+                    for kx in 0..geom.kernel_w {
+                        let ix = ix0 + kx as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        chunk[dst + kx] = input[src_row + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Unrolls an NCHW batch into a patch matrix of shape `[n·oh·ow, c·kh·kw]`.
 ///
 /// Row `(b, oy, ox)` contains the receptive field of output pixel `(oy, ox)`
 /// in sample `b`, channels-major then kernel-row-major. Out-of-bounds
-/// (padding) positions read as zero.
+/// (padding) positions read as zero. Samples are unrolled in parallel on the
+/// worker pool.
 ///
 /// # Errors
 ///
@@ -88,6 +142,22 @@ impl Conv2dGeometry {
 /// [`TensorError::ShapeMismatch`] when channel/height/width disagree with
 /// `geom`, or geometry errors from [`Conv2dGeometry::output_hw`].
 pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
+    let mut out = Tensor::default();
+    im2col_into(input, geom, &mut out)?;
+    Ok(out)
+}
+
+/// [`im2col`] into a caller-owned scratch tensor.
+///
+/// `out` is reshaped to `[n·oh·ow, c·kh·kw]`, reusing its allocation when
+/// the element count already matches — convolution layers call this every
+/// forward pass with a persistent buffer, eliminating the per-step
+/// allocation of the largest intermediate in the network.
+///
+/// # Errors
+///
+/// Same conditions as [`im2col`]; on error `out` is left untouched.
+pub fn im2col_into(input: &Tensor, geom: &Conv2dGeometry, out: &mut Tensor) -> Result<()> {
     if input.ndim() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -110,42 +180,59 @@ pub fn im2col(input: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor> {
     }
     let (oh, ow) = geom.output_hw()?;
     let patch = geom.patch_len();
-    let mut out = Tensor::zeros(&[n * oh * ow, patch]);
+    out.reset_scratch(&[n * oh * ow, patch]);
     let data = input.data();
-    let od = out.data_mut();
+    pool::for_each_chunk(out.data_mut(), oh * ow * patch, |b, chunk| {
+        chunk.fill(0.0);
+        im2col_sample(data, chunk, b, geom, oh, ow);
+    });
+    Ok(())
+}
+
+/// Accumulates the patch gradients of one batch sample. `chunk` is that
+/// sample's contiguous `c·h·w` slice of the input gradient.
+fn col2im_sample(
+    cols: &[f32],
+    chunk: &mut [f32],
+    b: usize,
+    geom: &Conv2dGeometry,
+    oh: usize,
+    ow: usize,
+) {
+    let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
+    let patch = geom.patch_len();
     let pad = geom.padding as isize;
-    for b in 0..n {
-        for oy in 0..oh {
-            let iy0 = (oy * geom.stride) as isize - pad;
-            for ox in 0..ow {
-                let ix0 = (ox * geom.stride) as isize - pad;
-                let row = ((b * oh + oy) * ow + ox) * patch;
-                for ch in 0..c {
-                    let ch_base = (b * c + ch) * h * w;
-                    for ky in 0..geom.kernel_h {
-                        let iy = iy0 + ky as isize;
-                        let dst = row + (ch * geom.kernel_h + ky) * geom.kernel_w;
-                        if iy < 0 || iy >= h as isize {
-                            continue; // padding row: stays zero
+    for oy in 0..oh {
+        let iy0 = (oy * geom.stride) as isize - pad;
+        for ox in 0..ow {
+            let ix0 = (ox * geom.stride) as isize - pad;
+            let row = ((b * oh + oy) * ow + ox) * patch;
+            for ch in 0..c {
+                let ch_base = ch * h * w;
+                for ky in 0..geom.kernel_h {
+                    let iy = iy0 + ky as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_row = ch_base + iy as usize * w;
+                    let src = row + (ch * geom.kernel_h + ky) * geom.kernel_w;
+                    for kx in 0..geom.kernel_w {
+                        let ix = ix0 + kx as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
                         }
-                        let src_row = ch_base + iy as usize * w;
-                        for kx in 0..geom.kernel_w {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            od[dst + kx] = data[src_row + ix as usize];
-                        }
+                        chunk[dst_row + ix as usize] += cols[src + kx];
                     }
                 }
             }
         }
     }
-    Ok(out)
 }
 
 /// Folds a patch-matrix gradient back into an NCHW input gradient —
-/// the adjoint of [`im2col`]. Overlapping patches accumulate.
+/// the adjoint of [`im2col`]. Overlapping patches accumulate. Samples are
+/// folded in parallel on the worker pool (patches never cross samples, so
+/// the per-sample accumulations are independent).
 ///
 /// # Errors
 ///
@@ -163,36 +250,69 @@ pub fn col2im(cols: &Tensor, geom: &Conv2dGeometry, batch: usize) -> Result<Tens
     }
     let (c, h, w) = (geom.in_channels, geom.in_h, geom.in_w);
     let mut out = Tensor::zeros(&[batch, c, h, w]);
-    let od = out.data_mut();
     let data = cols.data();
-    let pad = geom.padding as isize;
-    for b in 0..batch {
-        for oy in 0..oh {
-            let iy0 = (oy * geom.stride) as isize - pad;
-            for ox in 0..ow {
-                let ix0 = (ox * geom.stride) as isize - pad;
-                let row = ((b * oh + oy) * ow + ox) * patch;
-                for ch in 0..c {
-                    let ch_base = (b * c + ch) * h * w;
-                    for ky in 0..geom.kernel_h {
-                        let iy = iy0 + ky as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        let dst_row = ch_base + iy as usize * w;
-                        let src = row + (ch * geom.kernel_h + ky) * geom.kernel_w;
-                        for kx in 0..geom.kernel_w {
-                            let ix = ix0 + kx as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            od[dst_row + ix as usize] += data[src + kx];
-                        }
-                    }
+    pool::for_each_chunk(out.data_mut(), c * h * w, |b, chunk| {
+        col2im_sample(data, chunk, b, geom, oh, ow);
+    });
+    Ok(out)
+}
+
+/// Reorders a `[n·oh·ow, oc]` GEMM output into NCHW `[n, oc, oh, ow]`,
+/// one batch sample per pool task.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `rows` has shape
+/// `[n·oh·ow, oc]`.
+pub fn rows_to_nchw(rows: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Result<Tensor> {
+    if rows.shape() != [n * oh * ow, oc] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: rows.shape().to_vec(),
+            rhs: vec![n * oh * ow, oc],
+            op: "rows_to_nchw",
+        });
+    }
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    let src = rows.data();
+    pool::for_each_chunk(out.data_mut(), oc * oh * ow, |b, chunk| {
+        for y in 0..oh {
+            for x in 0..ow {
+                let row = ((b * oh + y) * ow + x) * oc;
+                for o in 0..oc {
+                    chunk[(o * oh + y) * ow + x] = src[row + o];
                 }
             }
         }
+    });
+    Ok(out)
+}
+
+/// Inverse of [`rows_to_nchw`]: NCHW tensor back to GEMM row layout,
+/// one batch sample per pool task.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `t` has shape
+/// `[n, oc, oh, ow]`.
+pub fn nchw_to_rows(t: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Result<Tensor> {
+    if t.shape() != [n, oc, oh, ow] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: t.shape().to_vec(),
+            rhs: vec![n, oc, oh, ow],
+            op: "nchw_to_rows",
+        });
     }
+    let mut out = Tensor::zeros(&[n * oh * ow, oc]);
+    let src = t.data();
+    pool::for_each_chunk(out.data_mut(), oh * ow * oc, |b, chunk| {
+        for o in 0..oc {
+            for y in 0..oh {
+                for x in 0..ow {
+                    chunk[(y * ow + x) * oc + o] = src[((b * oc + o) * oh + y) * ow + x];
+                }
+            }
+        }
+    });
     Ok(out)
 }
 
@@ -268,6 +388,37 @@ mod tests {
     }
 
     #[test]
+    fn im2col_into_reuses_and_overwrites_scratch() {
+        let g = Conv2dGeometry::square(1, 2, 1, 1, 0);
+        let x1 = Tensor::new(&[1, 1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let x2 = Tensor::new(&[1, 1, 2, 2], vec![5., 6., 7., 8.]).unwrap();
+        let mut scratch = Tensor::default();
+        im2col_into(&x1, &g, &mut scratch).unwrap();
+        assert_eq!(scratch.data(), &[1., 2., 3., 4.]);
+        // Second call must fully overwrite, not blend with, the first.
+        im2col_into(&x2, &g, &mut scratch).unwrap();
+        assert_eq!(scratch.data(), &[5., 6., 7., 8.]);
+        assert_eq!(scratch.shape(), &[4, 1]);
+    }
+
+    #[test]
+    fn im2col_into_matches_im2col_across_batches() {
+        use crate::Init;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let g = Conv2dGeometry::square(3, 6, 3, 1, 1);
+        let mut scratch = Tensor::default();
+        // Growing then shrinking batch sizes exercise the reallocation path.
+        for &n in &[1usize, 4, 2] {
+            let x = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[n, 3, 6, 6], &mut rng);
+            let fresh = im2col(&x, &g).unwrap();
+            im2col_into(&x, &g, &mut scratch).unwrap();
+            assert_eq!(scratch.data(), fresh.data());
+            assert_eq!(scratch.shape(), fresh.shape());
+        }
+    }
+
+    #[test]
     fn col2im_accumulates_overlaps() {
         // 2x2 input, 1x1 kernel stride 1: col2im is the inverse reshape.
         let g = Conv2dGeometry::square(1, 2, 1, 1, 0);
@@ -308,5 +459,25 @@ mod tests {
     fn col2im_validates_shape() {
         let g = Conv2dGeometry::square(1, 2, 1, 1, 0);
         assert!(col2im(&Tensor::zeros(&[3, 1]), &g, 1).is_err());
+    }
+
+    #[test]
+    fn rows_nchw_roundtrip() {
+        let rows = Tensor::new(&[4, 3], (0..12).map(|v| v as f32).collect()).unwrap();
+        let nchw = rows_to_nchw(&rows, 1, 3, 2, 2).unwrap();
+        let back = nchw_to_rows(&nchw, 1, 3, 2, 2).unwrap();
+        assert_eq!(back.data(), rows.data());
+    }
+
+    #[test]
+    fn rows_to_nchw_layout_and_validation() {
+        // Two samples, two channels, 1x2 spatial: row-major GEMM rows are
+        // (b, y, x) ordered with channels innermost.
+        let rows = Tensor::new(&[4, 2], vec![1., 10., 2., 20., 3., 30., 4., 40.]).unwrap();
+        let nchw = rows_to_nchw(&rows, 2, 2, 1, 2).unwrap();
+        assert_eq!(nchw.shape(), &[2, 2, 1, 2]);
+        assert_eq!(nchw.data(), &[1., 2., 10., 20., 3., 4., 30., 40.]);
+        assert!(rows_to_nchw(&rows, 2, 3, 1, 2).is_err());
+        assert!(nchw_to_rows(&rows, 2, 2, 1, 2).is_err());
     }
 }

@@ -61,7 +61,10 @@ impl fmt::Display for TensorError {
                 op,
             } => write!(f, "{op} requires rank {expected}, got rank {actual}"),
             TensorError::IndexOutOfBounds { index, bound } => {
-                write!(f, "index {index} out of bounds for dimension of size {bound}")
+                write!(
+                    f,
+                    "index {index} out of bounds for dimension of size {bound}"
+                )
             }
             TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
             TensorError::Empty(op) => write!(f, "{op} requires a non-empty tensor"),

@@ -121,14 +121,21 @@ mod tests {
 
     #[test]
     fn normal_moments_roughly_match() {
-        let t = Init::Normal { mean: 1.0, std: 2.0 }.tensor(&[20000], &mut rng());
+        let t = Init::Normal {
+            mean: 1.0,
+            std: 2.0,
+        }
+        .tensor(&[20000], &mut rng());
         assert!((t.mean() - 1.0).abs() < 0.1);
         assert!((t.std() - 2.0).abs() < 0.1);
     }
 
     #[test]
     fn kaiming_variance_scales_with_fan_in() {
-        let t = Init::Kaiming { mode: FanMode::FanIn }.tensor(&[64, 128], &mut rng());
+        let t = Init::Kaiming {
+            mode: FanMode::FanIn,
+        }
+        .tensor(&[64, 128], &mut rng());
         let expected_std = (2.0f32 / 128.0).sqrt();
         assert!((t.std() - expected_std).abs() < 0.02);
     }
@@ -155,8 +162,16 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = Init::Normal { mean: 0.0, std: 1.0 }.tensor(&[16], &mut rng());
-        let b = Init::Normal { mean: 0.0, std: 1.0 }.tensor(&[16], &mut rng());
+        let a = Init::Normal {
+            mean: 0.0,
+            std: 1.0,
+        }
+        .tensor(&[16], &mut rng());
+        let b = Init::Normal {
+            mean: 0.0,
+            std: 1.0,
+        }
+        .tensor(&[16], &mut rng());
         assert_eq!(a.data(), b.data());
     }
 }

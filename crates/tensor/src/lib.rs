@@ -7,7 +7,9 @@
 //! * shape bookkeeping and reshape/transpose/slice operations,
 //! * elementwise arithmetic with scalar and same-shape operands,
 //! * reductions (sums, means, extrema, `argmax`, vector norms),
-//! * a cache-blocked, multi-threaded matrix multiply,
+//! * a density-adaptive matrix multiply (packed dense microkernel or
+//!   zero-skipping sparse kernel) run on a persistent worker pool
+//!   ([`pool`]),
 //! * `im2col`/`col2im` lowering used by convolution layers, and
 //! * random initialisers (uniform, Gaussian, Kaiming/Xavier fan-scaled).
 //!
@@ -30,13 +32,15 @@ mod conv;
 mod error;
 mod init;
 mod ops;
+pub mod pool;
 mod reduce;
 mod shape;
 mod tensor;
 
-pub use conv::{col2im, im2col, Conv2dGeometry};
+pub use conv::{col2im, im2col, im2col_into, nchw_to_rows, rows_to_nchw, Conv2dGeometry};
 pub use error::TensorError;
 pub use init::{FanMode, Init};
+pub use ops::MatmulKernel;
 pub use shape::{broadcast_shapes, numel, Shape};
 pub use tensor::Tensor;
 

@@ -1,24 +1,54 @@
 //! Matrix multiplication kernels.
 //!
-//! Three implementations are exposed:
+//! The production entry point [`Tensor::matmul`] picks between two compute
+//! kernels with a cheap density probe over the left operand, then runs the
+//! chosen kernel across disjoint output row bands on the persistent worker
+//! pool ([`crate::pool`]):
 //!
-//! * [`Tensor::matmul`] — the production entry point: cache-blocked and,
-//!   above a work threshold, parallelised over row blocks with `crossbeam`
-//!   scoped threads.
-//! * [`Tensor::matmul_naive`] — the obviously-correct triple loop, kept as a
-//!   reference for tests and ablation benchmarks.
-//! * [`Tensor::matmul_blocked_serial`] — the blocked kernel without
-//!   threading, for the ablation bench in `advcomp-bench`.
+//! * **Dense microkernel** — packs `b` into contiguous column panels, then
+//!   runs a branch-free inner loop unrolled 4× over `k` and blocked in `n`.
+//!   This is the fast path for ordinary dense activations and weights.
+//! * **Sparse-aware kernel** — the cache-blocked i-k-j loop that skips zero
+//!   multipliers from `a`. Pruned models produce weight matrices that are
+//!   mostly zeros, where skipping beats the packed kernel's raw throughput.
+//!
+//! Reference implementations kept for tests and ablation benchmarks:
+//! [`Tensor::matmul_naive`] (obviously-correct triple loop),
+//! [`Tensor::matmul_blocked_serial`] (blocked zero-skip kernel, no
+//! threading), and [`Tensor::matmul_spawn_per_call`] (the pre-pool
+//! behaviour: same banding, but fresh OS threads spawned on every call).
 
-use crate::{Result, Tensor, TensorError};
+use crate::{pool, Result, Tensor, TensorError};
 
-/// Edge length of the cache blocks used by the blocked kernel. 64 f32 rows ×
-/// 64 columns keeps each block pair within L1 on typical x86 cores.
+/// Edge length of the cache blocks used by the sparse-aware kernel. 64 f32
+/// rows × 64 columns keeps each block pair within L1 on typical x86 cores.
 const BLOCK: usize = 64;
 
-/// Minimum `m * n * k` product before threads are spawned; below this the
-/// spawn overhead dominates.
+/// Column-panel width of the dense microkernel. A `k × 128` f32 panel is at
+/// most a few hundred KiB for the depths seen here and stays resident while
+/// a whole row band streams through it.
+const PANEL: usize = 128;
+
+/// Minimum `m * n * k` product before work is split across the pool; below
+/// this the submission overhead dominates.
 const PARALLEL_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Upper bound on elements inspected by the density probe.
+const DENSITY_PROBE_SAMPLES: usize = 1024;
+
+/// Nonzero fraction at or below which the sparse-aware kernel is chosen.
+/// The crossover sits well above the ≥90 %-zero regime produced by pruning,
+/// and well below ordinary dense activations.
+const SPARSE_NONZERO_CUTOFF: f32 = 0.25;
+
+/// Compute kernel chosen for a matrix product. See [`Tensor::matmul`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulKernel {
+    /// Packed-panel, branch-free kernel for dense operands.
+    Dense,
+    /// Zero-skipping blocked kernel for pruned / mostly-zero operands.
+    Sparse,
+}
 
 fn matmul_dims(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize)> {
     if a.ndim() != 2 || b.ndim() != 2 {
@@ -40,32 +70,119 @@ fn matmul_dims(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize)> {
     Ok((m, k, n))
 }
 
-/// Multiplies rows `[row_start, row_end)` of `a` into `out`.
+/// Fraction of nonzero entries in `data`, estimated from at most
+/// [`DENSITY_PROBE_SAMPLES`] strided samples (exact for small inputs).
+fn probe_nonzero_fraction(data: &[f32]) -> f32 {
+    if data.is_empty() {
+        return 1.0;
+    }
+    let step = (data.len() / DENSITY_PROBE_SAMPLES).max(1);
+    let mut seen = 0u32;
+    let mut nonzero = 0u32;
+    let mut i = 0;
+    while i < data.len() {
+        seen += 1;
+        if data[i] != 0.0 {
+            nonzero += 1;
+        }
+        i += step;
+    }
+    nonzero as f32 / seen as f32
+}
+
+/// Packs `b` (`k × n`, row-major) into column panels of width [`PANEL`].
 ///
-/// `out` must be zero-initialised for the rows covered. Blocked i-k-j order:
-/// the innermost loop runs contiguously over `b` and `out`, which lets the
-/// compiler vectorise it.
-fn matmul_rows(
+/// Panel `p` covers columns `[p*PANEL, p*PANEL+w)` and is stored as `k`
+/// contiguous rows of `w` elements at offset `k * p * PANEL`. The panels
+/// tile `n` exactly, so the packed buffer has the same `k * n` length but
+/// each panel's rows sit `w` (not `n`) apart — the access pattern the dense
+/// microkernel streams through.
+fn pack_b_panels(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let mut packed = vec![0.0f32; k * n];
+    for j0 in (0..n).step_by(PANEL) {
+        let w = PANEL.min(n - j0);
+        let base = k * j0;
+        for kk in 0..k {
+            packed[base + kk * w..base + (kk + 1) * w]
+                .copy_from_slice(&b[kk * n + j0..kk * n + j0 + w]);
+        }
+    }
+    packed
+}
+
+/// Dense microkernel over one output row band.
+///
+/// `out_band` holds rows `[row_start, row_start + out_band.len()/n)` of the
+/// result and must be zero-initialised. For each panel of `packed_b`, the
+/// inner loop accumulates 4 `k`-steps at a time into a `w`-wide output
+/// stripe with no branches, which the compiler vectorises.
+fn matmul_dense_rows(
     a: &[f32],
-    b: &[f32],
-    out: &mut [f32],
+    packed_b: &[f32],
+    out_band: &mut [f32],
     row_start: usize,
-    row_end: usize,
     k: usize,
     n: usize,
 ) {
+    let rows = out_band.len() / n;
+    for j0 in (0..n).step_by(PANEL) {
+        let w = PANEL.min(n - j0);
+        let panel = &packed_b[k * j0..k * j0 + k * w];
+        for r in 0..rows {
+            let a_row = &a[(row_start + r) * k..(row_start + r + 1) * k];
+            let out_row = &mut out_band[r * n + j0..r * n + j0 + w];
+            let mut kk = 0;
+            while kk + 4 <= k {
+                let a0 = a_row[kk];
+                let a1 = a_row[kk + 1];
+                let a2 = a_row[kk + 2];
+                let a3 = a_row[kk + 3];
+                let b0 = &panel[kk * w..(kk + 1) * w];
+                let b1 = &panel[(kk + 1) * w..(kk + 2) * w];
+                let b2 = &panel[(kk + 2) * w..(kk + 3) * w];
+                let b3 = &panel[(kk + 3) * w..(kk + 4) * w];
+                for j in 0..w {
+                    out_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+                }
+                kk += 4;
+            }
+            while kk < k {
+                let av = a_row[kk];
+                let brow = &panel[kk * w..(kk + 1) * w];
+                for j in 0..w {
+                    out_row[j] += av * brow[j];
+                }
+                kk += 1;
+            }
+        }
+    }
+}
+
+/// Sparse-aware kernel over one output row band.
+///
+/// `out_band` holds rows `[row_start, row_start + out_band.len()/n)` and
+/// must be zero-initialised. Blocked i-k-j order: the innermost loop runs
+/// contiguously over `b` and `out`, and zero multipliers from `a` are
+/// skipped entirely — the win pruned weight matrices are after.
+fn matmul_sparse_rows(
+    a: &[f32],
+    b: &[f32],
+    out_band: &mut [f32],
+    row_start: usize,
+    k: usize,
+    n: usize,
+) {
+    let row_end = row_start + out_band.len() / n;
     for i0 in (row_start..row_end).step_by(BLOCK) {
         let i1 = (i0 + BLOCK).min(row_end);
         for k0 in (0..k).step_by(BLOCK) {
             let k1 = (k0 + BLOCK).min(k);
             for i in i0..i1 {
-                let out_row = &mut out[(i - row_start) * n..(i - row_start + 1) * n];
+                let out_row = &mut out_band[(i - row_start) * n..(i - row_start + 1) * n];
                 let a_row = &a[i * k..(i + 1) * k];
                 for kk in k0..k1 {
                     let aik = a_row[kk];
                     if aik == 0.0 {
-                        // Pruned models produce highly sparse weight
-                        // matrices; skipping zero multipliers is a cheap win.
                         continue;
                     }
                     let b_row = &b[kk * n..(kk + 1) * n];
@@ -79,7 +196,13 @@ fn matmul_rows(
 }
 
 impl Tensor {
-    /// Matrix product of two 2-D tensors, blocked and multi-threaded.
+    /// Matrix product of two 2-D tensors.
+    ///
+    /// Probes the density of `self` to choose between the dense packed
+    /// microkernel and the sparse zero-skip kernel (see
+    /// [`Tensor::matmul_kernel_probe`]), then runs the kernel over disjoint
+    /// output row bands on the persistent worker pool when the product is
+    /// large enough to amortise the dispatch.
     ///
     /// # Errors
     ///
@@ -98,34 +221,62 @@ impl Tensor {
     /// # }
     /// ```
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let kernel = self.matmul_kernel_probe();
+        self.matmul_with_kernel(other, kernel)
+    }
+
+    /// Kernel [`Tensor::matmul`] would select for `self` as the left
+    /// operand, from a strided sample of its density.
+    pub fn matmul_kernel_probe(&self) -> MatmulKernel {
+        if probe_nonzero_fraction(self.data()) <= SPARSE_NONZERO_CUTOFF {
+            MatmulKernel::Sparse
+        } else {
+            MatmulKernel::Dense
+        }
+    }
+
+    /// Matrix product with an explicitly chosen kernel (used by tests and
+    /// the ablation benchmarks; prefer [`Tensor::matmul`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_with_kernel(&self, other: &Tensor, kernel: MatmulKernel) -> Result<Tensor> {
         let (m, k, n) = matmul_dims(self, other)?;
         let mut out = Tensor::zeros(&[m, n]);
-        let work = m * k * n;
-        let threads = available_threads();
-        if work < PARALLEL_THRESHOLD || threads < 2 || m < 2 {
-            matmul_rows(self.data(), other.data(), out.data_mut(), 0, m, k, n);
+        if m == 0 || n == 0 {
             return Ok(out);
         }
-
-        let chunk_rows = m.div_ceil(threads);
+        let threads = pool::global().effective_threads();
+        let parallel = m * k * n >= PARALLEL_THRESHOLD && threads >= 2 && m >= 2;
         let a = self.data();
         let b = other.data();
-        crossbeam::thread::scope(|scope| {
-            // Split the output into disjoint row bands, one per thread.
-            let mut bands: Vec<&mut [f32]> = out.data_mut().chunks_mut(chunk_rows * n).collect();
-            for (t, band) in bands.drain(..).enumerate() {
-                let row_start = t * chunk_rows;
-                let row_end = (row_start + band.len() / n).min(m);
-                scope.spawn(move |_| {
-                    matmul_rows(a, b, band, row_start, row_end, k, n);
-                });
+        match kernel {
+            MatmulKernel::Dense => {
+                let packed = pack_b_panels(b, k, n);
+                if parallel {
+                    pool::for_each_row_band(out.data_mut(), n, threads, |row_start, band| {
+                        matmul_dense_rows(a, &packed, band, row_start, k, n);
+                    });
+                } else {
+                    matmul_dense_rows(a, &packed, out.data_mut(), 0, k, n);
+                }
             }
-        })
-        .expect("matmul worker thread panicked");
+            MatmulKernel::Sparse => {
+                if parallel {
+                    pool::for_each_row_band(out.data_mut(), n, threads, |row_start, band| {
+                        matmul_sparse_rows(a, b, band, row_start, k, n);
+                    });
+                } else {
+                    matmul_sparse_rows(a, b, out.data_mut(), 0, k, n);
+                }
+            }
+        }
         Ok(out)
     }
 
-    /// Blocked matmul on the calling thread only (ablation reference).
+    /// Blocked zero-skip matmul on the calling thread only (ablation
+    /// reference; this was the only kernel before the dense/sparse split).
     ///
     /// # Errors
     ///
@@ -133,7 +284,42 @@ impl Tensor {
     pub fn matmul_blocked_serial(&self, other: &Tensor) -> Result<Tensor> {
         let (m, k, n) = matmul_dims(self, other)?;
         let mut out = Tensor::zeros(&[m, n]);
-        matmul_rows(self.data(), other.data(), out.data_mut(), 0, m, k, n);
+        if m > 0 && n > 0 {
+            matmul_sparse_rows(self.data(), other.data(), out.data_mut(), 0, k, n);
+        }
+        Ok(out)
+    }
+
+    /// Banded matmul that spawns fresh OS threads on every call — the
+    /// pre-pool behaviour, kept only so the pooled-vs-spawned ablation
+    /// bench measures real thread-creation cost against the same dense
+    /// compute kernel. Production code must use [`Tensor::matmul`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_spawn_per_call(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = matmul_dims(self, other)?;
+        let mut out = Tensor::zeros(&[m, n]);
+        if m == 0 || n == 0 {
+            return Ok(out);
+        }
+        let a = self.data();
+        let packed = pack_b_panels(other.data(), k, n);
+        let threads = pool::available_threads();
+        if m * k * n < PARALLEL_THRESHOLD || threads < 2 || m < 2 {
+            matmul_dense_rows(a, &packed, out.data_mut(), 0, k, n);
+            return Ok(out);
+        }
+        let chunk_rows = m.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, band) in out.data_mut().chunks_mut(chunk_rows * n).enumerate() {
+                let packed = &packed;
+                scope.spawn(move || {
+                    matmul_dense_rows(a, packed, band, t * chunk_rows, k, n);
+                });
+            }
+        });
         Ok(out)
     }
 
@@ -176,26 +362,11 @@ impl Tensor {
     }
 }
 
-/// Number of worker threads to use for data-parallel kernels.
-///
-/// Respects `ADVCOMP_THREADS` when set (useful to pin benchmarks), otherwise
-/// uses the machine's available parallelism.
-pub(crate) fn available_threads() -> usize {
-    if let Ok(s) = std::env::var("ADVCOMP_THREADS") {
-        if let Ok(n) = s.parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Init;
-    use rand::SeedableRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn small_matmul_exact() {
@@ -215,13 +386,21 @@ mod tests {
             Err(TensorError::ShapeMismatch { .. })
         ));
         let v = Tensor::zeros(&[3]);
-        assert!(matches!(a.matmul(&v), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&v),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]
     fn blocked_matches_naive_on_random() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-        for &(m, k, n) in &[(1usize, 1usize, 1usize), (5, 7, 3), (33, 65, 17), (70, 70, 70)] {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (5, 7, 3),
+            (33, 65, 17),
+            (70, 70, 70),
+        ] {
             let a = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[m, k], &mut rng);
             let b = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[k, n], &mut rng);
             let fast = a.matmul(&b).unwrap();
@@ -233,6 +412,57 @@ mod tests {
     }
 
     #[test]
+    fn dense_kernel_matches_naive_on_random() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        // Sizes straddle the panel width, the k-unroll remainder, and the
+        // parallel threshold.
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 6, 130),
+            (17, 129, 257),
+            (70, 70, 70),
+            (130, 80, 90),
+        ] {
+            let a = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[m, k], &mut rng);
+            let b = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[k, n], &mut rng);
+            let dense = a.matmul_with_kernel(&b, MatmulKernel::Dense).unwrap();
+            let slow = a.matmul_naive(&b).unwrap();
+            assert!(dense.allclose(&slow, 1e-4), "mismatch at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn sparse_kernel_matches_dense_on_pruned_input() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut a = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[65, 70], &mut rng);
+        for v in a.data_mut().iter_mut() {
+            if rng.gen::<f32>() < 0.92 {
+                *v = 0.0;
+            }
+        }
+        let b = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[70, 33], &mut rng);
+        let sparse = a.matmul_with_kernel(&b, MatmulKernel::Sparse).unwrap();
+        let dense = a.matmul_with_kernel(&b, MatmulKernel::Dense).unwrap();
+        assert!(sparse.allclose(&dense, 1e-4));
+    }
+
+    #[test]
+    fn probe_selects_sparse_for_pruned_and_dense_for_dense() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let dense = Init::Uniform { lo: 0.5, hi: 1.0 }.tensor(&[64, 64], &mut rng);
+        assert_eq!(dense.matmul_kernel_probe(), MatmulKernel::Dense);
+
+        // ≥90 % zeros — the regime produced by magnitude pruning.
+        let mut pruned = Init::Uniform { lo: 0.5, hi: 1.0 }.tensor(&[64, 64], &mut rng);
+        for (i, v) in pruned.data_mut().iter_mut().enumerate() {
+            if i % 10 != 0 {
+                *v = 0.0;
+            }
+        }
+        assert_eq!(pruned.matmul_kernel_probe(), MatmulKernel::Sparse);
+    }
+
+    #[test]
     fn parallel_path_matches_naive() {
         // Big enough to cross PARALLEL_THRESHOLD.
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
@@ -241,6 +471,16 @@ mod tests {
         let fast = a.matmul(&b).unwrap();
         let slow = a.matmul_naive(&b).unwrap();
         assert!(fast.allclose(&slow, 1e-3));
+    }
+
+    #[test]
+    fn spawn_per_call_matches_pooled() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let a = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[128, 128], &mut rng);
+        let b = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[128, 128], &mut rng);
+        let pooled = a.matmul(&b).unwrap();
+        let spawned = a.matmul_spawn_per_call(&b).unwrap();
+        assert!(pooled.allclose(&spawned, 1e-5));
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! Process-wide persistent worker pool for data-parallel kernels.
+//!
+//! The original kernels spawned fresh scoped OS threads on **every**
+//! `matmul` call. Training loops and iterative attacks issue thousands of
+//! GEMMs per second, so thread creation became a fixed tax on the whole
+//! pipeline. This module replaces per-call spawning with a lazily
+//! initialised, channel-fed pool that lives for the life of the process:
+//!
+//! * Workers are started once, on first use, by [`global`].
+//! * The pool is sized by the `ADVCOMP_THREADS` environment variable when
+//!   set, otherwise by [`std::thread::available_parallelism`]. The value is
+//!   read **once** and cached (see [`available_threads`]).
+//! * [`WorkerPool::scope`] provides a scoped-task API: borrowed (non
+//!   `'static`) tasks are accepted and the call blocks until every task has
+//!   finished, so tasks may safely reference stack data of the caller.
+//! * [`for_each_chunk`] builds on `scope` to hand out disjoint mutable
+//!   bands of an output buffer — the access pattern of every kernel in this
+//!   crate (row bands of a GEMM, batch samples of `im2col`, element ranges
+//!   of a large `map`).
+//!
+//! # Composition with experiment-level parallelism
+//!
+//! `advcomp_core::runner::run_parallel` runs whole experiment pipelines on
+//! its own scoped threads. Those threads all share this single pool, so
+//! kernel-level parallelism never multiplies with experiment-level
+//! parallelism: total kernel compute threads stay bounded by the pool size
+//! regardless of how many runner jobs are in flight. A task submitted from
+//! inside a pool worker (nested data parallelism) runs inline on that
+//! worker, which makes nesting safe (no deadlock) and keeps the thread
+//! count fixed.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of pool work with the caller's borrow lifetime erased. The
+/// erasure is sound because [`WorkerPool::scope`] blocks until every task
+/// submitted in the scope has completed.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+type TaskQueue = Arc<Mutex<Receiver<(Arc<ScopeState>, Task)>>>;
+
+/// Number of worker threads used for data-parallel kernels.
+///
+/// Respects `ADVCOMP_THREADS` when set (useful to pin benchmarks),
+/// otherwise uses the machine's available parallelism. The environment is
+/// consulted once per process; the result is cached in a `OnceLock` so hot
+/// kernels never re-read or re-parse it.
+pub fn available_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        if let Ok(s) = std::env::var("ADVCOMP_THREADS") {
+            if let Ok(n) = s.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+thread_local! {
+    /// Set while a pool worker is executing a task, so nested `scope` calls
+    /// degrade to inline execution instead of deadlocking on a saturated
+    /// queue.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+
+    /// Per-thread cap on the parallelism a `scope`/`for_each_chunk` caller
+    /// will use; `usize::MAX` means "whatever the pool has". Tests and
+    /// ablation benches use [`with_thread_cap`] to exercise 1/2/8-way
+    /// splits deterministically inside one process.
+    static THREAD_CAP: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Runs `f` with kernel parallelism capped at `cap` on this thread.
+///
+/// The global pool keeps its workers; only the number of bands submitted by
+/// kernels called from `f` changes. `cap = 1` forces fully serial kernels.
+pub fn with_thread_cap<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    let prev = THREAD_CAP.with(|c| c.replace(cap.max(1)));
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Completion state shared between one `scope` call and its tasks.
+struct ScopeState {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    fn new(count: usize) -> Arc<Self> {
+        Arc::new(ScopeState {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+
+    fn run_task(&self, task: Task) {
+        let result = catch_unwind(AssertUnwindSafe(task));
+        if let Err(payload) = result {
+            let mut slot = self.panic.lock().unwrap_or_else(|p| p.into_inner());
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut remaining = self.remaining.lock().unwrap_or_else(|p| p.into_inner());
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().unwrap_or_else(|p| p.into_inner());
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// The persistent pool: a task channel plus the worker count it was built
+/// with. Workers are detached; they live until process exit.
+pub struct WorkerPool {
+    sender: Sender<(Arc<ScopeState>, Task)>,
+    threads: usize,
+}
+
+impl WorkerPool {
+    fn new(threads: usize) -> Self {
+        let (sender, receiver) = channel::<(Arc<ScopeState>, Task)>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        // One worker fewer than the target parallelism: the thread calling
+        // `scope` always executes the final task itself, so `threads`-way
+        // splits use exactly `threads` runnable threads.
+        for worker in 0..threads.saturating_sub(1) {
+            let receiver: TaskQueue = Arc::clone(&receiver);
+            std::thread::Builder::new()
+                .name(format!("advcomp-pool-{worker}"))
+                .spawn(move || {
+                    IN_POOL_WORKER.with(|flag| flag.set(true));
+                    loop {
+                        let next = {
+                            let guard = receiver.lock().unwrap_or_else(|p| p.into_inner());
+                            guard.recv()
+                        };
+                        match next {
+                            Ok((state, task)) => state.run_task(task),
+                            Err(_) => break, // channel closed: process teardown
+                        }
+                    }
+                })
+                .expect("failed to spawn pool worker");
+        }
+        WorkerPool { sender, threads }
+    }
+
+    /// Parallelism this pool was sized for (callers should split work into
+    /// at most [`effective_threads`](Self::effective_threads) bands).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Parallelism available to the current thread: the pool size clamped
+    /// by [`with_thread_cap`], and 1 inside a pool worker (nested scopes
+    /// run inline).
+    pub fn effective_threads(&self) -> usize {
+        if IN_POOL_WORKER.with(|flag| flag.get()) {
+            return 1;
+        }
+        THREAD_CAP.with(|cap| cap.get()).min(self.threads)
+    }
+
+    /// Runs every task, blocking until all complete. Tasks may borrow from
+    /// the caller's stack; disjointness of any mutable borrows is the
+    /// caller's responsibility (use [`for_each_chunk`] for split buffers).
+    ///
+    /// The final task always runs on the calling thread; the rest are fed
+    /// to the pool workers. If a task panics, the panic is re-raised here
+    /// after all tasks have finished.
+    pub fn scope<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let inline_only = tasks.len() == 1
+            || self.effective_threads() < 2
+            || IN_POOL_WORKER.with(|flag| flag.get());
+        if inline_only {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+        let state = ScopeState::new(tasks.len());
+        let mut tasks = tasks;
+        let last = tasks.pop().expect("len checked above");
+        for task in tasks {
+            // SAFETY: `wait()` below does not return until the task has
+            // run to completion, so the borrowed data outlives the task.
+            let task: Task =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(task) };
+            self.sender
+                .send((Arc::clone(&state), task))
+                .expect("pool workers never drop the receiver while senders live");
+        }
+        // SAFETY: as above; also runs before `wait()` returns.
+        let last: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Task>(last) };
+        state.run_task(last);
+        state.wait();
+        let payload = {
+            let mut slot = state.panic.lock().unwrap_or_else(|p| p.into_inner());
+            slot.take()
+        };
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// The process-wide pool, started on first use.
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(available_threads()))
+}
+
+/// Splits `out` into contiguous chunks of `chunk_len` elements and runs
+/// `f(chunk_index, chunk)` for each, in parallel on the global pool.
+///
+/// Chunks are disjoint `&mut` bands, so no synchronisation is needed in
+/// `f`. Chunk `i` starts at element `i * chunk_len`; every chunk except
+/// possibly the last has exactly `chunk_len` elements.
+pub fn for_each_chunk<F>(out: &mut [f32], chunk_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let pool = global();
+    if pool.effective_threads() < 2 || out.len() <= chunk_len {
+        for (i, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .chunks_mut(chunk_len)
+        .enumerate()
+        .map(|(i, chunk)| Box::new(move || f(i, chunk)) as Box<dyn FnOnce() + Send + '_>)
+        .collect();
+    pool.scope(tasks);
+}
+
+/// Splits `out` into `bands` roughly equal contiguous bands aligned to
+/// `row_len` elements (never splitting a row) and runs
+/// `f(first_row, band)` for each in parallel. Used by the GEMM drivers.
+pub fn for_each_row_band<F>(out: &mut [f32], row_len: usize, bands: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert!(row_len > 0 && out.len().is_multiple_of(row_len));
+    let rows = out.len() / row_len;
+    let band_rows = rows.div_ceil(bands.max(1)).max(1);
+    for_each_chunk(out, band_rows * row_len, |band, chunk| {
+        f(band * band_rows, chunk)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_disjointly() {
+        let mut data = vec![0.0f32; 1000];
+        for_each_chunk(&mut data, 130, |i, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (i * 130 + j) as f32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn row_bands_align_to_rows() {
+        // 7 rows of 3 split into 4 bands: band starts must be row-aligned.
+        let mut data = vec![-1.0f32; 21];
+        for_each_row_band(&mut data, 3, 4, |first_row, band| {
+            assert_eq!(band.len() % 3, 0);
+            for (j, v) in band.iter_mut().enumerate() {
+                *v = (first_row * 3 + j) as f32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..64)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        global().scope(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 2 {
+                            panic!("boom");
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            global().scope(tasks);
+        });
+        assert!(result.is_err(), "worker panic must surface to the caller");
+        // The pool must remain usable after a panic.
+        let mut data = vec![0.0f32; 256];
+        for_each_chunk(&mut data, 16, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v = 1.0;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn thread_cap_forces_serial() {
+        with_thread_cap(1, || {
+            assert_eq!(global().effective_threads(), 1);
+        });
+        assert!(global().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_scopes_run_inline() {
+        // A task that itself calls for_each_chunk must not deadlock.
+        let mut outer = vec![0.0f32; 64];
+        for_each_chunk(&mut outer, 8, |_, chunk| {
+            let mut inner = vec![0.0f32; 32];
+            for_each_chunk(&mut inner, 4, |_, c| {
+                for v in c.iter_mut() {
+                    *v = 1.0;
+                }
+            });
+            chunk[0] = inner.iter().sum();
+        });
+        for band in outer.chunks(8) {
+            assert_eq!(band[0], 32.0);
+        }
+    }
+
+    #[test]
+    fn available_threads_is_cached_and_positive() {
+        let a = available_threads();
+        let b = available_threads();
+        assert_eq!(a, b);
+        assert!(a >= 1);
+    }
+}

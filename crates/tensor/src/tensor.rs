@@ -1,7 +1,18 @@
 //! The core owned, contiguous, row-major `f32` tensor type.
 
 use crate::shape::{numel, Shape};
-use crate::{Result, TensorError};
+use crate::{pool, Result, TensorError};
+
+/// Minimum element count before elementwise ops are split across the worker
+/// pool; below this the dispatch overhead exceeds the arithmetic. Sized so
+/// the batched image tensors mutated every step of an iterative attack take
+/// the parallel path while layer biases and logits stay serial.
+const PAR_ELEMENTWISE_MIN: usize = 32 * 1024;
+
+/// Band length that splits `len` elements evenly across the pool.
+fn par_chunk_len(len: usize) -> usize {
+    len.div_ceil(pool::global().effective_threads()).max(1)
+}
 
 /// A dense, owned, row-major tensor of `f32` values.
 ///
@@ -181,6 +192,14 @@ impl Tensor {
         Ok(())
     }
 
+    /// Reshapes `self` to `shape`, reusing the existing allocation when the
+    /// element count already matches; contents are left unspecified. Used by
+    /// kernels that fully overwrite a persistent scratch tensor.
+    pub(crate) fn reset_scratch(&mut self, shape: &[usize]) {
+        self.data.resize(numel(shape), 0.0);
+        self.shape = shape.to_vec();
+    }
+
     /// Flattens to 1-D, preserving row-major order.
     pub fn flatten(&self) -> Tensor {
         Tensor {
@@ -190,26 +209,56 @@ impl Tensor {
     }
 
     /// Applies `f` to every element, producing a new tensor.
-    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+    ///
+    /// Large tensors (the batched images an iterative attack perturbs every
+    /// step) are split into bands on the worker pool.
+    pub fn map<F: Fn(f32) -> f32 + Sync>(&self, f: F) -> Tensor {
+        let len = self.data.len();
+        if len < PAR_ELEMENTWISE_MIN {
+            return Tensor {
+                shape: self.shape.clone(),
+                data: self.data.iter().map(|&v| f(v)).collect(),
+            };
+        }
+        let mut data = vec![0.0f32; len];
+        let chunk = par_chunk_len(len);
+        let src = &self.data;
+        pool::for_each_chunk(&mut data, chunk, |i, out| {
+            let base = i * chunk;
+            let band = &src[base..base + out.len()];
+            for (o, &v) in out.iter_mut().zip(band) {
+                *o = f(v);
+            }
+        });
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
+            data,
         }
     }
 
-    /// Applies `f` to every element in place.
-    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
-        for v in &mut self.data {
-            *v = f(*v);
+    /// Applies `f` to every element in place (parallel for large tensors).
+    pub fn map_inplace<F: Fn(f32) -> f32 + Sync>(&mut self, f: F) {
+        if self.data.len() < PAR_ELEMENTWISE_MIN {
+            for v in &mut self.data {
+                *v = f(*v);
+            }
+            return;
         }
+        let chunk = par_chunk_len(self.data.len());
+        pool::for_each_chunk(&mut self.data, chunk, |_, out| {
+            for v in out {
+                *v = f(*v);
+            }
+        });
     }
 
-    /// Combines two same-shape tensors elementwise.
+    /// Combines two same-shape tensors elementwise (parallel for large
+    /// tensors).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
-    pub fn zip_map<F: Fn(f32, f32) -> f32>(&self, other: &Tensor, f: F) -> Result<Tensor> {
+    pub fn zip_map<F: Fn(f32, f32) -> f32 + Sync>(&self, other: &Tensor, f: F) -> Result<Tensor> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
                 lhs: self.shape.clone(),
@@ -217,23 +266,44 @@ impl Tensor {
                 op: "zip_map",
             });
         }
+        let len = self.data.len();
+        if len < PAR_ELEMENTWISE_MIN {
+            return Ok(Tensor {
+                shape: self.shape.clone(),
+                data: self
+                    .data
+                    .iter()
+                    .zip(other.data.iter())
+                    .map(|(&a, &b)| f(a, b))
+                    .collect(),
+            });
+        }
+        let mut data = vec![0.0f32; len];
+        let chunk = par_chunk_len(len);
+        let (lhs, rhs) = (&self.data, &other.data);
+        pool::for_each_chunk(&mut data, chunk, |i, out| {
+            let base = i * chunk;
+            for (j, o) in out.iter_mut().enumerate() {
+                *o = f(lhs[base + j], rhs[base + j]);
+            }
+        });
         Ok(Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
         })
     }
 
-    /// Combines with another same-shape tensor elementwise, in place.
+    /// Combines with another same-shape tensor elementwise, in place
+    /// (parallel for large tensors).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
-    pub fn zip_map_inplace<F: Fn(f32, f32) -> f32>(&mut self, other: &Tensor, f: F) -> Result<()> {
+    pub fn zip_map_inplace<F: Fn(f32, f32) -> f32 + Sync>(
+        &mut self,
+        other: &Tensor,
+        f: F,
+    ) -> Result<()> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
                 lhs: self.shape.clone(),
@@ -241,9 +311,20 @@ impl Tensor {
                 op: "zip_map_inplace",
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a = f(*a, b);
+        if self.data.len() < PAR_ELEMENTWISE_MIN {
+            for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+                *a = f(*a, b);
+            }
+            return Ok(());
         }
+        let chunk = par_chunk_len(self.data.len());
+        let rhs = &other.data;
+        pool::for_each_chunk(&mut self.data, chunk, |i, out| {
+            let base = i * chunk;
+            for (j, a) in out.iter_mut().enumerate() {
+                *a = f(*a, rhs[base + j]);
+            }
+        });
         Ok(())
     }
 
@@ -653,6 +734,41 @@ mod tests {
         assert!(a.allclose(&b, 1e-5));
         assert!(!a.allclose(&b, 1e-8));
         assert!(!a.allclose(&Tensor::zeros(&[3]), 1.0));
+    }
+
+    #[test]
+    fn large_elementwise_matches_serial() {
+        // Above PAR_ELEMENTWISE_MIN, so the pooled bands run; results must
+        // be bitwise identical to the serial path.
+        let n = super::PAR_ELEMENTWISE_MIN + 123;
+        let a = Tensor::from_vec((0..n).map(|i| (i % 7) as f32 - 3.0).collect());
+        let b = Tensor::from_vec((0..n).map(|i| (i % 5) as f32 - 2.0).collect());
+        let sum = a.add(&b).unwrap();
+        assert!(sum
+            .data()
+            .iter()
+            .zip(a.data().iter().zip(b.data()))
+            .all(|(&s, (&av, &bv))| s == av + bv));
+        let doubled = a.map(|v| v * 2.0);
+        assert!(doubled
+            .data()
+            .iter()
+            .zip(a.data())
+            .all(|(&d, &v)| d == v * 2.0));
+        let mut c = a.clone();
+        c.add_scaled(&b, 0.5).unwrap();
+        assert!(c
+            .data()
+            .iter()
+            .zip(a.data().iter().zip(b.data()))
+            .all(|(&cv, (&av, &bv))| cv == av + 0.5 * bv));
+        let mut d = a.clone();
+        d.map_inplace(|v| v + 1.0);
+        assert!(d
+            .data()
+            .iter()
+            .zip(a.data())
+            .all(|(&dv, &av)| dv == av + 1.0));
     }
 
     #[test]

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(
         "Attacker crafts on the public model; devices run pruned derivatives",
-        &["device density", "device clean acc%", "device acc% under transferred attack"],
+        &[
+            "device density",
+            "device clean acc%",
+            "device acc% under transferred attack",
+        ],
     );
     for density in [0.5f64, 0.3, 0.1] {
         // The vendor prunes + fine-tunes a device model.

@@ -21,8 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("2. compressing: DNS prune to 30% density, then 8-bit PTQ...");
     let mut model = baseline.instantiate()?;
-    Compression::DnsPrune { density: 0.3 }
-        .apply(&mut model, &setup.train, &setup.finetune_config(&scale))?;
+    Compression::DnsPrune { density: 0.3 }.apply(
+        &mut model,
+        &setup.train,
+        &setup.finetune_config(&scale),
+    )?;
     let fmt = QFormat::for_bitwidth(8)?;
     Quantizer::for_bitwidth(8)?.quantize(&mut model);
     let acc = advcomp::core::evaluate_model(&mut model, &setup.test, 64)?;
@@ -31,7 +34,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("3. encoding every weight tensor for shipment...");
     let mut table = Table::new(
         "Per-tensor shipping formats",
-        &["tensor", "shape", "density", "CSR B", "packed B", "huffman B"],
+        &[
+            "tensor",
+            "shape",
+            "density",
+            "CSR B",
+            "packed B",
+            "huffman B",
+        ],
     );
     for p in model.params() {
         if p.kind != advcomp::nn::ParamKind::Weight {

@@ -33,15 +33,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for bitwidth in [16u32, 8, 4] {
         // The vendor ships a quantised edge model (weights + activations).
         let mut edge = master.instantiate()?;
-        Compression::Quant { bitwidth, weights_only: false }
-            .apply(&mut edge, &setup.train, &finetune_cfg)?;
+        Compression::Quant {
+            bitwidth,
+            weights_only: false,
+        }
+        .apply(&mut edge, &setup.train, &finetune_cfg)?;
         let edge_clean = advcomp::core::evaluate_model(&mut edge, &setup.test, 64)?;
 
         // Attacker white-boxes the edge model...
         let attack = PaperParams::build_adapted(NetKind::LeNet5, AttackKind::Ifgsm);
         let mut edge_target = master.instantiate()?;
-        Compression::Quant { bitwidth, weights_only: false }
-            .apply(&mut edge_target, &setup.train, &finetune_cfg)?;
+        Compression::Quant {
+            bitwidth,
+            weights_only: false,
+        }
+        .apply(&mut edge_target, &setup.train, &finetune_cfg)?;
         let own = attack_transfer(&mut edge, &mut edge_target, attack.as_ref(), &x, &y)?;
         // ...and replays the same samples against the hidden master.
         let mut hidden = master.instantiate()?;

@@ -35,11 +35,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "act max",
         ],
     );
-    let mut variants: Vec<(String, Option<Compression>)> =
-        vec![("float32".into(), None)];
+    let mut variants: Vec<(String, Option<Compression>)> = vec![("float32".into(), None)];
     for bw in [16u32, 8, 4] {
-        variants.push((format!("w+a {bw}-bit"), Some(Compression::Quant { bitwidth: bw, weights_only: false })));
-        variants.push((format!("w-only {bw}-bit"), Some(Compression::Quant { bitwidth: bw, weights_only: true })));
+        variants.push((
+            format!("w+a {bw}-bit"),
+            Some(Compression::Quant {
+                bitwidth: bw,
+                weights_only: false,
+            }),
+        ));
+        variants.push((
+            format!("w-only {bw}-bit"),
+            Some(Compression::Quant {
+                bitwidth: bw,
+                weights_only: true,
+            }),
+        ));
     }
 
     for (name, recipe) in variants {
@@ -50,7 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut target = reference.instantiate()?;
         target.import_params(&model.export_params())?;
         // Match activation formats on the target copy.
-        if let Some(Compression::Quant { bitwidth, weights_only: false }) = recipe {
+        if let Some(Compression::Quant {
+            bitwidth,
+            weights_only: false,
+        }) = recipe
+        {
             target.set_activation_format(Some(advcomp::qformat::QFormat::for_bitwidth(bitwidth)?));
         }
         let outcome = attack_transfer(&mut model, &mut target, attack.as_ref(), &x, &y)?;

@@ -13,7 +13,10 @@ use advcomp::nn::Mode;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = ExperimentScale::from_env();
-    println!("training LeNet5 on SynthDigits ({} samples)...", scale.train_size);
+    println!(
+        "training LeNet5 on SynthDigits ({} samples)...",
+        scale.train_size
+    );
     let setup = TaskSetup::new(NetKind::LeNet5, &scale);
     let trained = TrainedModel::train(&setup, &scale, 42)?;
     println!(

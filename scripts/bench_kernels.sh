@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the machine-readable kernel ablation and writes BENCH_kernels.json
+# (median nanoseconds per kernel, plus the pooled-vs-spawn-per-call GEMM
+# speedup) at the repo root.
+#
+# The worker pool reads ADVCOMP_THREADS once at startup, so pin the thread
+# count per process, e.g.:
+#
+#   ADVCOMP_THREADS=8 scripts/bench_kernels.sh
+#   scripts/bench_kernels.sh results/BENCH_kernels.json
+#
+# When ADVCOMP_THREADS is unset we default to 8 rather than the detected
+# core count: the pooled-vs-spawned ablation measures thread *provisioning*
+# overhead, which only exists when a GEMM splits into multiple bands, so a
+# 1-core CI box would otherwise compare two serial paths and learn nothing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_kernels.json}"
+ITERS="${BENCH_ITERS:-200}"
+export ADVCOMP_THREADS="${ADVCOMP_THREADS:-8}"
+
+cargo build --release -p advcomp-bench --bin kernel_bench
+./target/release/kernel_bench --out "$OUT" --iters "$ITERS"

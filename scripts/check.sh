@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo hygiene gate: formatting, lints (warnings are errors), then tests.
+# Run before sending a PR; CI mirrors these steps.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q

@@ -18,12 +18,20 @@ fn train_prune_attack_transfer_pipeline() {
     let scale = scale();
     let setup = TaskSetup::new(NetKind::LeNet5, &scale);
     let baseline = TrainedModel::train(&setup, &scale, 42).unwrap();
-    assert!(baseline.test_accuracy > 0.8, "baseline {}", baseline.test_accuracy);
+    assert!(
+        baseline.test_accuracy > 0.8,
+        "baseline {}",
+        baseline.test_accuracy
+    );
 
     // Prune to 30% density with DNS.
     let mut compressed = baseline.instantiate().unwrap();
     let mask = DnsPruner::new(0.3)
-        .prune_and_finetune(&mut compressed, &setup.train, &setup.finetune_config(&scale))
+        .prune_and_finetune(
+            &mut compressed,
+            &setup.train,
+            &setup.finetune_config(&scale),
+        )
         .unwrap();
     assert!((mask.overall_density() - 0.3).abs() < 0.05);
     let comp_acc = evaluate_model(&mut compressed, &setup.test, 64).unwrap();
@@ -89,7 +97,10 @@ fn checkpoint_roundtrip_through_facade() {
     Checkpoint::capture(&model).save(&path).unwrap();
 
     let mut restored = setup.fresh_model(999); // different init seed
-    Checkpoint::load(&path).unwrap().restore(&mut restored).unwrap();
+    Checkpoint::load(&path)
+        .unwrap()
+        .restore(&mut restored)
+        .unwrap();
     let acc = evaluate_model(&mut restored, &setup.test, 64).unwrap();
     assert!((acc - trained.test_accuracy).abs() < 1e-9);
     std::fs::remove_file(&path).ok();
@@ -106,7 +117,10 @@ fn compression_recipes_compose_with_scenarios() {
 
     for recipe in [
         Compression::DnsPrune { density: 0.5 },
-        Compression::Quant { bitwidth: 8, weights_only: false },
+        Compression::Quant {
+            bitwidth: 8,
+            weights_only: false,
+        },
     ] {
         let mut comp = baseline.instantiate().unwrap();
         recipe.apply(&mut comp, &setup.train, &cfg).unwrap();
