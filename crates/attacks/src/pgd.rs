@@ -174,7 +174,11 @@ mod tests {
             accuracy(&logits, &y).unwrap()
         };
         assert!(clean > 0.9);
-        let attack = Pgd::new(0.1, 0.03, 15).unwrap();
+        // eps 0.15 / step 0.04 / 20 iters: the a<=b decision boundary needs
+        // a slightly larger budget than 0.1 to flip >30% of the batch for
+        // every init stream this fixture can be trained from (the margin
+        // distribution depends on which rand backend seeds the weights).
+        let attack = Pgd::new(0.15, 0.04, 20).unwrap();
         let adv = attack.generate(&mut model, &x, &y).unwrap();
         let logits = model.forward(&adv, Mode::Eval).unwrap();
         let adv_acc = accuracy(&logits, &y).unwrap();

@@ -1,0 +1,111 @@
+//! Attack smoke tests on a fixed-weight linear toy model.
+//!
+//! A single dense layer makes the decision geometry exact: the minimum L2
+//! perturbation that flips class 0 to class 1 is `margin / ‖w₁ − w₀‖₂`.
+//! That turns "the attack works" into checkable conformance — DeepFool must
+//! land within its overshoot of the analytic optimum, and IFGSM must flip
+//! the label while respecting its ε·iterations L∞ budget.
+//!
+//! No rand, no fixtures: weights are hand-written constants, so this test
+//! is identical in every environment.
+
+use advcomp_attacks::{Attack, DeepFool, Ifgsm};
+use advcomp_nn::{Dense, Layer, Mode, Sequential};
+use advcomp_tensor::Tensor;
+use rand::SeedableRng;
+
+/// `y = W x + b` with `W = [[1,0,0],[0,1,0]]`, `b = [0.3, 0]`.
+///
+/// At `x = [0.5, 0.4, 0.5]`: logits `[0.8, 0.4]` → class 0 with margin
+/// 0.4; `w₁ − w₀ = [-1, 1, 0]` has L2 norm √2, so the nearest point of the
+/// decision boundary is at distance `0.4 / √2 ≈ 0.2828`.
+fn toy() -> (Sequential, Tensor, Vec<usize>) {
+    let mut throwaway = rand::rngs::StdRng::seed_from_u64(0);
+    let mut dense = Dense::with_name("lin", 3, 2, &mut throwaway);
+    for p in dense.params_mut() {
+        if p.name == "lin.weight" {
+            p.value = Tensor::new(&[2, 3], vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0]).unwrap();
+        } else {
+            p.value = Tensor::new(&[2], vec![0.3, 0.0]).unwrap();
+        }
+    }
+    let model = Sequential::new(vec![Box::new(dense)]);
+    let x = Tensor::new(&[1, 3], vec![0.5, 0.4, 0.5]).unwrap();
+    (model, x, vec![0usize])
+}
+
+fn predicted_class(model: &mut Sequential, x: &Tensor) -> usize {
+    let logits = model.forward(x, Mode::Eval).unwrap();
+    let d = logits.data();
+    if d[0] >= d[1] {
+        0
+    } else {
+        1
+    }
+}
+
+const MIN_L2: f32 = 0.282_842_7; // margin 0.4 / sqrt(2)
+
+#[test]
+fn clean_prediction_is_class_zero() {
+    let (mut model, x, _) = toy();
+    assert_eq!(predicted_class(&mut model, &x), 0);
+}
+
+#[test]
+fn deepfool_flips_label_near_the_analytic_optimum() {
+    let (mut model, x, labels) = toy();
+    let overshoot = 0.02;
+    let attack = DeepFool::new(overshoot, 20).unwrap();
+    let adv = attack.generate(&mut model, &x, &labels).unwrap();
+
+    assert_eq!(predicted_class(&mut model, &adv), 1, "label must flip");
+
+    let delta = adv.sub(&x).unwrap();
+    let l2 = delta.l2_norm();
+    // Lower bound: no attack can flip with less than the boundary distance.
+    assert!(
+        l2 >= MIN_L2 * 0.99,
+        "perturbation {l2} below the geometric minimum {MIN_L2}"
+    );
+    // Upper bound: on a linear model DeepFool converges in one step, so the
+    // perturbation is the minimum scaled by (1 + overshoot), plus f32 slack.
+    let budget = MIN_L2 * (1.0 + overshoot) * 1.05;
+    assert!(
+        l2 <= budget,
+        "perturbation {l2} exceeds DeepFool budget {budget}"
+    );
+}
+
+#[test]
+fn ifgsm_flips_label_within_linf_budget() {
+    let (mut model, x, labels) = toy();
+    let (eps, iters) = (0.1f32, 5usize);
+    let attack = Ifgsm::new(eps, iters).unwrap();
+    let adv = attack.generate(&mut model, &x, &labels).unwrap();
+
+    assert_eq!(predicted_class(&mut model, &adv), 1, "label must flip");
+
+    // Per Algorithm 1 each iteration steps at most ε per pixel, so the
+    // total L∞ budget is ε · iterations.
+    let delta = adv.sub(&x).unwrap();
+    assert!(
+        delta.linf_norm() <= eps * iters as f32 + 1e-6,
+        "L∞ {} exceeds {}",
+        delta.linf_norm(),
+        eps * iters as f32
+    );
+    // And the result stays in the pixel box.
+    assert!(adv.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+}
+
+#[test]
+fn ifgsm_under_budget_cannot_flip() {
+    // Sanity check on the geometry itself: a budget strictly below the
+    // margin must leave the label unchanged. (Flipping needs L∞ ≥ 0.2:
+    // each unit of L∞ moves the logit gap by at most ‖w₁ − w₀‖₁ = 2.)
+    let (mut model, x, labels) = toy();
+    let attack = Ifgsm::new(0.04, 4).unwrap(); // total L∞ ≤ 0.16 < 0.2
+    let adv = attack.generate(&mut model, &x, &labels).unwrap();
+    assert_eq!(predicted_class(&mut model, &adv), 0);
+}

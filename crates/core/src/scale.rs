@@ -87,7 +87,10 @@ impl ExperimentScale {
             test_size: 160,
             attack_eval: 48,
             deepfool_eval: 12,
-            baseline_epochs: 6,
+            // 8 epochs: enough for >0.95 baseline accuracy on the synthetic
+            // digits regardless of which rand backend seeds the init (6 was
+            // marginal under some init streams).
+            baseline_epochs: 8,
             finetune_epochs: 2,
             batch_size: 32,
             digits_noise: 0.05,

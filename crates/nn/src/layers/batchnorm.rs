@@ -30,6 +30,7 @@ struct BnCache {
     x_hat: Tensor,
     inv_std: Vec<f32>,
     input_shape: Vec<usize>,
+    batch_stats: bool,
 }
 
 impl BatchNorm2d {
@@ -160,6 +161,7 @@ impl Layer for BatchNorm2d {
             x_hat,
             inv_std,
             input_shape: input.shape().to_vec(),
+            batch_stats: mode == Mode::Train,
         });
         Ok(out)
     }
@@ -183,8 +185,10 @@ impl Layer for BatchNorm2d {
         );
         let m = (n * h * w) as f32;
         let mut gx = Tensor::zeros(&cache.input_shape);
-        // Standard BN backward (batch statistics treated as functions of x):
-        // dx = (gamma * inv_std / m) * (m*dy - sum(dy) - x_hat * sum(dy*x_hat))
+        // In training the statistics are functions of the batch:
+        // dx = (gamma * inv_std / m) * (m*dy - sum(dy) - x_hat * sum(dy*x_hat)).
+        // In evaluation the running statistics are constants, so those two
+        // correction terms must not be applied: dx = gamma * inv_std * dy.
         for ch in 0..c {
             let mut sum_dy = 0.0f32;
             let mut sum_dy_xhat = 0.0f32;
@@ -199,13 +203,23 @@ impl Layer for BatchNorm2d {
             self.gamma.grad.data_mut()[ch] += sum_dy_xhat;
             self.beta.grad.data_mut()[ch] += sum_dy;
             let g = self.gamma.value.data()[ch];
-            let scale = g * cache.inv_std[ch] / m;
-            for b in 0..n {
-                let base = (b * c + ch) * h * w;
-                for i in base..base + h * w {
-                    let dy = grad_output.data()[i];
-                    gx.data_mut()[i] =
-                        scale * (m * dy - sum_dy - cache.x_hat.data()[i] * sum_dy_xhat);
+            if cache.batch_stats {
+                let scale = g * cache.inv_std[ch] / m;
+                for b in 0..n {
+                    let base = (b * c + ch) * h * w;
+                    for i in base..base + h * w {
+                        let dy = grad_output.data()[i];
+                        gx.data_mut()[i] =
+                            scale * (m * dy - sum_dy - cache.x_hat.data()[i] * sum_dy_xhat);
+                    }
+                }
+            } else {
+                let scale = g * cache.inv_std[ch];
+                for b in 0..n {
+                    let base = (b * c + ch) * h * w;
+                    for i in base..base + h * w {
+                        gx.data_mut()[i] = scale * grad_output.data()[i];
+                    }
                 }
             }
         }

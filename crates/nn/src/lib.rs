@@ -52,7 +52,10 @@ mod sequential;
 
 pub use adam::Adam;
 pub use error::NnError;
-pub use gradcheck::{finite_diff_input_grad, finite_diff_param_grad};
+pub use gradcheck::{
+    finite_diff_input_grad, finite_diff_input_grad_with_mode, finite_diff_param_grad,
+    finite_diff_param_grad_with_mode,
+};
 pub use layer::{Layer, Mode};
 pub use layers::{
     AvgPool2d, BatchNorm2d, Conv2d, Dense, Dropout, FakeQuant, Flatten, MaxPool2d, Relu, Sigmoid,

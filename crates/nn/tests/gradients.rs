@@ -14,30 +14,49 @@ fn rng(seed: u64) -> rand::rngs::StdRng {
     rand::rngs::StdRng::seed_from_u64(seed)
 }
 
-fn check_input_grad(net: &mut Sequential, x: &Tensor, labels: &[usize], tol: f32) {
+// Comparison policy: aggregate relative L2 error, not elementwise bounds.
+// The loss is only piecewise smooth (ReLU kinks, max-pool argmax flips), so
+// a finite-difference probe can be badly wrong in isolated elements whose
+// probe step crosses a kink while the gradient field as a whole is correct.
+// Elementwise `allclose` made these checks dependent on which `rand` stream
+// initialised the weights (a kink landing near a probe point is a lottery);
+// the relative-norm statistic is robust to it. Same policy as
+// `deep_lenet_style_gradcheck` below and `TESTING.md`.
+fn rel_l2(analytic: &Tensor, numeric: &Tensor) -> f32 {
+    let diff = analytic.sub(numeric).unwrap().l2_norm();
+    diff / numeric.l2_norm().max(1e-6)
+}
+
+fn check_input_grad(net: &mut Sequential, x: &Tensor, labels: &[usize], threshold: f32) {
     let logits = net.forward(x, Mode::Eval).unwrap();
     let loss = softmax_cross_entropy(&logits, labels).unwrap();
     net.zero_grad();
     let analytic = net.backward(&loss.grad).unwrap();
-    let numeric = finite_diff_input_grad(net, x, labels, 1e-2).unwrap();
+    let numeric = finite_diff_input_grad(net, x, labels, 1e-3).unwrap();
+    let err = rel_l2(&analytic, &numeric);
     assert!(
-        analytic.allclose(&numeric, tol),
-        "input gradient mismatch: max analytic {:?} vs numeric {:?}",
-        analytic.linf_norm(),
-        numeric.linf_norm()
+        err < threshold,
+        "input gradient relative-L2 error {err} >= {threshold}"
     );
 }
 
-fn check_param_grad(net: &mut Sequential, x: &Tensor, labels: &[usize], name: &str, tol: f32) {
+fn check_param_grad(
+    net: &mut Sequential,
+    x: &Tensor,
+    labels: &[usize],
+    name: &str,
+    threshold: f32,
+) {
     let logits = net.forward(x, Mode::Eval).unwrap();
     let loss = softmax_cross_entropy(&logits, labels).unwrap();
     net.zero_grad();
     net.backward(&loss.grad).unwrap();
     let analytic = net.param(name).unwrap().grad.clone();
-    let numeric = finite_diff_param_grad(net, x, labels, name, 1e-2).unwrap();
+    let numeric = finite_diff_param_grad(net, x, labels, name, 1e-3).unwrap();
+    let err = rel_l2(&analytic, &numeric);
     assert!(
-        analytic.allclose(&numeric, tol),
-        "param {name} gradient mismatch"
+        err < threshold,
+        "param {name} gradient relative-L2 error {err} >= {threshold}"
     );
 }
 

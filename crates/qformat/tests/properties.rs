@@ -1,0 +1,88 @@
+//! Property tests for the Q-format quantiser invariants the compression
+//! pipeline leans on: idempotence (quantising a quantised value is the
+//! identity), saturation exactly at the representable range edges, and
+//! monotonicity of the clamp/round map.
+//!
+//! Complements `proptests.rs` (codec round-trips, fixed-point arithmetic);
+//! this file is about the *quantiser as a function* — the properties that
+//! make `Quantizer::quantize_weights` safe to apply repeatedly and make
+//! pruning/quantisation order-insensitive arguments in the paper valid.
+
+use advcomp_qformat::QFormat;
+use proptest::prelude::*;
+
+fn formats() -> impl Strategy<Value = QFormat> {
+    // frac ≥ 1 keeps the total width ≥ 2 bits, the QFormat minimum.
+    (1u32..8, 1u32..12).prop_map(|(i, f)| QFormat::new(i, f).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Quantisation is idempotent: once a value sits on the grid,
+    /// re-quantising must return it bit-for-bit. (If this failed, every
+    /// fine-tune→re-quantise cycle would walk the weights.)
+    #[test]
+    fn quantize_is_idempotent(fmt in formats(), v in -300.0f32..300.0) {
+        let once = fmt.quantize(v);
+        let twice = fmt.quantize(once);
+        prop_assert_eq!(once.to_bits(), twice.to_bits(),
+            "quantize not idempotent for {} on {:?}", v, fmt);
+    }
+
+    /// Everything at or beyond the range edges saturates exactly to the
+    /// edge values — no wraparound, no overflow into the wrong sign.
+    #[test]
+    fn saturates_at_range_edges(fmt in formats(), beyond in 0.0f32..1e6) {
+        let hi = fmt.max_value();
+        let lo = fmt.min_value();
+        prop_assert_eq!(fmt.quantize(hi + beyond), hi);
+        prop_assert_eq!(fmt.quantize(lo - beyond), lo);
+        // The edges themselves are representable fixed points.
+        prop_assert_eq!(fmt.quantize(hi), hi);
+        prop_assert_eq!(fmt.quantize(lo), lo);
+        prop_assert!(fmt.is_representable(hi));
+        prop_assert!(fmt.is_representable(lo));
+    }
+
+    /// The clamp/round map is monotone: a ≤ b implies q(a) ≤ q(b). This is
+    /// what makes magnitude ordering survive quantisation (and with it, the
+    /// meaning of magnitude-based pruning thresholds on quantised nets).
+    #[test]
+    fn quantize_is_monotone(fmt in formats(), a in -300.0f32..300.0, b in -300.0f32..300.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(fmt.quantize(lo) <= fmt.quantize(hi),
+            "monotonicity violated: q({}) > q({}) on {:?}", lo, hi, fmt);
+    }
+
+    /// Quantisation error is bounded by half a resolution step inside the
+    /// representable range.
+    #[test]
+    fn in_range_error_is_half_step(fmt in formats(), v in -0.9f32..0.9) {
+        let v = v * (fmt.max_value() - fmt.min_value()) / 2.0;
+        if v >= fmt.min_value() && v <= fmt.max_value() {
+            let err = (fmt.quantize(v) - v).abs();
+            prop_assert!(err <= fmt.resolution() / 2.0 + f32::EPSILON,
+                "error {} exceeds half-step {} for {} on {:?}", err, fmt.resolution() / 2.0, v, fmt);
+        }
+    }
+
+    /// `quantize_slice` agrees elementwise with scalar `quantize`.
+    #[test]
+    fn slice_matches_scalar(fmt in formats(), values in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+        let mut slice = values.clone();
+        fmt.quantize_slice(&mut slice);
+        for (&orig, &q) in values.iter().zip(slice.iter()) {
+            prop_assert_eq!(q.to_bits(), fmt.quantize(orig).to_bits());
+        }
+    }
+}
+
+#[test]
+fn non_finite_inputs_collapse_to_zero_or_saturate() {
+    // NaN must not poison a weight tensor: the seed contract maps it to 0.
+    let fmt = QFormat::new(2, 6).unwrap();
+    assert_eq!(fmt.quantize(f32::NAN), 0.0);
+    assert_eq!(fmt.quantize(f32::INFINITY), fmt.max_value());
+    assert_eq!(fmt.quantize(f32::NEG_INFINITY), fmt.min_value());
+}

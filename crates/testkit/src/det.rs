@@ -1,0 +1,111 @@
+//! Self-contained deterministic random generator for test vectors.
+//!
+//! Golden vectors checked into the repository must reproduce bit-for-bit in
+//! every build environment. The workspace's `rand` dependency is not a
+//! stable foundation for that: offline containers substitute a functional
+//! stub whose streams differ from the real `StdRng`. This module therefore
+//! pins the *exact* algorithm — SplitMix64 (Steele, Lea & Flood 2014) with
+//! the standard increment and finalizer — so a fixture built from a seed is
+//! identical everywhere, forever, regardless of which `rand` is linked.
+
+/// SplitMix64 generator. The sequence for a given seed is part of the
+/// golden-vector format: changing this algorithm invalidates every file
+/// under `tests/goldens/` and requires a regeneration (`REGEN_GOLDENS=1`).
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of mantissa entropy.
+    pub fn unit_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) / ((1u64 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn range_f32(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + self.unit_f32() * (hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`. Modulo bias is irrelevant at test
+    /// scales (spans far below 2^32).
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(hi > lo, "empty range");
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Vector of uniform values in `[lo, hi)`.
+    pub fn vec_f32(&mut self, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+        (0..n).map(|_| self.range_f32(lo, hi)).collect()
+    }
+
+    /// Vector of uniform values with a fraction `zero_prob` forced to zero —
+    /// the shape of magnitude-pruned weight tensors.
+    pub fn sparse_vec_f32(&mut self, n: usize, lo: f32, hi: f32, zero_prob: f32) -> Vec<f32> {
+        (0..n)
+            .map(|_| {
+                let keep = self.unit_f32() >= zero_prob;
+                if keep {
+                    self.range_f32(lo, hi)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible() {
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn pinned_first_outputs() {
+        // The SplitMix64 stream is part of the golden format; pin it.
+        let mut r = DetRng::new(0);
+        assert_eq!(r.next_u64(), 0xe220a8397b1dcdaf);
+        assert_eq!(r.next_u64(), 0x6e789e6aa1b965f4);
+        let mut r = DetRng::new(42);
+        assert_eq!(r.next_u64(), 0xbdd732262feb6e95);
+    }
+
+    #[test]
+    fn unit_f32_stays_in_range() {
+        let mut r = DetRng::new(3);
+        for _ in 0..1000 {
+            let v = r.unit_f32();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sparse_vec_hits_requested_density() {
+        let mut r = DetRng::new(9);
+        let v = r.sparse_vec_f32(10_000, -1.0, 1.0, 0.9);
+        let nnz = v.iter().filter(|&&x| x != 0.0).count();
+        assert!((800..1200).contains(&nnz), "nnz {nnz}");
+    }
+}

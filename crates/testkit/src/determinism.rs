@@ -1,0 +1,111 @@
+//! Determinism harness: bit-exact equality across thread caps and reruns.
+//!
+//! `ADVCOMP_THREADS` is documented as a pure performance knob — kernel
+//! banding partitions output rows so each element is computed by exactly
+//! one thread with a fixed summation order, which makes parallel output
+//! bitwise identical to serial output *by construction*. This module turns
+//! that claim into an executable check: run an operation under several
+//! per-call parallelism caps ([`advcomp_tensor::pool::with_thread_cap`])
+//! and repeated invocations, and require every `f32` of every output to
+//! match the first run exactly.
+
+use advcomp_tensor::pool::with_thread_cap;
+
+/// Thread caps every determinism check sweeps, per the acceptance
+/// criteria: serial, small-parallel, oversubscribed.
+pub const STANDARD_CAPS: [usize; 3] = [1, 2, 8];
+
+/// Runs `op` under each cap in `caps`, `repeats` times per cap, and checks
+/// all produced outputs are bit-identical.
+///
+/// `op` must be a pure function of its captured state: it is invoked
+/// `caps.len() × repeats` times and may mutate only state it re-derives
+/// each call (e.g. rebuild the model from a fixture seed inside `op`).
+/// The returned vector is the flattened concatenation of whatever outputs
+/// the operation produces — weights after a train step, adversarial
+/// pixels, mask bits, quantised values.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first divergence: which
+/// cap/repeat produced it, the flat element index, and both values with
+/// their bit patterns.
+pub fn check_bit_exact<F>(
+    label: &str,
+    caps: &[usize],
+    repeats: usize,
+    mut op: F,
+) -> Result<(), String>
+where
+    F: FnMut() -> Vec<f32>,
+{
+    assert!(!caps.is_empty() && repeats > 0, "empty determinism sweep");
+    let mut reference: Option<(usize, Vec<f32>)> = None;
+    for &cap in caps {
+        for rep in 0..repeats {
+            let out = with_thread_cap(cap, &mut op);
+            match &reference {
+                None => reference = Some((cap, out)),
+                Some((ref_cap, expected)) => {
+                    if expected.len() != out.len() {
+                        return Err(format!(
+                            "{label}: output length changed: cap {ref_cap} produced {}, \
+                             cap {cap} (repeat {rep}) produced {}",
+                            expected.len(),
+                            out.len()
+                        ));
+                    }
+                    for (i, (&e, &a)) in expected.iter().zip(out.iter()).enumerate() {
+                        if e.to_bits() != a.to_bits() {
+                            return Err(format!(
+                                "{label}: element {i} diverged under cap {cap} (repeat {rep}): \
+                                 cap {ref_cap} gave {e:?} ({:#010x}), got {a:?} ({:#010x})",
+                                e.to_bits(),
+                                a.to_bits()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_pure_op() {
+        let r = check_bit_exact("pure", &STANDARD_CAPS, 2, || vec![1.0, 2.5, -3.25]);
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn rejects_drifting_op() {
+        let mut calls = 0u32;
+        let r = check_bit_exact("drift", &[1, 2], 1, || {
+            calls += 1;
+            // Second invocation differs by one ulp.
+            let v = if calls == 1 {
+                1.0f32
+            } else {
+                f32::from_bits(1.0f32.to_bits() + 1)
+            };
+            vec![v]
+        });
+        let msg = r.unwrap_err();
+        assert!(msg.contains("diverged"), "got: {msg}");
+    }
+
+    #[test]
+    fn rejects_length_change() {
+        let mut calls = 0u32;
+        let r = check_bit_exact("len", &[1, 2], 1, || {
+            calls += 1;
+            vec![0.0; calls as usize]
+        });
+        assert!(r.unwrap_err().contains("length"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic model and data fixtures for golden vectors.
+//!
+//! Every fixture is materialised from [`DetRng`] streams: layers are
+//! constructed through the normal `advcomp_nn` constructors (which draw
+//! initial weights from whatever `rand` the workspace links) and then
+//! **every parameter value is overwritten** from the testkit's own
+//! generator. The resulting network is therefore identical in every build
+//! environment — the property the checked-in goldens rely on.
+
+use crate::det::DetRng;
+use advcomp_nn::{Conv2d, Dense, Flatten, MaxPool2d, Relu, Sequential};
+use advcomp_tensor::Tensor;
+use rand::SeedableRng;
+
+/// Classes predicted by the LeNet-style fixture.
+pub const LENET_CLASSES: usize = 10;
+
+/// Input image side length for the LeNet-style fixture.
+pub const LENET_IMAGE: usize = 8;
+
+/// Overwrites every parameter of `model` with uniform values from `rng`.
+///
+/// Weights and biases are drawn in `[-0.5, 0.5)` in parameter order (layer
+/// order, weight before bias), consuming one stream value per scalar — so
+/// the fill is a pure function of the seed and the architecture.
+pub fn materialize_params(model: &mut Sequential, rng: &mut DetRng) {
+    for p in model.params_mut() {
+        for v in p.value.data_mut() {
+            *v = rng.range_f32(-0.5, 0.5);
+        }
+    }
+}
+
+/// A tiny LeNet-style convolutional classifier on 8×8 single-channel
+/// images:
+///
+/// ```text
+/// conv1: Conv2d(1→4, k3, s1, p1) → ReLU → MaxPool(2,2)
+/// conv2: Conv2d(4→8, k3, s1, p0) → ReLU → MaxPool(2,2)
+/// Flatten → fc: Dense(8→10)
+/// ```
+///
+/// All parameters come from a [`DetRng`] seeded with `seed`; the `rand`
+/// stream used during layer construction is discarded.
+pub fn lenet(seed: u64) -> Sequential {
+    // Constructor rng only shapes the throwaway init; any stream works.
+    let mut init_rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut model = Sequential::new(vec![
+        Box::new(Conv2d::with_name("conv1", 1, 4, 3, 1, 1, &mut init_rng)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool2d::new(2, 2)),
+        Box::new(Conv2d::with_name("conv2", 4, 8, 3, 1, 0, &mut init_rng)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool2d::new(2, 2)),
+        Box::new(Flatten::new()),
+        Box::new(Dense::with_name("fc", 8, LENET_CLASSES, &mut init_rng)),
+    ]);
+    let mut rng = DetRng::new(seed);
+    materialize_params(&mut model, &mut rng);
+    model
+}
+
+/// A batch of deterministic `[batch, 1, 8, 8]` images with pixels in
+/// `[0, 1)` — the domain the attacks clamp to.
+pub fn image_batch(seed: u64, batch: usize) -> Tensor {
+    let mut rng = DetRng::new(seed);
+    let data = rng.vec_f32(batch * LENET_IMAGE * LENET_IMAGE, 0.0, 1.0);
+    Tensor::new(&[batch, 1, LENET_IMAGE, LENET_IMAGE], data)
+        .expect("fixture shape is consistent by construction")
+}
+
+/// Deterministic labels in `[0, classes)`.
+pub fn labels(seed: u64, batch: usize, classes: usize) -> Vec<usize> {
+    let mut rng = DetRng::new(seed);
+    (0..batch).map(|_| rng.range_usize(0, classes)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advcomp_nn::Mode;
+
+    #[test]
+    fn lenet_is_seed_deterministic() {
+        let mut a = lenet(11);
+        let mut b = lenet(11);
+        let x = image_batch(3, 2);
+        let ya = a.forward(&x, Mode::Eval).unwrap();
+        let yb = b.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(ya.data(), yb.data());
+        assert_eq!(ya.shape(), &[2, LENET_CLASSES]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = lenet(1);
+        let b = lenet(2);
+        let wa = &a.param("conv1.weight").unwrap().value;
+        let wb = &b.param("conv1.weight").unwrap().value;
+        assert_ne!(wa.data(), wb.data());
+    }
+
+    #[test]
+    fn image_batch_is_in_unit_range() {
+        let x = image_batch(5, 3);
+        assert!(x.data().iter().all(|&v| (0.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn labels_are_in_range() {
+        let l = labels(7, 50, LENET_CLASSES);
+        assert!(l.iter().all(|&c| c < LENET_CLASSES));
+    }
+}

@@ -1,9 +1,25 @@
 #!/usr/bin/env bash
-# Repo hygiene gate: formatting, lints (warnings are errors), then tests.
-# Run before sending a PR; CI mirrors these steps.
+# Repo hygiene gate: formatting, lints (warnings are errors), then tests,
+# then the conformance harness's golden-drift gate. Run before sending a
+# PR; CI mirrors these steps. See TESTING.md for the harness layout.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Full workspace suite — includes the advcomp-testkit pillars (goldens,
+# differential kernel fuzzing, determinism, gradcheck).
 cargo test --workspace -q
+
+# Golden-drift gate: regenerate the checked-in golden vectors in place and
+# fail if they differ from HEAD. A stale golden already fails `cargo test`;
+# this direction catches the opposite mistake — a regenerated golden that
+# was never reviewed/committed.
+REGEN_GOLDENS=1 cargo test -q -p advcomp-testkit --test goldens >/dev/null
+if ! git diff --exit-code --stat -- tests/goldens; then
+    echo "error: golden vectors drifted; review the diff above and either" >&2
+    echo "       fix the numeric regression or commit the regenerated goldens" >&2
+    exit 1
+fi
+echo "goldens: no drift"

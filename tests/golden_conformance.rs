@@ -1,0 +1,45 @@
+//! Workspace-level golden smoke check — the fast subset of the testkit's
+//! conformance suite that tier-1 `cargo test` runs from the repo root.
+//!
+//! The full suite (attacks, compression, train-step goldens, differential
+//! fuzzing, determinism) lives in `crates/testkit/tests/`; this file only
+//! pins the fixture forward pass so a plain `cargo test` at the root
+//! cannot silently drift the numerical contract. See `TESTING.md`.
+
+use advcomp_nn::Mode;
+use advcomp_testkit::golden::{self, tensor_json};
+use advcomp_testkit::json::Json;
+use advcomp_testkit::{fixtures, DetRng};
+
+#[test]
+fn lenet_forward_matches_checked_in_golden() {
+    // Mirrors `crates/testkit/tests/goldens.rs::forward_logits_conform` —
+    // same seeds, same golden file.
+    let mut model = fixtures::lenet(42);
+    let x = fixtures::image_batch(7, 4);
+    let logits = model.forward(&x, Mode::Eval).expect("fixture forward");
+    let doc = Json::Obj(vec![
+        ("model_seed".into(), Json::from_usize(42)),
+        (
+            "params".into(),
+            Json::Obj(
+                model
+                    .export_params()
+                    .iter()
+                    .map(|(name, value)| (name.clone(), tensor_json(value)))
+                    .collect(),
+            ),
+        ),
+        ("input".into(), tensor_json(&x)),
+        ("logits".into(), tensor_json(&logits)),
+    ]);
+    golden::check_or_regen("lenet_forward", &doc).unwrap();
+}
+
+#[test]
+fn det_rng_stream_is_pinned() {
+    // The golden format depends on this exact SplitMix64 stream; a change
+    // here invalidates every file under tests/goldens/.
+    let mut r = DetRng::new(0);
+    assert_eq!(r.next_u64(), 0xe220a8397b1dcdaf);
+}
