@@ -18,6 +18,25 @@ fn check(epsilon: f32, iterations: usize) -> Result<()> {
     Ok(())
 }
 
+/// Numerical-health guard shared by the iterative attacks. Hosts the
+/// `attack_iter` fault-injection site, then reports whether the gradient is
+/// unusable (NaN/Inf anywhere). A `true` return means the caller must stop
+/// iterating and keep the last good iterate — one poisoned step would
+/// otherwise spread NaN through every later iterate and surface as a
+/// nonsense accuracy number instead of a recorded incident.
+pub(crate) fn gradient_unusable(attack: &'static str, iteration: usize, g: &mut Tensor) -> bool {
+    advcomp_nn::faults::corrupt("attack_iter", g.data_mut());
+    if g.has_non_finite() {
+        advcomp_nn::health::record(
+            attack,
+            format!("non-finite gradient at iteration {iteration}; keeping last good iterate"),
+        );
+        true
+    } else {
+        false
+    }
+}
+
 /// One iteration of the shared IFGSM/IFGM loop: take `step`, clip it to the
 /// `ε`-ball around the previous iterate (the paper: "the intermediate
 /// results get clipped to ensure that the resulting adversarial images lie
@@ -68,8 +87,11 @@ impl Attack for Ifgsm {
 
     fn generate(&self, model: &mut Sequential, x: &Tensor, labels: &[usize]) -> Result<Tensor> {
         let mut adv = x.clone();
-        for _ in 0..self.iterations {
-            let g = loss_input_grad(model, &adv, labels)?;
+        for i in 0..self.iterations {
+            let mut g = loss_input_grad(model, &adv, labels)?;
+            if gradient_unusable("ifgsm", i, &mut g) {
+                break;
+            }
             let step = g.sign().scale(self.epsilon);
             adv = clipped_step(&adv, &step, self.epsilon)?;
         }
@@ -118,8 +140,11 @@ impl Attack for Ifgm {
 
     fn generate(&self, model: &mut Sequential, x: &Tensor, labels: &[usize]) -> Result<Tensor> {
         let mut adv = x.clone();
-        for _ in 0..self.iterations {
-            let g = loss_input_grad(model, &adv, labels)?;
+        for i in 0..self.iterations {
+            let mut g = loss_input_grad(model, &adv, labels)?;
+            if gradient_unusable("ifgm", i, &mut g) {
+                break;
+            }
             let step = g.scale(self.epsilon);
             adv = clipped_step(&adv, &step, self.epsilon)?;
         }
@@ -191,6 +216,36 @@ mod tests {
             .generate(&mut model, &x, &labels)
             .unwrap();
         assert!(loss_of(&mut model, &many) >= loss_of(&mut model, &one));
+    }
+
+    #[test]
+    fn injected_nan_gradient_stops_at_last_good_iterate() {
+        use advcomp_nn::{faults, health};
+        let x = Tensor::full(&[2, 6], 0.5);
+        let labels = [0usize, 1];
+        // Reference: the first three (healthy) iterations.
+        let clean = Ifgsm::new(0.01, 3)
+            .unwrap()
+            .generate(&mut net(), &x, &labels)
+            .unwrap();
+        // Poison the gradient of iteration 3 of an 8-iteration run: the
+        // guard must keep the iterate from iteration 2 and record why.
+        let _g = faults::install(vec![faults::FaultSpec::once(
+            faults::FaultKind::Nan,
+            "attack_iter",
+            3,
+        )]);
+        let (guarded, events) = health::scope(|| {
+            Ifgsm::new(0.01, 8)
+                .unwrap()
+                .generate(&mut net(), &x, &labels)
+                .unwrap()
+        });
+        assert!(!guarded.has_non_finite());
+        assert_eq!(guarded.data(), clean.data());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].site, "ifgsm");
+        assert!(events[0].detail.contains("iteration 3"), "{events:?}");
     }
 
     #[test]

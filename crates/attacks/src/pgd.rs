@@ -100,8 +100,11 @@ impl Attack for Pgd {
         } else {
             x.clone()
         };
-        for _ in 0..self.iterations {
-            let g = loss_input_grad(model, &adv, labels)?;
+        for i in 0..self.iterations {
+            let mut g = loss_input_grad(model, &adv, labels)?;
+            if crate::iterative::gradient_unusable("pgd", i, &mut g) {
+                break;
+            }
             adv.add_scaled(&g.sign(), self.step)?;
             // Project onto the epsilon ball around the clean input, then
             // the pixel box.

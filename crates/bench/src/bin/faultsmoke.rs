@@ -1,0 +1,80 @@
+//! Fault-injection smoke test: proves the resilience stack end to end on a
+//! seconds-scale sweep.
+//!
+//! Runs a tiny two-point pruning sweep with a **sticky panic** injected at
+//! the `sweep_point` site (from `ADVCOMP_FAULTS` when set — the
+//! `scripts/check.sh` path — or installed programmatically otherwise). The
+//! run must complete with exit code 0, keep the surviving point on the
+//! curve, and record the poisoned point as a failure with its retry count —
+//! the partial-result contract a real overnight grid depends on.
+
+use advcomp_attacks::{AttackKind, NetKind};
+use advcomp_core::resilience::RetryPolicy;
+use advcomp_core::sweep::{RunConfig, TransferMatrix};
+use advcomp_core::ExperimentScale;
+use advcomp_nn::faults::{install, FaultKind, FaultSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== fault smoke: injected panic must degrade to partial results ===");
+    // Hit 1 = the second `sweep_point` invocation: point 0 computes, point 1
+    // panics on every attempt (serial workers make the order deterministic).
+    let _guard = if std::env::var("ADVCOMP_FAULTS").is_err() {
+        println!("ADVCOMP_FAULTS unset; installing panic:sweep_point:1:sticky");
+        Some(install(vec![FaultSpec::sticky(
+            FaultKind::Panic,
+            "sweep_point",
+            1,
+        )]))
+    } else {
+        None
+    };
+    // The injected panics are expected; keep their default backtrace spew
+    // out of the log and report them ourselves below.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut scale = ExperimentScale::tiny();
+    scale.max_workers = 1;
+    let retry = RetryPolicy {
+        max_attempts: 2,
+        backoff_ms: 0,
+    };
+    let run_dir = std::env::temp_dir().join(format!("advcomp-faultsmoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&run_dir);
+    let matrix = TransferMatrix::pruning(NetKind::LeNet5, vec![AttackKind::Ifgsm], &[1.0, 0.3]);
+    let cfg = RunConfig {
+        seed: 7,
+        run_dir: Some(run_dir.clone()),
+        retry,
+    };
+    let run = matrix.run_resilient(&scale, &cfg)?;
+    let _ = std::panic::take_hook();
+    let _ = std::fs::remove_dir_all(&run_dir);
+
+    println!(
+        "computed: {}, resumed: {}, failed: {}",
+        run.computed,
+        run.resumed,
+        run.failed.len()
+    );
+    for f in &run.failed {
+        println!(
+            "recorded failure: x={} ({}) after {} attempt(s): {}",
+            f.x, f.compression, f.attempts, f.error
+        );
+    }
+
+    assert!(
+        !run.failed.is_empty(),
+        "expected the injected fault to produce at least one recorded failure"
+    );
+    assert!(
+        run.failed.iter().all(|f| f.attempts == retry.max_attempts),
+        "failed points should have consumed the full retry budget"
+    );
+    assert!(
+        run.results.iter().all(|r| !r.points.is_empty()),
+        "expected the surviving point to stay on every curve"
+    );
+    println!("fault smoke OK: sweep degraded to partial results with the failure recorded");
+    Ok(())
+}

@@ -7,7 +7,7 @@
 //! ablation instead of DNS.
 
 use advcomp_attacks::{AttackKind, NetKind};
-use advcomp_bench::{banner, density_grid, ExhibitOptions};
+use advcomp_bench::{banner, density_grid, run_matrix, ExhibitOptions, RunSummary};
 use advcomp_core::plot::{ascii_chart, Series};
 use advcomp_core::report::{pct, Table};
 use advcomp_core::sweep::TransferMatrix;
@@ -37,6 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     );
 
+    let name = if one_shot { "fig2_oneshot" } else { "fig2" };
+    let mut summary = RunSummary::new(name, &opts);
     let nets: Vec<NetKind> = if opts.has_flag("--lenet5-only") {
         vec![NetKind::LeNet5]
     } else if opts.has_flag("--cifarnet-only") {
@@ -51,7 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             TransferMatrix::pruning(net, AttackKind::ALL.to_vec(), &densities)
         };
         let started = std::time::Instant::now();
-        let results = matrix.run(&opts.scale)?;
+        let run = run_matrix(&matrix, &opts)?;
+        summary.absorb(&run);
+        let results = run.results;
         println!(
             "{}: baseline accuracy {}% (final training loss {:.4}) [{:.0}s]\n",
             net.id(),
@@ -139,8 +143,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let name = if one_shot { "fig2_oneshot" } else { "fig2" };
     csv.write_csv(&opts.csv_path(name))?;
     println!("wrote {}", opts.csv_path(name).display());
+    let summary_path = summary.write(&opts)?;
+    println!(
+        "wrote {} (resumed: {}, computed: {}, failed: {})",
+        summary_path.display(),
+        summary.resumed,
+        summary.computed,
+        summary.failed.len()
+    );
     Ok(())
 }

@@ -7,7 +7,7 @@
 //! isolating the activation-clipping defence the paper credits in §4.2.
 
 use advcomp_attacks::{AttackKind, NetKind};
-use advcomp_bench::{banner, bitwidth_grid, ExhibitOptions};
+use advcomp_bench::{banner, bitwidth_grid, run_matrix, ExhibitOptions, RunSummary};
 use advcomp_core::plot::{ascii_chart, Series};
 use advcomp_core::report::{pct, Table};
 use advcomp_core::sweep::TransferMatrix;
@@ -37,6 +37,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     );
 
+    let name = if weights_only {
+        "fig5_weights_only"
+    } else {
+        "fig5"
+    };
+    let mut summary = RunSummary::new(name, &opts);
     let nets: Vec<NetKind> = if opts.has_flag("--lenet5-only") {
         vec![NetKind::LeNet5]
     } else if opts.has_flag("--cifarnet-only") {
@@ -51,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             TransferMatrix::quantisation(net, AttackKind::ALL.to_vec(), &bitwidths)
         };
         let started = std::time::Instant::now();
-        let results = matrix.run(&opts.scale)?;
+        let run = run_matrix(&matrix, &opts)?;
+        summary.absorb(&run);
+        let results = run.results;
         println!(
             "{}: baseline accuracy {}% (final training loss {:.4}) [{:.0}s]\n",
             net.id(),
@@ -143,12 +151,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let name = if weights_only {
-        "fig5_weights_only"
-    } else {
-        "fig5"
-    };
     csv.write_csv(&opts.csv_path(name))?;
     println!("wrote {}", opts.csv_path(name).display());
+    let summary_path = summary.write(&opts)?;
+    println!(
+        "wrote {} (resumed: {}, computed: {}, failed: {})",
+        summary_path.display(),
+        summary.resumed,
+        summary.computed,
+        summary.failed.len()
+    );
     Ok(())
 }

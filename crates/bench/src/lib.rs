@@ -13,7 +13,10 @@
 //! ADVCOMP_SCALE=paper cargo run --release -p advcomp-bench --bin fig5
 //! ```
 
+use advcomp_core::resilience::RetryPolicy;
+use advcomp_core::sweep::{MatrixRun, PointFailure, RunConfig, TransferMatrix};
 use advcomp_core::ExperimentScale;
+use serde::Serialize;
 use std::path::PathBuf;
 
 /// Parsed command-line options shared by all exhibit binaries.
@@ -25,17 +28,22 @@ pub struct ExhibitOptions {
     pub scale_name: String,
     /// Output directory for CSV files.
     pub results_dir: PathBuf,
+    /// Checkpoint/resume journal directory (`--run-dir`); sweep exhibits
+    /// persist each completed point here and skip it on re-runs.
+    pub run_dir: Option<PathBuf>,
     /// Extra flags (exhibit-specific, e.g. `--weights-only`).
     pub flags: Vec<String>,
 }
 
 impl ExhibitOptions {
     /// Parses `--scale tiny|quick|paper` (default: env `ADVCOMP_SCALE`,
-    /// then `quick`), `--results <dir>` and collects remaining flags.
+    /// then `quick`), `--results <dir>`, `--run-dir <dir>` and collects
+    /// remaining flags.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut scale_name = std::env::var("ADVCOMP_SCALE").unwrap_or_else(|_| "quick".into());
         let mut results_dir = PathBuf::from("results");
+        let mut run_dir = None;
         let mut flags = Vec::new();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -48,6 +56,11 @@ impl ExhibitOptions {
                 "--results" => {
                     if let Some(v) = it.next() {
                         results_dir = PathBuf::from(v);
+                    }
+                }
+                "--run-dir" => {
+                    if let Some(v) = it.next() {
+                        run_dir = Some(PathBuf::from(v));
                     }
                 }
                 other => flags.push(other.to_string()),
@@ -70,6 +83,7 @@ impl ExhibitOptions {
             scale,
             scale_name,
             results_dir,
+            run_dir,
             flags,
         }
     }
@@ -82,6 +96,96 @@ impl ExhibitOptions {
     /// Path for an exhibit's CSV output.
     pub fn csv_path(&self, name: &str) -> PathBuf {
         self.results_dir.join(format!("{name}.csv"))
+    }
+}
+
+/// Runs `matrix` under the full resilience stack (supervised workers with
+/// retries; journalled checkpoint/resume when `--run-dir` was given) and
+/// prints the resilience bookkeeping — `resumed`/`computed` counts, failed
+/// points, health incidents — before handing the curves back.
+///
+/// # Errors
+///
+/// Propagates configuration, baseline-training and journal errors;
+/// per-point failures are reported in the returned [`MatrixRun`] instead.
+pub fn run_matrix(
+    matrix: &TransferMatrix,
+    opts: &ExhibitOptions,
+) -> advcomp_core::Result<MatrixRun> {
+    let cfg = RunConfig {
+        seed: 7,
+        run_dir: opts.run_dir.clone(),
+        retry: RetryPolicy::sweep_default(),
+    };
+    let run = matrix.run_resilient(&opts.scale, &cfg)?;
+    if opts.run_dir.is_some() {
+        println!(
+            "journal: resumed {} point(s), computed {}",
+            run.resumed, run.computed
+        );
+    }
+    for f in &run.failed {
+        eprintln!(
+            "warning: sweep point x={} ({}) failed after {} attempt(s): {}",
+            f.x, f.compression, f.attempts, f.error
+        );
+    }
+    for h in &run.health {
+        eprintln!("health: {h}");
+    }
+    Ok(run)
+}
+
+/// Aggregated resilience summary across an exhibit's matrices, written as
+/// JSON next to the CSV so re-runs document what was resumed, what was
+/// recomputed and what failed.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunSummary {
+    /// Exhibit name (e.g. `fig2`).
+    pub exhibit: String,
+    /// Scale profile the run used.
+    pub scale: String,
+    /// Points loaded from the journal instead of recomputed.
+    pub resumed: usize,
+    /// Points executed this run.
+    pub computed: usize,
+    /// Permanently-failed points with their final error and attempt count.
+    pub failed: Vec<PointFailure>,
+    /// Resilience incidents (rollbacks, guard events, journal degradations).
+    pub health: Vec<String>,
+}
+
+impl RunSummary {
+    /// An empty summary for `exhibit`.
+    pub fn new(exhibit: &str, opts: &ExhibitOptions) -> Self {
+        RunSummary {
+            exhibit: exhibit.into(),
+            scale: opts.scale_name.clone(),
+            resumed: 0,
+            computed: 0,
+            failed: Vec::new(),
+            health: Vec::new(),
+        }
+    }
+
+    /// Folds one matrix run's bookkeeping into the summary.
+    pub fn absorb(&mut self, run: &MatrixRun) {
+        self.resumed += run.resumed;
+        self.computed += run.computed;
+        self.failed.extend(run.failed.iter().cloned());
+        self.health.extend(run.health.iter().cloned());
+    }
+
+    /// Writes the summary as `<results>/<exhibit>_run.json` (crash-safely)
+    /// and reports the path.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors.
+    pub fn write(&self, opts: &ExhibitOptions) -> advcomp_core::Result<PathBuf> {
+        let path = opts.results_dir.join(format!("{}_run.json", self.exhibit));
+        advcomp_core::report::write_json(self, &path)?;
+        Ok(path)
     }
 }
 
@@ -130,6 +234,7 @@ mod tests {
             scale: ExperimentScale::tiny(),
             scale_name: "tiny".into(),
             results_dir: PathBuf::from("/tmp/r"),
+            run_dir: None,
             flags: vec!["--weights-only".into()],
         };
         assert_eq!(opts.csv_path("fig2"), PathBuf::from("/tmp/r/fig2.csv"));

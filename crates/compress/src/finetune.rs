@@ -61,6 +61,67 @@ pub struct TrainStats {
     pub epochs: usize,
 }
 
+/// Summary of one epoch from [`train_epoch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Mean loss over the epoch's batches.
+    pub mean_loss: f32,
+    /// Training accuracy over the epoch's batches.
+    pub train_accuracy: f64,
+    /// Batches processed.
+    pub batches: usize,
+}
+
+/// Runs one epoch of SGD over `data`: the shared loop body of
+/// [`train_baseline`] and the health-guarded trainer in `advcomp-core`
+/// (which interleaves epochs with checkpoint/rollback logic). The caller
+/// owns the optimiser — and in particular its learning rate, which a
+/// recovery path may deliberately scale down — so this function only
+/// shuffles (seeded by `cfg.seed + epoch`, exactly as the monolithic loop
+/// always did), steps, and reports.
+///
+/// Hosts the `train_step` fault-injection site (poisons one batch's logits
+/// with NaN, which surfaces as the same `NonFinite` error a real numerical
+/// blow-up produces).
+///
+/// # Errors
+///
+/// Propagates network errors (shape mismatches, non-finite losses).
+pub fn train_epoch(
+    model: &mut Sequential,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    opt: &mut Sgd,
+    epoch: usize,
+) -> Result<EpochStats> {
+    let plan = Batches::shuffled(
+        data.len(),
+        cfg.batch_size,
+        cfg.seed.wrapping_add(epoch as u64),
+    );
+    let mut epoch_loss = 0.0f32;
+    let mut epoch_correct = 0.0f64;
+    let mut batches = 0usize;
+    let mut samples = 0usize;
+    for (x, y) in plan.iter(data) {
+        let mut logits = model.forward(&x, Mode::Train)?;
+        advcomp_nn::faults::corrupt("train_step", logits.data_mut());
+        let loss = softmax_cross_entropy(&logits, &y)?;
+        epoch_loss += loss.loss;
+        epoch_correct += accuracy(&logits, &y)? * y.len() as f64;
+        samples += y.len();
+        batches += 1;
+        model.zero_grad();
+        model.backward(&loss.grad)?;
+        opt.step(model.params_mut())?;
+    }
+    Ok(EpochStats {
+        mean_loss: epoch_loss / batches.max(1) as f32,
+        train_accuracy: epoch_correct / samples.max(1) as f64,
+        batches,
+    })
+}
+
 /// Trains `model` from its current parameters on `data` — the baseline
 /// (uncompressed, dense, float32) training the paper's taxonomy is anchored
 /// on.
@@ -80,34 +141,24 @@ pub fn train_baseline(
     let mut final_acc = 0.0f64;
     for epoch in 0..cfg.epochs {
         opt.set_lr(cfg.schedule.lr_at(epoch));
-        let plan = Batches::shuffled(
-            data.len(),
-            cfg.batch_size,
-            cfg.seed.wrapping_add(epoch as u64),
-        );
-        let mut epoch_loss = 0.0f32;
-        let mut epoch_correct = 0.0f64;
-        let mut batches = 0usize;
-        let mut samples = 0usize;
-        for (x, y) in plan.iter(data) {
-            let logits = model.forward(&x, Mode::Train)?;
-            let loss = softmax_cross_entropy(&logits, &y)?;
-            epoch_loss += loss.loss;
-            epoch_correct += accuracy(&logits, &y)? * y.len() as f64;
-            samples += y.len();
-            batches += 1;
-            model.zero_grad();
-            model.backward(&loss.grad)?;
-            opt.step(model.params_mut())?;
-        }
-        final_loss = epoch_loss / batches.max(1) as f32;
-        final_acc = epoch_correct / samples.max(1) as f64;
+        let stats = train_epoch(model, data, cfg, &mut opt, epoch)?;
+        final_loss = stats.mean_loss;
+        final_acc = stats.train_accuracy;
     }
     Ok(TrainStats {
         final_loss,
         final_train_accuracy: final_acc,
         epochs: cfg.epochs,
     })
+}
+
+/// Re-validates a config for callers that drive [`train_epoch`] directly.
+///
+/// # Errors
+///
+/// Same conditions as [`train_baseline`]'s up-front validation.
+pub fn validate_train_config(cfg: &TrainConfig, data: &Dataset) -> Result<()> {
+    cfg.validate(data)
 }
 
 /// Evaluates classification accuracy of `model` over `data` in mini-batches.

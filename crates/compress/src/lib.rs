@@ -24,7 +24,10 @@ mod prune;
 mod quant;
 
 pub use error::CompressError;
-pub use finetune::{evaluate, train_baseline, TrainConfig, TrainStats};
+pub use finetune::{
+    evaluate, train_baseline, train_epoch, validate_train_config, EpochStats, TrainConfig,
+    TrainStats,
+};
 pub use prune::{magnitude_threshold, DnsPruner, OneShotPruner, PruneMask};
 pub use quant::{QuantConfig, Quantizer};
 

@@ -24,6 +24,12 @@ pub enum CoreError {
     InvalidConfig(String),
     /// Writing results to disk failed.
     Io(std::io::Error),
+    /// The numerical-health supervisor exhausted its recovery budget.
+    Health(String),
+    /// A supervised experiment job failed after exhausting its retries.
+    Job(String),
+    /// A journal entry could not be read or parsed.
+    Journal(String),
 }
 
 impl fmt::Display for CoreError {
@@ -37,6 +43,9 @@ impl fmt::Display for CoreError {
             CoreError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::Io(e) => write!(f, "io error: {e}"),
+            CoreError::Health(msg) => write!(f, "numerical-health guard: {msg}"),
+            CoreError::Job(msg) => write!(f, "job failed: {msg}"),
+            CoreError::Journal(msg) => write!(f, "journal error: {msg}"),
         }
     }
 }

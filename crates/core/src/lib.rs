@@ -25,8 +25,10 @@ pub mod blackbox;
 pub mod cdf;
 mod compression;
 mod error;
+pub mod journal;
 pub mod plot;
 pub mod report;
+pub mod resilience;
 mod runner;
 mod scale;
 pub mod scenario;
@@ -35,7 +37,8 @@ mod trainer;
 
 pub use compression::Compression;
 pub use error::CoreError;
-pub use runner::run_parallel;
+pub use resilience::{HealthPolicy, RetryPolicy, TrainHealth};
+pub use runner::{run_parallel, run_supervised, JobFailure};
 pub use scale::ExperimentScale;
 pub use trainer::{evaluate_model, TaskSetup, TrainedModel};
 

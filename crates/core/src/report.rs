@@ -102,32 +102,52 @@ impl Table {
     }
 
     /// Writes the CSV rendering to `path`, creating parent directories.
+    /// Crash-safe: see [`write_atomic`].
     ///
     /// # Errors
     ///
     /// Returns I/O errors.
     pub fn write_csv(&self, path: &Path) -> Result<()> {
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(path, self.to_csv())?;
-        Ok(())
+        write_atomic(path, &self.to_csv())
     }
 }
 
 /// Writes any serialisable experiment record as pretty JSON, creating
-/// parent directories.
+/// parent directories. Crash-safe: see [`write_atomic`].
 ///
 /// # Errors
 ///
 /// Returns I/O errors (serialisation of these plain records cannot fail).
 pub fn write_json<T: Serialize>(value: &T, path: &Path) -> Result<()> {
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
     let json = serde_json::to_string_pretty(value)
         .map_err(|e| crate::CoreError::InvalidConfig(format!("serialisation failed: {e}")))?;
-    std::fs::write(path, json)?;
+    write_atomic(path, &json)
+}
+
+/// Crash-safe file write: creates parent directories, writes the full
+/// contents to a `.tmp` sibling, then atomically renames it over `path`.
+/// A crash (or injected fault) mid-write leaves either the previous file
+/// intact or a stale temp file — never a truncated report that a later
+/// resume or plotting step would trust.
+///
+/// # Errors
+///
+/// Returns I/O errors (including one injected at the `report_write` fault
+/// site).
+pub fn write_atomic(path: &Path, contents: &str) -> Result<()> {
+    if let Some(e) = advcomp_nn::faults::io_error("report_write") {
+        return Err(crate::CoreError::Io(e));
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)?;
     Ok(())
 }
 
@@ -194,5 +214,36 @@ mod tests {
     fn pct_format() {
         assert_eq!(pct(0.8593), "85.93");
         assert_eq!(pct(1.0), "100.00");
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_temp_residue() {
+        let dir = std::env::temp_dir().join(format!(
+            "advcomp_report_atomic_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("nested/deeper/out.json");
+        write_atomic(&path, "{}").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{}");
+        assert!(!path.with_extension("json.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_io_fault_preserves_previous_report() {
+        use advcomp_nn::faults::{install, FaultKind, FaultSpec};
+        let dir = std::env::temp_dir().join(format!(
+            "advcomp_report_fault_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let path = dir.join("r.csv");
+        table().write_csv(&path).unwrap();
+        let _g = install(vec![FaultSpec::once(FaultKind::Io, "report_write", 0)]);
+        assert!(table().write_csv(&path).is_err());
+        // The earlier report is still intact and complete.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), table().to_csv());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,14 +1,18 @@
 //! Density and bitwidth sweeps — the machinery behind Figures 2–5.
 
 use crate::compression::Compression;
-use crate::runner::run_parallel;
+use crate::journal::{point_key, Journal, PointRecord, PointStatus};
+use crate::resilience::RetryPolicy;
+use crate::runner::{run_parallel, run_supervised};
 use crate::scale::ExperimentScale;
 use crate::trainer::{evaluate_model, TaskSetup, TrainedModel};
 use crate::{CoreError, Result};
 use advcomp_attacks::{AttackKind, NetKind, PaperParams};
-use advcomp_nn::Mode;
+use advcomp_compress::TrainConfig;
+use advcomp_nn::{faults, health, Mode};
 use advcomp_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 /// One point on a Figure 2/5-style curve.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -154,6 +158,10 @@ impl TransferMatrix {
 
     /// [`TransferMatrix::run`] with an explicit baseline-training seed.
     ///
+    /// Fail-fast wrapper over [`TransferMatrix::run_resilient`]: no journal,
+    /// no retries, and any failed point (panic included) surfaces as an
+    /// error — the semantics tests and short diagnostics want.
+    ///
     /// # Errors
     ///
     /// Same as [`TransferMatrix::run`].
@@ -162,15 +170,55 @@ impl TransferMatrix {
         scale: &ExperimentScale,
         seed: u64,
     ) -> Result<Vec<SweepResult>> {
+        let cfg = RunConfig {
+            seed,
+            run_dir: None,
+            retry: RetryPolicy::none(),
+        };
+        let run = self.run_resilient(scale, &cfg)?;
+        if let Some(f) = run.failed.first() {
+            return Err(CoreError::Job(format!(
+                "sweep point x={} ({}): {}",
+                f.x, f.compression, f.error
+            )));
+        }
+        Ok(run.results)
+    }
+
+    /// Runs the matrix under the full resilience stack: supervised workers
+    /// (panic isolation + [`RetryPolicy`] retries), per-point numerical
+    /// health capture, and — when [`RunConfig::run_dir`] is set — a
+    /// checkpoint/resume journal. Completed points found in the journal are
+    /// loaded instead of recomputed (bit-exactly, see [`crate::journal`]);
+    /// points that exhaust their retry budget are recorded in
+    /// [`MatrixRun::failed`] and omitted from the curves instead of sinking
+    /// the whole run.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty attack/recipe lists, propagates baseline-training and
+    /// journal-corruption errors. Per-point compute failures do *not* error
+    /// here — they land in [`MatrixRun::failed`].
+    pub fn run_resilient(&self, scale: &ExperimentScale, cfg: &RunConfig) -> Result<MatrixRun> {
         if self.recipes.is_empty() {
             return Err(CoreError::InvalidConfig("sweep has no recipes".into()));
         }
         if self.attacks.is_empty() {
             return Err(CoreError::InvalidConfig("sweep has no attacks".into()));
         }
+        let journal = match &cfg.run_dir {
+            Some(dir) => Some(Journal::open(dir)?),
+            None => None,
+        };
         let setup = TaskSetup::new(self.net, scale);
-        let baseline = TrainedModel::train(&setup, scale, seed)?;
+        let baseline = TrainedModel::train(&setup, scale, cfg.seed)?;
         let finetune_cfg = setup.finetune_config(scale);
+        let mut health_log: Vec<String> = baseline
+            .health
+            .events
+            .iter()
+            .map(|e| format!("baseline: {e}"))
+            .collect();
 
         // Per-attack evaluation sets and baseline-generated adversarial
         // samples (Scenario 2 inputs) — these do not depend on the recipe,
@@ -189,56 +237,151 @@ impl TransferMatrix {
             }
         }
 
-        struct RecipeOutcome {
-            base_accuracy: f64,
-            // One (s1, s2, s3) triple per attack.
-            scenarios: Vec<(f64, f64, f64)>,
-        }
-
-        let jobs: Vec<_> = self
+        let attack_ids: Vec<&str> = self.attacks.iter().map(|k| k.id()).collect();
+        let keys: Vec<String> = self
             .recipes
             .iter()
-            .map(|(_, recipe)| {
-                let recipe = *recipe;
+            .map(|(x, recipe)| {
+                point_key(
+                    self.net.id(),
+                    &attack_ids,
+                    *x,
+                    &recipe.id(),
+                    cfg.seed,
+                    scale,
+                )
+            })
+            .collect();
+
+        // One slot per recipe, filled either from the journal or by compute.
+        let mut slots: Vec<Option<PointRecord>> = (0..self.recipes.len()).map(|_| None).collect();
+        let mut resumed = 0usize;
+        if let Some(j) = &journal {
+            for (i, key) in keys.iter().enumerate() {
+                if let Some(rec) = j.load(key)? {
+                    // Only completed points resume; recorded failures are
+                    // retried (a re-run is usually an attempt to get past a
+                    // transient cause). The scenario-arity check guards
+                    // against hand-edited entries.
+                    if rec.status == PointStatus::Ok && rec.scenarios.len() == self.attacks.len() {
+                        slots[i] = Some(rec);
+                        resumed += 1;
+                    }
+                }
+            }
+        }
+
+        let pending: Vec<usize> = (0..self.recipes.len())
+            .filter(|&i| slots[i].is_none())
+            .collect();
+        let jobs: Vec<_> = pending
+            .iter()
+            .map(|&i| {
+                let recipe = self.recipes[i].1;
                 let setup = &setup;
                 let baseline = &baseline;
-                let finetune_cfg = finetune_cfg.clone();
+                let finetune_cfg = &finetune_cfg;
                 let eval_sets = &eval_sets;
                 let adv_from_full = &adv_from_full;
                 let net = self.net;
                 let attacks = &self.attacks;
-                move || -> Result<RecipeOutcome> {
-                    let mut comp = baseline.instantiate()?;
-                    recipe.apply(&mut comp, &setup.train, &finetune_cfg)?;
-                    let mut full = baseline.instantiate()?;
-                    let base_accuracy = evaluate_model(&mut comp, &setup.test, 64)?;
-                    let mut scenarios = Vec::with_capacity(attacks.len());
-                    for (i, &kind) in attacks.iter().enumerate() {
-                        let (x, y) = &eval_sets[i];
-                        let attack = PaperParams::build_adapted(net, kind);
-                        // One generation on the compressed model serves both
-                        // Scenario 1 (evaluate on itself) and Scenario 3
-                        // (evaluate on the hidden baseline).
-                        let adv_comp = attack.generate(&mut comp, x, y)?;
-                        let s1 = accuracy_on(&mut comp, &adv_comp, y)?;
-                        let s3 = accuracy_on(&mut full, &adv_comp, y)?;
-                        let s2 = accuracy_on(&mut comp, &adv_from_full[i], y)?;
-                        scenarios.push((s1, s2, s3));
+                move || -> Result<(RecipeOutcome, Vec<String>)> {
+                    // The `sweep_point` fault site counts *invocations*, so a
+                    // retried point advances the hit counter on each attempt.
+                    match faults::fire("sweep_point") {
+                        Some(faults::FaultKind::Panic) => {
+                            panic!("injected fault: panic at site 'sweep_point'")
+                        }
+                        Some(faults::FaultKind::Error) => {
+                            return Err(CoreError::Job(
+                                "injected fault: error at site 'sweep_point'".into(),
+                            ))
+                        }
+                        _ => {}
                     }
-                    Ok(RecipeOutcome {
-                        base_accuracy,
-                        scenarios,
-                    })
+                    let (result, events) = health::scope(|| {
+                        compute_point(
+                            recipe,
+                            net,
+                            setup,
+                            baseline,
+                            finetune_cfg,
+                            attacks,
+                            eval_sets,
+                            adv_from_full,
+                        )
+                    });
+                    let outcome = result?;
+                    Ok((
+                        outcome,
+                        events.iter().map(health::HealthEvent::describe).collect(),
+                    ))
                 }
             })
             .collect();
 
-        let outcomes = run_parallel(jobs, scale.workers());
-        let mut per_recipe = Vec::with_capacity(outcomes.len());
-        for o in outcomes {
-            per_recipe.push(o?);
+        let outcomes = run_supervised(jobs, scale.workers(), &cfg.retry);
+
+        let mut failed = Vec::new();
+        let computed = pending.len();
+        for (&i, outcome) in pending.iter().zip(outcomes) {
+            let (x, recipe) = &self.recipes[i];
+            let record = match outcome {
+                Ok(((out, events), attempts)) => PointRecord {
+                    key: keys[i].clone(),
+                    x: *x,
+                    compression: recipe.id(),
+                    status: PointStatus::Ok,
+                    attempts,
+                    base_accuracy: out.base_accuracy,
+                    scenarios: out.scenarios,
+                    health: events,
+                    error: None,
+                },
+                Err(f) => {
+                    failed.push(PointFailure {
+                        x: *x,
+                        compression: recipe.id(),
+                        error: f.error.clone(),
+                        attempts: f.attempts,
+                    });
+                    PointRecord {
+                        key: keys[i].clone(),
+                        x: *x,
+                        compression: recipe.id(),
+                        status: PointStatus::Failed,
+                        attempts: f.attempts,
+                        base_accuracy: 0.0,
+                        scenarios: Vec::new(),
+                        health: Vec::new(),
+                        error: Some(f.error),
+                    }
+                }
+            };
+            if let Some(j) = &journal {
+                // A journal-write failure must not discard a computed point:
+                // degrade to "won't resume next time" and note it.
+                if let Err(e) = j.store(&record) {
+                    health_log.push(format!(
+                        "journal: failed to persist point x={x} ({}): {e}",
+                        record.compression
+                    ));
+                }
+            }
+            slots[i] = Some(record);
         }
 
+        for rec in slots.iter().flatten() {
+            for h in &rec.health {
+                health_log.push(format!("point x={} ({}): {h}", rec.x, rec.compression));
+            }
+        }
+
+        let completed: Vec<&PointRecord> = slots
+            .iter()
+            .flatten()
+            .filter(|r| r.status == PointStatus::Ok)
+            .collect();
         let results = self
             .attacks
             .iter()
@@ -248,16 +391,14 @@ impl TransferMatrix {
                 attack: kind.id().into(),
                 baseline_accuracy: baseline.test_accuracy,
                 baseline_loss: baseline.final_loss,
-                points: self
-                    .recipes
+                points: completed
                     .iter()
-                    .zip(&per_recipe)
-                    .map(|((coord, recipe), out)| {
-                        let (s1, s2, s3) = out.scenarios[ai];
+                    .map(|r| {
+                        let (s1, s2, s3) = r.scenarios[ai];
                         SweepPoint {
-                            x: *coord,
-                            compression: recipe.id(),
-                            base_accuracy: out.base_accuracy,
+                            x: r.x,
+                            compression: r.compression.clone(),
+                            base_accuracy: r.base_accuracy,
                             comp_to_comp: s1,
                             full_to_comp: s2,
                             comp_to_full: s3,
@@ -266,8 +407,110 @@ impl TransferMatrix {
                     .collect(),
             })
             .collect();
-        Ok(results)
+        Ok(MatrixRun {
+            results,
+            resumed,
+            computed,
+            failed,
+            health: health_log,
+        })
     }
+}
+
+/// Options for [`TransferMatrix::run_resilient`].
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Baseline-training seed (part of every point's journal key).
+    pub seed: u64,
+    /// Journal directory for checkpoint/resume; `None` disables journaling.
+    pub run_dir: Option<PathBuf>,
+    /// Retry budget for failed/panicked points.
+    pub retry: RetryPolicy,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 7,
+            run_dir: None,
+            retry: RetryPolicy::sweep_default(),
+        }
+    }
+}
+
+/// A sweep point that exhausted its retry budget.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PointFailure {
+    /// Sweep coordinate of the failed point.
+    pub x: f64,
+    /// Compression recipe identifier.
+    pub compression: String,
+    /// Error (or panic) message from the final attempt.
+    pub error: String,
+    /// Attempts consumed.
+    pub attempts: u32,
+}
+
+/// Outcome of a resilient matrix run: the curves plus the run's
+/// resilience bookkeeping.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixRun {
+    /// One [`SweepResult`] per attack; failed points are omitted from the
+    /// curves (see [`MatrixRun::failed`]).
+    pub results: Vec<SweepResult>,
+    /// Points loaded from the journal instead of recomputed.
+    pub resumed: usize,
+    /// Points actually executed this run (successes and failures).
+    pub computed: usize,
+    /// Points that failed permanently, with their final error and attempt
+    /// count — recorded, not dropped.
+    pub failed: Vec<PointFailure>,
+    /// Resilience incidents: baseline-training rollbacks, per-point
+    /// numerical-health events, journal-write degradations.
+    pub health: Vec<String>,
+}
+
+struct RecipeOutcome {
+    base_accuracy: f64,
+    // One (s1, s2, s3) triple per attack.
+    scenarios: Vec<(f64, f64, f64)>,
+}
+
+/// The train→compress→attack pipeline for one sweep point (shared by every
+/// execution mode; must stay deterministic in its inputs so journal resume
+/// is honest).
+#[allow(clippy::too_many_arguments)]
+fn compute_point(
+    recipe: Compression,
+    net: NetKind,
+    setup: &TaskSetup,
+    baseline: &TrainedModel,
+    finetune_cfg: &TrainConfig,
+    attacks: &[AttackKind],
+    eval_sets: &[(Tensor, Vec<usize>)],
+    adv_from_full: &[Tensor],
+) -> Result<RecipeOutcome> {
+    let mut comp = baseline.instantiate()?;
+    recipe.apply(&mut comp, &setup.train, finetune_cfg)?;
+    let mut full = baseline.instantiate()?;
+    let base_accuracy = evaluate_model(&mut comp, &setup.test, 64)?;
+    let mut scenarios = Vec::with_capacity(attacks.len());
+    for (i, &kind) in attacks.iter().enumerate() {
+        let (x, y) = &eval_sets[i];
+        let attack = PaperParams::build_adapted(net, kind);
+        // One generation on the compressed model serves both Scenario 1
+        // (evaluate on itself) and Scenario 3 (evaluate on the hidden
+        // baseline).
+        let adv_comp = attack.generate(&mut comp, x, y)?;
+        let s1 = accuracy_on(&mut comp, &adv_comp, y)?;
+        let s3 = accuracy_on(&mut full, &adv_comp, y)?;
+        let s2 = accuracy_on(&mut comp, &adv_from_full[i], y)?;
+        scenarios.push((s1, s2, s3));
+    }
+    Ok(RecipeOutcome {
+        base_accuracy,
+        scenarios,
+    })
 }
 
 /// A single-attack sweep — the one-curve convenience wrapper over
@@ -524,6 +767,73 @@ mod tests {
             assert_eq!(a.base_accuracy, b.base_accuracy);
             assert_eq!(a.compression, b.compression);
         }
+    }
+
+    #[test]
+    fn resilient_run_records_failures_without_dropping_the_sweep() {
+        use advcomp_nn::faults::{install, FaultKind, FaultSpec};
+        let mut scale = ExperimentScale::tiny();
+        scale.max_workers = 1; // deterministic fault-site hit order
+                               // Point 0 computes (hit 0); point 1 fails on its first attempt
+                               // (hit 1) and on its retry (sticky).
+        let _g = install(vec![FaultSpec::sticky(FaultKind::Error, "sweep_point", 1)]);
+        let matrix = TransferMatrix::pruning(NetKind::LeNet5, vec![AttackKind::Ifgsm], &[1.0, 0.3]);
+        let cfg = RunConfig {
+            seed: 7,
+            run_dir: None,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                backoff_ms: 0,
+            },
+        };
+        let run = matrix.run_resilient(&scale, &cfg).unwrap();
+        assert_eq!(run.computed, 2);
+        assert_eq!(run.resumed, 0);
+        assert_eq!(run.failed.len(), 1);
+        assert_eq!(run.failed[0].x, 0.3);
+        assert_eq!(run.failed[0].attempts, 2);
+        assert!(run.failed[0].error.contains("sweep_point"));
+        // The surviving point still made it onto the curve.
+        assert_eq!(run.results[0].points.len(), 1);
+        assert_eq!(run.results[0].points[0].x, 1.0);
+    }
+
+    #[test]
+    fn fail_fast_run_surfaces_injected_panic_as_error() {
+        use advcomp_nn::faults::{install, FaultKind, FaultSpec};
+        let mut scale = ExperimentScale::tiny();
+        scale.max_workers = 1;
+        let _g = install(vec![FaultSpec::once(FaultKind::Panic, "sweep_point", 0)]);
+        let sweep = TransferSweep::pruning(NetKind::LeNet5, AttackKind::Ifgsm, &[1.0]);
+        let err = sweep.run(&scale).unwrap_err();
+        match err {
+            CoreError::Job(msg) => assert!(msg.contains("panic"), "{msg}"),
+            other => panic!("expected Job error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn journalled_rerun_resumes_every_point_bit_identically() {
+        let run_dir = std::env::temp_dir().join(format!(
+            "advcomp-sweep-resume-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&run_dir);
+        let scale = ExperimentScale::tiny();
+        let matrix = TransferMatrix::pruning(NetKind::LeNet5, vec![AttackKind::Ifgsm], &[1.0, 0.3]);
+        let cfg = RunConfig {
+            seed: 7,
+            run_dir: Some(run_dir.clone()),
+            retry: RetryPolicy::none(),
+        };
+        let first = matrix.run_resilient(&scale, &cfg).unwrap();
+        assert_eq!((first.resumed, first.computed), (0, 2));
+        let second = matrix.run_resilient(&scale, &cfg).unwrap();
+        assert_eq!((second.resumed, second.computed), (2, 0));
+        // Journal reload must be bit-exact: SweepResult's f64 equality.
+        assert_eq!(first.results, second.results);
+        let _ = std::fs::remove_dir_all(&run_dir);
     }
 
     #[test]

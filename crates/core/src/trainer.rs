@@ -1,9 +1,10 @@
 //! Task setup and baseline-model training.
 
+use crate::resilience::{train_guarded, HealthPolicy, TrainHealth};
 use crate::scale::ExperimentScale;
 use crate::{CoreError, Result};
 use advcomp_attacks::NetKind;
-use advcomp_compress::{train_baseline, TrainConfig};
+use advcomp_compress::TrainConfig;
 use advcomp_data::{Batches, Dataset, DatasetConfig, SynthDigits, SynthObjects};
 use advcomp_models::{cifarnet, lenet5, Checkpoint};
 use advcomp_nn::{accuracy, Mode, Sequential, StepDecay};
@@ -88,18 +89,41 @@ pub struct TrainedModel {
     /// Mean training loss over the final epoch (the paper's §4.1 argument
     /// keys off how small this is for LeNet5).
     pub final_loss: f32,
+    /// What the numerical-health supervisor had to do (empty on a clean
+    /// run; rollback/LR-reduction incidents otherwise).
+    pub health: TrainHealth,
     width: f32,
     init_seed: u64,
     checkpoint: Checkpoint,
 }
 
 impl TrainedModel {
-    /// Trains a fresh model for `setup` and captures it.
+    /// Trains a fresh model for `setup` and captures it, under the default
+    /// numerical-health supervisor (see [`TrainedModel::train_with_health`]).
     ///
     /// # Errors
     ///
     /// Propagates training errors.
     pub fn train(setup: &TaskSetup, scale: &ExperimentScale, seed: u64) -> Result<Self> {
+        Self::train_with_health(setup, scale, seed, &HealthPolicy::default())
+    }
+
+    /// [`TrainedModel::train`] with an explicit [`HealthPolicy`]. A healthy
+    /// run produces bit-identical weights to the unguarded baseline loop;
+    /// NaN/Inf or divergent epochs roll back to the last good checkpoint
+    /// with a reduced learning rate and are reported in
+    /// [`TrainedModel::health`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors; returns [`CoreError::Health`] when the
+    /// supervisor's rollback budget is exhausted.
+    pub fn train_with_health(
+        setup: &TaskSetup,
+        scale: &ExperimentScale,
+        seed: u64,
+        policy: &HealthPolicy,
+    ) -> Result<Self> {
         let mut model = setup.fresh_model(seed);
         let cfg = TrainConfig {
             epochs: scale.baseline_epochs,
@@ -118,12 +142,13 @@ impl TrainedModel {
             weight_decay: 1e-4,
             seed,
         };
-        let stats = train_baseline(&mut model, &setup.train, &cfg)?;
+        let (stats, health) = train_guarded(&mut model, &setup.train, &cfg, policy)?;
         let test_accuracy = evaluate_model(&mut model, &setup.test, scale.batch_size)?;
         Ok(TrainedModel {
             net: setup.net,
             test_accuracy,
             final_loss: stats.final_loss,
+            health,
             width: setup_width(setup),
             init_seed: seed,
             checkpoint: Checkpoint::capture(&model),

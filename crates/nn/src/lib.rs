@@ -41,7 +41,9 @@
 
 mod adam;
 mod error;
+pub mod faults;
 mod gradcheck;
+pub mod health;
 mod layer;
 mod layers;
 mod loss;

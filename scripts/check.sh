@@ -23,3 +23,10 @@ if ! git diff --exit-code --stat -- tests/goldens; then
     exit 1
 fi
 echo "goldens: no drift"
+
+# Fault-injection smoke: a tiny sweep with a sticky panic injected at one
+# point must still exit 0, keeping the surviving point and recording the
+# failure with its retry count (the partial-result contract).
+ADVCOMP_FAULTS="panic:sweep_point:1:sticky" \
+    cargo run -q -p advcomp-bench --bin faultsmoke
+echo "fault smoke: partial-result recovery OK"

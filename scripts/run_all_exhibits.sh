@@ -7,16 +7,22 @@
 set -u
 SCALE="${1:-quick}"
 mkdir -p results/logs
+# Per-exhibit run directories: sweep exhibits journal each completed point
+# there, so re-running this script after an interruption resumes instead of
+# recomputing (delete the directory to force a fresh run).
 for exhibit in table1 fig2 fig3 fig4 fig5 fig6 crossseed; do
     echo "=== $exhibit ($SCALE) ==="
     cargo run --release -p advcomp-bench --bin "$exhibit" -- --scale "$SCALE" \
+        --run-dir "results/runs/$exhibit-$SCALE" \
         > "results/logs/$exhibit.log" 2>&1
     echo "exit=$? (log: results/logs/$exhibit.log)"
 done
 # Ablations called out in DESIGN.md.
 cargo run --release -p advcomp-bench --bin fig2 -- --scale "$SCALE" --one-shot \
+    --run-dir "results/runs/fig2_oneshot-$SCALE" \
     > results/logs/fig2_oneshot.log 2>&1
 echo "fig2 --one-shot exit=$?"
 cargo run --release -p advcomp-bench --bin fig5 -- --scale "$SCALE" --weights-only \
+    --run-dir "results/runs/fig5_weights_only-$SCALE" \
     > results/logs/fig5_weights_only.log 2>&1
 echo "fig5 --weights-only exit=$?"
