@@ -1,7 +1,7 @@
 //! Single-step fast gradient attacks (Goodfellow et al. 2015).
 
 use crate::grad::loss_input_grad;
-use crate::{Attack, AttackError, Result};
+use crate::{step, Attack, AttackError, Result};
 use advcomp_nn::Sequential;
 use advcomp_tensor::Tensor;
 
@@ -49,8 +49,9 @@ impl Attack for Fgm {
     fn generate(&self, model: &mut Sequential, x: &Tensor, labels: &[usize]) -> Result<Tensor> {
         let g = loss_input_grad(model, x, labels)?;
         let mut adv = x.clone();
-        adv.add_scaled(&g, self.epsilon)?;
-        Ok(adv.clamp(0.0, 1.0))
+        // Single step: no per-iterate ball to clip to.
+        step::grad_step(&mut adv, &g, self.epsilon, f32::INFINITY)?;
+        Ok(adv)
     }
 }
 
@@ -85,8 +86,8 @@ impl Attack for Fgsm {
     fn generate(&self, model: &mut Sequential, x: &Tensor, labels: &[usize]) -> Result<Tensor> {
         let g = loss_input_grad(model, x, labels)?;
         let mut adv = x.clone();
-        adv.add_scaled(&g.sign(), self.epsilon)?;
-        Ok(adv.clamp(0.0, 1.0))
+        step::sign_step(&mut adv, &g, self.epsilon)?;
+        Ok(adv)
     }
 }
 

@@ -31,7 +31,9 @@ pub fn loss_input_grad(model: &mut Sequential, x: &Tensor, labels: &[usize]) -> 
     let logits = model.forward(x, Mode::Eval)?;
     let loss = softmax_cross_entropy(&logits, labels)?;
     // Undo the 1/batch scaling of the mean loss: per-sample gradients.
-    let seed = loss.grad.scale(labels.len().max(1) as f32);
+    // Rescale the seed in place rather than allocating a copy.
+    let mut seed = loss.grad;
+    seed.scale_inplace(labels.len().max(1) as f32);
     let gx = model.backward(&seed)?;
     model.zero_grad();
     Ok(gx)

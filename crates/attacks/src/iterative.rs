@@ -2,7 +2,7 @@
 //! Algorithm 1).
 
 use crate::grad::loss_input_grad;
-use crate::{Attack, AttackError, Result};
+use crate::{step, Attack, AttackError, Result};
 use advcomp_nn::Sequential;
 use advcomp_tensor::Tensor;
 
@@ -35,16 +35,6 @@ pub(crate) fn gradient_unusable(attack: &'static str, iteration: usize, g: &mut 
     } else {
         false
     }
-}
-
-/// One iteration of the shared IFGSM/IFGM loop: take `step`, clip it to the
-/// `ε`-ball around the previous iterate (the paper: "the intermediate
-/// results get clipped to ensure that the resulting adversarial images lie
-/// within ε of the previous iteration"), and clamp to the valid pixel range.
-fn clipped_step(current: &Tensor, step: &Tensor, epsilon: f32) -> Result<Tensor> {
-    let bounded = step.clamp(-epsilon, epsilon);
-    let next = current.add(&bounded)?;
-    Ok(next.clamp(0.0, 1.0))
 }
 
 /// Iterative FGSM (Algorithm 1): `X_{n+1} = Clip_{X,ε}(X_n + ε·sign(∇X J))`.
@@ -92,8 +82,7 @@ impl Attack for Ifgsm {
             if gradient_unusable("ifgsm", i, &mut g) {
                 break;
             }
-            let step = g.sign().scale(self.epsilon);
-            adv = clipped_step(&adv, &step, self.epsilon)?;
+            step::sign_step(&mut adv, &g, self.epsilon)?;
         }
         Ok(adv)
     }
@@ -145,8 +134,9 @@ impl Attack for Ifgm {
             if gradient_unusable("ifgm", i, &mut g) {
                 break;
             }
-            let step = g.scale(self.epsilon);
-            adv = clipped_step(&adv, &step, self.epsilon)?;
+            // The epsilon ball doubles as the per-iterate clip of
+            // Algorithm 1.
+            step::grad_step(&mut adv, &g, self.epsilon, self.epsilon)?;
         }
         Ok(adv)
     }

@@ -42,6 +42,7 @@ mod iterative;
 mod params;
 mod pgd;
 mod stats;
+pub mod step;
 
 pub use deepfool::DeepFool;
 pub use error::AttackError;

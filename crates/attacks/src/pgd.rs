@@ -11,7 +11,7 @@
 //! adversary a follow-up study would reach for.
 
 use crate::grad::loss_input_grad;
-use crate::{Attack, AttackError, Result};
+use crate::{step, Attack, AttackError, Result};
 use advcomp_nn::Sequential;
 use advcomp_tensor::Tensor;
 use rand::{Rng, SeedableRng};
@@ -105,14 +105,9 @@ impl Attack for Pgd {
             if crate::iterative::gradient_unusable("pgd", i, &mut g) {
                 break;
             }
-            adv.add_scaled(&g.sign(), self.step)?;
-            // Project onto the epsilon ball around the clean input, then
-            // the pixel box.
-            adv = adv
-                .zip_map(x, |a, orig| {
-                    a.clamp(orig - self.epsilon, orig + self.epsilon)
-                })?
-                .clamp(0.0, 1.0);
+            // Sign step, then project onto the epsilon ball around the
+            // clean input and the pixel box — one fused in-place pass.
+            step::projected_sign_step(&mut adv, &g, x, self.step, self.epsilon)?;
         }
         Ok(adv)
     }

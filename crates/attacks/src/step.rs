@@ -1,0 +1,191 @@
+//! Fused attack-step kernels shared by the gradient attacks.
+//!
+//! Every attack in this crate spends its inner loop on a variant of
+//! "perturb along (the sign of) the gradient, then clip". The historical
+//! implementation materialised that as a chain of whole-tensor ops —
+//! `sign` → `scale` → `clamp` → `add` → `clamp` — allocating three to four
+//! intermediate tensors per IFGSM/PGD iteration. The helpers here update
+//! the iterate **in place** through the single-pass fused kernels in
+//! [`advcomp_tensor`], so an attack iteration allocates nothing beyond the
+//! gradient the backward pass hands it.
+//!
+//! The `*_unfused` functions keep the historical op chain alive for the
+//! fused-vs-unfused bench ablation and for the equivalence tests below.
+//! The fused kernels apply per-element float operations in exactly the
+//! same order as the chain, so within a backend the results are bitwise
+//! identical — which is what keeps the checked-in goldens and the
+//! fault-injection tests (which compare iterates bit-for-bit) valid.
+
+use crate::Result;
+use advcomp_tensor::Tensor;
+
+/// In-place FGSM/IFGSM step: `x ← clip_{[0,1]}(x + ε · sign(g))`
+/// (Equation 5 / Algorithm 1 of the paper).
+///
+/// The per-iterate `ε`-clip of Algorithm 1 is implicit: a sign step moves
+/// every component by exactly `±ε` or `0`, which already lies inside the
+/// `ε`-ball around the previous iterate.
+///
+/// # Errors
+///
+/// Propagates the tensor shape-mismatch error.
+pub fn sign_step(adv: &mut Tensor, g: &Tensor, epsilon: f32) -> Result<()> {
+    adv.fused_sign_step_clamp(g, epsilon, 0.0, 1.0)?;
+    Ok(())
+}
+
+/// In-place FGM/IFGM step:
+/// `x ← clip_{[0,1]}(x + clamp(ε · g, -ball, +ball))` (Equation 4).
+///
+/// `ball` is the per-iteration L∞ clip of Algorithm 1 ("the intermediate
+/// results get clipped to ensure that the resulting adversarial images lie
+/// within ε of the previous iteration"); pass [`f32::INFINITY`] for the
+/// unclipped single-step FGM.
+///
+/// # Errors
+///
+/// Propagates the tensor shape-mismatch error.
+pub fn grad_step(adv: &mut Tensor, g: &Tensor, epsilon: f32, ball: f32) -> Result<()> {
+    adv.fused_grad_step_clamp(g, epsilon, ball, 0.0, 1.0)?;
+    Ok(())
+}
+
+/// In-place PGD step: a sign step of size `step` followed by projection
+/// onto the `epsilon`-ball around `origin` and the pixel box:
+/// `x ← clip_{[0,1]}(clamp(x + step · sign(g), origin ± ε))`.
+///
+/// # Errors
+///
+/// Propagates the tensor shape-mismatch error.
+pub fn projected_sign_step(
+    adv: &mut Tensor,
+    g: &Tensor,
+    origin: &Tensor,
+    step: f32,
+    epsilon: f32,
+) -> Result<()> {
+    adv.fused_project_step_clamp(g, origin, step, epsilon, 0.0, 1.0)?;
+    Ok(())
+}
+
+/// The historical allocating IFGSM step (reference for tests/benches).
+///
+/// # Errors
+///
+/// Propagates the tensor shape-mismatch error.
+pub fn sign_step_unfused(adv: &Tensor, g: &Tensor, epsilon: f32) -> Result<Tensor> {
+    let step = g.sign().scale(epsilon);
+    let bounded = step.clamp(-epsilon, epsilon);
+    Ok(adv.add(&bounded)?.clamp(0.0, 1.0))
+}
+
+/// The historical allocating FGM/IFGM step (reference for tests/benches).
+///
+/// # Errors
+///
+/// Propagates the tensor shape-mismatch error.
+pub fn grad_step_unfused(adv: &Tensor, g: &Tensor, epsilon: f32, ball: f32) -> Result<Tensor> {
+    let step = g.scale(epsilon);
+    let bounded = step.clamp(-ball, ball);
+    Ok(adv.add(&bounded)?.clamp(0.0, 1.0))
+}
+
+/// The historical allocating PGD step (reference for tests/benches).
+///
+/// # Errors
+///
+/// Propagates the tensor shape-mismatch error.
+pub fn projected_sign_step_unfused(
+    adv: &Tensor,
+    g: &Tensor,
+    origin: &Tensor,
+    step: f32,
+    epsilon: f32,
+) -> Result<Tensor> {
+    let mut next = adv.clone();
+    next.add_scaled(&g.sign(), step)?;
+    Ok(next
+        .zip_map(origin, |a, o| a.clamp(o - epsilon, o + epsilon))?
+        .clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill spanning negatives, zeros and
+    /// magnitudes well past the clip bounds.
+    fn fill(n: usize, salt: u32) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u32)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(salt)
+                    .wrapping_mul(0x9e3779b9);
+                ((h >> 8) as f32 / (1u32 << 24) as f32 - 0.5) * 4.0
+            })
+            .collect()
+    }
+
+    fn pair(n: usize) -> (Tensor, Tensor) {
+        let x = Tensor::from_vec(fill(n, 1).iter().map(|v| (v / 4.0 + 0.5).abs()).collect());
+        let g = Tensor::from_vec(fill(n, 2));
+        (x, g)
+    }
+
+    #[test]
+    fn fused_sign_step_matches_unfused_bitwise() {
+        for n in [1usize, 7, 64, 1023] {
+            let (x, g) = pair(n);
+            let reference = sign_step_unfused(&x, &g, 0.07).unwrap();
+            let mut fused = x.clone();
+            sign_step(&mut fused, &g, 0.07).unwrap();
+            assert_eq!(fused.data(), reference.data(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_grad_step_matches_unfused_bitwise() {
+        for ball in [0.05f32, f32::INFINITY] {
+            let (x, g) = pair(257);
+            let reference = grad_step_unfused(&x, &g, 1.3, ball).unwrap();
+            let mut fused = x.clone();
+            grad_step(&mut fused, &g, 1.3, ball).unwrap();
+            assert_eq!(fused.data(), reference.data(), "ball={ball}");
+        }
+    }
+
+    #[test]
+    fn fused_projected_step_matches_unfused_bitwise() {
+        let (origin, g) = pair(200);
+        // Start two sign steps away from the origin so the ball projection
+        // actually binds on some components.
+        let adv = sign_step_unfused(&origin, &g, 0.04).unwrap();
+        let reference = projected_sign_step_unfused(&adv, &g, &origin, 0.04, 0.05).unwrap();
+        let mut fused = adv.clone();
+        projected_sign_step(&mut fused, &g, &origin, 0.04, 0.05).unwrap();
+        assert_eq!(fused.data(), reference.data());
+        // And the projection held.
+        let delta = fused.sub(&origin).unwrap();
+        assert!(delta.linf_norm() <= 0.05 + 1e-6);
+    }
+
+    #[test]
+    fn nan_gradient_components_contribute_no_sign_perturbation() {
+        let x = Tensor::from_vec(vec![0.5, 0.5, 0.5]);
+        let g = Tensor::from_vec(vec![f32::NAN, 2.0, -2.0]);
+        let mut fused = x.clone();
+        sign_step(&mut fused, &g, 0.1).unwrap();
+        assert_eq!(fused.data(), &[0.5, 0.6, 0.4]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let mut x = Tensor::zeros(&[4]);
+        let g = Tensor::zeros(&[5]);
+        assert!(sign_step(&mut x, &g, 0.1).is_err());
+        assert!(grad_step(&mut x, &g, 0.1, 0.1).is_err());
+        let origin = Tensor::zeros(&[4]);
+        assert!(projected_sign_step(&mut x, &g, &origin, 0.1, 0.1).is_err());
+    }
+}

@@ -3,7 +3,7 @@
 //! out in DESIGN.md. `scripts/bench_kernels.sh` runs the machine-readable
 //! variant of the pooled-vs-spawned comparison (`kernel_bench`).
 
-use advcomp_tensor::{Init, MatmulKernel, Tensor};
+use advcomp_tensor::{Init, KernelBackend, MatmulKernel, Tensor};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -21,15 +21,29 @@ fn bench_matmul(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     for &size in &[32usize, 128, 256] {
         let (a, b) = mats(size, size, size);
+        // The rejected reference kernels only exist under `bench-ablation`
+        // (`cargo bench --features bench-ablation`).
+        #[cfg(feature = "bench-ablation")]
         group.bench_with_input(BenchmarkId::new("naive", size), &size, |bch, _| {
             bch.iter(|| black_box(a.matmul_naive(&b).unwrap()))
         });
+        #[cfg(feature = "bench-ablation")]
         group.bench_with_input(BenchmarkId::new("blocked_serial", size), &size, |bch, _| {
             bch.iter(|| black_box(a.matmul_blocked_serial(&b).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("auto", size), &size, |bch, _| {
             bch.iter(|| black_box(a.matmul(&b).unwrap()))
         });
+        // Scalar-vs-SIMD on the identical packed/banded dense path.
+        for be in [KernelBackend::Scalar, KernelBackend::Simd] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("dense_{}", be.name()), size),
+                &size,
+                |bch, _| {
+                    bch.iter(|| black_box(a.matmul_with(&b, MatmulKernel::Dense, be).unwrap()))
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -44,6 +58,7 @@ fn bench_pool_vs_spawn(c: &mut Criterion) {
     group.bench_function("pooled_128", |bch| {
         bch.iter(|| black_box(a.matmul(&b).unwrap()))
     });
+    #[cfg(feature = "bench-ablation")]
     group.bench_function("spawn_per_call_128", |bch| {
         bch.iter(|| black_box(a.matmul_spawn_per_call(&b).unwrap()))
     });

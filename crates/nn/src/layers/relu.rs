@@ -22,7 +22,7 @@ impl Relu {
 
 impl Layer for Relu {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
-        let y = input.map(|v| v.max(0.0));
+        let y = input.relu();
         self.last_output = Some(y.clone());
         Ok(y)
     }

@@ -1,7 +1,7 @@
 //! Classification losses and metrics.
 
 use crate::{NnError, Result};
-use advcomp_tensor::{Tensor, TensorError};
+use advcomp_tensor::{simd, Tensor, TensorError};
 
 /// Loss value plus the gradient to seed backpropagation with.
 #[derive(Debug, Clone)]
@@ -26,10 +26,11 @@ pub fn softmax(logits: &Tensor) -> Result<Tensor> {
         }));
     }
     let (m, n) = (logits.shape()[0], logits.shape()[1]);
+    let be = simd::backend();
     let mut out = logits.clone();
     for i in 0..m {
         let row = &mut out.data_mut()[i * n..(i + 1) * n];
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let max = simd::max_slice(be, row);
         let mut sum = 0.0f32;
         for v in row.iter_mut() {
             *v = (*v - max).exp();
@@ -83,9 +84,10 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<LossOu
         grad.data_mut()[i * n + label] -= 1.0;
     }
     let scale = 1.0 / m as f32;
+    grad.scale_inplace(scale);
     Ok(LossOutput {
         loss: loss * scale,
-        grad: grad.scale(scale),
+        grad,
     })
 }
 

@@ -10,6 +10,9 @@
 //! * a density-adaptive matrix multiply (packed dense microkernel or
 //!   zero-skipping sparse kernel) run on a persistent worker pool
 //!   ([`pool`]),
+//! * runtime-dispatched AVX2+FMA slice kernels with scalar fallbacks for
+//!   the GEMM microkernel, elementwise ops and reductions ([`simd`],
+//!   selected once per process by `ADVCOMP_KERNEL=scalar|simd|auto`),
 //! * `im2col`/`col2im` lowering used by convolution layers, and
 //! * random initialisers (uniform, Gaussian, Kaiming/Xavier fan-scaled).
 //!
@@ -35,6 +38,7 @@ mod ops;
 pub mod pool;
 mod reduce;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use conv::{col2im, im2col, im2col_into, nchw_to_rows, rows_to_nchw, Conv2dGeometry};
@@ -42,6 +46,7 @@ pub use error::TensorError;
 pub use init::{FanMode, Init};
 pub use ops::MatmulKernel;
 pub use shape::{broadcast_shapes, numel, Shape};
+pub use simd::KernelBackend;
 pub use tensor::Tensor;
 
 /// Convenient result alias used throughout the crate.

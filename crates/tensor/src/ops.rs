@@ -12,12 +12,20 @@
 //!   multipliers from `a`. Pruned models produce weight matrices that are
 //!   mostly zeros, where skipping beats the packed kernel's raw throughput.
 //!
-//! Reference implementations kept for tests and ablation benchmarks:
+//! Both kernels run their inner loops through the backend-dispatched slice
+//! kernels in [`crate::simd`]: the dense microkernel has an AVX2+FMA body
+//! selected at runtime (scalar fallback below), and the sparse kernel's
+//! row-axpy vectorises without changing its bit-exact scalar semantics.
+//!
+//! Reference implementations kept for tests and ablation benchmarks
+//! (compiled only under `cfg(test)` or the `bench-ablation` feature so
+//! exhibit binaries don't carry dead code):
 //! [`Tensor::matmul_naive`] (obviously-correct triple loop),
 //! [`Tensor::matmul_blocked_serial`] (blocked zero-skip kernel, no
 //! threading), and [`Tensor::matmul_spawn_per_call`] (the pre-pool
 //! behaviour: same banding, but fresh OS threads spawned on every call).
 
+use crate::simd::{self, KernelBackend};
 use crate::{pool, Result, Tensor, TensorError};
 
 /// Edge length of the cache blocks used by the sparse-aware kernel. 64 f32
@@ -113,10 +121,14 @@ fn pack_b_panels(b: &[f32], k: usize, n: usize) -> Vec<f32> {
 /// Dense microkernel over one output row band.
 ///
 /// `out_band` holds rows `[row_start, row_start + out_band.len()/n)` of the
-/// result and must be zero-initialised. For each panel of `packed_b`, the
-/// inner loop accumulates 4 `k`-steps at a time into a `w`-wide output
-/// stripe with no branches, which the compiler vectorises.
+/// result and must be zero-initialised. On an AVX2+FMA machine with the
+/// `Simd` backend selected, the whole band runs through the 8-wide FMA
+/// microkernel in [`crate::simd`]; otherwise, for each panel of
+/// `packed_b`, the scalar inner loop accumulates 4 `k`-steps at a time
+/// into a `w`-wide output stripe with no branches, which the compiler
+/// autovectorises to whatever the baseline target offers.
 fn matmul_dense_rows(
+    backend: KernelBackend,
     a: &[f32],
     packed_b: &[f32],
     out_band: &mut [f32],
@@ -124,6 +136,9 @@ fn matmul_dense_rows(
     k: usize,
     n: usize,
 ) {
+    if simd::gemm_dense_rows(backend, a, packed_b, out_band, row_start, k, n, PANEL) {
+        return;
+    }
     let rows = out_band.len() / n;
     for j0 in (0..n).step_by(PANEL) {
         let w = PANEL.min(n - j0);
@@ -161,10 +176,13 @@ fn matmul_dense_rows(
 /// Sparse-aware kernel over one output row band.
 ///
 /// `out_band` holds rows `[row_start, row_start + out_band.len()/n)` and
-/// must be zero-initialised. Blocked i-k-j order: the innermost loop runs
-/// contiguously over `b` and `out`, and zero multipliers from `a` are
-/// skipped entirely — the win pruned weight matrices are after.
+/// must be zero-initialised. Blocked i-k-j order: the innermost loop is a
+/// row axpy that runs contiguously over `b` and `out` (vectorised through
+/// [`crate::simd::axpy_slices`], which is bit-exact across backends), and
+/// zero multipliers from `a` are skipped entirely — the win pruned weight
+/// matrices are after.
 fn matmul_sparse_rows(
+    backend: KernelBackend,
     a: &[f32],
     b: &[f32],
     out_band: &mut [f32],
@@ -186,9 +204,7 @@ fn matmul_sparse_rows(
                         continue;
                     }
                     let b_row = &b[kk * n..(kk + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                        *o += aik * bv;
-                    }
+                    simd::axpy_slices(backend, out_row, b_row, aik);
                 }
             }
         }
@@ -236,12 +252,31 @@ impl Tensor {
     }
 
     /// Matrix product with an explicitly chosen kernel (used by tests and
-    /// the ablation benchmarks; prefer [`Tensor::matmul`]).
+    /// the ablation benchmarks; prefer [`Tensor::matmul`]). Runs on the
+    /// process-default backend from [`crate::simd::backend`].
     ///
     /// # Errors
     ///
     /// Same conditions as [`Tensor::matmul`].
     pub fn matmul_with_kernel(&self, other: &Tensor, kernel: MatmulKernel) -> Result<Tensor> {
+        self.matmul_with(other, kernel, simd::backend())
+    }
+
+    /// Matrix product with both the kernel and the slice-kernel backend
+    /// chosen explicitly. This is the root of every matmul entry point;
+    /// parity tests and the simd-vs-scalar ablation benches use it to
+    /// compare backends inside one process (the `ADVCOMP_KERNEL` cache is
+    /// process-wide, so flipping the environment mid-run has no effect).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`].
+    pub fn matmul_with(
+        &self,
+        other: &Tensor,
+        kernel: MatmulKernel,
+        backend: KernelBackend,
+    ) -> Result<Tensor> {
         let (m, k, n) = matmul_dims(self, other)?;
         let mut out = Tensor::zeros(&[m, n]);
         if m == 0 || n == 0 {
@@ -256,19 +291,19 @@ impl Tensor {
                 let packed = pack_b_panels(b, k, n);
                 if parallel {
                     pool::for_each_row_band(out.data_mut(), n, threads, |row_start, band| {
-                        matmul_dense_rows(a, &packed, band, row_start, k, n);
+                        matmul_dense_rows(backend, a, &packed, band, row_start, k, n);
                     });
                 } else {
-                    matmul_dense_rows(a, &packed, out.data_mut(), 0, k, n);
+                    matmul_dense_rows(backend, a, &packed, out.data_mut(), 0, k, n);
                 }
             }
             MatmulKernel::Sparse => {
                 if parallel {
                     pool::for_each_row_band(out.data_mut(), n, threads, |row_start, band| {
-                        matmul_sparse_rows(a, b, band, row_start, k, n);
+                        matmul_sparse_rows(backend, a, b, band, row_start, k, n);
                     });
                 } else {
-                    matmul_sparse_rows(a, b, out.data_mut(), 0, k, n);
+                    matmul_sparse_rows(backend, a, b, out.data_mut(), 0, k, n);
                 }
             }
         }
@@ -277,15 +312,25 @@ impl Tensor {
 
     /// Blocked zero-skip matmul on the calling thread only (ablation
     /// reference; this was the only kernel before the dense/sparse split).
+    /// Compiled only for tests and `bench-ablation` builds.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Tensor::matmul`].
+    #[cfg(any(test, feature = "bench-ablation"))]
     pub fn matmul_blocked_serial(&self, other: &Tensor) -> Result<Tensor> {
         let (m, k, n) = matmul_dims(self, other)?;
         let mut out = Tensor::zeros(&[m, n]);
         if m > 0 && n > 0 {
-            matmul_sparse_rows(self.data(), other.data(), out.data_mut(), 0, k, n);
+            matmul_sparse_rows(
+                simd::backend(),
+                self.data(),
+                other.data(),
+                out.data_mut(),
+                0,
+                k,
+                n,
+            );
         }
         Ok(out)
     }
@@ -294,21 +339,24 @@ impl Tensor {
     /// pre-pool behaviour, kept only so the pooled-vs-spawned ablation
     /// bench measures real thread-creation cost against the same dense
     /// compute kernel. Production code must use [`Tensor::matmul`].
+    /// Compiled only for tests and `bench-ablation` builds.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Tensor::matmul`].
+    #[cfg(any(test, feature = "bench-ablation"))]
     pub fn matmul_spawn_per_call(&self, other: &Tensor) -> Result<Tensor> {
         let (m, k, n) = matmul_dims(self, other)?;
         let mut out = Tensor::zeros(&[m, n]);
         if m == 0 || n == 0 {
             return Ok(out);
         }
+        let backend = simd::backend();
         let a = self.data();
         let packed = pack_b_panels(other.data(), k, n);
         let threads = pool::available_threads();
         if m * k * n < PARALLEL_THRESHOLD || threads < 2 || m < 2 {
-            matmul_dense_rows(a, &packed, out.data_mut(), 0, k, n);
+            matmul_dense_rows(backend, a, &packed, out.data_mut(), 0, k, n);
             return Ok(out);
         }
         let chunk_rows = m.div_ceil(threads);
@@ -316,18 +364,20 @@ impl Tensor {
             for (t, band) in out.data_mut().chunks_mut(chunk_rows * n).enumerate() {
                 let packed = &packed;
                 scope.spawn(move || {
-                    matmul_dense_rows(a, packed, band, t * chunk_rows, k, n);
+                    matmul_dense_rows(backend, a, packed, band, t * chunk_rows, k, n);
                 });
             }
         });
         Ok(out)
     }
 
-    /// Textbook triple-loop matmul (correctness reference).
+    /// Textbook triple-loop matmul (correctness reference). Compiled only
+    /// for tests and `bench-ablation` builds.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Tensor::matmul`].
+    #[cfg(any(test, feature = "bench-ablation"))]
     pub fn matmul_naive(&self, other: &Tensor) -> Result<Tensor> {
         let (m, k, n) = matmul_dims(self, other)?;
         let mut out = Tensor::zeros(&[m, n]);

@@ -1,11 +1,18 @@
 //! Reductions, statistics and norms.
+//!
+//! The O(n) reductions (`sum`, extrema, norms) run through the
+//! backend-dispatched slice kernels in [`crate::simd`]. Sum-type
+//! reductions are reassociated under the SIMD backend (lane-parallel
+//! accumulators) and so differ from scalar by a few ULPs; extrema and the
+//! L∞ norm are order-insensitive and agree exactly on finite data.
 
+use crate::simd;
 use crate::{Result, Tensor, TensorError};
 
 impl Tensor {
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data().iter().sum()
+        simd::sum_slice(simd::backend(), self.data())
     }
 
     /// Arithmetic mean of all elements (0 for an empty tensor).
@@ -23,13 +30,10 @@ impl Tensor {
     ///
     /// Returns [`TensorError::Empty`] on an empty tensor.
     pub fn max(&self) -> Result<f32> {
-        self.data()
-            .iter()
-            .copied()
-            .fold(None, |acc: Option<f32>, v| {
-                Some(acc.map_or(v, |a| a.max(v)))
-            })
-            .ok_or(TensorError::Empty("max"))
+        if self.is_empty() {
+            return Err(TensorError::Empty("max"));
+        }
+        Ok(simd::max_slice(simd::backend(), self.data()))
     }
 
     /// Minimum element.
@@ -38,13 +42,10 @@ impl Tensor {
     ///
     /// Returns [`TensorError::Empty`] on an empty tensor.
     pub fn min(&self) -> Result<f32> {
-        self.data()
-            .iter()
-            .copied()
-            .fold(None, |acc: Option<f32>, v| {
-                Some(acc.map_or(v, |a| a.min(v)))
-            })
-            .ok_or(TensorError::Empty("min"))
+        if self.is_empty() {
+            return Err(TensorError::Empty("min"));
+        }
+        Ok(simd::min_slice(simd::backend(), self.data()))
     }
 
     /// Index of the first maximum element (linear, row-major).
@@ -112,12 +113,14 @@ impl Tensor {
                 op: "sum_axis0",
             });
         }
-        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let n = self.shape()[1];
         let mut out = Tensor::zeros(&[n]);
-        for i in 0..m {
-            for j in 0..n {
-                out.data_mut()[j] += self.data()[i * n + j];
-            }
+        let be = simd::backend();
+        // Row-wise accumulation in the same i-outer / j-inner order as the
+        // reference double loop, so the result is bit-exact across backends
+        // (add_assign is in the bit-exact kernel class).
+        for row in self.data().chunks(n.max(1)) {
+            simd::add_assign_slices(be, out.data_mut(), row);
         }
         Ok(out)
     }
@@ -130,17 +133,17 @@ impl Tensor {
 
     /// Sum of absolute values.
     pub fn l1_norm(&self) -> f32 {
-        self.data().iter().map(|v| v.abs()).sum()
+        simd::sum_abs_slice(simd::backend(), self.data())
     }
 
     /// Euclidean norm.
     pub fn l2_norm(&self) -> f32 {
-        self.data().iter().map(|v| v * v).sum::<f32>().sqrt()
+        simd::sumsq_slice(simd::backend(), self.data()).sqrt()
     }
 
     /// Maximum absolute value (0 for an empty tensor).
     pub fn linf_norm(&self) -> f32 {
-        self.data().iter().fold(0.0f32, |acc, v| acc.max(v.abs()))
+        simd::max_abs_slice(simd::backend(), self.data())
     }
 
     /// Fraction of non-zero elements in `[0, 1]` — the paper's "density"

@@ -1,0 +1,1227 @@
+//! Runtime-dispatched SIMD slice kernels (AVX2+FMA) with scalar fallbacks.
+//!
+//! Every hot elementwise loop, reduction and the dense GEMM microkernel in
+//! this crate funnels through the free functions here, each of which takes
+//! an explicit [`KernelBackend`]. Production tensor ops pass the cached
+//! process-wide default from [`backend`] (selected once from the
+//! `ADVCOMP_KERNEL` environment variable, mirroring `ADVCOMP_THREADS`);
+//! parity tests and the ablation benchmarks pass both backends explicitly
+//! so the two implementations can be compared inside one process.
+//!
+//! # Numerics policy
+//!
+//! The SIMD implementations fall into two classes:
+//!
+//! * **Bit-exact** — `add`, `sub`, `mul`, `axpy`, `scale`, `add_scalar`,
+//!   `abs`, `sign`, `relu`, `clamp` and the fused attack-step kernels
+//!   perform exactly the same IEEE-754 operations per element as the
+//!   scalar code, in the same order, with no contraction (the SIMD `axpy`
+//!   deliberately uses multiply-then-add rather than FMA). For finite
+//!   inputs the results are bitwise identical across backends, so the
+//!   golden-vector suite passes under either backend for these ops.
+//! * **Tolerance-class** — the GEMM microkernel uses FMA contraction and
+//!   the reductions (`sum`, `sumsq`, `sum_abs`) use lane-parallel
+//!   accumulators, so results differ from scalar by reassociation /
+//!   double-rounding at the level of a few ULPs (≤ 1e-5 relative L2 in the
+//!   testkit parity suite). Golden vectors therefore pin
+//!   `ADVCOMP_KERNEL=scalar`.
+//!
+//! NaN edge cases differ where the hardware min/max semantics differ from
+//! `f32::clamp`/`f32::max`: `_mm256_max_ps(a, b)` returns `b` when `a` is
+//! NaN, so a NaN input to the SIMD `clamp`/`relu`/`max` maps to a bound
+//! where the scalar code would propagate the NaN (or, for `relu`, also
+//! clamp it). Attack loops guard non-finite gradients *before* stepping
+//! (see `advcomp_attacks`), so no production path feeds NaN to these
+//! kernels; the divergence is documented rather than papered over with a
+//! slow NaN-preserving blend.
+
+use std::sync::OnceLock;
+
+/// Which slice-kernel implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// Portable scalar loops (the reference semantics; goldens pin this).
+    Scalar,
+    /// AVX2+FMA vector kernels; silently falls back to scalar at each call
+    /// site when the CPU lacks the features.
+    Simd,
+}
+
+impl KernelBackend {
+    /// Stable lowercase name (matches the `ADVCOMP_KERNEL` values).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Simd => "simd",
+        }
+    }
+}
+
+/// `true` when the CPU supports the AVX2+FMA kernels. Detected once and
+/// cached; on non-x86_64 targets this is always `false` and every `Simd`
+/// request degrades to the scalar implementation.
+pub fn simd_available() -> bool {
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+/// Process-wide default backend for production tensor ops.
+///
+/// Selected by `ADVCOMP_KERNEL` (read **once** and cached, exactly like
+/// `ADVCOMP_THREADS`): `scalar` forces the portable loops, `simd` requests
+/// the vector kernels, and `auto` (or unset / unrecognised) picks `simd`
+/// when the CPU supports it. A `simd` request on unsupported hardware still
+/// returns [`KernelBackend::Simd`]; each kernel then falls back to scalar,
+/// so the setting is safe everywhere.
+pub fn backend() -> KernelBackend {
+    static BACKEND: OnceLock<KernelBackend> = OnceLock::new();
+    *BACKEND.get_or_init(|| match std::env::var("ADVCOMP_KERNEL") {
+        Ok(s) if s.eq_ignore_ascii_case("scalar") => KernelBackend::Scalar,
+        Ok(s) if s.eq_ignore_ascii_case("simd") => KernelBackend::Simd,
+        _ => {
+            if simd_available() {
+                KernelBackend::Simd
+            } else {
+                KernelBackend::Scalar
+            }
+        }
+    })
+}
+
+/// `true` when this call should take the AVX2 path.
+#[inline]
+fn use_avx2(backend: KernelBackend) -> bool {
+    backend == KernelBackend::Simd && simd_available()
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise kernels (bit-exact class)
+// ---------------------------------------------------------------------------
+
+/// `out[i] = a[i] + b[i]`.
+pub fn add_slices(backend: KernelBackend, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert!(a.len() == out.len() && b.len() == out.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::add(a, b, out) };
+    }
+    let _ = backend;
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
+}
+
+/// `out[i] = a[i] - b[i]`.
+pub fn sub_slices(backend: KernelBackend, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert!(a.len() == out.len() && b.len() == out.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::sub(a, b, out) };
+    }
+    let _ = backend;
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x - y;
+    }
+}
+
+/// `out[i] = a[i] * b[i]`.
+pub fn mul_slices(backend: KernelBackend, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert!(a.len() == out.len() && b.len() == out.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::mul(a, b, out) };
+    }
+    let _ = backend;
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * y;
+    }
+}
+
+/// `acc[i] += b[i]`.
+pub fn add_assign_slices(backend: KernelBackend, acc: &mut [f32], b: &[f32]) {
+    debug_assert_eq!(acc.len(), b.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::add_assign(acc, b) };
+    }
+    let _ = backend;
+    for (a, &y) in acc.iter_mut().zip(b) {
+        *a += y;
+    }
+}
+
+/// `acc[i] = acc[i] + s * x[i]` (axpy). Multiply-then-add in both backends
+/// — no FMA — so the result is bit-exact across backends.
+pub fn axpy_slices(backend: KernelBackend, acc: &mut [f32], x: &[f32], s: f32) {
+    debug_assert_eq!(acc.len(), x.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::axpy(acc, x, s) };
+    }
+    let _ = backend;
+    for (a, &v) in acc.iter_mut().zip(x) {
+        *a += s * v;
+    }
+}
+
+/// `out[i] = a[i] * s`.
+pub fn scale_slices(backend: KernelBackend, a: &[f32], s: f32, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::scale(a, s, out) };
+    }
+    let _ = backend;
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = x * s;
+    }
+}
+
+/// `acc[i] *= s` in place.
+pub fn scale_assign_slices(backend: KernelBackend, acc: &mut [f32], s: f32) {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::scale_assign(acc, s) };
+    }
+    let _ = backend;
+    for a in acc.iter_mut() {
+        *a *= s;
+    }
+}
+
+/// `out[i] = a[i] + s`.
+pub fn add_scalar_slices(backend: KernelBackend, a: &[f32], s: f32, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::add_scalar(a, s, out) };
+    }
+    let _ = backend;
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = x + s;
+    }
+}
+
+/// `out[i] = |a[i]|`.
+pub fn abs_slices(backend: KernelBackend, a: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::abs(a, out) };
+    }
+    let _ = backend;
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = x.abs();
+    }
+}
+
+/// `out[i] = sign(a[i])` ∈ {-1, 0, +1}, with 0 for NaN (the paper's FGSM
+/// convention; see [`crate::Tensor::sign`]). Bit-exact across backends.
+pub fn sign_slices(backend: KernelBackend, a: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::sign(a, out) };
+    }
+    let _ = backend;
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = scalar_sign(x);
+    }
+}
+
+/// `out[i] = max(a[i], 0)`.
+pub fn relu_slices(backend: KernelBackend, a: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::relu(a, out) };
+    }
+    let _ = backend;
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = x.max(0.0);
+    }
+}
+
+/// `out[i] = clamp(a[i], lo, hi)` (caller guarantees `lo <= hi`).
+pub fn clamp_slices(backend: KernelBackend, a: &[f32], lo: f32, hi: f32, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::clamp(a, lo, hi, out) };
+    }
+    let _ = backend;
+    for (o, &x) in out.iter_mut().zip(a) {
+        *o = x.clamp(lo, hi);
+    }
+}
+
+#[inline]
+fn scalar_sign(v: f32) -> f32 {
+    if v > 0.0 {
+        1.0
+    } else if v < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused attack-step kernels (bit-exact class)
+// ---------------------------------------------------------------------------
+//
+// Each fused kernel performs, per element, exactly the float operations the
+// historical unfused tensor-op chain performed (same order, no
+// contraction), so switching an attack to the fused path changes neither
+// goldens nor determinism — it only removes the intermediate traversals and
+// allocations.
+
+/// FGSM/IFGSM step: `x[i] = clamp(x[i] + step * sign(g[i]), lo, hi)`.
+pub fn fused_sign_step_clamp(
+    backend: KernelBackend,
+    x: &mut [f32],
+    g: &[f32],
+    step: f32,
+    lo: f32,
+    hi: f32,
+) {
+    debug_assert_eq!(x.len(), g.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::fused_sign_step_clamp(x, g, step, lo, hi) };
+    }
+    let _ = backend;
+    for (xv, &gv) in x.iter_mut().zip(g) {
+        *xv = (*xv + step * scalar_sign(gv)).clamp(lo, hi);
+    }
+}
+
+/// FGM/IFGM step:
+/// `x[i] = clamp(x[i] + clamp(scale * g[i], -ball, ball), lo, hi)`.
+/// Pass `ball = f32::INFINITY` for an unclipped gradient step.
+pub fn fused_grad_step_clamp(
+    backend: KernelBackend,
+    x: &mut [f32],
+    g: &[f32],
+    scale: f32,
+    ball: f32,
+    lo: f32,
+    hi: f32,
+) {
+    debug_assert_eq!(x.len(), g.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::fused_grad_step_clamp(x, g, scale, ball, lo, hi) };
+    }
+    let _ = backend;
+    for (xv, &gv) in x.iter_mut().zip(g) {
+        *xv = (*xv + (scale * gv).clamp(-ball, ball)).clamp(lo, hi);
+    }
+}
+
+/// PGD step: sign step followed by projection onto the `eps`-ball around
+/// `origin`, then the data range:
+/// `x[i] = clamp(clamp(x[i] + step * sign(g[i]), origin[i] - eps, origin[i] + eps), lo, hi)`.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_project_step_clamp(
+    backend: KernelBackend,
+    x: &mut [f32],
+    g: &[f32],
+    origin: &[f32],
+    step: f32,
+    eps: f32,
+    lo: f32,
+    hi: f32,
+) {
+    debug_assert!(x.len() == g.len() && x.len() == origin.len());
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::fused_project_step_clamp(x, g, origin, step, eps, lo, hi) };
+    }
+    let _ = backend;
+    for ((xv, &gv), &ov) in x.iter_mut().zip(g).zip(origin) {
+        let stepped = *xv + step * scalar_sign(gv);
+        *xv = stepped.clamp(ov - eps, ov + eps).clamp(lo, hi);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reductions (tolerance class for sums; extrema are order-insensitive)
+// ---------------------------------------------------------------------------
+
+/// Sum of all elements. SIMD uses lane-parallel accumulators (reassociated).
+pub fn sum_slice(backend: KernelBackend, a: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::sum(a) };
+    }
+    let _ = backend;
+    a.iter().sum()
+}
+
+/// Sum of squares (the L2 norm before the square root). SIMD uses FMA.
+pub fn sumsq_slice(backend: KernelBackend, a: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::sumsq(a) };
+    }
+    let _ = backend;
+    a.iter().map(|v| v * v).sum()
+}
+
+/// Sum of absolute values (L1 norm).
+pub fn sum_abs_slice(backend: KernelBackend, a: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::sum_abs(a) };
+    }
+    let _ = backend;
+    a.iter().map(|v| v.abs()).sum()
+}
+
+/// Maximum element (`NEG_INFINITY` for an empty slice). Max is associative
+/// and commutative over finite floats, so both backends agree exactly on
+/// finite inputs.
+pub fn max_slice(backend: KernelBackend, a: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::max(a) };
+    }
+    let _ = backend;
+    a.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v))
+}
+
+/// Minimum element (`INFINITY` for an empty slice).
+pub fn min_slice(backend: KernelBackend, a: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::min(a) };
+    }
+    let _ = backend;
+    a.iter().fold(f32::INFINITY, |m, &v| m.min(v))
+}
+
+/// Maximum absolute value (0 for an empty slice) — the L∞ norm.
+pub fn max_abs_slice(backend: KernelBackend, a: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        return unsafe { avx2::max_abs(a) };
+    }
+    let _ = backend;
+    a.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+// ---------------------------------------------------------------------------
+// Dense GEMM microkernel (tolerance class: FMA contraction)
+// ---------------------------------------------------------------------------
+
+/// AVX2 dense microkernel over one output row band of packed-panel GEMM.
+///
+/// Layout contract is identical to the scalar microkernel in `ops.rs`:
+/// `packed_b` holds `k`-row column panels of width `panel` (last one
+/// ragged), and `out_band` covers rows `[row_start, ...)` of the result,
+/// zero-initialised. Returns `false` when the AVX2 path is unavailable (or
+/// the backend is `Scalar`) so the caller can run its scalar kernel.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_dense_rows(
+    backend: KernelBackend,
+    a: &[f32],
+    packed_b: &[f32],
+    out_band: &mut [f32],
+    row_start: usize,
+    k: usize,
+    n: usize,
+    panel: usize,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if use_avx2(backend) {
+        unsafe { avx2::gemm_dense_rows(a, packed_b, out_band, row_start, k, n, panel) };
+        return true;
+    }
+    let _ = (backend, a, packed_b, out_band, row_start, k, n, panel);
+    false
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 implementations
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! The vector bodies. Every function is `unsafe` because it must only
+    //! run on a CPU with AVX2 (+FMA where used); the dispatchers above
+    //! guarantee that via [`super::simd_available`].
+
+    use core::arch::x86_64::*;
+
+    const LANES: usize = 8;
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add(a: &[f32], b: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+        let mut i = 0;
+        while i + LANES <= n {
+            let v = _mm256_add_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+            _mm256_storeu_ps(op.add(i), v);
+            i += LANES;
+        }
+        while i < n {
+            *op.add(i) = *ap.add(i) + *bp.add(i);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub(a: &[f32], b: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+        let mut i = 0;
+        while i + LANES <= n {
+            let v = _mm256_sub_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+            _mm256_storeu_ps(op.add(i), v);
+            i += LANES;
+        }
+        while i < n {
+            *op.add(i) = *ap.add(i) - *bp.add(i);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul(a: &[f32], b: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        let (ap, bp, op) = (a.as_ptr(), b.as_ptr(), out.as_mut_ptr());
+        let mut i = 0;
+        while i + LANES <= n {
+            let v = _mm256_mul_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+            _mm256_storeu_ps(op.add(i), v);
+            i += LANES;
+        }
+        while i < n {
+            *op.add(i) = *ap.add(i) * *bp.add(i);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_assign(acc: &mut [f32], b: &[f32]) {
+        let n = acc.len();
+        let (ap, bp) = (acc.as_mut_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i + LANES <= n {
+            let v = _mm256_add_ps(_mm256_loadu_ps(ap.add(i)), _mm256_loadu_ps(bp.add(i)));
+            _mm256_storeu_ps(ap.add(i), v);
+            i += LANES;
+        }
+        while i < n {
+            *ap.add(i) += *bp.add(i);
+            i += 1;
+        }
+    }
+
+    /// Deliberately mul-then-add (NOT `_mm256_fmadd_ps`): the scalar axpy
+    /// rounds the product before the add, and this kernel is in the
+    /// bit-exact class.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(acc: &mut [f32], x: &[f32], s: f32) {
+        let n = acc.len();
+        let (ap, xp) = (acc.as_mut_ptr(), x.as_ptr());
+        let sv = _mm256_set1_ps(s);
+        let mut i = 0;
+        while i + LANES <= n {
+            let prod = _mm256_mul_ps(sv, _mm256_loadu_ps(xp.add(i)));
+            _mm256_storeu_ps(ap.add(i), _mm256_add_ps(_mm256_loadu_ps(ap.add(i)), prod));
+            i += LANES;
+        }
+        while i < n {
+            *ap.add(i) += s * *xp.add(i);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale(a: &[f32], s: f32, out: &mut [f32]) {
+        let n = out.len();
+        let (ap, op) = (a.as_ptr(), out.as_mut_ptr());
+        let sv = _mm256_set1_ps(s);
+        let mut i = 0;
+        while i + LANES <= n {
+            _mm256_storeu_ps(op.add(i), _mm256_mul_ps(_mm256_loadu_ps(ap.add(i)), sv));
+            i += LANES;
+        }
+        while i < n {
+            *op.add(i) = *ap.add(i) * s;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_assign(acc: &mut [f32], s: f32) {
+        let n = acc.len();
+        let ap = acc.as_mut_ptr();
+        let sv = _mm256_set1_ps(s);
+        let mut i = 0;
+        while i + LANES <= n {
+            _mm256_storeu_ps(ap.add(i), _mm256_mul_ps(_mm256_loadu_ps(ap.add(i)), sv));
+            i += LANES;
+        }
+        while i < n {
+            *ap.add(i) *= s;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_scalar(a: &[f32], s: f32, out: &mut [f32]) {
+        let n = out.len();
+        let (ap, op) = (a.as_ptr(), out.as_mut_ptr());
+        let sv = _mm256_set1_ps(s);
+        let mut i = 0;
+        while i + LANES <= n {
+            _mm256_storeu_ps(op.add(i), _mm256_add_ps(_mm256_loadu_ps(ap.add(i)), sv));
+            i += LANES;
+        }
+        while i < n {
+            *op.add(i) = *ap.add(i) + s;
+            i += 1;
+        }
+    }
+
+    /// Clears the sign bit — bit-identical to `f32::abs` for every input
+    /// including NaN payloads.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn abs_ps(v: __m256) -> __m256 {
+        _mm256_and_ps(v, _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff)))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn abs(a: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        let (ap, op) = (a.as_ptr(), out.as_mut_ptr());
+        let mut i = 0;
+        while i + LANES <= n {
+            _mm256_storeu_ps(op.add(i), abs_ps(_mm256_loadu_ps(ap.add(i))));
+            i += LANES;
+        }
+        while i < n {
+            *op.add(i) = (*ap.add(i)).abs();
+            i += 1;
+        }
+    }
+
+    /// `(v > 0) - (v < 0)` via ordered-compare masks: NaN fails both
+    /// compares and maps to 0, matching the scalar branch chain exactly.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn sign_ps(v: __m256) -> __m256 {
+        let zero = _mm256_setzero_ps();
+        let one = _mm256_set1_ps(1.0);
+        let pos = _mm256_and_ps(_mm256_cmp_ps(v, zero, _CMP_GT_OQ), one);
+        let neg = _mm256_and_ps(_mm256_cmp_ps(v, zero, _CMP_LT_OQ), one);
+        _mm256_sub_ps(pos, neg)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sign(a: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        let (ap, op) = (a.as_ptr(), out.as_mut_ptr());
+        let mut i = 0;
+        while i + LANES <= n {
+            _mm256_storeu_ps(op.add(i), sign_ps(_mm256_loadu_ps(ap.add(i))));
+            i += LANES;
+        }
+        while i < n {
+            *op.add(i) = super::scalar_sign(*ap.add(i));
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn relu(a: &[f32], out: &mut [f32]) {
+        let n = out.len();
+        let (ap, op) = (a.as_ptr(), out.as_mut_ptr());
+        let zero = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + LANES <= n {
+            _mm256_storeu_ps(op.add(i), _mm256_max_ps(_mm256_loadu_ps(ap.add(i)), zero));
+            i += LANES;
+        }
+        while i < n {
+            *op.add(i) = (*ap.add(i)).max(0.0);
+            i += 1;
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn clamp_ps(v: __m256, lo: __m256, hi: __m256) -> __m256 {
+        _mm256_min_ps(_mm256_max_ps(v, lo), hi)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn clamp(a: &[f32], lo: f32, hi: f32, out: &mut [f32]) {
+        let n = out.len();
+        let (ap, op) = (a.as_ptr(), out.as_mut_ptr());
+        let (lov, hiv) = (_mm256_set1_ps(lo), _mm256_set1_ps(hi));
+        let mut i = 0;
+        while i + LANES <= n {
+            _mm256_storeu_ps(op.add(i), clamp_ps(_mm256_loadu_ps(ap.add(i)), lov, hiv));
+            i += LANES;
+        }
+        while i < n {
+            *op.add(i) = (*ap.add(i)).clamp(lo, hi);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fused_sign_step_clamp(x: &mut [f32], g: &[f32], step: f32, lo: f32, hi: f32) {
+        let n = x.len();
+        let (xp, gp) = (x.as_mut_ptr(), g.as_ptr());
+        let stepv = _mm256_set1_ps(step);
+        let (lov, hiv) = (_mm256_set1_ps(lo), _mm256_set1_ps(hi));
+        let mut i = 0;
+        while i + LANES <= n {
+            let delta = _mm256_mul_ps(stepv, sign_ps(_mm256_loadu_ps(gp.add(i))));
+            let stepped = _mm256_add_ps(_mm256_loadu_ps(xp.add(i)), delta);
+            _mm256_storeu_ps(xp.add(i), clamp_ps(stepped, lov, hiv));
+            i += LANES;
+        }
+        while i < n {
+            let xv = *xp.add(i) + step * super::scalar_sign(*gp.add(i));
+            *xp.add(i) = xv.clamp(lo, hi);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fused_grad_step_clamp(
+        x: &mut [f32],
+        g: &[f32],
+        scale: f32,
+        ball: f32,
+        lo: f32,
+        hi: f32,
+    ) {
+        let n = x.len();
+        let (xp, gp) = (x.as_mut_ptr(), g.as_ptr());
+        let scalev = _mm256_set1_ps(scale);
+        let (nballv, ballv) = (_mm256_set1_ps(-ball), _mm256_set1_ps(ball));
+        let (lov, hiv) = (_mm256_set1_ps(lo), _mm256_set1_ps(hi));
+        let mut i = 0;
+        while i + LANES <= n {
+            let delta = clamp_ps(
+                _mm256_mul_ps(scalev, _mm256_loadu_ps(gp.add(i))),
+                nballv,
+                ballv,
+            );
+            let stepped = _mm256_add_ps(_mm256_loadu_ps(xp.add(i)), delta);
+            _mm256_storeu_ps(xp.add(i), clamp_ps(stepped, lov, hiv));
+            i += LANES;
+        }
+        while i < n {
+            let delta = (scale * *gp.add(i)).clamp(-ball, ball);
+            *xp.add(i) = (*xp.add(i) + delta).clamp(lo, hi);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn fused_project_step_clamp(
+        x: &mut [f32],
+        g: &[f32],
+        origin: &[f32],
+        step: f32,
+        eps: f32,
+        lo: f32,
+        hi: f32,
+    ) {
+        let n = x.len();
+        let (xp, gp, op) = (x.as_mut_ptr(), g.as_ptr(), origin.as_ptr());
+        let stepv = _mm256_set1_ps(step);
+        let epsv = _mm256_set1_ps(eps);
+        let (lov, hiv) = (_mm256_set1_ps(lo), _mm256_set1_ps(hi));
+        let mut i = 0;
+        while i + LANES <= n {
+            let delta = _mm256_mul_ps(stepv, sign_ps(_mm256_loadu_ps(gp.add(i))));
+            let stepped = _mm256_add_ps(_mm256_loadu_ps(xp.add(i)), delta);
+            let ov = _mm256_loadu_ps(op.add(i));
+            let ball = clamp_ps(stepped, _mm256_sub_ps(ov, epsv), _mm256_add_ps(ov, epsv));
+            _mm256_storeu_ps(xp.add(i), clamp_ps(ball, lov, hiv));
+            i += LANES;
+        }
+        while i < n {
+            let ov = *op.add(i);
+            let stepped = *xp.add(i) + step * super::scalar_sign(*gp.add(i));
+            *xp.add(i) = stepped.clamp(ov - eps, ov + eps).clamp(lo, hi);
+            i += 1;
+        }
+    }
+
+    /// Sums the 8 lanes of `v` in a fixed (deterministic) order.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_ps(v: __m256) -> f32 {
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), v);
+        lanes.iter().sum()
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sum(a: &[f32]) -> f32 {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 2 * LANES <= n {
+            acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(ap.add(i)));
+            acc1 = _mm256_add_ps(acc1, _mm256_loadu_ps(ap.add(i + LANES)));
+            i += 2 * LANES;
+        }
+        while i + LANES <= n {
+            acc0 = _mm256_add_ps(acc0, _mm256_loadu_ps(ap.add(i)));
+            i += LANES;
+        }
+        let mut total = hsum_ps(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            total += *ap.add(i);
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn sumsq(a: &[f32]) -> f32 {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 2 * LANES <= n {
+            let v0 = _mm256_loadu_ps(ap.add(i));
+            let v1 = _mm256_loadu_ps(ap.add(i + LANES));
+            acc0 = _mm256_fmadd_ps(v0, v0, acc0);
+            acc1 = _mm256_fmadd_ps(v1, v1, acc1);
+            i += 2 * LANES;
+        }
+        while i + LANES <= n {
+            let v = _mm256_loadu_ps(ap.add(i));
+            acc0 = _mm256_fmadd_ps(v, v, acc0);
+            i += LANES;
+        }
+        let mut total = hsum_ps(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            let v = *ap.add(i);
+            total += v * v;
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sum_abs(a: &[f32]) -> f32 {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 2 * LANES <= n {
+            acc0 = _mm256_add_ps(acc0, abs_ps(_mm256_loadu_ps(ap.add(i))));
+            acc1 = _mm256_add_ps(acc1, abs_ps(_mm256_loadu_ps(ap.add(i + LANES))));
+            i += 2 * LANES;
+        }
+        while i + LANES <= n {
+            acc0 = _mm256_add_ps(acc0, abs_ps(_mm256_loadu_ps(ap.add(i))));
+            i += LANES;
+        }
+        let mut total = hsum_ps(_mm256_add_ps(acc0, acc1));
+        while i < n {
+            total += (*ap.add(i)).abs();
+            i += 1;
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn max(a: &[f32]) -> f32 {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
+        let mut i = 0;
+        while i + LANES <= n {
+            acc = _mm256_max_ps(acc, _mm256_loadu_ps(ap.add(i)));
+            i += LANES;
+        }
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut m = lanes.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        while i < n {
+            m = m.max(*ap.add(i));
+            i += 1;
+        }
+        m
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn min(a: &[f32]) -> f32 {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let mut acc = _mm256_set1_ps(f32::INFINITY);
+        let mut i = 0;
+        while i + LANES <= n {
+            acc = _mm256_min_ps(acc, _mm256_loadu_ps(ap.add(i)));
+            i += LANES;
+        }
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut m = lanes.iter().fold(f32::INFINITY, |m, &v| m.min(v));
+        while i < n {
+            m = m.min(*ap.add(i));
+            i += 1;
+        }
+        m
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn max_abs(a: &[f32]) -> f32 {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + LANES <= n {
+            acc = _mm256_max_ps(acc, abs_ps(_mm256_loadu_ps(ap.add(i))));
+            i += LANES;
+        }
+        let mut lanes = [0.0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut m = lanes.iter().fold(0.0f32, |m, &v| m.max(v));
+        while i < n {
+            m = m.max((*ap.add(i)).abs());
+            i += 1;
+        }
+        m
+    }
+
+    /// One row × one packed panel: 4 ymm accumulators cover a 32-wide
+    /// output stripe; each `k` step broadcasts `a_row[kk]` and FMAs it
+    /// against the panel row. Remainders narrow to one ymm, then a scalar
+    /// `mul_add` tail (still contracted, matching the vector lanes).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn gemm_row_panel(a_row: &[f32], panel: &[f32], out_row: &mut [f32], w: usize) {
+        let pp = panel.as_ptr();
+        let op = out_row.as_mut_ptr();
+        let mut j = 0;
+        while j + 4 * LANES <= w {
+            let mut acc0 = _mm256_loadu_ps(op.add(j));
+            let mut acc1 = _mm256_loadu_ps(op.add(j + LANES));
+            let mut acc2 = _mm256_loadu_ps(op.add(j + 2 * LANES));
+            let mut acc3 = _mm256_loadu_ps(op.add(j + 3 * LANES));
+            for (kk, &av) in a_row.iter().enumerate() {
+                let avv = _mm256_set1_ps(av);
+                let base = pp.add(kk * w + j);
+                acc0 = _mm256_fmadd_ps(avv, _mm256_loadu_ps(base), acc0);
+                acc1 = _mm256_fmadd_ps(avv, _mm256_loadu_ps(base.add(LANES)), acc1);
+                acc2 = _mm256_fmadd_ps(avv, _mm256_loadu_ps(base.add(2 * LANES)), acc2);
+                acc3 = _mm256_fmadd_ps(avv, _mm256_loadu_ps(base.add(3 * LANES)), acc3);
+            }
+            _mm256_storeu_ps(op.add(j), acc0);
+            _mm256_storeu_ps(op.add(j + LANES), acc1);
+            _mm256_storeu_ps(op.add(j + 2 * LANES), acc2);
+            _mm256_storeu_ps(op.add(j + 3 * LANES), acc3);
+            j += 4 * LANES;
+        }
+        while j + LANES <= w {
+            let mut acc = _mm256_loadu_ps(op.add(j));
+            for (kk, &av) in a_row.iter().enumerate() {
+                acc = _mm256_fmadd_ps(_mm256_set1_ps(av), _mm256_loadu_ps(pp.add(kk * w + j)), acc);
+            }
+            _mm256_storeu_ps(op.add(j), acc);
+            j += LANES;
+        }
+        if j < w {
+            for (kk, &av) in a_row.iter().enumerate() {
+                let row = &panel[kk * w..(kk + 1) * w];
+                for jj in j..w {
+                    out_row[jj] = av.mul_add(row[jj], out_row[jj]);
+                }
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn gemm_dense_rows(
+        a: &[f32],
+        packed_b: &[f32],
+        out_band: &mut [f32],
+        row_start: usize,
+        k: usize,
+        n: usize,
+        panel: usize,
+    ) {
+        let rows = out_band.len() / n;
+        for j0 in (0..n).step_by(panel) {
+            let w = panel.min(n - j0);
+            let p = &packed_b[k * j0..k * j0 + k * w];
+            for r in 0..rows {
+                let a_row = &a[(row_start + r) * k..(row_start + r + 1) * k];
+                let out_row = &mut out_band[r * n + j0..r * n + j0 + w];
+                gemm_row_panel(a_row, p, out_row, w);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random fill covering sign changes, zeros and a
+    /// wide magnitude range (no RNG dependency in the unit tests).
+    fn fill(n: usize, salt: u32) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761).wrapping_add(salt);
+                let v = (h % 2001) as f32 / 1000.0 - 1.0;
+                if h.is_multiple_of(17) {
+                    0.0
+                } else {
+                    v * ((h % 5) as f32 + 0.25)
+                }
+            })
+            .collect()
+    }
+
+    /// Lengths straddling the 8-lane width, the 32-wide unroll and odd
+    /// tails.
+    const LENS: &[usize] = &[0, 1, 3, 7, 8, 9, 15, 16, 31, 32, 33, 100, 1023];
+
+    #[test]
+    fn env_override_names_roundtrip() {
+        assert_eq!(KernelBackend::Scalar.name(), "scalar");
+        assert_eq!(KernelBackend::Simd.name(), "simd");
+    }
+
+    #[test]
+    fn elementwise_bit_exact_across_backends() {
+        if !simd_available() {
+            eprintln!("skipping: no AVX2+FMA on this machine");
+            return;
+        }
+        for &n in LENS {
+            let a = fill(n, 1);
+            let b = fill(n, 2);
+            let mut s = vec![0.0f32; n];
+            let mut v = vec![0.0f32; n];
+
+            type BinKernel = fn(KernelBackend, &[f32], &[f32], &mut [f32]);
+            let cases: &[BinKernel] = &[add_slices, sub_slices, mul_slices];
+            for case in cases {
+                case(KernelBackend::Scalar, &a, &b, &mut s);
+                case(KernelBackend::Simd, &a, &b, &mut v);
+                assert_bits_eq(&s, &v);
+            }
+
+            sign_slices(KernelBackend::Scalar, &a, &mut s);
+            sign_slices(KernelBackend::Simd, &a, &mut v);
+            assert_bits_eq(&s, &v);
+
+            clamp_slices(KernelBackend::Scalar, &a, -0.5, 0.75, &mut s);
+            clamp_slices(KernelBackend::Simd, &a, -0.5, 0.75, &mut v);
+            assert_bits_eq(&s, &v);
+
+            relu_slices(KernelBackend::Scalar, &a, &mut s);
+            relu_slices(KernelBackend::Simd, &a, &mut v);
+            assert_bits_eq(&s, &v);
+
+            abs_slices(KernelBackend::Scalar, &a, &mut s);
+            abs_slices(KernelBackend::Simd, &a, &mut v);
+            assert_bits_eq(&s, &v);
+
+            scale_slices(KernelBackend::Scalar, &a, 0.3, &mut s);
+            scale_slices(KernelBackend::Simd, &a, 0.3, &mut v);
+            assert_bits_eq(&s, &v);
+
+            add_scalar_slices(KernelBackend::Scalar, &a, 0.7, &mut s);
+            add_scalar_slices(KernelBackend::Simd, &a, 0.7, &mut v);
+            assert_bits_eq(&s, &v);
+
+            let mut s2 = fill(n, 3);
+            let mut v2 = s2.clone();
+            axpy_slices(KernelBackend::Scalar, &mut s2, &a, 0.125);
+            axpy_slices(KernelBackend::Simd, &mut v2, &a, 0.125);
+            assert_bits_eq(&s2, &v2);
+
+            add_assign_slices(KernelBackend::Scalar, &mut s2, &b);
+            add_assign_slices(KernelBackend::Simd, &mut v2, &b);
+            assert_bits_eq(&s2, &v2);
+
+            scale_assign_slices(KernelBackend::Scalar, &mut s2, -1.5);
+            scale_assign_slices(KernelBackend::Simd, &mut v2, -1.5);
+            assert_bits_eq(&s2, &v2);
+        }
+    }
+
+    #[test]
+    fn fused_steps_bit_exact_across_backends() {
+        if !simd_available() {
+            eprintln!("skipping: no AVX2+FMA on this machine");
+            return;
+        }
+        for &n in LENS {
+            let g = fill(n, 4);
+            let origin = fill(n, 5);
+            let x0 = fill(n, 6);
+
+            let mut s = x0.clone();
+            let mut v = x0.clone();
+            fused_sign_step_clamp(KernelBackend::Scalar, &mut s, &g, 0.05, 0.0, 1.0);
+            fused_sign_step_clamp(KernelBackend::Simd, &mut v, &g, 0.05, 0.0, 1.0);
+            assert_bits_eq(&s, &v);
+
+            let mut s = x0.clone();
+            let mut v = x0.clone();
+            fused_grad_step_clamp(KernelBackend::Scalar, &mut s, &g, 0.4, 0.1, 0.0, 1.0);
+            fused_grad_step_clamp(KernelBackend::Simd, &mut v, &g, 0.4, 0.1, 0.0, 1.0);
+            assert_bits_eq(&s, &v);
+
+            let mut s = x0.clone();
+            let mut v = x0.clone();
+            fused_grad_step_clamp(
+                KernelBackend::Scalar,
+                &mut s,
+                &g,
+                0.4,
+                f32::INFINITY,
+                0.0,
+                1.0,
+            );
+            fused_grad_step_clamp(
+                KernelBackend::Simd,
+                &mut v,
+                &g,
+                0.4,
+                f32::INFINITY,
+                0.0,
+                1.0,
+            );
+            assert_bits_eq(&s, &v);
+
+            let mut s = x0.clone();
+            let mut v = x0.clone();
+            fused_project_step_clamp(
+                KernelBackend::Scalar,
+                &mut s,
+                &g,
+                &origin,
+                0.02,
+                0.1,
+                0.0,
+                1.0,
+            );
+            fused_project_step_clamp(
+                KernelBackend::Simd,
+                &mut v,
+                &g,
+                &origin,
+                0.02,
+                0.1,
+                0.0,
+                1.0,
+            );
+            assert_bits_eq(&s, &v);
+        }
+    }
+
+    #[test]
+    fn sign_nan_maps_to_zero_in_both_backends() {
+        let a = [
+            f32::NAN,
+            -0.0,
+            0.0,
+            2.5,
+            -3.5,
+            f32::NAN,
+            1.0,
+            -1.0,
+            f32::NAN,
+        ];
+        let mut s = [9.0f32; 9];
+        let mut v = [9.0f32; 9];
+        sign_slices(KernelBackend::Scalar, &a, &mut s);
+        sign_slices(KernelBackend::Simd, &a, &mut v);
+        assert_eq!(s, [0.0, 0.0, 0.0, 1.0, -1.0, 0.0, 1.0, -1.0, 0.0]);
+        assert_eq!(s, v);
+    }
+
+    #[test]
+    fn reductions_match_within_tolerance() {
+        if !simd_available() {
+            eprintln!("skipping: no AVX2+FMA on this machine");
+            return;
+        }
+        for &n in LENS {
+            let a = fill(n, 7);
+            for (s, v) in [
+                (
+                    sum_slice(KernelBackend::Scalar, &a),
+                    sum_slice(KernelBackend::Simd, &a),
+                ),
+                (
+                    sumsq_slice(KernelBackend::Scalar, &a),
+                    sumsq_slice(KernelBackend::Simd, &a),
+                ),
+                (
+                    sum_abs_slice(KernelBackend::Scalar, &a),
+                    sum_abs_slice(KernelBackend::Simd, &a),
+                ),
+            ] {
+                let tol = 1e-5 * s.abs().max(1.0);
+                assert!((s - v).abs() <= tol, "scalar {s} vs simd {v} at n={n}");
+            }
+            // Extrema are order-insensitive: exactly equal on finite data.
+            assert_eq!(
+                max_slice(KernelBackend::Scalar, &a),
+                max_slice(KernelBackend::Simd, &a)
+            );
+            assert_eq!(
+                min_slice(KernelBackend::Scalar, &a),
+                min_slice(KernelBackend::Simd, &a)
+            );
+            assert_eq!(
+                max_abs_slice(KernelBackend::Scalar, &a),
+                max_abs_slice(KernelBackend::Simd, &a)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_reductions_are_identities() {
+        for be in [KernelBackend::Scalar, KernelBackend::Simd] {
+            assert_eq!(sum_slice(be, &[]), 0.0);
+            assert_eq!(max_slice(be, &[]), f32::NEG_INFINITY);
+            assert_eq!(min_slice(be, &[]), f32::INFINITY);
+            assert_eq!(max_abs_slice(be, &[]), 0.0);
+        }
+    }
+
+    fn assert_bits_eq(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "lane {i}: {x} != {y}");
+        }
+    }
+}

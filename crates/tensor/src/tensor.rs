@@ -1,6 +1,7 @@
 //! The core owned, contiguous, row-major `f32` tensor type.
 
 use crate::shape::{numel, Shape};
+use crate::simd;
 use crate::{pool, Result, TensorError};
 
 /// Minimum element count before elementwise ops are split across the worker
@@ -282,9 +283,14 @@ impl Tensor {
         let chunk = par_chunk_len(len);
         let (lhs, rhs) = (&self.data, &other.data);
         pool::for_each_chunk(&mut data, chunk, |i, out| {
+            // Slice the input bands once so the inner loop zips bounds-check
+            // free iterators (per-element `lhs[base + j]` indexing defeated
+            // autovectorisation and cost the two-input path ~2× vs `map`).
             let base = i * chunk;
-            for (j, o) in out.iter_mut().enumerate() {
-                *o = f(lhs[base + j], rhs[base + j]);
+            let a = &lhs[base..base + out.len()];
+            let b = &rhs[base..base + out.len()];
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                *o = f(x, y);
             }
         });
         Ok(Tensor {
@@ -320,12 +326,113 @@ impl Tensor {
         let chunk = par_chunk_len(self.data.len());
         let rhs = &other.data;
         pool::for_each_chunk(&mut self.data, chunk, |i, out| {
+            // Sliced band + zipped iterators for the same reason as
+            // `zip_map`: the indexed form left bounds checks in the loop.
             let base = i * chunk;
-            for (j, a) in out.iter_mut().enumerate() {
-                *a = f(*a, rhs[base + j]);
+            let b = &rhs[base..base + out.len()];
+            for (a, &y) in out.iter_mut().zip(b) {
+                *a = f(*a, y);
             }
         });
         Ok(())
+    }
+
+    /// Runs a two-input slice kernel over `self` and `other` into a fresh
+    /// tensor, splitting large inputs into pool bands. All the named binary
+    /// arithmetic ops funnel through here so they hit the backend-dispatched
+    /// kernels in [`crate::simd`] instead of a per-element closure.
+    fn binary_kernel(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        k: impl Fn(&[f32], &[f32], &mut [f32]) + Sync,
+    ) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+                op,
+            });
+        }
+        let len = self.data.len();
+        let mut data = vec![0.0f32; len];
+        if len < PAR_ELEMENTWISE_MIN {
+            k(&self.data, &other.data, &mut data);
+        } else {
+            let chunk = par_chunk_len(len);
+            let (lhs, rhs) = (&self.data, &other.data);
+            pool::for_each_chunk(&mut data, chunk, |i, out| {
+                let base = i * chunk;
+                k(
+                    &lhs[base..base + out.len()],
+                    &rhs[base..base + out.len()],
+                    out,
+                );
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
+    }
+
+    /// In-place counterpart of [`Tensor::binary_kernel`]: mutates `self`
+    /// band-by-band against the matching band of `other`.
+    fn binary_kernel_inplace(
+        &mut self,
+        other: &Tensor,
+        op: &'static str,
+        k: impl Fn(&mut [f32], &[f32]) + Sync,
+    ) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+                op,
+            });
+        }
+        if self.data.len() < PAR_ELEMENTWISE_MIN {
+            k(&mut self.data, &other.data);
+            return Ok(());
+        }
+        let chunk = par_chunk_len(self.data.len());
+        let rhs = &other.data;
+        pool::for_each_chunk(&mut self.data, chunk, |i, out| {
+            let base = i * chunk;
+            k(out, &rhs[base..base + out.len()]);
+        });
+        Ok(())
+    }
+
+    /// Runs a one-input slice kernel into a fresh tensor (pool bands above
+    /// the elementwise threshold).
+    fn unary_kernel(&self, k: impl Fn(&[f32], &mut [f32]) + Sync) -> Tensor {
+        let len = self.data.len();
+        let mut data = vec![0.0f32; len];
+        if len < PAR_ELEMENTWISE_MIN {
+            k(&self.data, &mut data);
+        } else {
+            let chunk = par_chunk_len(len);
+            let src = &self.data;
+            pool::for_each_chunk(&mut data, chunk, |i, out| {
+                let base = i * chunk;
+                k(&src[base..base + out.len()], out);
+            });
+        }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// In-place counterpart of [`Tensor::unary_kernel`].
+    fn unary_kernel_inplace(&mut self, k: impl Fn(&mut [f32]) + Sync) {
+        if self.data.len() < PAR_ELEMENTWISE_MIN {
+            k(&mut self.data);
+            return;
+        }
+        let chunk = par_chunk_len(self.data.len());
+        pool::for_each_chunk(&mut self.data, chunk, |_, out| k(out));
     }
 
     /// Elementwise sum. See [`Tensor::zip_map`] for shape requirements.
@@ -334,7 +441,8 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn add(&self, other: &Tensor) -> Result<Tensor> {
-        self.zip_map(other, |a, b| a + b)
+        let be = simd::backend();
+        self.binary_kernel(other, "add", move |a, b, o| simd::add_slices(be, a, b, o))
     }
 
     /// Elementwise difference.
@@ -343,7 +451,8 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
-        self.zip_map(other, |a, b| a - b)
+        let be = simd::backend();
+        self.binary_kernel(other, "sub", move |a, b, o| simd::sub_slices(be, a, b, o))
     }
 
     /// Elementwise (Hadamard) product.
@@ -352,7 +461,8 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
-        self.zip_map(other, |a, b| a * b)
+        let be = simd::backend();
+        self.binary_kernel(other, "mul", move |a, b, o| simd::mul_slices(be, a, b, o))
     }
 
     /// Adds `other` into `self` in place.
@@ -361,7 +471,10 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
-        self.zip_map_inplace(other, |a, b| a + b)
+        let be = simd::backend();
+        self.binary_kernel_inplace(other, "add_assign", move |a, b| {
+            simd::add_assign_slices(be, a, b)
+        })
     }
 
     /// Adds `scale * other` into `self` in place (axpy).
@@ -370,17 +483,28 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn add_scaled(&mut self, other: &Tensor, scale: f32) -> Result<()> {
-        self.zip_map_inplace(other, move |a, b| a + scale * b)
+        let be = simd::backend();
+        self.binary_kernel_inplace(other, "add_scaled", move |a, b| {
+            simd::axpy_slices(be, a, b, scale)
+        })
     }
 
     /// Multiplies every element by `s`.
     pub fn scale(&self, s: f32) -> Tensor {
-        self.map(|v| v * s)
+        let be = simd::backend();
+        self.unary_kernel(move |a, o| simd::scale_slices(be, a, s, o))
+    }
+
+    /// Multiplies every element by `s` in place (no allocation).
+    pub fn scale_inplace(&mut self, s: f32) {
+        let be = simd::backend();
+        self.unary_kernel_inplace(move |a| simd::scale_assign_slices(be, a, s));
     }
 
     /// Adds `s` to every element.
     pub fn add_scalar(&self, s: f32) -> Tensor {
-        self.map(|v| v + s)
+        let be = simd::backend();
+        self.unary_kernel(move |a, o| simd::add_scalar_slices(be, a, s, o))
     }
 
     /// Clamps every element into `[lo, hi]`.
@@ -390,26 +514,129 @@ impl Tensor {
     /// Panics if `lo > hi`.
     pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
         assert!(lo <= hi, "clamp requires lo <= hi, got {lo} > {hi}");
-        self.map(|v| v.clamp(lo, hi))
+        let be = simd::backend();
+        self.unary_kernel(move |a, o| simd::clamp_slices(be, a, lo, hi, o))
     }
 
     /// Elementwise absolute value.
     pub fn abs(&self) -> Tensor {
-        self.map(f32::abs)
+        let be = simd::backend();
+        self.unary_kernel(move |a, o| simd::abs_slices(be, a, o))
+    }
+
+    /// Elementwise rectifier: `max(v, 0)` — the ReLU forward pass.
+    pub fn relu(&self) -> Tensor {
+        let be = simd::backend();
+        self.unary_kernel(move |a, o| simd::relu_slices(be, a, o))
     }
 
     /// Elementwise sign: -1, 0 or +1 (0 for NaN, matching the paper's FGSM
     /// convention that an undefined gradient contributes no perturbation).
     pub fn sign(&self) -> Tensor {
-        self.map(|v| {
-            if v > 0.0 {
-                1.0
-            } else if v < 0.0 {
-                -1.0
-            } else {
-                0.0
-            }
+        let be = simd::backend();
+        self.unary_kernel(move |a, o| simd::sign_slices(be, a, o))
+    }
+
+    /// Fused FGSM/IFGSM update, in place:
+    /// `self = clamp(self + step * sign(g), lo, hi)`.
+    ///
+    /// One pass over the data with zero allocations, replacing the
+    /// historical `sign` → `scale` → `add` → `clamp` chain (four traversals
+    /// and three temporaries) with per-element float ops in exactly the same
+    /// order — results are bitwise identical to the unfused chain within a
+    /// backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn fused_sign_step_clamp(&mut self, g: &Tensor, step: f32, lo: f32, hi: f32) -> Result<()> {
+        let be = simd::backend();
+        self.binary_kernel_inplace(g, "fused_sign_step_clamp", move |x, gg| {
+            simd::fused_sign_step_clamp(be, x, gg, step, lo, hi)
         })
+    }
+
+    /// Fused FGM/IFGM update, in place:
+    /// `self = clamp(self + clamp(scale * g, -ball, ball), lo, hi)`.
+    /// Pass `ball = f32::INFINITY` for an unclipped gradient step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn fused_grad_step_clamp(
+        &mut self,
+        g: &Tensor,
+        scale: f32,
+        ball: f32,
+        lo: f32,
+        hi: f32,
+    ) -> Result<()> {
+        let be = simd::backend();
+        self.binary_kernel_inplace(g, "fused_grad_step_clamp", move |x, gg| {
+            simd::fused_grad_step_clamp(be, x, gg, scale, ball, lo, hi)
+        })
+    }
+
+    /// Fused PGD update, in place: a sign step followed by projection onto
+    /// the `eps`-ball around `origin` and then the `[lo, hi]` data range:
+    /// `self = clamp(clamp(self + step * sign(g), origin - eps, origin + eps), lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
+    pub fn fused_project_step_clamp(
+        &mut self,
+        g: &Tensor,
+        origin: &Tensor,
+        step: f32,
+        eps: f32,
+        lo: f32,
+        hi: f32,
+    ) -> Result<()> {
+        if self.shape != g.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: g.shape.clone(),
+                op: "fused_project_step_clamp",
+            });
+        }
+        if self.shape != origin.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: origin.shape.clone(),
+                op: "fused_project_step_clamp",
+            });
+        }
+        let be = simd::backend();
+        if self.data.len() < PAR_ELEMENTWISE_MIN {
+            simd::fused_project_step_clamp(
+                be,
+                &mut self.data,
+                &g.data,
+                &origin.data,
+                step,
+                eps,
+                lo,
+                hi,
+            );
+            return Ok(());
+        }
+        let chunk = par_chunk_len(self.data.len());
+        let (gd, od) = (&g.data, &origin.data);
+        pool::for_each_chunk(&mut self.data, chunk, |i, out| {
+            let base = i * chunk;
+            simd::fused_project_step_clamp(
+                be,
+                out,
+                &gd[base..base + out.len()],
+                &od[base..base + out.len()],
+                step,
+                eps,
+                lo,
+                hi,
+            );
+        });
+        Ok(())
     }
 
     /// Adds a 1-D bias of length `n` to each row of a 2-D `[m, n]` tensor.
@@ -435,8 +662,9 @@ impl Tensor {
         }
         let n = self.shape[1];
         let mut out = self.clone();
-        for (i, v) in out.data.iter_mut().enumerate() {
-            *v += bias.data[i % n];
+        let be = simd::backend();
+        for row in out.data.chunks_mut(n) {
+            simd::add_assign_slices(be, row, &bias.data);
         }
         Ok(out)
     }

@@ -10,13 +10,32 @@
 
 use advcomp_tensor::{
     col2im, im2col, im2col_into, nchw_to_rows, pool, rows_to_nchw, Conv2dGeometry, Init,
-    MatmulKernel, Tensor,
+    KernelBackend, MatmulKernel, Tensor,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
 
 fn uniform(shape: &[usize], rng: &mut rand::rngs::StdRng) -> Tensor {
     Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(shape, rng)
+}
+
+/// Local triple-loop reference (the library's `matmul_naive` is gated
+/// behind `cfg(test)` / the `bench-ablation` feature and integration tests
+/// compile against the production surface).
+fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+            }
+            out.data_mut()[i * n + j] = acc;
+        }
+    }
+    out
 }
 
 proptest! {
@@ -39,9 +58,15 @@ proptest! {
         let k = if seed % 3 == 0 { k + 64 } else { k };
         let a = uniform(&[m, k], &mut rng);
         let b = uniform(&[k, n], &mut rng);
-        let reference = a.matmul_naive(&b).unwrap();
-        let serial = a.matmul_blocked_serial(&b).unwrap();
-        prop_assert!(serial.allclose(&reference, 1e-4));
+        let reference = naive(&a, &b);
+        // Both explicit backends must agree with the reference regardless
+        // of which one ADVCOMP_KERNEL selected for this process.
+        for be in [KernelBackend::Scalar, KernelBackend::Simd] {
+            let dense = a.matmul_with(&b, MatmulKernel::Dense, be).unwrap();
+            prop_assert!(dense.allclose(&reference, 1e-4), "dense/{} vs naive", be.name());
+            let sparse = a.matmul_with(&b, MatmulKernel::Sparse, be).unwrap();
+            prop_assert!(sparse.allclose(&reference, 1e-4), "sparse/{} vs naive", be.name());
+        }
         for cap in [1usize, 2, 8] {
             let (pooled, dense, sparse) = pool::with_thread_cap(cap, || {
                 (
@@ -115,20 +140,19 @@ proptest! {
 }
 
 /// Deterministic (non-property) check on the exact acceptance shapes: a
-/// 128×128×128 product, the size the ablation bench measures.
+/// 128×128×128 product, the size the ablation bench measures, under both
+/// explicit backends.
 #[test]
 fn acceptance_size_agrees_across_kernels() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
     let a = uniform(&[128, 128], &mut rng);
     let b = uniform(&[128, 128], &mut rng);
-    let reference = a.matmul_naive(&b).unwrap();
+    let reference = naive(&a, &b);
     assert!(a.matmul(&b).unwrap().allclose(&reference, 1e-4));
-    assert!(a
-        .matmul_with_kernel(&b, MatmulKernel::Dense)
-        .unwrap()
-        .allclose(&reference, 1e-4));
-    assert!(a
-        .matmul_spawn_per_call(&b)
-        .unwrap()
-        .allclose(&reference, 1e-4));
+    for be in [KernelBackend::Scalar, KernelBackend::Simd] {
+        assert!(a
+            .matmul_with(&b, MatmulKernel::Dense, be)
+            .unwrap()
+            .allclose(&reference, 1e-4));
+    }
 }

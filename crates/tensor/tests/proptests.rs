@@ -83,7 +83,19 @@ proptest! {
         let init = advcomp_tensor::Init::Uniform { lo: -2.0, hi: 2.0 };
         let a = init.tensor(&[m, k], &mut rng);
         let b = init.tensor(&[k, n], &mut rng);
-        prop_assert!(a.matmul(&b).unwrap().allclose(&a.matmul_naive(&b).unwrap(), 1e-3));
+        // Local triple-loop reference; the library's `matmul_naive` is
+        // feature-gated out of non-test builds.
+        let mut naive = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+                }
+                naive.data_mut()[i * n + j] = acc;
+            }
+        }
+        prop_assert!(a.matmul(&b).unwrap().allclose(&naive, 1e-3));
     }
 
     /// Broadcasting is commutative and agrees with equal shapes.

@@ -41,3 +41,20 @@ pub mod tolerance;
 
 pub use det::DetRng;
 pub use tolerance::Tolerance;
+
+/// Pins the tensor kernel backend for the current test **process** and
+/// forces the one-shot `ADVCOMP_KERNEL` cache, so every later tensor op in
+/// the process uses `backend` regardless of environment or CPU features.
+///
+/// The golden vectors are defined by the scalar kernels: SIMD sum/GEMM
+/// reassociate accumulation and differ by a few ULPs, which bit-exact
+/// conformance would flag as drift. Every test in a goldens/determinism
+/// test binary must call `pin_kernel("scalar")` before its first tensor op
+/// (libtest runs tests concurrently; the `Once` makes the first pin win and
+/// the eager `backend()` call below freezes it before any race matters).
+pub fn pin_kernel(backend: &'static str) {
+    static PIN: std::sync::Once = std::sync::Once::new();
+    PIN.call_once(|| std::env::set_var("ADVCOMP_KERNEL", backend));
+    // Resolve (and thereby freeze) the process-wide backend cache now.
+    let _ = advcomp_tensor::simd::backend();
+}

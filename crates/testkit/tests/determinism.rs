@@ -29,6 +29,10 @@ fn flat_params(model: &advcomp_nn::Sequential) -> Vec<f32> {
 fn pipeline_is_bit_exact_across_thread_caps() {
     // Must precede every tensor op: the pool caches this at first use.
     std::env::set_var("ADVCOMP_THREADS", "8");
+    // Pin the scalar kernels: this pillar's outputs are compared bit-exactly
+    // and must not depend on whether the host CPU has AVX2. The SIMD
+    // backend gets the same sweep in the `simd_smoke` test binary.
+    advcomp_testkit::pin_kernel("scalar");
 
     // Large GEMM, above the parallel threshold (m·k·n = 96³ > 64³), so the
     // banded multi-threaded kernel path is actually what is being swept.

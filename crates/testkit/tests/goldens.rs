@@ -10,6 +10,10 @@
 //! ```
 //!
 //! and review the resulting `git diff` like any other source change.
+//!
+//! Every test pins `ADVCOMP_KERNEL=scalar` first: the goldens are defined
+//! by the scalar kernels, and the SIMD backend's reassociated GEMM/sum
+//! accumulation differs by a few ULPs (see DESIGN.md, "kernel dispatch").
 
 use advcomp_attacks::{Attack, DeepFool, Ifgm, Ifgsm};
 use advcomp_compress::{PruneMask, Quantizer};
@@ -60,6 +64,7 @@ fn forward_doc() -> Json {
 
 #[test]
 fn forward_logits_conform() {
+    advcomp_testkit::pin_kernel("scalar");
     golden::check_or_regen("lenet_forward", &forward_doc()).unwrap();
 }
 
@@ -75,24 +80,28 @@ fn attack_doc(name: &str, attack: &dyn Attack) -> Json {
 
 #[test]
 fn ifgsm_perturbation_conforms() {
+    advcomp_testkit::pin_kernel("scalar");
     let attack = Ifgsm::new(0.08, 5).unwrap();
     golden::check_or_regen("lenet_ifgsm", &attack_doc("ifgsm", &attack)).unwrap();
 }
 
 #[test]
 fn ifgm_perturbation_conforms() {
+    advcomp_testkit::pin_kernel("scalar");
     let attack = Ifgm::new(0.5, 5).unwrap();
     golden::check_or_regen("lenet_ifgm", &attack_doc("ifgm", &attack)).unwrap();
 }
 
 #[test]
 fn deepfool_perturbation_conforms() {
+    advcomp_testkit::pin_kernel("scalar");
     let attack = DeepFool::new(0.02, 10).unwrap();
     golden::check_or_regen("lenet_deepfool", &attack_doc("deepfool", &attack)).unwrap();
 }
 
 #[test]
 fn prune_mask_conforms() {
+    advcomp_testkit::pin_kernel("scalar");
     let (model, _, _) = fixture();
     let mask = PruneMask::from_magnitude(&model, 0.3).unwrap();
     // HashMap iteration order is unstable; sort names for a stable golden.
@@ -111,6 +120,7 @@ fn prune_mask_conforms() {
 
 #[test]
 fn quantized_weights_conform() {
+    advcomp_testkit::pin_kernel("scalar");
     let (mut model, _, _) = fixture();
     Quantizer::for_bitwidth(8)
         .unwrap()
@@ -124,6 +134,7 @@ fn quantized_weights_conform() {
 
 #[test]
 fn train_step_conforms() {
+    advcomp_testkit::pin_kernel("scalar");
     let (mut model, x, labels) = fixture();
     let logits = model.forward(&x, Mode::Train).expect("forward");
     let loss = softmax_cross_entropy(&logits, &labels).expect("loss");
@@ -142,6 +153,7 @@ fn train_step_conforms() {
 /// one weight must be detected by the conformance comparison.
 #[test]
 fn one_ulp_weight_drift_is_detected() {
+    advcomp_testkit::pin_kernel("scalar");
     let clean = forward_doc();
 
     let (mut model, x, _) = fixture();
@@ -171,6 +183,7 @@ fn one_ulp_weight_drift_is_detected() {
 /// detector.
 #[test]
 fn golden_serialization_is_stable() {
+    advcomp_testkit::pin_kernel("scalar");
     let a = forward_doc().to_pretty_string();
     let b = forward_doc().to_pretty_string();
     assert_eq!(a, b);

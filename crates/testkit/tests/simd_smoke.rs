@@ -1,0 +1,55 @@
+//! Determinism smoke under the SIMD backend.
+//!
+//! The main determinism pillar pins `ADVCOMP_KERNEL=scalar` so its
+//! bit-exact sweep is host-independent. This binary pins `simd` instead and
+//! re-runs a compressed version of the same contract: with the backend
+//! fixed, thread caps and repetition must still be pure performance knobs.
+//! (On a machine without AVX2+FMA the Simd backend falls back to scalar
+//! and this is a second scalar sweep — still a valid determinism check.)
+//!
+//! Single `#[test]` for the same reason as `determinism.rs`: the pool and
+//! backend caches are one-shot per process.
+
+use advcomp_attacks::{Attack, Ifgsm};
+use advcomp_nn::{softmax_cross_entropy, Mode, Sgd};
+use advcomp_tensor::Tensor;
+use advcomp_testkit::determinism::{check_bit_exact, STANDARD_CAPS};
+use advcomp_testkit::{fixtures, DetRng};
+
+#[test]
+fn simd_pipeline_is_bit_exact_across_thread_caps() {
+    std::env::set_var("ADVCOMP_THREADS", "8");
+    advcomp_testkit::pin_kernel("simd");
+
+    // Banded GEMM above the parallel threshold: band boundaries must not
+    // leak into the result under the SIMD microkernel either.
+    check_bit_exact("large matmul (simd)", &STANDARD_CAPS, 2, || {
+        let mut rng = DetRng::new(0xA11CE);
+        let a = Tensor::new(&[96, 96], rng.vec_f32(96 * 96, -1.0, 1.0)).unwrap();
+        let b = Tensor::new(&[96, 96], rng.vec_f32(96 * 96, -1.0, 1.0)).unwrap();
+        a.matmul(&b).unwrap().data().to_vec()
+    })
+    .unwrap();
+
+    // Train step + IFGSM: forward/backward GEMMs, fused attack steps and
+    // the SIMD reductions all on the hot path.
+    check_bit_exact("train + ifgsm (simd)", &STANDARD_CAPS, 2, || {
+        let mut model = fixtures::lenet(3);
+        let x = fixtures::image_batch(4, 8);
+        let labels = fixtures::labels(5, 8, fixtures::LENET_CLASSES);
+        let logits = model.forward(&x, Mode::Train).unwrap();
+        let loss = softmax_cross_entropy(&logits, &labels).unwrap();
+        model.zero_grad();
+        model.backward(&loss.grad).unwrap();
+        let mut opt = Sgd::new(0.1, 0.9, 0.0).unwrap();
+        opt.step(model.params_mut()).unwrap();
+        let adv = Ifgsm::new(0.06, 4)
+            .unwrap()
+            .generate(&mut model, &x, &labels)
+            .unwrap();
+        let mut out = vec![loss.loss];
+        out.extend_from_slice(adv.data());
+        out
+    })
+    .unwrap();
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the machine-readable kernel ablation and writes BENCH_kernels.json
 # (median nanoseconds per kernel, plus the pooled-vs-spawn-per-call GEMM
-# speedup) at the repo root.
+# speedup) and BENCH_simd.json (scalar-vs-SIMD kernel timings plus the
+# fused-vs-unfused attack-step ablation) at the repo root.
 #
 # The worker pool reads ADVCOMP_THREADS once at startup, so pin the thread
 # count per process, e.g.:
@@ -17,8 +18,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_kernels.json}"
+SIMD_OUT="${2:-BENCH_simd.json}"
 ITERS="${BENCH_ITERS:-200}"
 export ADVCOMP_THREADS="${ADVCOMP_THREADS:-8}"
 
-cargo build --release -p advcomp-bench --bin kernel_bench
-./target/release/kernel_bench --out "$OUT" --iters "$ITERS"
+cargo build --release -p advcomp-bench --features bench-ablation --bin kernel_bench
+./target/release/kernel_bench --out "$OUT" --simd-out "$SIMD_OUT" --iters "$ITERS"

@@ -24,6 +24,28 @@ if ! git diff --exit-code --stat -- tests/goldens; then
 fi
 echo "goldens: no drift"
 
+# Kernel parity: the scalar and SIMD backends must agree — bit-exact for
+# the elementwise and fused attack-step kernels, 1e-5 relative L2 for the
+# FMA GEMM and reassociated reductions. The suite compares explicit
+# backends internally; running it under both ADVCOMP_KERNEL values also
+# exercises the dispatch layer each way.
+for kernel in scalar simd; do
+    ADVCOMP_KERNEL="$kernel" \
+        cargo test -q -p advcomp-testkit --test kernel_parity >/dev/null
+done
+echo "kernel parity: scalar and simd agree"
+
+# SIMD regression gate: on an AVX2+FMA host the dispatched GEMM must not be
+# slower than the scalar path (--check-simd is a no-op on hosts without
+# AVX2). Reports go to a scratch dir so the checked-in BENCH_simd.json only
+# changes when regenerated deliberately via scripts/bench_kernels.sh.
+cargo build -q --release -p advcomp-bench --features bench-ablation --bin kernel_bench
+simd_tmp="$(mktemp -d)"
+./target/release/kernel_bench --iters 25 --out "$simd_tmp/kernels.json" \
+    --simd-out "$simd_tmp/simd.json" --check-simd >/dev/null
+rm -rf "$simd_tmp"
+echo "simd gate: dispatched GEMM not slower than scalar"
+
 # Fault-injection smoke: a tiny sweep with a sticky panic injected at one
 # point must still exit 0, keeping the surviving point and recording the
 # failure with its retry count (the partial-result contract).

@@ -13,6 +13,8 @@ use advcomp_testkit::{fixtures, DetRng};
 
 #[test]
 fn lenet_forward_matches_checked_in_golden() {
+    // Goldens are defined by the scalar kernels; pin before any tensor op.
+    advcomp_testkit::pin_kernel("scalar");
     // Mirrors `crates/testkit/tests/goldens.rs::forward_logits_conform` —
     // same seeds, same golden file.
     let mut model = fixtures::lenet(42);
