@@ -1,0 +1,190 @@
+//! `serve_bench` — load generator for the serving engine; writes
+//! `BENCH_serve.json`.
+//!
+//! For each worker count (1, 4, 8 by default) it stands up a fresh engine
+//! and TCP server on an ephemeral port, hammers it with concurrent client
+//! threads over real sockets, and records client-observed p50/p99/mean
+//! latency, throughput, and the server-side batch-size distribution. The
+//! same measurement loop backs `scripts/bench_serve.sh`.
+//!
+//! ```text
+//! serve_bench [--out BENCH_serve.json] [--requests 200] [--clients 8]
+//!             [--workers 1,4,8] [--quick]
+//! ```
+
+use advcomp_models::mlp;
+use advcomp_serve::json::{Json, JsonObj};
+use advcomp_serve::{
+    Client, Engine, GuardConfig, LatencyHistogram, ModelRegistry, ServeConfig, Server,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct RunResult {
+    workers: usize,
+    clients: usize,
+    requests: u64,
+    ok: u64,
+    overloaded: u64,
+    errors: u64,
+    p50_us: u64,
+    p99_us: u64,
+    mean_us: f64,
+    rps: f64,
+    max_batch: u64,
+    mean_batch: f64,
+}
+
+fn run_load(workers: usize, clients: usize, per_client: u64) -> RunResult {
+    let mut registry = ModelRegistry::new(&[1, 28, 28]).expect("registry");
+    registry
+        .set_baseline("dense", mlp(32, 0))
+        .expect("baseline");
+    registry.add_variant("alt", mlp(32, 1)).expect("variant");
+    let engine = Engine::start(
+        &registry,
+        ServeConfig {
+            workers,
+            max_batch: 16,
+            max_delay: Duration::from_millis(2),
+            queue_depth: 256,
+            guard: Some(GuardConfig { threshold: 0.5 }),
+        },
+    )
+    .expect("engine");
+    let server = Server::bind(engine.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    let latency = Arc::new(LatencyHistogram::default());
+    let ok = Arc::new(AtomicU64::new(0));
+    let overloaded = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let wall = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let latency = Arc::clone(&latency);
+        let ok = Arc::clone(&ok);
+        let overloaded = Arc::clone(&overloaded);
+        let errors = Arc::clone(&errors);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            for i in 0..per_client {
+                let v = ((c as u64 * per_client + i) % 97) as f32 / 97.0;
+                let t0 = Instant::now();
+                match client.predict(vec![v; 28 * 28], false) {
+                    Ok(resp) => {
+                        latency.record(t0.elapsed());
+                        match resp.get("status").and_then(Json::as_str) {
+                            Some("ok") => ok.fetch_add(1, Ordering::Relaxed),
+                            Some("overloaded") => overloaded.fetch_add(1, Ordering::Relaxed),
+                            _ => errors.fetch_add(1, Ordering::Relaxed),
+                        };
+                    }
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed = wall.elapsed();
+    let metrics = engine.metrics();
+    let result = RunResult {
+        workers,
+        clients,
+        requests: clients as u64 * per_client,
+        ok: ok.load(Ordering::Relaxed),
+        overloaded: overloaded.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        p50_us: latency.quantile_us(0.50),
+        p99_us: latency.quantile_us(0.99),
+        mean_us: latency.mean_us(),
+        rps: ok.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64(),
+        max_batch: metrics.batch_sizes.max(),
+        mean_batch: metrics.batch_sizes.mean(),
+    };
+    server.join();
+    result
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut per_client: u64 = 25;
+    let mut clients: usize = 8;
+    let mut worker_counts: Vec<usize> = vec![1, 4, 8];
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().expect("flag value");
+        match flag.as_str() {
+            "--out" => out_path = value(),
+            "--requests" => per_client = value().parse().expect("--requests"),
+            "--clients" => clients = value().parse().expect("--clients"),
+            "--workers" => {
+                worker_counts = value()
+                    .split(',')
+                    .map(|w| w.parse().expect("--workers"))
+                    .collect()
+            }
+            "--quick" => {
+                per_client = 8;
+                clients = 4;
+                worker_counts = vec![1, 4];
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    println!("serve_bench: {clients} clients x {per_client} requests at workers {worker_counts:?}");
+    let mut runs = Vec::new();
+    for &workers in &worker_counts {
+        let r = run_load(workers, clients, per_client);
+        println!(
+            "  workers {:>2}: {:>7.1} req/s  p50 {:>6} us  p99 {:>6} us  \
+             batch mean {:.2} max {}  ({} ok / {} overloaded / {} errors)",
+            r.workers,
+            r.rps,
+            r.p50_us,
+            r.p99_us,
+            r.mean_batch,
+            r.max_batch,
+            r.ok,
+            r.overloaded,
+            r.errors
+        );
+        runs.push(
+            JsonObj::new()
+                .set("workers", Json::Num(r.workers as f64))
+                .set("clients", Json::Num(r.clients as f64))
+                .set("requests", Json::Num(r.requests as f64))
+                .set("ok", Json::Num(r.ok as f64))
+                .set("overloaded", Json::Num(r.overloaded as f64))
+                .set("errors", Json::Num(r.errors as f64))
+                .set("p50_us", Json::Num(r.p50_us as f64))
+                .set("p99_us", Json::Num(r.p99_us as f64))
+                .set("mean_us", Json::Num(r.mean_us))
+                .set("rps", Json::Num(r.rps))
+                .set("max_batch", Json::Num(r.max_batch as f64))
+                .set("mean_batch", Json::Num(r.mean_batch))
+                .build(),
+        );
+    }
+    let report = JsonObj::new()
+        .set("bench", Json::Str("serve".into()))
+        .set(
+            "config",
+            JsonObj::new()
+                .set("model", Json::Str("mlp:32 + 1 guard variant".into()))
+                .set("max_batch", Json::Num(16.0))
+                .set("max_delay_ms", Json::Num(2.0))
+                .set("queue_depth", Json::Num(256.0))
+                .build(),
+        )
+        .set("runs", Json::Arr(runs))
+        .build();
+    std::fs::write(&out_path, format!("{report}\n")).expect("write report");
+    println!("serve_bench: wrote {out_path}");
+}

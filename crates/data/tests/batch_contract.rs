@@ -1,0 +1,78 @@
+//! Contract tests for `data::batch` — the edge cases the serving batcher
+//! and training loops both rely on: partial final batches, batch sizes
+//! larger than the dataset, and seeded-shuffle determinism.
+
+use advcomp_data::{Batches, Dataset};
+use advcomp_tensor::Tensor;
+
+fn dataset(n: usize) -> Dataset {
+    let images = Tensor::new(&[n, 1, 2, 2], (0..n * 4).map(|v| v as f32).collect()).unwrap();
+    Dataset::new(images, (0..n).map(|v| v % 5).collect(), 5).unwrap()
+}
+
+#[test]
+fn partial_final_batch_has_correct_shape() {
+    let d = dataset(10);
+    let plan = Batches::sequential(10, 4);
+    let batches: Vec<_> = plan.iter(&d).collect();
+    assert_eq!(plan.num_batches(), 3);
+    assert_eq!(batches.len(), 3);
+    assert_eq!(batches[0].0.shape(), &[4, 1, 2, 2]);
+    assert_eq!(batches[1].0.shape(), &[4, 1, 2, 2]);
+    // The final batch carries the 2 leftover samples, not a padded 4.
+    assert_eq!(batches[2].0.shape(), &[2, 1, 2, 2]);
+    assert_eq!(batches[2].1.len(), 2);
+}
+
+#[test]
+fn batch_size_larger_than_dataset_yields_one_full_pass() {
+    let d = dataset(3);
+    for plan in [Batches::sequential(3, 8), Batches::shuffled(3, 8, 1)] {
+        assert_eq!(plan.num_batches(), 1);
+        let batches: Vec<_> = plan.iter(&d).collect();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].0.shape(), &[3, 1, 2, 2]);
+        assert_eq!(batches[0].1.len(), 3);
+    }
+}
+
+#[test]
+fn empty_dataset_plan_yields_nothing() {
+    let plan = Batches::sequential(0, 4);
+    assert_eq!(plan.num_batches(), 0);
+    assert_eq!(plan.index_batches().count(), 0);
+}
+
+#[test]
+fn shuffle_is_deterministic_across_constructions() {
+    let d = dataset(32);
+    // Two independently constructed plans with the same seed must produce
+    // identical batch sequences (images AND labels)...
+    let collect = |seed: u64| -> (Vec<f32>, Vec<usize>) {
+        let plan = Batches::shuffled(32, 5, seed);
+        let mut imgs = Vec::new();
+        let mut labels = Vec::new();
+        for (x, y) in plan.iter(&d) {
+            imgs.extend_from_slice(x.data());
+            labels.extend(y);
+        }
+        (imgs, labels)
+    };
+    let (ia, la) = collect(99);
+    let (ib, lb) = collect(99);
+    assert_eq!(ia, ib);
+    assert_eq!(la, lb);
+    // ... and a different seed must produce a different order.
+    let (ic, _) = collect(100);
+    assert_ne!(ia, ic);
+}
+
+#[test]
+fn shuffled_indices_are_a_permutation_for_any_batch_size() {
+    for bs in [1, 3, 7, 31, 100] {
+        let plan = Batches::shuffled(31, bs, 7);
+        let mut seen: Vec<usize> = plan.index_batches().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..31).collect::<Vec<_>>(), "batch_size {bs}");
+    }
+}

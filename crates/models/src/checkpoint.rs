@@ -4,13 +4,20 @@
 //!
 //! ```text
 //! magic   b"ADVC"
-//! version u32          (currently 1)
+//! version u32          (currently 2; v1 still readable)
 //! count   u32          number of parameters
 //! repeat count times:
 //!   name_len u16, name utf-8 bytes
 //!   ndim     u8,  dims  u32 × ndim
 //!   data     f32 × prod(dims)
+//! crc     u32          (v2 only) CRC-32 of every preceding byte
 //! ```
+//!
+//! The v2 footer lets loaders — in particular the serving model registry —
+//! reject torn or bit-flipped checkpoint files with
+//! [`CheckpointError::Corrupt`] instead of silently restoring garbage
+//! weights. Writers always emit v2; v1 files (no footer) remain readable
+//! without integrity verification.
 
 use advcomp_nn::Sequential;
 use advcomp_tensor::Tensor;
@@ -19,7 +26,10 @@ use std::fmt;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"ADVC";
-const VERSION: u32 = 1;
+/// Version written by [`Checkpoint::to_bytes`].
+const VERSION: u32 = 2;
+/// Oldest version still readable (pre-CRC files).
+const MIN_VERSION: u32 = 1;
 
 /// Errors raised by checkpoint encoding/decoding.
 #[derive(Debug)]
@@ -115,7 +125,12 @@ impl Checkpoint {
                 buf.put_f32_le(v);
             }
         }
-        buf.freeze()
+        let body = buf.freeze();
+        let crc = crate::crc32::crc32(&body);
+        let mut out = BytesMut::with_capacity(body.len() + 4);
+        out.put_slice(&body);
+        out.put_u32_le(crc);
+        out.freeze()
     }
 
     /// Decodes from the binary format.
@@ -124,7 +139,7 @@ impl Checkpoint {
     ///
     /// Returns [`CheckpointError::Corrupt`] on truncation or bad magic, and
     /// [`CheckpointError::UnsupportedVersion`] for future versions.
-    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, CheckpointError> {
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
         fn need(buf: &[u8], n: usize, what: &str) -> Result<(), CheckpointError> {
             if buf.remaining() < n {
                 return Err(CheckpointError::Corrupt(format!("truncated at {what}")));
@@ -132,15 +147,30 @@ impl Checkpoint {
             Ok(())
         }
         need(bytes, 12, "header")?;
-        let mut magic = [0u8; 4];
-        bytes.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
+        if &bytes[..4] != MAGIC {
             return Err(CheckpointError::Corrupt("bad magic".into()));
         }
-        let version = bytes.get_u32_le();
-        if version != VERSION {
+        let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
+        // v2 carries a CRC-32 footer over everything before it; verify the
+        // whole file before trusting any field of the body.
+        let mut bytes = if version >= 2 {
+            need(bytes, 16, "crc footer")?;
+            let (body, footer) = bytes.split_at(bytes.len() - 4);
+            let stored = u32::from_le_bytes([footer[0], footer[1], footer[2], footer[3]]);
+            let actual = crate::crc32::crc32(body);
+            if stored != actual {
+                return Err(CheckpointError::Corrupt(format!(
+                    "crc mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                )));
+            }
+            body
+        } else {
+            bytes
+        };
+        bytes.advance(8); // magic + version
         let count = bytes.get_u32_le() as usize;
         let mut params = Vec::with_capacity(count);
         for _ in 0..count {
@@ -243,6 +273,49 @@ mod tests {
         assert!(matches!(
             Checkpoint::from_bytes(&bytes),
             Err(CheckpointError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn any_single_flipped_byte_is_rejected() {
+        // The integrity contract behind `CheckpointError::Corrupt`: no
+        // single corrupted byte may load successfully. (A flip in the
+        // version field maps to UnsupportedVersion; both are rejections.)
+        let model = mlp(4, 3);
+        let good = Checkpoint::capture(&model).to_bytes().to_vec();
+        let stride = (good.len() / 97).max(1); // sample positions, keep the test fast
+        for pos in (0..good.len()).step_by(stride) {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x20;
+            assert!(
+                Checkpoint::from_bytes(&bad).is_err(),
+                "flipped byte at {pos} loaded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_without_footer_still_loads() {
+        let model = mlp(4, 5);
+        let ckpt = Checkpoint::capture(&model);
+        let v2 = ckpt.to_bytes().to_vec();
+        // A v1 file is the v2 body with the old version number and no CRC.
+        let mut v1 = v2[..v2.len() - 4].to_vec();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let decoded = Checkpoint::from_bytes(&v1).unwrap();
+        assert_eq!(decoded, ckpt);
+    }
+
+    #[test]
+    fn torn_write_is_rejected() {
+        // A checkpoint cut off mid-tensor (simulating a torn write) must
+        // fail the CRC, not decode a prefix.
+        let model = mlp(8, 6);
+        let bytes = Checkpoint::capture(&model).to_bytes();
+        let torn = &bytes[..bytes.len() / 2];
+        assert!(matches!(
+            Checkpoint::from_bytes(torn),
+            Err(CheckpointError::Corrupt(_))
         ));
     }
 

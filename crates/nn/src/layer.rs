@@ -29,6 +29,11 @@ pub enum Mode {
 ///   input, *accumulating* (not overwriting) parameter gradients.
 /// * `backward` must not destroy the cache: callers such as DeepFool
 ///   backpropagate several different seed gradients through one forward.
+/// * An [`Mode::Eval`] `forward` must not mutate *persistent* state —
+///   parameters, batch-norm running statistics, dropout RNG position.
+///   The transient backward cache is the only thing it may touch, which is
+///   why concurrent serving replicates models per worker
+///   ([`Layer::clone_layer`]) instead of sharing one behind a lock.
 pub trait Layer: Send {
     /// Computes the layer output for `input`.
     ///
@@ -58,6 +63,18 @@ pub trait Layer: Send {
 
     /// Short static identifier, e.g. `"conv2d"`.
     fn kind(&self) -> &'static str;
+
+    /// Clones this layer into an independent replica with **fresh (empty)
+    /// backward caches** but identical persistent state: parameter values,
+    /// batch-norm running statistics, dropout RNG position, installed
+    /// quantisation formats.
+    ///
+    /// Replicas are how the serving engine scales across workers: the model
+    /// is loaded once, then cloned per worker so concurrent eval-mode
+    /// forward passes never contend on the shared original. Because the
+    /// clone starts cache-free, `backward` before a `forward` on it fails
+    /// with [`crate::NnError::BackwardBeforeForward`] as on a new layer.
+    fn clone_layer(&self) -> Box<dyn Layer>;
 
     /// The activation tensor this layer produced in its last forward pass,
     /// if it retains one. Used to sample activation distributions for the

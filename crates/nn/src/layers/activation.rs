@@ -42,6 +42,10 @@ impl Layer for Tanh {
         "tanh"
     }
 
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Tanh { last_output: None })
+    }
+
     fn last_output(&self) -> Option<&Tensor> {
         self.last_output.as_ref()
     }
@@ -85,6 +89,10 @@ impl Layer for Sigmoid {
 
     fn kind(&self) -> &'static str {
         "sigmoid"
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Sigmoid { last_output: None })
     }
 
     fn last_output(&self) -> Option<&Tensor> {

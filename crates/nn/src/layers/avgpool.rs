@@ -127,6 +127,14 @@ impl Layer for AvgPool2d {
     fn kind(&self) -> &'static str {
         "avgpool2d"
     }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(AvgPool2d {
+            kernel: self.kernel,
+            stride: self.stride,
+            cached_input_shape: None,
+        })
+    }
 }
 
 #[cfg(test)]

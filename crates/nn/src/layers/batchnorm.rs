@@ -237,6 +237,18 @@ impl Layer for BatchNorm2d {
     fn kind(&self) -> &'static str {
         "batchnorm2d"
     }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(BatchNorm2d {
+            gamma: self.gamma.clone(),
+            beta: self.beta.clone(),
+            running_mean: self.running_mean.clone(),
+            running_var: self.running_var.clone(),
+            momentum: self.momentum,
+            eps: self.eps,
+            cache: None,
+        })
+    }
 }
 
 #[cfg(test)]

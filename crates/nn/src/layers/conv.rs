@@ -181,6 +181,20 @@ impl Layer for Conv2d {
     fn kind(&self) -> &'static str {
         "conv2d"
     }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        // The im2col scratch is per-replica state and starts empty; it is
+        // regrown lazily on the replica's first forward pass.
+        Box::new(Conv2d {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+            cache: None,
+            cols: Tensor::default(),
+        })
+    }
 }
 
 #[cfg(test)]

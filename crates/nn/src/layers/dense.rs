@@ -88,6 +88,14 @@ impl Layer for Dense {
     fn kind(&self) -> &'static str {
         "dense"
     }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Dense {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            cached_input: None,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -87,6 +87,17 @@ impl Layer for Dropout {
     fn kind(&self) -> &'static str {
         "dropout"
     }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        // The RNG is cloned at its current position so a replica trained
+        // onward draws the same masks the original would have.
+        Box::new(Dropout {
+            p: self.p,
+            rng: self.rng.clone(),
+            mask: None,
+            last_mode: Mode::Eval,
+        })
+    }
 }
 
 #[cfg(test)]

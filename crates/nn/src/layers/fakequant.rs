@@ -84,6 +84,14 @@ impl Layer for FakeQuant {
         "fakequant"
     }
 
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(FakeQuant {
+            format: self.format,
+            pass_mask: None,
+            last_output: None,
+        })
+    }
+
     fn last_output(&self) -> Option<&Tensor> {
         self.last_output.as_ref()
     }

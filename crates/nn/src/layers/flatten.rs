@@ -44,6 +44,10 @@ impl Layer for Flatten {
     fn kind(&self) -> &'static str {
         "flatten"
     }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Flatten { cached_shape: None })
+    }
 }
 
 #[cfg(test)]

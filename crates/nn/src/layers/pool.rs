@@ -124,6 +124,14 @@ impl Layer for MaxPool2d {
     fn kind(&self) -> &'static str {
         "maxpool2d"
     }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(MaxPool2d {
+            kernel: self.kernel,
+            stride: self.stride,
+            cache: None,
+        })
+    }
 }
 
 #[cfg(test)]

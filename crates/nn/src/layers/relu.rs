@@ -39,6 +39,10 @@ impl Layer for Relu {
         "relu"
     }
 
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Relu { last_output: None })
+    }
+
     fn last_output(&self) -> Option<&Tensor> {
         self.last_output.as_ref()
     }

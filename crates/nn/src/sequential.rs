@@ -181,6 +181,19 @@ impl Sequential {
     }
 }
 
+impl Clone for Sequential {
+    /// Clones the network into an independent replica via
+    /// [`Layer::clone_layer`]: identical persistent state (parameter
+    /// values, running statistics, quantisation formats), fresh backward
+    /// caches. Serving workers each own one replica so concurrent forward
+    /// passes never contend.
+    fn clone(&self) -> Self {
+        Sequential {
+            layers: self.layers.iter().map(|l| l.clone_layer()).collect(),
+        }
+    }
+}
+
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let kinds: Vec<&str> = self.layers.iter().map(|l| l.kind()).collect();
@@ -287,6 +300,32 @@ mod tests {
         assert!(s.contains("relu"));
         assert!(s.contains("fc1.weight"));
         assert!(s.contains(&format!("total parameters: {}", n.num_params())));
+    }
+
+    #[test]
+    fn clone_is_independent_replica() {
+        let mut a = net();
+        let x = Tensor::ones(&[2, 4]);
+        a.forward(&x, Mode::Eval).unwrap();
+        let mut b = a.clone();
+        // Same persistent state → identical outputs.
+        let ya = a.forward(&x, Mode::Eval).unwrap();
+        let yb = b.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(ya.data(), yb.data());
+        // Mutating the clone's parameters must not touch the original.
+        b.param_mut("fc1.weight").unwrap().value.data_mut()[0] += 1.0;
+        let ya2 = a.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(ya.data(), ya2.data());
+    }
+
+    #[test]
+    fn clone_starts_cache_free() {
+        let mut a = net();
+        a.forward(&Tensor::ones(&[1, 4]), Mode::Eval).unwrap();
+        let mut b = a.clone();
+        // The original can backpropagate; the replica has no cache yet.
+        assert!(a.backward(&Tensor::ones(&[1, 3])).is_ok());
+        assert!(b.backward(&Tensor::ones(&[1, 3])).is_err());
     }
 
     #[test]

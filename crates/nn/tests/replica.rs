@@ -1,0 +1,120 @@
+//! Replica-safety contract for eval-mode inference (the serving engine's
+//! correctness precondition).
+//!
+//! Serving workers each own a [`Sequential`] replica produced by `clone()`.
+//! That is only sound if an eval-mode forward pass mutates nothing but the
+//! layer's transient backward cache: parameters, batch-norm running
+//! statistics and the dropout RNG position must be bit-identical afterwards,
+//! and two replicas evaluating the same input on different threads must
+//! produce bit-identical outputs.
+
+use advcomp_nn::{
+    BatchNorm2d, Conv2d, Dense, Dropout, FakeQuant, Flatten, MaxPool2d, Mode, Relu, Sequential,
+};
+use advcomp_tensor::{Init, Tensor};
+use rand::SeedableRng;
+
+/// A network touching every layer with interior state: conv (im2col
+/// scratch), batch-norm (running stats), dropout (RNG), fakequant (mask).
+fn stateful_net(seed: u64) -> Sequential {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut net = Sequential::new(vec![
+        Box::new(FakeQuant::new()),
+        Box::new(Conv2d::with_name("conv1", 1, 4, 3, 1, 1, &mut rng)),
+        Box::new(BatchNorm2d::with_name("bn1", 4)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool2d::new(2, 2)),
+        Box::new(Flatten::new()),
+        Box::new(Dropout::new(0.5, 11)),
+        Box::new(Dense::with_name("fc1", 4 * 4 * 4, 10, &mut rng)),
+    ]);
+    // Warm the BN running statistics so eval mode has non-trivial state.
+    let mut rng2 = rand::rngs::StdRng::seed_from_u64(seed + 1);
+    let warm = Init::Normal {
+        mean: 0.3,
+        std: 1.0,
+    }
+    .tensor(&[4, 1, 8, 8], &mut rng2);
+    net.forward(&warm, Mode::Train).unwrap();
+    net
+}
+
+fn input(seed: u64, n: usize) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Init::Uniform { lo: 0.0, hi: 1.0 }.tensor(&[n, 1, 8, 8], &mut rng)
+}
+
+#[test]
+fn concurrent_eval_on_clones_is_bit_identical() {
+    let base = stateful_net(3);
+    let x = input(5, 3);
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let mut replica = base.clone();
+        let xc = x.clone();
+        handles.push(std::thread::spawn(move || {
+            // Several passes: later outputs must not depend on pass count.
+            let mut last = None;
+            for _ in 0..3 {
+                last = Some(replica.forward(&xc, Mode::Eval).unwrap());
+            }
+            last.unwrap().into_data()
+        }));
+    }
+    let a = handles.pop().unwrap().join().unwrap();
+    let b = handles.pop().unwrap().join().unwrap();
+    assert_eq!(a, b, "replica eval forwards diverged");
+}
+
+#[test]
+fn eval_forward_preserves_persistent_state() {
+    let mut net = stateful_net(7);
+    let x = input(9, 2);
+    let params_before = net.export_params();
+    let bn_mean_before: Vec<f32> = bn_running_mean(&net);
+    let y1 = net.forward(&x, Mode::Eval).unwrap();
+    let y2 = net.forward(&x, Mode::Eval).unwrap();
+    // Eval is a pure function of (state, input): repeated calls agree ...
+    assert_eq!(y1.data(), y2.data());
+    // ... and nothing persistent moved.
+    let params_after = net.export_params();
+    for ((n1, t1), (n2, t2)) in params_before.iter().zip(&params_after) {
+        assert_eq!(n1, n2);
+        assert_eq!(t1.data(), t2.data(), "parameter {n1} mutated by eval");
+    }
+    assert_eq!(bn_mean_before, bn_running_mean(&net), "BN stats mutated");
+}
+
+#[test]
+fn eval_forward_does_not_advance_dropout_rng() {
+    // Two clones; one runs extra eval passes first. If eval drew from the
+    // dropout RNG, the subsequent train-mode masks would differ.
+    let base = stateful_net(13);
+    let mut a = base.clone();
+    let mut b = base.clone();
+    let x = input(17, 2);
+    for _ in 0..4 {
+        a.forward(&x, Mode::Eval).unwrap();
+    }
+    let ya = a.forward(&x, Mode::Train).unwrap();
+    let yb = b.forward(&x, Mode::Train).unwrap();
+    assert_eq!(
+        ya.data(),
+        yb.data(),
+        "eval forward advanced the dropout RNG"
+    );
+}
+
+fn bn_running_mean(net: &Sequential) -> Vec<f32> {
+    // BatchNorm running stats are not exported as params; reach the layer
+    // through its concrete type via a fresh forward comparison instead:
+    // clone the net and read eval outputs on a probe. Bit-identical eval
+    // outputs before/after imply unchanged running stats, but we also keep
+    // an explicit probe for a sharper failure message.
+    let mut probe_net = net.clone();
+    let probe = Tensor::ones(&[1, 1, 8, 8]);
+    probe_net
+        .forward(&probe, Mode::Eval)
+        .expect("probe forward")
+        .into_data()
+}

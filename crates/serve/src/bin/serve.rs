@@ -1,0 +1,147 @@
+//! `serve` — run the batched inference server over saved checkpoints.
+//!
+//! ```text
+//! serve --arch lenet5:1.0 --baseline dense=ckpt/dense.advc \
+//!       --variant quant8=ckpt/quant8.advc --variant pruned=ckpt/pruned.advc \
+//!       --addr 127.0.0.1:7878 --workers 4 --max-batch 16 --max-delay-ms 2 \
+//!       --queue-depth 128 --guard-threshold 0.5
+//! ```
+//!
+//! Architectures: `mlp:<hidden>` (28×28 inputs) and `lenet5:<width>`.
+//! Every checkpoint must have been written by `advcomp_models::Checkpoint`
+//! (v2 files carry a CRC-32 footer and are verified on load).
+
+use advcomp_models::{lenet5, mlp};
+use advcomp_nn::Sequential;
+use advcomp_serve::{Engine, GuardConfig, ModelRegistry, ServeConfig, Server};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    arch: String,
+    baseline: Option<(String, PathBuf)>,
+    variants: Vec<(String, PathBuf)>,
+    addr: String,
+    config: ServeConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve --arch <mlp:H|lenet5:W> --baseline NAME=PATH \
+         [--variant NAME=PATH]... [--addr HOST:PORT] [--workers N] \
+         [--max-batch N] [--max-delay-ms N] [--queue-depth N] \
+         [--guard-threshold F|--no-guard]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_named(arg: &str) -> (String, PathBuf) {
+    match arg.split_once('=') {
+        Some((name, path)) if !name.is_empty() && !path.is_empty() => {
+            (name.to_string(), PathBuf::from(path))
+        }
+        _ => {
+            eprintln!("expected NAME=PATH, got {arg}");
+            usage()
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        arch: "lenet5:1.0".into(),
+        baseline: None,
+        variants: Vec::new(),
+        addr: "127.0.0.1:7878".into(),
+        config: ServeConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--arch" => args.arch = value(),
+            "--baseline" => args.baseline = Some(parse_named(&value())),
+            "--variant" => args.variants.push(parse_named(&value())),
+            "--addr" => args.addr = value(),
+            "--workers" => args.config.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--max-batch" => args.config.max_batch = value().parse().unwrap_or_else(|_| usage()),
+            "--max-delay-ms" => {
+                args.config.max_delay =
+                    Duration::from_millis(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--queue-depth" => {
+                args.config.queue_depth = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--guard-threshold" => {
+                args.config.guard = Some(GuardConfig {
+                    threshold: value().parse().unwrap_or_else(|_| usage()),
+                })
+            }
+            "--no-guard" => args.config.guard = None,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if args.baseline.is_none() {
+        eprintln!("--baseline is required");
+        usage();
+    }
+    args
+}
+
+/// Builds a fresh (untrained) architecture from its spec string; the
+/// checkpoint restore then installs the trained parameters.
+fn build_arch(spec: &str) -> Option<(Sequential, Vec<usize>)> {
+    let (kind, param) = spec.split_once(':')?;
+    match kind {
+        "mlp" => Some((mlp(param.parse().ok()?, 0), vec![1, 28, 28])),
+        "lenet5" => Some((lenet5(param.parse().ok()?, 0), vec![1, 28, 28])),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let Some((_, input_shape)) = build_arch(&args.arch) else {
+        eprintln!("unknown architecture spec {}", args.arch);
+        return ExitCode::from(2);
+    };
+    let run = || -> Result<(), advcomp_serve::ServeError> {
+        let mut registry = ModelRegistry::new(&input_shape)?;
+        let (name, path) = args.baseline.as_ref().expect("validated in parse_args");
+        let (arch, _) = build_arch(&args.arch).expect("validated above");
+        registry.load_baseline(name.clone(), arch, path)?;
+        eprintln!("loaded baseline {name} from {}", path.display());
+        for (name, path) in &args.variants {
+            let (arch, _) = build_arch(&args.arch).expect("validated above");
+            registry.load_variant(name.clone(), arch, path)?;
+            eprintln!("loaded variant {name} from {}", path.display());
+        }
+        let engine = Engine::start(&registry, args.config.clone())?;
+        let server = Server::bind(engine, &args.addr)?;
+        eprintln!(
+            "serving on {} ({} workers, max batch {}, guard {})",
+            server.local_addr(),
+            args.config.workers,
+            args.config.max_batch,
+            match &args.config.guard {
+                Some(g) => format!("threshold {}", g.threshold),
+                None => "off".into(),
+            }
+        );
+        server.serve_forever();
+        eprintln!("shut down cleanly");
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! The serving engine: bounded queue, dynamic batcher, worker pool, and
+//! the compression-ensemble adversarial guard.
+//!
+//! # Dataflow
+//!
+//! ```text
+//! submit() --try_send--> [bounded MPSC queue] --recv--> worker 0..N
+//!    |  (full => Overloaded)                              |
+//!    |                                                    | coalesce until
+//!    |<------------- per-job reply channel ---------------| max_batch or
+//!                                                         | max_delay, then
+//!                                                         | batched forward
+//! ```
+//!
+//! Workers share the queue receiver behind a mutex. A worker holds the
+//! lock only while *assembling* a batch (first `recv`, then `recv_timeout`
+//! until the deadline or `max_batch`); the expensive forward passes run
+//! outside the lock, so batch assembly and inference pipeline across
+//! workers. Each worker owns a private [`ReplicaSet`] — forwards never
+//! touch shared layer state (see `Layer::clone_layer`).
+//!
+//! # Ensemble guard
+//!
+//! Adversarial examples crafted against a dense model transfer imperfectly
+//! to its pruned/quantised variants (the paper's central observation), so
+//! top-1 disagreement between the baseline and its compressed copies is a
+//! cheap adversarial signal. For each request the guard scores
+//! `suspect = disagreeing variants / total variants` and flags the request
+//! when `suspect >= threshold`.
+
+use crate::registry::{ModelRegistry, ReplicaSet};
+use crate::{ServeError, ServeMetrics};
+use advcomp_nn::{softmax, Mode};
+use advcomp_tensor::Tensor;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Ensemble-guard configuration.
+#[derive(Debug, Clone)]
+pub struct GuardConfig {
+    /// Flag a request when at least this fraction of variants disagrees
+    /// with the baseline's top-1 label. Must lie in `(0, 1]`.
+    pub threshold: f64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig { threshold: 0.5 }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of worker threads (each with its own replica set).
+    pub workers: usize,
+    /// Maximum requests coalesced into one forward pass.
+    pub max_batch: usize,
+    /// Maximum time a worker waits for the batch to fill after the first
+    /// request arrives.
+    pub max_delay: Duration,
+    /// Bounded queue depth; a full queue rejects with
+    /// [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Enables the compression-ensemble adversarial guard.
+    pub guard: Option<GuardConfig>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+            queue_depth: 64,
+            guard: Some(GuardConfig::default()),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::Config("workers must be >= 1".into()));
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::Config("max_batch must be >= 1".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::Config("queue_depth must be >= 1".into()));
+        }
+        if let Some(g) = &self.guard {
+            if !(g.threshold > 0.0 && g.threshold <= 1.0) {
+                return Err(ServeError::Config(format!(
+                    "guard threshold {} must lie in (0, 1]",
+                    g.threshold
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The answer for one request.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Baseline top-1 class.
+    pub label: usize,
+    /// Baseline softmax distribution, when the request asked for it.
+    pub probs: Option<Vec<f32>>,
+    /// Guard score: fraction of variants disagreeing with the baseline.
+    /// `None` when the guard is disabled or no variants are registered.
+    pub suspect: Option<f64>,
+    /// Whether the guard flagged this request as adversarial-suspect.
+    pub flagged: Option<bool>,
+    /// Per-variant top-1 labels `(name, label)` when the guard ran.
+    pub variant_labels: Vec<(String, usize)>,
+}
+
+struct Job {
+    input: Vec<f32>,
+    want_probs: bool,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Prediction, ServeError>>,
+}
+
+struct Shared {
+    metrics: ServeMetrics,
+    sample_len: usize,
+    input_shape: Vec<usize>,
+    config: ServeConfig,
+}
+
+/// Handle to a running engine. Cheap to clone; all clones feed the same
+/// worker pool.
+#[derive(Clone)]
+pub struct Engine {
+    tx: Arc<Mutex<Option<SyncSender<Job>>>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shared: Arc<Shared>,
+    started: Instant,
+}
+
+impl Engine {
+    /// Spawns the worker pool over `registry`'s models.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for invalid configuration or an incomplete
+    /// registry (no baseline).
+    pub fn start(registry: &ModelRegistry, config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let shared = Arc::new(Shared {
+            metrics: ServeMetrics::default(),
+            sample_len: registry.sample_len(),
+            input_shape: registry.input_shape().to_vec(),
+            config: config.clone(),
+        });
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(config.workers);
+        for idx in 0..config.workers {
+            let replicas = registry.replica()?;
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{idx}"))
+                    .spawn(move || worker_loop(replicas, rx, shared))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+        Ok(Engine {
+            tx: Arc::new(Mutex::new(Some(tx))),
+            workers: Arc::new(Mutex::new(workers)),
+            shared,
+            started: Instant::now(),
+        })
+    }
+
+    /// Submits one sample and blocks until its prediction is ready.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::BadRequest`] — wrong input length.
+    /// * [`ServeError::Overloaded`] — queue full; the caller should retry.
+    /// * [`ServeError::ShuttingDown`] — engine stopped.
+    /// * [`ServeError::WorkerLost`] / [`ServeError::Nn`] — worker-side
+    ///   failures.
+    pub fn submit(&self, input: Vec<f32>, want_probs: bool) -> Result<Prediction, ServeError> {
+        let m = &self.shared.metrics;
+        if input.len() != self.shared.sample_len {
+            m.failed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::BadRequest(format!(
+                "input has {} values, model expects {}",
+                input.len(),
+                self.shared.sample_len
+            )));
+        }
+        if input.iter().any(|v| !v.is_finite()) {
+            m.failed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::BadRequest(
+                "input contains non-finite values".into(),
+            ));
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job {
+            input,
+            want_probs,
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        };
+        {
+            let guard = self.tx.lock().unwrap_or_else(|p| p.into_inner());
+            let Some(tx) = guard.as_ref() else {
+                return Err(ServeError::ShuttingDown);
+            };
+            match tx.try_send(job) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    m.overloaded.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::Overloaded);
+                }
+                Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
+            }
+        }
+        m.accepted.fetch_add(1, Ordering::Relaxed);
+        match reply_rx.recv() {
+            Ok(result) => result,
+            Err(_) => {
+                m.failed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::WorkerLost)
+            }
+        }
+    }
+
+    /// The engine's metrics (shared with workers).
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// JSON metrics snapshot since engine start.
+    pub fn metrics_snapshot(&self) -> crate::json::Json {
+        self.shared.metrics.snapshot(self.started.elapsed())
+    }
+
+    /// Shape of one input sample.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.shared.input_shape
+    }
+
+    /// Scalar element count of one input sample.
+    pub fn sample_len(&self) -> usize {
+        self.shared.sample_len
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    /// Stops accepting work, drains in-flight batches, and joins every
+    /// worker. Idempotent across clones.
+    pub fn shutdown(&self) {
+        self.tx.lock().unwrap_or_else(|p| p.into_inner()).take();
+        let workers: Vec<_> = self
+            .workers
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .drain(..)
+            .collect();
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(mut replicas: ReplicaSet, rx: Arc<Mutex<Receiver<Job>>>, shared: Arc<Shared>) {
+    let max_batch = shared.config.max_batch;
+    let max_delay = shared.config.max_delay;
+    loop {
+        // Assemble one batch while holding the queue lock; inference runs
+        // after release so other workers can assemble concurrently.
+        let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
+        let assembly_t0;
+        {
+            let queue = rx.lock().unwrap_or_else(|p| p.into_inner());
+            match queue.recv() {
+                Ok(job) => {
+                    assembly_t0 = Instant::now();
+                    batch.push(job);
+                }
+                Err(_) => return, // all senders dropped: shutdown
+            }
+            let deadline = assembly_t0 + max_delay;
+            while batch.len() < max_batch {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                match queue.recv_timeout(left) {
+                    Ok(job) => batch.push(job),
+                    Err(RecvTimeoutError::Timeout) => break,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        let assembly = assembly_t0.elapsed();
+        let picked = Instant::now();
+        for job in &batch {
+            shared
+                .metrics
+                .queue_wait
+                .record(picked.duration_since(job.enqueued));
+        }
+        shared.metrics.batch_assembly.record(assembly);
+        shared.metrics.batch_sizes.record(batch.len());
+        run_batch(&mut replicas, batch, &shared);
+    }
+}
+
+/// Runs one coalesced batch through the baseline (and guard variants),
+/// then answers every job's reply channel.
+fn run_batch(replicas: &mut ReplicaSet, batch: Vec<Job>, shared: &Shared) {
+    let m = &shared.metrics;
+    let n = batch.len();
+    let mut shape = vec![n];
+    shape.extend_from_slice(&shared.input_shape);
+    let mut data = Vec::with_capacity(n * shared.sample_len);
+    for job in &batch {
+        data.extend_from_slice(&job.input);
+    }
+    let forward_t0 = Instant::now();
+    let outcome = (|| -> Result<_, ServeError> {
+        let input = Tensor::new(&shape, data).map_err(advcomp_nn::NnError::from)?;
+        let logits = replicas.baseline.1.forward(&input, Mode::Eval)?;
+        let labels = logits.argmax_rows().map_err(advcomp_nn::NnError::from)?;
+        let probs = softmax(&logits)?;
+        let guard = match (&shared.config.guard, replicas.variants.is_empty()) {
+            (Some(cfg), false) => {
+                let mut per_variant = Vec::with_capacity(replicas.variants.len());
+                for (name, model) in &mut replicas.variants {
+                    let vl = model.forward(&input, Mode::Eval)?;
+                    let vlabels = vl.argmax_rows().map_err(advcomp_nn::NnError::from)?;
+                    per_variant.push((name.clone(), vlabels));
+                }
+                Some((cfg.threshold, per_variant))
+            }
+            _ => None,
+        };
+        Ok((labels, probs, guard))
+    })();
+    m.forward.record(forward_t0.elapsed());
+
+    match outcome {
+        Ok((labels, probs, guard)) => {
+            let classes = probs.shape()[1];
+            for (row, job) in batch.into_iter().enumerate() {
+                let label = labels[row];
+                let (suspect, flagged, variant_labels) = match &guard {
+                    Some((threshold, per_variant)) => {
+                        let total = per_variant.len();
+                        let disagree = per_variant
+                            .iter()
+                            .filter(|(_, vl)| vl[row] != label)
+                            .count();
+                        let suspect = disagree as f64 / total as f64;
+                        let flagged = suspect >= *threshold;
+                        m.guard_scored.fetch_add(1, Ordering::Relaxed);
+                        m.guard_variants.fetch_add(total as u64, Ordering::Relaxed);
+                        m.guard_disagreements
+                            .fetch_add(disagree as u64, Ordering::Relaxed);
+                        if flagged {
+                            m.guard_flagged.fetch_add(1, Ordering::Relaxed);
+                        }
+                        (
+                            Some(suspect),
+                            Some(flagged),
+                            per_variant
+                                .iter()
+                                .map(|(name, vl)| (name.clone(), vl[row]))
+                                .collect(),
+                        )
+                    }
+                    None => (None, None, Vec::new()),
+                };
+                let prediction = Prediction {
+                    label,
+                    probs: job
+                        .want_probs
+                        .then(|| probs.data()[row * classes..(row + 1) * classes].to_vec()),
+                    suspect,
+                    flagged,
+                    variant_labels,
+                };
+                m.completed.fetch_add(1, Ordering::Relaxed);
+                m.total.record(job.enqueued.elapsed());
+                let _ = job.reply.send(Ok(prediction));
+            }
+        }
+        Err(err) => {
+            // One shared failure message; ServeError isn't Clone, so each
+            // job gets its own Nn/BadRequest-style rendering.
+            let msg = err.to_string();
+            for job in batch {
+                m.failed.fetch_add(1, Ordering::Relaxed);
+                m.total.record(job.enqueued.elapsed());
+                let _ = job.reply.send(Err(ServeError::BadRequest(msg.clone())));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advcomp_models::mlp;
+
+    fn registry(variants: usize) -> ModelRegistry {
+        let mut reg = ModelRegistry::new(&[1, 28, 28]).unwrap();
+        reg.set_baseline("dense", mlp(8, 0)).unwrap();
+        for i in 0..variants {
+            reg.add_variant(format!("v{i}"), mlp(8, i as u64 + 1))
+                .unwrap();
+        }
+        reg
+    }
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            max_batch: 4,
+            max_delay: Duration::from_millis(1),
+            queue_depth: 32,
+            guard: Some(GuardConfig { threshold: 0.5 }),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let reg = registry(0);
+        for bad in [
+            ServeConfig {
+                workers: 0,
+                ..cfg()
+            },
+            ServeConfig {
+                max_batch: 0,
+                ..cfg()
+            },
+            ServeConfig {
+                queue_depth: 0,
+                ..cfg()
+            },
+            ServeConfig {
+                guard: Some(GuardConfig { threshold: 0.0 }),
+                ..cfg()
+            },
+            ServeConfig {
+                guard: Some(GuardConfig { threshold: 1.5 }),
+                ..cfg()
+            },
+        ] {
+            assert!(Engine::start(&reg, bad).is_err());
+        }
+    }
+
+    #[test]
+    fn serves_predictions_with_guard_scores() {
+        let engine = Engine::start(&registry(2), cfg()).unwrap();
+        let p = engine.submit(vec![0.5; 28 * 28], true).unwrap();
+        assert!(p.label < 10);
+        let probs = p.probs.expect("asked for probs");
+        assert_eq!(probs.len(), 10);
+        assert!((probs.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        assert!(p.suspect.is_some());
+        assert!(p.flagged.is_some());
+        assert_eq!(p.variant_labels.len(), 2);
+        engine.shutdown();
+        assert_eq!(engine.metrics().completed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn rejects_wrong_length_and_non_finite_inputs() {
+        let engine = Engine::start(&registry(0), cfg()).unwrap();
+        assert!(matches!(
+            engine.submit(vec![0.0; 3], false),
+            Err(ServeError::BadRequest(_))
+        ));
+        let mut nan = vec![0.0; 28 * 28];
+        nan[0] = f32::NAN;
+        assert!(matches!(
+            engine.submit(nan, false),
+            Err(ServeError::BadRequest(_))
+        ));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn concurrent_submits_batch_and_all_complete() {
+        let engine = Engine::start(&registry(1), cfg()).unwrap();
+        let mut handles = Vec::new();
+        for i in 0..24 {
+            let e = engine.clone();
+            handles.push(std::thread::spawn(move || {
+                e.submit(vec![(i as f32) / 24.0; 28 * 28], false)
+            }));
+        }
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        engine.shutdown();
+        let m = engine.metrics();
+        assert_eq!(m.completed.load(Ordering::Relaxed), 24);
+        // With 24 near-simultaneous submits and max_batch 4 across 2
+        // workers, at least one batch must have coalesced.
+        assert!(m.batch_sizes.max() > 1, "max batch {}", m.batch_sizes.max());
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let engine = Engine::start(&registry(0), cfg()).unwrap();
+        engine.shutdown();
+        assert!(matches!(
+            engine.submit(vec![0.0; 28 * 28], false),
+            Err(ServeError::ShuttingDown)
+        ));
+        // shutdown is idempotent.
+        engine.shutdown();
+    }
+
+    #[test]
+    fn guard_disabled_leaves_scores_empty() {
+        let config = ServeConfig {
+            guard: None,
+            ..cfg()
+        };
+        let engine = Engine::start(&registry(2), config).unwrap();
+        let p = engine.submit(vec![0.1; 28 * 28], false).unwrap();
+        assert!(p.suspect.is_none());
+        assert!(p.flagged.is_none());
+        assert!(p.variant_labels.is_empty());
+        engine.shutdown();
+        assert_eq!(engine.metrics().guard_scored.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Error type for the serving engine.
+
+use advcomp_models::CheckpointError;
+use advcomp_nn::NnError;
+use std::fmt;
+
+/// Errors raised by the serving subsystem.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request queue is full — explicit backpressure, never a hang.
+    /// Clients receive an `overloaded` response and should retry later.
+    Overloaded,
+    /// The engine is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// A worker dropped the reply channel without answering (a worker
+    /// panic; the request is lost, not stuck).
+    WorkerLost,
+    /// Invalid engine or registry configuration.
+    Config(String),
+    /// A request was malformed (wrong input length, unknown model, bad
+    /// frame).
+    BadRequest(String),
+    /// Checkpoint loading failed (I/O, corruption, incompatibility).
+    Checkpoint(CheckpointError),
+    /// A model forward pass failed.
+    Nn(NnError),
+    /// Socket-level I/O failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "request queue full (overloaded)"),
+            ServeError::ShuttingDown => write!(f, "engine shutting down"),
+            ServeError::WorkerLost => write!(f, "worker dropped the request"),
+            ServeError::Config(msg) => write!(f, "invalid config: {msg}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            ServeError::Nn(e) => write!(f, "model: {e}"),
+            ServeError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Checkpoint(e) => Some(e),
+            ServeError::Nn(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}
+
+impl From<NnError> for ServeError {
+    fn from(e: NnError) -> Self {
+        ServeError::Nn(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ServeError::Overloaded.to_string().contains("overloaded"));
+        assert!(ServeError::Config("x".into()).to_string().contains('x'));
+        assert!(ServeError::BadRequest("y".into()).to_string().contains('y'));
+    }
+}

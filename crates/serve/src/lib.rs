@@ -1,0 +1,51 @@
+//! advcomp-serve: batched inference serving with compression-ensemble
+//! adversarial detection.
+//!
+//! This crate turns the repository's trained models into a small
+//! production-style serving stack:
+//!
+//! * [`ModelRegistry`] — loads checkpoints (CRC-verified v2 format) into a
+//!   named baseline plus compressed variants, and stamps out independent
+//!   per-worker [`ReplicaSet`]s so concurrent forwards never share layer
+//!   state.
+//! * [`Engine`] — a bounded-queue dynamic batcher: worker threads coalesce
+//!   requests until `max_batch` or `max_delay`, run one batched eval
+//!   forward, and answer per-request reply channels. A full queue rejects
+//!   with [`ServeError::Overloaded`] — explicit backpressure, never a
+//!   hang.
+//! * the **ensemble guard** — scores each request by how many compressed
+//!   variants disagree with the baseline's top-1 label. Adversarial
+//!   examples transfer imperfectly across compression levels (the source
+//!   paper's key interaction), so disagreement is a cheap attack signal.
+//! * [`Server`]/[`Client`] — length-prefixed JSON frames over TCP with a
+//!   graceful-shutdown accept loop.
+//! * [`ServeMetrics`] — lock-free per-stage latency histograms, batch-size
+//!   distribution and guard rates, snapshotted to JSON.
+//!
+//! ```no_run
+//! use advcomp_serve::{Engine, ModelRegistry, ServeConfig, Server};
+//!
+//! let mut registry = ModelRegistry::new(&[1, 28, 28])?;
+//! registry.set_baseline("dense", advcomp_models::mlp(32, 0))?;
+//! registry.add_variant("quant8", advcomp_models::mlp(32, 0))?;
+//! let engine = Engine::start(&registry, ServeConfig::default())?;
+//! let server = Server::bind(engine, "127.0.0.1:7878")?;
+//! server.serve_forever();
+//! # Ok::<(), advcomp_serve::ServeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+pub mod json;
+mod metrics;
+pub mod protocol;
+mod registry;
+mod server;
+
+pub use engine::{Engine, GuardConfig, Prediction, ServeConfig};
+pub use error::ServeError;
+pub use metrics::{BatchSizeDistribution, LatencyHistogram, ServeMetrics};
+pub use registry::{ModelRegistry, ReplicaSet};
+pub use server::{Client, Server};

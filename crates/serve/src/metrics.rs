@@ -1,0 +1,354 @@
+//! Serving metrics: lock-free counters and histograms.
+//!
+//! All recorders are plain atomics so the hot path (workers + connection
+//! threads) never takes a lock to record. Latency histograms use
+//! power-of-two microsecond buckets — bucket `i` counts samples in
+//! `[2^i, 2^(i+1))` µs (bucket 0 also absorbs sub-µs samples) — which
+//! gives ~30 buckets covering 1 µs to >15 min with bounded error for
+//! quantile estimates. Snapshots are consistent-enough reads (each value
+//! individually atomic) serialised to JSON for scraping and for
+//! `BENCH_serve.json`.
+
+use crate::json::{Json, JsonObj};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const LAT_BUCKETS: usize = 30;
+const BATCH_BUCKETS: usize = 64;
+
+/// Histogram of durations in power-of-two microsecond buckets.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LAT_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(LAT_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`) in microseconds, taken as the
+    /// upper edge of the bucket containing the q-th sample. 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Upper bucket edge, capped by the true observed max.
+                return (1u64 << (i + 1)).min(self.max_us.load(Ordering::Relaxed).max(1));
+            }
+        }
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded sample in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    fn to_json(&self) -> Json {
+        JsonObj::new()
+            .set("count", Json::Num(self.count() as f64))
+            .set("mean_us", Json::Num(self.mean_us()))
+            .set("p50_us", Json::Num(self.quantile_us(0.50) as f64))
+            .set("p99_us", Json::Num(self.quantile_us(0.99) as f64))
+            .set("max_us", Json::Num(self.max_us() as f64))
+            .build()
+    }
+}
+
+/// Distribution of executed batch sizes (bucket per exact size, capped).
+#[derive(Debug)]
+pub struct BatchSizeDistribution {
+    // counts[s] = number of batches of size s+1; the last bucket absorbs
+    // every size >= BATCH_BUCKETS.
+    counts: [AtomicU64; BATCH_BUCKETS],
+    batches: AtomicU64,
+    jobs: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for BatchSizeDistribution {
+    fn default() -> Self {
+        BatchSizeDistribution {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            batches: AtomicU64::new(0),
+            jobs: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl BatchSizeDistribution {
+    /// Records one executed batch of `size` requests.
+    pub fn record(&self, size: usize) {
+        if size == 0 {
+            return;
+        }
+        let idx = (size - 1).min(BATCH_BUCKETS - 1);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.jobs.fetch_add(size as u64, Ordering::Relaxed);
+        self.max.fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    /// Number of batches executed.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Largest batch observed.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean batch size (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let b = self.batches();
+        if b == 0 {
+            0.0
+        } else {
+            self.jobs.load(Ordering::Relaxed) as f64 / b as f64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let sizes = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then(|| Json::Arr(vec![Json::Num((i + 1) as f64), Json::Num(n as f64)]))
+            })
+            .collect();
+        JsonObj::new()
+            .set("batches", Json::Num(self.batches() as f64))
+            .set("mean", Json::Num(self.mean()))
+            .set("max", Json::Num(self.max() as f64))
+            .set("sizes", Json::Arr(sizes))
+            .build()
+    }
+}
+
+/// All metrics for one serving engine, shared via `Arc`.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests accepted into the queue.
+    pub accepted: AtomicU64,
+    /// Requests answered successfully.
+    pub completed: AtomicU64,
+    /// Requests rejected with `overloaded` (queue full).
+    pub overloaded: AtomicU64,
+    /// Requests that failed (bad input, forward error, worker lost).
+    pub failed: AtomicU64,
+    /// Time from enqueue until a worker picked the job up.
+    pub queue_wait: LatencyHistogram,
+    /// Time a worker spent coalescing the batch after the first job.
+    pub batch_assembly: LatencyHistogram,
+    /// Forward-pass time (baseline + guard variants) per batch.
+    pub forward: LatencyHistogram,
+    /// End-to-end time from enqueue to reply.
+    pub total: LatencyHistogram,
+    /// Distribution of executed batch sizes.
+    pub batch_sizes: BatchSizeDistribution,
+    /// Requests scored by the compression-ensemble guard.
+    pub guard_scored: AtomicU64,
+    /// Requests the guard flagged as suspect.
+    pub guard_flagged: AtomicU64,
+    /// Sum over scored requests of the disagreeing-variant count.
+    pub guard_disagreements: AtomicU64,
+    /// Number of guard variants per request (for rate normalisation).
+    pub guard_variants: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// Fraction of scored requests the guard flagged (0 when unscored).
+    pub fn flag_rate(&self) -> f64 {
+        let n = self.guard_scored.load(Ordering::Relaxed);
+        if n == 0 {
+            0.0
+        } else {
+            self.guard_flagged.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Mean fraction of variants disagreeing with the baseline per scored
+    /// request (0 when unscored).
+    pub fn disagreement_rate(&self) -> f64 {
+        let slots = self.guard_variants.load(Ordering::Relaxed);
+        if slots == 0 {
+            0.0
+        } else {
+            self.guard_disagreements.load(Ordering::Relaxed) as f64 / slots as f64
+        }
+    }
+
+    /// Requests per second over `elapsed` (completed requests only).
+    pub fn throughput(&self, elapsed: Duration) -> f64 {
+        let s = elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.completed.load(Ordering::Relaxed) as f64 / s
+        }
+    }
+
+    /// One consistent-enough JSON snapshot of every metric.
+    pub fn snapshot(&self, elapsed: Duration) -> Json {
+        JsonObj::new()
+            .set(
+                "requests",
+                JsonObj::new()
+                    .set(
+                        "accepted",
+                        Json::Num(self.accepted.load(Ordering::Relaxed) as f64),
+                    )
+                    .set(
+                        "completed",
+                        Json::Num(self.completed.load(Ordering::Relaxed) as f64),
+                    )
+                    .set(
+                        "overloaded",
+                        Json::Num(self.overloaded.load(Ordering::Relaxed) as f64),
+                    )
+                    .set(
+                        "failed",
+                        Json::Num(self.failed.load(Ordering::Relaxed) as f64),
+                    )
+                    .build(),
+            )
+            .set(
+                "latency",
+                JsonObj::new()
+                    .set("queue_wait", self.queue_wait.to_json())
+                    .set("batch_assembly", self.batch_assembly.to_json())
+                    .set("forward", self.forward.to_json())
+                    .set("total", self.total.to_json())
+                    .build(),
+            )
+            .set("batch", self.batch_sizes.to_json())
+            .set(
+                "guard",
+                JsonObj::new()
+                    .set(
+                        "scored",
+                        Json::Num(self.guard_scored.load(Ordering::Relaxed) as f64),
+                    )
+                    .set(
+                        "flagged",
+                        Json::Num(self.guard_flagged.load(Ordering::Relaxed) as f64),
+                    )
+                    .set("flag_rate", Json::Num(self.flag_rate()))
+                    .set("disagreement_rate", Json::Num(self.disagreement_rate()))
+                    .build(),
+            )
+            .set("elapsed_s", Json::Num(elapsed.as_secs_f64()))
+            .set("throughput_rps", Json::Num(self.throughput(elapsed)))
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0);
+        for us in [1u64, 2, 4, 100, 1000, 1000, 1000, 8000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max_us(), 8000);
+        // The rank-4 sample of 8 is the 100µs one (bucket [64, 128) ->
+        // upper edge 128); allow through the adjacent 1000µs bucket.
+        let p50 = h.quantile_us(0.5);
+        assert!((128..=1024).contains(&p50), "p50 = {p50}");
+        // p99 is the max sample's bucket, capped at the observed max.
+        let p99 = h.quantile_us(0.99);
+        assert!((4096..=8000).contains(&p99), "p99 = {p99}");
+        assert!(h.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(1)); // sub-µs -> bucket 0
+        h.record(Duration::from_secs(3600)); // beyond last bucket -> clamped
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile_us(1.0) >= h.quantile_us(0.0));
+    }
+
+    #[test]
+    fn batch_distribution_tracks_mean_and_max() {
+        let d = BatchSizeDistribution::default();
+        d.record(0); // ignored
+        d.record(1);
+        d.record(4);
+        d.record(4);
+        d.record(500); // clamps into the overflow bucket but max is exact
+        assert_eq!(d.batches(), 4);
+        assert_eq!(d.max(), 500);
+        assert!((d.mean() - 509.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_valid_json() {
+        let m = ServeMetrics::default();
+        m.accepted.fetch_add(3, Ordering::Relaxed);
+        m.completed.fetch_add(2, Ordering::Relaxed);
+        m.total.record(Duration::from_millis(5));
+        m.batch_sizes.record(2);
+        m.guard_scored.fetch_add(2, Ordering::Relaxed);
+        m.guard_flagged.fetch_add(1, Ordering::Relaxed);
+        m.guard_variants.fetch_add(4, Ordering::Relaxed);
+        m.guard_disagreements.fetch_add(3, Ordering::Relaxed);
+        let snap = m.snapshot(Duration::from_secs(2));
+        let text = snap.to_string();
+        let parsed = Json::parse(text.as_bytes()).unwrap();
+        assert_eq!(
+            parsed.get("requests").and_then(|r| r.get("accepted")),
+            Some(&Json::Num(3.0))
+        );
+        assert_eq!(
+            parsed.get("throughput_rps"),
+            Some(&Json::Num(1.0)),
+            "2 completed / 2s"
+        );
+        assert_eq!(
+            parsed.get("guard").and_then(|g| g.get("flag_rate")),
+            Some(&Json::Num(0.5))
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! Wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! +----------------+---------------------+
+//! | u32 LE length  |  UTF-8 JSON payload |
+//! +----------------+---------------------+
+//! ```
+//!
+//! The length counts payload bytes only and is capped at
+//! [`MAX_FRAME`]; a peer announcing a larger frame is rejected before any
+//! payload is read, so an adversarial header cannot make the server
+//! allocate unbounded memory.
+//!
+//! # Requests
+//!
+//! ```json
+//! {"id": "r1", "input": [0.0, 0.1, ...]}
+//! {"id": "r2", "input": [...], "probs": true}
+//! {"id": "c1", "cmd": "ping" | "metrics" | "shutdown"}
+//! ```
+//!
+//! # Responses
+//!
+//! ```json
+//! {"id": "r1", "status": "ok", "label": 3, "suspect": 0.25, "flagged": false,
+//!  "variants": {"quant8": 3, "pruned": 5}}
+//! {"id": "r2", "status": "overloaded", "error": "request queue full ..."}
+//! {"id": "c1", "status": "error", "error": "bad request: ..."}
+//! ```
+
+use crate::json::{Json, JsonObj};
+use crate::{Prediction, ServeError};
+use std::io::{Read, Write};
+
+/// Maximum frame payload size (16 MiB) — large enough for any realistic
+/// batch-of-one image, small enough to bound per-connection memory.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Control commands carried by `"cmd"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Liveness probe; answered immediately with `status: ok`.
+    Ping,
+    /// Returns the engine's metrics snapshot under `"metrics"`.
+    Metrics,
+    /// Asks the server to shut down gracefully.
+    Shutdown,
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Classify one sample.
+    Predict {
+        /// Client-chosen correlation id, echoed in the response.
+        id: String,
+        /// Flattened input sample.
+        input: Vec<f32>,
+        /// Include the softmax distribution in the response.
+        probs: bool,
+    },
+    /// A control command.
+    Control {
+        /// Client-chosen correlation id, echoed in the response.
+        id: String,
+        /// The command.
+        cmd: Command,
+    },
+}
+
+impl Request {
+    /// The request's correlation id.
+    pub fn id(&self) -> &str {
+        match self {
+            Request::Predict { id, .. } | Request::Control { id, .. } => id,
+        }
+    }
+
+    /// Parses a request from frame payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] on malformed JSON or an invalid shape.
+    pub fn parse(payload: &[u8]) -> Result<Request, ServeError> {
+        let json =
+            Json::parse(payload).map_err(|e| ServeError::BadRequest(format!("bad JSON: {e}")))?;
+        let id = json
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ServeError::BadRequest("missing string field 'id'".into()))?
+            .to_string();
+        if let Some(cmd) = json.get("cmd") {
+            let cmd = match cmd.as_str() {
+                Some("ping") => Command::Ping,
+                Some("metrics") => Command::Metrics,
+                Some("shutdown") => Command::Shutdown,
+                _ => {
+                    return Err(ServeError::BadRequest(format!(
+                        "unknown cmd {cmd}, expected ping|metrics|shutdown"
+                    )))
+                }
+            };
+            return Ok(Request::Control { id, cmd });
+        }
+        let input = json
+            .get("input")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ServeError::BadRequest("missing array field 'input'".into()))?;
+        let mut values = Vec::with_capacity(input.len());
+        for v in input {
+            let n = v
+                .as_f64()
+                .ok_or_else(|| ServeError::BadRequest("'input' must hold numbers".into()))?;
+            values.push(n as f32);
+        }
+        let probs = json.get("probs").and_then(Json::as_bool).unwrap_or(false);
+        Ok(Request::Predict {
+            id,
+            input: values,
+            probs,
+        })
+    }
+
+    /// Serialises this request to frame payload bytes (client side).
+    pub fn to_payload(&self) -> Vec<u8> {
+        let json = match self {
+            Request::Predict { id, input, probs } => {
+                let mut obj = JsonObj::new().set("id", Json::Str(id.clone())).set(
+                    "input",
+                    Json::Arr(input.iter().map(|&v| Json::Num(v as f64)).collect()),
+                );
+                if *probs {
+                    obj = obj.set("probs", Json::Bool(true));
+                }
+                obj.build()
+            }
+            Request::Control { id, cmd } => {
+                let name = match cmd {
+                    Command::Ping => "ping",
+                    Command::Metrics => "metrics",
+                    Command::Shutdown => "shutdown",
+                };
+                JsonObj::new()
+                    .set("id", Json::Str(id.clone()))
+                    .set("cmd", Json::Str(name.into()))
+                    .build()
+            }
+        };
+        json.to_string().into_bytes()
+    }
+}
+
+/// Builds the success response for a prediction.
+pub fn ok_response(id: &str, p: &Prediction) -> Json {
+    let mut obj = JsonObj::new()
+        .set("id", Json::Str(id.into()))
+        .set("status", Json::Str("ok".into()))
+        .set("label", Json::Num(p.label as f64));
+    if let Some(probs) = &p.probs {
+        obj = obj.set(
+            "probs",
+            Json::Arr(probs.iter().map(|&v| Json::Num(v as f64)).collect()),
+        );
+    }
+    if let Some(s) = p.suspect {
+        obj = obj.set("suspect", Json::Num(s));
+    }
+    if let Some(f) = p.flagged {
+        obj = obj.set("flagged", Json::Bool(f));
+    }
+    if !p.variant_labels.is_empty() {
+        let mut variants = JsonObj::new();
+        for (name, label) in &p.variant_labels {
+            variants = variants.set(name, Json::Num(*label as f64));
+        }
+        obj = obj.set("variants", variants.build());
+    }
+    obj.build()
+}
+
+/// Builds an error response; `Overloaded` gets its own status so clients
+/// can distinguish backpressure from hard failures.
+pub fn error_response(id: &str, err: &ServeError) -> Json {
+    let status = match err {
+        ServeError::Overloaded => "overloaded",
+        ServeError::ShuttingDown => "shutting_down",
+        _ => "error",
+    };
+    JsonObj::new()
+        .set("id", Json::Str(id.into()))
+        .set("status", Json::Str(status.into()))
+        .set("error", Json::Str(err.to_string()))
+        .build()
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// I/O errors; `InvalidInput` when the payload exceeds [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// I/O errors; `InvalidData` for an oversized length header or truncation
+/// mid-frame.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("announced frame of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "truncated frame")
+        } else {
+            e
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        assert_eq!(
+            read_frame(&mut &buf[..]).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn truncated_payload_is_invalid_data() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.extend_from_slice(b"abc"); // 3 of 10 promised bytes
+        assert_eq!(
+            read_frame(&mut &buf[..]).unwrap_err().kind(),
+            std::io::ErrorKind::InvalidData
+        );
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::Predict {
+            id: "r1".into(),
+            input: vec![0.0, 0.5, 1.0],
+            probs: true,
+        };
+        let parsed = Request::parse(&req.to_payload()).unwrap();
+        assert_eq!(parsed, req);
+
+        let ctl = Request::Control {
+            id: "c1".into(),
+            cmd: Command::Metrics,
+        };
+        assert_eq!(Request::parse(&ctl.to_payload()).unwrap(), ctl);
+    }
+
+    #[test]
+    fn malformed_requests_are_bad_requests() {
+        for bad in [
+            &b"not json"[..],
+            br#"{"input": [1]}"#,              // missing id
+            br#"{"id": "x"}"#,                 // neither cmd nor input
+            br#"{"id": "x", "cmd": "nope"}"#,  // unknown command
+            br#"{"id": "x", "input": ["a"]}"#, // non-numeric input
+            &[0xFF, 0xFE][..],                 // not UTF-8
+        ] {
+            assert!(
+                matches!(Request::parse(bad), Err(ServeError::BadRequest(_))),
+                "{:?}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn responses_carry_status() {
+        let p = Prediction {
+            label: 7,
+            probs: None,
+            suspect: Some(0.5),
+            flagged: Some(true),
+            variant_labels: vec![("quant8".into(), 3)],
+        };
+        let ok = ok_response("r1", &p);
+        assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(ok.get("label"), Some(&Json::Num(7.0)));
+        assert_eq!(
+            ok.get("variants").and_then(|v| v.get("quant8")),
+            Some(&Json::Num(3.0))
+        );
+
+        let over = error_response("r2", &ServeError::Overloaded);
+        assert_eq!(
+            over.get("status").and_then(Json::as_str),
+            Some("overloaded")
+        );
+        let err = error_response("r3", &ServeError::BadRequest("x".into()));
+        assert_eq!(err.get("status").and_then(Json::as_str), Some("error"));
+        // Responses must themselves parse as valid frames end-to-end.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, ok.to_string().as_bytes()).unwrap();
+        let payload = read_frame(&mut &buf[..]).unwrap().unwrap();
+        Json::parse(&payload).unwrap();
+    }
+}

@@ -1,0 +1,314 @@
+//! Model registry: named, validated, replica-able model sets.
+//!
+//! The registry holds one **baseline** (the full-precision reference model)
+//! and any number of **compressed variants** (pruned / quantised copies of
+//! the same task). Models enter the registry either in-memory or from
+//! checkpoint files — file loads go through the CRC-verified v2 checkpoint
+//! path, so a torn or bit-flipped model file is rejected at load time with
+//! [`CheckpointError::Corrupt`](advcomp_models::CheckpointError) instead of
+//! serving garbage predictions.
+//!
+//! Every registered model is probe-forwarded once on a zero batch to pin
+//! down its output arity; variants must agree with the baseline's class
+//! count. Workers then call [`ModelRegistry::replica`] to obtain an
+//! independent [`ReplicaSet`] (fresh-cache clones, see
+//! `advcomp_nn::Layer::clone_layer`) so concurrent forward passes never
+//! contend on shared layer state.
+
+use crate::ServeError;
+use advcomp_models::Checkpoint;
+use advcomp_nn::{Mode, Sequential};
+use advcomp_tensor::Tensor;
+use std::path::Path;
+
+/// Named model set for one serving task.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    input_shape: Vec<usize>,
+    classes: usize,
+    baseline: Option<(String, Sequential)>,
+    variants: Vec<(String, Sequential)>,
+}
+
+/// A per-worker clone of every registered model.
+#[derive(Debug)]
+pub struct ReplicaSet {
+    /// `(name, model)` of the baseline.
+    pub baseline: (String, Sequential),
+    /// `(name, model)` of each compressed variant, registry order.
+    pub variants: Vec<(String, Sequential)>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry for inputs of `input_shape` (one sample,
+    /// without the batch axis — e.g. `[1, 28, 28]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for an empty or zero-sized shape.
+    pub fn new(input_shape: &[usize]) -> Result<Self, ServeError> {
+        if input_shape.is_empty() || input_shape.contains(&0) {
+            return Err(ServeError::Config(format!(
+                "input shape {input_shape:?} must be non-empty with positive dims"
+            )));
+        }
+        Ok(ModelRegistry {
+            input_shape: input_shape.to_vec(),
+            classes: 0,
+            baseline: None,
+            variants: Vec::new(),
+        })
+    }
+
+    /// Registers the baseline model, validating it on a zero probe batch.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] when a baseline is already set or the model
+    /// rejects the registry's input shape.
+    pub fn set_baseline(
+        &mut self,
+        name: impl Into<String>,
+        mut model: Sequential,
+    ) -> Result<(), ServeError> {
+        if self.baseline.is_some() {
+            return Err(ServeError::Config("baseline already registered".into()));
+        }
+        let classes = self.probe(&mut model)?;
+        self.classes = classes;
+        self.baseline = Some((name.into(), model));
+        Ok(())
+    }
+
+    /// Registers a compressed variant, validating shape and class count
+    /// against the baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] without a baseline, on duplicate names, or on
+    /// probe/class mismatches.
+    pub fn add_variant(
+        &mut self,
+        name: impl Into<String>,
+        mut model: Sequential,
+    ) -> Result<(), ServeError> {
+        let name = name.into();
+        if self.baseline.is_none() {
+            return Err(ServeError::Config(
+                "register the baseline before variants".into(),
+            ));
+        }
+        if self.names().any(|n| n == name) {
+            return Err(ServeError::Config(format!("duplicate model name {name}")));
+        }
+        let classes = self.probe(&mut model)?;
+        if classes != self.classes {
+            return Err(ServeError::Config(format!(
+                "variant {name} has {classes} classes, baseline has {}",
+                self.classes
+            )));
+        }
+        self.variants.push((name, model));
+        Ok(())
+    }
+
+    /// Loads checkpoint `path` into `arch` and registers it as baseline.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint I/O / corruption (CRC mismatch ⇒
+    /// `CheckpointError::Corrupt`) or config errors.
+    pub fn load_baseline(
+        &mut self,
+        name: impl Into<String>,
+        mut arch: Sequential,
+        path: &Path,
+    ) -> Result<(), ServeError> {
+        Checkpoint::load(path)?.restore(&mut arch)?;
+        self.set_baseline(name, arch)
+    }
+
+    /// Loads checkpoint `path` into `arch` and registers it as a variant.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint I/O / corruption or config errors, as
+    /// [`ModelRegistry::load_baseline`].
+    pub fn load_variant(
+        &mut self,
+        name: impl Into<String>,
+        mut arch: Sequential,
+        path: &Path,
+    ) -> Result<(), ServeError> {
+        Checkpoint::load(path)?.restore(&mut arch)?;
+        self.add_variant(name, arch)
+    }
+
+    /// Shape of one input sample (no batch axis).
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Scalar element count of one input sample.
+    pub fn sample_len(&self) -> usize {
+        self.input_shape.iter().product()
+    }
+
+    /// Number of output classes (0 until a baseline is registered).
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Name of the baseline model, if registered.
+    pub fn baseline_name(&self) -> Option<&str> {
+        self.baseline.as_ref().map(|(n, _)| n.as_str())
+    }
+
+    /// Names of all registered models, baseline first.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.baseline
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .chain(self.variants.iter().map(|(n, _)| n.as_str()))
+    }
+
+    /// Number of compressed variants.
+    pub fn num_variants(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Clones every model into an independent per-worker [`ReplicaSet`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] when no baseline is registered.
+    pub fn replica(&self) -> Result<ReplicaSet, ServeError> {
+        let (name, model) = self
+            .baseline
+            .as_ref()
+            .ok_or_else(|| ServeError::Config("no baseline registered".into()))?;
+        Ok(ReplicaSet {
+            baseline: (name.clone(), model.clone()),
+            variants: self
+                .variants
+                .iter()
+                .map(|(n, m)| (n.clone(), m.clone()))
+                .collect(),
+        })
+    }
+
+    /// Probe-forwards a zero batch, returning the model's class count.
+    fn probe(&self, model: &mut Sequential) -> Result<usize, ServeError> {
+        let mut shape = vec![1];
+        shape.extend_from_slice(&self.input_shape);
+        let logits = model.forward(&Tensor::zeros(&shape), Mode::Eval)?;
+        if logits.ndim() != 2 || logits.shape()[0] != 1 {
+            return Err(ServeError::Config(format!(
+                "model produced logits of shape {:?}, expected [1, classes]",
+                logits.shape()
+            )));
+        }
+        Ok(logits.shape()[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advcomp_models::mlp;
+
+    fn shape() -> [usize; 3] {
+        [1, 28, 28]
+    }
+
+    #[test]
+    fn baseline_then_variants() {
+        let mut reg = ModelRegistry::new(&shape()).unwrap();
+        assert!(reg.replica().is_err());
+        reg.set_baseline("dense", mlp(8, 0)).unwrap();
+        reg.add_variant("quant8", mlp(8, 1)).unwrap();
+        reg.add_variant("pruned", mlp(6, 2)).unwrap();
+        assert_eq!(reg.num_classes(), 10);
+        assert_eq!(reg.baseline_name(), Some("dense"));
+        assert_eq!(
+            reg.names().collect::<Vec<_>>(),
+            vec!["dense", "quant8", "pruned"]
+        );
+        let replica = reg.replica().unwrap();
+        assert_eq!(replica.baseline.0, "dense");
+        assert_eq!(replica.variants.len(), 2);
+    }
+
+    #[test]
+    fn replicas_are_independent() {
+        let mut reg = ModelRegistry::new(&shape()).unwrap();
+        reg.set_baseline("dense", mlp(8, 0)).unwrap();
+        let mut a = reg.replica().unwrap();
+        let b = reg.replica().unwrap();
+        a.baseline
+            .1
+            .param_mut("fc1.weight")
+            .unwrap()
+            .value
+            .data_mut()[0] = 99.0;
+        assert_ne!(
+            b.baseline.1.param("fc1.weight").unwrap().value.data()[0],
+            99.0
+        );
+    }
+
+    #[test]
+    fn rejects_misconfiguration() {
+        assert!(ModelRegistry::new(&[]).is_err());
+        assert!(ModelRegistry::new(&[1, 0, 4]).is_err());
+        let mut reg = ModelRegistry::new(&shape()).unwrap();
+        // Variant before baseline.
+        assert!(reg.add_variant("v", mlp(4, 0)).is_err());
+        reg.set_baseline("dense", mlp(4, 0)).unwrap();
+        assert!(reg.set_baseline("again", mlp(4, 1)).is_err());
+        // Duplicate name.
+        assert!(reg.add_variant("dense", mlp(4, 2)).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_input_shape() {
+        // An MLP flattens anything, so use a shape whose element count
+        // mismatches the dense layer input.
+        let mut reg = ModelRegistry::new(&[1, 3, 3]).unwrap();
+        assert!(reg.set_baseline("dense", mlp(4, 0)).is_err());
+    }
+
+    #[test]
+    fn load_from_checkpoint_roundtrip_and_corruption() {
+        let dir = std::env::temp_dir().join("advcomp_serve_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.advc");
+        let trained = mlp(8, 42);
+        Checkpoint::capture(&trained).save(&path).unwrap();
+
+        let mut reg = ModelRegistry::new(&shape()).unwrap();
+        reg.load_baseline("dense", mlp(8, 0), &path).unwrap();
+        let replica = reg.replica().unwrap();
+        assert_eq!(
+            replica.baseline.1.param("fc1.weight").unwrap().value.data(),
+            trained.param("fc1.weight").unwrap().value.data()
+        );
+
+        // Flip one byte in the middle of the file: load must fail with a
+        // corruption error, not restore garbage.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let bad = dir.join("model_bad.advc");
+        std::fs::write(&bad, &bytes).unwrap();
+        let mut reg2 = ModelRegistry::new(&shape()).unwrap();
+        match reg2.load_baseline("dense", mlp(8, 0), &bad) {
+            Err(ServeError::Checkpoint(e)) => {
+                assert!(e.to_string().contains("corrupt"), "{e}");
+            }
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&bad).ok();
+    }
+}

@@ -1,0 +1,375 @@
+//! Blocking TCP server over the serving engine.
+//!
+//! One listener thread accepts connections (non-blocking accept polled
+//! against a shutdown flag, so shutdown never waits on a dead socket) and
+//! hands each connection to its own thread. Connection threads read
+//! length-prefixed frames, dispatch predictions into the shared
+//! [`Engine`](crate::Engine), and write one response frame per request.
+//! Because `Engine::submit` blocks only the connection's own thread, slow
+//! clients never stall the batcher, and queue-full backpressure surfaces
+//! as an `overloaded` response frame rather than a hang.
+
+use crate::protocol::{error_response, ok_response, read_frame, write_frame, Command, Request};
+use crate::{Engine, ServeError};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Poll interval of the accept loop while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Per-connection read timeout; a silent client is eventually dropped so
+/// its thread (and socket) are reclaimed.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A running TCP server bound to a local address.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    engine: Engine,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections over `engine`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the bind fails.
+    pub fn bind(engine: Engine, addr: &str) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let engine = engine.clone();
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(listener, engine, shutdown))
+                .map_err(ServeError::Io)?
+        };
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            engine,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once shutdown has been requested (e.g. by a client's
+    /// `shutdown` command).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown without blocking: the accept loop exits on its
+    /// next poll and drains its connection threads.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the accept loop (and every connection thread it
+    /// spawned) has exited, then stops the engine.
+    pub fn join(mut self) {
+        self.request_shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.engine.shutdown();
+    }
+
+    /// Blocks until a client's `shutdown` command (or
+    /// [`Server::request_shutdown`] from another thread) stops the server.
+    pub fn serve_forever(self) {
+        while !self.is_shutting_down() {
+            std::thread::sleep(ACCEPT_POLL * 4);
+        }
+        self.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.request_shutdown();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, engine: Engine, shutdown: Arc<AtomicBool>) {
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let engine = engine.clone();
+                let shutdown = Arc::clone(&shutdown);
+                let handle = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || connection_loop(stream, engine, shutdown));
+                match handle {
+                    Ok(h) => conns.lock().unwrap_or_else(|p| p.into_inner()).push(h),
+                    Err(_) => continue, // thread spawn failed; drop the conn
+                }
+                // Opportunistically reap finished connection threads so a
+                // long-lived server doesn't accumulate handles.
+                conns
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Graceful drain: wait for in-flight connections to finish their
+    // current requests. Their read timeouts bound this wait.
+    let drained: Vec<_> = conns
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .drain(..)
+        .collect();
+    for h in drained {
+        let _ = h.join();
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, engine: Engine, shutdown: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean EOF
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Oversized or truncated frame: the stream is no longer
+                // frame-aligned, so answer once and hang up.
+                let resp = error_response("", &ServeError::BadRequest(e.to_string()));
+                let _ = write_frame(&mut stream, resp.to_string().as_bytes());
+                let _ = stream.flush();
+                return;
+            }
+            Err(_) => return, // timeout / reset
+        };
+        let response = match Request::parse(&payload) {
+            Ok(Request::Predict { id, input, probs }) => match engine.submit(input, probs) {
+                Ok(p) => ok_response(&id, &p),
+                Err(e) => error_response(&id, &e),
+            },
+            Ok(Request::Control { id, cmd }) => match cmd {
+                Command::Ping => crate::json::JsonObj::new()
+                    .set("id", crate::json::Json::Str(id))
+                    .set("status", crate::json::Json::Str("ok".into()))
+                    .build(),
+                Command::Metrics => crate::json::JsonObj::new()
+                    .set("id", crate::json::Json::Str(id))
+                    .set("status", crate::json::Json::Str("ok".into()))
+                    .set("metrics", engine.metrics_snapshot())
+                    .build(),
+                Command::Shutdown => {
+                    shutdown.store(true, Ordering::SeqCst);
+                    crate::json::JsonObj::new()
+                        .set("id", crate::json::Json::Str(id))
+                        .set("status", crate::json::Json::Str("ok".into()))
+                        .set("shutting_down", crate::json::Json::Bool(true))
+                        .build()
+                }
+            },
+            Err(e) => error_response("", &e),
+        };
+        if write_frame(&mut stream, response.to_string().as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Minimal blocking client for tests, benches and smoke checks.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on connection failure.
+    pub fn connect(addr: SocketAddr) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(READ_TIMEOUT))?;
+        Ok(Client { stream, next_id: 0 })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on socket failure or a malformed server frame.
+    pub fn call(&mut self, req: &Request) -> Result<crate::json::Json, ServeError> {
+        write_frame(&mut self.stream, &req.to_payload())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        crate::json::Json::parse(&payload).map_err(|e| {
+            ServeError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response frame: {e}"),
+            ))
+        })
+    }
+
+    /// Classifies one sample, returning the parsed response object.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`].
+    pub fn predict(
+        &mut self,
+        input: Vec<f32>,
+        probs: bool,
+    ) -> Result<crate::json::Json, ServeError> {
+        self.next_id += 1;
+        let id = format!("r{}", self.next_id);
+        self.call(&Request::Predict { id, input, probs })
+    }
+
+    /// Issues a control command, returning the parsed response object.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`].
+    pub fn control(&mut self, cmd: Command) -> Result<crate::json::Json, ServeError> {
+        self.next_id += 1;
+        let id = format!("c{}", self.next_id);
+        self.call(&Request::Control { id, cmd })
+    }
+
+    /// Writes raw bytes straight to the socket (for malformed-frame
+    /// tests).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on socket failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ServeError> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Reads one raw response frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on socket failure or EOF mid-frame.
+    pub fn read_response(&mut self) -> Result<Option<Vec<u8>>, ServeError> {
+        Ok(read_frame(&mut self.stream)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::registry::ModelRegistry;
+    use crate::{GuardConfig, ServeConfig};
+    use advcomp_models::mlp;
+
+    fn test_server() -> Server {
+        let mut reg = ModelRegistry::new(&[1, 28, 28]).unwrap();
+        reg.set_baseline("dense", mlp(8, 0)).unwrap();
+        reg.add_variant("alt", mlp(8, 1)).unwrap();
+        let engine = Engine::start(
+            &reg,
+            ServeConfig {
+                workers: 2,
+                max_batch: 4,
+                max_delay: Duration::from_millis(1),
+                queue_depth: 32,
+                guard: Some(GuardConfig { threshold: 0.5 }),
+            },
+        )
+        .unwrap();
+        Server::bind(engine, "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn predict_ping_metrics_roundtrip() {
+        let server = test_server();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        let pong = client.control(Command::Ping).unwrap();
+        assert_eq!(pong.get("status").and_then(Json::as_str), Some("ok"));
+
+        let resp = client.predict(vec![0.25; 28 * 28], false).unwrap();
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        assert!(resp.get("label").and_then(Json::as_u64).unwrap() < 10);
+        assert!(resp.get("suspect").and_then(Json::as_f64).is_some());
+
+        let metrics = client.control(Command::Metrics).unwrap();
+        let m = metrics.get("metrics").unwrap();
+        assert_eq!(
+            m.get("requests").and_then(|r| r.get("completed")),
+            Some(&Json::Num(1.0))
+        );
+        server.join();
+    }
+
+    #[test]
+    fn malformed_and_oversized_frames_get_error_then_close() {
+        let server = test_server();
+
+        // Malformed JSON: error response, connection stays frame-aligned
+        // so it is answered (then we hang up ourselves).
+        let mut c1 = Client::connect(server.local_addr()).unwrap();
+        c1.send_raw(&{
+            let mut buf = Vec::new();
+            write_frame(&mut buf, b"{oops").unwrap();
+            buf
+        })
+        .unwrap();
+        let resp = Json::parse(&c1.read_response().unwrap().unwrap()).unwrap();
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+
+        // Oversized header: one error frame, then the server closes.
+        let mut c2 = Client::connect(server.local_addr()).unwrap();
+        c2.send_raw(&(crate::protocol::MAX_FRAME + 1).to_le_bytes())
+            .unwrap();
+        let resp = Json::parse(&c2.read_response().unwrap().unwrap()).unwrap();
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+        assert!(c2.read_response().unwrap().is_none(), "server should close");
+        server.join();
+    }
+
+    #[test]
+    fn shutdown_command_stops_the_server() {
+        let server = test_server();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        let resp = client.control(Command::Shutdown).unwrap();
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+        server.join();
+        // The listener is gone: a fresh connection must fail (possibly
+        // after the OS finishes tearing down the socket).
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(Client::connect(addr).is_err());
+    }
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Serving-engine load benchmark: stands up the TCP server at 1, 4 and 8
+# workers, drives it with concurrent client connections over real sockets,
+# and writes client-observed p50/p99 latency, throughput and the
+# server-side batch-size distribution to BENCH_serve.json.
+#
+#   scripts/bench_serve.sh                  # full run, writes BENCH_serve.json
+#   scripts/bench_serve.sh --quick          # fast PR-gate variant
+#   scripts/bench_serve.sh --out /tmp/b.json --clients 16 --requests 100
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q --release -p advcomp-bench --bin serve_bench
+./target/release/serve_bench "$@"

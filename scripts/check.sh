@@ -52,3 +52,9 @@ echo "simd gate: dispatched GEMM not slower than scalar"
 ADVCOMP_FAULTS="panic:sweep_point:1:sticky" \
     cargo run -q -p advcomp-bench --bin faultsmoke
 echo "fault smoke: partial-result recovery OK"
+
+# Serve smoke: a real TCP server on an ephemeral port driven with mixed
+# traffic — concurrent predictions, control commands, an oversized frame
+# header, malformed JSON — ending in a clean protocol-level shutdown.
+cargo run -q -p advcomp-serve --bin serve_smoke
+echo "serve smoke: batching, backpressure and framing OK"

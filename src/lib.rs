@@ -19,6 +19,8 @@
 //!   codes, Huffman streams, and model-size accounting.
 //! * [`core`] — the paper's contribution: the compression-aware attack
 //!   taxonomy (scenarios S1–S3), transfer evaluation, and sweep harnesses.
+//! * [`serve`] — batched TCP inference serving with a compression-ensemble
+//!   adversarial guard built on the paper's transfer observations.
 //!
 //! # Quickstart
 //!
@@ -42,5 +44,6 @@ pub use advcomp_data as data;
 pub use advcomp_models as models;
 pub use advcomp_nn as nn;
 pub use advcomp_qformat as qformat;
+pub use advcomp_serve as serve;
 pub use advcomp_sparse as sparse;
 pub use advcomp_tensor as tensor;
