@@ -1,0 +1,106 @@
+//! Offline stub of the `crossbeam` 0.8 API surface used by advcomp:
+//! `thread::scope` (backed by `std::thread::scope`) and `sync::WaitGroup`.
+
+pub mod thread {
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    pub struct Scope<'env, 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'env, 'scope> Scope<'env, 'scope> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env, 'scope>) -> T + Send + 'scope,
+            T: Send + 'scope,
+            'env: 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || {
+                    let scope = Scope { inner };
+                    f(&scope)
+                }),
+            }
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'env, 'scope>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+pub mod sync {
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner {
+        count: Mutex<usize>,
+        cond: Condvar,
+    }
+
+    /// Blocks until every clone has been dropped.
+    pub struct WaitGroup {
+        inner: Arc<Inner>,
+    }
+
+    impl Default for WaitGroup {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl WaitGroup {
+        pub fn new() -> Self {
+            WaitGroup {
+                inner: Arc::new(Inner {
+                    count: Mutex::new(1),
+                    cond: Condvar::new(),
+                }),
+            }
+        }
+
+        pub fn wait(self) {
+            let inner = self.inner.clone();
+            drop(self);
+            let mut count = inner.count.lock().unwrap();
+            while *count > 0 {
+                count = inner.cond.wait(count).unwrap();
+            }
+        }
+    }
+
+    impl Clone for WaitGroup {
+        fn clone(&self) -> Self {
+            *self.inner.count.lock().unwrap() += 1;
+            WaitGroup {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl Drop for WaitGroup {
+        fn drop(&mut self) {
+            let mut count = self.inner.count.lock().unwrap();
+            *count -= 1;
+            if *count == 0 {
+                self.inner.cond.notify_all();
+            }
+        }
+    }
+}

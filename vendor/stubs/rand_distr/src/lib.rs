@@ -1,0 +1,107 @@
+//! Offline stub of the `rand_distr` 0.4 API surface used by advcomp.
+
+use rand::Rng;
+
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl<T: Copy> Uniform<T> {
+    pub fn new(lo: T, hi: T) -> Self {
+        Uniform {
+            lo,
+            hi,
+            inclusive: false,
+        }
+    }
+
+    pub fn new_inclusive(lo: T, hi: T) -> Self {
+        Uniform {
+            lo,
+            hi,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: rand::SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_between(rng, self.lo, self.hi, self.inclusive)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    BadVariance,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "normal distribution requires a finite, non-negative std")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<T> {
+    mean: T,
+    std: T,
+}
+
+/// Float kinds the stub `Normal` supports.
+pub trait NormalFloat: Copy {
+    fn to_f64(self) -> f64;
+    fn from_f64(v: f64) -> Self;
+    fn valid_std(self) -> bool;
+}
+
+impl NormalFloat for f32 {
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn valid_std(self) -> bool {
+        self >= 0.0 && self.is_finite()
+    }
+}
+
+impl NormalFloat for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    fn valid_std(self) -> bool {
+        self >= 0.0 && self.is_finite()
+    }
+}
+
+impl<T: NormalFloat> Normal<T> {
+    pub fn new(mean: T, std: T) -> Result<Self, NormalError> {
+        if !std.valid_std() {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std })
+    }
+}
+
+impl<T: NormalFloat> Distribution<T> for Normal<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        // Box-Muller on two uniform draws.
+        let u1: f64 = <f64 as rand::Standard>::draw(rng).max(1e-12);
+        let u2: f64 = <f64 as rand::Standard>::draw(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        T::from_f64(self.mean.to_f64() + self.std.to_f64() * z)
+    }
+}

@@ -1,0 +1,94 @@
+//! Offline mini-serde: enough of the `serde` surface for advcomp to compile
+//! and for `serde_json::to_string_pretty` to emit real JSON for the simple
+//! record types the workspace serialises.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {
+    fn to_json(&self) -> String;
+}
+
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_display_json {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> String {
+                let v = format!("{}", self);
+                if v == "NaN" || v == "inf" || v == "-inf" { "null".into() } else { v }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_display_json!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64, bool);
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> String {
+        escape(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {}
+
+impl Serialize for str {
+    fn to_json(&self) -> String {
+        escape(self)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> String {
+        self.as_slice().to_json()
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> String {
+        let items: Vec<String> = self.iter().map(|v| v.to_json()).collect();
+        format!("[{}]", items.join(", "))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> String {
+        match self {
+            Some(v) => v.to_json(),
+            None => "null".into(),
+        }
+    }
+}
+
+impl<'de, T> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> String {
+        (**self).to_json()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> String {
+        format!("[{}, {}]", self.0.to_json(), self.1.to_json())
+    }
+}

@@ -1,0 +1,124 @@
+//! Derive macros for the offline mini-serde. Handles named-field structs and
+//! unit-variant enums (the only shapes the advcomp workspace derives on).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    is_enum: bool,
+    name: String,
+    members: Vec<String>, // field names or variant names
+}
+
+fn parse(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    let mut is_enum = false;
+    let mut name = String::new();
+    let mut body = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // the attribute group
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    is_enum = s == "enum";
+                    if let Some(TokenTree::Ident(n)) = iter.next() {
+                        name = n.to_string();
+                    }
+                    for rest in iter.by_ref() {
+                        if let TokenTree::Group(g) = rest {
+                            if g.delimiter() == Delimiter::Brace {
+                                body = Some(g.stream());
+                                break;
+                            }
+                        }
+                    }
+                    break;
+                }
+                // `pub`, `pub(crate)` etc. — skip.
+            }
+            _ => {}
+        }
+    }
+    let mut members = Vec::new();
+    if let Some(body) = body {
+        let mut angle_depth = 0i32;
+        let mut expect_member = true;
+        let mut iter = body.into_iter().peekable();
+        while let Some(tt) = iter.next() {
+            match tt {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => expect_member = true,
+                    '#' => {
+                        iter.next();
+                    }
+                    _ => {}
+                },
+                TokenTree::Ident(id) if expect_member && angle_depth == 0 => {
+                    let s = id.to_string();
+                    if s == "pub" {
+                        continue;
+                    }
+                    members.push(s);
+                    expect_member = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    Item {
+        is_enum,
+        name,
+        members,
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let body = if item.is_enum {
+        let arms: Vec<String> = item
+            .members
+            .iter()
+            .map(|v| {
+                format!(
+                    "{}::{} => \"\\\"{}\\\"\".to_string(),",
+                    item.name, v, v
+                )
+            })
+            .collect();
+        format!("match self {{ {} }}", arms.join("\n"))
+    } else {
+        let fields: Vec<String> = item
+            .members
+            .iter()
+            .map(|f| {
+                format!(
+                    "parts.push(format!(\"\\\"{}\\\": {{}}\", serde::Serialize::to_json(&self.{})));",
+                    f, f
+                )
+            })
+            .collect();
+        format!(
+            "let mut parts: Vec<String> = Vec::new();\n{}\nformat!(\"{{{{{{}}}}}}\", parts.join(\", \"))",
+            fields.join("\n")
+        )
+    };
+    format!(
+        "impl serde::Serialize for {} {{ fn to_json(&self) -> String {{ {} }} }}",
+        item.name, body
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    format!("impl<'de> serde::Deserialize<'de> for {} {{}}", item.name)
+        .parse()
+        .unwrap()
+}

@@ -1,0 +1,118 @@
+//! Offline stub of the `serde_json` entry points used by advcomp, backed by
+//! the mini-serde `to_json` method. `to_string` is compact; `to_string_pretty`
+//! re-formats the compact output with real 2-space indentation so
+//! human-readable result files match what the real crate would produce.
+
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(pretty(&value.to_json()))
+}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json())
+}
+
+/// Re-indent a compact JSON document (as emitted by mini-serde `to_json`)
+/// with 2-space indentation, matching `serde_json`'s pretty printer: every
+/// array element / object member on its own line, `": "` after keys, empty
+/// containers kept as `[]` / `{}`.
+fn pretty(compact: &str) -> String {
+    let bytes = compact.as_bytes();
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut depth = 0usize;
+    let mut i = 0usize;
+
+    fn newline(out: &mut String, depth: usize) {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '"' => {
+                // Copy the whole string literal verbatim, honouring escapes.
+                out.push('"');
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    out.push(b as char);
+                    i += 1;
+                    if b == b'\\' {
+                        if i < bytes.len() {
+                            out.push(bytes[i] as char);
+                            i += 1;
+                        }
+                    } else if b == b'"' {
+                        break;
+                    }
+                }
+                continue;
+            }
+            '{' | '[' => {
+                let close = if c == '{' { b'}' } else { b']' };
+                // Peek past whitespace: keep empty containers on one line.
+                let mut j = i + 1;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_whitespace() {
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == close {
+                    out.push(c);
+                    out.push(close as char);
+                    i = j + 1;
+                    continue;
+                }
+                out.push(c);
+                depth += 1;
+                newline(&mut out, depth);
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                newline(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(',');
+                newline(&mut out, depth);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            w if w.is_ascii_whitespace() => {}
+            other => out.push(other),
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pretty;
+
+    #[test]
+    fn pretty_indents_nested_containers() {
+        let compact = r#"{"a": 1, "b": [1, 2], "c": {"d": "x,y: z"}, "e": []}"#;
+        let expect = "{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ],\n  \"c\": {\n    \"d\": \"x,y: z\"\n  },\n  \"e\": []\n}";
+        assert_eq!(pretty(compact), expect);
+    }
+
+    #[test]
+    fn pretty_preserves_escaped_quotes_in_strings() {
+        let compact = r#"["he said \"hi\"", "brace } colon : comma ,"]"#;
+        let expect = "[\n  \"he said \\\"hi\\\"\",\n  \"brace } colon : comma ,\"\n]";
+        assert_eq!(pretty(compact), expect);
+    }
+}
