@@ -102,6 +102,28 @@ impl Quantizer {
         self.enable_activations(model);
     }
 
+    /// Post-training quantisation into **packed integer execution**:
+    /// applies [`Quantizer::quantize`], then freezes every `Dense`/`Conv2d`
+    /// into block-quantised form so forward passes run the fused int8 GEMM
+    /// instead of dense f32 on rounded values. Returns how many layers were
+    /// frozen.
+    ///
+    /// Because the packed codes are exactly the `QFormat` codes of the
+    /// rounded weights, the frozen forward is bit-exact with the simulated
+    /// path on the scalar backend (see `tensor::quant`). The int8 kernels
+    /// quantise activations on entry using the configured activation
+    /// format, or the weight format in the weights-only configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer errors (already frozen, or a weight format wider
+    /// than the 8-bit packed ceiling).
+    pub fn quantize_frozen(&self, model: &mut Sequential) -> Result<usize> {
+        self.quantize(model);
+        let act = self.cfg.activation_format.unwrap_or(self.cfg.weight_format);
+        Ok(model.freeze_quantized(self.cfg.weight_format, act)?)
+    }
+
     /// Quantisation-aware fine-tuning, the pipeline the paper uses:
     /// activations run through their fixed-point format with an STE, weight
     /// forward passes see quantised values while full-precision master

@@ -4,32 +4,53 @@
 //!
 //! ```text
 //! magic   b"ADVC"
-//! version u32          (currently 2; v1 still readable)
-//! count   u32          number of parameters
+//! version u32          (2 for all-f32 snapshots, 3 when packed weights
+//!                       are present; v1 still readable)
+//! count   u32          number of entries
 //! repeat count times:
 //!   name_len u16, name utf-8 bytes
-//!   ndim     u8,  dims  u32 × ndim
-//!   data     f32 × prod(dims)
-//! crc     u32          (v2 only) CRC-32 of every preceding byte
+//!   tag      u8        (v3 only: 0 = f32 tensor, 1 = packed blocks)
+//!   tag 0 (and every v1/v2 entry, which has no tag byte):
+//!     ndim   u8,  dims  u32 × ndim
+//!     data   f32 × prod(dims)
+//!   tag 1 (packed block-quantised weights, see `tensor::quant`):
+//!     kind_bits u8     (4 = Q4_0, 8 = Q8_0 code width)
+//!     wf        u8×2   weight QFormat (int bits, frac bits)
+//!     af        u8×2   activation QFormat (int bits, frac bits)
+//!     ndim      u8,  dims u32 × ndim    logical (unpacked) shape
+//!     n_scales  u32, scales f32 × n_scales   per-block scales
+//!     n_codes   u32, codes  u8 × n_codes     packed block codes
+//! crc     u32          (v2+) CRC-32 of every preceding byte
 //! ```
 //!
-//! The v2 footer lets loaders — in particular the serving model registry —
+//! The CRC footer lets loaders — in particular the serving model registry —
 //! reject torn or bit-flipped checkpoint files with
 //! [`CheckpointError::Corrupt`] instead of silently restoring garbage
-//! weights. Writers always emit v2; v1 files (no footer) remain readable
-//! without integrity verification.
+//! weights. Writers emit v2 for all-f32 snapshots (byte-identical to
+//! pre-v3 output) and v3 only when frozen packed weights are present, so a
+//! packed LeNet5 checkpoint stores block codes + scales instead of f32
+//! weights — the size win the sparse size report and `BENCH_quant.json`
+//! measure. v1 files (no footer) remain readable without verification.
 
-use advcomp_nn::Sequential;
-use advcomp_tensor::Tensor;
+use advcomp_nn::{QuantizedWeights, Sequential};
+use advcomp_qformat::QFormat;
+use advcomp_tensor::{QTensor, QuantKind, Tensor};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"ADVC";
-/// Version written by [`Checkpoint::to_bytes`].
-const VERSION: u32 = 2;
+/// Version written for all-f32 checkpoints.
+const VERSION_F32: u32 = 2;
+/// Version written when packed quantised entries are present.
+const VERSION_PACKED: u32 = 3;
 /// Oldest version still readable (pre-CRC files).
 const MIN_VERSION: u32 = 1;
+
+/// Entry tag in v3 files: a plain f32 tensor.
+const TAG_F32: u8 = 0;
+/// Entry tag in v3 files: packed block-quantised weights.
+const TAG_PACKED: u8 = 1;
 
 /// Errors raised by checkpoint encoding/decoding.
 #[derive(Debug)]
@@ -72,31 +93,46 @@ impl From<std::io::Error> for CheckpointError {
     }
 }
 
-/// A serialisable snapshot of named parameter tensors.
+/// A serialisable snapshot of named parameter tensors, plus any frozen
+/// packed weights the model carries (see [`Sequential::export_quantized`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     params: Vec<(String, Tensor)>,
+    packed: Vec<(String, QuantizedWeights)>,
 }
 
 impl Checkpoint {
-    /// Snapshots a model's current parameter values.
+    /// Snapshots a model's current parameter values. Frozen layers
+    /// contribute their packed blocks instead of f32 weights.
     pub fn capture(model: &Sequential) -> Self {
         Checkpoint {
             params: model.export_params(),
+            packed: model.export_quantized(),
         }
     }
 
     /// Builds a checkpoint from raw `(name, tensor)` pairs.
     pub fn from_params(params: Vec<(String, Tensor)>) -> Self {
-        Checkpoint { params }
+        Checkpoint {
+            params,
+            packed: Vec::new(),
+        }
     }
 
-    /// The stored parameters.
+    /// The stored f32 parameters.
     pub fn params(&self) -> &[(String, Tensor)] {
         &self.params
     }
 
-    /// Restores these values into `model` (names must match).
+    /// The stored packed weight entries (empty for v1/v2 snapshots).
+    pub fn packed(&self) -> &[(String, QuantizedWeights)] {
+        &self.packed
+    }
+
+    /// Restores these values into `model` (names must match). Packed
+    /// entries are installed onto the owning layers, freezing them if the
+    /// model still holds f32 weights — this is how the serving registry
+    /// loads quantised variants straight into integer execution.
     ///
     /// # Errors
     ///
@@ -105,18 +141,38 @@ impl Checkpoint {
     pub fn restore(&self, model: &mut Sequential) -> Result<(), CheckpointError> {
         model
             .import_params(&self.params)
-            .map_err(|e| CheckpointError::Incompatible(e.to_string()))
+            .map_err(|e| CheckpointError::Incompatible(e.to_string()))?;
+        for (name, weights) in &self.packed {
+            let installed = model
+                .install_quantized(name, weights)
+                .map_err(|e| CheckpointError::Incompatible(e.to_string()))?;
+            if !installed {
+                return Err(CheckpointError::Incompatible(format!(
+                    "no layer owns packed weight {name}"
+                )));
+            }
+        }
+        Ok(())
     }
 
-    /// Encodes to the binary format.
+    /// Encodes to the binary format: v2 (byte-identical to pre-packed
+    /// writers) when every entry is f32, v3 when packed entries exist.
     pub fn to_bytes(&self) -> Bytes {
+        let version = if self.packed.is_empty() {
+            VERSION_F32
+        } else {
+            VERSION_PACKED
+        };
         let mut buf = BytesMut::new();
         buf.put_slice(MAGIC);
-        buf.put_u32_le(VERSION);
-        buf.put_u32_le(self.params.len() as u32);
+        buf.put_u32_le(version);
+        buf.put_u32_le((self.params.len() + self.packed.len()) as u32);
         for (name, tensor) in &self.params {
             buf.put_u16_le(name.len() as u16);
             buf.put_slice(name.as_bytes());
+            if version >= VERSION_PACKED {
+                buf.put_u8(TAG_F32);
+            }
             buf.put_u8(tensor.ndim() as u8);
             for &d in tensor.shape() {
                 buf.put_u32_le(d as u32);
@@ -124,6 +180,27 @@ impl Checkpoint {
             for &v in tensor.data() {
                 buf.put_f32_le(v);
             }
+        }
+        for (name, weights) in &self.packed {
+            let qt = weights.tensor();
+            buf.put_u16_le(name.len() as u16);
+            buf.put_slice(name.as_bytes());
+            buf.put_u8(TAG_PACKED);
+            buf.put_u8(qt.kind().bits() as u8);
+            buf.put_u8(qt.format().int_bits() as u8);
+            buf.put_u8(qt.format().frac_bits() as u8);
+            buf.put_u8(weights.act_format().int_bits() as u8);
+            buf.put_u8(weights.act_format().frac_bits() as u8);
+            buf.put_u8(qt.shape().len() as u8);
+            for &d in qt.shape() {
+                buf.put_u32_le(d as u32);
+            }
+            buf.put_u32_le(qt.scales().len() as u32);
+            for &s in qt.scales() {
+                buf.put_f32_le(s);
+            }
+            buf.put_u32_le(qt.codes().len() as u32);
+            buf.put_slice(qt.codes());
         }
         let body = buf.freeze();
         let crc = crate::crc32::crc32(&body);
@@ -140,18 +217,12 @@ impl Checkpoint {
     /// Returns [`CheckpointError::Corrupt`] on truncation or bad magic, and
     /// [`CheckpointError::UnsupportedVersion`] for future versions.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
-        fn need(buf: &[u8], n: usize, what: &str) -> Result<(), CheckpointError> {
-            if buf.remaining() < n {
-                return Err(CheckpointError::Corrupt(format!("truncated at {what}")));
-            }
-            Ok(())
-        }
         need(bytes, 12, "header")?;
         if &bytes[..4] != MAGIC {
             return Err(CheckpointError::Corrupt("bad magic".into()));
         }
         let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
-        if !(MIN_VERSION..=VERSION).contains(&version) {
+        if !(MIN_VERSION..=VERSION_PACKED).contains(&version) {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
         // v2 carries a CRC-32 footer over everything before it; verify the
@@ -173,6 +244,7 @@ impl Checkpoint {
         bytes.advance(8); // magic + version
         let count = bytes.get_u32_le() as usize;
         let mut params = Vec::with_capacity(count);
+        let mut packed = Vec::new();
         for _ in 0..count {
             need(bytes, 2, "name length")?;
             let name_len = bytes.get_u16_le() as usize;
@@ -180,24 +252,29 @@ impl Checkpoint {
             let name = String::from_utf8(bytes[..name_len].to_vec())
                 .map_err(|_| CheckpointError::Corrupt("non-utf8 name".into()))?;
             bytes.advance(name_len);
-            need(bytes, 1, "ndim")?;
-            let ndim = bytes.get_u8() as usize;
-            need(bytes, 4 * ndim, "dims")?;
-            let mut dims = Vec::with_capacity(ndim);
-            for _ in 0..ndim {
-                dims.push(bytes.get_u32_le() as usize);
+            let tag = if version >= VERSION_PACKED {
+                need(bytes, 1, "entry tag")?;
+                bytes.get_u8()
+            } else {
+                TAG_F32
+            };
+            match tag {
+                TAG_F32 => {
+                    let tensor = decode_f32_entry(&mut bytes)?;
+                    params.push((name, tensor));
+                }
+                TAG_PACKED => {
+                    let weights = decode_packed_entry(&mut bytes)?;
+                    packed.push((name, weights));
+                }
+                other => {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "unknown entry tag {other}"
+                    )))
+                }
             }
-            let numel: usize = dims.iter().product();
-            need(bytes, 4 * numel, "tensor data")?;
-            let mut data = Vec::with_capacity(numel);
-            for _ in 0..numel {
-                data.push(bytes.get_f32_le());
-            }
-            let tensor = Tensor::new(&dims, data)
-                .map_err(|e| CheckpointError::Corrupt(format!("bad tensor: {e}")))?;
-            params.push((name, tensor));
         }
-        Ok(Checkpoint { params })
+        Ok(Checkpoint { params, packed })
     }
 
     /// Writes the checkpoint to a file.
@@ -219,6 +296,70 @@ impl Checkpoint {
         let bytes = std::fs::read(path)?;
         Self::from_bytes(&bytes)
     }
+}
+
+fn need(buf: &[u8], n: usize, what: &str) -> Result<(), CheckpointError> {
+    if buf.remaining() < n {
+        return Err(CheckpointError::Corrupt(format!("truncated at {what}")));
+    }
+    Ok(())
+}
+
+/// Decodes the body of an f32 tensor entry (every v1/v2 entry; v3 tag 0).
+fn decode_f32_entry(bytes: &mut &[u8]) -> Result<Tensor, CheckpointError> {
+    need(bytes, 1, "ndim")?;
+    let ndim = bytes.get_u8() as usize;
+    need(bytes, 4 * ndim, "dims")?;
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        dims.push(bytes.get_u32_le() as usize);
+    }
+    let numel: usize = dims.iter().product();
+    need(bytes, 4 * numel, "tensor data")?;
+    let mut data = Vec::with_capacity(numel);
+    for _ in 0..numel {
+        data.push(bytes.get_f32_le());
+    }
+    Tensor::new(&dims, data).map_err(|e| CheckpointError::Corrupt(format!("bad tensor: {e}")))
+}
+
+/// Decodes the body of a packed block-quantised entry (v3 tag 1).
+fn decode_packed_entry(bytes: &mut &[u8]) -> Result<QuantizedWeights, CheckpointError> {
+    need(bytes, 6, "packed header")?;
+    let kind = match bytes.get_u8() {
+        4 => QuantKind::Q4,
+        8 => QuantKind::Q8,
+        other => {
+            return Err(CheckpointError::Corrupt(format!(
+                "unknown packed code width {other}"
+            )))
+        }
+    };
+    let (wi, wf) = (bytes.get_u8() as u32, bytes.get_u8() as u32);
+    let (ai, af) = (bytes.get_u8() as u32, bytes.get_u8() as u32);
+    let weight_format = QFormat::new(wi, wf)
+        .map_err(|e| CheckpointError::Corrupt(format!("bad weight format: {e}")))?;
+    let act_format = QFormat::new(ai, af)
+        .map_err(|e| CheckpointError::Corrupt(format!("bad activation format: {e}")))?;
+    let ndim = bytes.get_u8() as usize;
+    need(bytes, 4 * ndim + 4, "packed dims")?;
+    let mut dims = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        dims.push(bytes.get_u32_le() as usize);
+    }
+    let n_scales = bytes.get_u32_le() as usize;
+    need(bytes, 4 * n_scales + 4, "block scales")?;
+    let mut scales = Vec::with_capacity(n_scales);
+    for _ in 0..n_scales {
+        scales.push(bytes.get_f32_le());
+    }
+    let n_codes = bytes.get_u32_le() as usize;
+    need(bytes, n_codes, "block codes")?;
+    let codes = bytes[..n_codes].to_vec();
+    bytes.advance(n_codes);
+    let qt = QTensor::from_parts(kind, dims, weight_format, scales, codes)
+        .map_err(|e| CheckpointError::Corrupt(format!("bad packed tensor: {e}")))?;
+    Ok(QuantizedWeights::new(qt, act_format))
 }
 
 #[cfg(test)]
@@ -348,5 +489,79 @@ mod tests {
             Checkpoint::load(Path::new("/nonexistent/advcomp.ckpt")),
             Err(CheckpointError::Io(_))
         ));
+    }
+
+    fn frozen_lenet(bits: u32) -> Sequential {
+        let mut model = crate::builders::lenet5(1.0, 11);
+        let fmt = QFormat::for_bitwidth(bits).unwrap();
+        let frozen = model.freeze_quantized(fmt, fmt).unwrap();
+        assert!(frozen > 0, "lenet5 has packable layers");
+        model
+    }
+
+    #[test]
+    fn packed_roundtrip_is_v3_with_crc() {
+        let model = frozen_lenet(8);
+        let ckpt = Checkpoint::capture(&model);
+        assert!(!ckpt.packed().is_empty());
+        let bytes = ckpt.to_bytes();
+        assert_eq!(
+            u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            3
+        );
+        let decoded = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, ckpt);
+        // The CRC footer still guards v3 files.
+        let mut torn = bytes.to_vec();
+        torn.truncate(torn.len() / 2);
+        assert!(Checkpoint::from_bytes(&torn).is_err());
+        let mut flipped = bytes.to_vec();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(Checkpoint::from_bytes(&flipped).is_err());
+    }
+
+    #[test]
+    fn packed_restore_freezes_fresh_model() {
+        let frozen = frozen_lenet(8);
+        let ckpt = Checkpoint::capture(&frozen);
+        // Restoring into a dense f32 model installs the packed weights and
+        // freezes the owning layers (the serve registry load path).
+        let mut fresh = crate::builders::lenet5(1.0, 99);
+        ckpt.restore(&mut fresh).unwrap();
+        assert_eq!(Checkpoint::capture(&fresh), ckpt);
+        // Frozen layers are inference-only after restore.
+        assert!(fresh
+            .backward(&advcomp_tensor::Tensor::zeros(&[1, 10]))
+            .is_err());
+    }
+
+    #[test]
+    fn packed_restore_rejects_unknown_owner() {
+        let ckpt = Checkpoint::capture(&frozen_lenet(8));
+        let mut mlp = crate::builders::mlp(8, 1);
+        assert!(matches!(
+            ckpt.restore(&mut mlp),
+            Err(CheckpointError::Incompatible(_))
+        ));
+    }
+
+    /// Acceptance pin: a packed LeNet5 checkpoint is at most a third of the
+    /// f32 v2 bytes at 8-bit, and Q4 shrinks further still.
+    #[test]
+    fn packed_checkpoint_is_at_most_a_third_of_f32() {
+        let dense_bytes = Checkpoint::capture(&crate::builders::lenet5(1.0, 11))
+            .to_bytes()
+            .len();
+        let q8_bytes = Checkpoint::capture(&frozen_lenet(8)).to_bytes().len();
+        let q4_bytes = Checkpoint::capture(&frozen_lenet(4)).to_bytes().len();
+        assert!(
+            q8_bytes * 3 <= dense_bytes,
+            "packed q8 checkpoint {q8_bytes} B vs f32 {dense_bytes} B"
+        );
+        assert!(
+            q4_bytes < q8_bytes,
+            "packed q4 {q4_bytes} B should undercut q8 {q8_bytes} B"
+        );
     }
 }

@@ -98,4 +98,48 @@ pub trait Layer: Send {
     fn activation_format(&self) -> Option<advcomp_qformat::QFormat> {
         None
     }
+
+    /// Freezes this layer's weights into packed block-quantised form for
+    /// integer-GEMM inference: the f32 weight tensor is replaced by a
+    /// [`crate::QuantizedWeights`] handle, the weight leaves `params()`,
+    /// and `backward` starts failing (frozen layers are inference-only).
+    ///
+    /// Returns `true` when the layer holds packable weights (`Dense`,
+    /// `Conv2d`); parameter-free and non-GEMM layers return `false`
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NnError::InvalidConfig`] when already frozen, or a tensor
+    /// error when `weight_format` has no packed representation.
+    fn freeze_quantized(
+        &mut self,
+        _weight_format: advcomp_qformat::QFormat,
+        _act_format: advcomp_qformat::QFormat,
+    ) -> Result<bool> {
+        Ok(false)
+    }
+
+    /// The packed weights installed on this layer, if frozen, keyed by the
+    /// weight parameter's name (the checkpoint serialisation key).
+    fn quantized_weights(&self) -> Option<(&str, &crate::QuantizedWeights)> {
+        None
+    }
+
+    /// Installs packed weights by parameter name (the checkpoint restore
+    /// path). Returns `true` when this layer owns the named weight and
+    /// accepted the handle — whether or not it was frozen before — and
+    /// `false` when the name belongs elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::NnError::InvalidConfig`] when the name matches but the
+    /// packed shape does not.
+    fn install_quantized_weights(
+        &mut self,
+        _name: &str,
+        _weights: &crate::QuantizedWeights,
+    ) -> Result<bool> {
+        Ok(false)
+    }
 }

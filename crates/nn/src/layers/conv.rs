@@ -2,9 +2,12 @@
 
 use crate::layer::{Layer, Mode};
 use crate::param::{Param, ParamKind};
+use crate::qweights::QuantizedWeights;
 use crate::{NnError, Result};
+use advcomp_qformat::QFormat;
 use advcomp_tensor::{
-    col2im, im2col_into, nchw_to_rows, rows_to_nchw, Conv2dGeometry, Init, Tensor,
+    col2im, im2col_into, nchw_to_rows, qmatmul_f32, rows_to_nchw, simd, Conv2dGeometry, Init,
+    QTensor, Tensor,
 };
 use rand::Rng;
 
@@ -24,6 +27,7 @@ pub struct Conv2d {
     kernel: usize,
     stride: usize,
     padding: usize,
+    packed: Option<QuantizedWeights>,
     cache: Option<ConvCache>,
     cols: Tensor,
 }
@@ -81,6 +85,7 @@ impl Conv2d {
             kernel,
             stride,
             padding,
+            packed: None,
             cache: None,
             cols: Tensor::default(),
         }
@@ -88,12 +93,23 @@ impl Conv2d {
 
     /// Output channel count.
     pub fn out_channels(&self) -> usize {
-        self.weight.value.shape()[0]
+        match &self.packed {
+            Some(q) => q.tensor().shape()[0],
+            None => self.weight.value.shape()[0],
+        }
     }
 
     /// Input channel count.
     pub fn in_channels(&self) -> usize {
-        self.weight.value.shape()[1]
+        match &self.packed {
+            Some(q) => q.tensor().shape()[1],
+            None => self.weight.value.shape()[1],
+        }
+    }
+
+    /// `true` when the kernels are frozen into packed quantised form.
+    pub fn is_frozen(&self) -> bool {
+        self.packed.is_some()
     }
 
     fn weight_2d(&self) -> Result<Tensor> {
@@ -128,6 +144,25 @@ impl Layer for Conv2d {
         };
         let (oh, ow) = geom.output_hw()?;
         im2col_into(input, &geom, &mut self.cols)?;
+        if let Some(q) = &self.packed {
+            // Dequant-fused conv path: the unrolled patch matrix feeds the
+            // int8 GEMM directly; only the codes of the weight blocks and
+            // the quantised patches touch memory in the hot loop.
+            let (rows, oc) = (self.cols.shape()[0], q.tensor().rows());
+            let mut out = vec![0.0f32; rows * oc];
+            qmatmul_f32(
+                simd::backend(),
+                self.cols.data(),
+                rows,
+                q.act_format(),
+                q.tensor(),
+                &mut out,
+            )?;
+            let out2d = Tensor::new(&[rows, oc], out)?.add_row_broadcast(&self.bias.value)?;
+            let out = rows_to_nchw(&out2d, n, oc, oh, ow)?;
+            self.cache = None; // frozen layers are inference-only
+            return Ok(out);
+        }
         let w2d = self.weight_2d()?; // [oc, patch]
         let out2d = self.cols.matmul(&w2d.t()?)?; // [n*oh*ow, oc]
         let out2d = out2d.add_row_broadcast(&self.bias.value)?;
@@ -141,6 +176,11 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        if self.packed.is_some() {
+            return Err(NnError::InvalidConfig(
+                "conv2d: backward through frozen quantised weights (inference-only)".into(),
+            ));
+        }
         let cache = self
             .cache
             .as_ref()
@@ -171,11 +211,18 @@ impl Layer for Conv2d {
     }
 
     fn params(&self) -> Vec<&Param> {
-        vec![&self.weight, &self.bias]
+        // The frozen weight is no longer an f32 parameter (see `Dense`).
+        match self.packed {
+            Some(_) => vec![&self.bias],
+            None => vec![&self.weight, &self.bias],
+        }
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        vec![&mut self.weight, &mut self.bias]
+        match self.packed {
+            Some(_) => vec![&mut self.bias],
+            None => vec![&mut self.weight, &mut self.bias],
+        }
     }
 
     fn kind(&self) -> &'static str {
@@ -184,16 +231,61 @@ impl Layer for Conv2d {
 
     fn clone_layer(&self) -> Box<dyn Layer> {
         // The im2col scratch is per-replica state and starts empty; it is
-        // regrown lazily on the replica's first forward pass.
+        // regrown lazily on the replica's first forward pass. Packed
+        // weights are shared across replicas via Arc.
         Box::new(Conv2d {
             weight: self.weight.clone(),
             bias: self.bias.clone(),
             kernel: self.kernel,
             stride: self.stride,
             padding: self.padding,
+            packed: self.packed.clone(),
             cache: None,
             cols: Tensor::default(),
         })
+    }
+
+    fn freeze_quantized(&mut self, weight_format: QFormat, act_format: QFormat) -> Result<bool> {
+        if self.packed.is_some() {
+            return Err(NnError::InvalidConfig(
+                "conv2d: weights already frozen".into(),
+            ));
+        }
+        let shape = self.weight.value.shape().to_vec();
+        let qt = QTensor::quantize(self.weight.value.data(), &shape, weight_format)?;
+        self.packed = Some(QuantizedWeights::new(qt, act_format));
+        self.weight.value = Tensor::default();
+        self.weight.grad = Tensor::default();
+        Ok(true)
+    }
+
+    fn quantized_weights(&self) -> Option<(&str, &QuantizedWeights)> {
+        self.packed.as_ref().map(|q| (self.weight.name.as_str(), q))
+    }
+
+    fn install_quantized_weights(
+        &mut self,
+        name: &str,
+        weights: &QuantizedWeights,
+    ) -> Result<bool> {
+        if name != self.weight.name {
+            return Ok(false);
+        }
+        let expected: &[usize] = match &self.packed {
+            Some(q) => q.tensor().shape(),
+            None => self.weight.value.shape(),
+        };
+        if weights.tensor().shape() != expected {
+            return Err(NnError::InvalidConfig(format!(
+                "shape mismatch for {name}: {:?} vs {:?}",
+                expected,
+                weights.tensor().shape()
+            )));
+        }
+        self.packed = Some(weights.clone());
+        self.weight.value = Tensor::default();
+        self.weight.grad = Tensor::default();
+        Ok(true)
     }
 }
 

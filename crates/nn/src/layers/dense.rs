@@ -2,17 +2,26 @@
 
 use crate::layer::{Layer, Mode};
 use crate::param::{Param, ParamKind};
+use crate::qweights::QuantizedWeights;
 use crate::{NnError, Result};
-use advcomp_tensor::{Init, Tensor};
+use advcomp_qformat::QFormat;
+use advcomp_tensor::{qmatmul_f32, simd, Init, QTensor, Tensor};
 use rand::Rng;
 
 /// A fully-connected (affine) layer: `y = x Wᵀ + b`.
 ///
 /// Weight shape is `[out, in]`, bias `[out]`; inputs are `[batch, in]`.
+///
+/// In the frozen state ([`Layer::freeze_quantized`]) the weight lives as a
+/// packed [`QuantizedWeights`] block tensor and the forward pass runs the
+/// fused int8 GEMM ([`advcomp_tensor::qmatmul_f32`]): inputs are quantised
+/// per row on entry, accumulated in i32 per block, and dequantised into the
+/// f32 output, so outputs and the bias addition keep their f32 semantics.
 #[derive(Debug)]
 pub struct Dense {
     weight: Param,
     bias: Param,
+    packed: Option<QuantizedWeights>,
     cached_input: Option<Tensor>,
 }
 
@@ -40,23 +49,50 @@ impl Dense {
                 Tensor::zeros(&[out_features]),
                 ParamKind::Bias,
             ),
+            packed: None,
             cached_input: None,
         }
     }
 
     /// Input feature count.
     pub fn in_features(&self) -> usize {
-        self.weight.value.shape()[1]
+        match &self.packed {
+            Some(q) => q.tensor().cols(),
+            None => self.weight.value.shape()[1],
+        }
     }
 
     /// Output feature count.
     pub fn out_features(&self) -> usize {
-        self.weight.value.shape()[0]
+        match &self.packed {
+            Some(q) => q.tensor().rows(),
+            None => self.weight.value.shape()[0],
+        }
+    }
+
+    /// `true` when the weights are frozen into packed quantised form.
+    pub fn is_frozen(&self) -> bool {
+        self.packed.is_some()
     }
 }
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Result<Tensor> {
+        if let Some(q) = &self.packed {
+            let (m, n) = (input.shape()[0], q.tensor().rows());
+            let mut out = vec![0.0f32; m * n];
+            qmatmul_f32(
+                simd::backend(),
+                input.data(),
+                m,
+                q.act_format(),
+                q.tensor(),
+                &mut out,
+            )?;
+            let y = Tensor::new(&[m, n], out)?.add_row_broadcast(&self.bias.value)?;
+            self.cached_input = None; // frozen layers are inference-only
+            return Ok(y);
+        }
         let wt = self.weight.value.t()?;
         let y = input.matmul(&wt)?;
         let y = y.add_row_broadcast(&self.bias.value)?;
@@ -65,6 +101,11 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        if self.packed.is_some() {
+            return Err(NnError::InvalidConfig(
+                "dense: backward through frozen quantised weights (inference-only)".into(),
+            ));
+        }
         let input = self
             .cached_input
             .as_ref()
@@ -78,11 +119,19 @@ impl Layer for Dense {
     }
 
     fn params(&self) -> Vec<&Param> {
-        vec![&self.weight, &self.bias]
+        // The frozen weight is no longer an f32 parameter: it leaves the
+        // param list so optimisers, pruning and f32 export skip it.
+        match self.packed {
+            Some(_) => vec![&self.bias],
+            None => vec![&self.weight, &self.bias],
+        }
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        vec![&mut self.weight, &mut self.bias]
+        match self.packed {
+            Some(_) => vec![&mut self.bias],
+            None => vec![&mut self.weight, &mut self.bias],
+        }
     }
 
     fn kind(&self) -> &'static str {
@@ -90,11 +139,57 @@ impl Layer for Dense {
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {
+        // Replicas share the packed blocks (Arc), not a fresh copy.
         Box::new(Dense {
             weight: self.weight.clone(),
             bias: self.bias.clone(),
+            packed: self.packed.clone(),
             cached_input: None,
         })
+    }
+
+    fn freeze_quantized(&mut self, weight_format: QFormat, act_format: QFormat) -> Result<bool> {
+        if self.packed.is_some() {
+            return Err(NnError::InvalidConfig(
+                "dense: weights already frozen".into(),
+            ));
+        }
+        let shape = self.weight.value.shape().to_vec();
+        let qt = QTensor::quantize(self.weight.value.data(), &shape, weight_format)?;
+        self.packed = Some(QuantizedWeights::new(qt, act_format));
+        // Drop the f32 copy: the packed blocks are now the only weights.
+        self.weight.value = Tensor::default();
+        self.weight.grad = Tensor::default();
+        Ok(true)
+    }
+
+    fn quantized_weights(&self) -> Option<(&str, &QuantizedWeights)> {
+        self.packed.as_ref().map(|q| (self.weight.name.as_str(), q))
+    }
+
+    fn install_quantized_weights(
+        &mut self,
+        name: &str,
+        weights: &QuantizedWeights,
+    ) -> Result<bool> {
+        if name != self.weight.name {
+            return Ok(false);
+        }
+        let expected: &[usize] = match &self.packed {
+            Some(q) => q.tensor().shape(),
+            None => self.weight.value.shape(),
+        };
+        if weights.tensor().shape() != expected {
+            return Err(NnError::InvalidConfig(format!(
+                "shape mismatch for {name}: {:?} vs {:?}",
+                expected,
+                weights.tensor().shape()
+            )));
+        }
+        self.packed = Some(weights.clone());
+        self.weight.value = Tensor::default();
+        self.weight.grad = Tensor::default();
+        Ok(true)
     }
 }
 

@@ -50,6 +50,7 @@ mod loss;
 mod metrics;
 mod optim;
 mod param;
+mod qweights;
 mod sequential;
 
 pub use adam::Adam;
@@ -67,6 +68,7 @@ pub use loss::{accuracy, softmax, softmax_cross_entropy, LossOutput};
 pub use metrics::ConfusionMatrix;
 pub use optim::{LrSchedule, Sgd, StepDecay};
 pub use param::{Param, ParamKind};
+pub use qweights::QuantizedWeights;
 pub use sequential::Sequential;
 
 /// Result alias for this crate.

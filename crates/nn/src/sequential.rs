@@ -157,6 +157,63 @@ impl Sequential {
             .collect()
     }
 
+    /// Freezes every packable layer's weights into block-quantised form
+    /// for integer-GEMM inference (see [`Layer::freeze_quantized`]),
+    /// returning how many layers were frozen. Frozen weights leave
+    /// `params()`/`export_params()`; serialise them with
+    /// [`Sequential::export_quantized`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error (already frozen, or a weight
+    /// format with no packed representation).
+    pub fn freeze_quantized(
+        &mut self,
+        weight_format: advcomp_qformat::QFormat,
+        act_format: advcomp_qformat::QFormat,
+    ) -> Result<usize> {
+        let mut frozen = 0;
+        for layer in &mut self.layers {
+            if layer.freeze_quantized(weight_format, act_format)? {
+                frozen += 1;
+            }
+        }
+        Ok(frozen)
+    }
+
+    /// Exports every frozen layer's packed weights as `(name, handle)`
+    /// pairs in layer order — the checkpoint-v3 serialisation boundary,
+    /// complementing [`Sequential::export_params`] (which now carries only
+    /// the remaining f32 parameters).
+    pub fn export_quantized(&self) -> Vec<(String, crate::QuantizedWeights)> {
+        self.layers
+            .iter()
+            .filter_map(|l| l.quantized_weights())
+            .map(|(name, q)| (name.to_string(), q.clone()))
+            .collect()
+    }
+
+    /// Installs packed weights on the layer owning the named weight
+    /// parameter, freezing it if it was dense. Returns `false` when no
+    /// layer claims the name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when a layer claims the name but
+    /// the packed shape is incompatible.
+    pub fn install_quantized(
+        &mut self,
+        name: &str,
+        weights: &crate::QuantizedWeights,
+    ) -> Result<bool> {
+        for layer in &mut self.layers {
+            if layer.install_quantized_weights(name, weights)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
     /// Imports parameter values by name.
     ///
     /// # Errors

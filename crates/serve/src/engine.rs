@@ -154,7 +154,7 @@ impl Engine {
     pub fn start(registry: &ModelRegistry, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
         let shared = Arc::new(Shared {
-            metrics: ServeMetrics::default(),
+            metrics: ServeMetrics::with_model_names(registry.names()),
             sample_len: registry.sample_len(),
             input_shape: registry.input_shape().to_vec(),
             config: config.clone(),
@@ -337,13 +337,16 @@ fn run_batch(replicas: &mut ReplicaSet, batch: Vec<Job>, shared: &Shared) {
     let outcome = (|| -> Result<_, ServeError> {
         let input = Tensor::new(&shape, data).map_err(advcomp_nn::NnError::from)?;
         let logits = replicas.baseline.1.forward(&input, Mode::Eval)?;
+        m.record_model_forward(0, forward_t0.elapsed());
         let labels = logits.argmax_rows().map_err(advcomp_nn::NnError::from)?;
         let probs = softmax(&logits)?;
         let guard = match (&shared.config.guard, replicas.variants.is_empty()) {
             (Some(cfg), false) => {
                 let mut per_variant = Vec::with_capacity(replicas.variants.len());
-                for (name, model) in &mut replicas.variants {
+                for (i, (name, model)) in replicas.variants.iter_mut().enumerate() {
+                    let variant_t0 = Instant::now();
                     let vl = model.forward(&input, Mode::Eval)?;
+                    m.record_model_forward(1 + i, variant_t0.elapsed());
                     let vlabels = vl.argmax_rows().map_err(advcomp_nn::NnError::from)?;
                     per_variant.push((name.clone(), vlabels));
                 }
@@ -480,7 +483,14 @@ mod tests {
         assert!(p.flagged.is_some());
         assert_eq!(p.variant_labels.len(), 2);
         engine.shutdown();
-        assert_eq!(engine.metrics().completed.load(Ordering::Relaxed), 1);
+        let m = engine.metrics();
+        assert_eq!(m.completed.load(Ordering::Relaxed), 1);
+        // Per-model forward histograms: baseline + both variants recorded.
+        assert_eq!(m.per_model_forward.len(), 3);
+        assert_eq!(m.per_model_forward[0].0, "dense");
+        for (name, h) in &m.per_model_forward {
+            assert_eq!(h.count(), 1, "model {name} forward count");
+        }
     }
 
     #[test]

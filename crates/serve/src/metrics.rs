@@ -177,6 +177,13 @@ pub struct ServeMetrics {
     pub batch_assembly: LatencyHistogram,
     /// Forward-pass time (baseline + guard variants) per batch.
     pub forward: LatencyHistogram,
+    /// Per-model forward time: one histogram per registry model (baseline
+    /// first, then guard variants in registry order), recorded per batch.
+    /// This is what makes the packed-vs-dense variant cost observable —
+    /// a packed Q8 variant's histogram should sit well below the dense
+    /// baseline's. Empty under `Default`; populated by
+    /// [`ServeMetrics::with_model_names`].
+    pub per_model_forward: Vec<(String, LatencyHistogram)>,
     /// End-to-end time from enqueue to reply.
     pub total: LatencyHistogram,
     /// Distribution of executed batch sizes.
@@ -192,6 +199,28 @@ pub struct ServeMetrics {
 }
 
 impl ServeMetrics {
+    /// Metrics with one per-model forward histogram per registry model
+    /// (baseline first, then variants — the `ModelRegistry::names` order).
+    pub fn with_model_names<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
+        ServeMetrics {
+            per_model_forward: names
+                .into_iter()
+                .map(|n| (n.into(), LatencyHistogram::default()))
+                .collect(),
+            ..ServeMetrics::default()
+        }
+    }
+
+    /// Records one model's share of a batch forward pass. `index` follows
+    /// the registry order used in [`ServeMetrics::with_model_names`];
+    /// out-of-range indices are ignored (metrics must never panic a
+    /// worker).
+    pub fn record_model_forward(&self, index: usize, d: Duration) {
+        if let Some((_, h)) = self.per_model_forward.get(index) {
+            h.record(d);
+        }
+    }
+
     /// Fraction of scored requests the guard flagged (0 when unscored).
     pub fn flag_rate(&self) -> f64 {
         let n = self.guard_scored.load(Ordering::Relaxed);
@@ -253,6 +282,13 @@ impl ServeMetrics {
                     .set("queue_wait", self.queue_wait.to_json())
                     .set("batch_assembly", self.batch_assembly.to_json())
                     .set("forward", self.forward.to_json())
+                    .set("forward_per_model", {
+                        let mut obj = JsonObj::new();
+                        for (name, h) in &self.per_model_forward {
+                            obj = obj.set(name, h.to_json());
+                        }
+                        obj.build()
+                    })
                     .set("total", self.total.to_json())
                     .build(),
             )
@@ -321,6 +357,39 @@ mod tests {
         assert_eq!(d.batches(), 4);
         assert_eq!(d.max(), 500);
         assert!((d.mean() - 509.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_model_forward_histograms_appear_in_snapshot() {
+        let m = ServeMetrics::with_model_names(["dense", "q8_packed"]);
+        assert_eq!(m.per_model_forward.len(), 2);
+        m.record_model_forward(0, Duration::from_micros(800));
+        m.record_model_forward(1, Duration::from_micros(200));
+        m.record_model_forward(1, Duration::from_micros(300));
+        m.record_model_forward(7, Duration::from_micros(999)); // out of range: ignored
+        assert_eq!(m.per_model_forward[0].1.count(), 1);
+        assert_eq!(m.per_model_forward[1].1.count(), 2);
+        let snap = m.snapshot(Duration::from_secs(1));
+        let parsed = Json::parse(snap.to_string().as_bytes()).unwrap();
+        let per_model = parsed
+            .get("latency")
+            .and_then(|l| l.get("forward_per_model"))
+            .expect("forward_per_model section");
+        assert_eq!(
+            per_model.get("dense").and_then(|h| h.get("count")),
+            Some(&Json::Num(1.0))
+        );
+        assert_eq!(
+            per_model.get("q8_packed").and_then(|h| h.get("count")),
+            Some(&Json::Num(2.0))
+        );
+        // Default-built metrics expose an empty (but present) section.
+        let empty = ServeMetrics::default().snapshot(Duration::from_secs(1));
+        let parsed = Json::parse(empty.to_string().as_bytes()).unwrap();
+        assert!(parsed
+            .get("latency")
+            .and_then(|l| l.get("forward_per_model"))
+            .is_some());
     }
 
     #[test]

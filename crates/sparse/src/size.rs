@@ -4,6 +4,7 @@ use crate::huffman::{build_codebook, entropy_bits};
 use crate::{CsrMatrix, QuantizedTensor, Result};
 use advcomp_nn::{ParamKind, Sequential};
 use advcomp_qformat::QFormat;
+use advcomp_tensor::{QuantKind, QK};
 
 /// Storage footprint of one model under the standard deployment encodings.
 ///
@@ -20,7 +21,12 @@ pub struct SizeReport {
     pub dense_f32_bytes: usize,
     /// CSR bytes (f32 values + u32 indices + row pointers).
     pub csr_bytes: usize,
-    /// Packed fixed-point bytes at the given format (dense layout).
+    /// Quantised storage bytes at the given format. For formats that fit
+    /// the deployable block layout (≤ 8 bits) this is the **real** packed
+    /// size — per-row 32-value blocks of codes plus a f32 scale each, the
+    /// bytes a packed checkpoint actually stores — not the theoretical
+    /// `bits × count / 8` lower bound. Wider formats keep the bit-packed
+    /// estimate (they have no block representation).
     pub quantized_bytes: Option<usize>,
     /// Huffman-coded quantised stream bytes (payload, codebook excluded).
     pub huffman_bytes: Option<usize>,
@@ -69,6 +75,8 @@ impl ModelSize {
         let mut csr_bytes = 0usize;
         let mut all_codes: Vec<i32> = Vec::new();
         let mut quant_bits = 0usize;
+        let mut block_bytes = 0usize;
+        let block_kind = format.and_then(QuantKind::for_format);
 
         for p in model.params() {
             if p.kind != ParamKind::Weight {
@@ -85,9 +93,21 @@ impl ModelSize {
                 let qt = QuantizedTensor::from_tensor(&p.value, fmt);
                 quant_bits += qt.storage_bits();
                 all_codes.extend_from_slice(qt.codes());
+                if let Some(kind) = block_kind {
+                    // Real packed layout: rows padded to whole 32-value
+                    // blocks, each block carrying its f32 scale — exactly
+                    // what `tensor::quant::QTensor` (and checkpoint v3)
+                    // stores for this weight.
+                    block_bytes += rows * cols.div_ceil(QK) * kind.block_bytes();
+                }
             }
         }
 
+        let quant_total = if block_kind.is_some() {
+            block_bytes
+        } else {
+            quant_bits.div_ceil(8)
+        };
         let (quantized_bytes, huffman_bytes, code_entropy_bits) = if format.is_some() {
             let entropy = entropy_bits(&all_codes);
             let huffman = if all_codes.is_empty() {
@@ -97,7 +117,7 @@ impl ModelSize {
                 let total_bits: f64 = book.mean_bits(&all_codes) * all_codes.len() as f64;
                 (total_bits / 8.0).ceil() as usize
             };
-            (Some(quant_bits.div_ceil(8)), Some(huffman), Some(entropy))
+            (Some(quant_total), Some(huffman), Some(entropy))
         } else {
             (None, None, None)
         };
@@ -174,11 +194,46 @@ mod tests {
         }
         let report = ModelSize::measure(&m, Some(fmt)).unwrap();
         let q = report.quantized_bytes.unwrap();
-        // 4-bit packing: exactly elements/2 bytes.
-        assert_eq!(q, report.elements / 2);
+        // Real Q4_0 block layout: [8,16] → 8 rows × 1 block × 20 B, plus
+        // [4,8] → 4 rows × 1 block × 20 B. The old theoretical estimate
+        // (elements/2 = 80 B) ignored block padding and scales.
+        assert_eq!(q, (8 + 4) * QuantKind::Q4.block_bytes());
         let h = report.huffman_bytes.unwrap();
         assert!(h <= q + 8, "huffman {h} vs quantised {q}");
         assert!(report.code_entropy_bits.unwrap() <= 4.0);
-        assert!(report.best_ratio() >= 8.0);
+        assert!(report.best_ratio() > 2.0);
+        // Still a real shrink vs dense f32 despite scale overhead.
+        assert!(q * 2 < report.dense_f32_bytes);
+    }
+
+    #[test]
+    fn wide_formats_keep_bit_packed_estimate() {
+        let m = model();
+        let fmt = QFormat::for_bitwidth(16).unwrap();
+        let report = ModelSize::measure(&m, Some(fmt)).unwrap();
+        // No block layout at 16 bits: theoretical bits × count / 8.
+        assert_eq!(report.quantized_bytes.unwrap(), report.elements * 2);
+    }
+
+    /// The report's quantised row must equal the bytes a frozen model's
+    /// packed weights (and hence a v3 checkpoint) actually occupy.
+    #[test]
+    fn packed_accounting_matches_frozen_model_exactly() {
+        for bits in [4u32, 8] {
+            let fmt = QFormat::for_bitwidth(bits).unwrap();
+            let report = ModelSize::measure(&model(), Some(fmt)).unwrap();
+            let mut frozen = model();
+            frozen.freeze_quantized(fmt, fmt).unwrap();
+            let real: usize = frozen
+                .export_quantized()
+                .iter()
+                .map(|(_, qw)| qw.packed_bytes())
+                .sum();
+            assert_eq!(
+                report.quantized_bytes.unwrap(),
+                real,
+                "{bits}-bit report vs frozen packed bytes"
+            );
+        }
     }
 }

@@ -126,7 +126,10 @@ fn compression_ratios_match_deep_compression_story() {
     let report = ModelSize::measure(&model, Some(fmt)).unwrap();
     assert_eq!(report.dense_f32_bytes, report.elements * 4);
     let q = report.quantized_bytes.unwrap();
-    assert_eq!(q, report.elements); // 8 bits/element
+    // Real packed Q8_0 layout: fc1 [24,784] → 24 rows × ceil(784/32)
+    // blocks, fc2 [10,24] → 10 rows × 1 block, 36 B per block.
+    let blocks = 24 * 784usize.div_ceil(advcomp_tensor::QK) + 10;
+    assert_eq!(q, blocks * advcomp_tensor::QuantKind::Q8.block_bytes());
     let h = report.huffman_bytes.unwrap();
     assert!(
         h < q,

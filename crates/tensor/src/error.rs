@@ -43,6 +43,8 @@ pub enum TensorError {
     InvalidGeometry(String),
     /// A zero-sized dimension or empty tensor where one is not allowed.
     Empty(&'static str),
+    /// The requested storage or execution format is not supported.
+    Unsupported(String),
 }
 
 impl fmt::Display for TensorError {
@@ -68,6 +70,7 @@ impl fmt::Display for TensorError {
             }
             TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
             TensorError::Empty(op) => write!(f, "{op} requires a non-empty tensor"),
+            TensorError::Unsupported(msg) => write!(f, "unsupported format: {msg}"),
         }
     }
 }

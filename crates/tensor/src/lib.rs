@@ -36,6 +36,7 @@ mod error;
 mod init;
 mod ops;
 pub mod pool;
+pub mod quant;
 mod reduce;
 mod shape;
 pub mod simd;
@@ -45,6 +46,7 @@ pub use conv::{col2im, im2col, im2col_into, nchw_to_rows, rows_to_nchw, Conv2dGe
 pub use error::TensorError;
 pub use init::{FanMode, Init};
 pub use ops::MatmulKernel;
+pub use quant::{qmatmul, qmatmul_f32, quantize_activations, QActivations, QTensor, QuantKind, QK};
 pub use shape::{broadcast_shapes, numel, Shape};
 pub use simd::KernelBackend;
 pub use tensor::Tensor;

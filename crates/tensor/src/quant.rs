@@ -1,0 +1,1250 @@
+//! Block-quantised weight storage and fused int8 GEMM kernels.
+//!
+//! This module is the storage + execution half of the paper's fixed-point
+//! story. The simulation half (`FakeQuant`, `qformat`) rounds values in
+//! f32 and still pays full dense-float inference; here the rounded codes
+//! are *stored* as integers and *executed* with int8×int8→i32 arithmetic:
+//!
+//! ```text
+//! block layout (one row of a packed weight matrix, QK = 32):
+//!
+//!   Q8: ┌ scale f32 ┐┌ 32 × i8 codes ───────────────┐  = 36 B / 32 values
+//!   Q4: ┌ scale f32 ┐┌ 16 B: lo nibble v[0..16],    │  = 20 B / 32 values
+//!       │           ││       hi nibble v[16..32]    │
+//!       └───────────┘└──────────────────────────────┘
+//! ```
+//!
+//! Codes are the raw two's-complement [`QFormat`] codes (`encode`), and
+//! every block scale is the format's resolution `2^-f`, so
+//! `code × scale` reproduces [`QFormat::decode`] **bit-exactly** — a
+//! packed tensor dequantises to precisely the values the simulated
+//! (`quantize_slice`) path produces. The per-block scale field keeps the
+//! layout compatible with data-dependent block scales (ggml's Q8_0/Q4_0)
+//! should a future format need them.
+//!
+//! The GEMM ([`qmatmul`]) quantises f32 activations per row on entry,
+//! accumulates each 32-value block in i32, and fuses dequantisation into
+//! the f32 output accumulator (`acc += block_sum × scale_w × scale_a`).
+//! Dispatch follows the [`crate::simd`] contract: explicit
+//! [`KernelBackend`], AVX2 bodies behind a runtime feature check, scalar
+//! fallback everywhere, `ADVCOMP_KERNEL` honoured by callers passing
+//! [`crate::simd::backend`]. On the scalar backend the packed forward is
+//! bit-exact with the simulated path whenever every intermediate product
+//! sum stays inside f32's 24-bit integer window (true for the paper's
+//! Q1.3/Q2.6 schedules on LeNet-scale reductions); the AVX2 path is
+//! tolerance-class like the dense FMA GEMM.
+
+use crate::simd::KernelBackend;
+use crate::{pool, Result, TensorError};
+use advcomp_qformat::QFormat;
+
+/// Values per quantisation block (ggml's `QK8_0`/`QK4_0`).
+pub const QK: usize = 32;
+
+/// Work threshold above which [`qmatmul`] parallelises over row bands.
+///
+/// Deliberately higher than the dense GEMM's `64³` threshold: the
+/// `maddubs` kernel retires ~4× the MACs per instruction of the f32 FMA
+/// path, so a problem that keeps eight f32 bands busy finishes in the
+/// time the pool takes to wake its workers. Measured on the 128³ bench
+/// shape (`BENCH_quant.json`), banding *costs* the packed path ~30%;
+/// serial wins until roughly this size.
+const PARALLEL_THRESHOLD: usize = 160 * 160 * 160;
+
+/// Storage class of a packed tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantKind {
+    /// 4-bit codes, two per byte (`Q4_0` layout): 20 bytes per block.
+    Q4,
+    /// 8-bit codes, one per byte (`Q8_0` layout): 36 bytes per block.
+    Q8,
+}
+
+impl QuantKind {
+    /// Picks the narrowest block class whose codes can hold `format`'s
+    /// raw range: ≤ 4 total bits → [`QuantKind::Q4`], ≤ 8 → [`QuantKind::Q8`].
+    /// Wider formats have no packed representation and return `None`.
+    pub fn for_format(format: QFormat) -> Option<QuantKind> {
+        match format.total_bits() {
+            0..=4 => Some(QuantKind::Q4),
+            5..=8 => Some(QuantKind::Q8),
+            _ => None,
+        }
+    }
+
+    /// Code width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            QuantKind::Q4 => 4,
+            QuantKind::Q8 => 8,
+        }
+    }
+
+    /// Packed code bytes per 32-value block (scale excluded).
+    pub fn payload_bytes(self) -> usize {
+        match self {
+            QuantKind::Q4 => QK / 2,
+            QuantKind::Q8 => QK,
+        }
+    }
+
+    /// Total bytes per block: payload plus the f32 scale.
+    pub fn block_bytes(self) -> usize {
+        4 + self.payload_bytes()
+    }
+
+    /// Stable lowercase name (`"q4_0"` / `"q8_0"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            QuantKind::Q4 => "q4_0",
+            QuantKind::Q8 => "q8_0",
+        }
+    }
+}
+
+/// A weight tensor stored as quantised blocks.
+///
+/// The logical shape is preserved (`[out, in]` for dense weights,
+/// `[oc, ic, kh, kw]` for convolutions); rows are `shape[0]` and every
+/// row's trailing axes are flattened to `cols` — exactly the 2-D view the
+/// GEMM-lowered forward passes consume. Each row is padded independently
+/// to a whole number of blocks with zero codes, so `cols` need not be a
+/// multiple of [`QK`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QTensor {
+    kind: QuantKind,
+    shape: Vec<usize>,
+    format: QFormat,
+    /// One scale per block, `rows × blocks_per_row`, row-major.
+    scales: Vec<f32>,
+    /// Packed codes, `rows × blocks_per_row × payload_bytes`, row-major.
+    codes: Vec<u8>,
+    /// Whether the `maddubs` dot-product kernel is exact for these codes:
+    /// always for Q4 (nibbles decode to [-8, 7]), and for Q8 iff no code
+    /// is -128 — `sign(w, a)` negates `w` for negative activations, and
+    /// `-(-128)` wraps. Cached at construction; see `qgemm_rows`.
+    maddubs_safe: bool,
+}
+
+impl QTensor {
+    /// Packs `data` (row-major, logical shape `shape`) into quantised
+    /// blocks using `format`'s round-to-nearest semantics.
+    ///
+    /// Every stored code is exactly `format.encode(value)` and every block
+    /// scale is `format.resolution()`, so [`QTensor::dequantize`] equals
+    /// `format.quantize` applied elementwise, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::Unsupported`] when `format` is wider than 8 bits;
+    /// [`TensorError::LengthMismatch`] when `data` does not fill `shape`;
+    /// [`TensorError::Empty`] for an empty shape.
+    pub fn quantize(data: &[f32], shape: &[usize], format: QFormat) -> Result<QTensor> {
+        let kind = QuantKind::for_format(format).ok_or_else(|| {
+            TensorError::Unsupported(format!(
+                "no packed block format for {}-bit {format}",
+                format.total_bits()
+            ))
+        })?;
+        let (rows, cols) = split_rows_cols(shape)?;
+        if data.len() != rows * cols {
+            return Err(TensorError::LengthMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        let bpr = cols.div_ceil(QK);
+        let scale = format.resolution();
+        let scales = vec![scale; rows * bpr];
+        let mut codes = vec![0u8; rows * bpr * kind.payload_bytes()];
+        // Padding codes stay zero: they contribute exactly 0 to any dot
+        // product and dequantise to 0.0 (never read back, since dequantize
+        // stops at `cols`).
+        let mut block = [0i8; QK];
+        for r in 0..rows {
+            for b in 0..bpr {
+                let start = b * QK;
+                let len = QK.min(cols - start);
+                block.fill(0);
+                for (l, q) in block.iter_mut().enumerate().take(len) {
+                    *q = format.encode(data[r * cols + start + l]) as i8;
+                }
+                let out = &mut codes[(r * bpr + b) * kind.payload_bytes()..];
+                match kind {
+                    QuantKind::Q8 => {
+                        for (l, &q) in block.iter().enumerate() {
+                            out[l] = q as u8;
+                        }
+                    }
+                    QuantKind::Q4 => {
+                        // ggml Q4_0 layout: byte l = lo nibble value l,
+                        // hi nibble value l + 16.
+                        for l in 0..QK / 2 {
+                            out[l] =
+                                (block[l] as u8 & 0x0F) | ((block[l + QK / 2] as u8 & 0x0F) << 4);
+                        }
+                    }
+                }
+            }
+        }
+        let maddubs_safe = maddubs_safe(kind, &codes);
+        Ok(QTensor {
+            kind,
+            shape: shape.to_vec(),
+            format,
+            scales,
+            codes,
+            maddubs_safe,
+        })
+    }
+
+    /// Reassembles a packed tensor from its serialised parts (the
+    /// checkpoint-v3 decode path).
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::Unsupported`] when `kind` cannot hold `format`, and
+    /// [`TensorError::LengthMismatch`] when `scales`/`codes` lengths do
+    /// not match the shape's block count.
+    pub fn from_parts(
+        kind: QuantKind,
+        shape: Vec<usize>,
+        format: QFormat,
+        scales: Vec<f32>,
+        codes: Vec<u8>,
+    ) -> Result<QTensor> {
+        match QuantKind::for_format(format) {
+            Some(k) if k.bits() <= kind.bits() => {}
+            _ => {
+                return Err(TensorError::Unsupported(format!(
+                    "{format} codes do not fit {} blocks",
+                    kind.name()
+                )))
+            }
+        }
+        let (rows, cols) = split_rows_cols(&shape)?;
+        let bpr = cols.div_ceil(QK);
+        if scales.len() != rows * bpr {
+            return Err(TensorError::LengthMismatch {
+                expected: rows * bpr,
+                actual: scales.len(),
+            });
+        }
+        if codes.len() != rows * bpr * kind.payload_bytes() {
+            return Err(TensorError::LengthMismatch {
+                expected: rows * bpr * kind.payload_bytes(),
+                actual: codes.len(),
+            });
+        }
+        let maddubs_safe = maddubs_safe(kind, &codes);
+        Ok(QTensor {
+            kind,
+            shape,
+            format,
+            scales,
+            codes,
+            maddubs_safe,
+        })
+    }
+
+    /// Storage class.
+    pub fn kind(&self) -> QuantKind {
+        self.kind
+    }
+
+    /// Logical (unpacked) shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The fixed-point format the codes were encoded with.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Row count (`shape[0]`).
+    pub fn rows(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Flattened per-row element count (product of trailing axes).
+    pub fn cols(&self) -> usize {
+        self.shape[1..].iter().product()
+    }
+
+    /// Blocks per row (`cols` rounded up to whole blocks).
+    pub fn blocks_per_row(&self) -> usize {
+        self.cols().div_ceil(QK)
+    }
+
+    /// Logical element count.
+    pub fn len(&self) -> usize {
+        self.rows() * self.cols()
+    }
+
+    /// `true` when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-block scales, row-major.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Packed code bytes, row-major.
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Real packed size in bytes: code payload plus block scales. This is
+    /// the number the size-accounting report and the ≤ ⅓-of-f32 checkpoint
+    /// acceptance bound are measured against.
+    pub fn packed_bytes(&self) -> usize {
+        self.codes.len() + self.scales.len() * 4
+    }
+
+    /// The single scale shared by every block, when uniform (bit-compared).
+    ///
+    /// Tensors packed by [`QTensor::quantize`] always qualify — every block
+    /// stores `format.resolution()`. The GEMM kernels use this to hoist the
+    /// dequant multiply out of the block loop and accumulate raw i32 sums
+    /// across the whole row instead (see `qgemm_rows`).
+    pub fn uniform_scale(&self) -> Option<f32> {
+        let first = *self.scales.first()?;
+        self.scales[1..]
+            .iter()
+            .all(|s| s.to_bits() == first.to_bits())
+            .then_some(first)
+    }
+
+    /// The raw code of logical element `(row, col)`.
+    pub fn code(&self, row: usize, col: usize) -> i8 {
+        let bpr = self.blocks_per_row();
+        let (b, l) = (col / QK, col % QK);
+        match self.kind {
+            QuantKind::Q8 => self.codes[(row * bpr + b) * QK + l] as i8,
+            QuantKind::Q4 => {
+                let byte = self.codes[(row * bpr + b) * (QK / 2) + (l % (QK / 2))];
+                if l < QK / 2 {
+                    ((byte << 4) as i8) >> 4
+                } else {
+                    (byte as i8) >> 4
+                }
+            }
+        }
+    }
+
+    /// Unpacks to row-major f32 values in the logical shape. Bit-exact
+    /// with `format.quantize` applied to the original data.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let (rows, cols, bpr) = (self.rows(), self.cols(), self.blocks_per_row());
+        let mut out = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let scale = self.scales[r * bpr + c / QK];
+                out.push(self.code(r, c) as f32 * scale);
+            }
+        }
+        out
+    }
+}
+
+/// Whether the `maddubs`-based dot kernels are exact for these codes.
+///
+/// `maddubs(|a|, sign(w, a))` computes `a·w` per lane as long as `-w`
+/// never wraps, i.e. no Q8 weight code is -128 (byte `0x80`). With
+/// `|w| ≤ 127` the i16 pair sums are bounded by `2·128·127 = 32512`, so
+/// the saturating add is exact too — for every activation code including
+/// -128 (`|−128|` is 128, valid as the unsigned operand). Q4 codes decode
+/// to [-8, 7] and always qualify.
+fn maddubs_safe(kind: QuantKind, codes: &[u8]) -> bool {
+    match kind {
+        QuantKind::Q4 => true,
+        QuantKind::Q8 => !codes.contains(&0x80),
+    }
+}
+
+/// Splits a logical shape into `(rows, flattened cols)`.
+fn split_rows_cols(shape: &[usize]) -> Result<(usize, usize)> {
+    if shape.is_empty() {
+        return Err(TensorError::Empty("quantize"));
+    }
+    let rows = shape[0];
+    let cols: usize = shape[1..].iter().product();
+    if rows == 0 || cols == 0 {
+        return Err(TensorError::Empty("quantize"));
+    }
+    Ok((rows, cols))
+}
+
+/// A batch of activation rows quantised to i8 codes for the int8 GEMM.
+///
+/// Rows are quantised independently on entry to a packed layer (the
+/// activations themselves stay f32 between layers). Codes use the same
+/// fixed-point grid as the installed activation format, so re-encoding an
+/// already-quantised activation (the `FakeQuant` output) is lossless.
+#[derive(Debug, Clone)]
+pub struct QActivations {
+    rows: usize,
+    cols: usize,
+    /// i8 codes, `rows × blocks_per_row × QK`, zero-padded per row.
+    codes: Vec<i8>,
+    /// The single activation scale `2^-f` (uniform across rows under a
+    /// fixed-point format).
+    scale: f32,
+    format: QFormat,
+}
+
+impl QActivations {
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical per-row length.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Blocks per row.
+    pub fn blocks_per_row(&self) -> usize {
+        self.cols.div_ceil(QK)
+    }
+
+    /// The activation format the codes were encoded with.
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// The activation scale (`format.resolution()`).
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The i8 codes (padded rows).
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+}
+
+/// Quantises f32 activation rows (`rows × cols`, row-major) to i8 codes.
+///
+/// Scalar and AVX2 paths agree bit-exactly: both compute
+/// `round_half_away(v × 2^f)` saturated to the format's raw range (the
+/// power-of-two scaling is exact in f32 and f64 alike), with NaN encoding
+/// to 0 as in [`QFormat::encode`].
+///
+/// # Errors
+///
+/// [`TensorError::Unsupported`] when the format's codes exceed 8 bits;
+/// [`TensorError::LengthMismatch`] when `data` is not `rows × cols`.
+pub fn quantize_activations(
+    backend: KernelBackend,
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    format: QFormat,
+) -> Result<QActivations> {
+    if QuantKind::for_format(format).is_none() {
+        return Err(TensorError::Unsupported(format!(
+            "activation codes for {}-bit {format} do not fit i8",
+            format.total_bits()
+        )));
+    }
+    if data.len() != rows * cols {
+        return Err(TensorError::LengthMismatch {
+            expected: rows * cols,
+            actual: data.len(),
+        });
+    }
+    let bpr = cols.div_ceil(QK);
+    let mut codes = vec![0i8; rows * bpr * QK];
+    for r in 0..rows {
+        let src = &data[r * cols..(r + 1) * cols];
+        let dst = &mut codes[r * bpr * QK..r * bpr * QK + cols];
+        encode_row(backend, src, format, dst);
+    }
+    Ok(QActivations {
+        rows,
+        cols,
+        codes,
+        scale: format.resolution(),
+        format,
+    })
+}
+
+/// Encodes one row of f32 values to i8 codes.
+fn encode_row(backend: KernelBackend, src: &[f32], format: QFormat, dst: &mut [i8]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::use_avx2(backend) {
+        // SAFETY: use_avx2 verified AVX2 support at runtime.
+        unsafe { avx2::encode_row(src, format, dst) };
+        return;
+    }
+    let _ = backend;
+    for (d, &v) in dst.iter_mut().zip(src) {
+        *d = format.encode(v) as i8;
+    }
+}
+
+/// Int8 GEMM with fused per-block dequantisation:
+/// `out[i, j] = Σ_b (Σ_l a[i, b·32+l] · w[j, b·32+l]) · scale_w[j, b] · scale_a`,
+/// the inner sum in i32 and the outer accumulation in f32.
+///
+/// `out` is `[act.rows, w.rows]` row-major; callers add bias and reshape.
+/// Parallelises over output row bands on the global worker pool above the
+/// same work threshold as the dense GEMM.
+///
+/// # Errors
+///
+/// [`TensorError::ShapeMismatch`] when the inner dimensions disagree, and
+/// [`TensorError::LengthMismatch`] when `out` has the wrong size.
+pub fn qmatmul(
+    backend: KernelBackend,
+    act: &QActivations,
+    w: &QTensor,
+    out: &mut [f32],
+) -> Result<()> {
+    if act.cols() != w.cols() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![act.rows(), act.cols()],
+            rhs: w.shape().to_vec(),
+            op: "qmatmul",
+        });
+    }
+    let (m, n) = (act.rows(), w.rows());
+    if out.len() != m * n {
+        return Err(TensorError::LengthMismatch {
+            expected: m * n,
+            actual: out.len(),
+        });
+    }
+    let threads = pool::global().effective_threads();
+    if m * act.cols() * n >= PARALLEL_THRESHOLD && threads >= 2 && m >= 2 {
+        pool::for_each_row_band(out, n, threads, |row_start, band| {
+            qgemm_rows(backend, act, w, row_start, band);
+        });
+    } else {
+        qgemm_rows(backend, act, w, 0, out);
+    }
+    Ok(())
+}
+
+/// Convenience wrapper: quantises `a` (`m × w.cols()` f32, row-major) with
+/// `act_format` and runs [`qmatmul`]. This is the dequant-fused entry the
+/// packed `Dense` forward and the im2col conv path use.
+///
+/// # Errors
+///
+/// As [`quantize_activations`] and [`qmatmul`].
+pub fn qmatmul_f32(
+    backend: KernelBackend,
+    a: &[f32],
+    m: usize,
+    act_format: QFormat,
+    w: &QTensor,
+    out: &mut [f32],
+) -> Result<()> {
+    let act = quantize_activations(backend, a, m, w.cols(), act_format)?;
+    qmatmul(backend, &act, w, out)
+}
+
+/// Computes the output rows `row_start..` of the GEMM into `band`.
+fn qgemm_rows(
+    backend: KernelBackend,
+    act: &QActivations,
+    w: &QTensor,
+    row_start: usize,
+    band: &mut [f32],
+) {
+    let n = w.rows();
+    let bpr = w.blocks_per_row();
+    // Uniform-scale fast path: when every block shares one scale (always
+    // true for `QTensor::quantize` output — the scale is the format's
+    // power-of-two resolution), the per-block dequant multiply hoists out
+    // of the kernel entirely and raw i32 sums accumulate across the whole
+    // row. The per-block i32 sum is bounded by 32·2^7·2^7 = 2^19, so the
+    // row total stays inside i32 up to 4096 blocks (k = 131072).
+    let uniform = if bpr <= 4096 {
+        w.uniform_scale().map(|s| s * act.scale)
+    } else {
+        None
+    };
+    for (local, out_row) in band.chunks_mut(n).enumerate() {
+        let i = row_start + local;
+        let a_row = &act.codes[i * bpr * QK..(i + 1) * bpr * QK];
+        #[cfg(target_arch = "x86_64")]
+        if crate::simd::use_avx2(backend) {
+            // SAFETY: use_avx2 verified AVX2 support at runtime.
+            unsafe {
+                match (w.kind, uniform) {
+                    (QuantKind::Q8, Some(s)) if w.maddubs_safe => {
+                        avx2::qgemm_row_q8_uniform_maddubs(a_row, s, w, out_row);
+                    }
+                    (QuantKind::Q8, Some(s)) => avx2::qgemm_row_q8_uniform(a_row, s, w, out_row),
+                    (QuantKind::Q4, Some(s)) => avx2::qgemm_row_q4_uniform(a_row, s, w, out_row),
+                    (QuantKind::Q8, None) => avx2::qgemm_row_q8(a_row, act.scale, w, out_row),
+                    (QuantKind::Q4, None) => avx2::qgemm_row_q4(a_row, act.scale, w, out_row),
+                }
+            }
+            continue;
+        }
+        let _ = backend;
+        scalar_qgemm_row(a_row, act.scale, w, 0, out_row);
+    }
+}
+
+/// Scalar reference row kernel (the bit-exact class: per-block i32 sums,
+/// f32 accumulation across blocks — in the exact regime this matches the
+/// simulated dense-f32 forward on quantised values). `out_row[l]`
+/// corresponds to weight row `j0 + l` (the SIMD kernels hand their
+/// sub-4-row tails here).
+fn scalar_qgemm_row(a_row: &[i8], a_scale: f32, w: &QTensor, j0: usize, out_row: &mut [f32]) {
+    let bpr = w.blocks_per_row();
+    for (local, o) in out_row.iter_mut().enumerate() {
+        let j = j0 + local;
+        let scales = &w.scales[j * bpr..(j + 1) * bpr];
+        let mut acc = 0.0f32;
+        match w.kind {
+            QuantKind::Q8 => {
+                let wrow = &w.codes[j * bpr * QK..(j + 1) * bpr * QK];
+                for b in 0..bpr {
+                    let mut sum = 0i32;
+                    for l in 0..QK {
+                        sum += a_row[b * QK + l] as i32 * (wrow[b * QK + l] as i8) as i32;
+                    }
+                    acc += sum as f32 * (scales[b] * a_scale);
+                }
+            }
+            QuantKind::Q4 => {
+                let half = QK / 2;
+                let wrow = &w.codes[j * bpr * half..(j + 1) * bpr * half];
+                for b in 0..bpr {
+                    let mut sum = 0i32;
+                    for l in 0..half {
+                        let byte = wrow[b * half + l];
+                        let lo = ((byte << 4) as i8 >> 4) as i32;
+                        let hi = (byte as i8 >> 4) as i32;
+                        sum += a_row[b * QK + l] as i32 * lo;
+                        sum += a_row[b * QK + half + l] as i32 * hi;
+                    }
+                    acc += sum as f32 * (scales[b] * a_scale);
+                }
+            }
+        }
+        *o = acc;
+    }
+}
+
+/// Scalar tail of the uniform-scale Q8 row kernels: whole-row i32 totals
+/// with the single hoisted dequant multiply. `out_row[l]` is weight row
+/// `j0 + l`.
+#[cfg(target_arch = "x86_64")]
+fn scalar_uniform_tail_q8(
+    a_row: &[i8],
+    combined_scale: f32,
+    w: &QTensor,
+    j0: usize,
+    out_row: &mut [f32],
+) {
+    let bpr = w.blocks_per_row();
+    for (local, o) in out_row.iter_mut().enumerate() {
+        let jj = j0 + local;
+        let wrow = &w.codes[jj * bpr * QK..(jj + 1) * bpr * QK];
+        let mut total = 0i32;
+        for (l, &a) in a_row.iter().enumerate() {
+            total += a as i32 * (wrow[l] as i8) as i32;
+        }
+        *o = total as f32 * combined_scale;
+    }
+}
+
+/// Scalar tail of the uniform-scale Q4 row kernel — the nibble-decoding
+/// analogue of [`scalar_uniform_tail_q8`].
+#[cfg(target_arch = "x86_64")]
+fn scalar_uniform_tail_q4(
+    a_row: &[i8],
+    combined_scale: f32,
+    w: &QTensor,
+    j0: usize,
+    out_row: &mut [f32],
+) {
+    let bpr = w.blocks_per_row();
+    let half = QK / 2;
+    for (local, o) in out_row.iter_mut().enumerate() {
+        let jj = j0 + local;
+        let wrow = &w.codes[jj * bpr * half..(jj + 1) * bpr * half];
+        let mut total = 0i32;
+        for b in 0..bpr {
+            for l in 0..half {
+                let byte = wrow[b * half + l];
+                let lo = ((byte << 4) as i8 >> 4) as i32;
+                let hi = (byte as i8 >> 4) as i32;
+                total += a_row[b * QK + l] as i32 * lo;
+                total += a_row[b * QK + half + l] as i32 * hi;
+            }
+        }
+        *o = total as f32 * combined_scale;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    //! AVX2 bodies. Same contracts as `simd::avx2`: callers must have
+    //! verified `avx2` support; slices may have any length (tails are
+    //! handled inside). int8×int8 products go through sign-extension to
+    //! i16 and `madd` (16 MACs per instruction) rather than `maddubs`,
+    //! which would need an unsigned operand.
+
+    use super::{QTensor, QK};
+    use advcomp_qformat::QFormat;
+    #[allow(clippy::wildcard_imports)]
+    use std::arch::x86_64::*;
+
+    /// Encodes a row of f32 to i8 codes: `round_half_away(v · 2^f)`
+    /// saturated to the raw range, NaN → 0. Bit-exact with the scalar
+    /// `QFormat::encode` (power-of-two scaling is exact in both widths).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn encode_row(src: &[f32], format: QFormat, dst: &mut [i8]) {
+        let scale = _mm256_set1_ps((1u64 << format.frac_bits()) as f32);
+        let lo = _mm256_set1_ps(format.min_raw() as f32);
+        let hi = _mm256_set1_ps(format.max_raw() as f32);
+        let half = _mm256_set1_ps(0.5);
+        let sign_mask = _mm256_set1_ps(-0.0);
+        let n = src.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_loadu_ps(src.as_ptr().add(i));
+            let t = _mm256_mul_ps(v, scale);
+            // round half away from zero: trunc(t + copysign(0.5, t)).
+            let signed_half = _mm256_or_ps(half, _mm256_and_ps(t, sign_mask));
+            let r = _mm256_round_ps::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(_mm256_add_ps(
+                t,
+                signed_half,
+            ));
+            // NaN → 0 (ordered-compare mask), then saturate to the raw range.
+            let ord = _mm256_cmp_ps(r, r, _CMP_ORD_Q);
+            let r = _mm256_and_ps(r, ord);
+            let r = _mm256_max_ps(lo, _mm256_min_ps(hi, r));
+            let q = _mm256_cvtps_epi32(r); // integral input: exact
+                                           // 8 × i32 → 8 × i8 in the low lanes.
+            let packed16 =
+                _mm_packs_epi32(_mm256_castsi256_si128(q), _mm256_extracti128_si256::<1>(q));
+            let packed8 = _mm_packs_epi16(packed16, packed16);
+            _mm_storel_epi64(dst.as_mut_ptr().add(i).cast(), packed8);
+            i += 8;
+        }
+        for l in i..n {
+            dst[l] = format.encode(src[l]) as i8;
+        }
+    }
+
+    /// Sign-extends 16 i8 lanes to 16 i16 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn widen(ptr: *const u8) -> __m256i {
+        _mm256_cvtepi8_epi16(_mm_loadu_si128(ptr.cast()))
+    }
+
+    /// i32 lane sums of one 32-value block product.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn block_madd(a0: __m256i, a1: __m256i, w0: __m256i, w1: __m256i) -> __m256i {
+        _mm256_add_epi32(_mm256_madd_epi16(a0, w0), _mm256_madd_epi16(a1, w1))
+    }
+
+    /// Horizontal sum of 8 f32 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_ps(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps::<1>(v);
+        let s = _mm_add_ps(_mm256_castps256_ps128(v), hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps::<1>(s, s));
+        _mm_cvtss_f32(s)
+    }
+
+    /// One output row of the Q8 GEMM, 4 weight rows per inner pass so the
+    /// widened activation block is reused across rows.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn qgemm_row_q8(a_row: &[i8], a_scale: f32, w: &QTensor, out_row: &mut [f32]) {
+        let bpr = w.blocks_per_row();
+        let n = out_row.len();
+        let codes = w.codes.as_ptr();
+        let mut j = 0;
+        while j + 4 <= n {
+            let mut acc = [_mm256_setzero_ps(); 4];
+            for b in 0..bpr {
+                let ap = a_row.as_ptr().add(b * QK).cast::<u8>();
+                let a0 = widen(ap);
+                let a1 = widen(ap.add(16));
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let wp = codes.add(((j + r) * bpr + b) * QK);
+                    let sums = block_madd(a0, a1, widen(wp), widen(wp.add(16)));
+                    let s = _mm256_set1_ps(*w.scales.get_unchecked((j + r) * bpr + b) * a_scale);
+                    *accr = _mm256_fmadd_ps(_mm256_cvtepi32_ps(sums), s, *accr);
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                out_row[j + r] = hsum_ps(*accr);
+            }
+            j += 4;
+        }
+        if j < n {
+            super::scalar_qgemm_row(a_row, a_scale, w, j, &mut out_row[j..]);
+        }
+    }
+
+    /// i32 horizontal sum of 8 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_epi32(v: __m256i) -> i32 {
+        let s = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256::<1>(v));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0x4E>(s));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0xB1>(s));
+        _mm_cvtsi128_si32(s)
+    }
+
+    /// One output row of the Q8 GEMM under a uniform block scale: raw i32
+    /// sums accumulate across every block and the single dequant multiply
+    /// happens once per output. This removes the per-block scale
+    /// broadcast, int→float conversion and FMA of the general kernel —
+    /// the hot path for `QTensor::quantize`-packed weights, whose blocks
+    /// all carry the format's power-of-two resolution.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn qgemm_row_q8_uniform(
+        a_row: &[i8],
+        combined_scale: f32,
+        w: &QTensor,
+        out_row: &mut [f32],
+    ) {
+        let bpr = w.blocks_per_row();
+        let n = out_row.len();
+        let codes = w.codes.as_ptr();
+        let mut j = 0;
+        while j + 4 <= n {
+            let mut acc = [_mm256_setzero_si256(); 4];
+            for b in 0..bpr {
+                let ap = a_row.as_ptr().add(b * QK).cast::<u8>();
+                let a0 = widen(ap);
+                let a1 = widen(ap.add(16));
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let wp = codes.add(((j + r) * bpr + b) * QK);
+                    *accr =
+                        _mm256_add_epi32(*accr, block_madd(a0, a1, widen(wp), widen(wp.add(16))));
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                out_row[j + r] = hsum_epi32(*accr) as f32 * combined_scale;
+            }
+            j += 4;
+        }
+        super::scalar_uniform_tail_q8(a_row, combined_scale, w, j, &mut out_row[j..]);
+    }
+
+    /// Batched horizontal reduction: the four lane-wise i32 sums of four
+    /// accumulators, as one `__m128i`. Integer addition is associative, so
+    /// the totals are bit-identical to four [`hsum_epi32`] calls at a
+    /// third of the instruction count.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum4_epi32(v0: __m256i, v1: __m256i, v2: __m256i, v3: __m256i) -> __m128i {
+        let t = _mm256_hadd_epi32(_mm256_hadd_epi32(v0, v1), _mm256_hadd_epi32(v2, v3));
+        _mm_add_epi32(_mm256_castsi256_si128(t), _mm256_extracti128_si256::<1>(t))
+    }
+
+    /// [`qgemm_row_q8_uniform`] with the block dot products computed by
+    /// `maddubs` instead of sign-extension and `madd` — 32 MACs per
+    /// multiply instruction and no port-5 `vpmovsxbw` pressure, the
+    /// difference between matching the dense f32 FMA rate and doubling
+    /// it. Per lane `maddubs(|a|, sign(w, a)) = |a|·(±w) = a·w`; exact
+    /// only when [`maddubs_safe`](super::maddubs_safe) holds for `w`
+    /// (`qgemm_rows` gates on the cached flag). Eight weight rows per
+    /// pass share one activation load/abs, and the eight row totals
+    /// reduce together through [`hsum4_epi32`].
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn qgemm_row_q8_uniform_maddubs(
+        a_row: &[i8],
+        combined_scale: f32,
+        w: &QTensor,
+        out_row: &mut [f32],
+    ) {
+        let bpr = w.blocks_per_row();
+        let n = out_row.len();
+        let codes = w.codes.as_ptr();
+        let ones = _mm256_set1_epi16(1);
+        let scale = _mm256_set1_ps(combined_scale);
+        let row_stride = bpr * QK;
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut acc = [_mm256_setzero_si256(); 8];
+            let tile = codes.add(j * row_stride);
+            for b in 0..bpr {
+                let av = _mm256_loadu_si256(a_row.as_ptr().add(b * QK).cast());
+                let aabs = _mm256_abs_epi8(av);
+                let wb = tile.add(b * QK);
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let wv = _mm256_loadu_si256(wb.add(r * row_stride).cast());
+                    let prods = _mm256_maddubs_epi16(aabs, _mm256_sign_epi8(wv, av));
+                    *accr = _mm256_add_epi32(*accr, _mm256_madd_epi16(prods, ones));
+                }
+            }
+            let lo = hsum4_epi32(acc[0], acc[1], acc[2], acc[3]);
+            let hi = hsum4_epi32(acc[4], acc[5], acc[6], acc[7]);
+            let sums = _mm256_set_m128i(hi, lo);
+            let vals = _mm256_mul_ps(_mm256_cvtepi32_ps(sums), scale);
+            _mm256_storeu_ps(out_row.as_mut_ptr().add(j), vals);
+            j += 8;
+        }
+        while j + 4 <= n {
+            let mut acc = [_mm256_setzero_si256(); 4];
+            let tile = codes.add(j * row_stride);
+            for b in 0..bpr {
+                let av = _mm256_loadu_si256(a_row.as_ptr().add(b * QK).cast());
+                let aabs = _mm256_abs_epi8(av);
+                let wb = tile.add(b * QK);
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let wv = _mm256_loadu_si256(wb.add(r * row_stride).cast());
+                    let prods = _mm256_maddubs_epi16(aabs, _mm256_sign_epi8(wv, av));
+                    *accr = _mm256_add_epi32(*accr, _mm256_madd_epi16(prods, ones));
+                }
+            }
+            let sums = hsum4_epi32(acc[0], acc[1], acc[2], acc[3]);
+            let vals = _mm_mul_ps(_mm_cvtepi32_ps(sums), _mm256_castps256_ps128(scale));
+            _mm_storeu_ps(out_row.as_mut_ptr().add(j), vals);
+            j += 4;
+        }
+        super::scalar_uniform_tail_q8(a_row, combined_scale, w, j, &mut out_row[j..]);
+    }
+
+    /// Unpacks one 16-byte Q4 payload into two sign-extended i16 vectors
+    /// (values 0..16 and 16..32 of the block).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn unpack_q4(ptr: *const u8) -> (__m256i, __m256i) {
+        let bytes = _mm_loadu_si128(ptr.cast());
+        let mask = _mm_set1_epi8(0x0F);
+        let eight = _mm_set1_epi8(8);
+        // 4-bit two's complement → i8: (nibble ^ 8) - 8.
+        let lo = _mm_sub_epi8(_mm_xor_si128(_mm_and_si128(bytes, mask), eight), eight);
+        let hi = _mm_sub_epi8(
+            _mm_xor_si128(_mm_and_si128(_mm_srli_epi16::<4>(bytes), mask), eight),
+            eight,
+        );
+        (_mm256_cvtepi8_epi16(lo), _mm256_cvtepi8_epi16(hi))
+    }
+
+    /// One output row of the Q4 GEMM under a uniform block scale, via
+    /// `maddubs`. The two's-complement nibble `nib` maps to its code as
+    /// `(nib ^ 8) - 8`, so `m = nib ^ 8` is an *unsigned* value in
+    /// `[0, 15]` with `w = m - 8`: `Σ w·a = Σ m·a - 8·Σa`. `maddubs(m, a)`
+    /// takes `m` as its unsigned operand and the activations signed — no
+    /// negation anywhere, so unlike Q8 this is exact for every code
+    /// (pair sums are bounded by `2·15·128`, far inside i16). The `8·Σa`
+    /// correction costs one scalar pass per activation row, amortised
+    /// over all `n` outputs.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn qgemm_row_q4_uniform(
+        a_row: &[i8],
+        combined_scale: f32,
+        w: &QTensor,
+        out_row: &mut [f32],
+    ) {
+        let bpr = w.blocks_per_row();
+        let half = QK / 2;
+        let n = out_row.len();
+        let codes = w.codes.as_ptr();
+        let ones = _mm256_set1_epi16(1);
+        let mask = _mm_set1_epi8(0x0F);
+        let flip = _mm256_set1_epi8(8);
+        let scale = _mm256_set1_ps(combined_scale);
+        let a_sum8 = _mm256_set1_epi32(8 * a_row.iter().map(|&v| i32::from(v)).sum::<i32>());
+        let row_stride = bpr * half;
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut acc = [_mm256_setzero_si256(); 8];
+            let tile = codes.add(j * row_stride);
+            for b in 0..bpr {
+                let av = _mm256_loadu_si256(a_row.as_ptr().add(b * QK).cast());
+                let wb = tile.add(b * half);
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let bytes = _mm_loadu_si128(wb.add(r * row_stride).cast());
+                    let lo = _mm_and_si128(bytes, mask);
+                    let hi = _mm_and_si128(_mm_srli_epi16::<4>(bytes), mask);
+                    let m = _mm256_xor_si256(_mm256_set_m128i(hi, lo), flip);
+                    let prods = _mm256_maddubs_epi16(m, av);
+                    *accr = _mm256_add_epi32(*accr, _mm256_madd_epi16(prods, ones));
+                }
+            }
+            let lo4 = hsum4_epi32(acc[0], acc[1], acc[2], acc[3]);
+            let hi4 = hsum4_epi32(acc[4], acc[5], acc[6], acc[7]);
+            let sums = _mm256_sub_epi32(_mm256_set_m128i(hi4, lo4), a_sum8);
+            let vals = _mm256_mul_ps(_mm256_cvtepi32_ps(sums), scale);
+            _mm256_storeu_ps(out_row.as_mut_ptr().add(j), vals);
+            j += 8;
+        }
+        while j + 4 <= n {
+            let mut acc = [_mm256_setzero_si256(); 4];
+            let tile = codes.add(j * row_stride);
+            for b in 0..bpr {
+                let av = _mm256_loadu_si256(a_row.as_ptr().add(b * QK).cast());
+                let wb = tile.add(b * half);
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let bytes = _mm_loadu_si128(wb.add(r * row_stride).cast());
+                    let lo = _mm_and_si128(bytes, mask);
+                    let hi = _mm_and_si128(_mm_srli_epi16::<4>(bytes), mask);
+                    let m = _mm256_xor_si256(_mm256_set_m128i(hi, lo), flip);
+                    let prods = _mm256_maddubs_epi16(m, av);
+                    *accr = _mm256_add_epi32(*accr, _mm256_madd_epi16(prods, ones));
+                }
+            }
+            let sums = _mm_sub_epi32(
+                hsum4_epi32(acc[0], acc[1], acc[2], acc[3]),
+                _mm256_castsi256_si128(a_sum8),
+            );
+            let vals = _mm_mul_ps(_mm_cvtepi32_ps(sums), _mm256_castps256_ps128(scale));
+            _mm_storeu_ps(out_row.as_mut_ptr().add(j), vals);
+            j += 4;
+        }
+        super::scalar_uniform_tail_q4(a_row, combined_scale, w, j, &mut out_row[j..]);
+    }
+
+    /// One output row of the Q4 GEMM (weights unpacked from nibbles on the
+    /// fly, fused with the same per-block dequant as Q8).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn qgemm_row_q4(a_row: &[i8], a_scale: f32, w: &QTensor, out_row: &mut [f32]) {
+        let bpr = w.blocks_per_row();
+        let half = QK / 2;
+        let n = out_row.len();
+        let codes = w.codes.as_ptr();
+        let mut j = 0;
+        while j + 4 <= n {
+            let mut acc = [_mm256_setzero_ps(); 4];
+            for b in 0..bpr {
+                let ap = a_row.as_ptr().add(b * QK).cast::<u8>();
+                let a0 = widen(ap);
+                let a1 = widen(ap.add(16));
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let (w0, w1) = unpack_q4(codes.add(((j + r) * bpr + b) * half));
+                    let sums = block_madd(a0, a1, w0, w1);
+                    let s = _mm256_set1_ps(*w.scales.get_unchecked((j + r) * bpr + b) * a_scale);
+                    *accr = _mm256_fmadd_ps(_mm256_cvtepi32_ps(sums), s, *accr);
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                out_row[j + r] = hsum_ps(*accr);
+            }
+            j += 4;
+        }
+        if j < n {
+            super::scalar_qgemm_row(a_row, a_scale, w, j, &mut out_row[j..]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simd::KernelBackend;
+
+    fn q8() -> QFormat {
+        QFormat::for_bitwidth(8).unwrap()
+    }
+
+    fn q4() -> QFormat {
+        QFormat::for_bitwidth(4).unwrap()
+    }
+
+    /// Deterministic pseudo-random f32s in [-range, range].
+    fn values(seed: u64, n: usize, range: f32) -> Vec<f32> {
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let u = ((state >> 33) as f64) / ((1u64 << 31) as f64); // [0, 2)
+                ((u - 1.0) * range as f64) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kind_schedule_matches_paper_bitwidths() {
+        assert_eq!(QuantKind::for_format(q4()), Some(QuantKind::Q4));
+        assert_eq!(QuantKind::for_format(q8()), Some(QuantKind::Q8));
+        assert_eq!(
+            QuantKind::for_format(QFormat::for_bitwidth(5).unwrap()),
+            Some(QuantKind::Q8)
+        );
+        assert_eq!(
+            QuantKind::for_format(QFormat::for_bitwidth(16).unwrap()),
+            None
+        );
+        assert!(matches!(
+            QTensor::quantize(&[0.0; 4], &[2, 2], QFormat::for_bitwidth(16).unwrap()),
+            Err(TensorError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn pack_unpack_bit_exact_vs_qformat() {
+        for fmt in [q4(), q8()] {
+            let data = values(7, 5 * 77, 3.0); // cols 77: exercises padding
+            let qt = QTensor::quantize(&data, &[5, 7, 11], fmt).unwrap();
+            let back = qt.dequantize();
+            for (i, (&orig, &deq)) in data.iter().zip(&back).enumerate() {
+                let expect = fmt.quantize(orig);
+                assert_eq!(
+                    expect.to_bits(),
+                    deq.to_bits(),
+                    "{fmt} element {i}: {orig} -> {deq} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_bytes_accounting() {
+        let qt = QTensor::quantize(&[0.5; 64 * 100], &[64, 100], q8()).unwrap();
+        // 100 cols → 4 blocks/row.
+        assert_eq!(qt.blocks_per_row(), 4);
+        assert_eq!(qt.packed_bytes(), 64 * 4 * QuantKind::Q8.block_bytes());
+        let qt4 = QTensor::quantize(&[0.5; 64 * 100], &[64, 100], q4()).unwrap();
+        assert_eq!(qt4.packed_bytes(), 64 * 4 * QuantKind::Q4.block_bytes());
+        assert!(qt4.packed_bytes() * 3 < 64 * 100 * 4);
+    }
+
+    #[test]
+    fn activation_encoding_matches_encode_on_both_backends() {
+        let data = values(3, 2 * 50, 4.0);
+        for fmt in [q4(), q8()] {
+            let scalar = quantize_activations(KernelBackend::Scalar, &data, 2, 50, fmt).unwrap();
+            let simd = quantize_activations(KernelBackend::Simd, &data, 2, 50, fmt).unwrap();
+            assert_eq!(scalar.codes(), simd.codes());
+            for r in 0..2 {
+                for c in 0..50 {
+                    assert_eq!(
+                        scalar.codes()[r * scalar.blocks_per_row() * QK + c],
+                        fmt.encode(data[r * 50 + c]) as i8
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qmatmul_matches_f64_reference() {
+        for fmt in [q4(), q8()] {
+            let (m, k, n) = (5, 70, 9);
+            let a = values(11, m * k, 2.0);
+            let wdata = values(13, n * k, 1.5);
+            let w = QTensor::quantize(&wdata, &[n, k], fmt).unwrap();
+            let wq = w.dequantize();
+            for backend in [KernelBackend::Scalar, KernelBackend::Simd] {
+                let act = quantize_activations(backend, &a, m, k, fmt).unwrap();
+                let mut out = vec![0.0f32; m * n];
+                qmatmul(backend, &act, &w, &mut out).unwrap();
+                for i in 0..m {
+                    for j in 0..n {
+                        let mut reference = 0.0f64;
+                        for l in 0..k {
+                            reference += fmt.quantize(a[i * k + l]) as f64 * wq[j * k + l] as f64;
+                        }
+                        let got = out[i * n + j] as f64;
+                        assert!(
+                            (got - reference).abs() <= 1e-4 * reference.abs().max(1.0),
+                            "{fmt} {backend:?} ({i},{j}): {got} vs {reference}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_and_simd_rows_agree_to_tolerance() {
+        let (m, k, n) = (4, 130, 23); // odd n exercises the 4-row tail
+        let a = values(21, m * k, 2.0);
+        let wdata = values(22, n * k, 2.0);
+        for fmt in [q4(), q8()] {
+            let w = QTensor::quantize(&wdata, &[n, k], fmt).unwrap();
+            let mut scalar = vec![0.0f32; m * n];
+            let mut simd = vec![0.0f32; m * n];
+            let act = quantize_activations(KernelBackend::Scalar, &a, m, k, fmt).unwrap();
+            qmatmul(KernelBackend::Scalar, &act, &w, &mut scalar).unwrap();
+            qmatmul(KernelBackend::Simd, &act, &w, &mut simd).unwrap();
+            let num: f64 = scalar
+                .iter()
+                .zip(&simd)
+                .map(|(&s, &v)| ((s - v) as f64).powi(2))
+                .sum();
+            let den: f64 = scalar.iter().map(|&s| (s as f64).powi(2)).sum();
+            assert!(num.sqrt() <= 1e-5 * den.sqrt().max(1e-12), "{fmt} rel-L2");
+        }
+    }
+
+    #[test]
+    fn qmatmul_shape_validation() {
+        let w = QTensor::quantize(&[0.25; 6 * 8], &[6, 8], q8()).unwrap();
+        let act = quantize_activations(KernelBackend::Scalar, &[0.5; 2 * 7], 2, 7, q8()).unwrap();
+        let mut out = vec![0.0; 12];
+        assert!(matches!(
+            qmatmul(KernelBackend::Scalar, &act, &w, &mut out),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        let act = quantize_activations(KernelBackend::Scalar, &[0.5; 2 * 8], 2, 8, q8()).unwrap();
+        let mut short = vec![0.0; 5];
+        assert!(matches!(
+            qmatmul(KernelBackend::Scalar, &act, &w, &mut short),
+            Err(TensorError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_parts_validates_lengths() {
+        let qt = QTensor::quantize(&[0.5; 4 * 40], &[4, 40], q8()).unwrap();
+        let rt = QTensor::from_parts(
+            qt.kind(),
+            qt.shape().to_vec(),
+            qt.format(),
+            qt.scales().to_vec(),
+            qt.codes().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rt, qt);
+        assert!(QTensor::from_parts(
+            QuantKind::Q4, // q8 codes do not fit q4 blocks
+            qt.shape().to_vec(),
+            qt.format(),
+            qt.scales().to_vec(),
+            qt.codes().to_vec(),
+        )
+        .is_err());
+        assert!(QTensor::from_parts(
+            qt.kind(),
+            vec![4, 70], // 3 blocks/row: scale + code lengths no longer match
+            qt.format(),
+            qt.scales().to_vec(),
+            qt.codes().to_vec(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parallel_band_path_matches_serial() {
+        // Big enough to cross PARALLEL_THRESHOLD with the serial result
+        // computed under a thread cap of 1.
+        let (m, k, n) = (64, 64, 1024);
+        let a = values(31, m * k, 1.0);
+        let wdata = values(32, n * k, 1.0);
+        let w = QTensor::quantize(&wdata, &[n, k], q8()).unwrap();
+        let act = quantize_activations(KernelBackend::Scalar, &a, m, k, q8()).unwrap();
+        let mut serial = vec![0.0f32; m * n];
+        pool::with_thread_cap(1, || {
+            qmatmul(KernelBackend::Scalar, &act, &w, &mut serial).unwrap();
+        });
+        let mut parallel = vec![0.0f32; m * n];
+        qmatmul(KernelBackend::Scalar, &act, &w, &mut parallel).unwrap();
+        assert_eq!(serial, parallel);
+    }
+}

@@ -99,7 +99,7 @@ pub fn backend() -> KernelBackend {
 
 /// `true` when this call should take the AVX2 path.
 #[inline]
-fn use_avx2(backend: KernelBackend) -> bool {
+pub(crate) fn use_avx2(backend: KernelBackend) -> bool {
     backend == KernelBackend::Simd && simd_available()
 }
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the integer-execution ablation and writes BENCH_quant.json at the
+# repo root: the fused int8 GEMM vs the dense f32 SIMD GEMM at the 128³
+# hot-path shape, dense vs frozen-packed LeNet5 forwards, the
+# compression-ensemble guard's per-batch cost, and the v2-vs-v3
+# checkpoint byte counts.
+#
+# The worker pool reads ADVCOMP_THREADS once at startup, so pin the
+# thread count per process, e.g.:
+#
+#   ADVCOMP_THREADS=8 scripts/bench_quant.sh
+#   scripts/bench_quant.sh results/BENCH_quant.json
+#
+# When ADVCOMP_THREADS is unset we default to 8, matching
+# scripts/bench_kernels.sh: the f32 baseline parallelises at the bench
+# shape while the packed path stays serial (see PARALLEL_THRESHOLD in
+# tensor::quant), and that scheduling difference is part of what the
+# numbers are meant to show.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_quant.json}"
+ITERS="${BENCH_ITERS:-200}"
+export ADVCOMP_THREADS="${ADVCOMP_THREADS:-8}"
+
+cargo build --release -p advcomp-bench --bin quant_bench
+./target/release/quant_bench --out "$OUT" --iters "$ITERS"

@@ -15,8 +15,10 @@ cargo test --workspace -q
 # Golden-drift gate: regenerate the checked-in golden vectors in place and
 # fail if they differ from HEAD. A stale golden already fails `cargo test`;
 # this direction catches the opposite mistake — a regenerated golden that
-# was never reviewed/committed.
+# was never reviewed/committed. The quant_parity suite owns the packed
+# LeNet forward golden, so regenerate under it too.
 REGEN_GOLDENS=1 cargo test -q -p advcomp-testkit --test goldens >/dev/null
+REGEN_GOLDENS=1 cargo test -q -p advcomp-testkit --test quant_parity >/dev/null
 if ! git diff --exit-code --stat -- tests/goldens; then
     echo "error: golden vectors drifted; review the diff above and either" >&2
     echo "       fix the numeric regression or commit the regenerated goldens" >&2
@@ -35,6 +37,17 @@ for kernel in scalar simd; do
 done
 echo "kernel parity: scalar and simd agree"
 
+# Quantised-execution parity: packed Q8/Q4 storage must round-trip the
+# QFormat grid bit-exactly, the fused int8 GEMM and frozen conv must sit
+# within 1e-5 relative L2 of an f64 reference, and the packed LeNet
+# forward must be bit-identical to the simulated FakeQuant forward on the
+# scalar backend. Run under both dispatch values like kernel_parity.
+for kernel in scalar simd; do
+    ADVCOMP_KERNEL="$kernel" \
+        cargo test -q -p advcomp-testkit --test quant_parity >/dev/null
+done
+echo "quant parity: packed storage and int8 kernels agree"
+
 # SIMD regression gate: on an AVX2+FMA host the dispatched GEMM must not be
 # slower than the scalar path (--check-simd is a no-op on hosts without
 # AVX2). Reports go to a scratch dir so the checked-in BENCH_simd.json only
@@ -45,6 +58,17 @@ simd_tmp="$(mktemp -d)"
     --simd-out "$simd_tmp/simd.json" --check-simd >/dev/null
 rm -rf "$simd_tmp"
 echo "simd gate: dispatched GEMM not slower than scalar"
+
+# Integer-execution regression gate: on an AVX2 host the packed Q8 GEMM
+# must not be slower than the dense f32 SIMD GEMM at the 128³ bench shape
+# (a no-op without AVX2). Same scratch-dir convention as the simd gate so
+# the checked-in BENCH_quant.json only changes via scripts/bench_quant.sh.
+cargo build -q --release -p advcomp-bench --bin quant_bench
+quant_tmp="$(mktemp -d)"
+./target/release/quant_bench --iters 25 --out "$quant_tmp/quant.json" \
+    --check-quant >/dev/null
+rm -rf "$quant_tmp"
+echo "quant gate: packed Q8 GEMM not slower than dense f32"
 
 # Fault-injection smoke: a tiny sweep with a sticky panic injected at one
 # point must still exit 0, keeping the surviving point and recording the

@@ -20,19 +20,25 @@ fn serve_trained_ensemble_end_to_end() {
     let baseline = TrainedModel::train(&setup, &scale, 42).unwrap();
     assert!(baseline.test_accuracy > 0.8, "{}", baseline.test_accuracy);
 
-    // Weights-only quantised variants (checkpoint-safe: the quantised
-    // values live on the Q-format grid, so save -> load reproduces them).
+    // Packed integer-execution variants: quantise to the grid, then freeze
+    // into block-quantised form so the guard's variant forwards run the
+    // fused int8 GEMM. Their checkpoints carry the packed blocks (format
+    // v3) and loading them freezes the fresh registry models in turn.
     let dense = baseline.instantiate().unwrap();
     let mut quant8 = baseline.instantiate().unwrap();
-    Quantizer::for_bitwidth(8)
+    let frozen8 = Quantizer::for_bitwidth(8)
         .unwrap()
-        .quantize_weights(&mut quant8);
+        .quantize_frozen(&mut quant8)
+        .unwrap();
+    assert!(frozen8 > 0, "no layers froze");
     let mut quant5 = baseline.instantiate().unwrap();
     Quantizer::for_bitwidth(5)
         .unwrap()
-        .quantize_weights(&mut quant5);
+        .quantize_frozen(&mut quant5)
+        .unwrap();
 
-    // Through checkpoint files: exercises the v2 CRC footer on both ends.
+    // Through checkpoint files: exercises the CRC footer on both ends —
+    // v2 for the dense baseline, v3 (packed) for the frozen variants.
     let dir = std::env::temp_dir().join(format!("advcomp_serve_e2e_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let save = |name: &str, model: &advcomp::nn::Sequential| {
@@ -105,6 +111,21 @@ fn serve_trained_ensemble_end_to_end() {
         max_batch > 1,
         "no batching observed (max batch {max_batch})"
     );
+    // Per-model forward histograms: baseline and both packed variants must
+    // have recorded every batch, making the packed-vs-dense cost visible.
+    let per_model = metrics
+        .get("metrics")
+        .and_then(|m| m.get("latency"))
+        .and_then(|l| l.get("forward_per_model"))
+        .expect("forward_per_model section");
+    for name in ["dense", "quant8", "quant5"] {
+        let count = per_model
+            .get(name)
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        assert!(count > 0, "no forward samples recorded for {name}");
+    }
 
     // Guard: IFGSM samples crafted on the served baseline must score a
     // higher mean suspect rate than the same clean samples.
