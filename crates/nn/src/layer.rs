@@ -34,7 +34,7 @@ pub enum Mode {
 ///   The transient backward cache is the only thing it may touch, which is
 ///   why concurrent serving replicates models per worker
 ///   ([`Layer::clone_layer`]) instead of sharing one behind a lock.
-pub trait Layer: Send {
+pub trait Layer: Send + Sync {
     /// Computes the layer output for `input`.
     ///
     /// # Errors

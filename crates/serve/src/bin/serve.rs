@@ -13,7 +13,9 @@
 
 use advcomp_models::{lenet5, mlp};
 use advcomp_nn::Sequential;
-use advcomp_serve::{Engine, GuardConfig, ModelRegistry, ServeConfig, Server};
+use advcomp_serve::{
+    Engine, GuardConfig, ModelRegistry, RateLimitConfig, ServeConfig, Server, ServerConfig,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -24,6 +26,7 @@ struct Args {
     variants: Vec<(String, PathBuf)>,
     addr: String,
     config: ServeConfig,
+    server: ServerConfig,
 }
 
 fn usage() -> ! {
@@ -31,9 +34,22 @@ fn usage() -> ! {
         "usage: serve --arch <mlp:H|lenet5:W> --baseline NAME=PATH \
          [--variant NAME=PATH]... [--addr HOST:PORT] [--workers N] \
          [--max-batch N] [--max-delay-ms N] [--queue-depth N] \
-         [--guard-threshold F|--no-guard]"
+         [--guard-threshold F|--no-guard] [--io-threads N] \
+         [--rate-limit RPS[:BURST]] [--max-conns N]"
     );
     std::process::exit(2);
+}
+
+/// Parses `RPS` or `RPS:BURST` (burst defaults to 2x the rate).
+fn parse_rate_limit(arg: &str) -> Option<RateLimitConfig> {
+    let (rps, burst) = match arg.split_once(':') {
+        Some((r, b)) => (r.parse().ok()?, b.parse().ok()?),
+        None => {
+            let rps: f64 = arg.parse().ok()?;
+            (rps, (rps * 2.0).max(1.0))
+        }
+    };
+    Some(RateLimitConfig { rps, burst })
 }
 
 fn parse_named(arg: &str) -> (String, PathBuf) {
@@ -55,6 +71,7 @@ fn parse_args() -> Args {
         variants: Vec::new(),
         addr: "127.0.0.1:7878".into(),
         config: ServeConfig::default(),
+        server: ServerConfig::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -79,6 +96,11 @@ fn parse_args() -> Args {
                 })
             }
             "--no-guard" => args.config.guard = None,
+            "--io-threads" => args.server.io_threads = value().parse().unwrap_or_else(|_| usage()),
+            "--max-conns" => args.server.max_conns = value().parse().unwrap_or_else(|_| usage()),
+            "--rate-limit" => {
+                args.server.rate_limit = Some(parse_rate_limit(&value()).unwrap_or_else(|| usage()))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -122,14 +144,19 @@ fn main() -> ExitCode {
             eprintln!("loaded variant {name} from {}", path.display());
         }
         let engine = Engine::start(&registry, args.config.clone())?;
-        let server = Server::bind(engine, &args.addr)?;
+        let server = Server::bind_with(engine, &args.addr, args.server.clone())?;
         eprintln!(
-            "serving on {} ({} workers, max batch {}, guard {})",
+            "serving on {} ({} workers x {} io threads, max batch {}, guard {}, rate limit {})",
             server.local_addr(),
             args.config.workers,
+            args.server.io_threads,
             args.config.max_batch,
             match &args.config.guard {
                 Some(g) => format!("threshold {}", g.threshold),
+                None => "off".into(),
+            },
+            match &args.server.rate_limit {
+                Some(rl) => format!("{} rps (burst {})", rl.rps, rl.burst),
                 None => "off".into(),
             }
         );

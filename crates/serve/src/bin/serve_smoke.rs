@@ -6,12 +6,23 @@
 //! it with a mix of traffic a hostile network could produce: concurrent
 //! predictions, control commands, an oversized frame header, a malformed
 //! JSON frame, and a truncated frame — finishing with a clean shutdown.
+//!
+//! A second phase checks the **open-loop load story** instead of a raw
+//! rps number (raw rps is a closed-loop bias: it measures the client's
+//! patience, not the server). Against an admission-capped server, the
+//! goodput-vs-offered-load curve must have the right *shape*: goodput
+//! tracks offered load below the cap, a saturation knee exists before
+//! the highest swept rate, and goodput never exceeds offered load.
+//!
 //! Exits non-zero on the first violated expectation.
 
 use advcomp_models::{mlp, Checkpoint};
 use advcomp_serve::json::Json;
+use advcomp_serve::loadgen::{self, find_knee, LoadPlan};
 use advcomp_serve::protocol::{Command, MAX_FRAME};
-use advcomp_serve::{Client, Engine, GuardConfig, ModelRegistry, ServeConfig, Server};
+use advcomp_serve::{
+    Client, Engine, GuardConfig, ModelRegistry, RateLimitConfig, ServeConfig, Server, ServerConfig,
+};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -59,6 +70,7 @@ fn run() -> Result<(), String> {
             max_delay: Duration::from_millis(2),
             queue_depth: 64,
             guard: Some(GuardConfig { threshold: 0.5 }),
+            ..ServeConfig::default()
         },
     )
     .map_err(err("engine"))?;
@@ -173,6 +185,90 @@ fn run() -> Result<(), String> {
         Client::connect(addr).is_err(),
         "listener is gone after shutdown",
     )?;
+
+    // ---- Phase 2: open-loop goodput-vs-offered-load curve shape ----
+    //
+    // Capacity is pinned by per-client admission control (500 rps), not
+    // by this host's compute, so the curve shape is deterministic on any
+    // hardware: the low rates are fully admitted, the top rate is shed.
+    let mut registry = ModelRegistry::new(&[1, 28, 28]).map_err(err("registry2"))?;
+    registry
+        .load_baseline("dense", mlp(16, 0), &dense_path)
+        .map_err(err("load baseline 2"))?;
+    let engine = Engine::start(
+        &registry,
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(err("engine2"))?;
+    let server = Server::bind_with(
+        engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            rate_limit: Some(RateLimitConfig {
+                rps: 500.0,
+                burst: 50.0,
+            }),
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(err("bind2"))?;
+    let addr = server.local_addr();
+    let input = vec![0.5f32; 28 * 28];
+
+    let rates = [100.0, 400.0, 1600.0];
+    let mut points = Vec::new();
+    let mut reports = Vec::new();
+    for &rps in &rates {
+        let plan = LoadPlan {
+            connections: 4,
+            drain_timeout: Duration::from_secs(2),
+            ..LoadPlan::new(rps, Duration::from_secs(1), input.clone())
+        };
+        let report = loadgen::run(addr, &plan).map_err(err("loadgen"))?;
+        println!(
+            "smoke: open-loop offered {rps:7.0} rps -> goodput {:7.1} rps \
+             (ok {} rate_limited {} overloaded {} lost {})",
+            report.goodput_rps(),
+            report.ok,
+            report.rate_limited,
+            report.overloaded,
+            report.lost
+        );
+        points.push((rps, report.goodput_rps()));
+        reports.push(report);
+    }
+    for &(offered, goodput) in &points {
+        check(
+            goodput <= offered * 1.05,
+            &format!("goodput {goodput:.1} never exceeds offered {offered:.1}"),
+        )?;
+    }
+    check(
+        reports[0].goodput_rps() >= 0.9 * rates[0],
+        "below the cap, goodput tracks offered load",
+    )?;
+    let knee = find_knee(&points);
+    check(
+        knee.is_some(),
+        "a saturation knee exists (some offered rate is fully served)",
+    )?;
+    check(
+        knee.unwrap_or(usize::MAX) < points.len() - 1,
+        "the top offered rate saturates (knee is not the last point)",
+    )?;
+    check(
+        reports[2].rate_limited > 0,
+        "saturation shows up as explicit rate_limited responses",
+    )?;
+    check(
+        reports.iter().map(|r| r.lost).sum::<u64>() == 0,
+        "every request got a response (nothing lost under shed)",
+    )?;
+    server.request_shutdown();
+    server.join();
 
     std::fs::remove_dir_all(&dir).ok();
     Ok(())

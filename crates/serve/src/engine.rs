@@ -1,23 +1,35 @@
-//! The serving engine: bounded queue, dynamic batcher, worker pool, and
-//! the compression-ensemble adversarial guard.
+//! The serving engine: sharded batch queues, work-stealing worker pool,
+//! hot-swappable models, and the compression-ensemble adversarial guard.
 //!
 //! # Dataflow
 //!
 //! ```text
-//! submit() --try_send--> [bounded MPSC queue] --recv--> worker 0..N
-//!    |  (full => Overloaded)                              |
-//!    |                                                    | coalesce until
-//!    |<------------- per-job reply channel ---------------| max_batch or
-//!                                                         | max_delay, then
-//!                                                         | batched forward
+//! submit()/submit_async() --push--> [shard 0] --pop--> worker 0
+//!    | round-robin, spill on full   [shard 1] --pop--> worker 1   steal on
+//!    | (all full => Overloaded)        ...                ...     imbalance
+//!    |                              [shard N] --pop--> worker N
+//!    |                                                    |
+//!    |<--------------- completion channel ----------------| coalesce to
+//!         (token routes the reply; a drop-guard             max_batch or
+//!          turns a lost job into WorkerLost, never           max_delay, then
+//!          a hang)                                           batched forward
 //! ```
 //!
-//! Workers share the queue receiver behind a mutex. A worker holds the
-//! lock only while *assembling* a batch (first `recv`, then `recv_timeout`
-//! until the deadline or `max_batch`); the expensive forward passes run
-//! outside the lock, so batch assembly and inference pipeline across
-//! workers. Each worker owns a private [`ReplicaSet`] — forwards never
-//! touch shared layer state (see `Layer::clone_layer`).
+//! Each worker owns one shard and a private [`ReplicaSet`] — forwards
+//! never touch shared layer state (see `Layer::clone_layer`). An idle
+//! worker steals a chunk of queued jobs from the most loaded shard, so a
+//! stalled worker never strands requests. Before each batch the worker
+//! compares the registry's swap generation with its cached one and
+//! re-replicates on change: a hot model swap lands between batches,
+//! without draining in-flight work.
+//!
+//! # Completion contract
+//!
+//! Every job accepted into a shard produces **exactly one** completion:
+//! the worker answers it, or — if a worker panics and the job is dropped —
+//! the job's completion guard reports [`ServeError::WorkerLost`] on drop.
+//! Callers (the blocking [`Engine::submit`] and the event-loop server)
+//! therefore never hang on a lost request.
 //!
 //! # Ensemble guard
 //!
@@ -28,12 +40,13 @@
 //! `suspect = disagreeing variants / total variants` and flags the request
 //! when `suspect >= threshold`.
 
-use crate::registry::{ModelRegistry, ReplicaSet};
+use crate::registry::{ModelRegistry, RegistryHandle, ReplicaSet};
+use crate::shard::{PushError, ShardedQueue};
 use crate::{ServeError, ServeMetrics};
-use advcomp_nn::{softmax, Mode};
+use advcomp_nn::{faults, softmax, Mode};
 use advcomp_tensor::Tensor;
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -55,16 +68,22 @@ impl Default for GuardConfig {
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Number of worker threads (each with its own replica set).
+    /// Number of worker threads; also the number of queue shards (each
+    /// worker drains its own shard and steals from the others).
     pub workers: usize,
     /// Maximum requests coalesced into one forward pass.
     pub max_batch: usize,
     /// Maximum time a worker waits for the batch to fill after the first
     /// request arrives.
     pub max_delay: Duration,
-    /// Bounded queue depth; a full queue rejects with
-    /// [`ServeError::Overloaded`].
+    /// Bounded depth of **each** shard; when every shard is full a submit
+    /// is rejected with [`ServeError::Overloaded`]. Total queue capacity
+    /// is therefore `workers * queue_depth`.
     pub queue_depth: usize,
+    /// How long an idle worker parks before scanning other shards for
+    /// work to steal. Lower values drain a stalled shard faster at the
+    /// cost of more wakeups.
+    pub steal_poll: Duration,
     /// Enables the compression-ensemble adversarial guard.
     pub guard: Option<GuardConfig>,
 }
@@ -76,6 +95,7 @@ impl Default for ServeConfig {
             max_batch: 8,
             max_delay: Duration::from_millis(2),
             queue_depth: 64,
+            steal_poll: Duration::from_millis(1),
             guard: Some(GuardConfig::default()),
         }
     }
@@ -91,6 +111,9 @@ impl ServeConfig {
         }
         if self.queue_depth == 0 {
             return Err(ServeError::Config("queue_depth must be >= 1".into()));
+        }
+        if self.steal_poll.is_zero() {
+            return Err(ServeError::Config("steal_poll must be > 0".into()));
         }
         if let Some(g) = &self.guard {
             if !(g.threshold > 0.0 && g.threshold <= 1.0) {
@@ -120,11 +143,72 @@ pub struct Prediction {
     pub variant_labels: Vec<(String, usize)>,
 }
 
-struct Job {
+/// One finished request, delivered on a [`CompletionSender`]. The token
+/// is whatever the submitter passed to [`Engine::submit_async`];
+/// event-loop servers use it to route the reply to the right connection.
+#[derive(Debug)]
+pub struct Completion {
+    /// Caller-chosen routing token, echoed verbatim.
+    pub token: u64,
+    /// The prediction, or why it failed.
+    pub result: Result<Prediction, ServeError>,
+}
+
+/// Channel end that receives [`Completion`]s for async submits.
+pub type CompletionSender = Sender<Completion>;
+
+/// Called (if set) after a completion is sent, so pollers sleeping in
+/// `poll(2)` can be woken. Must be cheap and never block.
+pub type CompletionWaker = Arc<dyn Fn() + Send + Sync>;
+
+/// Exactly-once completion guard: sends the result, or `WorkerLost` if
+/// the job is dropped unanswered (e.g. a worker panic unwound the batch).
+struct Done {
+    tx: CompletionSender,
+    token: u64,
+    waker: Option<CompletionWaker>,
+    sent: bool,
+}
+
+impl Done {
+    fn send(mut self, result: Result<Prediction, ServeError>) {
+        self.sent = true;
+        let _ = self.tx.send(Completion {
+            token: self.token,
+            result,
+        });
+        if let Some(w) = &self.waker {
+            w();
+        }
+    }
+}
+
+impl Drop for Done {
+    fn drop(&mut self) {
+        if !self.sent {
+            let _ = self.tx.send(Completion {
+                token: self.token,
+                result: Err(ServeError::WorkerLost),
+            });
+            if let Some(w) = &self.waker {
+                w();
+            }
+        }
+    }
+}
+
+struct WorkJob {
     input: Vec<f32>,
     want_probs: bool,
     enqueued: Instant,
-    reply: mpsc::Sender<Result<Prediction, ServeError>>,
+    done: Done,
+}
+
+enum Job {
+    Work(WorkJob),
+    /// Test hook: puts the receiving worker to sleep, simulating a stall
+    /// so the steal path can be exercised deterministically.
+    Stall(Duration),
 }
 
 struct Shared {
@@ -132,20 +216,24 @@ struct Shared {
     sample_len: usize,
     input_shape: Vec<usize>,
     config: ServeConfig,
+    queue: ShardedQueue<Job>,
+    registry: RegistryHandle,
 }
 
 /// Handle to a running engine. Cheap to clone; all clones feed the same
 /// worker pool.
 #[derive(Clone)]
 pub struct Engine {
-    tx: Arc<Mutex<Option<SyncSender<Job>>>>,
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
     shared: Arc<Shared>,
     started: Instant,
 }
 
 impl Engine {
-    /// Spawns the worker pool over `registry`'s models.
+    /// Spawns the worker pool over `registry`'s models. The engine keeps
+    /// a live handle to the registry: a later
+    /// [`ModelRegistry::swap_variant`] is picked up by every worker at
+    /// its next batch boundary.
     ///
     /// # Errors
     ///
@@ -153,44 +241,35 @@ impl Engine {
     /// registry (no baseline).
     pub fn start(registry: &ModelRegistry, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
+        let handle = registry.handle()?;
         let shared = Arc::new(Shared {
             metrics: ServeMetrics::with_model_names(registry.names()),
             sample_len: registry.sample_len(),
             input_shape: registry.input_shape().to_vec(),
-            config: config.clone(),
+            queue: ShardedQueue::new(config.workers, config.queue_depth),
+            registry: handle,
+            config,
         });
-        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
-        let rx = Arc::new(Mutex::new(rx));
-        let mut workers = Vec::with_capacity(config.workers);
-        for idx in 0..config.workers {
-            let replicas = registry.replica()?;
-            let rx = Arc::clone(&rx);
+        let mut workers = Vec::with_capacity(shared.config.workers);
+        for idx in 0..shared.config.workers {
+            let (generation, set) = shared.registry.snapshot();
+            let replicas = set.replica();
             let shared = Arc::clone(&shared);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{idx}"))
-                    .spawn(move || worker_loop(replicas, rx, shared))
+                    .spawn(move || worker_loop(idx, replicas, generation, shared))
                     .map_err(ServeError::Io)?,
             );
         }
         Ok(Engine {
-            tx: Arc::new(Mutex::new(Some(tx))),
             workers: Arc::new(Mutex::new(workers)),
             shared,
             started: Instant::now(),
         })
     }
 
-    /// Submits one sample and blocks until its prediction is ready.
-    ///
-    /// # Errors
-    ///
-    /// * [`ServeError::BadRequest`] — wrong input length.
-    /// * [`ServeError::Overloaded`] — queue full; the caller should retry.
-    /// * [`ServeError::ShuttingDown`] — engine stopped.
-    /// * [`ServeError::WorkerLost`] / [`ServeError::Nn`] — worker-side
-    ///   failures.
-    pub fn submit(&self, input: Vec<f32>, want_probs: bool) -> Result<Prediction, ServeError> {
+    fn validate_input(&self, input: &[f32]) -> Result<(), ServeError> {
         let m = &self.shared.metrics;
         if input.len() != self.shared.sample_len {
             m.failed.fetch_add(1, Ordering::Relaxed);
@@ -206,34 +285,143 @@ impl Engine {
                 "input contains non-finite values".into(),
             ));
         }
-        let (reply_tx, reply_rx) = mpsc::channel();
-        let job = Job {
+        Ok(())
+    }
+
+    fn enqueue(&self, job: WorkJob, shard: Option<usize>) -> Result<(), ServeError> {
+        let m = &self.shared.metrics;
+        let pushed = match shard {
+            Some(s) => self.shared.queue.push_to(s, Job::Work(job)).map(|()| s),
+            None => self.shared.queue.push(Job::Work(job)),
+        };
+        match pushed {
+            Ok(_) => {
+                m.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(PushError::Full(job)) => {
+                m.overloaded.fetch_add(1, Ordering::Relaxed);
+                // Forget the guard: the caller gets a synchronous error,
+                // not a completion.
+                if let Job::Work(mut w) = job {
+                    w.done.sent = true;
+                }
+                Err(ServeError::Overloaded)
+            }
+            Err(PushError::Closed(job)) => {
+                if let Job::Work(mut w) = job {
+                    w.done.sent = true;
+                }
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Submits one sample and blocks until its prediction is ready.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::BadRequest`] — wrong input length.
+    /// * [`ServeError::Overloaded`] — every shard full; retry later.
+    /// * [`ServeError::ShuttingDown`] — engine stopped.
+    /// * [`ServeError::WorkerLost`] / [`ServeError::Nn`] — worker-side
+    ///   failures.
+    pub fn submit(&self, input: Vec<f32>, want_probs: bool) -> Result<Prediction, ServeError> {
+        self.submit_keyed(input, want_probs, None)
+    }
+
+    /// Like [`Engine::submit`] but pins the request to shard
+    /// `key % workers` instead of round-robin placement, with no spill to
+    /// other shards. Gives tests a deterministic target and callers an
+    /// affinity knob; a pinned request on a stalled shard is still served
+    /// via work stealing.
+    pub fn submit_with_key(
+        &self,
+        input: Vec<f32>,
+        want_probs: bool,
+        key: usize,
+    ) -> Result<Prediction, ServeError> {
+        self.submit_keyed(input, want_probs, Some(key))
+    }
+
+    fn submit_keyed(
+        &self,
+        input: Vec<f32>,
+        want_probs: bool,
+        key: Option<usize>,
+    ) -> Result<Prediction, ServeError> {
+        self.validate_input(&input)?;
+        let (tx, rx) = mpsc::channel();
+        let job = WorkJob {
             input,
             want_probs,
             enqueued: Instant::now(),
-            reply: reply_tx,
+            done: Done {
+                tx,
+                token: 0,
+                waker: None,
+                sent: false,
+            },
         };
-        {
-            let guard = self.tx.lock().unwrap_or_else(|p| p.into_inner());
-            let Some(tx) = guard.as_ref() else {
-                return Err(ServeError::ShuttingDown);
-            };
-            match tx.try_send(job) {
-                Ok(()) => {}
-                Err(TrySendError::Full(_)) => {
-                    m.overloaded.fetch_add(1, Ordering::Relaxed);
-                    return Err(ServeError::Overloaded);
-                }
-                Err(TrySendError::Disconnected(_)) => return Err(ServeError::ShuttingDown),
-            }
-        }
-        m.accepted.fetch_add(1, Ordering::Relaxed);
-        match reply_rx.recv() {
-            Ok(result) => result,
+        self.enqueue(job, key)?;
+        match rx.recv() {
+            // Failure accounting happens on the worker side (run_batch /
+            // the panic path), so errors are not double-counted here.
+            Ok(c) => c.result,
             Err(_) => {
-                m.failed.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
                 Err(ServeError::WorkerLost)
             }
+        }
+    }
+
+    /// Non-blocking submit: validates and enqueues, then returns. The
+    /// result arrives later as a [`Completion`] carrying `token` on
+    /// `done` (exactly once, even if a worker dies); `waker`, when set,
+    /// is invoked after each send so a `poll(2)`-parked event loop wakes.
+    ///
+    /// # Errors
+    ///
+    /// Synchronous failures only ([`ServeError::BadRequest`],
+    /// [`ServeError::Overloaded`], [`ServeError::ShuttingDown`]); once
+    /// this returns `Ok(())` the reply always comes via the channel.
+    pub fn submit_async(
+        &self,
+        input: Vec<f32>,
+        want_probs: bool,
+        token: u64,
+        done: &CompletionSender,
+        waker: Option<CompletionWaker>,
+    ) -> Result<(), ServeError> {
+        self.validate_input(&input)?;
+        let job = WorkJob {
+            input,
+            want_probs,
+            enqueued: Instant::now(),
+            done: Done {
+                tx: done.clone(),
+                token,
+                waker,
+                sent: false,
+            },
+        };
+        self.enqueue(job, None)
+    }
+
+    /// Test hook: makes worker `shard % workers` sleep for `d` the next
+    /// time it picks up work, simulating a stalled worker so steal-path
+    /// tests are deterministic. Not part of the serving API.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] / [`ServeError::ShuttingDown`] as a
+    /// normal pinned submit.
+    #[doc(hidden)]
+    pub fn inject_stall(&self, shard: usize, d: Duration) -> Result<(), ServeError> {
+        match self.shared.queue.push_to(shard, Job::Stall(d)) {
+            Ok(()) => Ok(()),
+            Err(PushError::Full(_)) => Err(ServeError::Overloaded),
+            Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
         }
     }
 
@@ -244,7 +432,21 @@ impl Engine {
 
     /// JSON metrics snapshot since engine start.
     pub fn metrics_snapshot(&self) -> crate::json::Json {
+        self.shared
+            .metrics
+            .set_steals(self.shared.queue.stolen.load(Ordering::Relaxed));
+        self.shared.metrics.set_swaps(self.shared.registry.swaps());
         self.shared.metrics.snapshot(self.started.elapsed())
+    }
+
+    /// Jobs stolen across shards so far.
+    pub fn steals(&self) -> u64 {
+        self.shared.queue.stolen.load(Ordering::Relaxed)
+    }
+
+    /// Current queued-job count per shard (diagnostics).
+    pub fn shard_depths(&self) -> Vec<usize> {
+        self.shared.queue.depths()
     }
 
     /// Shape of one input sample.
@@ -262,10 +464,10 @@ impl Engine {
         &self.shared.config
     }
 
-    /// Stops accepting work, drains in-flight batches, and joins every
+    /// Stops accepting work, drains every queued job, and joins every
     /// worker. Idempotent across clones.
     pub fn shutdown(&self) {
-        self.tx.lock().unwrap_or_else(|p| p.into_inner()).take();
+        self.shared.queue.close();
         let workers: Vec<_> = self
             .workers
             .lock()
@@ -278,37 +480,33 @@ impl Engine {
     }
 }
 
-fn worker_loop(mut replicas: ReplicaSet, rx: Arc<Mutex<Receiver<Job>>>, shared: Arc<Shared>) {
+fn worker_loop(idx: usize, mut replicas: ReplicaSet, mut generation: u64, shared: Arc<Shared>) {
     let max_batch = shared.config.max_batch;
     let max_delay = shared.config.max_delay;
-    loop {
-        // Assemble one batch while holding the queue lock; inference runs
-        // after release so other workers can assemble concurrently.
-        let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
-        let assembly_t0;
-        {
-            let queue = rx.lock().unwrap_or_else(|p| p.into_inner());
-            match queue.recv() {
-                Ok(job) => {
-                    assembly_t0 = Instant::now();
-                    batch.push(job);
-                }
-                Err(_) => return, // all senders dropped: shutdown
-            }
-            let deadline = assembly_t0 + max_delay;
-            while batch.len() < max_batch {
-                let left = deadline.saturating_duration_since(Instant::now());
-                if left.is_zero() {
-                    break;
-                }
-                match queue.recv_timeout(left) {
-                    Ok(job) => batch.push(job),
-                    Err(RecvTimeoutError::Timeout) => break,
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
+    let steal_poll = shared.config.steal_poll;
+    while let Some(jobs) = shared
+        .queue
+        .pop_batch(idx, max_batch, max_delay, steal_poll)
+    {
+        // Hot swap: between batches, refresh replicas when the registry
+        // generation moved. In-flight work finished on the old weights;
+        // this batch runs on the new ones.
+        let current = shared.registry.generation();
+        if current != generation {
+            let (g, set) = shared.registry.snapshot();
+            replicas = set.replica();
+            generation = g;
+        }
+        let mut batch = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            match job {
+                Job::Work(w) => batch.push(w),
+                Job::Stall(d) => std::thread::sleep(d),
             }
         }
-        let assembly = assembly_t0.elapsed();
+        if batch.is_empty() {
+            continue;
+        }
         let picked = Instant::now();
         for job in &batch {
             shared
@@ -316,16 +514,28 @@ fn worker_loop(mut replicas: ReplicaSet, rx: Arc<Mutex<Receiver<Job>>>, shared: 
                 .queue_wait
                 .record(picked.duration_since(job.enqueued));
         }
-        shared.metrics.batch_assembly.record(assembly);
         shared.metrics.batch_sizes.record(batch.len());
-        run_batch(&mut replicas, batch, &shared);
+        // A panicking forward (bug or injected fault) must cost one batch,
+        // not the worker: the jobs' completion guards report WorkerLost
+        // and the loop continues.
+        let n_jobs = batch.len() as u64;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_batch(&mut replicas, batch, &shared);
+        }));
+        if outcome.is_err() {
+            shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.failed.fetch_add(n_jobs, Ordering::Relaxed);
+        }
     }
 }
 
 /// Runs one coalesced batch through the baseline (and guard variants),
-/// then answers every job's reply channel.
-fn run_batch(replicas: &mut ReplicaSet, batch: Vec<Job>, shared: &Shared) {
+/// then answers every job's completion.
+fn run_batch(replicas: &mut ReplicaSet, batch: Vec<WorkJob>, shared: &Shared) {
     let m = &shared.metrics;
+    // Deterministic fault site for the soak suite: a `panic` spec here
+    // exercises the worker's catch_unwind + completion-guard path.
+    faults::maybe_panic("serve_batch");
     let n = batch.len();
     let mut shape = vec![n];
     shape.extend_from_slice(&shared.input_shape);
@@ -401,17 +611,17 @@ fn run_batch(replicas: &mut ReplicaSet, batch: Vec<Job>, shared: &Shared) {
                 };
                 m.completed.fetch_add(1, Ordering::Relaxed);
                 m.total.record(job.enqueued.elapsed());
-                let _ = job.reply.send(Ok(prediction));
+                job.done.send(Ok(prediction));
             }
         }
         Err(err) => {
             // One shared failure message; ServeError isn't Clone, so each
-            // job gets its own Nn/BadRequest-style rendering.
+            // job gets its own rendering.
             let msg = err.to_string();
             for job in batch {
                 m.failed.fetch_add(1, Ordering::Relaxed);
                 m.total.record(job.enqueued.elapsed());
-                let _ = job.reply.send(Err(ServeError::BadRequest(msg.clone())));
+                job.done.send(Err(ServeError::BadRequest(msg.clone())));
             }
         }
     }
@@ -438,6 +648,7 @@ mod tests {
             max_batch: 4,
             max_delay: Duration::from_millis(1),
             queue_depth: 32,
+            steal_poll: Duration::from_millis(1),
             guard: Some(GuardConfig { threshold: 0.5 }),
         }
     }
@@ -456,6 +667,10 @@ mod tests {
             },
             ServeConfig {
                 queue_depth: 0,
+                ..cfg()
+            },
+            ServeConfig {
+                steal_poll: Duration::ZERO,
                 ..cfg()
             },
             ServeConfig {
@@ -528,6 +743,48 @@ mod tests {
         // With 24 near-simultaneous submits and max_batch 4 across 2
         // workers, at least one batch must have coalesced.
         assert!(m.batch_sizes.max() > 1, "max batch {}", m.batch_sizes.max());
+    }
+
+    #[test]
+    fn submit_async_completes_with_token() {
+        let engine = Engine::start(&registry(1), cfg()).unwrap();
+        let (tx, rx) = mpsc::channel();
+        for token in [7u64, 8, 9] {
+            engine
+                .submit_async(vec![token as f32 / 10.0; 28 * 28], false, token, &tx, None)
+                .unwrap();
+        }
+        let mut tokens = Vec::new();
+        for _ in 0..3 {
+            let c = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+            assert!(c.result.is_ok());
+            tokens.push(c.token);
+        }
+        tokens.sort_unstable();
+        assert_eq!(tokens, vec![7, 8, 9]);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn injected_worker_panic_reports_worker_lost_not_a_hang() {
+        let _g = faults::install(vec![faults::FaultSpec::once(
+            faults::FaultKind::Panic,
+            "serve_batch",
+            0,
+        )]);
+        let engine = Engine::start(&registry(0), cfg()).unwrap();
+        // First batch panics: its jobs must resolve to WorkerLost.
+        let r = engine.submit(vec![0.2; 28 * 28], false);
+        assert!(matches!(r, Err(ServeError::WorkerLost)), "{r:?}");
+        // The worker survived the panic and still serves.
+        let p = engine.submit(vec![0.3; 28 * 28], false).unwrap();
+        assert!(p.label < 10);
+        assert_eq!(
+            engine.metrics().worker_panics.load(Ordering::Relaxed),
+            1,
+            "panic counted"
+        );
+        engine.shutdown();
     }
 
     #[test]

@@ -12,6 +12,11 @@ pub enum ServeError {
     Overloaded,
     /// The engine is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The client exceeded its admission-control rate limit — deliberate
+    /// per-client throttling, distinct from [`ServeError::Overloaded`]
+    /// (which signals whole-server pressure). Clients should back off to
+    /// their provisioned rate rather than retry immediately.
+    RateLimited,
     /// A worker dropped the reply channel without answering (a worker
     /// panic; the request is lost, not stuck).
     WorkerLost,
@@ -33,6 +38,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Overloaded => write!(f, "request queue full (overloaded)"),
             ServeError::ShuttingDown => write!(f, "engine shutting down"),
+            ServeError::RateLimited => write!(f, "client rate limit exceeded (rate_limited)"),
             ServeError::WorkerLost => write!(f, "worker dropped the request"),
             ServeError::Config(msg) => write!(f, "invalid config: {msg}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),

@@ -4,23 +4,33 @@
 //! This crate turns the repository's trained models into a small
 //! production-style serving stack:
 //!
-//! * [`ModelRegistry`] — loads checkpoints (CRC-verified v2 format) into a
-//!   named baseline plus compressed variants, and stamps out independent
-//!   per-worker [`ReplicaSet`]s so concurrent forwards never share layer
-//!   state.
-//! * [`Engine`] — a bounded-queue dynamic batcher: worker threads coalesce
-//!   requests until `max_batch` or `max_delay`, run one batched eval
-//!   forward, and answer per-request reply channels. A full queue rejects
-//!   with [`ServeError::Overloaded`] — explicit backpressure, never a
-//!   hang.
+//! * [`ModelRegistry`] — loads checkpoints (CRC-verified v2 float / v3
+//!   packed-quantised formats) into a named baseline plus compressed
+//!   variants, publishes them as generation-stamped immutable snapshots,
+//!   and supports [`ModelRegistry::swap`]: an atomic hot swap picked up
+//!   by workers at their next batch boundary, without draining in-flight
+//!   work. Workers forward on independent per-worker [`ReplicaSet`]s so
+//!   concurrent forwards never share layer state.
+//! * [`Engine`] — a sharded dynamic batcher: each worker owns a bounded
+//!   queue shard and steals from loaded shards when idle, coalescing
+//!   requests until `max_batch` or `max_delay` before one batched eval
+//!   forward. Submission is either blocking ([`Engine::submit`]) or
+//!   non-blocking ([`Engine::submit_async`], completions over a channel
+//!   with exactly-once delivery even across worker panics). A full queue
+//!   rejects with [`ServeError::Overloaded`] — explicit backpressure,
+//!   never a hang.
 //! * the **ensemble guard** — scores each request by how many compressed
 //!   variants disagree with the baseline's top-1 label. Adversarial
 //!   examples transfer imperfectly across compression levels (the source
 //!   paper's key interaction), so disagreement is a cheap attack signal.
-//! * [`Server`]/[`Client`] — length-prefixed JSON frames over TCP with a
-//!   graceful-shutdown accept loop.
-//! * [`ServeMetrics`] — lock-free per-stage latency histograms, batch-size
-//!   distribution and guard rates, snapshotted to JSON.
+//! * [`Server`]/[`Client`] — length-prefixed JSON frames over TCP served
+//!   by non-blocking event loops (readiness-polled via `poll(2)`), with
+//!   per-client token-bucket admission control ([`RateLimitConfig`],
+//!   distinct `rate_limited` status), pipelined in-order responses, and
+//!   graceful shutdown.
+//! * [`ServeMetrics`] — lock-free per-stage latency histograms
+//!   (p50/p99/p999), batch-size distribution, guard rates, and
+//!   connection/steal/swap counters, snapshotted to JSON.
 //!
 //! ```no_run
 //! use advcomp_serve::{Engine, ModelRegistry, ServeConfig, Server};
@@ -36,16 +46,23 @@
 
 #![warn(missing_docs)]
 
+mod admission;
 mod engine;
 mod error;
 pub mod json;
+pub mod loadgen;
 mod metrics;
+mod netpoll;
 pub mod protocol;
 mod registry;
 mod server;
+mod shard;
+mod wake;
 
-pub use engine::{Engine, GuardConfig, Prediction, ServeConfig};
+pub use engine::{
+    Completion, CompletionSender, CompletionWaker, Engine, GuardConfig, Prediction, ServeConfig,
+};
 pub use error::ServeError;
 pub use metrics::{BatchSizeDistribution, LatencyHistogram, ServeMetrics};
-pub use registry::{ModelRegistry, ReplicaSet};
-pub use server::{Client, Server};
+pub use registry::{ModelRegistry, ModelSet, RegistryHandle, ReplicaSet};
+pub use server::{Client, RateLimitConfig, Server, ServerConfig};

@@ -1,0 +1,370 @@
+//! Open-loop load generation against a running serve endpoint.
+//!
+//! # Why open-loop
+//!
+//! A closed-loop generator (N clients, each sending request-after-response)
+//! self-throttles: when the server slows down, the offered load drops with
+//! it, so measured throughput converges to whatever the server does and
+//! **saturation is unobservable** — exactly the bias the old `serve_bench`
+//! had, reporting a flat ~2.1k rps at every worker count. An open-loop
+//! generator fixes the *arrival schedule* instead: request `k` of a run at
+//! rate `R` is due at `t0 + k/R` regardless of how the server is doing. A
+//! generator that falls behind sends late requests immediately (catch-up)
+//! rather than dropping them, so the offered count is preserved and
+//! server-side queueing shows up where it belongs: in the latency tail and
+//! in shed responses.
+//!
+//! Sweeping `R` produces the **goodput-vs-offered curve**: goodput tracks
+//! offered while the server keeps up, then flattens at the saturation
+//! knee. [`find_knee`] locates the highest offered rate still served at
+//! [`GOODPUT_RATIO`] efficiency.
+//!
+//! # Mechanics
+//!
+//! `connections` sockets each get a writer and a reader thread. Request
+//! `k` goes to socket `k % connections`; writers sleep until each
+//! request's absolute due time, then frame-and-send (responses are never
+//! awaited — the server's pipelined in-order responses are collected by
+//! the readers). Latency is measured from actual send to response
+//! arrival, per request id. After the last send, readers drain until
+//! every response arrived or `drain_timeout` expires; missing responses
+//! are counted as `lost`, never silently dropped from the accounting.
+
+use crate::metrics::LatencyHistogram;
+use crate::protocol::{read_frame, write_frame, Request};
+use crate::ServeError;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A run is "keeping up" while goodput ≥ this fraction of offered load;
+/// the saturation knee is the last swept rate where that holds.
+pub const GOODPUT_RATIO: f64 = 0.92;
+
+/// One open-loop run: a fixed arrival schedule against one endpoint.
+#[derive(Debug, Clone)]
+pub struct LoadPlan {
+    /// Offered arrival rate, requests per second.
+    pub offered_rps: f64,
+    /// Schedule length; `offered_rps * duration` requests total.
+    pub duration: Duration,
+    /// Sockets to spread the schedule over (round-robin by request).
+    pub connections: usize,
+    /// The input sample sent with every request.
+    pub input: Vec<f32>,
+    /// Ask the server for softmax probabilities.
+    pub want_probs: bool,
+    /// How long readers wait for stragglers after the last send.
+    pub drain_timeout: Duration,
+}
+
+impl LoadPlan {
+    /// A plan with sane defaults for `offered_rps` over `duration`.
+    pub fn new(offered_rps: f64, duration: Duration, input: Vec<f32>) -> LoadPlan {
+        LoadPlan {
+            offered_rps,
+            duration,
+            connections: 4,
+            input,
+            want_probs: false,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+
+    fn total_requests(&self) -> u64 {
+        ((self.offered_rps * self.duration.as_secs_f64()).round() as u64).max(1)
+    }
+}
+
+/// Outcome of one open-loop run.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// The planned arrival rate.
+    pub offered_rps: f64,
+    /// Requests actually sent (the full schedule unless sockets died).
+    pub sent: u64,
+    /// `status: ok` responses.
+    pub ok: u64,
+    /// `status: overloaded` responses (server-wide backpressure).
+    pub overloaded: u64,
+    /// `status: rate_limited` responses (per-client admission control).
+    pub rate_limited: u64,
+    /// Other error responses (bad request, shutting down, ...).
+    pub failed: u64,
+    /// Requests with no response within the drain timeout.
+    pub lost: u64,
+    /// Wall-clock from first send to last response (or drain cutoff).
+    pub elapsed: Duration,
+    /// Client-observed send-to-response latency over answered requests.
+    pub latency: Arc<LatencyHistogram>,
+}
+
+impl LoadReport {
+    /// Achieved rate of `ok` responses over the run.
+    pub fn goodput_rps(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.ok as f64 / s
+        }
+    }
+
+    /// Actually offered rate (sent requests over the run) — at or below
+    /// `offered_rps` when the generator itself saturates.
+    pub fn sent_rps(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.sent as f64 / s
+        }
+    }
+}
+
+/// Index of the saturation knee in `points` (each `(offered, goodput)`,
+/// sorted by offered rate): the last point still served at
+/// [`GOODPUT_RATIO`] efficiency. `None` when the very first point is
+/// already saturated.
+pub fn find_knee(points: &[(f64, f64)]) -> Option<usize> {
+    let mut knee = None;
+    for (i, &(offered, goodput)) in points.iter().enumerate() {
+        if offered > 0.0 && goodput >= GOODPUT_RATIO * offered {
+            knee = Some(i);
+        }
+    }
+    knee
+}
+
+/// Runs one open-loop plan against `addr`.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the initial connections fail; failures after
+/// the run starts are absorbed into the report's `lost` count instead
+/// (a dying server under overload is data, not an abort).
+pub fn run(addr: SocketAddr, plan: &LoadPlan) -> Result<LoadReport, ServeError> {
+    let conns = plan.connections.max(1);
+    let total = plan.total_requests();
+    let interval = Duration::from_secs_f64(1.0 / plan.offered_rps.max(1e-9));
+
+    let latency = Arc::new(LatencyHistogram::default());
+    let sent = Arc::new(AtomicU64::new(0));
+    let ok = Arc::new(AtomicU64::new(0));
+    let overloaded = Arc::new(AtomicU64::new(0));
+    let rate_limited = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let answered = Arc::new(AtomicU64::new(0));
+
+    let mut writers = Vec::with_capacity(conns);
+    let mut readers = Vec::with_capacity(conns);
+    let t0 = Instant::now() + Duration::from_millis(10); // shared epoch
+    for c in 0..conns {
+        let write_half = TcpStream::connect(addr)?;
+        write_half.set_nodelay(true)?;
+        let read_half = write_half.try_clone()?;
+        read_half.set_read_timeout(Some(Duration::from_millis(100)))?;
+        // Writer and reader exchange (id -> send instant) over a channel;
+        // ids are globally unique so matching is exact.
+        let (meta_tx, meta_rx) = mpsc::channel::<(String, Instant)>();
+
+        let w = {
+            let plan = plan.clone();
+            let sent = Arc::clone(&sent);
+            let mut stream = write_half;
+            std::thread::spawn(move || {
+                for k in (c as u64..total).step_by(conns) {
+                    let due = t0 + interval.mul_f64(k as f64);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    // Behind schedule: send immediately (open-loop
+                    // catch-up — the arrival count is preserved).
+                    let id = format!("q{k}");
+                    let req = Request::Predict {
+                        id: id.clone(),
+                        input: plan.input.clone(),
+                        probs: plan.want_probs,
+                    };
+                    let sent_at = Instant::now();
+                    if meta_tx.send((id, sent_at)).is_err() {
+                        return; // reader gone (socket died)
+                    }
+                    let mut buf = Vec::new();
+                    if write_frame(&mut buf, &req.to_payload()).is_err() {
+                        return;
+                    }
+                    if stream.write_all(&buf).is_err() {
+                        return;
+                    }
+                    sent.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = stream.flush();
+            })
+        };
+        writers.push(w);
+
+        let r = {
+            let latency = Arc::clone(&latency);
+            let ok = Arc::clone(&ok);
+            let overloaded = Arc::clone(&overloaded);
+            let rate_limited = Arc::clone(&rate_limited);
+            let failed = Arc::clone(&failed);
+            let answered = Arc::clone(&answered);
+            let drain = plan.drain_timeout;
+            let schedule_end = t0 + plan.duration;
+            let mut stream = read_half;
+            std::thread::spawn(move || {
+                let mut in_flight: HashMap<String, Instant> = HashMap::new();
+                let mut own_sent = 0u64;
+                let mut own_answered = 0u64;
+                let own_total = (c as u64..total).step_by(conns).count() as u64;
+                loop {
+                    while let Ok((id, at)) = meta_rx.try_recv() {
+                        in_flight.insert(id, at);
+                        own_sent += 1;
+                    }
+                    if own_answered >= own_total {
+                        break; // every scheduled request answered
+                    }
+                    let give_up =
+                        own_answered >= own_sent && own_sent >= own_total && in_flight.is_empty();
+                    if give_up {
+                        break;
+                    }
+                    if Instant::now() > schedule_end + drain {
+                        break; // drain window over; leftovers count as lost
+                    }
+                    match read_frame(&mut stream) {
+                        Ok(Some(payload)) => {
+                            let arrived = Instant::now();
+                            // The writer may have registered this id after
+                            // our pre-read drain; drain again before
+                            // matching or low-rate runs lose every sample.
+                            while let Ok((id, at)) = meta_rx.try_recv() {
+                                in_flight.insert(id, at);
+                                own_sent += 1;
+                            }
+                            let resp = match crate::json::Json::parse(&payload) {
+                                Ok(j) => j,
+                                Err(_) => {
+                                    failed.fetch_add(1, Ordering::Relaxed);
+                                    own_answered += 1;
+                                    continue;
+                                }
+                            };
+                            let id = resp
+                                .get("id")
+                                .and_then(crate::json::Json::as_str)
+                                .unwrap_or("");
+                            if let Some(at) = in_flight.remove(id) {
+                                latency.record(arrived.duration_since(at));
+                            }
+                            own_answered += 1;
+                            answered.fetch_add(1, Ordering::Relaxed);
+                            match resp.get("status").and_then(crate::json::Json::as_str) {
+                                Some("ok") => {
+                                    ok.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Some("overloaded") => {
+                                    overloaded.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Some("rate_limited") => {
+                                    rate_limited.fetch_add(1, Ordering::Relaxed);
+                                }
+                                _ => {
+                                    failed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Ok(None) => break, // server closed
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            continue; // read timeout slice; re-check exits
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        readers.push(r);
+    }
+
+    for w in writers {
+        let _ = w.join();
+    }
+    for r in readers {
+        let _ = r.join();
+    }
+    let elapsed = t0.elapsed();
+    let sent = sent.load(Ordering::Relaxed);
+    let answered = answered.load(Ordering::Relaxed);
+    Ok(LoadReport {
+        offered_rps: plan.offered_rps,
+        sent,
+        ok: ok.load(Ordering::Relaxed),
+        overloaded: overloaded.load(Ordering::Relaxed),
+        rate_limited: rate_limited.load(Ordering::Relaxed),
+        failed: failed.load(Ordering::Relaxed),
+        lost: sent.saturating_sub(answered),
+        elapsed,
+        latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knee_is_last_point_keeping_up() {
+        // Classic curve: tracks offered, then flattens.
+        let pts = [
+            (100.0, 99.0),
+            (200.0, 197.0),
+            (400.0, 390.0),
+            (800.0, 500.0),
+            (1600.0, 480.0),
+        ];
+        assert_eq!(find_knee(&pts), Some(2));
+        // Fully-keeping-up curve: knee at the last point.
+        let pts = [(10.0, 10.0), (20.0, 19.5)];
+        assert_eq!(find_knee(&pts), Some(1));
+        // Saturated from the start.
+        let pts = [(1000.0, 100.0)];
+        assert_eq!(find_knee(&pts), None);
+        assert_eq!(find_knee(&[]), None);
+    }
+
+    #[test]
+    fn plan_counts_requests_from_rate_and_duration() {
+        let p = LoadPlan::new(250.0, Duration::from_secs(2), vec![0.0]);
+        assert_eq!(p.total_requests(), 500);
+        let p = LoadPlan::new(0.1, Duration::from_secs(1), vec![0.0]);
+        assert_eq!(p.total_requests(), 1, "never a zero-request run");
+    }
+
+    #[test]
+    fn report_rates() {
+        let r = LoadReport {
+            offered_rps: 100.0,
+            sent: 200,
+            ok: 150,
+            overloaded: 30,
+            rate_limited: 0,
+            failed: 0,
+            lost: 20,
+            elapsed: Duration::from_secs(2),
+            latency: Arc::new(LatencyHistogram::default()),
+        };
+        assert!((r.goodput_rps() - 75.0).abs() < 1e-9);
+        assert!((r.sent_rps() - 100.0).abs() < 1e-9);
+    }
+}

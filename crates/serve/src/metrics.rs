@@ -81,6 +81,7 @@ impl LatencyHistogram {
             .set("mean_us", Json::Num(self.mean_us()))
             .set("p50_us", Json::Num(self.quantile_us(0.50) as f64))
             .set("p99_us", Json::Num(self.quantile_us(0.99) as f64))
+            .set("p999_us", Json::Num(self.quantile_us(0.999) as f64))
             .set("max_us", Json::Num(self.max_us() as f64))
             .build()
     }
@@ -169,6 +170,9 @@ pub struct ServeMetrics {
     pub completed: AtomicU64,
     /// Requests rejected with `overloaded` (queue full).
     pub overloaded: AtomicU64,
+    /// Requests rejected with `rate_limited` (per-client token bucket
+    /// empty) — deliberate admission control, distinct from overload.
+    pub rate_limited: AtomicU64,
     /// Requests that failed (bad input, forward error, worker lost).
     pub failed: AtomicU64,
     /// Time from enqueue until a worker picked the job up.
@@ -196,6 +200,26 @@ pub struct ServeMetrics {
     pub guard_disagreements: AtomicU64,
     /// Number of guard variants per request (for rate normalisation).
     pub guard_variants: AtomicU64,
+    /// Jobs moved across shards by work stealing (mirrored from the
+    /// queue's counter at snapshot time via [`ServeMetrics::set_steals`]).
+    pub steals: AtomicU64,
+    /// Successful model hot swaps (mirrored from the registry at snapshot
+    /// time via [`ServeMetrics::set_swaps`]).
+    pub swaps: AtomicU64,
+    /// Worker batches lost to a panic (caught; jobs answered WorkerLost).
+    pub worker_panics: AtomicU64,
+    /// Connections accepted by the server.
+    pub conns_opened: AtomicU64,
+    /// Connections closed (either side, any reason).
+    pub conns_closed: AtomicU64,
+    /// Connections that ended in a transport error (reset, short read
+    /// mid-frame, I/O failure) rather than a clean close.
+    pub conn_resets: AtomicU64,
+    /// Protocol violations observed (oversized frame header, malformed
+    /// JSON payload).
+    pub bad_frames: AtomicU64,
+    /// Connections refused at accept time (connection limit).
+    pub rejected_conns: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -219,6 +243,17 @@ impl ServeMetrics {
         if let Some((_, h)) = self.per_model_forward.get(index) {
             h.record(d);
         }
+    }
+
+    /// Mirrors the work-stealing counter into the snapshot (store, not
+    /// add — the queue owns the running total).
+    pub fn set_steals(&self, v: u64) {
+        self.steals.store(v, Ordering::Relaxed);
+    }
+
+    /// Mirrors the registry's swap counter into the snapshot.
+    pub fn set_swaps(&self, v: u64) {
+        self.swaps.store(v, Ordering::Relaxed);
     }
 
     /// Fraction of scored requests the guard flagged (0 when unscored).
@@ -271,6 +306,10 @@ impl ServeMetrics {
                         Json::Num(self.overloaded.load(Ordering::Relaxed) as f64),
                     )
                     .set(
+                        "rate_limited",
+                        Json::Num(self.rate_limited.load(Ordering::Relaxed) as f64),
+                    )
+                    .set(
                         "failed",
                         Json::Num(self.failed.load(Ordering::Relaxed) as f64),
                     )
@@ -306,6 +345,48 @@ impl ServeMetrics {
                     )
                     .set("flag_rate", Json::Num(self.flag_rate()))
                     .set("disagreement_rate", Json::Num(self.disagreement_rate()))
+                    .build(),
+            )
+            .set(
+                "engine",
+                JsonObj::new()
+                    .set(
+                        "steals",
+                        Json::Num(self.steals.load(Ordering::Relaxed) as f64),
+                    )
+                    .set(
+                        "swaps",
+                        Json::Num(self.swaps.load(Ordering::Relaxed) as f64),
+                    )
+                    .set(
+                        "worker_panics",
+                        Json::Num(self.worker_panics.load(Ordering::Relaxed) as f64),
+                    )
+                    .build(),
+            )
+            .set(
+                "conns",
+                JsonObj::new()
+                    .set(
+                        "opened",
+                        Json::Num(self.conns_opened.load(Ordering::Relaxed) as f64),
+                    )
+                    .set(
+                        "closed",
+                        Json::Num(self.conns_closed.load(Ordering::Relaxed) as f64),
+                    )
+                    .set(
+                        "resets",
+                        Json::Num(self.conn_resets.load(Ordering::Relaxed) as f64),
+                    )
+                    .set(
+                        "bad_frames",
+                        Json::Num(self.bad_frames.load(Ordering::Relaxed) as f64),
+                    )
+                    .set(
+                        "rejected",
+                        Json::Num(self.rejected_conns.load(Ordering::Relaxed) as f64),
+                    )
                     .build(),
             )
             .set("elapsed_s", Json::Num(elapsed.as_secs_f64()))

@@ -180,12 +180,15 @@ pub fn ok_response(id: &str, p: &Prediction) -> Json {
     obj.build()
 }
 
-/// Builds an error response; `Overloaded` gets its own status so clients
-/// can distinguish backpressure from hard failures.
+/// Builds an error response; `Overloaded` and `RateLimited` get their own
+/// statuses so clients can distinguish whole-server backpressure (retry
+/// later) from per-client throttling (back off to the provisioned rate)
+/// and from hard failures.
 pub fn error_response(id: &str, err: &ServeError) -> Json {
     let status = match err {
         ServeError::Overloaded => "overloaded",
         ServeError::ShuttingDown => "shutting_down",
+        ServeError::RateLimited => "rate_limited",
         _ => "error",
     };
     JsonObj::new()
@@ -335,6 +338,12 @@ mod tests {
         assert_eq!(
             over.get("status").and_then(Json::as_str),
             Some("overloaded")
+        );
+        let rl = error_response("r2b", &ServeError::RateLimited);
+        assert_eq!(
+            rl.get("status").and_then(Json::as_str),
+            Some("rate_limited"),
+            "admission control must be distinguishable from overload"
         );
         let err = error_response("r3", &ServeError::BadRequest("x".into()));
         assert_eq!(err.get("status").and_then(Json::as_str), Some("error"));

@@ -1,33 +1,78 @@
-//! Model registry: named, validated, replica-able model sets.
+//! Model registry: named, validated, replica-able, hot-swappable model
+//! sets.
 //!
 //! The registry holds one **baseline** (the full-precision reference model)
 //! and any number of **compressed variants** (pruned / quantised copies of
 //! the same task). Models enter the registry either in-memory or from
-//! checkpoint files — file loads go through the CRC-verified v2 checkpoint
-//! path, so a torn or bit-flipped model file is rejected at load time with
+//! checkpoint files — file loads go through the CRC-verified checkpoint
+//! path (v2 float or v3 packed-quantised), so a torn or bit-flipped model
+//! file is rejected at load time with
 //! [`CheckpointError::Corrupt`](advcomp_models::CheckpointError) instead of
 //! serving garbage predictions.
 //!
 //! Every registered model is probe-forwarded once on a zero batch to pin
 //! down its output arity; variants must agree with the baseline's class
-//! count. Workers then call [`ModelRegistry::replica`] to obtain an
-//! independent [`ReplicaSet`] (fresh-cache clones, see
-//! `advcomp_nn::Layer::clone_layer`) so concurrent forward passes never
-//! contend on shared layer state.
+//! count.
+//!
+//! # Snapshots and hot swap
+//!
+//! The registry publishes its models as immutable [`ModelSet`] snapshots
+//! behind an [`Arc`], stamped with a monotonically increasing
+//! **generation**. Engines take a [`RegistryHandle`] at start; each worker
+//! caches `(generation, Arc<ModelSet>)` and re-replicates only when the
+//! generation moves — a relaxed integer compare per batch, no lock on the
+//! forward path.
+//!
+//! [`ModelRegistry::swap`] atomically replaces one named model with a
+//! freshly CRC-validated + probe-validated checkpoint load: the new
+//! [`ModelSet`] is built off to the side and published in one pointer
+//! store, so a swap never blocks or drains in-flight batches — workers
+//! finish the current batch on the old weights and pick up the new set at
+//! the next batch boundary. A swap that fails validation leaves the
+//! published set untouched.
 
 use crate::ServeError;
 use advcomp_models::Checkpoint;
 use advcomp_nn::{Mode, Sequential};
 use advcomp_tensor::Tensor;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// Named model set for one serving task.
+/// One immutable published snapshot of every registered model.
 #[derive(Debug)]
-pub struct ModelRegistry {
-    input_shape: Vec<usize>,
-    classes: usize,
-    baseline: Option<(String, Sequential)>,
+pub struct ModelSet {
+    baseline: (String, Sequential),
     variants: Vec<(String, Sequential)>,
+    classes: usize,
+}
+
+impl ModelSet {
+    /// Clones every model into an independent per-worker [`ReplicaSet`]
+    /// (fresh-cache clones, see `advcomp_nn::Layer::clone_layer`), so
+    /// concurrent forward passes never contend on shared layer state.
+    pub fn replica(&self) -> ReplicaSet {
+        ReplicaSet {
+            baseline: (self.baseline.0.clone(), self.baseline.1.clone()),
+            variants: self
+                .variants
+                .iter()
+                .map(|(n, m)| (n.clone(), m.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Names of all models, baseline first.
+    pub fn names(&self) -> Vec<String> {
+        std::iter::once(self.baseline.0.clone())
+            .chain(self.variants.iter().map(|(n, _)| n.clone()))
+            .collect()
+    }
 }
 
 /// A per-worker clone of every registered model.
@@ -37,6 +82,53 @@ pub struct ReplicaSet {
     pub baseline: (String, Sequential),
     /// `(name, model)` of each compressed variant, registry order.
     pub variants: Vec<(String, Sequential)>,
+}
+
+/// Shared swap cell: the published snapshot plus its generation stamp.
+#[derive(Debug)]
+struct SwapCell {
+    current: Mutex<Option<Arc<ModelSet>>>,
+    generation: AtomicU64,
+    swaps: AtomicU64,
+}
+
+/// Named model set for one serving task.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    input_shape: Vec<usize>,
+    cell: Arc<SwapCell>,
+}
+
+/// Cheap cloneable view of the registry's published snapshot, held by
+/// running engines. Stays live across [`ModelRegistry::swap`] calls.
+#[derive(Debug, Clone)]
+pub struct RegistryHandle {
+    cell: Arc<SwapCell>,
+}
+
+impl RegistryHandle {
+    /// Current generation stamp; changes exactly when a swap publishes.
+    /// A relaxed load — cheap enough to check once per batch.
+    pub fn generation(&self) -> u64 {
+        self.cell.generation.load(Ordering::Relaxed)
+    }
+
+    /// The current `(generation, snapshot)` pair. The generation is read
+    /// under the same lock that guards the snapshot pointer, so the pair
+    /// is always mutually consistent.
+    pub fn snapshot(&self) -> (u64, Arc<ModelSet>) {
+        let guard = self.cell.current.lock().unwrap_or_else(|p| p.into_inner());
+        let set = guard
+            .as_ref()
+            .expect("handle only exists with a published baseline")
+            .clone();
+        (self.cell.generation.load(Ordering::Relaxed), set)
+    }
+
+    /// Number of successful swaps since registry creation.
+    pub fn swaps(&self) -> u64 {
+        self.cell.swaps.load(Ordering::Relaxed)
+    }
 }
 
 impl ModelRegistry {
@@ -54,10 +146,29 @@ impl ModelRegistry {
         }
         Ok(ModelRegistry {
             input_shape: input_shape.to_vec(),
-            classes: 0,
-            baseline: None,
-            variants: Vec::new(),
+            cell: Arc::new(SwapCell {
+                current: Mutex::new(None),
+                generation: AtomicU64::new(0),
+                swaps: AtomicU64::new(0),
+            }),
         })
+    }
+
+    fn current(&self) -> Option<Arc<ModelSet>> {
+        self.cell
+            .current
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    fn publish(&self, set: ModelSet, is_swap: bool) {
+        let mut guard = self.cell.current.lock().unwrap_or_else(|p| p.into_inner());
+        *guard = Some(Arc::new(set));
+        self.cell.generation.fetch_add(1, Ordering::Relaxed);
+        if is_swap {
+            self.cell.swaps.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Registers the baseline model, validating it on a zero probe batch.
@@ -71,12 +182,18 @@ impl ModelRegistry {
         name: impl Into<String>,
         mut model: Sequential,
     ) -> Result<(), ServeError> {
-        if self.baseline.is_some() {
+        if self.current().is_some() {
             return Err(ServeError::Config("baseline already registered".into()));
         }
         let classes = self.probe(&mut model)?;
-        self.classes = classes;
-        self.baseline = Some((name.into(), model));
+        self.publish(
+            ModelSet {
+                baseline: (name.into(), model),
+                variants: Vec::new(),
+                classes,
+            },
+            false,
+        );
         Ok(())
     }
 
@@ -93,22 +210,31 @@ impl ModelRegistry {
         mut model: Sequential,
     ) -> Result<(), ServeError> {
         let name = name.into();
-        if self.baseline.is_none() {
+        let Some(old) = self.current() else {
             return Err(ServeError::Config(
                 "register the baseline before variants".into(),
             ));
-        }
-        if self.names().any(|n| n == name) {
+        };
+        if old.names().contains(&name) {
             return Err(ServeError::Config(format!("duplicate model name {name}")));
         }
         let classes = self.probe(&mut model)?;
-        if classes != self.classes {
+        if classes != old.classes {
             return Err(ServeError::Config(format!(
                 "variant {name} has {classes} classes, baseline has {}",
-                self.classes
+                old.classes
             )));
         }
-        self.variants.push((name, model));
+        let mut next = old.replica();
+        next.variants.push((name, model));
+        self.publish(
+            ModelSet {
+                baseline: next.baseline,
+                variants: next.variants,
+                classes: old.classes,
+            },
+            false,
+        );
         Ok(())
     }
 
@@ -144,6 +270,76 @@ impl ModelRegistry {
         self.add_variant(name, arch)
     }
 
+    /// Atomically replaces the model registered under `name` (baseline or
+    /// variant) with a CRC-validated checkpoint load of `path` into
+    /// `arch`, then publishes a new snapshot with a bumped generation.
+    ///
+    /// The swap takes effect at each worker's next batch boundary;
+    /// in-flight batches complete on the old weights and are never
+    /// drained or errored. Validation failures leave the published set
+    /// untouched.
+    ///
+    /// Takes `&self`: swapping is safe while engines are serving.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint I/O / corruption, [`ServeError::Config`] for an unknown
+    /// `name`, a probe failure, or a class-count mismatch.
+    pub fn swap(&self, name: &str, mut arch: Sequential, path: &Path) -> Result<(), ServeError> {
+        Checkpoint::load(path)?.restore(&mut arch)?;
+        let Some(old) = self.current() else {
+            return Err(ServeError::Config("no baseline registered".into()));
+        };
+        let classes = self.probe(&mut arch)?;
+        if classes != old.classes {
+            return Err(ServeError::Config(format!(
+                "swap for {name} has {classes} classes, registry has {}",
+                old.classes
+            )));
+        }
+        let mut next = old.replica();
+        let slot = if next.baseline.0 == name {
+            &mut next.baseline.1
+        } else if let Some((_, m)) = next.variants.iter_mut().find(|(n, _)| n == name) {
+            m
+        } else {
+            return Err(ServeError::Config(format!(
+                "no model named {name} to swap (have {:?})",
+                old.names()
+            )));
+        };
+        *slot = arch;
+        self.publish(
+            ModelSet {
+                baseline: next.baseline,
+                variants: next.variants,
+                classes: old.classes,
+            },
+            true,
+        );
+        Ok(())
+    }
+
+    /// Number of successful swaps published since registry creation.
+    pub fn swaps(&self) -> u64 {
+        self.cell.swaps.load(Ordering::Relaxed)
+    }
+
+    /// A cloneable handle for engines: grants access to `(generation,
+    /// snapshot)` pairs that stay current across later swaps.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] when no baseline is registered yet.
+    pub fn handle(&self) -> Result<RegistryHandle, ServeError> {
+        if self.current().is_none() {
+            return Err(ServeError::Config("no baseline registered".into()));
+        }
+        Ok(RegistryHandle {
+            cell: Arc::clone(&self.cell),
+        })
+    }
+
     /// Shape of one input sample (no batch axis).
     pub fn input_shape(&self) -> &[usize] {
         &self.input_shape
@@ -156,25 +352,22 @@ impl ModelRegistry {
 
     /// Number of output classes (0 until a baseline is registered).
     pub fn num_classes(&self) -> usize {
-        self.classes
+        self.current().map_or(0, |s| s.classes)
     }
 
     /// Name of the baseline model, if registered.
-    pub fn baseline_name(&self) -> Option<&str> {
-        self.baseline.as_ref().map(|(n, _)| n.as_str())
+    pub fn baseline_name(&self) -> Option<String> {
+        self.current().map(|s| s.baseline.0.clone())
     }
 
     /// Names of all registered models, baseline first.
-    pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.baseline
-            .iter()
-            .map(|(n, _)| n.as_str())
-            .chain(self.variants.iter().map(|(n, _)| n.as_str()))
+    pub fn names(&self) -> Vec<String> {
+        self.current().map_or_else(Vec::new, |s| s.names())
     }
 
     /// Number of compressed variants.
     pub fn num_variants(&self) -> usize {
-        self.variants.len()
+        self.current().map_or(0, |s| s.variants.len())
     }
 
     /// Clones every model into an independent per-worker [`ReplicaSet`].
@@ -183,18 +376,9 @@ impl ModelRegistry {
     ///
     /// [`ServeError::Config`] when no baseline is registered.
     pub fn replica(&self) -> Result<ReplicaSet, ServeError> {
-        let (name, model) = self
-            .baseline
-            .as_ref()
-            .ok_or_else(|| ServeError::Config("no baseline registered".into()))?;
-        Ok(ReplicaSet {
-            baseline: (name.clone(), model.clone()),
-            variants: self
-                .variants
-                .iter()
-                .map(|(n, m)| (n.clone(), m.clone()))
-                .collect(),
-        })
+        self.current()
+            .map(|s| s.replica())
+            .ok_or_else(|| ServeError::Config("no baseline registered".into()))
     }
 
     /// Probe-forwards a zero batch, returning the model's class count.
@@ -225,15 +409,13 @@ mod tests {
     fn baseline_then_variants() {
         let mut reg = ModelRegistry::new(&shape()).unwrap();
         assert!(reg.replica().is_err());
+        assert!(reg.handle().is_err());
         reg.set_baseline("dense", mlp(8, 0)).unwrap();
         reg.add_variant("quant8", mlp(8, 1)).unwrap();
         reg.add_variant("pruned", mlp(6, 2)).unwrap();
         assert_eq!(reg.num_classes(), 10);
-        assert_eq!(reg.baseline_name(), Some("dense"));
-        assert_eq!(
-            reg.names().collect::<Vec<_>>(),
-            vec!["dense", "quant8", "pruned"]
-        );
+        assert_eq!(reg.baseline_name().as_deref(), Some("dense"));
+        assert_eq!(reg.names(), vec!["dense", "quant8", "pruned"]);
         let replica = reg.replica().unwrap();
         assert_eq!(replica.baseline.0, "dense");
         assert_eq!(replica.variants.len(), 2);
@@ -308,6 +490,84 @@ mod tests {
             }
             other => panic!("expected corruption error, got {other:?}"),
         }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn swap_bumps_generation_and_replaces_weights() {
+        let dir = std::env::temp_dir().join("advcomp_serve_registry_swap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("next.advc");
+        let next = mlp(8, 7);
+        Checkpoint::capture(&next).save(&path).unwrap();
+
+        let mut reg = ModelRegistry::new(&shape()).unwrap();
+        reg.set_baseline("dense", mlp(8, 0)).unwrap();
+        reg.add_variant("quant8", mlp(8, 1)).unwrap();
+        let handle = reg.handle().unwrap();
+        let (g0, s0) = handle.snapshot();
+        let before = s0.replica().variants[0]
+            .1
+            .param("fc1.weight")
+            .unwrap()
+            .value
+            .data()
+            .to_vec();
+
+        reg.swap("quant8", mlp(8, 0), &path).unwrap();
+        let (g1, s1) = handle.snapshot();
+        assert!(g1 > g0, "generation must move: {g0} -> {g1}");
+        assert_eq!(handle.swaps(), 1);
+        // Names and order are unchanged; the weights are the new ones.
+        assert_eq!(s1.names(), vec!["dense", "quant8"]);
+        let after = s1.replica().variants[0]
+            .1
+            .param("fc1.weight")
+            .unwrap()
+            .value
+            .data()
+            .to_vec();
+        assert_ne!(before, after);
+        assert_eq!(
+            after,
+            next.param("fc1.weight").unwrap().value.data().to_vec()
+        );
+        // The old snapshot is untouched (in-flight batches keep working).
+        let still = s0.replica().variants[0]
+            .1
+            .param("fc1.weight")
+            .unwrap()
+            .value
+            .data()
+            .to_vec();
+        assert_eq!(before, still);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn swap_rejects_unknown_name_and_corrupt_file_without_publishing() {
+        let dir = std::env::temp_dir().join("advcomp_serve_registry_swapfail_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("next.advc");
+        Checkpoint::capture(&mlp(8, 7)).save(&path).unwrap();
+
+        let mut reg = ModelRegistry::new(&shape()).unwrap();
+        reg.set_baseline("dense", mlp(8, 0)).unwrap();
+        let handle = reg.handle().unwrap();
+        let g0 = handle.generation();
+
+        assert!(reg.swap("nope", mlp(8, 0), &path).is_err());
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let bad = dir.join("bad.advc");
+        std::fs::write(&bad, &bytes).unwrap();
+        assert!(reg.swap("dense", mlp(8, 0), &bad).is_err());
+
+        assert_eq!(handle.generation(), g0, "failed swaps publish nothing");
+        assert_eq!(handle.swaps(), 0);
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&bad).ok();
     }

@@ -1,0 +1,229 @@
+//! Soak/chaos tests: a live server under hostile traffic and injected
+//! faults must stay available, count every failure in its metrics, and
+//! shed load explicitly instead of hanging.
+//!
+//! Two fault channels are exercised:
+//!
+//! * **Network chaos** a real client can produce without cooperation:
+//!   abrupt connection resets mid-frame, short reads (a length header
+//!   whose payload never fully arrives), and oversized frame headers.
+//! * **Injected faults** through the `ADVCOMP_FAULTS` registry
+//!   (`advcomp_nn::faults`): an `io` fault at the server's
+//!   `serve_conn_read` site (a read that fails like a reset) and a
+//!   `panic` fault at the engine's `serve_batch` site (a worker dying
+//!   mid-batch). Fault hits are pinned by invocation index, so runs are
+//!   deterministic.
+
+use advcomp_models::mlp;
+use advcomp_nn::faults::{install, FaultKind, FaultSpec};
+use advcomp_serve::json::Json;
+use advcomp_serve::protocol::{Command, MAX_FRAME};
+use advcomp_serve::{Client, Engine, GuardConfig, ModelRegistry, ServeConfig, Server};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const SAMPLE: usize = 28 * 28;
+
+fn start_server(workers: usize, queue_depth: usize) -> Server {
+    let mut registry = ModelRegistry::new(&[1, 28, 28]).unwrap();
+    registry.set_baseline("dense", mlp(16, 5)).unwrap();
+    registry.add_variant("alt", mlp(16, 6)).unwrap();
+    let engine = Engine::start(
+        &registry,
+        ServeConfig {
+            workers,
+            max_batch: 8,
+            max_delay: Duration::from_millis(1),
+            queue_depth,
+            guard: Some(GuardConfig { threshold: 0.5 }),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    Server::bind(engine, "127.0.0.1:0").unwrap()
+}
+
+fn metric(m: &Json, path: &[&str]) -> u64 {
+    let mut cur = m.get("metrics").expect("metrics object");
+    for p in path {
+        cur = cur.get(p).unwrap_or_else(|| panic!("missing metric {p}"));
+    }
+    Json::as_u64(cur).unwrap_or_else(|| panic!("metric {path:?} not a number"))
+}
+
+/// One round of client-side chaos against `addr`; `mode` picks the
+/// attack so a fixed round counter gives a deterministic mix.
+fn chaos_round(addr: SocketAddr, mode: usize) {
+    match mode % 3 {
+        // Reset mid-frame: claim 1000 payload bytes, deliver 100, hang
+        // up. The server sees EOF with a partial frame buffered.
+        0 => {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&1000u32.to_le_bytes()).unwrap();
+            s.write_all(&[b'x'; 100]).unwrap();
+            drop(s); // abrupt close
+        }
+        // Oversized frame header: the server must answer one error frame
+        // and hang up, never allocate the claimed buffer.
+        1 => {
+            let mut c = Client::connect(addr).unwrap();
+            c.send_raw(&(MAX_FRAME + 17).to_le_bytes()).unwrap();
+            let first = c.read_response().unwrap().expect("error frame");
+            let resp = Json::parse(&first).unwrap();
+            assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+            assert!(c.read_response().unwrap().is_none(), "must close after");
+        }
+        // Malformed JSON in a well-formed frame, then an abrupt close
+        // while the error response may still be in flight.
+        _ => {
+            let mut c = Client::connect(addr).unwrap();
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&9u32.to_le_bytes());
+            frame.extend_from_slice(b"{chaos!!}");
+            c.send_raw(&frame).unwrap();
+            let payload = c.read_response().unwrap().expect("error frame");
+            let resp = Json::parse(&payload).unwrap();
+            assert_eq!(resp.get("status").and_then(Json::as_str), Some("error"));
+        }
+    }
+}
+
+fn run_chaos_soak(chaos_threads: usize, rounds: usize, clean_per_thread: usize) {
+    let server = start_server(2, 64);
+    let addr = server.local_addr();
+
+    let mut handles = Vec::new();
+    for t in 0..chaos_threads {
+        handles.push(std::thread::spawn(move || {
+            for r in 0..rounds {
+                chaos_round(addr, t + r);
+            }
+        }));
+    }
+    // Clean traffic interleaved with the chaos: every request must get a
+    // definite answer — ok or an explicit overloaded shed, never a hang
+    // or a protocol error.
+    let mut clean = Vec::new();
+    for t in 0..4usize {
+        clean.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).unwrap();
+            let mut ok = 0u64;
+            for i in 0..clean_per_thread {
+                let v = ((t * clean_per_thread + i) % 64) as f32 / 64.0;
+                let resp = c.predict(vec![v; SAMPLE], false).unwrap();
+                match resp.get("status").and_then(Json::as_str) {
+                    Some("ok") => ok += 1,
+                    Some("overloaded") => {}
+                    other => panic!("unexpected status {other:?}: {resp}"),
+                }
+            }
+            ok
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut ok_total = 0;
+    for h in clean {
+        ok_total += h.join().unwrap();
+    }
+    assert!(ok_total > 0, "no clean request survived the chaos");
+
+    // The server is still fully available and the damage is accounted
+    // for: resets and bad frames were counted, nothing leaked.
+    let mut c = Client::connect(addr).unwrap();
+    let pong = c.control(Command::Ping).unwrap();
+    assert_eq!(pong.get("status").and_then(Json::as_str), Some("ok"));
+    let resp = c.predict(vec![0.25; SAMPLE], false).unwrap();
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    let m = c.control(Command::Metrics).unwrap();
+    assert!(
+        metric(&m, &["conns", "resets"]) > 0,
+        "mid-frame hangups must be counted as resets"
+    );
+    assert!(
+        metric(&m, &["conns", "bad_frames"]) > 0,
+        "oversized/malformed frames must be counted"
+    );
+    assert!(metric(&m, &["requests", "completed"]) >= ok_total);
+    assert_eq!(
+        metric(&m, &["engine", "worker_panics"]),
+        0,
+        "network chaos must never reach the workers"
+    );
+
+    let resp = c.control(Command::Shutdown).unwrap();
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    server.join();
+}
+
+/// Time-boxed chaos soak wired into the default test run (and the
+/// `serve-soak` stage of `scripts/check.sh`).
+#[test]
+fn chaos_traffic_cannot_take_the_server_down() {
+    run_chaos_soak(4, 9, 16);
+}
+
+/// The long soak: same invariants, an order of magnitude more rounds.
+/// Run explicitly with `cargo test -p advcomp-serve --test soak -- --ignored`.
+#[test]
+#[ignore = "long soak; run explicitly"]
+fn chaos_soak_long() {
+    run_chaos_soak(8, 60, 80);
+}
+
+/// Injected faults at the registry's serve sites: a read that dies like
+/// a reset and a worker that panics mid-batch. The server must absorb
+/// both, answer the affected client with an explicit error (or reset),
+/// count the damage, and keep serving.
+#[test]
+fn injected_io_and_batch_faults_are_survived_and_counted() {
+    let server = start_server(2, 64);
+    let addr = server.local_addr();
+    let _guard = install(vec![
+        FaultSpec::once(FaultKind::Io, "serve_conn_read", 0),
+        FaultSpec::once(FaultKind::Panic, "serve_batch", 0),
+    ]);
+
+    // Victim A: its first readable event hits the io fault; the server
+    // treats the connection as reset. The client observes EOF/error,
+    // never a hang.
+    let mut a = Client::connect(addr).unwrap();
+    a.send_raw(&{
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&2u32.to_le_bytes());
+        frame.extend_from_slice(b"{}");
+        frame
+    })
+    .unwrap();
+    match a.read_response() {
+        Ok(None) | Err(_) => {} // reset observed
+        Ok(Some(p)) => panic!("expected reset, got {:?}", String::from_utf8_lossy(&p)),
+    }
+
+    // Victim B: first batch through the engine panics. The completion
+    // guard must turn the dead worker into an explicit error response.
+    let mut b = Client::connect(addr).unwrap();
+    let resp = b.predict(vec![0.5; SAMPLE], false).unwrap();
+    assert_eq!(
+        resp.get("status").and_then(Json::as_str),
+        Some("error"),
+        "worker panic must surface as an error response: {resp}"
+    );
+
+    // Both faults are spent: the same connection now gets clean service.
+    let resp = b.predict(vec![0.5; SAMPLE], false).unwrap();
+    assert_eq!(
+        resp.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "server must recover once the fault clears: {resp}"
+    );
+    let m = b.control(Command::Metrics).unwrap();
+    assert!(metric(&m, &["conns", "resets"]) >= 1);
+    assert_eq!(metric(&m, &["engine", "worker_panics"]), 1);
+
+    let resp = b.control(Command::Shutdown).unwrap();
+    assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
+    server.join();
+}

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# Serving-engine load benchmark: stands up the TCP server at 1, 4 and 8
-# workers, drives it with concurrent client connections over real sockets,
-# and writes client-observed p50/p99 latency, throughput and the
-# server-side batch-size distribution to BENCH_serve.json.
+# Serving-engine saturation benchmark: for each worker count (1, 4, 8 by
+# default) the open-loop generator probes capacity, sweeps a ladder of
+# fixed offered arrival rates against a fresh TCP server per point, and
+# writes the goodput-vs-offered curve, the saturation knee, and client +
+# per-stage server p50/p99/p999 latencies to BENCH_serve.json
+# (schema serve-open-loop-v2; knee rps is host-specific, host.cores is
+# recorded in the report).
 #
-#   scripts/bench_serve.sh                  # full run, writes BENCH_serve.json
-#   scripts/bench_serve.sh --quick          # fast PR-gate variant
-#   scripts/bench_serve.sh --out /tmp/b.json --clients 16 --requests 100
+#   scripts/bench_serve.sh                    # full run, writes BENCH_serve.json
+#   scripts/bench_serve.sh --quick            # fast PR-gate variant
+#   scripts/bench_serve.sh --workers 1,8 --duration-ms 2000 --connections 16
+#   scripts/bench_serve.sh --check-serve      # regression gate vs committed baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -79,6 +79,30 @@ echo "fault smoke: partial-result recovery OK"
 
 # Serve smoke: a real TCP server on an ephemeral port driven with mixed
 # traffic — concurrent predictions, control commands, an oversized frame
-# header, malformed JSON — ending in a clean protocol-level shutdown.
+# header, malformed JSON — ending in a clean protocol-level shutdown, then
+# an open-loop goodput-vs-offered-load curve against an admission-capped
+# server (the curve shape is asserted, not a host-specific rps number).
 cargo run -q -p advcomp-serve --bin serve_smoke
-echo "serve smoke: batching, backpressure and framing OK"
+echo "serve smoke: batching, backpressure, framing and open-loop curve OK"
+
+# Serve soak: time-boxed chaos run — connection resets mid-frame, short
+# reads, oversized frames from concurrent hostile clients, plus
+# deterministic ADVCOMP_FAULTS injections at the serve_conn_read and
+# serve_batch sites — the server must stay available, count every failure
+# in its metrics, and shed rather than hang. The same suites run under
+# `cargo test`; this stage pins them as an explicit gate (and `--ignored`
+# runs the long soak).
+cargo test -q -p advcomp-serve --test soak >/dev/null
+cargo test -q -p advcomp-serve --test shard_stealing >/dev/null
+cargo test -q -p advcomp-serve --test hot_swap >/dev/null
+echo "serve soak: chaos, stealing and hot-swap suites OK"
+
+# Serve regression gate: re-measure the saturation knee with the open-loop
+# generator and compare against the committed BENCH_serve.json baseline
+# (fails on >40% regression). Knee rps is host-specific, so the gate
+# no-ops when the baseline was measured on a different core count, and the
+# 8-vs-1-worker scaling assertion arms only on >= 8 cores — mirroring how
+# --check-simd no-ops without AVX2.
+cargo build -q --release -p advcomp-bench --bin serve_bench
+./target/release/serve_bench --check-serve --duration-ms 400 >/dev/null
+echo "serve gate: saturation knee within baseline"

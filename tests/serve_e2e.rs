@@ -66,6 +66,7 @@ fn serve_trained_ensemble_end_to_end() {
             max_delay: Duration::from_millis(3),
             queue_depth: 128,
             guard: Some(GuardConfig { threshold: 0.5 }),
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -172,6 +173,7 @@ fn full_queue_returns_overloaded_not_a_hang() {
             max_delay: Duration::ZERO,
             queue_depth: 1,
             guard: Some(GuardConfig { threshold: 0.5 }),
+            ..ServeConfig::default()
         },
     )
     .unwrap();
