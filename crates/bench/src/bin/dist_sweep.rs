@@ -1,0 +1,271 @@
+//! Distributed sweep harness: runs the attack×compression matrix through
+//! the lease-based coordinator/worker layer (`advcomp_core::dist`).
+//!
+//! Modes:
+//!
+//! * default — local mode: coordinator plus `--workers N` in-process worker
+//!   threads speaking the real TCP protocol;
+//! * `--baseline` — the same matrix single-process via `run_resilient`,
+//!   for bit-identity comparison against a distributed run;
+//! * `dist_sweep coordinator` — coordinator only; prints the bound address
+//!   and waits for external workers (finishing solo if none show up);
+//! * `dist_sweep worker --addr <host:port>` — one external worker process.
+//!
+//! `--out <path>` writes the final curves (`Vec<SweepResult>` as pretty
+//! JSON) — the artifact `scripts/check.sh` bit-compares across modes.
+//! `--expect-redispatch` / `--expect-resumed-all` turn protocol
+//! expectations into hard exit-code assertions for smoke tests.
+
+use advcomp_attacks::{AttackKind, NetKind};
+use advcomp_core::dist::{run_local, run_worker, Coordinator, DistRunConfig, WorkerOptions};
+use advcomp_core::report::write_atomic;
+use advcomp_core::resilience::RetryPolicy;
+use advcomp_core::sweep::{MatrixRun, RunConfig, TransferMatrix};
+use advcomp_core::ExperimentScale;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    fn subcommand(&self) -> Option<&str> {
+        self.raw
+            .first()
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.raw.iter().any(|a| a == flag)
+    }
+
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn num<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value '{v}' for {flag}")),
+        }
+    }
+}
+
+fn parse_scale(name: &str) -> Result<ExperimentScale, String> {
+    match name {
+        "tiny" => Ok(ExperimentScale::tiny()),
+        "quick" => Ok(ExperimentScale::quick()),
+        "paper" => Ok(ExperimentScale::paper()),
+        other => Err(format!("unknown scale '{other}' (tiny|quick|paper)")),
+    }
+}
+
+fn parse_matrix(args: &Args) -> Result<TransferMatrix, String> {
+    let net = match args.value("--net").unwrap_or("lenet5") {
+        "lenet5" => NetKind::LeNet5,
+        "cifarnet" => NetKind::CifarNet,
+        other => return Err(format!("unknown net '{other}' (lenet5|cifarnet)")),
+    };
+    let attacks = args
+        .value("--attacks")
+        .unwrap_or("ifgsm")
+        .split(',')
+        .map(|a| match a {
+            "ifgsm" => Ok(AttackKind::Ifgsm),
+            "ifgm" => Ok(AttackKind::Ifgm),
+            "deepfool" => Ok(AttackKind::DeepFool),
+            other => Err(format!("unknown attack '{other}' (ifgsm|ifgm|deepfool)")),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let densities = args
+        .value("--densities")
+        .unwrap_or("1.0,0.5,0.3,0.1")
+        .split(',')
+        .map(|d| {
+            d.parse::<f64>()
+                .map_err(|_| format!("bad density '{d}' in --densities"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(TransferMatrix::pruning(net, attacks, &densities))
+}
+
+fn dist_config(args: &Args) -> Result<DistRunConfig, String> {
+    let run_dir = args
+        .value("--run-dir")
+        .map(PathBuf::from)
+        .ok_or("--run-dir <dir> is required for distributed modes")?;
+    let mut cfg = DistRunConfig::new(run_dir);
+    cfg.seed = args.num("--seed", cfg.seed)?;
+    cfg.dist.lease_ms = args.num("--lease-ms", cfg.dist.lease_ms)?;
+    cfg.dist.heartbeat_ms = args.num("--heartbeat-ms", cfg.dist.heartbeat_ms)?;
+    cfg.dist.straggler_ms = args.num("--straggler-ms", cfg.dist.straggler_ms)?;
+    cfg.dist.solo_grace_ms = args.num("--solo-grace-ms", cfg.dist.solo_grace_ms)?;
+    cfg.worker_slow_ms = args.num("--slow-ms", 0)?;
+    if let Some(listen) = args.value("--listen") {
+        cfg.listen = listen.to_string();
+    }
+    Ok(cfg)
+}
+
+fn write_results(args: &Args, run: &MatrixRun) -> Result<(), Box<dyn std::error::Error>> {
+    if let Some(out) = args.value("--out") {
+        // Curves only: the execution report is timing-dependent and lives
+        // in dist_report.json; this file is the bit-compared artifact.
+        let json = serde_json::to_string_pretty(&run.results)?;
+        write_atomic(&PathBuf::from(out), &json)?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn summarize(run: &MatrixRun) {
+    println!(
+        "sweep done: resumed {}, computed {}, failed {}, health events {}",
+        run.resumed,
+        run.computed,
+        run.failed.len(),
+        run.health.len()
+    );
+    for f in &run.failed {
+        println!(
+            "recorded failure: x={} ({}) after {} attempt(s): {}",
+            f.x, f.compression, f.attempts, f.error
+        );
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse();
+    // Injected worker panics (ADVCOMP_FAULTS) are the thing under test in
+    // fault runs; keep their backtraces out of the harness output.
+    if std::env::var("ADVCOMP_FAULTS").is_ok() {
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+    let scale = parse_scale(args.value("--scale").unwrap_or("tiny"))?;
+    let matrix = parse_matrix(&args)?;
+
+    match args.subcommand() {
+        Some("worker") => {
+            let addr = args
+                .value("--addr")
+                .ok_or("worker mode requires --addr <host:port>")?;
+            let seed = args.num("--seed", 7u64)?;
+            let opts = WorkerOptions {
+                id: args.value("--id").unwrap_or("ext-worker").to_string(),
+                heartbeat_ms: args.num("--heartbeat-ms", 250)?,
+                slow_ms: args.num("--slow-ms", 0)?,
+                ..WorkerOptions::default()
+            };
+            println!("worker '{}': preparing matrix (seed {seed})...", opts.id);
+            let prepared = matrix.prepare(&scale, seed)?;
+            let summary = run_worker(addr, &prepared, &opts)?;
+            println!(
+                "worker '{}' done: completed {}, failed {}, heartbeats {}",
+                opts.id, summary.completed, summary.failed, summary.heartbeats_sent
+            );
+        }
+        Some("coordinator") => {
+            let cfg = dist_config(&args)?;
+            let prepared = Arc::new(matrix.prepare(&scale, cfg.seed)?);
+            let coordinator = Coordinator::bind(&cfg.listen, prepared, &cfg)?;
+            println!("coordinator listening on {}", coordinator.addr());
+            let outcome = coordinator.run()?;
+            println!("{}", report_line(&outcome.report));
+            summarize(&outcome.run);
+            check_expectations(&args, &outcome.run, Some(&outcome.report))?;
+            write_results(&args, &outcome.run)?;
+        }
+        Some(other) => return Err(format!("unknown subcommand '{other}'").into()),
+        None if args.has("--baseline") => {
+            let cfg = RunConfig {
+                seed: args.num("--seed", 7)?,
+                run_dir: args.value("--run-dir").map(PathBuf::from),
+                retry: RetryPolicy::sweep_default(),
+            };
+            let run = matrix.run_resilient(&scale, &cfg)?;
+            summarize(&run);
+            check_expectations(&args, &run, None)?;
+            write_results(&args, &run)?;
+        }
+        None => {
+            let workers = args.num("--workers", 3usize)?;
+            let cfg = dist_config(&args)?;
+            let outcome = run_local(&matrix, &scale, &cfg, workers)?;
+            println!("{}", report_line(&outcome.report));
+            summarize(&outcome.run);
+            check_expectations(&args, &outcome.run, Some(&outcome.report))?;
+            write_results(&args, &outcome.run)?;
+        }
+    }
+    Ok(())
+}
+
+fn report_line(r: &advcomp_core::dist::DistReport) -> String {
+    format!(
+        "dist report: points {}, resumed {}, remote {}, solo {}, workers joined {} lost {}, \
+         leases {} expired {}, redispatches {}, speculative {}, duplicates {} divergent {}, \
+         failures reported {} permanent {}",
+        r.points,
+        r.resumed,
+        r.computed_remote,
+        r.computed_solo,
+        r.workers_joined,
+        r.workers_lost,
+        r.leases_granted,
+        r.leases_expired,
+        r.redispatches,
+        r.speculative,
+        r.duplicates,
+        r.divergent,
+        r.reported_failures,
+        r.permanent_failures
+    )
+}
+
+/// Turns smoke-test expectations into exit-code assertions.
+fn check_expectations(
+    args: &Args,
+    run: &MatrixRun,
+    report: Option<&advcomp_core::dist::DistReport>,
+) -> Result<(), String> {
+    if args.has("--expect-redispatch") {
+        let r = report.ok_or("--expect-redispatch needs a distributed mode")?;
+        if r.redispatches == 0 {
+            return Err(format!(
+                "expected at least one re-dispatch, got none ({})",
+                report_line(r)
+            ));
+        }
+    }
+    if args.has("--expect-resumed-all") {
+        let points = report.map_or(run.resumed + run.computed, |r| r.points);
+        if run.resumed != points || run.computed != 0 {
+            return Err(format!(
+                "expected all {points} point(s) resumed from the journal, \
+                 got resumed {} computed {}",
+                run.resumed, run.computed
+            ));
+        }
+    }
+    if let Some(r) = report {
+        if r.divergent > 0 {
+            return Err(format!(
+                "determinism violation: {} divergent duplicate(s)",
+                r.divergent
+            ));
+        }
+    }
+    Ok(())
+}

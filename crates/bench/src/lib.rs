@@ -93,6 +93,23 @@ impl ExhibitOptions {
         self.flags.iter().any(|f| f == flag)
     }
 
+    /// The value following `flag` (e.g. `--dist 3`), if both are present.
+    pub fn flag_value(&self, flag: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .position(|f| f == flag)
+            .and_then(|i| self.flags.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Worker count from `--dist N`; `None` when absent or unparseable
+    /// (single-process execution).
+    pub fn dist_workers(&self) -> Option<usize> {
+        self.flag_value("--dist")
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+    }
+
     /// Path for an exhibit's CSV output.
     pub fn csv_path(&self, name: &str) -> PathBuf {
         self.results_dir.join(format!("{name}.csv"))
@@ -102,7 +119,10 @@ impl ExhibitOptions {
 /// Runs `matrix` under the full resilience stack (supervised workers with
 /// retries; journalled checkpoint/resume when `--run-dir` was given) and
 /// prints the resilience bookkeeping — `resumed`/`computed` counts, failed
-/// points, health incidents — before handing the curves back.
+/// points, health incidents — before handing the curves back. With
+/// `--dist N` (requires `--run-dir`), execution goes through the
+/// lease-based coordinator with `N` local worker threads instead; the
+/// curves are bit-identical either way.
 ///
 /// # Errors
 ///
@@ -112,12 +132,39 @@ pub fn run_matrix(
     matrix: &TransferMatrix,
     opts: &ExhibitOptions,
 ) -> advcomp_core::Result<MatrixRun> {
-    let cfg = RunConfig {
-        seed: 7,
-        run_dir: opts.run_dir.clone(),
-        retry: RetryPolicy::sweep_default(),
+    let run = if let Some(workers) = opts.dist_workers() {
+        // `--dist N`: run the same matrix through the lease-based
+        // coordinator with N local worker threads. The journal is the
+        // idempotency story, so a run directory is mandatory here.
+        let Some(run_dir) = opts.run_dir.clone() else {
+            return Err(advcomp_core::CoreError::InvalidConfig(
+                "--dist requires --run-dir <dir> (the journal provides exactly-once results)"
+                    .into(),
+            ));
+        };
+        let cfg = advcomp_core::dist::DistRunConfig::new(run_dir);
+        let outcome = advcomp_core::dist::run_local(matrix, &opts.scale, &cfg, workers)?;
+        let r = &outcome.report;
+        println!(
+            "dist: {workers} worker(s) — remote {}, solo {}, leases {} \
+             (expired {}, redispatched {}, speculative {}), workers lost {}",
+            r.computed_remote,
+            r.computed_solo,
+            r.leases_granted,
+            r.leases_expired,
+            r.redispatches,
+            r.speculative,
+            r.workers_lost
+        );
+        outcome.run
+    } else {
+        let cfg = RunConfig {
+            seed: 7,
+            run_dir: opts.run_dir.clone(),
+            retry: RetryPolicy::sweep_default(),
+        };
+        matrix.run_resilient(&opts.scale, &cfg)?
     };
-    let run = matrix.run_resilient(&opts.scale, &cfg)?;
     if opts.run_dir.is_some() {
         println!(
             "journal: resumed {} point(s), computed {}",

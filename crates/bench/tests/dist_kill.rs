@@ -1,0 +1,127 @@
+//! Worker-kill recovery: SIGKILLs a real worker *process* mid-point and
+//! proves the coordinator recovers — the lease is released, the point
+//! re-dispatched to a fresh worker, the journal stays exactly-once, and the
+//! final curves are bit-identical to a single-process run.
+//!
+//! This is the process-granularity complement to the in-process fault
+//! tests in `advcomp-testkit` (`tests/dist_resilience.rs`): nothing of the
+//! victim survives — no `Drop`, no unwinding, no flushed buffers — so the
+//! only recovery signal is the kernel closing its socket.
+
+use advcomp_attacks::{AttackKind, NetKind};
+use advcomp_core::dist::{Coordinator, DistRunConfig};
+use advcomp_core::resilience::RetryPolicy;
+use advcomp_core::sweep::{RunConfig, TransferMatrix};
+use advcomp_core::ExperimentScale;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn spawn_worker(addr: &str, id: &str, slow_ms: u64) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_dist_sweep"))
+        .args([
+            "worker",
+            "--addr",
+            addr,
+            "--id",
+            id,
+            "--scale",
+            "tiny",
+            "--net",
+            "lenet5",
+            "--attacks",
+            "ifgsm",
+            "--densities",
+            "1.0,0.3",
+            "--slow-ms",
+            &slow_ms.to_string(),
+            "--heartbeat-ms",
+            "100",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dist_sweep worker")
+}
+
+#[test]
+fn sigkilled_worker_costs_only_its_lease() {
+    // Stock tiny scale: the point keys hash the full scale, so the in-test
+    // coordinator must prepare with exactly what `--scale tiny` gives the
+    // spawned worker processes.
+    let scale = ExperimentScale::tiny();
+    let matrix = TransferMatrix::pruning(NetKind::LeNet5, vec![AttackKind::Ifgsm], &[1.0, 0.3]);
+
+    let reference = matrix
+        .run_resilient(
+            &scale,
+            &RunConfig {
+                seed: 7,
+                run_dir: None,
+                retry: RetryPolicy::sweep_default(),
+            },
+        )
+        .unwrap();
+
+    let run_dir = std::env::temp_dir().join(format!("advcomp-dist-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&run_dir);
+    let mut cfg = DistRunConfig::new(run_dir.clone());
+    // Long solo grace: the coordinator must wait for the replacement
+    // worker, not absorb the kill by computing the sweep itself.
+    cfg.dist.solo_grace_ms = 60_000;
+    cfg.dist.lease_ms = 1000;
+
+    let prepared = Arc::new(matrix.prepare(&scale, cfg.seed).unwrap());
+    let coordinator = Coordinator::bind(&cfg.listen, Arc::clone(&prepared), &cfg).unwrap();
+    let addr = coordinator.addr().to_string();
+    let handle = coordinator.handle();
+    let coord = std::thread::spawn(move || coordinator.run());
+
+    // The victim stalls each point for 30 s — far beyond the test horizon —
+    // so it is guaranteed to die holding its lease, mid-compute.
+    let mut victim = spawn_worker(&addr, "victim", 30_000);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while handle.report().leases_granted == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "victim never got a lease: {:?}",
+            handle.report()
+        );
+        assert!(
+            victim.try_wait().expect("try_wait").is_none(),
+            "victim exited before being killed"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    victim.kill().expect("SIGKILL victim");
+    victim.wait().expect("reap victim");
+
+    // The replacement finishes the sweep, including the victim's point.
+    let mut replacement = spawn_worker(&addr, "replacement", 0);
+    let outcome = coord.join().expect("coordinator thread").unwrap();
+    let _ = replacement.wait();
+
+    let report = &outcome.report;
+    assert!(report.workers_lost >= 1, "{report:?}");
+    assert!(
+        report.redispatches >= 1,
+        "the victim's point must be re-dispatched: {report:?}"
+    );
+    assert_eq!(report.computed_remote, 2, "{report:?}");
+    assert_eq!(report.divergent, 0, "{report:?}");
+    assert_eq!(outcome.run.computed, 2);
+    assert!(outcome.run.failed.is_empty(), "{:?}", outcome.run.failed);
+
+    // Exactly-once journal, bit-identical curves.
+    let journal_files = std::fs::read_dir(run_dir.join("points"))
+        .unwrap()
+        .filter_map(Result::ok)
+        .count();
+    assert_eq!(journal_files, 2);
+    assert_eq!(
+        serde_json::to_string(&outcome.run.results).unwrap(),
+        serde_json::to_string(&reference.results).unwrap(),
+        "recovered distributed curves must be byte-equal to the single-process run"
+    );
+    let _ = std::fs::remove_dir_all(&run_dir);
+}

@@ -21,13 +21,23 @@
 //!   stale temp file, never a truncated entry that would poison resume.
 //!
 //! The workspace's `serde` is stubbed in offline containers (serialize
-//! only), so the reader is a small hand-rolled JSON parser specialised to
-//! this format.
+//! only), so the reader is the crate's hand-rolled JSON parser
+//! ([`crate::minijson`]) specialised to keep numbers as raw tokens.
+//!
+//! Besides the per-point files, a run directory carries an append-only
+//! [`EventLog`] (`events.log`, one JSON object per line) used by the
+//! distributed coordinator to record lifecycle events and restore its
+//! counters across a crash. Unlike point files, event appends are *not*
+//! atomic — a crash mid-append leaves a torn final line, which
+//! [`EventLog::open`] tolerates by design (skip + warn + truncate) rather
+//! than failing the whole resume.
 
+use crate::minijson::{self as mini, quote};
 use crate::scale::ExperimentScale;
 use crate::{CoreError, Result};
 use std::fmt::Write as _;
 use std::fs;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Content-hash key for one sweep point: 16 hex digits of FNV-1a 64 over a
@@ -49,7 +59,7 @@ pub fn point_key(
     format!("{:016x}", fnv1a64(&canonical))
 }
 
-fn fnv1a64(s: &str) -> u64 {
+pub(crate) fn fnv1a64(s: &str) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in s.as_bytes() {
         hash ^= u64::from(b);
@@ -208,26 +218,6 @@ impl PointRecord {
     }
 }
 
-fn quote(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 /// An on-disk journal: one file per completed sweep point under
 /// `<run_dir>/points/<key>.json`.
 #[derive(Debug, Clone)]
@@ -296,215 +286,161 @@ impl Journal {
     }
 }
 
-/// Trimmed JSON reader for journal entries (see module docs for why this is
-/// hand-rolled): numbers are kept as raw tokens so `f64` decoding re-parses
-/// the exact text the writer produced.
-mod mini {
-    /// A parsed JSON value; numbers stay raw tokens.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        Null,
-        Bool(bool),
-        Num(String),
-        Str(String),
-        Arr(Vec<Value>),
-        Obj(Vec<(String, Value)>),
+/// One entry in a run's append-only event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Monotonic sequence number (restart-safe: continues from the last
+    /// persisted record).
+    pub seq: u64,
+    /// Event kind, e.g. `lease_expired`, `redispatch`, `worker_lost`.
+    pub kind: String,
+    /// Sweep-point key the event concerns (empty for run-level events).
+    pub key: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+impl EventRecord {
+    fn to_line(&self) -> String {
+        format!(
+            "{{\"seq\": {}, \"kind\": {}, \"key\": {}, \"detail\": {}}}\n",
+            self.seq,
+            quote(&self.kind),
+            quote(&self.key),
+            quote(&self.detail)
+        )
     }
 
-    impl Value {
-        pub fn get(&self, key: &str) -> Option<&Value> {
-            match self {
-                Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Value::Num(tok) => tok.parse().ok(),
-                _ => None,
-            }
-        }
-
-        pub fn as_u64(&self) -> Option<u64> {
-            match self {
-                Value::Num(tok) => tok.parse().ok(),
-                _ => None,
-            }
-        }
-
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Value::Str(s) => Some(s.as_str()),
-                _ => None,
-            }
-        }
-
-        pub fn as_arr(&self) -> Option<&[Value]> {
-            match self {
-                Value::Arr(items) => Some(items.as_slice()),
-                _ => None,
-            }
-        }
+    fn from_line(line: &str) -> std::result::Result<EventRecord, String> {
+        let doc = mini::parse(line)?;
+        let s = |k: &str| {
+            doc.get(k)
+                .and_then(mini::Value::as_str)
+                .map(String::from)
+                .ok_or_else(|| format!("missing/malformed field '{k}'"))
+        };
+        Ok(EventRecord {
+            seq: doc
+                .get("seq")
+                .and_then(mini::Value::as_u64)
+                .ok_or("missing/malformed field 'seq'")?,
+            kind: s("kind")?,
+            key: s("key")?,
+            detail: s("detail")?,
+        })
     }
+}
 
-    pub fn parse(input: &str) -> Result<Value, String> {
-        let bytes = input.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing data at byte {pos}"));
-        }
-        Ok(value)
-    }
+/// Append-only JSONL event log at `<run_dir>/events.log`.
+///
+/// Appends are a single `write_all` + flush, **not** atomic-rename — an
+/// event log is written far too often for a tmp+rename per record, and
+/// unlike point records a lost event only costs counter accuracy, never
+/// result correctness. The recovery contract is therefore asymmetric:
+///
+/// * a **torn final line** (crash mid-append) is expected damage — it is
+///   skipped with a warning and truncated away so the next append starts at
+///   a clean line boundary;
+/// * a **malformed line followed by more data** cannot be produced by a
+///   crashed appender and is treated as real corruption
+///   ([`CoreError::Journal`]).
+#[derive(Debug)]
+pub struct EventLog {
+    path: PathBuf,
+    next_seq: u64,
+}
 
-    fn skip_ws(bytes: &[u8], pos: &mut usize) {
-        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        }
-    }
-
-    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-        if bytes.get(*pos) == Some(&c) {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", c as char, *pos))
-        }
-    }
-
-    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            None => Err("unexpected end of input".into()),
-            Some(b'{') => parse_object(bytes, pos),
-            Some(b'[') => parse_array(bytes, pos),
-            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
-            Some(b't') => keyword(bytes, pos, "true", Value::Bool(true)),
-            Some(b'f') => keyword(bytes, pos, "false", Value::Bool(false)),
-            Some(b'n') => keyword(bytes, pos, "null", Value::Null),
-            Some(_) => parse_number(bytes, pos),
-        }
-    }
-
-    fn keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Value) -> Result<Value, String> {
-        if bytes[*pos..].starts_with(word.as_bytes()) {
-            *pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("expected '{word}' at byte {}", *pos))
-        }
-    }
-
-    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        let start = *pos;
-        if bytes.get(*pos) == Some(&b'-') {
-            *pos += 1;
-        }
-        while *pos < bytes.len()
-            && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        {
-            *pos += 1;
-        }
-        let token = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| "bad utf8".to_string())?;
-        token
-            .parse::<f64>()
-            .map_err(|_| format!("malformed number at byte {start}"))?;
-        Ok(Value::Num(token.to_string()))
-    }
-
-    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-        expect(bytes, pos, b'"')?;
-        let mut out = String::new();
-        loop {
-            match bytes.get(*pos) {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    *pos += 1;
-                    return Ok(out);
+impl EventLog {
+    /// Opens (creating if needed) `<run_dir>/events.log`, replaying what
+    /// survives. Returns the log handle, the intact records in file order,
+    /// and human-readable warnings for anything skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] on filesystem failures and
+    /// [`CoreError::Journal`] on mid-file corruption (see type docs).
+    pub fn open(run_dir: &Path) -> Result<(EventLog, Vec<EventRecord>, Vec<String>)> {
+        fs::create_dir_all(run_dir)?;
+        let path = run_dir.join("events.log");
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(CoreError::Io(e)),
+        };
+        let mut records = Vec::new();
+        let mut warnings = Vec::new();
+        let mut good_len = 0usize; // bytes covered by intact, newline-terminated lines
+        let mut offset = 0usize;
+        while offset < bytes.len() {
+            let nl = bytes[offset..].iter().position(|&b| b == b'\n');
+            let (line_end, terminated) = match nl {
+                Some(i) => (offset + i, true),
+                None => (bytes.len(), false),
+            };
+            let raw = &bytes[offset..line_end];
+            let parsed = std::str::from_utf8(raw)
+                .map_err(|e| e.to_string())
+                .and_then(|text| EventRecord::from_line(text.trim_end_matches('\r')));
+            match parsed {
+                Ok(rec) if terminated => {
+                    records.push(rec);
+                    good_len = line_end + 1;
                 }
-                Some(b'\\') => {
-                    *pos += 1;
-                    match bytes.get(*pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = bytes
-                                .get(*pos + 1..*pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("truncated \\u escape")?;
-                            let code =
-                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                            out.push(char::from_u32(code).ok_or("bad codepoint")?);
-                            *pos += 4;
-                        }
-                        _ => return Err("bad escape".into()),
-                    }
-                    *pos += 1;
+                _ if !terminated => {
+                    // Crash mid-append: the final line is missing its
+                    // newline (and usually malformed too). Expected damage.
+                    warnings.push(format!(
+                        "{}: dropped torn final record ({} bytes) left by an \
+                         interrupted append",
+                        path.display(),
+                        raw.len()
+                    ));
                 }
-                Some(_) => {
-                    let rest =
-                        std::str::from_utf8(&bytes[*pos..]).map_err(|_| "bad utf8".to_string())?;
-                    let c = rest.chars().next().expect("non-empty by construction");
-                    out.push(c);
-                    *pos += c.len_utf8();
+                Err(e) => {
+                    return Err(CoreError::Journal(format!(
+                        "{}: corrupt event record at byte {offset}: {e}",
+                        path.display()
+                    )));
+                }
+                Ok(_) => {
+                    // A parseable but unterminated line is still torn — the
+                    // newline is part of the commit. Handled above; this arm
+                    // is unreachable because `!terminated` matched first.
+                    unreachable!("unterminated lines are handled before parse inspection")
                 }
             }
+            offset = line_end + 1;
         }
+        if good_len < bytes.len() {
+            // Truncate the torn tail so the next append starts on a clean
+            // line boundary instead of gluing onto the fragment.
+            let file = fs::OpenOptions::new().write(true).open(&path)?;
+            file.set_len(good_len as u64)?;
+        }
+        let next_seq = records.last().map_or(0, |r| r.seq + 1);
+        Ok((EventLog { path, next_seq }, records, warnings))
     }
 
-    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(bytes, pos, b'[')?;
-        let mut items = Vec::new();
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(parse_value(bytes, pos)?);
-            skip_ws(bytes, pos);
-            match bytes.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
-            }
-        }
-    }
-
-    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(bytes, pos, b'{')?;
-        let mut pairs = Vec::new();
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Ok(Value::Obj(pairs));
-        }
-        loop {
-            skip_ws(bytes, pos);
-            let key = parse_string(bytes, pos)?;
-            skip_ws(bytes, pos);
-            expect(bytes, pos, b':')?;
-            let value = parse_value(bytes, pos)?;
-            pairs.push((key, value));
-            skip_ws(bytes, pos);
-            match bytes.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(Value::Obj(pairs));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
-            }
-        }
+    /// Appends one event and returns its sequence number.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Io`] on write failure.
+    pub fn append(&mut self, kind: &str, key: &str, detail: &str) -> Result<u64> {
+        let rec = EventRecord {
+            seq: self.next_seq,
+            kind: kind.to_string(),
+            key: key.to_string(),
+            detail: detail.to_string(),
+        };
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(rec.to_line().as_bytes())?;
+        file.flush()?;
+        self.next_seq += 1;
+        Ok(rec.seq)
     }
 }
 
@@ -619,6 +555,86 @@ mod tests {
         assert_eq!(journal.load(&sample_ok().key).unwrap(), None);
         // Next attempt succeeds (fault was one-shot) — the retry story.
         journal.store(&sample_ok()).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn event_log_round_trips_and_numbers_sequences() {
+        let dir = tmp_dir("events");
+        let (mut log, initial, warnings) = EventLog::open(&dir).unwrap();
+        assert!(initial.is_empty() && warnings.is_empty());
+        assert_eq!(log.append("lease_granted", "k1", "worker w0").unwrap(), 0);
+        assert_eq!(log.append("redispatch", "k1", "lease expired").unwrap(), 1);
+        drop(log);
+        let (mut log, records, warnings) = EventLog::open(&dir).unwrap();
+        assert!(warnings.is_empty());
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].kind, "lease_granted");
+        assert_eq!(records[1].seq, 1);
+        // Sequence numbering continues across reopen.
+        assert_eq!(log.append("done", "", "").unwrap(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_event_line_is_skipped_at_every_truncation_offset() {
+        // Crash-mid-append regression: whatever byte the append died at,
+        // resume must (a) keep every fully committed record, (b) warn about
+        // a fragment rather than fail, and (c) leave the file appendable.
+        let dir = tmp_dir("torn");
+        let (mut log, _, _) = EventLog::open(&dir).unwrap();
+        for i in 0..3u64 {
+            log.append("evt", &format!("k{i}"), "detail \"quoted\"")
+                .unwrap();
+        }
+        drop(log);
+        let path = dir.join("events.log");
+        let full = fs::read(&path).unwrap();
+        let line_ends: Vec<usize> = full
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .map(|(i, _)| i + 1)
+            .collect();
+        assert_eq!(line_ends.len(), 3);
+        for cut in 0..=full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let (mut log, records, warnings) =
+                EventLog::open(&dir).unwrap_or_else(|e| panic!("cut at byte {cut}: {e}"));
+            let committed = line_ends.iter().filter(|&&e| e <= cut).count();
+            assert_eq!(records.len(), committed, "cut at byte {cut}");
+            let has_fragment =
+                line_ends.iter().rfind(|&&e| e <= cut).copied() != Some(cut) && cut > 0;
+            assert_eq!(
+                warnings.len(),
+                usize::from(has_fragment),
+                "cut at byte {cut}"
+            );
+            // The torn tail was truncated away; appending resumes cleanly
+            // with the next sequence number.
+            let seq = log.append("resumed", "", "").unwrap();
+            assert_eq!(seq as usize, committed, "cut at byte {cut}");
+            let (_, after, warnings) = EventLog::open(&dir).unwrap();
+            assert!(warnings.is_empty(), "cut at byte {cut}: {warnings:?}");
+            assert_eq!(after.len(), committed + 1, "cut at byte {cut}");
+            assert_eq!(after.last().unwrap().kind, "resumed");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mid_file_event_corruption_is_an_error() {
+        let dir = tmp_dir("midcorrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("events.log"),
+            "{\"seq\": 0, \"kind\": \"a\", \"key\": \"\", \"detail\": \"\"}\n\
+             garbage that is not a record\n\
+             {\"seq\": 2, \"kind\": \"c\", \"key\": \"\", \"detail\": \"\"}\n",
+        )
+        .unwrap();
+        let err = EventLog::open(&dir).unwrap_err();
+        assert!(matches!(err, CoreError::Journal(_)), "{err:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 

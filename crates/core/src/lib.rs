@@ -24,8 +24,10 @@ pub mod advtrain;
 pub mod blackbox;
 pub mod cdf;
 mod compression;
+pub mod dist;
 mod error;
 pub mod journal;
+mod minijson;
 pub mod plot;
 pub mod report;
 pub mod resilience;

@@ -185,6 +185,66 @@ impl TransferMatrix {
         Ok(run.results)
     }
 
+    /// Trains the baseline and precomputes everything point execution
+    /// needs: per-attack evaluation sets, baseline-generated adversarial
+    /// samples (Scenario 2 inputs) and per-point journal keys. The result
+    /// is self-contained and `Sync`, so one [`PreparedMatrix`] can be
+    /// shared (e.g. behind an `Arc`) by local workers, the distributed
+    /// coordinator and its in-process workers alike.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty attack/recipe lists; propagates baseline-training,
+    /// data and attack errors.
+    pub fn prepare(&self, scale: &ExperimentScale, seed: u64) -> Result<PreparedMatrix> {
+        if self.recipes.is_empty() {
+            return Err(CoreError::InvalidConfig("sweep has no recipes".into()));
+        }
+        if self.attacks.is_empty() {
+            return Err(CoreError::InvalidConfig("sweep has no attacks".into()));
+        }
+        let setup = TaskSetup::new(self.net, scale);
+        let baseline = TrainedModel::train(&setup, scale, seed)?;
+        let finetune_cfg = setup.finetune_config(scale);
+
+        // Per-attack evaluation sets and baseline-generated adversarial
+        // samples — these do not depend on the recipe, so compute them once.
+        let mut eval_sets: Vec<(Tensor, Vec<usize>)> = Vec::new();
+        let mut adv_from_full: Vec<Tensor> = Vec::new();
+        {
+            let mut full = baseline.instantiate()?;
+            for &kind in &self.attacks {
+                let n = eval_count(kind, scale, setup.test.len());
+                let (x, y) = setup.test.slice(0, n)?;
+                let attack = PaperParams::build_adapted(self.net, kind);
+                let adv = attack.generate(&mut full, &x, &y)?;
+                eval_sets.push((x, y));
+                adv_from_full.push(adv);
+            }
+        }
+
+        let attack_ids: Vec<&str> = self.attacks.iter().map(|k| k.id()).collect();
+        let keys: Vec<String> = self
+            .recipes
+            .iter()
+            .map(|(x, recipe)| point_key(self.net.id(), &attack_ids, *x, &recipe.id(), seed, scale))
+            .collect();
+
+        Ok(PreparedMatrix {
+            net: self.net,
+            attacks: self.attacks.clone(),
+            recipes: self.recipes.clone(),
+            scale: *scale,
+            seed,
+            setup,
+            baseline,
+            finetune_cfg,
+            eval_sets,
+            adv_from_full,
+            keys,
+        })
+    }
+
     /// Runs the matrix under the full resilience stack: supervised workers
     /// (panic isolation + [`RetryPolicy`] retries), per-point numerical
     /// health capture, and — when [`RunConfig::run_dir`] is set — a
@@ -206,64 +266,22 @@ impl TransferMatrix {
         if self.attacks.is_empty() {
             return Err(CoreError::InvalidConfig("sweep has no attacks".into()));
         }
+        // Open the journal before training: a bad run_dir should surface
+        // before the expensive part, not after.
         let journal = match &cfg.run_dir {
             Some(dir) => Some(Journal::open(dir)?),
             None => None,
         };
-        let setup = TaskSetup::new(self.net, scale);
-        let baseline = TrainedModel::train(&setup, scale, cfg.seed)?;
-        let finetune_cfg = setup.finetune_config(scale);
-        let mut health_log: Vec<String> = baseline
-            .health
-            .events
-            .iter()
-            .map(|e| format!("baseline: {e}"))
-            .collect();
-
-        // Per-attack evaluation sets and baseline-generated adversarial
-        // samples (Scenario 2 inputs) — these do not depend on the recipe,
-        // so compute them once.
-        let mut eval_sets: Vec<(Tensor, Vec<usize>)> = Vec::new();
-        let mut adv_from_full: Vec<Tensor> = Vec::new();
-        {
-            let mut full = baseline.instantiate()?;
-            for &kind in &self.attacks {
-                let n = eval_count(kind, scale, setup.test.len());
-                let (x, y) = setup.test.slice(0, n)?;
-                let attack = PaperParams::build_adapted(self.net, kind);
-                let adv = attack.generate(&mut full, &x, &y)?;
-                eval_sets.push((x, y));
-                adv_from_full.push(adv);
-            }
-        }
-
-        let attack_ids: Vec<&str> = self.attacks.iter().map(|k| k.id()).collect();
-        let keys: Vec<String> = self
-            .recipes
-            .iter()
-            .map(|(x, recipe)| {
-                point_key(
-                    self.net.id(),
-                    &attack_ids,
-                    *x,
-                    &recipe.id(),
-                    cfg.seed,
-                    scale,
-                )
-            })
-            .collect();
+        let prepared = self.prepare(scale, cfg.seed)?;
+        let mut health_log = prepared.baseline_health();
 
         // One slot per recipe, filled either from the journal or by compute.
         let mut slots: Vec<Option<PointRecord>> = (0..self.recipes.len()).map(|_| None).collect();
         let mut resumed = 0usize;
         if let Some(j) = &journal {
-            for (i, key) in keys.iter().enumerate() {
+            for (i, key) in prepared.keys().iter().enumerate() {
                 if let Some(rec) = j.load(key)? {
-                    // Only completed points resume; recorded failures are
-                    // retried (a re-run is usually an attempt to get past a
-                    // transient cause). The scenario-arity check guards
-                    // against hand-edited entries.
-                    if rec.status == PointStatus::Ok && rec.scenarios.len() == self.attacks.len() {
+                    if prepared.resumable(&rec) {
                         slots[i] = Some(rec);
                         resumed += 1;
                     }
@@ -277,46 +295,8 @@ impl TransferMatrix {
         let jobs: Vec<_> = pending
             .iter()
             .map(|&i| {
-                let recipe = self.recipes[i].1;
-                let setup = &setup;
-                let baseline = &baseline;
-                let finetune_cfg = &finetune_cfg;
-                let eval_sets = &eval_sets;
-                let adv_from_full = &adv_from_full;
-                let net = self.net;
-                let attacks = &self.attacks;
-                move || -> Result<(RecipeOutcome, Vec<String>)> {
-                    // The `sweep_point` fault site counts *invocations*, so a
-                    // retried point advances the hit counter on each attempt.
-                    match faults::fire("sweep_point") {
-                        Some(faults::FaultKind::Panic) => {
-                            panic!("injected fault: panic at site 'sweep_point'")
-                        }
-                        Some(faults::FaultKind::Error) => {
-                            return Err(CoreError::Job(
-                                "injected fault: error at site 'sweep_point'".into(),
-                            ))
-                        }
-                        _ => {}
-                    }
-                    let (result, events) = health::scope(|| {
-                        compute_point(
-                            recipe,
-                            net,
-                            setup,
-                            baseline,
-                            finetune_cfg,
-                            attacks,
-                            eval_sets,
-                            adv_from_full,
-                        )
-                    });
-                    let outcome = result?;
-                    Ok((
-                        outcome,
-                        events.iter().map(health::HealthEvent::describe).collect(),
-                    ))
-                }
+                let prepared = &prepared;
+                move || prepared.run_point(i)
             })
             .collect();
 
@@ -325,37 +305,17 @@ impl TransferMatrix {
         let mut failed = Vec::new();
         let computed = pending.len();
         for (&i, outcome) in pending.iter().zip(outcomes) {
-            let (x, recipe) = &self.recipes[i];
             let record = match outcome {
-                Ok(((out, events), attempts)) => PointRecord {
-                    key: keys[i].clone(),
-                    x: *x,
-                    compression: recipe.id(),
-                    status: PointStatus::Ok,
-                    attempts,
-                    base_accuracy: out.base_accuracy,
-                    scenarios: out.scenarios,
-                    health: events,
-                    error: None,
-                },
+                Ok((out, attempts)) => prepared.record_ok(i, out, attempts),
                 Err(f) => {
+                    let (x, compression) = prepared.coordinate(i);
                     failed.push(PointFailure {
-                        x: *x,
-                        compression: recipe.id(),
+                        x,
+                        compression,
                         error: f.error.clone(),
                         attempts: f.attempts,
                     });
-                    PointRecord {
-                        key: keys[i].clone(),
-                        x: *x,
-                        compression: recipe.id(),
-                        status: PointStatus::Failed,
-                        attempts: f.attempts,
-                        base_accuracy: 0.0,
-                        scenarios: Vec::new(),
-                        health: Vec::new(),
-                        error: Some(f.error),
-                    }
+                    prepared.record_failed(i, f.error, f.attempts)
                 }
             };
             if let Some(j) = &journal {
@@ -363,14 +323,200 @@ impl TransferMatrix {
                 // degrade to "won't resume next time" and note it.
                 if let Err(e) = j.store(&record) {
                     health_log.push(format!(
-                        "journal: failed to persist point x={x} ({}): {e}",
-                        record.compression
+                        "journal: failed to persist point x={} ({}): {e}",
+                        record.x, record.compression
                     ));
                 }
             }
             slots[i] = Some(record);
         }
 
+        Ok(prepared.assemble(slots, resumed, computed, failed, health_log))
+    }
+}
+
+/// A [`TransferMatrix`] with its baseline trained and all per-point inputs
+/// precomputed — the shared, immutable substrate every execution mode
+/// (in-process supervised workers, the distributed coordinator, remote
+/// workers) runs points against. Self-contained and `Sync`; clone-free
+/// sharing via `Arc`.
+///
+/// Determinism contract: two `PreparedMatrix` values built from the same
+/// matrix, scale and seed produce bit-identical [`PointRecord`]s for the
+/// same point index — this is what lets a re-dispatched or remotely
+/// computed point splice into the journal exactly as if it had been
+/// computed locally.
+#[derive(Debug)]
+pub struct PreparedMatrix {
+    net: NetKind,
+    attacks: Vec<AttackKind>,
+    recipes: Vec<(f64, Compression)>,
+    scale: ExperimentScale,
+    seed: u64,
+    setup: TaskSetup,
+    baseline: TrainedModel,
+    finetune_cfg: TrainConfig,
+    eval_sets: Vec<(Tensor, Vec<usize>)>,
+    adv_from_full: Vec<Tensor>,
+    keys: Vec<String>,
+}
+
+/// The computed numbers (plus health events) of one sweep point, before
+/// they are folded into a [`PointRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointOutcome {
+    /// Clean test accuracy of the compressed model.
+    pub base_accuracy: f64,
+    /// One `(comp→comp, full→comp, comp→full)` triple per attack.
+    pub scenarios: Vec<(f64, f64, f64)>,
+    /// Numerical-health incidents captured while computing the point.
+    pub health: Vec<String>,
+}
+
+impl PreparedMatrix {
+    /// Number of sweep points (recipes).
+    pub fn num_points(&self) -> usize {
+        self.recipes.len()
+    }
+
+    /// Per-point journal keys, in recipe order.
+    pub fn keys(&self) -> &[String] {
+        &self.keys
+    }
+
+    /// `(x coordinate, recipe id)` of point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn coordinate(&self, i: usize) -> (f64, String) {
+        let (x, recipe) = &self.recipes[i];
+        (*x, recipe.id())
+    }
+
+    /// 16-hex-digit hash over the full point-key list — a cheap handshake
+    /// token two processes can compare to prove they were built from the
+    /// same matrix, scale and seed before exchanging results.
+    pub fn config_hash(&self) -> String {
+        format!("{:016x}", crate::journal::fnv1a64(&self.keys.join("|")))
+    }
+
+    /// Whether `rec` is a completed point this matrix can resume from.
+    /// Only `Ok` records resume; recorded failures are retried (a re-run is
+    /// usually an attempt to get past a transient cause). The
+    /// scenario-arity check guards against hand-edited entries.
+    pub fn resumable(&self, rec: &PointRecord) -> bool {
+        rec.status == PointStatus::Ok && rec.scenarios.len() == self.attacks.len()
+    }
+
+    /// Baseline-training health events, formatted for [`MatrixRun::health`].
+    pub fn baseline_health(&self) -> Vec<String> {
+        self.baseline
+            .health
+            .events
+            .iter()
+            .map(|e| format!("baseline: {e}"))
+            .collect()
+    }
+
+    /// Executes point `i`: the train→compress→attack pipeline under a
+    /// numerical-health scope, with the `sweep_point` fault site fired
+    /// first. The fault site counts *invocations*, so a retried point
+    /// advances the hit counter on each attempt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compression/attack/eval errors (and injected `error`
+    /// faults); injected `panic` faults panic, which supervised execution
+    /// ([`run_supervised`]) converts into a retryable failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn run_point(&self, i: usize) -> Result<PointOutcome> {
+        match faults::fire("sweep_point") {
+            Some(faults::FaultKind::Panic) => {
+                panic!("injected fault: panic at site 'sweep_point'")
+            }
+            Some(faults::FaultKind::Error) => {
+                return Err(CoreError::Job(
+                    "injected fault: error at site 'sweep_point'".into(),
+                ))
+            }
+            _ => {}
+        }
+        let (result, events) = health::scope(|| {
+            compute_point(
+                self.recipes[i].1,
+                self.net,
+                &self.setup,
+                &self.baseline,
+                &self.finetune_cfg,
+                &self.attacks,
+                &self.eval_sets,
+                &self.adv_from_full,
+            )
+        });
+        let outcome = result?;
+        Ok(PointOutcome {
+            base_accuracy: outcome.base_accuracy,
+            scenarios: outcome.scenarios,
+            health: events.iter().map(health::HealthEvent::describe).collect(),
+        })
+    }
+
+    /// Folds a successful [`PointOutcome`] for point `i` into its
+    /// journal-ready [`PointRecord`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn record_ok(&self, i: usize, outcome: PointOutcome, attempts: u32) -> PointRecord {
+        let (x, compression) = self.coordinate(i);
+        PointRecord {
+            key: self.keys[i].clone(),
+            x,
+            compression,
+            status: PointStatus::Ok,
+            attempts,
+            base_accuracy: outcome.base_accuracy,
+            scenarios: outcome.scenarios,
+            health: outcome.health,
+            error: None,
+        }
+    }
+
+    /// Builds the permanent-failure [`PointRecord`] for point `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn record_failed(&self, i: usize, error: String, attempts: u32) -> PointRecord {
+        let (x, compression) = self.coordinate(i);
+        PointRecord {
+            key: self.keys[i].clone(),
+            x,
+            compression,
+            status: PointStatus::Failed,
+            attempts,
+            base_accuracy: 0.0,
+            scenarios: Vec::new(),
+            health: Vec::new(),
+            error: Some(error),
+        }
+    }
+
+    /// Assembles the final [`MatrixRun`] from filled point slots: appends
+    /// each record's health incidents to `health_log` and projects the `Ok`
+    /// records (in recipe order) onto one [`SweepResult`] per attack.
+    pub fn assemble(
+        &self,
+        slots: Vec<Option<PointRecord>>,
+        resumed: usize,
+        computed: usize,
+        failed: Vec<PointFailure>,
+        mut health_log: Vec<String>,
+    ) -> MatrixRun {
         for rec in slots.iter().flatten() {
             for h in &rec.health {
                 health_log.push(format!("point x={} ({}): {h}", rec.x, rec.compression));
@@ -389,8 +535,8 @@ impl TransferMatrix {
             .map(|(ai, &kind)| SweepResult {
                 net: self.net.id().into(),
                 attack: kind.id().into(),
-                baseline_accuracy: baseline.test_accuracy,
-                baseline_loss: baseline.final_loss,
+                baseline_accuracy: self.baseline.test_accuracy,
+                baseline_loss: self.baseline.final_loss,
                 points: completed
                     .iter()
                     .map(|r| {
@@ -407,13 +553,23 @@ impl TransferMatrix {
                     .collect(),
             })
             .collect();
-        Ok(MatrixRun {
+        MatrixRun {
             results,
             resumed,
             computed,
             failed,
             health: health_log,
-        })
+        }
+    }
+
+    /// The experiment scale this matrix was prepared at.
+    pub fn scale(&self) -> &ExperimentScale {
+        &self.scale
+    }
+
+    /// The baseline-training seed this matrix was prepared with.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 }
 
@@ -453,7 +609,7 @@ pub struct PointFailure {
 
 /// Outcome of a resilient matrix run: the curves plus the run's
 /// resilience bookkeeping.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct MatrixRun {
     /// One [`SweepResult`] per attack; failed points are omitted from the
     /// curves (see [`MatrixRun::failed`]).

@@ -32,11 +32,12 @@
 
 use crate::json::{Json, JsonObj};
 use crate::{Prediction, ServeError};
-use std::io::{Read, Write};
 
-/// Maximum frame payload size (16 MiB) — large enough for any realistic
-/// batch-of-one image, small enough to bound per-connection memory.
-pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+// The framing itself (u32 LE length + payload, 16 MiB cap) lives in the
+// shared `advcomp-wire` crate so the sweep coordinator/worker protocol in
+// `advcomp-core` speaks byte-identical frames; re-exported here so serve
+// callers keep one import path.
+pub use advcomp_wire::{read_frame, write_frame, MAX_FRAME};
 
 /// Control commands carried by `"cmd"`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -198,89 +199,9 @@ pub fn error_response(id: &str, err: &ServeError) -> Json {
         .build()
 }
 
-/// Writes one frame.
-///
-/// # Errors
-///
-/// I/O errors; `InvalidInput` when the payload exceeds [`MAX_FRAME`].
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    if payload.len() > MAX_FRAME as usize {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidInput,
-            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
-        ));
-    }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
-}
-
-/// Reads one frame. Returns `Ok(None)` on clean EOF at a frame boundary.
-///
-/// # Errors
-///
-/// I/O errors; `InvalidData` for an oversized length header or truncation
-/// mid-frame.
-pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
-    let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_le_bytes(len_buf);
-    if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("announced frame of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})"),
-        ));
-    }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload).map_err(|e| {
-        if e.kind() == std::io::ErrorKind::UnexpectedEof {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, "truncated frame")
-        } else {
-            e
-        }
-    })?;
-    Ok(Some(payload))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn frame_roundtrip() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, b"hello").unwrap();
-        write_frame(&mut buf, b"").unwrap();
-        let mut r = &buf[..];
-        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
-        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
-        assert!(read_frame(&mut r).unwrap().is_none());
-    }
-
-    #[test]
-    fn oversized_header_is_rejected_without_allocation() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
-        assert_eq!(
-            read_frame(&mut &buf[..]).unwrap_err().kind(),
-            std::io::ErrorKind::InvalidData
-        );
-    }
-
-    #[test]
-    fn truncated_payload_is_invalid_data() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&10u32.to_le_bytes());
-        buf.extend_from_slice(b"abc"); // 3 of 10 promised bytes
-        assert_eq!(
-            read_frame(&mut &buf[..]).unwrap_err().kind(),
-            std::io::ErrorKind::InvalidData
-        );
-    }
 
     #[test]
     fn request_roundtrip() {

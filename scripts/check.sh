@@ -77,6 +77,26 @@ ADVCOMP_FAULTS="panic:sweep_point:1:sticky" \
     cargo run -q -p advcomp-bench --bin faultsmoke
 echo "fault smoke: partial-result recovery OK"
 
+# Distributed-sweep smoke: a 3-worker lease-coordinated sweep with a panic
+# injected into one worker's heartbeat path must re-dispatch the dead
+# worker's point (--expect-redispatch makes that an exit-code assertion)
+# and still produce curves byte-identical to a single-process baseline;
+# a re-run over the same journal must resume every point without
+# recomputing. See DESIGN.md "Distributed execution".
+cargo build -q -p advcomp-bench --bin dist_sweep
+dist_tmp="$(mktemp -d)"
+ADVCOMP_FAULTS="panic:dist_heartbeat:0" \
+    ./target/debug/dist_sweep --workers 3 --run-dir "$dist_tmp/run" \
+    --heartbeat-ms 50 --lease-ms 400 --slow-ms 300 \
+    --expect-redispatch --out "$dist_tmp/dist.json" >/dev/null
+./target/debug/dist_sweep --baseline --out "$dist_tmp/base.json" >/dev/null
+cmp "$dist_tmp/dist.json" "$dist_tmp/base.json"
+./target/debug/dist_sweep --workers 3 --run-dir "$dist_tmp/run" \
+    --expect-resumed-all --out "$dist_tmp/resume.json" >/dev/null
+cmp "$dist_tmp/resume.json" "$dist_tmp/base.json"
+rm -rf "$dist_tmp"
+echo "dist smoke: worker death re-dispatched; curves bit-identical; resume OK"
+
 # Serve smoke: a real TCP server on an ephemeral port driven with mixed
 # traffic — concurrent predictions, control commands, an oversized frame
 # header, malformed JSON — ending in a clean protocol-level shutdown, then

@@ -2,27 +2,50 @@
 # Regenerates every paper exhibit at the quick profile, logging to
 # results/logs/. Run from the repository root:
 #
-#   sh scripts/run_all_exhibits.sh [scale]
+#   sh scripts/run_all_exhibits.sh [scale] [--dist N]
 #
+# --dist N routes each sweep through the lease-based coordinator with N
+# local worker threads (same curves, bit-identical; see DESIGN.md
+# "Distributed execution").
 set -u
-SCALE="${1:-quick}"
+SCALE="quick"
+DIST=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --dist)
+            DIST="${2:?--dist needs a worker count}"
+            shift 2
+            ;;
+        *)
+            SCALE="$1"
+            shift
+            ;;
+    esac
+done
+EXTRA=""
+if [ -n "$DIST" ]; then
+    EXTRA="--dist $DIST"
+fi
 mkdir -p results/logs
 # Per-exhibit run directories: sweep exhibits journal each completed point
 # there, so re-running this script after an interruption resumes instead of
 # recomputing (delete the directory to force a fresh run).
 for exhibit in table1 fig2 fig3 fig4 fig5 fig6 crossseed; do
     echo "=== $exhibit ($SCALE) ==="
+    # shellcheck disable=SC2086 # EXTRA is deliberately word-split
     cargo run --release -p advcomp-bench --bin "$exhibit" -- --scale "$SCALE" \
-        --run-dir "results/runs/$exhibit-$SCALE" \
+        --run-dir "results/runs/$exhibit-$SCALE" $EXTRA \
         > "results/logs/$exhibit.log" 2>&1
     echo "exit=$? (log: results/logs/$exhibit.log)"
 done
 # Ablations called out in DESIGN.md.
+# shellcheck disable=SC2086
 cargo run --release -p advcomp-bench --bin fig2 -- --scale "$SCALE" --one-shot \
-    --run-dir "results/runs/fig2_oneshot-$SCALE" \
+    --run-dir "results/runs/fig2_oneshot-$SCALE" $EXTRA \
     > results/logs/fig2_oneshot.log 2>&1
 echo "fig2 --one-shot exit=$?"
+# shellcheck disable=SC2086
 cargo run --release -p advcomp-bench --bin fig5 -- --scale "$SCALE" --weights-only \
-    --run-dir "results/runs/fig5_weights_only-$SCALE" \
+    --run-dir "results/runs/fig5_weights_only-$SCALE" $EXTRA \
     > results/logs/fig5_weights_only.log 2>&1
 echo "fig5 --weights-only exit=$?"
