@@ -21,6 +21,10 @@
 //! implements the [`Attack`] trait so the transfer harness in
 //! `advcomp-core` treats them uniformly.
 //!
+//! Attack *evaluation* (transfer accuracy, black-box oracle queries) runs
+//! eval-only forwards through a compiled [`PlannedEval`] plan; gradient
+//! crafting stays on the `Sequential` forward/backward path.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -41,6 +45,7 @@ mod grad;
 mod iterative;
 mod params;
 mod pgd;
+mod planned;
 mod stats;
 pub mod step;
 
@@ -51,6 +56,7 @@ pub use grad::loss_input_grad;
 pub use iterative::{Ifgm, Ifgsm};
 pub use params::{AttackKind, AttackParams, NetKind, PaperParams};
 pub use pgd::Pgd;
+pub use planned::PlannedEval;
 pub use stats::PerturbationStats;
 
 use advcomp_nn::Sequential;

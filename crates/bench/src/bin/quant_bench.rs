@@ -6,7 +6,10 @@
 //! * the fused int8 GEMM (`qmatmul_f32`, Q8_0 and Q4_0 weights with
 //!   on-the-fly activation quantisation) vs the production dense f32 SIMD
 //!   GEMM at the 128×128 hot-path shape;
-//! * a full LeNet5 forward, dense vs frozen-packed at 8 and 4 bits;
+//! * a full LeNet5 forward, dense vs frozen-packed at 8 and 4 bits, plus
+//!   the same frozen forwards through a compiled `advcomp-graph`
+//!   `ExecPlan` (the Q4 row also documents the before/after of routing
+//!   Q4 through the plan's widened-code kernel — see `q4_fix_note`);
 //! * the compression-ensemble guard's per-batch cost: baseline + two dense
 //!   variants vs baseline + two packed variants (the serving engine's
 //!   `run_batch` shape);
@@ -24,6 +27,7 @@
 //! `scripts/check.sh` relies on, mirroring `kernel_bench --check-simd`.
 
 use advcomp_compress::Quantizer;
+use advcomp_graph::ExecPlan;
 use advcomp_models::{lenet5, Checkpoint};
 use advcomp_nn::{Mode, Sequential};
 use advcomp_qformat::QFormat;
@@ -51,6 +55,15 @@ struct ForwardSection {
     q4_frozen_ns: u64,
     q8_speedup: f64,
     q4_speedup: f64,
+    /// Frozen forwards through the compiled `ExecPlan` (advcomp-graph):
+    /// fused epilogues, static arena, and — for Q4 — weight nibbles
+    /// widened to Q8 byte layout once at compile time instead of being
+    /// re-unpacked in the GEMM inner loop on every call.
+    q8_planned_ns: u64,
+    q4_planned_ns: u64,
+    q8_planned_speedup: f64,
+    q4_planned_speedup: f64,
+    q4_fix_note: String,
 }
 
 #[derive(Serialize)]
@@ -182,6 +195,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q4_fwd_ns = median_ns(fwd_iters, || {
         black_box(frozen4.forward(&x, Mode::Eval).unwrap());
     });
+    // The compiled plans: the q4 plan is the before/after story — the
+    // layer path re-unpacks weight nibbles inside the GEMM inner loop
+    // (q4_frozen_ns barely beats dense), while the plan widens the codes
+    // to Q8 byte layout once at compile and runs the maddubs kernel.
+    let mut plan8 = ExecPlan::compile(&frozen8, &[1, 28, 28]).expect("q8 lenet5 compiles");
+    let mut plan4 = ExecPlan::compile(&frozen4, &[1, 28, 28]).expect("q4 lenet5 compiles");
+    plan8.reserve_batch(BATCH);
+    plan4.reserve_batch(BATCH);
+    let q8_plan_ns = median_ns(fwd_iters, || {
+        black_box(plan8.forward(&x).unwrap());
+    });
+    let q4_plan_ns = median_ns(fwd_iters, || {
+        black_box(plan4.forward(&x).unwrap());
+    });
     let forward = ForwardSection {
         model: "lenet5".into(),
         batch: BATCH,
@@ -190,11 +217,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         q4_frozen_ns: q4_fwd_ns,
         q8_speedup: dense_ns as f64 / q8_fwd_ns.max(1) as f64,
         q4_speedup: dense_ns as f64 / q4_fwd_ns.max(1) as f64,
+        q8_planned_ns: q8_plan_ns,
+        q4_planned_ns: q4_plan_ns,
+        q8_planned_speedup: dense_ns as f64 / q8_plan_ns.max(1) as f64,
+        q4_planned_speedup: dense_ns as f64 / q4_plan_ns.max(1) as f64,
+        q4_fix_note: format!(
+            "before: layer path unpacked Q4 nibbles per GEMM inner loop, {q4_fwd_ns} ns \
+             ({:.2}x vs dense); after: ExecPlan widens Q4 codes to Q8 bytes at compile \
+             (bit-identical sums), {q4_plan_ns} ns ({:.2}x vs dense)",
+            dense_ns as f64 / q4_fwd_ns.max(1) as f64,
+            dense_ns as f64 / q4_plan_ns.max(1) as f64,
+        ),
     };
     println!(
         "forward_lenet5_b{BATCH}: dense {dense_ns} ns  q8 {q8_fwd_ns} ns ({:.2}x)  \
-         q4 {q4_fwd_ns} ns ({:.2}x)",
-        forward.q8_speedup, forward.q4_speedup
+         q4 {q4_fwd_ns} ns ({:.2}x)  planned q8 {q8_plan_ns} ns ({:.2}x)  \
+         planned q4 {q4_plan_ns} ns ({:.2}x)",
+        forward.q8_speedup,
+        forward.q4_speedup,
+        forward.q8_planned_speedup,
+        forward.q4_planned_speedup
     );
 
     // --- Guard request cost: the engine's run_batch shape, baseline plus

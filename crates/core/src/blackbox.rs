@@ -9,8 +9,9 @@
 //! query the target for labels.
 
 use crate::{CoreError, Result};
+use advcomp_attacks::PlannedEval;
 use advcomp_data::Batches;
-use advcomp_nn::{accuracy, softmax_cross_entropy, LrSchedule, Mode, Sequential, Sgd, StepDecay};
+use advcomp_nn::{softmax_cross_entropy, LrSchedule, Mode, Sequential, Sgd, StepDecay};
 use advcomp_tensor::Tensor;
 
 /// Configuration for surrogate distillation.
@@ -48,13 +49,15 @@ impl Default for SurrogateConfig {
 /// Propagates forward-pass errors.
 pub fn query_labels(target: &mut Sequential, images: &Tensor, batch: usize) -> Result<Vec<usize>> {
     let n = *images.shape().first().unwrap_or(&0);
+    // One compiled plan answers every oracle query; its activation arena
+    // is reused across chunks.
+    let mut oracle = PlannedEval::compile(target, images.shape().get(1..).unwrap_or(&[]));
     let mut labels = Vec::with_capacity(n);
     let mut start = 0usize;
     while start < n {
         let len = batch.max(1).min(n - start);
         let chunk = images.narrow(start, len)?;
-        let logits = target.forward(&chunk, Mode::Eval)?;
-        labels.extend(logits.argmax_rows()?);
+        labels.extend(oracle.predictions(target, &chunk)?);
         start += len;
     }
     Ok(labels)
@@ -155,11 +158,10 @@ pub fn black_box_attack(
 ) -> Result<(SurrogateReport, f64, f64)> {
     let report = distill_surrogate(surrogate, target, probe, cfg)?;
     let (x, y) = eval;
-    let clean_logits = target.forward(x, Mode::Eval)?;
-    let clean_acc = accuracy(&clean_logits, y)?;
+    let mut teval = PlannedEval::compile(target, x.shape().get(1..).unwrap_or(&[]));
+    let clean_acc = teval.accuracy(target, x, y)?;
     let adv = attack.generate(surrogate, x, y)?;
-    let adv_logits = target.forward(&adv, Mode::Eval)?;
-    let adv_acc = accuracy(&adv_logits, y)?;
+    let adv_acc = teval.accuracy(target, &adv, y)?;
     Ok((report, clean_acc, adv_acc))
 }
 

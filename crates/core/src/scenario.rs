@@ -1,8 +1,8 @@
 //! The three-scenario attack taxonomy (§3.1) and transfer evaluation.
 
 use crate::Result;
-use advcomp_attacks::Attack;
-use advcomp_nn::{accuracy, Mode, Sequential};
+use advcomp_attacks::{Attack, PlannedEval};
+use advcomp_nn::Sequential;
 use advcomp_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -48,6 +48,11 @@ impl Scenario {
     }
 }
 
+/// Per-sample shape of a batched input (batch axis stripped).
+fn sample_shape(x: &Tensor) -> &[usize] {
+    x.shape().get(1..).unwrap_or(&[])
+}
+
 /// Outcome of one transfer evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TransferOutcome {
@@ -77,11 +82,13 @@ pub fn attack_transfer(
     x: &Tensor,
     labels: &[usize],
 ) -> Result<TransferOutcome> {
-    let clean_logits = target.forward(x, Mode::Eval)?;
-    let clean_accuracy = accuracy(&clean_logits, labels)?;
+    // Measurement forwards run through the compiled plan (bit-identical
+    // to Sequential eval, see graph_parity); crafting keeps the layer
+    // path for gradients.
+    let mut eval = PlannedEval::compile(target, sample_shape(x));
+    let clean_accuracy = eval.accuracy(target, x, labels)?;
     let adv = attack.generate(source, x, labels)?;
-    let adv_logits = target.forward(&adv, Mode::Eval)?;
-    let adversarial_accuracy = accuracy(&adv_logits, labels)?;
+    let adversarial_accuracy = eval.accuracy(target, &adv, labels)?;
     let stats = advcomp_attacks::PerturbationStats::between(x, &adv)?;
     Ok(TransferOutcome {
         adversarial_accuracy,
@@ -115,8 +122,8 @@ pub fn cross_seed_transfer(
     labels: &[usize],
 ) -> Result<CrossSeedTransfer> {
     let adv = attack.generate(source, x, labels)?;
-    let src_preds = source.forward(&adv, Mode::Eval)?.argmax_rows()?;
-    let tgt_preds = target.forward(&adv, Mode::Eval)?.argmax_rows()?;
+    let src_preds = PlannedEval::compile(source, sample_shape(x)).predictions(source, &adv)?;
+    let tgt_preds = PlannedEval::compile(target, sample_shape(x)).predictions(target, &adv)?;
     let mut fooled_src = 0usize;
     let mut fooled_both = 0usize;
     for i in 0..labels.len() {

@@ -1,0 +1,970 @@
+//! The compiled forward executor: [`ExecPlan`].
+//!
+//! `compile` lowers a [`Sequential`](advcomp_nn::Sequential) to the IR,
+//! runs the pass pipeline, then walks the fused ops once to produce a flat
+//! [`Step`] program plus a statically planned activation arena
+//! ([`crate::plan`]). Everything a forward pass needs is materialised at
+//! compile time:
+//!
+//! * dense f32 weights are transposed into GEMM layout **and** pre-packed
+//!   into the panel format the dense microkernel consumes (the
+//!   `Sequential` path re-packs per call);
+//! * Q4 packed weights are widened to Q8-layout codes once
+//!   ([`QTensor::widen_to_q8`]), hoisting the nibble unpack out of the
+//!   inner GEMM loop — integer sums are computed from the same code
+//!   values, so results stay bit-identical;
+//! * per-layer activation-quantisation buffers ([`QActivations`]) are
+//!   owned by the plan and rewritten in place;
+//! * every f32 intermediate lives at a fixed per-sample offset in one
+//!   arena, scaled by the batch size at run time.
+//!
+//! The steady-state forward therefore performs **zero plan-owned heap
+//! allocation**: the only growth happens when a larger batch than any
+//! seen before arrives, and every such growth increments
+//! [`ExecPlan::alloc_events`] so tests can assert the steady state.
+//!
+//! Arithmetic parity: each step dispatches into the same
+//! `advcomp-tensor` kernels the layers use, preserving operand order,
+//! parallel-banding thresholds and per-element epilogue order, so the
+//! compiled forward is bit-identical to `Sequential::forward` on the
+//! scalar backend (and on SIMD, identical kernel-for-kernel).
+
+use std::time::Instant;
+
+use advcomp_nn::{QuantizedWeights, Sequential};
+use advcomp_qformat::QFormat;
+use advcomp_tensor::{
+    gemm_prepacked, gemm_sparse, im2col_slice, probe_matmul_kernel, qmatmul,
+    quantize_activations_into, rows_to_nchw_slice, simd, Conv2dGeometry, KernelBackend,
+    MatmulKernel, PackedGemmB, QActivations, QuantKind, Tensor, QK,
+};
+
+use crate::fuse::{fuse, BnFold, FusedOp, FusionStats, GemmUnit};
+use crate::ir::{lower, Act, GemmWeight};
+use crate::plan::{plan_arena, validate_no_alias, BufferLife, MemoryPlan};
+use crate::{GraphError, Result};
+
+/// Where a step reads its primary operand from.
+#[derive(Debug, Clone, Copy)]
+enum Src {
+    /// The caller's input tensor.
+    Input,
+    /// An arena buffer.
+    Buf(usize),
+}
+
+/// A GEMM weight in executor-ready form.
+#[derive(Debug)]
+enum PlannedGemm {
+    /// f32 weights: raw `[k, n]` row-major (for the sparse kernel) plus
+    /// the pre-packed panels (for the dense kernel).
+    F32 {
+        raw: Vec<f32>,
+        packed: PackedGemmB,
+        k: usize,
+        n: usize,
+    },
+    /// Packed int8 weights (Q4 already widened to Q8 layout).
+    Packed { weights: QuantizedWeights },
+}
+
+/// Fused per-element epilogue of one GEMM: bias, optional batch-norm,
+/// optional activation, optional i8 code emission for the next layer.
+#[derive(Debug)]
+struct EpilogueParams {
+    bias: Vec<f32>,
+    bn: Option<BnFold>,
+    act: Option<Act>,
+    /// `(qbuf index, format)` — emit codes of the final value.
+    emit: Option<(usize, QFormat)>,
+}
+
+/// One executor instruction. Indices refer to the plan's side tables.
+#[derive(Debug)]
+enum Step {
+    /// Copy the caller input into an arena buffer (only when the first
+    /// real op is in-place).
+    CopyInput { dst: usize },
+    /// Unroll convolution patches into the column buffer.
+    Im2col {
+        src: Src,
+        dst: usize,
+        geom: Conv2dGeometry,
+    },
+    /// f32 GEMM; probes the activation density per call and dispatches to
+    /// the packed dense or zero-skipping sparse kernel, exactly like
+    /// `Tensor::matmul`.
+    Gemm { src: Src, dst: usize, weight: usize },
+    /// Quantise f32 activations into a plan-owned i8 buffer.
+    QuantizeAct { src: Src, qbuf: usize, cols: usize },
+    /// Int8 GEMM with fused dequantisation.
+    QGemm {
+        qbuf: usize,
+        dst: usize,
+        weight: usize,
+    },
+    /// In-place bias/batch-norm/activation epilogue over GEMM rows.
+    Epilogue { buf: usize, cols: usize, epi: usize },
+    /// Permute GEMM rows (`[m, oc]`) back to NCHW.
+    RowsToNchw {
+        src: usize,
+        dst: usize,
+        oc: usize,
+        oh: usize,
+        ow: usize,
+    },
+    /// 2-D max pooling.
+    MaxPool {
+        src: Src,
+        dst: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        kernel: usize,
+        stride: usize,
+    },
+    /// 2-D average pooling.
+    AvgPool {
+        src: Src,
+        dst: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+        kernel: usize,
+        stride: usize,
+    },
+    /// In-place elementwise activation.
+    EltAct { buf: usize, act: Act },
+    /// In-place simulated quantisation.
+    EltQuantize { buf: usize, format: QFormat },
+    /// In-place standalone batch normalisation over `[n, c, hw]`.
+    EltBatchNorm {
+        buf: usize,
+        bn: usize,
+        c: usize,
+        hw: usize,
+    },
+}
+
+/// Compile-time builder state.
+#[derive(Default)]
+struct Builder {
+    steps: Vec<Step>,
+    lives: Vec<BufferLife>,
+    weights: Vec<PlannedGemm>,
+    epilogues: Vec<EpilogueParams>,
+    bns: Vec<BnFold>,
+    qbufs: Vec<QActivations>,
+    /// Per-qbuf `(rows per sample, cols)` for pre-sizing.
+    qbuf_dims: Vec<(usize, usize)>,
+}
+
+impl Builder {
+    /// Registers a buffer of `size` per-sample elements defined by the
+    /// *next* step to be pushed.
+    fn buf(&mut self, size: usize) -> usize {
+        let id = self.lives.len();
+        let def = self.steps.len();
+        self.lives.push(BufferLife {
+            size,
+            def,
+            last_use: def,
+        });
+        id
+    }
+
+    /// Extends a buffer's lifetime to the next step to be pushed.
+    fn touch(&mut self, src: Src) {
+        if let Src::Buf(id) = src {
+            self.lives[id].last_use = self.steps.len();
+        }
+    }
+
+    /// Ensures `cur` is an arena buffer (copying the input when the first
+    /// op wants to work in place).
+    fn materialize(&mut self, cur: Src, size: usize) -> usize {
+        match cur {
+            Src::Buf(id) => id,
+            Src::Input => {
+                let dst = self.buf(size);
+                self.steps.push(Step::CopyInput { dst });
+                dst
+            }
+        }
+    }
+
+    /// Transposes and pre-packs an f32 `[out, k]` weight.
+    fn push_f32_weight(&mut self, w: &Tensor) -> Result<usize> {
+        let wt = w.t()?;
+        let (k, n) = (wt.shape()[0], wt.shape()[1]);
+        let raw = wt.into_data();
+        let packed = PackedGemmB::pack(&raw, k, n)?;
+        self.weights.push(PlannedGemm::F32 { raw, packed, k, n });
+        Ok(self.weights.len() - 1)
+    }
+
+    /// Installs packed weights, widening Q4 codes to Q8 layout once so the
+    /// GEMM inner loop never unpacks nibbles.
+    fn push_packed_weight(&mut self, q: &QuantizedWeights) -> usize {
+        let weights = if q.tensor().kind() == QuantKind::Q4 {
+            QuantizedWeights::new(q.tensor().widen_to_q8(), q.act_format())
+        } else {
+            q.clone()
+        };
+        self.weights.push(PlannedGemm::Packed { weights });
+        self.weights.len() - 1
+    }
+
+    /// Allocates a plan-owned activation-quantisation buffer.
+    fn qbuf(&mut self, format: QFormat, rows_ps: usize, cols: usize) -> Result<usize> {
+        self.qbufs.push(QActivations::with_format(format)?);
+        self.qbuf_dims.push((rows_ps, cols));
+        Ok(self.qbufs.len() - 1)
+    }
+
+    /// Registers a GEMM epilogue.
+    fn epilogue(&mut self, unit: &GemmUnit, emit: Option<(usize, QFormat)>) -> usize {
+        self.epilogues.push(EpilogueParams {
+            bias: unit.bias.clone(),
+            bn: unit.bn.clone(),
+            act: unit.act,
+            emit,
+        });
+        self.epilogues.len() - 1
+    }
+}
+
+/// Disjoint `(src, dst)` slices of one arena. The planner guarantees the
+/// ranges never alias; violating that is a compiler bug, not user error.
+fn split_pair(
+    arena: &mut [f32],
+    src: std::ops::Range<usize>,
+    dst: std::ops::Range<usize>,
+) -> (&[f32], &mut [f32]) {
+    if src.end <= dst.start {
+        let (lo, hi) = arena.split_at_mut(dst.start);
+        let dlen = dst.end - dst.start;
+        (&lo[src], &mut hi[..dlen])
+    } else if dst.end <= src.start {
+        let (lo, hi) = arena.split_at_mut(src.start);
+        let slen = src.end - src.start;
+        (&hi[..slen], &mut lo[dst])
+    } else {
+        unreachable!("memory plan produced aliasing src/dst ranges")
+    }
+}
+
+/// A compiled, statically memory-planned forward pass.
+///
+/// Built once per model (serve replicas compile per generation, attacks
+/// per crafting run), then driven with [`ExecPlan::forward`] /
+/// [`ExecPlan::forward_into`]. Training and backward stay on
+/// [`Sequential`] — the plan has no parameter gradients, caches or
+/// stochastic layers, which is exactly what lets it pre-plan memory.
+#[derive(Debug)]
+pub struct ExecPlan {
+    backend: KernelBackend,
+    input_shape: Vec<usize>,
+    output_shape: Vec<usize>,
+    steps: Vec<Step>,
+    weights: Vec<PlannedGemm>,
+    epilogues: Vec<EpilogueParams>,
+    bns: Vec<BnFold>,
+    qbufs: Vec<QActivations>,
+    qbuf_dims: Vec<(usize, usize)>,
+    /// High-water code length per qbuf, for allocation accounting.
+    qbuf_hw: Vec<usize>,
+    sizes: Vec<usize>,
+    offsets: Vec<usize>,
+    arena_elems: usize,
+    unplanned_elems: usize,
+    out_buf: usize,
+    arena: Vec<f32>,
+    alloc_events: u64,
+    compile_us: u64,
+    stats: FusionStats,
+}
+
+impl ExecPlan {
+    /// Compiles `model` for per-sample `input_shape` (no batch dimension,
+    /// e.g. `[1, 28, 28]`), using the process-wide kernel backend.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Unsupported`] when a layer has no lowering,
+    /// [`GraphError::Shape`] when shapes are inconsistent.
+    pub fn compile(model: &Sequential, input_shape: &[usize]) -> Result<ExecPlan> {
+        ExecPlan::compile_with_backend(model, input_shape, simd::backend())
+    }
+
+    /// As [`ExecPlan::compile`] with an explicit kernel backend, for
+    /// scalar-vs-SIMD comparisons inside one process.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExecPlan::compile`].
+    pub fn compile_with_backend(
+        model: &Sequential,
+        input_shape: &[usize],
+        backend: KernelBackend,
+    ) -> Result<ExecPlan> {
+        let started = Instant::now();
+        let graph = fuse(lower(model, input_shape)?);
+        let stats = graph.stats;
+        let mut b = Builder::default();
+        let mut cur = Src::Input;
+        let mut cur_shape = graph.input_shape.clone();
+        let mut cur_codes: Option<usize> = None;
+        for (op, out_shape) in &graph.ops {
+            match op {
+                FusedOp::Conv2d {
+                    unit,
+                    kernel,
+                    stride,
+                    padding,
+                } => {
+                    let geom = Conv2dGeometry {
+                        in_channels: cur_shape[0],
+                        in_h: cur_shape[1],
+                        in_w: cur_shape[2],
+                        kernel_h: *kernel,
+                        kernel_w: *kernel,
+                        stride: *stride,
+                        padding: *padding,
+                    };
+                    let (oh, ow) = geom.output_hw()?;
+                    let patch = geom.patch_len();
+                    let rows_ps = oh * ow;
+                    let oc = unit.weight.out_features();
+                    let scratch = b.buf(rows_ps * patch);
+                    b.touch(cur);
+                    b.steps.push(Step::Im2col {
+                        src: cur,
+                        dst: scratch,
+                        geom,
+                    });
+                    let rows_buf;
+                    match &unit.weight {
+                        GemmWeight::Dense(w2d) => {
+                            let weight = b.push_f32_weight(w2d)?;
+                            b.touch(Src::Buf(scratch));
+                            rows_buf = b.buf(rows_ps * oc);
+                            b.steps.push(Step::Gemm {
+                                src: Src::Buf(scratch),
+                                dst: rows_buf,
+                                weight,
+                            });
+                        }
+                        GemmWeight::Packed(q) => {
+                            let weight = b.push_packed_weight(q);
+                            let qbuf = b.qbuf(q.act_format(), rows_ps, patch)?;
+                            b.touch(Src::Buf(scratch));
+                            b.steps.push(Step::QuantizeAct {
+                                src: Src::Buf(scratch),
+                                qbuf,
+                                cols: patch,
+                            });
+                            rows_buf = b.buf(rows_ps * oc);
+                            b.steps.push(Step::QGemm {
+                                qbuf,
+                                dst: rows_buf,
+                                weight,
+                            });
+                        }
+                    }
+                    let epi = b.epilogue(unit, None);
+                    b.touch(Src::Buf(rows_buf));
+                    b.steps.push(Step::Epilogue {
+                        buf: rows_buf,
+                        cols: oc,
+                        epi,
+                    });
+                    b.touch(Src::Buf(rows_buf));
+                    let nchw = b.buf(oc * oh * ow);
+                    b.steps.push(Step::RowsToNchw {
+                        src: rows_buf,
+                        dst: nchw,
+                        oc,
+                        oh,
+                        ow,
+                    });
+                    cur = Src::Buf(nchw);
+                    cur_shape = out_shape.clone();
+                    cur_codes = None;
+                }
+                FusedOp::Dense { unit } => {
+                    let k = unit.weight.in_features();
+                    let nf = unit.weight.out_features();
+                    let dst;
+                    match &unit.weight {
+                        GemmWeight::Dense(w) => {
+                            let weight = b.push_f32_weight(w)?;
+                            b.touch(cur);
+                            dst = b.buf(nf);
+                            b.steps.push(Step::Gemm {
+                                src: cur,
+                                dst,
+                                weight,
+                            });
+                        }
+                        GemmWeight::Packed(q) => {
+                            let weight = b.push_packed_weight(q);
+                            let qbuf = if unit.consume_codes {
+                                cur_codes.ok_or_else(|| {
+                                    GraphError::Unsupported(
+                                        "int8 chain consumer without emitted codes".into(),
+                                    )
+                                })?
+                            } else {
+                                let qbuf = b.qbuf(q.act_format(), 1, k)?;
+                                b.touch(cur);
+                                b.steps.push(Step::QuantizeAct {
+                                    src: cur,
+                                    qbuf,
+                                    cols: k,
+                                });
+                                qbuf
+                            };
+                            dst = b.buf(nf);
+                            b.steps.push(Step::QGemm { qbuf, dst, weight });
+                        }
+                    }
+                    let emit = match unit.emit_codes {
+                        Some(format) => Some((b.qbuf(format, 1, nf)?, format)),
+                        None => None,
+                    };
+                    let epi = b.epilogue(unit, emit);
+                    b.touch(Src::Buf(dst));
+                    b.steps.push(Step::Epilogue {
+                        buf: dst,
+                        cols: nf,
+                        epi,
+                    });
+                    cur = Src::Buf(dst);
+                    cur_shape = out_shape.clone();
+                    cur_codes = emit.map(|(q, _)| q);
+                }
+                FusedOp::Activation(act) => {
+                    let buf = b.materialize(cur, cur_shape.iter().product());
+                    b.touch(Src::Buf(buf));
+                    b.steps.push(Step::EltAct { buf, act: *act });
+                    cur = Src::Buf(buf);
+                    cur_codes = None;
+                }
+                FusedOp::Quantize(format) => {
+                    let buf = b.materialize(cur, cur_shape.iter().product());
+                    b.touch(Src::Buf(buf));
+                    b.steps.push(Step::EltQuantize {
+                        buf,
+                        format: *format,
+                    });
+                    cur = Src::Buf(buf);
+                    cur_codes = None;
+                }
+                FusedOp::BatchNorm(fold) => {
+                    let buf = b.materialize(cur, cur_shape.iter().product());
+                    let bn = b.bns.len();
+                    b.bns.push(fold.clone());
+                    b.touch(Src::Buf(buf));
+                    b.steps.push(Step::EltBatchNorm {
+                        buf,
+                        bn,
+                        c: cur_shape[0],
+                        hw: cur_shape[1] * cur_shape[2],
+                    });
+                    cur = Src::Buf(buf);
+                    cur_codes = None;
+                }
+                FusedOp::MaxPool2d { kernel, stride } | FusedOp::AvgPool2d { kernel, stride } => {
+                    let (c, h, w) = (cur_shape[0], cur_shape[1], cur_shape[2]);
+                    let (oh, ow) = (out_shape[1], out_shape[2]);
+                    b.touch(cur);
+                    let dst = b.buf(c * oh * ow);
+                    let step = if matches!(op, FusedOp::MaxPool2d { .. }) {
+                        Step::MaxPool {
+                            src: cur,
+                            dst,
+                            c,
+                            h,
+                            w,
+                            oh,
+                            ow,
+                            kernel: *kernel,
+                            stride: *stride,
+                        }
+                    } else {
+                        Step::AvgPool {
+                            src: cur,
+                            dst,
+                            c,
+                            h,
+                            w,
+                            oh,
+                            ow,
+                            kernel: *kernel,
+                            stride: *stride,
+                        }
+                    };
+                    b.steps.push(step);
+                    cur = Src::Buf(dst);
+                    cur_shape = out_shape.clone();
+                    cur_codes = None;
+                }
+                FusedOp::Flatten => {
+                    // Pure reshape: no step, no data movement.
+                    cur_shape = out_shape.clone();
+                    cur_codes = None;
+                }
+            }
+        }
+        let out_buf = b.materialize(cur, cur_shape.iter().product());
+        // The output must survive every step so nothing recycles it
+        // before the caller copies it out.
+        b.lives[out_buf].last_use = b.steps.len();
+        let plan: MemoryPlan = plan_arena(&b.lives);
+        validate_no_alias(&b.lives, &plan).map_err(GraphError::Shape)?;
+        let qbuf_hw = vec![0usize; b.qbufs.len()];
+        Ok(ExecPlan {
+            backend,
+            input_shape: graph.input_shape,
+            output_shape: cur_shape,
+            steps: b.steps,
+            weights: b.weights,
+            epilogues: b.epilogues,
+            bns: b.bns,
+            qbufs: b.qbufs,
+            qbuf_dims: b.qbuf_dims,
+            qbuf_hw,
+            sizes: b.lives.iter().map(|l| l.size).collect(),
+            offsets: plan.offsets,
+            arena_elems: plan.arena_len,
+            unplanned_elems: plan.total_len,
+            out_buf,
+            arena: Vec::new(),
+            alloc_events: 0,
+            compile_us: started.elapsed().as_micros() as u64,
+            stats,
+        })
+    }
+
+    /// Runs the compiled forward, writing logits into `out` (reusing its
+    /// allocation when large enough). `input` is `[n, input_shape...]`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Shape`] on a batch-shape mismatch, or a tensor error
+    /// from a kernel.
+    pub fn forward_into(&mut self, input: &Tensor, out: &mut Tensor) -> Result<()> {
+        let shape = input.shape();
+        if shape.len() != self.input_shape.len() + 1
+            || shape[1..] != self.input_shape[..]
+            || shape[0] == 0
+        {
+            return Err(GraphError::Shape(format!(
+                "plan compiled for [n{}] inputs, fed {shape:?}",
+                self.input_shape
+                    .iter()
+                    .map(|d| format!(", {d}"))
+                    .collect::<String>()
+            )));
+        }
+        let n = shape[0];
+        let need = self.arena_elems * n;
+        if need > self.arena.len() {
+            self.arena.resize(need, 0.0);
+            self.alloc_events += 1;
+        }
+        let input_data = input.data();
+        let ExecPlan {
+            backend,
+            steps,
+            weights,
+            epilogues,
+            bns,
+            qbufs,
+            qbuf_hw,
+            sizes,
+            offsets,
+            arena,
+            alloc_events,
+            ..
+        } = self;
+        let backend = *backend;
+        let rng = |id: usize| offsets[id] * n..offsets[id] * n + sizes[id] * n;
+        for step in steps.iter() {
+            match step {
+                Step::CopyInput { dst } => {
+                    arena[rng(*dst)].copy_from_slice(input_data);
+                }
+                Step::Im2col { src, dst, geom } => match src {
+                    Src::Input => im2col_slice(input_data, n, geom, &mut arena[rng(*dst)])?,
+                    Src::Buf(s) => {
+                        let (sl, dl) = split_pair(arena, rng(*s), rng(*dst));
+                        im2col_slice(sl, n, geom, dl)?;
+                    }
+                },
+                Step::Gemm { src, dst, weight } => {
+                    let PlannedGemm::F32 {
+                        raw,
+                        packed,
+                        k,
+                        n: nf,
+                    } = &weights[*weight]
+                    else {
+                        unreachable!("f32 GEMM bound to packed weights");
+                    };
+                    let (sl, dl): (&[f32], &mut [f32]) = match src {
+                        Src::Input => (input_data, &mut arena[rng(*dst)]),
+                        Src::Buf(s) => split_pair(arena, rng(*s), rng(*dst)),
+                    };
+                    let m = sl.len() / k;
+                    // Same density probe as `Tensor::matmul`: the kernel
+                    // choice (and therefore the arithmetic) matches the
+                    // layer-at-a-time forward exactly.
+                    match probe_matmul_kernel(sl) {
+                        MatmulKernel::Dense => gemm_prepacked(backend, sl, m, packed, dl)?,
+                        MatmulKernel::Sparse => gemm_sparse(backend, sl, m, raw, *k, *nf, dl)?,
+                    }
+                }
+                Step::QuantizeAct { src, qbuf, cols } => {
+                    let sl: &[f32] = match src {
+                        Src::Input => input_data,
+                        Src::Buf(s) => &arena[rng(*s)],
+                    };
+                    let rows = sl.len() / cols;
+                    let q = &mut qbufs[*qbuf];
+                    let format = q.format();
+                    quantize_activations_into(backend, sl, rows, *cols, format, q)?;
+                    let len = q.codes().len();
+                    if len > qbuf_hw[*qbuf] {
+                        qbuf_hw[*qbuf] = len;
+                        *alloc_events += 1;
+                    }
+                }
+                Step::QGemm { qbuf, dst, weight } => {
+                    let PlannedGemm::Packed { weights: qw } = &weights[*weight] else {
+                        unreachable!("int8 GEMM bound to f32 weights");
+                    };
+                    qmatmul(backend, &qbufs[*qbuf], qw.tensor(), &mut arena[rng(*dst)])?;
+                }
+                Step::Epilogue { buf, cols, epi } => {
+                    let params = &epilogues[*epi];
+                    let dst = &mut arena[rng(*buf)];
+                    let rows = dst.len() / cols;
+                    let mut emit: Option<(&mut [i8], QFormat, usize)> = None;
+                    if let Some((qb, format)) = params.emit {
+                        let q = &mut qbufs[qb];
+                        q.reset(rows, *cols);
+                        let len = q.codes().len();
+                        if len > qbuf_hw[qb] {
+                            qbuf_hw[qb] = len;
+                            *alloc_events += 1;
+                        }
+                        emit = Some((q.codes_mut(), format, cols.div_ceil(QK) * QK));
+                    }
+                    for row in 0..rows {
+                        let out_row = &mut dst[row * cols..(row + 1) * cols];
+                        for (j, v) in out_row.iter_mut().enumerate() {
+                            let mut y = *v + params.bias[j];
+                            if let Some(bn) = &params.bn {
+                                let norm = (y - bn.mean[j]) * bn.inv_std[j];
+                                y = bn.gamma[j] * norm + bn.beta[j];
+                            }
+                            if let Some(act) = params.act {
+                                y = act.apply(y);
+                            }
+                            *v = y;
+                            if let Some((codes, format, row_stride)) = &mut emit {
+                                codes[row * *row_stride + j] = format.encode(y) as i8;
+                            }
+                        }
+                    }
+                }
+                Step::RowsToNchw {
+                    src,
+                    dst,
+                    oc,
+                    oh,
+                    ow,
+                } => {
+                    let (sl, dl) = split_pair(arena, rng(*src), rng(*dst));
+                    rows_to_nchw_slice(sl, n, *oc, *oh, *ow, dl)?;
+                }
+                Step::MaxPool {
+                    src,
+                    dst,
+                    c,
+                    h,
+                    w,
+                    oh,
+                    ow,
+                    kernel,
+                    stride,
+                } => {
+                    let (sl, dl): (&[f32], &mut [f32]) = match src {
+                        Src::Input => (input_data, &mut arena[rng(*dst)]),
+                        Src::Buf(s) => split_pair(arena, rng(*s), rng(*dst)),
+                    };
+                    // Loop order and strict `>` comparison replicate
+                    // `MaxPool2d::forward` exactly.
+                    for b in 0..n {
+                        for ch in 0..*c {
+                            let plane = (b * c + ch) * h * w;
+                            for oy in 0..*oh {
+                                for ox in 0..*ow {
+                                    let mut best = sl[plane + oy * stride * w + ox * stride];
+                                    for ky in 0..*kernel {
+                                        let row = plane + (oy * stride + ky) * w + ox * stride;
+                                        for kx in 0..*kernel {
+                                            if sl[row + kx] > best {
+                                                best = sl[row + kx];
+                                            }
+                                        }
+                                    }
+                                    dl[((b * c + ch) * oh + oy) * ow + ox] = best;
+                                }
+                            }
+                        }
+                    }
+                }
+                Step::AvgPool {
+                    src,
+                    dst,
+                    c,
+                    h,
+                    w,
+                    oh,
+                    ow,
+                    kernel,
+                    stride,
+                } => {
+                    let (sl, dl): (&[f32], &mut [f32]) = match src {
+                        Src::Input => (input_data, &mut arena[rng(*dst)]),
+                        Src::Buf(s) => split_pair(arena, rng(*s), rng(*dst)),
+                    };
+                    let norm = 1.0 / (kernel * kernel) as f32;
+                    for b in 0..n {
+                        for ch in 0..*c {
+                            let plane = (b * c + ch) * h * w;
+                            for oy in 0..*oh {
+                                for ox in 0..*ow {
+                                    let mut acc = 0.0f32;
+                                    for ky in 0..*kernel {
+                                        let row = plane + (oy * stride + ky) * w + ox * stride;
+                                        for kx in 0..*kernel {
+                                            acc += sl[row + kx];
+                                        }
+                                    }
+                                    dl[((b * c + ch) * oh + oy) * ow + ox] = acc * norm;
+                                }
+                            }
+                        }
+                    }
+                }
+                Step::EltAct { buf, act } => {
+                    for v in &mut arena[rng(*buf)] {
+                        *v = act.apply(*v);
+                    }
+                }
+                Step::EltQuantize { buf, format } => {
+                    for v in &mut arena[rng(*buf)] {
+                        *v = format.quantize(*v);
+                    }
+                }
+                Step::EltBatchNorm { buf, bn, c, hw } => {
+                    let p = &bns[*bn];
+                    let dl = &mut arena[rng(*buf)];
+                    for b in 0..n {
+                        for ch in 0..*c {
+                            let base = (b * c + ch) * hw;
+                            let g = p.gamma[ch];
+                            let be = p.beta[ch];
+                            for v in &mut dl[base..base + hw] {
+                                let norm = (*v - p.mean[ch]) * p.inv_std[ch];
+                                *v = g * norm + be;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut full_shape = Vec::with_capacity(1 + self.output_shape.len());
+        full_shape.push(n);
+        full_shape.extend_from_slice(&self.output_shape);
+        let out_range = self.offsets[self.out_buf] * n
+            ..self.offsets[self.out_buf] * n + self.sizes[self.out_buf] * n;
+        out.assign_from(&full_shape, &self.arena[out_range])?;
+        Ok(())
+    }
+
+    /// Runs the compiled forward, allocating a fresh output tensor.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExecPlan::forward_into`].
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor> {
+        let mut out = Tensor::zeros(&[0]);
+        self.forward_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Pre-sizes the arena and quantisation buffers for batches up to
+    /// `n`, so the first real forward is already allocation-free. Growth
+    /// here is deliberate and not counted in [`ExecPlan::alloc_events`].
+    pub fn reserve_batch(&mut self, n: usize) {
+        let need = self.arena_elems * n;
+        if need > self.arena.len() {
+            self.arena.resize(need, 0.0);
+        }
+        for (i, q) in self.qbufs.iter_mut().enumerate() {
+            let (rows_ps, cols) = self.qbuf_dims[i];
+            let rows = rows_ps * n;
+            q.reset(rows, cols);
+            self.qbuf_hw[i] = self.qbuf_hw[i].max(q.codes().len());
+        }
+    }
+
+    /// Per-sample input shape the plan was compiled for.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
+    }
+
+    /// Per-sample output shape.
+    pub fn output_shape(&self) -> &[usize] {
+        &self.output_shape
+    }
+
+    /// The kernel backend every step dispatches with.
+    pub fn backend(&self) -> KernelBackend {
+        self.backend
+    }
+
+    /// Number of executor steps.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// What the pass pipeline fused and elided.
+    pub fn stats(&self) -> &FusionStats {
+        &self.stats
+    }
+
+    /// Arena size in per-sample f32 elements (the planner's peak).
+    pub fn arena_elems_per_sample(&self) -> usize {
+        self.arena_elems
+    }
+
+    /// Sum of all intermediate sizes in per-sample elements — what
+    /// per-layer allocation would cost. The ratio against
+    /// [`ExecPlan::arena_elems_per_sample`] is the planner's win.
+    pub fn unplanned_elems_per_sample(&self) -> usize {
+        self.unplanned_elems
+    }
+
+    /// Current bytes held by plan-owned buffers: the f32 arena plus the
+    /// i8 activation-code buffers.
+    pub fn arena_peak_bytes(&self) -> usize {
+        self.arena.len() * std::mem::size_of::<f32>()
+            + self.qbufs.iter().map(|q| q.codes().len()).sum::<usize>()
+    }
+
+    /// Wall-clock microseconds the compilation took.
+    pub fn compile_us(&self) -> u64 {
+        self.compile_us
+    }
+
+    /// How many times a plan-owned buffer grew during forwards. Stays
+    /// flat across same-batch steady-state calls — the zero-allocation
+    /// assertion hook used by the parity suite and benches.
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advcomp_nn::{Conv2d, Dense, Flatten, MaxPool2d, Mode, Relu, Sequential};
+    use advcomp_tensor::Init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new(vec![
+            Box::new(Conv2d::new(1, 4, 3, 1, 1, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool2d::new(2, 2)),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(4 * 4 * 4, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(8, 3, &mut rng)),
+        ])
+    }
+
+    fn batch(seed: u64, n: usize) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Init::Uniform { lo: 0.0, hi: 1.0 }.tensor(&[n, 1, 8, 8], &mut rng)
+    }
+
+    #[test]
+    fn compiled_forward_matches_sequential_bitwise() {
+        let mut model = tiny_net(11);
+        let mut plan = ExecPlan::compile(&model, &[1, 8, 8]).unwrap();
+        for n in [1usize, 3, 8] {
+            let x = batch(100 + n as u64, n);
+            let want = model.forward(&x, Mode::Eval).unwrap();
+            let got = plan.forward(&x).unwrap();
+            assert_eq!(want.shape(), got.shape());
+            assert_eq!(want.data(), got.data(), "batch {n} diverged");
+        }
+    }
+
+    #[test]
+    fn steady_state_forward_is_allocation_free() {
+        let model = tiny_net(5);
+        let mut plan = ExecPlan::compile(&model, &[1, 8, 8]).unwrap();
+        let x = batch(7, 4);
+        let mut out = Tensor::zeros(&[0]);
+        plan.forward_into(&x, &mut out).unwrap();
+        let warm = plan.alloc_events();
+        for _ in 0..5 {
+            plan.forward_into(&x, &mut out).unwrap();
+        }
+        assert_eq!(plan.alloc_events(), warm, "steady-state forward allocated");
+        // A smaller batch must not allocate either.
+        let small = batch(8, 2);
+        plan.forward_into(&small, &mut out).unwrap();
+        assert_eq!(plan.alloc_events(), warm);
+    }
+
+    #[test]
+    fn reserve_batch_makes_first_forward_allocation_free() {
+        let model = tiny_net(5);
+        let mut plan = ExecPlan::compile(&model, &[1, 8, 8]).unwrap();
+        plan.reserve_batch(4);
+        let x = batch(9, 4);
+        let mut out = Tensor::zeros(&[0]);
+        plan.forward_into(&x, &mut out).unwrap();
+        assert_eq!(plan.alloc_events(), 0);
+    }
+
+    #[test]
+    fn arena_is_smaller_than_per_layer_allocation() {
+        let model = tiny_net(5);
+        let plan = ExecPlan::compile(&model, &[1, 8, 8]).unwrap();
+        assert!(plan.arena_elems_per_sample() < plan.unplanned_elems_per_sample());
+    }
+
+    #[test]
+    fn batch_shape_mismatch_is_rejected() {
+        let model = tiny_net(5);
+        let mut plan = ExecPlan::compile(&model, &[1, 8, 8]).unwrap();
+        let bad = Tensor::zeros(&[2, 1, 9, 9]);
+        assert!(plan.forward(&bad).is_err());
+    }
+}

@@ -18,6 +18,93 @@ pub enum Mode {
     Eval,
 }
 
+/// How a GEMM layer's weights are stored, as seen through [`LayerSpec`].
+#[derive(Debug, Clone, Copy)]
+pub enum WeightRepr<'a> {
+    /// Trainable f32 weights (`[out, in]` for dense, `[oc, ic, kh, kw]`
+    /// for convolution).
+    Dense(&'a Tensor),
+    /// Frozen block-quantised weights ([`Layer::freeze_quantized`]).
+    Packed(&'a crate::QuantizedWeights),
+}
+
+/// A structural description of one layer, for the graph compiler.
+///
+/// [`Layer::spec`] lets `advcomp-graph` lower a [`crate::Sequential`] into
+/// its typed IR without downcasting: each variant carries exactly the
+/// state the inference forward pass depends on, borrowed from the layer.
+/// Layers a compiler cannot express report [`LayerSpec::Opaque`] and make
+/// the whole-model lowering fail loudly rather than silently diverge.
+#[derive(Debug, Clone, Copy)]
+pub enum LayerSpec<'a> {
+    /// 2-D convolution over NCHW input (square kernel).
+    Conv2d {
+        /// Kernel weights, `[oc, ic, kh, kw]` when dense.
+        weight: WeightRepr<'a>,
+        /// Per-output-channel bias, `[oc]`.
+        bias: &'a Tensor,
+        /// Square kernel edge.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Symmetric zero padding.
+        padding: usize,
+    },
+    /// Fully-connected layer `y = x Wᵀ + b`.
+    Dense {
+        /// Weights, `[out, in]` when dense.
+        weight: WeightRepr<'a>,
+        /// Bias, `[out]`.
+        bias: &'a Tensor,
+    },
+    /// Batch normalisation (inference uses the running statistics).
+    BatchNorm2d {
+        /// Per-channel scale.
+        gamma: &'a [f32],
+        /// Per-channel shift.
+        beta: &'a [f32],
+        /// Running mean (the eval-mode mean).
+        running_mean: &'a [f32],
+        /// Running variance (the eval-mode variance).
+        running_var: &'a [f32],
+        /// Variance epsilon.
+        eps: f32,
+    },
+    /// `max(0, x)` elementwise.
+    Relu,
+    /// `tanh(x)` elementwise.
+    Tanh,
+    /// Logistic sigmoid elementwise.
+    Sigmoid,
+    /// 2-D max pooling (square window, no padding).
+    MaxPool2d {
+        /// Window edge.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// 2-D average pooling (square window, no padding).
+    AvgPool2d {
+        /// Window edge.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+    },
+    /// Collapse to `[batch, features]`.
+    Flatten,
+    /// Dropout — identity in [`Mode::Eval`], which is all an inference
+    /// compiler sees.
+    Dropout,
+    /// Simulated activation quantisation; `None` means disabled
+    /// (identity).
+    FakeQuant {
+        /// Installed activation format, if enabled.
+        format: Option<advcomp_qformat::QFormat>,
+    },
+    /// A layer the compiler has no lowering for.
+    Opaque,
+}
+
 /// A differentiable network layer.
 ///
 /// Contract:
@@ -63,6 +150,14 @@ pub trait Layer: Send + Sync {
 
     /// Short static identifier, e.g. `"conv2d"`.
     fn kind(&self) -> &'static str;
+
+    /// Structural description of this layer for the graph compiler
+    /// ([`LayerSpec`]). The default is [`LayerSpec::Opaque`], which makes
+    /// lowering a model containing this layer fail; every in-tree layer
+    /// overrides it.
+    fn spec(&self) -> LayerSpec<'_> {
+        LayerSpec::Opaque
+    }
 
     /// Clones this layer into an independent replica with **fresh (empty)
     /// backward caches** but identical persistent state: parameter values,

@@ -42,6 +42,10 @@ impl Layer for Tanh {
         "tanh"
     }
 
+    fn spec(&self) -> crate::layer::LayerSpec<'_> {
+        crate::layer::LayerSpec::Tanh
+    }
+
     fn clone_layer(&self) -> Box<dyn Layer> {
         Box::new(Tanh { last_output: None })
     }
@@ -89,6 +93,10 @@ impl Layer for Sigmoid {
 
     fn kind(&self) -> &'static str {
         "sigmoid"
+    }
+
+    fn spec(&self) -> crate::layer::LayerSpec<'_> {
+        crate::layer::LayerSpec::Sigmoid
     }
 
     fn clone_layer(&self) -> Box<dyn Layer> {

@@ -128,6 +128,13 @@ impl Layer for AvgPool2d {
         "avgpool2d"
     }
 
+    fn spec(&self) -> crate::layer::LayerSpec<'_> {
+        crate::layer::LayerSpec::AvgPool2d {
+            kernel: self.kernel,
+            stride: self.stride,
+        }
+    }
+
     fn clone_layer(&self) -> Box<dyn Layer> {
         Box::new(AvgPool2d {
             kernel: self.kernel,

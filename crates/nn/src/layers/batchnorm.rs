@@ -238,6 +238,16 @@ impl Layer for BatchNorm2d {
         "batchnorm2d"
     }
 
+    fn spec(&self) -> crate::layer::LayerSpec<'_> {
+        crate::layer::LayerSpec::BatchNorm2d {
+            gamma: self.gamma.value.data(),
+            beta: self.beta.value.data(),
+            running_mean: &self.running_mean,
+            running_var: &self.running_var,
+            eps: self.eps,
+        }
+    }
+
     fn clone_layer(&self) -> Box<dyn Layer> {
         Box::new(BatchNorm2d {
             gamma: self.gamma.clone(),

@@ -229,6 +229,20 @@ impl Layer for Conv2d {
         "conv2d"
     }
 
+    fn spec(&self) -> crate::layer::LayerSpec<'_> {
+        let weight = match &self.packed {
+            Some(q) => crate::layer::WeightRepr::Packed(q),
+            None => crate::layer::WeightRepr::Dense(&self.weight.value),
+        };
+        crate::layer::LayerSpec::Conv2d {
+            weight,
+            bias: &self.bias.value,
+            kernel: self.kernel,
+            stride: self.stride,
+            padding: self.padding,
+        }
+    }
+
     fn clone_layer(&self) -> Box<dyn Layer> {
         // The im2col scratch is per-replica state and starts empty; it is
         // regrown lazily on the replica's first forward pass. Packed

@@ -138,6 +138,17 @@ impl Layer for Dense {
         "dense"
     }
 
+    fn spec(&self) -> crate::layer::LayerSpec<'_> {
+        let weight = match &self.packed {
+            Some(q) => crate::layer::WeightRepr::Packed(q),
+            None => crate::layer::WeightRepr::Dense(&self.weight.value),
+        };
+        crate::layer::LayerSpec::Dense {
+            weight,
+            bias: &self.bias.value,
+        }
+    }
+
     fn clone_layer(&self) -> Box<dyn Layer> {
         // Replicas share the packed blocks (Arc), not a fresh copy.
         Box::new(Dense {

@@ -88,6 +88,10 @@ impl Layer for Dropout {
         "dropout"
     }
 
+    fn spec(&self) -> crate::layer::LayerSpec<'_> {
+        crate::layer::LayerSpec::Dropout
+    }
+
     fn clone_layer(&self) -> Box<dyn Layer> {
         // The RNG is cloned at its current position so a replica trained
         // onward draws the same masks the original would have.

@@ -84,6 +84,12 @@ impl Layer for FakeQuant {
         "fakequant"
     }
 
+    fn spec(&self) -> crate::layer::LayerSpec<'_> {
+        crate::layer::LayerSpec::FakeQuant {
+            format: self.format,
+        }
+    }
+
     fn clone_layer(&self) -> Box<dyn Layer> {
         Box::new(FakeQuant {
             format: self.format,

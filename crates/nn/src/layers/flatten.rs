@@ -45,6 +45,10 @@ impl Layer for Flatten {
         "flatten"
     }
 
+    fn spec(&self) -> crate::layer::LayerSpec<'_> {
+        crate::layer::LayerSpec::Flatten
+    }
+
     fn clone_layer(&self) -> Box<dyn Layer> {
         Box::new(Flatten { cached_shape: None })
     }

@@ -125,6 +125,13 @@ impl Layer for MaxPool2d {
         "maxpool2d"
     }
 
+    fn spec(&self) -> crate::layer::LayerSpec<'_> {
+        crate::layer::LayerSpec::MaxPool2d {
+            kernel: self.kernel,
+            stride: self.stride,
+        }
+    }
+
     fn clone_layer(&self) -> Box<dyn Layer> {
         Box::new(MaxPool2d {
             kernel: self.kernel,

@@ -39,6 +39,10 @@ impl Layer for Relu {
         "relu"
     }
 
+    fn spec(&self) -> crate::layer::LayerSpec<'_> {
+        crate::layer::LayerSpec::Relu
+    }
+
     fn clone_layer(&self) -> Box<dyn Layer> {
         Box::new(Relu { last_output: None })
     }

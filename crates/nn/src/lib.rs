@@ -59,7 +59,7 @@ pub use gradcheck::{
     finite_diff_input_grad, finite_diff_input_grad_with_mode, finite_diff_param_grad,
     finite_diff_param_grad_with_mode,
 };
-pub use layer::{Layer, Mode};
+pub use layer::{Layer, LayerSpec, Mode, WeightRepr};
 pub use layers::{
     AvgPool2d, BatchNorm2d, Conv2d, Dense, Dropout, FakeQuant, Flatten, MaxPool2d, Relu, Sigmoid,
     Tanh,

@@ -43,7 +43,8 @@
 use crate::registry::{ModelRegistry, RegistryHandle, ReplicaSet};
 use crate::shard::{PushError, ShardedQueue};
 use crate::{ServeError, ServeMetrics};
-use advcomp_nn::{faults, softmax, Mode};
+use advcomp_graph::ExecPlan;
+use advcomp_nn::{faults, softmax, Mode, Sequential};
 use advcomp_tensor::Tensor;
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{self, Sender};
@@ -480,21 +481,92 @@ impl Engine {
     }
 }
 
-fn worker_loop(idx: usize, mut replicas: ReplicaSet, mut generation: u64, shared: Arc<Shared>) {
+/// A per-worker model replica paired with its compiled forward plan.
+///
+/// The plan is compiled once per (replica, registry generation) and keeps
+/// its activation arena and quantisation scratch across batches, so the
+/// steady-state serving forward performs no per-layer heap allocation. A
+/// model the graph compiler cannot lower (or a plan that rejects the live
+/// input) falls back to the layer-at-a-time `Sequential` forward — the
+/// engine serves either way.
+struct PlannedModel {
+    name: String,
+    model: Sequential,
+    plan: Option<ExecPlan>,
+}
+
+impl PlannedModel {
+    /// Compiles `model` for the engine's input shape and publishes the
+    /// compile-time gauges under metrics slot `index`.
+    fn compile(index: usize, name: String, model: Sequential, shared: &Shared) -> Self {
+        let plan = match ExecPlan::compile(&model, &shared.input_shape) {
+            Ok(mut p) => {
+                // Pre-size the arena for the largest coalesced batch so
+                // even the first forward allocates nothing.
+                p.reserve_batch(shared.config.max_batch);
+                shared.metrics.set_model_plan(
+                    index,
+                    p.compile_us().max(1),
+                    p.arena_peak_bytes() as u64,
+                );
+                Some(p)
+            }
+            Err(_) => None,
+        };
+        PlannedModel { name, model, plan }
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Result<Tensor, ServeError> {
+        if let Some(plan) = &mut self.plan {
+            if let Ok(out) = plan.forward(input) {
+                return Ok(out);
+            }
+            // A plan that cannot execute the live input is stale; drop it
+            // and serve through the layer path from now on.
+            self.plan = None;
+        }
+        self.model
+            .forward(input, Mode::Eval)
+            .map_err(ServeError::from)
+    }
+}
+
+/// Every registered model of one worker, compiled.
+struct PlannedSet {
+    baseline: PlannedModel,
+    variants: Vec<PlannedModel>,
+}
+
+impl PlannedSet {
+    fn compile(replicas: ReplicaSet, shared: &Shared) -> Self {
+        PlannedSet {
+            baseline: PlannedModel::compile(0, replicas.baseline.0, replicas.baseline.1, shared),
+            variants: replicas
+                .variants
+                .into_iter()
+                .enumerate()
+                .map(|(i, (n, m))| PlannedModel::compile(1 + i, n, m, shared))
+                .collect(),
+        }
+    }
+}
+
+fn worker_loop(idx: usize, replicas: ReplicaSet, mut generation: u64, shared: Arc<Shared>) {
     let max_batch = shared.config.max_batch;
     let max_delay = shared.config.max_delay;
     let steal_poll = shared.config.steal_poll;
+    let mut planned = PlannedSet::compile(replicas, &shared);
     while let Some(jobs) = shared
         .queue
         .pop_batch(idx, max_batch, max_delay, steal_poll)
     {
         // Hot swap: between batches, refresh replicas when the registry
         // generation moved. In-flight work finished on the old weights;
-        // this batch runs on the new ones.
+        // this batch runs on the new ones (recompiled plans included).
         let current = shared.registry.generation();
         if current != generation {
             let (g, set) = shared.registry.snapshot();
-            replicas = set.replica();
+            planned = PlannedSet::compile(set.replica(), &shared);
             generation = g;
         }
         let mut batch = Vec::with_capacity(jobs.len());
@@ -520,7 +592,7 @@ fn worker_loop(idx: usize, mut replicas: ReplicaSet, mut generation: u64, shared
         // and the loop continues.
         let n_jobs = batch.len() as u64;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_batch(&mut replicas, batch, &shared);
+            run_batch(&mut planned, batch, &shared);
         }));
         if outcome.is_err() {
             shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
@@ -531,7 +603,7 @@ fn worker_loop(idx: usize, mut replicas: ReplicaSet, mut generation: u64, shared
 
 /// Runs one coalesced batch through the baseline (and guard variants),
 /// then answers every job's completion.
-fn run_batch(replicas: &mut ReplicaSet, batch: Vec<WorkJob>, shared: &Shared) {
+fn run_batch(replicas: &mut PlannedSet, batch: Vec<WorkJob>, shared: &Shared) {
     let m = &shared.metrics;
     // Deterministic fault site for the soak suite: a `panic` spec here
     // exercises the worker's catch_unwind + completion-guard path.
@@ -546,19 +618,19 @@ fn run_batch(replicas: &mut ReplicaSet, batch: Vec<WorkJob>, shared: &Shared) {
     let forward_t0 = Instant::now();
     let outcome = (|| -> Result<_, ServeError> {
         let input = Tensor::new(&shape, data).map_err(advcomp_nn::NnError::from)?;
-        let logits = replicas.baseline.1.forward(&input, Mode::Eval)?;
+        let logits = replicas.baseline.forward(&input)?;
         m.record_model_forward(0, forward_t0.elapsed());
         let labels = logits.argmax_rows().map_err(advcomp_nn::NnError::from)?;
         let probs = softmax(&logits)?;
         let guard = match (&shared.config.guard, replicas.variants.is_empty()) {
             (Some(cfg), false) => {
                 let mut per_variant = Vec::with_capacity(replicas.variants.len());
-                for (i, (name, model)) in replicas.variants.iter_mut().enumerate() {
+                for (i, planned) in replicas.variants.iter_mut().enumerate() {
                     let variant_t0 = Instant::now();
-                    let vl = model.forward(&input, Mode::Eval)?;
+                    let vl = planned.forward(&input)?;
                     m.record_model_forward(1 + i, variant_t0.elapsed());
                     let vlabels = vl.argmax_rows().map_err(advcomp_nn::NnError::from)?;
-                    per_variant.push((name.clone(), vlabels));
+                    per_variant.push((planned.name.clone(), vlabels));
                 }
                 Some((cfg.threshold, per_variant))
             }
@@ -796,6 +868,32 @@ mod tests {
             Err(ServeError::ShuttingDown)
         ));
         // shutdown is idempotent.
+        engine.shutdown();
+    }
+
+    #[test]
+    fn workers_compile_plans_and_export_gauges() {
+        use crate::json::Json;
+        let engine = Engine::start(&registry(1), cfg()).unwrap();
+        let p = engine.submit(vec![0.5; 28 * 28], false).unwrap();
+        assert!(p.label < 10);
+        let snap = engine.metrics_snapshot().to_string();
+        let parsed = Json::parse(snap.as_bytes()).unwrap();
+        let plan = parsed.get("plan").expect("plan section");
+        for name in ["dense", "v0"] {
+            let g = plan
+                .get(name)
+                .unwrap_or_else(|| panic!("gauges for {name}"));
+            assert_eq!(g.get("compiled"), Some(&Json::Bool(true)), "{name}");
+            assert!(
+                matches!(g.get("compile_us"), Some(Json::Num(v)) if *v >= 1.0),
+                "{name} compile_us"
+            );
+            assert!(
+                matches!(g.get("arena_peak_bytes"), Some(Json::Num(v)) if *v > 0.0),
+                "{name} arena_peak_bytes"
+            );
+        }
         engine.shutdown();
     }
 

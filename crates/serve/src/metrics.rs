@@ -161,6 +161,19 @@ impl BatchSizeDistribution {
     }
 }
 
+/// Per-model gauges for the compiled forward plan: set once per compile
+/// (workers compile identical models, so last-writer-wins is fine).
+/// Both gauges stay 0 for a model the graph compiler could not plan —
+/// that model serves through the `Sequential` fallback.
+#[derive(Debug, Default)]
+pub struct PlanGauge {
+    /// Time the graph compiler spent building the plan, in microseconds.
+    pub compile_us: AtomicU64,
+    /// Peak bytes of the plan-owned activation arena + quantisation
+    /// scratch after `reserve_batch(max_batch)`.
+    pub arena_peak_bytes: AtomicU64,
+}
+
 /// All metrics for one serving engine, shared via `Arc`.
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
@@ -188,6 +201,9 @@ pub struct ServeMetrics {
     /// baseline's. Empty under `Default`; populated by
     /// [`ServeMetrics::with_model_names`].
     pub per_model_forward: Vec<(String, LatencyHistogram)>,
+    /// Per-model compiled-plan gauges (same order and population rule as
+    /// [`ServeMetrics::per_model_forward`]).
+    pub per_model_plan: Vec<(String, PlanGauge)>,
     /// End-to-end time from enqueue to reply.
     pub total: LatencyHistogram,
     /// Distribution of executed batch sizes.
@@ -226,12 +242,27 @@ impl ServeMetrics {
     /// Metrics with one per-model forward histogram per registry model
     /// (baseline first, then variants — the `ModelRegistry::names` order).
     pub fn with_model_names<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
         ServeMetrics {
             per_model_forward: names
+                .iter()
+                .map(|n| (n.clone(), LatencyHistogram::default()))
+                .collect(),
+            per_model_plan: names
                 .into_iter()
-                .map(|n| (n.into(), LatencyHistogram::default()))
+                .map(|n| (n, PlanGauge::default()))
                 .collect(),
             ..ServeMetrics::default()
+        }
+    }
+
+    /// Records one model's compiled-plan gauges. `index` follows the
+    /// registry order; out-of-range indices are ignored.
+    pub fn set_model_plan(&self, index: usize, compile_us: u64, arena_peak_bytes: u64) {
+        if let Some((_, g)) = self.per_model_plan.get(index) {
+            g.compile_us.store(compile_us, Ordering::Relaxed);
+            g.arena_peak_bytes
+                .store(arena_peak_bytes, Ordering::Relaxed);
         }
     }
 
@@ -331,6 +362,29 @@ impl ServeMetrics {
                     .set("total", self.total.to_json())
                     .build(),
             )
+            .set("plan", {
+                let mut obj = JsonObj::new();
+                for (name, g) in &self.per_model_plan {
+                    obj = obj.set(
+                        name,
+                        JsonObj::new()
+                            .set(
+                                "compiled",
+                                Json::Bool(g.compile_us.load(Ordering::Relaxed) > 0),
+                            )
+                            .set(
+                                "compile_us",
+                                Json::Num(g.compile_us.load(Ordering::Relaxed) as f64),
+                            )
+                            .set(
+                                "arena_peak_bytes",
+                                Json::Num(g.arena_peak_bytes.load(Ordering::Relaxed) as f64),
+                            )
+                            .build(),
+                    );
+                }
+                obj.build()
+            })
             .set("batch", self.batch_sizes.to_json())
             .set(
                 "guard",

@@ -189,6 +189,39 @@ pub fn im2col_into(input: &Tensor, geom: &Conv2dGeometry, out: &mut Tensor) -> R
     Ok(())
 }
 
+/// [`im2col`] over raw slices: `input` is an NCHW batch of `n` samples
+/// matching `geom`, `out` the `n·oh·ow × patch` column matrix, fully
+/// overwritten. Identical per-sample core and pool chunking as
+/// [`im2col_into`] — the graph executor's arena-resident variant.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when either slice disagrees
+/// with the geometry, or geometry errors from
+/// [`Conv2dGeometry::output_hw`].
+pub fn im2col_slice(input: &[f32], n: usize, geom: &Conv2dGeometry, out: &mut [f32]) -> Result<()> {
+    let (oh, ow) = geom.output_hw()?;
+    let patch = geom.patch_len();
+    let in_len = n * geom.in_channels * geom.in_h * geom.in_w;
+    if input.len() != in_len {
+        return Err(TensorError::LengthMismatch {
+            expected: in_len,
+            actual: input.len(),
+        });
+    }
+    if out.len() != n * oh * ow * patch {
+        return Err(TensorError::LengthMismatch {
+            expected: n * oh * ow * patch,
+            actual: out.len(),
+        });
+    }
+    pool::for_each_chunk(out, oh * ow * patch, |b, chunk| {
+        chunk.fill(0.0);
+        im2col_sample(input, chunk, b, geom, oh, ow);
+    });
+    Ok(())
+}
+
 /// Accumulates the patch gradients of one batch sample. `chunk` is that
 /// sample's contiguous `c·h·w` slice of the input gradient.
 fn col2im_sample(
@@ -285,6 +318,48 @@ pub fn rows_to_nchw(rows: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) ->
         }
     });
     Ok(out)
+}
+
+/// [`rows_to_nchw`] over raw slices: reorders `n·oh·ow × oc` GEMM rows
+/// into an NCHW `n × oc × oh × ow` destination, fully overwritten. Same
+/// per-sample transpose and pool chunking as the `Tensor` variant.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] when either slice disagrees
+/// with `n·oc·oh·ow`.
+pub fn rows_to_nchw_slice(
+    rows: &[f32],
+    n: usize,
+    oc: usize,
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+) -> Result<()> {
+    let len = n * oc * oh * ow;
+    if rows.len() != len {
+        return Err(TensorError::LengthMismatch {
+            expected: len,
+            actual: rows.len(),
+        });
+    }
+    if out.len() != len {
+        return Err(TensorError::LengthMismatch {
+            expected: len,
+            actual: out.len(),
+        });
+    }
+    pool::for_each_chunk(out, oc * oh * ow, |b, chunk| {
+        for y in 0..oh {
+            for x in 0..ow {
+                let row = ((b * oh + y) * ow + x) * oc;
+                for o in 0..oc {
+                    chunk[(o * oh + y) * ow + x] = rows[row + o];
+                }
+            }
+        }
+    });
+    Ok(())
 }
 
 /// Inverse of [`rows_to_nchw`]: NCHW tensor back to GEMM row layout,

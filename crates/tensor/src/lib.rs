@@ -42,11 +42,17 @@ mod shape;
 pub mod simd;
 mod tensor;
 
-pub use conv::{col2im, im2col, im2col_into, nchw_to_rows, rows_to_nchw, Conv2dGeometry};
+pub use conv::{
+    col2im, im2col, im2col_into, im2col_slice, nchw_to_rows, rows_to_nchw, rows_to_nchw_slice,
+    Conv2dGeometry,
+};
 pub use error::TensorError;
 pub use init::{FanMode, Init};
-pub use ops::MatmulKernel;
-pub use quant::{qmatmul, qmatmul_f32, quantize_activations, QActivations, QTensor, QuantKind, QK};
+pub use ops::{gemm_prepacked, gemm_sparse, probe_matmul_kernel, MatmulKernel, PackedGemmB};
+pub use quant::{
+    qmatmul, qmatmul_f32, quantize_activations, quantize_activations_into, QActivations, QTensor,
+    QuantKind, QK,
+};
 pub use shape::{broadcast_shapes, numel, Shape};
 pub use simd::KernelBackend;
 pub use tensor::Tensor;

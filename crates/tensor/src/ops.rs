@@ -211,6 +211,157 @@ fn matmul_sparse_rows(
     }
 }
 
+/// A weight matrix pre-packed into the dense microkernel's column-panel
+/// layout (see [`pack_b_panels`]'s internal docs).
+///
+/// The graph compiler packs each f32 weight matrix once at plan-compile
+/// time and reuses the panels for every forward pass, where
+/// [`Tensor::matmul`] re-packs its right operand on every call. The packed
+/// buffer holds the same `k × n` elements; only the layout differs.
+#[derive(Debug, Clone)]
+pub struct PackedGemmB {
+    packed: Vec<f32>,
+    k: usize,
+    n: usize,
+}
+
+impl PackedGemmB {
+    /// Packs `b` (`k × n`, row-major) into column panels.
+    pub fn pack(b: &[f32], k: usize, n: usize) -> Result<PackedGemmB> {
+        if b.len() != k * n {
+            return Err(TensorError::LengthMismatch {
+                expected: k * n,
+                actual: b.len(),
+            });
+        }
+        Ok(PackedGemmB {
+            packed: pack_b_panels(b, k, n),
+            k,
+            n,
+        })
+    }
+
+    /// Inner (reduction) dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output column count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+/// The kernel [`Tensor::matmul`] would choose for a left operand with this
+/// backing slice — the same strided density probe, exposed for callers
+/// (the graph executor) that hold activations in arena slices rather than
+/// `Tensor`s.
+pub fn probe_matmul_kernel(data: &[f32]) -> MatmulKernel {
+    if probe_nonzero_fraction(data) <= SPARSE_NONZERO_CUTOFF {
+        MatmulKernel::Sparse
+    } else {
+        MatmulKernel::Dense
+    }
+}
+
+/// Dense GEMM against a pre-packed right operand: `out = a · b`, with `a`
+/// `m × k` row-major and `out` `m × n` (fully overwritten).
+///
+/// Runs the identical kernel, banding policy and backend dispatch as
+/// [`Tensor::matmul`] with [`MatmulKernel::Dense`], so results are
+/// bit-identical to the `Tensor` entry point on every backend — the packing
+/// is pure data movement.
+///
+/// # Errors
+///
+/// [`TensorError::LengthMismatch`] when `a` or `out` disagree with
+/// `m × b.k()` / `m × b.n()`.
+pub fn gemm_prepacked(
+    backend: KernelBackend,
+    a: &[f32],
+    m: usize,
+    b: &PackedGemmB,
+    out: &mut [f32],
+) -> Result<()> {
+    let (k, n) = (b.k, b.n);
+    if a.len() != m * k {
+        return Err(TensorError::LengthMismatch {
+            expected: m * k,
+            actual: a.len(),
+        });
+    }
+    if out.len() != m * n {
+        return Err(TensorError::LengthMismatch {
+            expected: m * n,
+            actual: out.len(),
+        });
+    }
+    out.fill(0.0);
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    let threads = pool::global().effective_threads();
+    if m * k * n >= PARALLEL_THRESHOLD && threads >= 2 && m >= 2 {
+        pool::for_each_row_band(out, n, threads, |row_start, band| {
+            matmul_dense_rows(backend, a, &b.packed, band, row_start, k, n);
+        });
+    } else {
+        matmul_dense_rows(backend, a, &b.packed, out, 0, k, n);
+    }
+    Ok(())
+}
+
+/// Sparse-aware GEMM over raw slices: `out = a · b`, zero multipliers in
+/// `a` skipped. Same kernel, banding policy and backend dispatch as
+/// [`Tensor::matmul`] with [`MatmulKernel::Sparse`]; `out` is fully
+/// overwritten.
+///
+/// # Errors
+///
+/// [`TensorError::LengthMismatch`] when slice lengths disagree with
+/// `m × k`, `k × n`, `m × n`.
+pub fn gemm_sparse(
+    backend: KernelBackend,
+    a: &[f32],
+    m: usize,
+    b: &[f32],
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) -> Result<()> {
+    if a.len() != m * k {
+        return Err(TensorError::LengthMismatch {
+            expected: m * k,
+            actual: a.len(),
+        });
+    }
+    if b.len() != k * n {
+        return Err(TensorError::LengthMismatch {
+            expected: k * n,
+            actual: b.len(),
+        });
+    }
+    if out.len() != m * n {
+        return Err(TensorError::LengthMismatch {
+            expected: m * n,
+            actual: out.len(),
+        });
+    }
+    out.fill(0.0);
+    if m == 0 || n == 0 {
+        return Ok(());
+    }
+    let threads = pool::global().effective_threads();
+    if m * k * n >= PARALLEL_THRESHOLD && threads >= 2 && m >= 2 {
+        pool::for_each_row_band(out, n, threads, |row_start, band| {
+            matmul_sparse_rows(backend, a, b, band, row_start, k, n);
+        });
+    } else {
+        matmul_sparse_rows(backend, a, b, out, 0, k, n);
+    }
+    Ok(())
+}
+
 impl Tensor {
     /// Matrix product of two 2-D tensors.
     ///
@@ -541,6 +692,66 @@ mod tests {
         assert_eq!(out.shape(), &[2]);
         assert_eq!(out.data(), &[-2.0, -2.0]);
         assert!(a.matvec(&Tensor::zeros(&[2, 2])).is_err());
+    }
+
+    #[test]
+    fn prepacked_gemm_bit_identical_to_matmul() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (7, 33, 130), (130, 80, 90)] {
+            let a = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[m, k], &mut rng);
+            let b = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[k, n], &mut rng);
+            let reference = a.matmul_with_kernel(&b, MatmulKernel::Dense).unwrap();
+            let packed = PackedGemmB::pack(b.data(), k, n).unwrap();
+            let mut out = vec![f32::NAN; m * n];
+            gemm_prepacked(simd::backend(), a.data(), m, &packed, &mut out).unwrap();
+            assert_eq!(reference.data(), &out[..], "prepacked at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn sparse_slice_gemm_bit_identical_to_matmul() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+        let (m, k, n) = (65, 70, 33);
+        let mut a = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[m, k], &mut rng);
+        for v in a.data_mut().iter_mut() {
+            if rng.gen::<f32>() < 0.9 {
+                *v = 0.0;
+            }
+        }
+        let b = Init::Uniform { lo: -1.0, hi: 1.0 }.tensor(&[k, n], &mut rng);
+        let reference = a.matmul_with_kernel(&b, MatmulKernel::Sparse).unwrap();
+        let mut out = vec![f32::NAN; m * n];
+        gemm_sparse(simd::backend(), a.data(), m, b.data(), k, n, &mut out).unwrap();
+        assert_eq!(reference.data(), &out[..]);
+    }
+
+    #[test]
+    fn slice_probe_matches_tensor_probe() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(37);
+        let dense = Init::Uniform { lo: 0.5, hi: 1.0 }.tensor(&[64, 64], &mut rng);
+        assert_eq!(
+            probe_matmul_kernel(dense.data()),
+            dense.matmul_kernel_probe()
+        );
+        let mut pruned = dense.clone();
+        for (i, v) in pruned.data_mut().iter_mut().enumerate() {
+            if i % 10 != 0 {
+                *v = 0.0;
+            }
+        }
+        assert_eq!(
+            probe_matmul_kernel(pruned.data()),
+            pruned.matmul_kernel_probe()
+        );
+    }
+
+    #[test]
+    fn prepacked_rejects_bad_lengths() {
+        assert!(PackedGemmB::pack(&[0.0; 5], 2, 3).is_err());
+        let b = PackedGemmB::pack(&[0.0; 6], 2, 3).unwrap();
+        let mut out = vec![0.0; 6];
+        assert!(gemm_prepacked(simd::backend(), &[0.0; 3], 2, &b, &mut out).is_err());
+        assert!(gemm_prepacked(simd::backend(), &[0.0; 4], 2, &b, &mut out[..5]).is_err());
     }
 
     #[test]

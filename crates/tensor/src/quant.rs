@@ -335,6 +335,44 @@ impl QTensor {
         }
     }
 
+    /// Re-packs a [`QuantKind::Q4`] tensor into [`QuantKind::Q8`] block
+    /// layout: every 4-bit nibble is sign-extended into its own byte. The
+    /// codes, scales and logical shape are untouched, so every dot product
+    /// computed against the widened tensor is integer-identical to one
+    /// against the original — but the per-block nibble unpack leaves the
+    /// GEMM inner loop entirely.
+    ///
+    /// This is the graph compiler's fix for the q4 forward regression: q4
+    /// weights are widened once at plan-compile time (2× the q4 bytes,
+    /// still ~half the q8 checkpoint), and the forward runs the Q8 kernels
+    /// — including `maddubs`, which is always exact for codes in [-8, 7].
+    /// Q8 tensors are returned as a cheap clone.
+    pub fn widen_to_q8(&self) -> QTensor {
+        if self.kind == QuantKind::Q8 {
+            return self.clone();
+        }
+        let half = QK / 2;
+        let blocks = self.scales.len();
+        let mut codes = vec![0u8; blocks * QK];
+        for b in 0..blocks {
+            let src = &self.codes[b * half..(b + 1) * half];
+            let dst = &mut codes[b * QK..(b + 1) * QK];
+            for (l, &byte) in src.iter().enumerate() {
+                dst[l] = (((byte << 4) as i8) >> 4) as u8;
+                dst[l + half] = ((byte as i8) >> 4) as u8;
+            }
+        }
+        QTensor {
+            kind: QuantKind::Q8,
+            shape: self.shape.clone(),
+            format: self.format,
+            scales: self.scales.clone(),
+            // Q4 codes decode to [-8, 7]: never 0x80, so maddubs is exact.
+            maddubs_safe: maddubs_safe(QuantKind::Q8, &codes),
+            codes,
+        }
+    }
+
     /// Unpacks to row-major f32 values in the logical shape. Bit-exact
     /// with `format.quantize` applied to the original data.
     pub fn dequantize(&self) -> Vec<f32> {
@@ -397,6 +435,47 @@ pub struct QActivations {
 }
 
 impl QActivations {
+    /// An empty buffer bound to `format`, for reuse via
+    /// [`quantize_activations_into`] or [`QActivations::reset`]. The graph
+    /// executor holds one per packed layer so the steady-state forward
+    /// quantises into persistent storage instead of allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::Unsupported`] when the format's codes exceed 8 bits.
+    pub fn with_format(format: QFormat) -> Result<QActivations> {
+        if QuantKind::for_format(format).is_none() {
+            return Err(TensorError::Unsupported(format!(
+                "activation codes for {}-bit {format} do not fit i8",
+                format.total_bits()
+            )));
+        }
+        Ok(QActivations {
+            rows: 0,
+            cols: 0,
+            codes: Vec::new(),
+            scale: format.resolution(),
+            format,
+        })
+    }
+
+    /// Resizes for `rows × cols` logical values and zeroes every code
+    /// (including block padding), keeping the bound format. Callers then
+    /// write codes through [`QActivations::codes_mut`] — the layout is
+    /// `rows × blocks_per_row × QK`, rows padded with zero codes.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        let bpr = cols.div_ceil(QK);
+        self.codes.clear();
+        self.codes.resize(rows * bpr * QK, 0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Mutable access to the i8 codes (padded rows).
+    pub fn codes_mut(&mut self) -> &mut [i8] {
+        &mut self.codes
+    }
+
     /// Row count.
     pub fn rows(&self) -> usize {
         self.rows
@@ -472,6 +551,45 @@ pub fn quantize_activations(
         scale: format.resolution(),
         format,
     })
+}
+
+/// [`quantize_activations`] into a caller-owned buffer created with
+/// [`QActivations::with_format`] — identical codes, no allocation once the
+/// buffer has grown to its steady-state size.
+///
+/// # Errors
+///
+/// As [`quantize_activations`]; additionally
+/// [`TensorError::Unsupported`] when `format` differs from the buffer's
+/// bound format (the scale would silently change otherwise).
+pub fn quantize_activations_into(
+    backend: KernelBackend,
+    data: &[f32],
+    rows: usize,
+    cols: usize,
+    format: QFormat,
+    out: &mut QActivations,
+) -> Result<()> {
+    if format != out.format {
+        return Err(TensorError::Unsupported(format!(
+            "activation buffer bound to {}, fed {format}",
+            out.format
+        )));
+    }
+    if data.len() != rows * cols {
+        return Err(TensorError::LengthMismatch {
+            expected: rows * cols,
+            actual: data.len(),
+        });
+    }
+    out.reset(rows, cols);
+    let bpr = cols.div_ceil(QK);
+    for r in 0..rows {
+        let src = &data[r * cols..(r + 1) * cols];
+        let dst = &mut out.codes[r * bpr * QK..r * bpr * QK + cols];
+        encode_row(backend, src, format, dst);
+    }
+    Ok(())
 }
 
 /// Encodes one row of f32 values to i8 codes.
@@ -1228,6 +1346,59 @@ mod tests {
             qt.codes().to_vec(),
         )
         .is_err());
+    }
+
+    #[test]
+    fn widened_q4_is_code_identical_and_maddubs_safe() {
+        let data = values(41, 6 * 77, 2.0); // cols 77: exercises padding
+        let qt = QTensor::quantize(&data, &[6, 77], q4()).unwrap();
+        let wide = qt.widen_to_q8();
+        assert_eq!(wide.kind(), QuantKind::Q8);
+        assert_eq!(wide.shape(), qt.shape());
+        assert_eq!(wide.format(), qt.format());
+        assert_eq!(wide.scales(), qt.scales());
+        assert!(wide.uniform_scale().is_some());
+        for r in 0..6 {
+            for c in 0..77 {
+                assert_eq!(wide.code(r, c), qt.code(r, c), "code ({r},{c})");
+            }
+        }
+        // Same GEMM result, bitwise, on both backends.
+        let a = values(43, 3 * 77, 2.0);
+        for backend in [KernelBackend::Scalar, KernelBackend::Simd] {
+            let act = quantize_activations(backend, &a, 3, 77, q4()).unwrap();
+            let mut narrow = vec![0.0f32; 3 * 6];
+            let mut widened = vec![0.0f32; 3 * 6];
+            qmatmul(backend, &act, &qt, &mut narrow).unwrap();
+            qmatmul(backend, &act, &wide, &mut widened).unwrap();
+            for (i, (x, y)) in narrow.iter().zip(&widened).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{backend:?} out[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_into_matches_allocating_path_and_reuses_storage() {
+        let data = values(47, 4 * 50, 3.0);
+        for fmt in [q4(), q8()] {
+            let fresh = quantize_activations(KernelBackend::Scalar, &data, 4, 50, fmt).unwrap();
+            let mut buf = QActivations::with_format(fmt).unwrap();
+            quantize_activations_into(KernelBackend::Scalar, &data, 4, 50, fmt, &mut buf).unwrap();
+            assert_eq!(buf.codes(), fresh.codes());
+            assert_eq!(buf.scale(), fresh.scale());
+            let ptr = buf.codes().as_ptr();
+            // Smaller batch reuses the grown allocation, stale tail cleared.
+            quantize_activations_into(KernelBackend::Scalar, &data[..2 * 50], 2, 50, fmt, &mut buf)
+                .unwrap();
+            assert_eq!(buf.codes().as_ptr(), ptr);
+            assert_eq!(buf.rows(), 2);
+            // Mismatched format is rejected rather than silently re-scaled.
+            let other = if fmt == q4() { q8() } else { q4() };
+            assert!(matches!(
+                quantize_activations_into(KernelBackend::Scalar, &data, 4, 50, other, &mut buf),
+                Err(TensorError::Unsupported(_))
+            ));
+        }
     }
 
     #[test]

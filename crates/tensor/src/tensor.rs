@@ -201,6 +201,28 @@ impl Tensor {
         self.shape = shape.to_vec();
     }
 
+    /// Overwrites `self` with `data` reshaped to `shape`, reusing the
+    /// existing allocation when the element count already matches. The
+    /// graph executor uses this to publish its arena-resident output into a
+    /// caller-owned tensor without a per-forward allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data` does not fill
+    /// `shape`.
+    pub fn assign_from(&mut self, shape: &[usize], data: &[f32]) -> Result<()> {
+        if data.len() != numel(shape) {
+            return Err(TensorError::LengthMismatch {
+                expected: numel(shape),
+                actual: data.len(),
+            });
+        }
+        self.data.clear();
+        self.data.extend_from_slice(data);
+        self.shape = shape.to_vec();
+        Ok(())
+    }
+
     /// Flattens to 1-D, preserving row-major order.
     pub fn flatten(&self) -> Tensor {
         Tensor {

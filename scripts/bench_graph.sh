@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the graph-compiler ablation and writes BENCH_graph.json at the repo
+# root: compiled ExecPlan forward vs the layer-at-a-time Sequential
+# forward for both paper nets at f32 / q8-frozen / q4-frozen, plus what
+# the compiler bought per model — fusion counts, compile time,
+# steady-state allocation events (must be 0), and the static arena's peak
+# vs the sum of per-layer intermediates it replaced.
+#
+# The worker pool reads ADVCOMP_THREADS once at startup, so pin the
+# thread count per process, e.g.:
+#
+#   ADVCOMP_THREADS=8 scripts/bench_graph.sh
+#   scripts/bench_graph.sh results/BENCH_graph.json
+#
+# The default of 8 matches scripts/bench_quant.sh so the unfused baseline
+# here is the same configuration BENCH_quant.json measures.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_graph.json}"
+ITERS="${BENCH_ITERS:-60}"
+export ADVCOMP_THREADS="${ADVCOMP_THREADS:-8}"
+
+cargo build --release -p advcomp-bench --bin graph_bench
+./target/release/graph_bench --out "$OUT" --iters "$ITERS"

@@ -48,6 +48,19 @@ for kernel in scalar simd; do
 done
 echo "quant parity: packed storage and int8 kernels agree"
 
+# Graph-compiler parity: the compiled ExecPlan forward must be per-logit
+# bit-identical to Sequential::forward for both paper nets at f32,
+# q8-frozen and q4-frozen (scalar-vs-SIMD plans additionally compared
+# under the 1e-5 relative-L2 gate), the fusion passes must fire on their
+# patterns, and the static memory plan must never alias simultaneously
+# live buffers under any topological order. Run under both dispatch
+# values like kernel_parity.
+for kernel in scalar simd; do
+    ADVCOMP_KERNEL="$kernel" \
+        cargo test -q -p advcomp-testkit --test graph_parity >/dev/null
+done
+echo "graph parity: compiled plans bit-identical to Sequential"
+
 # SIMD regression gate: on an AVX2+FMA host the dispatched GEMM must not be
 # slower than the scalar path (--check-simd is a no-op on hosts without
 # AVX2). Reports go to a scratch dir so the checked-in BENCH_simd.json only
@@ -69,6 +82,20 @@ quant_tmp="$(mktemp -d)"
     --check-quant >/dev/null
 rm -rf "$quant_tmp"
 echo "quant gate: packed Q8 GEMM not slower than dense f32"
+
+# Graph-compiler regression gate: on an AVX2 host the compiled q8-frozen
+# LeNet-5 forward must be >= 1.3x the unfused layer path (the speedup
+# clause is a no-op without AVX2), and the steady-state compiled forward
+# must perform zero heap allocations on every model x format (asserted
+# unconditionally). Same scratch-dir convention as the simd/quant gates
+# so the checked-in BENCH_graph.json only changes via
+# scripts/bench_graph.sh.
+cargo build -q --release -p advcomp-bench --bin graph_bench
+graph_tmp="$(mktemp -d)"
+./target/release/graph_bench --iters 25 --out "$graph_tmp/graph.json" \
+    --check-graph >/dev/null
+rm -rf "$graph_tmp"
+echo "graph gate: compiled q8 LeNet-5 >= 1.3x unfused, zero steady-state allocs"
 
 # Fault-injection smoke: a tiny sweep with a sticky panic injected at one
 # point must still exit 0, keeping the surviving point and recording the
