@@ -48,6 +48,7 @@ mod pgd;
 mod planned;
 mod stats;
 pub mod step;
+mod universal;
 
 pub use deepfool::DeepFool;
 pub use error::AttackError;
@@ -58,6 +59,7 @@ pub use params::{AttackKind, AttackParams, NetKind, PaperParams};
 pub use pgd::Pgd;
 pub use planned::PlannedEval;
 pub use stats::PerturbationStats;
+pub use universal::{craft_uap, Uap, UapConfig};
 
 use advcomp_nn::Sequential;
 use advcomp_tensor::Tensor;

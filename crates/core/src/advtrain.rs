@@ -11,8 +11,10 @@
 use crate::{CoreError, Result};
 use advcomp_attacks::Attack;
 use advcomp_data::{Batches, Dataset};
+use advcomp_models::Checkpoint;
 use advcomp_nn::{softmax_cross_entropy, LrSchedule, Mode, Sequential, Sgd, StepDecay};
 use advcomp_tensor::Tensor;
+use std::path::Path;
 
 /// Configuration for adversarial fine-tuning.
 #[derive(Debug, Clone)]
@@ -101,6 +103,31 @@ pub fn adversarial_finetune(
     Ok(final_loss)
 }
 
+/// Adversarially fine-tunes a clone of `model` and saves the hardened
+/// parameters as a checkpoint at `path`, so the serving registry can
+/// register it as a variant (`ModelRegistry::load_variant`) alongside the
+/// compressed ensemble. Returns the hardened model and the mean training
+/// loss of the final epoch.
+///
+/// # Errors
+///
+/// As [`adversarial_finetune`], plus [`CoreError::Checkpoint`] if the
+/// checkpoint cannot be written.
+pub fn finetune_to_checkpoint(
+    model: &Sequential,
+    data: &Dataset,
+    attack: &dyn Attack,
+    cfg: &AdvTrainConfig,
+    path: &Path,
+) -> Result<(Sequential, f32)> {
+    let mut hardened = model.clone();
+    let loss = adversarial_finetune(&mut hardened, data, attack, cfg)?;
+    Checkpoint::capture(&hardened)
+        .save(path)
+        .map_err(|e| CoreError::Checkpoint(e.to_string()))?;
+    Ok((hardened, loss))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +174,42 @@ mod tests {
             hardened_adv_acc > plain_adv_acc + 0.1,
             "no robustness gained: plain {plain_adv_acc} vs hardened {hardened_adv_acc}"
         );
+    }
+
+    /// The hardened checkpoint must restore bit-exactly into a fresh
+    /// architecture — that is what lets the serving registry register the
+    /// adversarially trained model as an ensemble variant.
+    #[test]
+    fn hardened_checkpoint_roundtrips() {
+        let scale = ExperimentScale::tiny();
+        let setup = TaskSetup::new(NetKind::LeNet5, &scale);
+        let trained = TrainedModel::train(&setup, &scale, 3).unwrap();
+        let model = trained.instantiate().unwrap();
+        let attack = Ifgsm::new(0.05, 1).unwrap();
+        let cfg = AdvTrainConfig {
+            epochs: 1,
+            ..AdvTrainConfig::default()
+        };
+        let dir =
+            std::env::temp_dir().join(format!("advcomp_advtrain_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hardened.advc");
+        let (hardened, loss) =
+            finetune_to_checkpoint(&model, &setup.train, &attack, &cfg, &path).unwrap();
+        assert!(loss.is_finite());
+        // The input model is untouched; the artifact restores the hardened
+        // parameters exactly.
+        assert_eq!(
+            model.export_params(),
+            trained.instantiate().unwrap().export_params()
+        );
+        let mut restored = setup.fresh_model(99);
+        advcomp_models::Checkpoint::load(&path)
+            .unwrap()
+            .restore(&mut restored)
+            .unwrap();
+        assert_eq!(restored.export_params(), hardened.export_params());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,98 @@
+use advcomp_attacks::AttackError;
+use advcomp_core::CoreError;
+use advcomp_nn::NnError;
+use advcomp_tensor::TensorError;
+use std::fmt;
+
+/// Errors from the detection subsystem.
+#[derive(Debug)]
+pub enum DetectError {
+    /// A model forward failed.
+    Nn(NnError),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Attack crafting failed while building evaluation traffic.
+    Attack(AttackError),
+    /// The core train/compress pipeline failed inside the grid.
+    Core(CoreError),
+    /// File I/O failed.
+    Io(std::io::Error),
+    /// A calibration artifact is not decodable (bad magic, truncation,
+    /// CRC mismatch). Mirrors `CheckpointError::Corrupt`: corruption is an
+    /// explicit error, never a silently-default calibration.
+    Artifact(String),
+    /// Bad detector/calibration/grid configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::Nn(e) => write!(f, "network error: {e}"),
+            DetectError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DetectError::Attack(e) => write!(f, "attack error: {e}"),
+            DetectError::Core(e) => write!(f, "pipeline error: {e}"),
+            DetectError::Io(e) => write!(f, "io error: {e}"),
+            DetectError::Artifact(msg) => write!(f, "corrupt calibration artifact: {msg}"),
+            DetectError::InvalidConfig(msg) => write!(f, "invalid detect configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DetectError::Nn(e) => Some(e),
+            DetectError::Tensor(e) => Some(e),
+            DetectError::Attack(e) => Some(e),
+            DetectError::Core(e) => Some(e),
+            DetectError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for DetectError {
+    fn from(e: NnError) -> Self {
+        DetectError::Nn(e)
+    }
+}
+
+impl From<TensorError> for DetectError {
+    fn from(e: TensorError) -> Self {
+        DetectError::Tensor(e)
+    }
+}
+
+impl From<AttackError> for DetectError {
+    fn from(e: AttackError) -> Self {
+        DetectError::Attack(e)
+    }
+}
+
+impl From<CoreError> for DetectError {
+    fn from(e: CoreError) -> Self {
+        DetectError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for DetectError {
+    fn from(e: std::io::Error) -> Self {
+        DetectError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e: DetectError = NnError::InvalidConfig("x".into()).into();
+        assert!(e.to_string().contains("network error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = DetectError::Artifact("crc mismatch".into());
+        assert!(e.to_string().contains("corrupt calibration artifact"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

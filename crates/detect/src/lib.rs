@@ -1,0 +1,43 @@
+//! Calibrated adversarial detection over compression ensembles.
+//!
+//! The paper's defensive observation — adversarial samples transfer
+//! imperfectly between a dense model and its compressed variants — turns
+//! into a deployable detector in three layers:
+//!
+//! * **Detectors** — pure score functions over ensemble logits: the serve
+//!   guard's [`DisagreementDetector`] (factored out of the engine so
+//!   online and offline paths share one implementation), the softer
+//!   [`DivergenceDetector`] (softmax divergence moves before labels
+//!   flip), and the baseline-only [`MarginDetector`]. Offline scoring
+//!   runs through compiled `advcomp-graph` plans via [`VariantEnsemble`].
+//! * **Calibration** — [`RocCurve`] sweeps from labelled clean/attacked
+//!   traffic, trapezoid AUC (differentially tested against the rank-based
+//!   [`reference_auc`]), and the operating point for a target false
+//!   positive rate, frozen into a CRC-checked [`DetectorCalibration`]
+//!   artifact (`.advd`) that `advcomp-serve` loads next to checkpoints.
+//! * **Evaluation grid** — the attack × compression grid:
+//!   [`run_detection_grid`] trains a task, builds the ensemble (including
+//!   universal perturbations from `advcomp_attacks::craft_uap` and an
+//!   optional adversarially fine-tuned member), calibrates on held-out
+//!   traffic, and journals per-member detection rate / AUC / UAP-transfer
+//!   cells through the core resilience machinery.
+
+#![warn(missing_docs)]
+
+mod calibration;
+mod detector;
+mod error;
+mod grid;
+
+pub use calibration::{reference_auc, DetectorCalibration, RocCurve, RocPoint};
+pub use detector::{
+    detector_by_name, Detector, DisagreementDetector, DivergenceDetector, MarginDetector,
+    VariantEnsemble,
+};
+pub use error::DetectError;
+pub use grid::{
+    run_detection_grid, DetectionGrid, DetectionGridConfig, GridCell, GridFailure, GRID_ATTACKS,
+};
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, DetectError>;

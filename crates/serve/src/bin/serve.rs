@@ -24,6 +24,7 @@ struct Args {
     arch: String,
     baseline: Option<(String, PathBuf)>,
     variants: Vec<(String, PathBuf)>,
+    calibration: Option<PathBuf>,
     addr: String,
     config: ServeConfig,
     server: ServerConfig,
@@ -34,8 +35,8 @@ fn usage() -> ! {
         "usage: serve --arch <mlp:H|lenet5:W> --baseline NAME=PATH \
          [--variant NAME=PATH]... [--addr HOST:PORT] [--workers N] \
          [--max-batch N] [--max-delay-ms N] [--queue-depth N] \
-         [--guard-threshold F|--no-guard] [--io-threads N] \
-         [--rate-limit RPS[:BURST]] [--max-conns N]"
+         [--guard-threshold F|--no-guard] [--calibration PATH] \
+         [--io-threads N] [--rate-limit RPS[:BURST]] [--max-conns N]"
     );
     std::process::exit(2);
 }
@@ -69,6 +70,7 @@ fn parse_args() -> Args {
         arch: "lenet5:1.0".into(),
         baseline: None,
         variants: Vec::new(),
+        calibration: None,
         addr: "127.0.0.1:7878".into(),
         config: ServeConfig::default(),
         server: ServerConfig::default(),
@@ -96,6 +98,7 @@ fn parse_args() -> Args {
                 })
             }
             "--no-guard" => args.config.guard = None,
+            "--calibration" => args.calibration = Some(PathBuf::from(value())),
             "--io-threads" => args.server.io_threads = value().parse().unwrap_or_else(|_| usage()),
             "--max-conns" => args.server.max_conns = value().parse().unwrap_or_else(|_| usage()),
             "--rate-limit" => {
@@ -143,6 +146,20 @@ fn main() -> ExitCode {
             registry.load_variant(name.clone(), arch, path)?;
             eprintln!("loaded variant {name} from {}", path.display());
         }
+        if let Some(path) = &args.calibration {
+            registry.load_calibration(path)?;
+            let cal = registry.calibration().expect("just loaded");
+            eprintln!(
+                "loaded calibration from {}: detector {} at threshold {:.4} \
+                 (target fpr {:.3}, observed tpr {:.3}, auc {:.3})",
+                path.display(),
+                cal.detector,
+                cal.threshold,
+                cal.target_fpr,
+                cal.observed_tpr,
+                cal.auc
+            );
+        }
         let engine = Engine::start(&registry, args.config.clone())?;
         let server = Server::bind_with(engine, &args.addr, args.server.clone())?;
         eprintln!(
@@ -151,9 +168,10 @@ fn main() -> ExitCode {
             args.config.workers,
             args.server.io_threads,
             args.config.max_batch,
-            match &args.config.guard {
-                Some(g) => format!("threshold {}", g.threshold),
-                None => "off".into(),
+            match (&args.config.guard, args.calibration.is_some()) {
+                (Some(_), true) => "calibrated".into(),
+                (Some(g), false) => format!("threshold {}", g.threshold),
+                (None, _) => "off".into(),
             },
             match &args.server.rate_limit {
                 Some(rl) => format!("{} rps (burst {})", rl.rps, rl.burst),

@@ -35,14 +35,26 @@
 //!
 //! Adversarial examples crafted against a dense model transfer imperfectly
 //! to its pruned/quantised variants (the paper's central observation), so
-//! top-1 disagreement between the baseline and its compressed copies is a
-//! cheap adversarial signal. For each request the guard scores
-//! `suspect = disagreeing variants / total variants` and flags the request
-//! when `suspect >= threshold`.
+//! the spread between the baseline's and its compressed copies' outputs is
+//! a cheap adversarial signal. Scoring goes through the shared
+//! [`Detector`](advcomp_detect::Detector) implementations from
+//! `advcomp-detect` — the same code the offline calibration pipeline runs —
+//! over the logits the batch forward already produced. For each request the
+//! guard computes one score in `[0, 1]` and flags when
+//! `score >= threshold`.
+//!
+//! By default the detector is top-1 disagreement at the manually
+//! configured [`GuardConfig::threshold`]. When the registry carries a
+//! [`DetectorCalibration`](advcomp_detect::DetectorCalibration) artifact
+//! (see [`ModelRegistry::load_calibration`]), the guard instead deploys
+//! the calibrated detector at its ROC-chosen operating threshold, and the
+//! metrics snapshot reports the verdicts as calibrated.
 
+use crate::metrics::GuardDeployment;
 use crate::registry::{ModelRegistry, RegistryHandle, ReplicaSet};
 use crate::shard::{PushError, ShardedQueue};
 use crate::{ServeError, ServeMetrics};
+use advcomp_detect::{detector_by_name, Detector, DisagreementDetector};
 use advcomp_graph::ExecPlan;
 use advcomp_nn::{faults, softmax, Mode, Sequential};
 use advcomp_tensor::Tensor;
@@ -55,8 +67,9 @@ use std::time::{Duration, Instant};
 /// Ensemble-guard configuration.
 #[derive(Debug, Clone)]
 pub struct GuardConfig {
-    /// Flag a request when at least this fraction of variants disagrees
-    /// with the baseline's top-1 label. Must lie in `(0, 1]`.
+    /// Flag a request when its detector score reaches this value. Must
+    /// lie in `(0, 1]`. Ignored when the registry carries a calibration
+    /// artifact — the calibrated operating threshold wins.
     pub threshold: f64,
 }
 
@@ -135,8 +148,9 @@ pub struct Prediction {
     pub label: usize,
     /// Baseline softmax distribution, when the request asked for it.
     pub probs: Option<Vec<f32>>,
-    /// Guard score: fraction of variants disagreeing with the baseline.
-    /// `None` when the guard is disabled or no variants are registered.
+    /// Guard detector score in `[0, 1]` (higher = more suspect; the
+    /// variant-disagreement fraction for the default detector). `None`
+    /// when the guard is disabled or no variants are registered.
     pub suspect: Option<f64>,
     /// Whether the guard flagged this request as adversarial-suspect.
     pub flagged: Option<bool>,
@@ -201,6 +215,10 @@ impl Drop for Done {
 struct WorkJob {
     input: Vec<f32>,
     want_probs: bool,
+    /// Evaluation-traffic tag: which attack (if any) this request claims
+    /// to carry, for per-attack detection-rate accounting. Production
+    /// traffic leaves it `None`.
+    attack: Option<String>,
     enqueued: Instant,
     done: Done,
 }
@@ -212,11 +230,21 @@ enum Job {
     Stall(Duration),
 }
 
+/// The guard as deployed: which detector scores batches and at what
+/// threshold (resolved once at engine start from config + registry
+/// calibration).
+struct GuardRuntime {
+    detector: Box<dyn Detector>,
+    threshold: f64,
+    calibrated: bool,
+}
+
 struct Shared {
     metrics: ServeMetrics,
     sample_len: usize,
     input_shape: Vec<usize>,
     config: ServeConfig,
+    guard: Option<GuardRuntime>,
     queue: ShardedQueue<Job>,
     registry: RegistryHandle,
 }
@@ -243,14 +271,43 @@ impl Engine {
     pub fn start(registry: &ModelRegistry, config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
         let handle = registry.handle()?;
+        // Resolve the guard deployment: a registry calibration artifact
+        // overrides the manual threshold and picks the detector it was
+        // calibrated for.
+        let guard = match (&config.guard, registry.calibration()) {
+            (Some(_), Some(cal)) => Some(GuardRuntime {
+                detector: detector_by_name(&cal.detector).ok_or_else(|| {
+                    ServeError::Config(format!(
+                        "calibration names unknown detector {:?}",
+                        cal.detector
+                    ))
+                })?,
+                threshold: cal.threshold,
+                calibrated: true,
+            }),
+            (Some(cfg), None) => Some(GuardRuntime {
+                detector: Box::new(DisagreementDetector),
+                threshold: cfg.threshold,
+                calibrated: false,
+            }),
+            (None, _) => None,
+        };
         let shared = Arc::new(Shared {
             metrics: ServeMetrics::with_model_names(registry.names()),
             sample_len: registry.sample_len(),
             input_shape: registry.input_shape().to_vec(),
             queue: ShardedQueue::new(config.workers, config.queue_depth),
             registry: handle,
+            guard,
             config,
         });
+        if let Some(g) = &shared.guard {
+            shared.metrics.set_guard_deployment(GuardDeployment {
+                detector: g.detector.name().into(),
+                threshold: g.threshold,
+                calibrated: g.calibrated,
+            });
+        }
         let mut workers = Vec::with_capacity(shared.config.workers);
         for idx in 0..shared.config.workers {
             let (generation, set) = shared.registry.snapshot();
@@ -328,7 +385,25 @@ impl Engine {
     /// * [`ServeError::WorkerLost`] / [`ServeError::Nn`] — worker-side
     ///   failures.
     pub fn submit(&self, input: Vec<f32>, want_probs: bool) -> Result<Prediction, ServeError> {
-        self.submit_keyed(input, want_probs, None)
+        self.submit_keyed(input, want_probs, None, None)
+    }
+
+    /// Like [`Engine::submit`] but tags the request as evaluation traffic
+    /// carrying `attack` (e.g. `"uap"`): the guard's verdict for it is
+    /// accumulated into the per-attack detection-rate counters exported by
+    /// the metrics snapshot. Production traffic should use plain
+    /// [`Engine::submit`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::submit`].
+    pub fn submit_tagged(
+        &self,
+        input: Vec<f32>,
+        want_probs: bool,
+        attack: Option<String>,
+    ) -> Result<Prediction, ServeError> {
+        self.submit_keyed(input, want_probs, None, attack)
     }
 
     /// Like [`Engine::submit`] but pins the request to shard
@@ -342,7 +417,7 @@ impl Engine {
         want_probs: bool,
         key: usize,
     ) -> Result<Prediction, ServeError> {
-        self.submit_keyed(input, want_probs, Some(key))
+        self.submit_keyed(input, want_probs, Some(key), None)
     }
 
     fn submit_keyed(
@@ -350,12 +425,14 @@ impl Engine {
         input: Vec<f32>,
         want_probs: bool,
         key: Option<usize>,
+        attack: Option<String>,
     ) -> Result<Prediction, ServeError> {
         self.validate_input(&input)?;
         let (tx, rx) = mpsc::channel();
         let job = WorkJob {
             input,
             want_probs,
+            attack,
             enqueued: Instant::now(),
             done: Done {
                 tx,
@@ -394,10 +471,29 @@ impl Engine {
         done: &CompletionSender,
         waker: Option<CompletionWaker>,
     ) -> Result<(), ServeError> {
+        self.submit_async_tagged(input, want_probs, None, token, done, waker)
+    }
+
+    /// [`Engine::submit_async`] with an optional evaluation-traffic attack
+    /// tag (see [`Engine::submit_tagged`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::submit_async`].
+    pub fn submit_async_tagged(
+        &self,
+        input: Vec<f32>,
+        want_probs: bool,
+        attack: Option<String>,
+        token: u64,
+        done: &CompletionSender,
+        waker: Option<CompletionWaker>,
+    ) -> Result<(), ServeError> {
         self.validate_input(&input)?;
         let job = WorkJob {
             input,
             want_probs,
+            attack,
             enqueued: Instant::now(),
             done: Done {
                 tx: done.clone(),
@@ -622,8 +718,9 @@ fn run_batch(replicas: &mut PlannedSet, batch: Vec<WorkJob>, shared: &Shared) {
         m.record_model_forward(0, forward_t0.elapsed());
         let labels = logits.argmax_rows().map_err(advcomp_nn::NnError::from)?;
         let probs = softmax(&logits)?;
-        let guard = match (&shared.config.guard, replicas.variants.is_empty()) {
-            (Some(cfg), false) => {
+        let guard = match (&shared.guard, replicas.variants.is_empty()) {
+            (Some(g), false) => {
+                let mut variant_logits = Vec::with_capacity(replicas.variants.len());
                 let mut per_variant = Vec::with_capacity(replicas.variants.len());
                 for (i, planned) in replicas.variants.iter_mut().enumerate() {
                     let variant_t0 = Instant::now();
@@ -631,8 +728,12 @@ fn run_batch(replicas: &mut PlannedSet, batch: Vec<WorkJob>, shared: &Shared) {
                     m.record_model_forward(1 + i, variant_t0.elapsed());
                     let vlabels = vl.argmax_rows().map_err(advcomp_nn::NnError::from)?;
                     per_variant.push((planned.name.clone(), vlabels));
+                    variant_logits.push(vl);
                 }
-                Some((cfg.threshold, per_variant))
+                // Score through the shared detector implementation — the
+                // same code path the offline calibration sweep ran.
+                let scores = g.detector.score(&logits, &variant_logits)?;
+                Some((g.threshold, scores, per_variant))
             }
             _ => None,
         };
@@ -646,13 +747,16 @@ fn run_batch(replicas: &mut PlannedSet, batch: Vec<WorkJob>, shared: &Shared) {
             for (row, job) in batch.into_iter().enumerate() {
                 let label = labels[row];
                 let (suspect, flagged, variant_labels) = match &guard {
-                    Some((threshold, per_variant)) => {
+                    Some((threshold, scores, per_variant)) => {
                         let total = per_variant.len();
-                        let disagree = per_variant
-                            .iter()
-                            .filter(|(_, vl)| vl[row] != label)
-                            .count();
-                        let suspect = disagree as f64 / total as f64;
+                        let mut disagree = 0usize;
+                        for (vi, (_, vl)) in per_variant.iter().enumerate() {
+                            if vl[row] != label {
+                                disagree += 1;
+                                m.record_variant_disagreement(vi);
+                            }
+                        }
+                        let suspect = scores[row];
                         let flagged = suspect >= *threshold;
                         m.guard_scored.fetch_add(1, Ordering::Relaxed);
                         m.guard_variants.fetch_add(total as u64, Ordering::Relaxed);
@@ -660,6 +764,9 @@ fn run_batch(replicas: &mut PlannedSet, batch: Vec<WorkJob>, shared: &Shared) {
                             .fetch_add(disagree as u64, Ordering::Relaxed);
                         if flagged {
                             m.guard_flagged.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if let Some(attack) = &job.attack {
+                            m.record_attack_outcome(attack, flagged);
                         }
                         (
                             Some(suspect),
@@ -910,5 +1017,78 @@ mod tests {
         assert!(p.variant_labels.is_empty());
         engine.shutdown();
         assert_eq!(engine.metrics().guard_scored.load(Ordering::Relaxed), 0);
+    }
+
+    /// A calibration artifact on the registry must override the ad-hoc
+    /// [`GuardConfig`] threshold: the engine deploys the calibrated
+    /// detector at the ROC-chosen threshold and reports it in metrics.
+    #[test]
+    fn calibration_artifact_overrides_guard_config() {
+        use advcomp_detect::DetectorCalibration;
+        let mut reg = registry(2);
+        let clean: Vec<f64> = (0..32).map(|i| 0.01 * i as f64).collect();
+        let adv: Vec<f64> = (0..32).map(|i| 0.6 + 0.01 * i as f64).collect();
+        let cal = DetectorCalibration::calibrate("divergence", &clean, &adv, 0.05).unwrap();
+        let threshold = cal.threshold;
+        reg.set_calibration(cal).unwrap();
+        let engine = Engine::start(&reg, cfg()).unwrap();
+        let deployment = engine.metrics().guard_deployment().expect("guard on");
+        assert_eq!(deployment.detector, "divergence");
+        assert!(deployment.calibrated);
+        assert!((deployment.threshold - threshold).abs() < 1e-12);
+        // Uncalibrated fallback: disagreement detector at the config
+        // threshold.
+        let engine2 = Engine::start(&registry(1), cfg()).unwrap();
+        let fallback = engine2.metrics().guard_deployment().expect("guard on");
+        assert_eq!(fallback.detector, "disagreement");
+        assert!(!fallback.calibrated);
+        assert!((fallback.threshold - 0.5).abs() < 1e-12);
+        engine.shutdown();
+        engine2.shutdown();
+    }
+
+    /// Attack-tagged evaluation traffic must land in the per-attack
+    /// detection counters, and every guard batch must feed the
+    /// per-variant disagreement counters and the metrics snapshot.
+    #[test]
+    fn tagged_traffic_fills_per_attack_and_per_variant_metrics() {
+        use crate::json::Json;
+        let engine = Engine::start(&registry(2), cfg()).unwrap();
+        engine.submit(vec![0.2; 28 * 28], false).unwrap();
+        engine
+            .submit_tagged(vec![0.7; 28 * 28], false, Some("uap".into()))
+            .unwrap();
+        engine
+            .submit_tagged(vec![0.9; 28 * 28], false, Some("uap".into()))
+            .unwrap();
+        engine.shutdown();
+        let m = engine.metrics();
+        let outcomes = m.attack_outcomes();
+        assert_eq!(outcomes.len(), 1, "only tagged traffic is tallied");
+        let (name, scored, flagged) = &outcomes[0];
+        assert_eq!(name, "uap");
+        assert_eq!(*scored, 2);
+        assert!(*flagged <= 2);
+        assert_eq!(m.per_variant_disagreements.len(), 2);
+        assert_eq!(m.per_variant_disagreements[0].0, "v0");
+
+        let snap = engine.metrics_snapshot().to_string();
+        let parsed = Json::parse(snap.as_bytes()).unwrap();
+        let guard = parsed.get("guard").expect("guard section");
+        assert_eq!(
+            guard.get("detector").and_then(Json::as_str),
+            Some("disagreement")
+        );
+        assert_eq!(guard.get("calibrated"), Some(&Json::Bool(false)));
+        let attacks = guard.get("attacks").expect("attacks section");
+        assert_eq!(
+            attacks.get("uap").and_then(|a| a.get("scored")),
+            Some(&Json::Num(2.0))
+        );
+        let per_variant = guard
+            .get("per_variant_disagreements")
+            .expect("per-variant section");
+        assert!(per_variant.get("v0").is_some());
+        assert!(per_variant.get("v1").is_some());
     }
 }

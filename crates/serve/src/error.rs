@@ -1,5 +1,6 @@
 //! Error type for the serving engine.
 
+use advcomp_detect::DetectError;
 use advcomp_models::CheckpointError;
 use advcomp_nn::NnError;
 use std::fmt;
@@ -27,6 +28,9 @@ pub enum ServeError {
     BadRequest(String),
     /// Checkpoint loading failed (I/O, corruption, incompatibility).
     Checkpoint(CheckpointError),
+    /// The adversarial guard failed: a corrupt calibration artifact at
+    /// load time, or a detector scoring error at serve time.
+    Detect(DetectError),
     /// A model forward pass failed.
     Nn(NnError),
     /// Socket-level I/O failed.
@@ -43,6 +47,7 @@ impl fmt::Display for ServeError {
             ServeError::Config(msg) => write!(f, "invalid config: {msg}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            ServeError::Detect(e) => write!(f, "guard: {e}"),
             ServeError::Nn(e) => write!(f, "model: {e}"),
             ServeError::Io(e) => write!(f, "io: {e}"),
         }
@@ -53,6 +58,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Checkpoint(e) => Some(e),
+            ServeError::Detect(e) => Some(e),
             ServeError::Nn(e) => Some(e),
             ServeError::Io(e) => Some(e),
             _ => None,
@@ -63,6 +69,12 @@ impl std::error::Error for ServeError {
 impl From<CheckpointError> for ServeError {
     fn from(e: CheckpointError) -> Self {
         ServeError::Checkpoint(e)
+    }
+}
+
+impl From<DetectError> for ServeError {
+    fn from(e: DetectError) -> Self {
+        ServeError::Detect(e)
     }
 }
 

@@ -19,10 +19,15 @@
 //!   with exactly-once delivery even across worker panics). A full queue
 //!   rejects with [`ServeError::Overloaded`] — explicit backpressure,
 //!   never a hang.
-//! * the **ensemble guard** — scores each request by how many compressed
-//!   variants disagree with the baseline's top-1 label. Adversarial
+//! * the **ensemble guard** — scores each request with a detector from
+//!   `advcomp-detect` over the compressed-variant ensemble. Adversarial
 //!   examples transfer imperfectly across compression levels (the source
-//!   paper's key interaction), so disagreement is a cheap attack signal.
+//!   paper's key interaction), so cross-variant disagreement is a cheap
+//!   attack signal. When the registry carries a
+//!   [`ModelRegistry::load_calibration`] artifact, the guard runs the
+//!   calibrated detector at its ROC-chosen threshold and the metrics
+//!   snapshot reports the deployment; otherwise it falls back to the raw
+//!   disagreement score at [`GuardConfig`]'s threshold.
 //! * [`Server`]/[`Client`] — length-prefixed JSON frames over TCP served
 //!   by non-blocking event loops (readiness-polled via `poll(2)`), with
 //!   per-client token-bucket admission control ([`RateLimitConfig`],
@@ -63,6 +68,6 @@ pub use engine::{
     Completion, CompletionSender, CompletionWaker, Engine, GuardConfig, Prediction, ServeConfig,
 };
 pub use error::ServeError;
-pub use metrics::{BatchSizeDistribution, LatencyHistogram, ServeMetrics};
+pub use metrics::{BatchSizeDistribution, GuardDeployment, LatencyHistogram, ServeMetrics};
 pub use registry::{ModelRegistry, ModelSet, RegistryHandle, ReplicaSet};
 pub use server::{Client, RateLimitConfig, Server, ServerConfig};

@@ -190,6 +190,7 @@ pub fn run(addr: SocketAddr, plan: &LoadPlan) -> Result<LoadReport, ServeError> 
                         id: id.clone(),
                         input: plan.input.clone(),
                         probs: plan.want_probs,
+                        attack: None,
                     };
                     let sent_at = Instant::now();
                     if meta_tx.send((id, sent_at)).is_err() {

@@ -10,7 +10,9 @@
 //! `BENCH_serve.json`.
 
 use crate::json::{Json, JsonObj};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 const LAT_BUCKETS: usize = 30;
@@ -174,6 +176,19 @@ pub struct PlanGauge {
     pub arena_peak_bytes: AtomicU64,
 }
 
+/// How the guard is deployed: which detector scores requests and at what
+/// threshold (set once at engine start, exported in the snapshot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardDeployment {
+    /// Detector name (e.g. `"disagreement"`).
+    pub detector: String,
+    /// Decision threshold in effect.
+    pub threshold: f64,
+    /// `true` when the threshold came from a calibration artifact rather
+    /// than manual configuration.
+    pub calibrated: bool,
+}
+
 /// All metrics for one serving engine, shared via `Arc`.
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
@@ -216,6 +231,19 @@ pub struct ServeMetrics {
     pub guard_disagreements: AtomicU64,
     /// Number of guard variants per request (for rate normalisation).
     pub guard_variants: AtomicU64,
+    /// Per-variant disagreement counters `(name, count)` in registry
+    /// variant order: how often each variant's top-1 label disagreed with
+    /// the baseline's. This is what localises a guard signal to the
+    /// variant producing it (a quantised member may disagree far more
+    /// than a pruned one). Empty under `Default`; populated by
+    /// [`ServeMetrics::with_model_names`].
+    pub per_variant_disagreements: Vec<(String, AtomicU64)>,
+    /// Guard outcomes for evaluation traffic tagged with an attack id:
+    /// `attack -> (scored, flagged)`. Only tagged requests take this lock
+    /// — the untagged production path stays lock-free.
+    attack_outcomes: Mutex<BTreeMap<String, (u64, u64)>>,
+    /// Guard deployment info for the snapshot (set at engine start).
+    guard_deployment: Mutex<Option<GuardDeployment>>,
     /// Jobs moved across shards by work stealing (mirrored from the
     /// queue's counter at snapshot time via [`ServeMetrics::set_steals`]).
     pub steals: AtomicU64,
@@ -248,12 +276,67 @@ impl ServeMetrics {
                 .iter()
                 .map(|n| (n.clone(), LatencyHistogram::default()))
                 .collect(),
+            // Variants are every model after the baseline.
+            per_variant_disagreements: names
+                .iter()
+                .skip(1)
+                .map(|n| (n.clone(), AtomicU64::new(0)))
+                .collect(),
             per_model_plan: names
                 .into_iter()
                 .map(|n| (n, PlanGauge::default()))
                 .collect(),
             ..ServeMetrics::default()
         }
+    }
+
+    /// Counts one top-1 disagreement for variant `index` (registry variant
+    /// order; out-of-range indices are ignored).
+    pub fn record_variant_disagreement(&self, index: usize) {
+        if let Some((_, c)) = self.per_variant_disagreements.get(index) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the guard's verdict for one request tagged with `attack`
+    /// (evaluation traffic only).
+    pub fn record_attack_outcome(&self, attack: &str, flagged: bool) {
+        let mut map = self
+            .attack_outcomes
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let entry = map.entry(attack.to_string()).or_insert((0, 0));
+        entry.0 += 1;
+        if flagged {
+            entry.1 += 1;
+        }
+    }
+
+    /// Per-attack guard outcomes as `(attack, scored, flagged)` rows.
+    pub fn attack_outcomes(&self) -> Vec<(String, u64, u64)> {
+        self.attack_outcomes
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(k, &(s, f))| (k.clone(), s, f))
+            .collect()
+    }
+
+    /// Publishes how the guard is deployed (detector + threshold) so the
+    /// snapshot can report calibrated verdicts as such.
+    pub fn set_guard_deployment(&self, d: GuardDeployment) {
+        *self
+            .guard_deployment
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = Some(d);
+    }
+
+    /// The published guard deployment, if any.
+    pub fn guard_deployment(&self) -> Option<GuardDeployment> {
+        self.guard_deployment
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
     }
 
     /// Records one model's compiled-plan gauges. `index` follows the
@@ -386,9 +469,8 @@ impl ServeMetrics {
                 obj.build()
             })
             .set("batch", self.batch_sizes.to_json())
-            .set(
-                "guard",
-                JsonObj::new()
+            .set("guard", {
+                let mut guard = JsonObj::new()
                     .set(
                         "scored",
                         Json::Num(self.guard_scored.load(Ordering::Relaxed) as f64),
@@ -398,9 +480,37 @@ impl ServeMetrics {
                         Json::Num(self.guard_flagged.load(Ordering::Relaxed) as f64),
                     )
                     .set("flag_rate", Json::Num(self.flag_rate()))
-                    .set("disagreement_rate", Json::Num(self.disagreement_rate()))
-                    .build(),
-            )
+                    .set("disagreement_rate", Json::Num(self.disagreement_rate()));
+                if let Some(d) = self.guard_deployment() {
+                    guard = guard
+                        .set("detector", Json::Str(d.detector))
+                        .set("threshold", Json::Num(d.threshold))
+                        .set("calibrated", Json::Bool(d.calibrated));
+                }
+                let mut per_variant = JsonObj::new();
+                for (name, c) in &self.per_variant_disagreements {
+                    per_variant =
+                        per_variant.set(name, Json::Num(c.load(Ordering::Relaxed) as f64));
+                }
+                guard = guard.set("per_variant_disagreements", per_variant.build());
+                let mut attacks = JsonObj::new();
+                for (name, scored, flagged) in self.attack_outcomes() {
+                    let rate = if scored == 0 {
+                        0.0
+                    } else {
+                        flagged as f64 / scored as f64
+                    };
+                    attacks = attacks.set(
+                        &name,
+                        JsonObj::new()
+                            .set("scored", Json::Num(scored as f64))
+                            .set("flagged", Json::Num(flagged as f64))
+                            .set("detection_rate", Json::Num(rate))
+                            .build(),
+                    );
+                }
+                guard.set("attacks", attacks.build()).build()
+            })
             .set(
                 "engine",
                 JsonObj::new()

@@ -61,6 +61,9 @@ pub enum Request {
         input: Vec<f32>,
         /// Include the softmax distribution in the response.
         probs: bool,
+        /// Optional attack label for evaluation traffic; the engine
+        /// tallies per-attack detection rates keyed by this tag.
+        attack: Option<String>,
     },
     /// A control command.
     Control {
@@ -117,23 +120,36 @@ impl Request {
             values.push(n as f32);
         }
         let probs = json.get("probs").and_then(Json::as_bool).unwrap_or(false);
+        let attack = json
+            .get("attack")
+            .and_then(Json::as_str)
+            .map(str::to_string);
         Ok(Request::Predict {
             id,
             input: values,
             probs,
+            attack,
         })
     }
 
     /// Serialises this request to frame payload bytes (client side).
     pub fn to_payload(&self) -> Vec<u8> {
         let json = match self {
-            Request::Predict { id, input, probs } => {
+            Request::Predict {
+                id,
+                input,
+                probs,
+                attack,
+            } => {
                 let mut obj = JsonObj::new().set("id", Json::Str(id.clone())).set(
                     "input",
                     Json::Arr(input.iter().map(|&v| Json::Num(v as f64)).collect()),
                 );
                 if *probs {
                     obj = obj.set("probs", Json::Bool(true));
+                }
+                if let Some(attack) = attack {
+                    obj = obj.set("attack", Json::Str(attack.clone()));
                 }
                 obj.build()
             }
@@ -209,9 +225,18 @@ mod tests {
             id: "r1".into(),
             input: vec![0.0, 0.5, 1.0],
             probs: true,
+            attack: None,
         };
         let parsed = Request::parse(&req.to_payload()).unwrap();
         assert_eq!(parsed, req);
+
+        let tagged = Request::Predict {
+            id: "r2".into(),
+            input: vec![0.25],
+            probs: false,
+            attack: Some("uap".into()),
+        };
+        assert_eq!(Request::parse(&tagged.to_payload()).unwrap(), tagged);
 
         let ctl = Request::Control {
             id: "c1".into(),

@@ -32,6 +32,7 @@
 //! published set untouched.
 
 use crate::ServeError;
+use advcomp_detect::{detector_by_name, DetectorCalibration};
 use advcomp_models::Checkpoint;
 use advcomp_nn::{Mode, Sequential};
 use advcomp_tensor::Tensor;
@@ -97,6 +98,7 @@ struct SwapCell {
 pub struct ModelRegistry {
     input_shape: Vec<usize>,
     cell: Arc<SwapCell>,
+    calibration: Option<DetectorCalibration>,
 }
 
 /// Cheap cloneable view of the registry's published snapshot, held by
@@ -151,7 +153,46 @@ impl ModelRegistry {
                 generation: AtomicU64::new(0),
                 swaps: AtomicU64::new(0),
             }),
+            calibration: None,
         })
+    }
+
+    /// Attaches a detector calibration, making the engine's guard flag at
+    /// the calibrated threshold with the calibrated detector instead of
+    /// the manually configured ones.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] when the calibration names a detector this
+    /// build does not provide.
+    pub fn set_calibration(&mut self, cal: DetectorCalibration) -> Result<(), ServeError> {
+        if detector_by_name(&cal.detector).is_none() {
+            return Err(ServeError::Config(format!(
+                "calibration artifact names unknown detector {:?}",
+                cal.detector
+            )));
+        }
+        self.calibration = Some(cal);
+        Ok(())
+    }
+
+    /// Loads a CRC-verified calibration artifact (`.advd`, written by
+    /// `DetectorCalibration::save`) from disk and attaches it — the serve
+    /// counterpart of loading model checkpoints. A corrupt artifact is
+    /// rejected at load time, never deployed.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Detect`] on I/O failure or artifact corruption,
+    /// [`ServeError::Config`] for an unknown detector name.
+    pub fn load_calibration(&mut self, path: &Path) -> Result<(), ServeError> {
+        let cal = DetectorCalibration::load(path)?;
+        self.set_calibration(cal)
+    }
+
+    /// The attached detector calibration, if any.
+    pub fn calibration(&self) -> Option<&DetectorCalibration> {
+        self.calibration.as_ref()
     }
 
     fn current(&self) -> Option<Arc<ModelSet>> {

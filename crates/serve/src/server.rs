@@ -502,7 +502,12 @@ impl Conn {
 
     fn handle_request(&mut self, req: Request, slot: usize, epoch: u16, ctx: &IoCtx) {
         match req {
-            Request::Predict { id, input, probs } => {
+            Request::Predict {
+                id,
+                input,
+                probs,
+                attack,
+            } => {
                 if let Some(ac) = &ctx.admission {
                     if !ac.admit(self.peer, Instant::now()) {
                         ctx.engine
@@ -515,9 +520,10 @@ impl Conn {
                 }
                 let seq = self.next_seq();
                 let token = token_of(epoch, slot, seq);
-                match ctx.engine.submit_async(
+                match ctx.engine.submit_async_tagged(
                     input,
                     probs,
+                    attack,
                     token,
                     &ctx.comp_tx,
                     Some(ctx.engine_waker.clone()),
@@ -800,9 +806,29 @@ impl Client {
         input: Vec<f32>,
         probs: bool,
     ) -> Result<crate::json::Json, ServeError> {
+        self.predict_tagged(input, probs, None)
+    }
+
+    /// Classifies one sample carrying an attack tag so the server tallies
+    /// it in the per-attack detection metrics (evaluation traffic only).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::call`].
+    pub fn predict_tagged(
+        &mut self,
+        input: Vec<f32>,
+        probs: bool,
+        attack: Option<String>,
+    ) -> Result<crate::json::Json, ServeError> {
         self.next_id += 1;
         let id = format!("r{}", self.next_id);
-        self.call(&Request::Predict { id, input, probs })
+        self.call(&Request::Predict {
+            id,
+            input,
+            probs,
+            attack,
+        })
     }
 
     /// Issues a control command, returning the parsed response object.
@@ -938,6 +964,7 @@ mod tests {
                 id: format!("p{i}"),
                 input: vec![i as f32 / 10.0; 28 * 28],
                 probs: false,
+                attack: None,
             };
             write_frame(&mut blob, &req.to_payload()).unwrap();
         }

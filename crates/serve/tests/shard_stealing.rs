@@ -73,6 +73,7 @@ fn response_ids_echo_exactly_once_in_order_across_shard_counts() {
                         id: format!("c{c}s{s}"),
                         input: input_for(c, s),
                         probs: false,
+                        attack: None,
                     };
                     write_frame(&mut burst, &req.to_payload()).unwrap();
                 }

@@ -1,0 +1,210 @@
+//! Detection-subsystem parity: pillar 9 of the verification strategy.
+//!
+//! The calibrated guard only defends what it was calibrated for, so this
+//! suite pins the three artefacts the detection pipeline produces:
+//!
+//! 1. **UAP crafting golden**: universal-perturbation crafting is a
+//!    deterministic function of (model, crafting set, config); under the
+//!    scalar kernel pin its delta must be **bit-identical** PR-to-PR, so
+//!    the checked-in golden catches any silent change to the sign-ascent
+//!    loop, the shuffle stream or the gradient kernels.
+//! 2. **ROC differential**: the threshold-sweep ROC builder against a
+//!    rank-based O(n·m) Mann-Whitney reference — trapezoid AUC must equal
+//!    the probabilistic definition (ties counted half) to 1e-12, and the
+//!    curve itself must be monotone from (0,0) to (1,1).
+//! 3. **Calibration artifact round-trip**: every single-byte corruption of
+//!    a serialised `DetectorCalibration` must surface as an explicit
+//!    artifact error, never as silently wrong thresholds.
+
+use advcomp_attacks::{craft_uap, UapConfig};
+use advcomp_detect::{reference_auc, DetectError, DetectorCalibration, RocCurve};
+use advcomp_testkit::fixtures;
+use advcomp_testkit::golden::{self, tensor_json};
+use advcomp_testkit::json::Json;
+use advcomp_testkit::DetRng;
+
+// ---------------------------------------------------------------------------
+// Pillar 9a: UAP crafting conformance.
+// ---------------------------------------------------------------------------
+
+/// Seed of the fixture model (matches the `goldens` suite fixture family).
+const MODEL_SEED: u64 = 42;
+/// Seed of the crafting batch.
+const BATCH_SEED: u64 = 7;
+/// Seed of the crafting labels.
+const LABEL_SEED: u64 = 9;
+/// Crafting-set size: two minibatches, so the seeded shuffle order matters.
+const CRAFT: usize = 16;
+
+fn uap_config() -> UapConfig {
+    UapConfig {
+        epsilon: 0.1,
+        step: 0.025,
+        epochs: 3,
+        batch: 8,
+        seed: 11,
+    }
+}
+
+fn uap_doc() -> Json {
+    let mut model = fixtures::lenet(MODEL_SEED);
+    let x = fixtures::image_batch(BATCH_SEED, CRAFT);
+    let y = fixtures::labels(LABEL_SEED, CRAFT, fixtures::LENET_CLASSES);
+    let cfg = uap_config();
+    let uap = craft_uap(&mut model, &x, &y, &cfg).expect("uap crafting");
+    let applied = uap.apply(&x).expect("uap apply");
+    Json::Obj(vec![
+        ("model_seed".into(), Json::from_usize(MODEL_SEED as usize)),
+        ("epsilon".into(), Json::from_f32(cfg.epsilon)),
+        ("step".into(), Json::from_f32(cfg.step)),
+        ("epochs".into(), Json::from_usize(cfg.epochs)),
+        ("shuffle_seed".into(), Json::from_usize(cfg.seed as usize)),
+        ("labels".into(), Json::usize_array(&y)),
+        ("delta".into(), tensor_json(uap.delta())),
+        ("applied".into(), tensor_json(&applied)),
+    ])
+}
+
+#[test]
+fn uap_crafting_conforms() {
+    advcomp_testkit::pin_kernel("scalar");
+    golden::check_or_regen("lenet_uap", &uap_doc()).unwrap();
+}
+
+/// Crafting the same UAP twice in one process must be bit-identical — the
+/// property that makes the golden above meaningful.
+#[test]
+fn uap_crafting_replays_bit_exact() {
+    advcomp_testkit::pin_kernel("scalar");
+    let a = uap_doc().to_pretty_string();
+    let b = uap_doc().to_pretty_string();
+    assert_eq!(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Pillar 9b: ROC builder vs rank-based reference.
+// ---------------------------------------------------------------------------
+
+/// Deterministic score sets with deliberate ties (scores snapped to a
+/// coarse lattice) so the tie-group handling in both the curve builder and
+/// the trapezoid AUC is exercised, not just the generic position.
+fn tied_scores(seed: u64, n: usize, shift: f32) -> Vec<f64> {
+    DetRng::new(seed)
+        .vec_f32(n, 0.0, 1.0)
+        .into_iter()
+        .map(|v| (((v + shift).clamp(0.0, 1.0) * 8.0).round() / 8.0) as f64)
+        .collect()
+}
+
+#[test]
+fn roc_curve_is_monotone_and_auc_matches_reference() {
+    for seed in 0..6u64 {
+        let clean = tied_scores(seed * 2 + 1, 37, 0.0);
+        let adv = tied_scores(seed * 2 + 2, 23, 0.3);
+        let curve = RocCurve::from_scores(&clean, &adv).unwrap();
+        let pts = curve.points();
+        let first = pts.first().expect("curve is non-empty");
+        let last = pts.last().expect("curve is non-empty");
+        assert_eq!((first.fpr, first.tpr), (0.0, 0.0), "seed {seed}: origin");
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0), "seed {seed}: terminus");
+        for w in pts.windows(2) {
+            assert!(
+                w[1].fpr >= w[0].fpr && w[1].tpr >= w[0].tpr,
+                "seed {seed}: ROC must be monotone, got {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+            assert!(
+                w[1].threshold < w[0].threshold,
+                "seed {seed}: thresholds must strictly descend"
+            );
+        }
+        let auc = curve.auc();
+        let reference = reference_auc(&clean, &adv).unwrap();
+        assert!(
+            (auc - reference).abs() < 1e-12,
+            "seed {seed}: trapezoid AUC {auc} vs Mann-Whitney {reference}"
+        );
+    }
+}
+
+#[test]
+fn operating_point_is_tightest_under_budget() {
+    let clean = tied_scores(91, 64, 0.0);
+    let adv = tied_scores(92, 64, 0.25);
+    let curve = RocCurve::from_scores(&clean, &adv).unwrap();
+    for target in [0.0, 0.05, 0.1, 0.5, 1.0] {
+        let op = curve.operating_point(target).unwrap();
+        assert!(
+            op.fpr <= target,
+            "target {target}: fpr {} over budget",
+            op.fpr
+        );
+        // "Tightest": every curve point with a higher TPR busts the budget.
+        for p in curve.points() {
+            if p.tpr > op.tpr {
+                assert!(
+                    p.fpr > target,
+                    "target {target}: point {p:?} dominates chosen {op:?}"
+                );
+            }
+        }
+    }
+    assert!(curve.operating_point(-0.1).is_err());
+    assert!(curve.operating_point(1.5).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Pillar 9c: calibration artifact integrity.
+// ---------------------------------------------------------------------------
+
+fn sample_calibration() -> DetectorCalibration {
+    let clean = tied_scores(71, 40, 0.0);
+    let adv = tied_scores(72, 40, 0.35);
+    DetectorCalibration::calibrate("divergence", &clean, &adv, 0.05).unwrap()
+}
+
+#[test]
+fn calibration_artifact_round_trips() {
+    let cal = sample_calibration();
+    let bytes = cal.to_bytes();
+    let back = DetectorCalibration::from_bytes(&bytes).unwrap();
+    assert_eq!(back, cal);
+
+    let dir = std::env::temp_dir().join(format!("advcomp_detect_parity_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("guard.advd");
+    cal.save(&path).unwrap();
+    assert_eq!(DetectorCalibration::load(&path).unwrap(), cal);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Flipping any single byte — header, payload or CRC footer — must be an
+/// explicit artifact error; a corrupt threshold silently deployed would be
+/// a security hole, not a bug.
+#[test]
+fn every_single_byte_corruption_is_detected() {
+    let bytes = sample_calibration().to_bytes();
+    for i in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x40;
+        assert!(
+            matches!(
+                DetectorCalibration::from_bytes(&bad),
+                Err(DetectError::Artifact(_))
+            ),
+            "flip at byte {i} went undetected"
+        );
+    }
+    // Truncation and trailing garbage are corruption too.
+    assert!(matches!(
+        DetectorCalibration::from_bytes(&bytes[..bytes.len() - 1]),
+        Err(DetectError::Artifact(_))
+    ));
+    let mut long = bytes.clone();
+    long.push(0);
+    assert!(matches!(
+        DetectorCalibration::from_bytes(&long),
+        Err(DetectError::Artifact(_))
+    ));
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the detection-subsystem benchmark and writes BENCH_detect.json at
+# the repo root: the attack x compression detection grid (detector AUC,
+# detection rate at the calibrated threshold, attack success per cell,
+# UAP transfer matrix), the clean-vs-successful-IFGSM gate fixture, the
+# online clean-vs-UAP flag rates through a live guarded engine, and the
+# ensemble guard's per-request latency overhead.
+#
+# The worker pool reads ADVCOMP_THREADS once at startup, so pin the
+# thread count per process, e.g.:
+#
+#   ADVCOMP_THREADS=8 scripts/bench_detect.sh
+#   scripts/bench_detect.sh results/BENCH_detect.json
+#
+# The default of 8 matches the other bench scripts so the guard-overhead
+# numbers are comparable with BENCH_serve.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_detect.json}"
+ITERS="${BENCH_ITERS:-200}"
+export ADVCOMP_THREADS="${ADVCOMP_THREADS:-8}"
+
+cargo build --release -p advcomp-bench --bin detect_bench
+./target/release/detect_bench --out "$OUT" --iters "$ITERS"

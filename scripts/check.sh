@@ -144,6 +144,21 @@ cargo test -q -p advcomp-serve --test shard_stealing >/dev/null
 cargo test -q -p advcomp-serve --test hot_swap >/dev/null
 echo "serve soak: chaos, stealing and hot-swap suites OK"
 
+# Detection regression gate: the disagreement detector must keep AUC >=
+# 0.9 separating clean traffic from *successful* small-step IFGSM
+# perturbations on the deterministic stub-RNG fixture, and an
+# offline-crafted UAP must still be flagged online by a live guarded
+# engine above the clean false-positive rate (at the calibrated
+# threshold the artifact deploys). Same scratch-dir convention as the
+# simd/quant/graph gates so the checked-in BENCH_detect.json only
+# changes via scripts/bench_detect.sh.
+cargo build -q --release -p advcomp-bench --bin detect_bench
+detect_tmp="$(mktemp -d)"
+./target/release/detect_bench --iters 50 --out "$detect_tmp/detect.json" \
+    --check-detect >/dev/null
+rm -rf "$detect_tmp"
+echo "detect gate: fixture AUC >= 0.9; offline-crafted UAP flagged online"
+
 # Serve regression gate: re-measure the saturation knee with the open-loop
 # generator and compare against the committed BENCH_serve.json baseline
 # (fails on >40% regression). Knee rps is host-specific, so the gate

@@ -19,6 +19,9 @@
 //!   codes, Huffman streams, and model-size accounting.
 //! * [`core`] — the paper's contribution: the compression-aware attack
 //!   taxonomy (scenarios S1–S3), transfer evaluation, and sweep harnesses.
+//! * [`detect`] — calibrated adversarial detection: ensemble detectors,
+//!   ROC calibration artifacts, and the attack×compression evaluation grid
+//!   (universal perturbations included).
 //! * [`serve`] — batched TCP inference serving with a compression-ensemble
 //!   adversarial guard built on the paper's transfer observations.
 //!
@@ -41,6 +44,7 @@ pub use advcomp_attacks as attacks;
 pub use advcomp_compress as compress;
 pub use advcomp_core as core;
 pub use advcomp_data as data;
+pub use advcomp_detect as detect;
 pub use advcomp_models as models;
 pub use advcomp_nn as nn;
 pub use advcomp_qformat as qformat;
